@@ -1,0 +1,77 @@
+// Ablation C: HINT's internal options — sort modes (beneficial temporal
+// sorting vs by-id vs none) and the storage optimization — on range query
+// latency and index size. Quantifies the cost the merge-sort tIF+HINT
+// variant pays for giving up beneficial sorting (Section 3.1, footnote 8).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "hint/hint.h"
+
+namespace irhint {
+namespace {
+
+constexpr Time kDomainEnd = (1 << 22) - 1;
+constexpr size_t kRecords = 500000;
+
+std::vector<IntervalRecord> MakeRecords() {
+  Rng rng(90210);
+  ZipfSampler durations(kDomainEnd + 1, 1.2);
+  std::vector<IntervalRecord> records;
+  records.reserve(kRecords);
+  for (size_t i = 0; i < kRecords; ++i) {
+    const Time st = rng.Uniform(kDomainEnd + 1);
+    const Time end = std::min<Time>(kDomainEnd, st + durations.Sample(rng));
+    records.push_back(IntervalRecord{static_cast<ObjectId>(i),
+                                     Interval(st, end)});
+  }
+  return records;
+}
+
+void Run(benchmark::State& state, HintSortMode sort, bool storage_opt) {
+  const auto records = MakeRecords();
+  HintIndex index;
+  HintOptions options;
+  options.num_bits = 12;
+  options.sort_mode = sort;
+  options.storage_optimization = storage_opt;
+  if (!index.Build(records, kDomainEnd, options).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  Rng rng(3);
+  const Time length = (kDomainEnd + 1) / 1000;
+  std::vector<ObjectId> out;
+  for (auto _ : state) {
+    const Time st = rng.Uniform(kDomainEnd + 2 - length);
+    out.clear();
+    index.RangeQuery(Interval(st, st + length - 1), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["index MB"] =
+      static_cast<double>(index.MemoryUsageBytes()) / 1048576.0;
+}
+
+void BM_HintSortBeneficial(benchmark::State& state) {
+  Run(state, HintSortMode::kBeneficial, false);
+}
+void BM_HintSortById(benchmark::State& state) {
+  Run(state, HintSortMode::kById, false);
+}
+void BM_HintSortNone(benchmark::State& state) {
+  Run(state, HintSortMode::kNone, false);
+}
+void BM_HintStorageOptimized(benchmark::State& state) {
+  Run(state, HintSortMode::kBeneficial, true);
+}
+
+BENCHMARK(BM_HintSortBeneficial);
+BENCHMARK(BM_HintSortById);
+BENCHMARK(BM_HintSortNone);
+BENCHMARK(BM_HintStorageOptimized);
+
+}  // namespace
+}  // namespace irhint

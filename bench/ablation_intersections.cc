@@ -1,0 +1,82 @@
+// Ablation B: sorted-list intersection kernels — linear merge vs per-item
+// binary search vs galloping — across list-size ratios. Motivates the
+// design choices of Algorithms 3 and 4 (merge wins for comparable sizes,
+// search-based probing wins when the candidate set is tiny).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ir/intersect.h"
+
+namespace irhint {
+namespace {
+
+std::vector<ObjectId> MakeSorted(size_t n, uint64_t seed, uint32_t universe) {
+  Rng rng(seed);
+  std::vector<ObjectId> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<ObjectId>(rng.Uniform(universe)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+void BM_IntersectMerge(benchmark::State& state) {
+  const size_t small_n = static_cast<size_t>(state.range(0));
+  const size_t large_n = static_cast<size_t>(state.range(1));
+  const auto a = MakeSorted(small_n, 1, 1 << 22);
+  const auto b = MakeSorted(large_n, 2, 1 << 22);
+  std::vector<ObjectId> out;
+  for (auto _ : state) {
+    out.clear();
+    IntersectMerge(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+
+void BM_IntersectBinary(benchmark::State& state) {
+  const size_t small_n = static_cast<size_t>(state.range(0));
+  const size_t large_n = static_cast<size_t>(state.range(1));
+  const auto a = MakeSorted(small_n, 1, 1 << 22);
+  const auto b = MakeSorted(large_n, 2, 1 << 22);
+  std::vector<ObjectId> out;
+  for (auto _ : state) {
+    out.clear();
+    IntersectBinary(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+
+void BM_IntersectGalloping(benchmark::State& state) {
+  const size_t small_n = static_cast<size_t>(state.range(0));
+  const size_t large_n = static_cast<size_t>(state.range(1));
+  const auto a = MakeSorted(small_n, 1, 1 << 22);
+  const auto b = MakeSorted(large_n, 2, 1 << 22);
+  std::vector<ObjectId> out;
+  for (auto _ : state) {
+    out.clear();
+    IntersectGalloping(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+
+void Ratios(benchmark::internal::Benchmark* b) {
+  b->Args({1000, 1000})
+      ->Args({1000, 100000})
+      ->Args({100, 1000000})
+      ->Args({100000, 100000});
+}
+
+BENCHMARK(BM_IntersectMerge)->Apply(Ratios);
+BENCHMARK(BM_IntersectBinary)->Apply(Ratios);
+BENCHMARK(BM_IntersectGalloping)->Apply(Ratios);
+
+}  // namespace
+}  // namespace irhint

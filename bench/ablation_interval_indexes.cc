@@ -1,0 +1,101 @@
+// Ablation A: HINT vs 1D-grid vs interval tree on pure interval range
+// queries — the premise of the paper ("HINT outperforms all competitive
+// interval indices"). Google-benchmark micro harness.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "hint/hint.h"
+#include "interval_baselines/grid1d.h"
+#include "interval_baselines/interval_tree.h"
+
+namespace irhint {
+namespace {
+
+constexpr Time kDomainEnd = (1 << 24) - 1;
+
+std::vector<IntervalRecord> MakeRecords(size_t n) {
+  Rng rng(4711);
+  ZipfSampler durations(kDomainEnd + 1, 1.2);
+  std::vector<IntervalRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Time st = rng.Uniform(kDomainEnd + 1);
+    const Time end = std::min<Time>(kDomainEnd, st + durations.Sample(rng));
+    records.push_back(IntervalRecord{static_cast<ObjectId>(i),
+                                     Interval(st, end)});
+  }
+  return records;
+}
+
+std::vector<Interval> MakeQueries(size_t count, double extent_fraction) {
+  Rng rng(1147);
+  const Time length = std::max<Time>(
+      1, static_cast<Time>(extent_fraction * (kDomainEnd + 1)));
+  std::vector<Interval> queries;
+  for (size_t i = 0; i < count; ++i) {
+    const Time st = rng.Uniform(kDomainEnd + 2 - length);
+    queries.emplace_back(st, st + length - 1);
+  }
+  return queries;
+}
+
+template <typename Index>
+void RunQueries(benchmark::State& state, const Index& index) {
+  const auto queries = MakeQueries(256, 1e-3);
+  std::vector<ObjectId> out;
+  size_t q = 0;
+  size_t results = 0;
+  for (auto _ : state) {
+    out.clear();
+    index.RangeQuery(queries[q % queries.size()], &out);
+    results += out.size();
+    benchmark::DoNotOptimize(out.data());
+    ++q;
+  }
+  state.counters["results/query"] =
+      static_cast<double>(results) / static_cast<double>(q);
+}
+
+void BM_Hint(benchmark::State& state) {
+  const auto records = MakeRecords(static_cast<size_t>(state.range(0)));
+  HintIndex index;
+  HintOptions options;
+  options.num_bits = 12;
+  if (!index.Build(records, kDomainEnd, options).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  RunQueries(state, index);
+}
+BENCHMARK(BM_Hint)->Arg(100000)->Arg(1000000);
+
+void BM_Grid1D(benchmark::State& state) {
+  const auto records = MakeRecords(static_cast<size_t>(state.range(0)));
+  Grid1D index;
+  Grid1DOptions options;
+  options.num_partitions = 4096;
+  if (!index.Build(records, kDomainEnd, options).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  RunQueries(state, index);
+}
+BENCHMARK(BM_Grid1D)->Arg(100000)->Arg(1000000);
+
+void BM_IntervalTree(benchmark::State& state) {
+  const auto records = MakeRecords(static_cast<size_t>(state.range(0)));
+  IntervalTree index;
+  if (!index.Build(records, kDomainEnd).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  RunQueries(state, index);
+}
+BENCHMARK(BM_IntervalTree)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,50 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every binary regenerates one table or figure of Section 5, printing the
+// same rows/series the paper reports. Dataset sizes default to laptop scale;
+// IRHINT_SCALE multiplies the dataset scale and IRHINT_QUERIES the number of
+// queries per measurement.
+
+#ifndef IRHINT_BENCH_BENCH_COMMON_H_
+#define IRHINT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "data/corpus.h"
+#include "data/real_sim.h"
+#include "eval/runner.h"
+
+namespace irhint {
+namespace bench {
+
+/// \brief Default simulator scales: ~18K ECLOG-like and ~8K WIKIPEDIA-like
+/// objects — small enough that every bench binary finishes in minutes while
+/// preserving the Table 3 shape (IRHINT_SCALE multiplies both).
+inline constexpr double kEclogBaseScale = 0.06;
+inline constexpr double kWikipediaBaseScale = 0.005;
+
+inline Corpus LoadEclog() {
+  const double scale = kEclogBaseScale * BenchScaleFromEnv();
+  std::printf("# ECLOG-sim scale %.4f (x%.2f of the paper's dataset)\n",
+              scale, scale);
+  return MakeEclogLike(std::min(scale, 1.0));
+}
+
+inline Corpus LoadWikipedia() {
+  const double scale = kWikipediaBaseScale * BenchScaleFromEnv();
+  std::printf("# WIKIPEDIA-sim scale %.4f (x%.2f of the paper's dataset)\n",
+              scale, scale);
+  return MakeWikipediaLike(std::min(scale, 1.0));
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================\n");
+}
+
+}  // namespace bench
+}  // namespace irhint
+
+#endif  // IRHINT_BENCH_BENCH_COMMON_H_

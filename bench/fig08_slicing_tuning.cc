@@ -1,0 +1,58 @@
+// Figure 8: tuning tIF+Slicing — indexing time, index size and query
+// throughput as the number of time-domain slices grows from 1 to 250.
+//
+// Paper shape to reproduce: throughput first rises with more slices (better
+// temporal filtering), then flattens/drops (fragmentation of the
+// intersection process); size and build time grow monotonically with the
+// slice count (replication). The paper settles on 50 slices.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "data/query_gen.h"
+#include "irfirst/tif_slicing.h"
+
+using namespace irhint;
+
+namespace {
+
+void RunDataset(const std::string& dataset, const Corpus& corpus,
+                TablePrinter* table) {
+  const size_t count = BenchQueriesFromEnv(1000);
+  WorkloadGenerator generator(corpus, /*seed=*/808);
+  // Default workload: 0.1% extent, |q.d| = 3.
+  const std::vector<Query> queries =
+      generator.ExtentWorkload(0.1, 3, count);
+
+  for (const uint32_t slices : {1u, 10u, 25u, 50u, 100u, 150u, 200u, 250u}) {
+    TifSlicingOptions options;
+    options.num_slices = slices;
+    TifSlicing index(options);
+    const BuildStats build = MeasureBuild(&index, corpus);
+    const QueryStats query = MeasureQueries(index, queries);
+    table->AddRow({dataset, Fmt(static_cast<uint64_t>(slices)),
+                   Fmt(build.seconds, 2), FmtMb(build.bytes),
+                   Fmt(query.queries_per_second, 0)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 8: tuning tIF+Slicing (number of slices)");
+  TablePrinter table(
+      {"dataset", "#slices", "index time [s]", "size [MB]", "queries/s"});
+  {
+    const Corpus eclog = bench::LoadEclog();
+    RunDataset("ECLOG", eclog, &table);
+  }
+  {
+    const Corpus wiki = bench::LoadWikipedia();
+    RunDataset("WIKIPEDIA", wiki, &table);
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  return 0;
+}

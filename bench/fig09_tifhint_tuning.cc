@@ -1,0 +1,84 @@
+// Figure 9: tuning the tIF+HINT variants — indexing time, index size and
+// query throughput as the number of HINT bits m grows from 1 to 20
+// (binary-search variant, merge-sort variant, and the hybrid with slicing).
+//
+// Paper shape to reproduce: indexing costs rise with m; throughput first
+// improves then degrades (for the merge-sort based variants, subdivisions
+// get too small for efficient merge intersections). The paper settles on
+// m = 5 for merge-sort/hybrid and m = 10 for binary search. The last row
+// set reports the m the interval cost model would pick, which the paper
+// found over-sized for the IR-first designs.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/factory.h"
+#include "data/query_gen.h"
+#include "hint/cost_model.h"
+
+using namespace irhint;
+
+namespace {
+
+void RunDataset(const std::string& dataset, const Corpus& corpus,
+                TablePrinter* table) {
+  const size_t count = BenchQueriesFromEnv(600);
+  WorkloadGenerator generator(corpus, /*seed=*/909);
+  const std::vector<Query> queries = generator.ExtentWorkload(0.1, 3, count);
+
+  struct Variant {
+    const char* name;
+    IndexKind kind;
+  };
+  const Variant variants[] = {
+      {"binary search", IndexKind::kTifHintBinarySearch},
+      {"merge sort", IndexKind::kTifHintMergeSort},
+      {"with slicing", IndexKind::kTifHintSlicing},
+  };
+  for (const int m : {1, 3, 5, 8, 10, 12, 15}) {
+    for (const Variant& variant : variants) {
+      IndexConfig config;
+      config.tif_hint_bits_bs = m;
+      config.tif_hint_bits_ms = m;
+      std::unique_ptr<TemporalIrIndex> index =
+          CreateIndex(variant.kind, config);
+      const BuildStats build = MeasureBuild(index.get(), corpus);
+      const QueryStats query = MeasureQueries(*index, queries);
+      table->AddRow({dataset, Fmt(m), variant.name, Fmt(build.seconds, 2),
+                     FmtMb(build.bytes), Fmt(query.queries_per_second, 0)});
+    }
+  }
+
+  // What the interval-only cost model would pick (Section 5.2 reports this
+  // is too large for the IR-first designs).
+  std::vector<IntervalRecord> records;
+  for (const Object& o : corpus.objects()) {
+    records.push_back(IntervalRecord{o.id, o.interval});
+  }
+  const int model_m = ChooseHintBits(records, corpus.domain_end());
+  std::printf("# %s: interval cost model would pick m = %d\n",
+              dataset.c_str(), model_m);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 9: tuning tIF+HINT variants (m)");
+  TablePrinter table(
+      {"dataset", "m", "variant", "index time [s]", "size [MB]",
+       "queries/s"});
+  {
+    const Corpus eclog = bench::LoadEclog();
+    RunDataset("ECLOG", eclog, &table);
+  }
+  {
+    const Corpus wiki = bench::LoadWikipedia();
+    RunDataset("WIKIPEDIA", wiki, &table);
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 10: query throughput of the three tIF+HINT variants (binary
+// search / merge sort / with slicing) at their tuned m values, across
+// query interval extent, |q.d| and element-frequency bins.
+//
+// Paper shape to reproduce: merge sort beats binary search except for
+// single-element queries (where binary search's fully optimized HINT range
+// query shines and no intersections happen); the hybrid with slicing is
+// the best overall for multi-element queries.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/factory.h"
+#include "data/query_gen.h"
+
+using namespace irhint;
+
+namespace {
+
+void RunDataset(const std::string& dataset, const Corpus& corpus,
+                TablePrinter* table) {
+  const size_t count = BenchQueriesFromEnv(800);
+  WorkloadGenerator generator(corpus, /*seed=*/1010);
+
+  std::vector<std::unique_ptr<TemporalIrIndex>> indexes;
+  for (const IndexKind kind :
+       {IndexKind::kTifHintBinarySearch, IndexKind::kTifHintMergeSort,
+        IndexKind::kTifHintSlicing}) {
+    indexes.push_back(CreateIndex(kind));
+    const BuildStats stats = MeasureBuild(indexes.back().get(), corpus);
+    std::printf("# built %-18s on %-9s in %5.1fs (%s MB)\n",
+                std::string(indexes.back()->Name()).c_str(), dataset.c_str(),
+                stats.seconds, FmtMb(stats.bytes).c_str());
+  }
+
+  auto run = [&](const std::string& axis, const std::string& value,
+                 const std::vector<Query>& queries) {
+    if (queries.empty()) return;
+    for (const auto& index : indexes) {
+      const QueryStats stats = MeasureQueries(*index, queries);
+      table->AddRow({dataset, axis, value, std::string(index->Name()),
+                     Fmt(stats.queries_per_second, 0)});
+    }
+  };
+
+  for (const double extent : {0.01, 0.05, 0.1, 0.5, 1.0}) {
+    run("extent%", Fmt(extent, 2), generator.ExtentWorkload(extent, 3, count));
+  }
+  for (uint32_t k = 1; k <= 5; ++k) {
+    run("|q.d|", Fmt(static_cast<uint64_t>(k)),
+        generator.ExtentWorkload(0.1, k, count));
+  }
+  struct Bin {
+    const char* label;
+    double lo, hi;
+  };
+  for (const Bin& bin :
+       {Bin{"[*-0.1]", -1.0, 0.1}, Bin{"(0.1-1]", 0.1, 1.0},
+        Bin{"(1-10]", 1.0, 10.0}, Bin{"(10-*]", 10.0, 100.0}}) {
+    run("elemfreq%", bin.label,
+        generator.FrequencyBinWorkload(bin.lo, bin.hi, 0.1, 3, count));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 10: comparing the tIF+HINT variants");
+  TablePrinter table({"dataset", "axis", "value", "index", "queries/s"});
+  {
+    const Corpus eclog = bench::LoadEclog();
+    RunDataset("ECLOG", eclog, &table);
+  }
+  {
+    const Corpus wiki = bench::LoadWikipedia();
+    RunDataset("WIKIPEDIA", wiki, &table);
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Figure 11: query throughput [queries/sec] of tIF+Slicing, tIF+Sharding,
+// tIF+HINT+Slicing and the two irHINT variants on the (simulated) real
+// datasets, across the paper's four experimental axes:
+//   column 1 — query interval extent (0.01% .. 100% of the domain),
+//   column 2 — number of query elements |q.d| (1..5),
+//   column 3 — query element frequency bins,
+//   column 4 — query selectivity bins (binned by oracle result counts).
+//
+// Paper shape to reproduce: irHINT-perf is the overall fastest (up to ~2x
+// over the best IR-first method), irHINT-size next; IR-first methods are
+// competitive only for highly selective queries (single elements on ECLOG,
+// rare elements, near-empty results); throughput decreases with extent and
+// element frequency and increases with |q.d|.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/factory.h"
+#include "data/query_gen.h"
+#include "eval/workload.h"
+
+using namespace irhint;
+
+namespace {
+
+struct BuiltIndex {
+  std::unique_ptr<TemporalIrIndex> index;
+};
+
+std::vector<BuiltIndex> BuildAll(const Corpus& corpus) {
+  std::vector<BuiltIndex> out;
+  for (const IndexKind kind : ComparisonIndexKinds()) {
+    BuiltIndex b;
+    b.index = CreateIndex(kind);
+    const BuildStats stats = MeasureBuild(b.index.get(), corpus);
+    std::printf("# built %-18s in %5.1fs (%s MB)\n",
+                std::string(b.index->Name()).c_str(), stats.seconds,
+                FmtMb(stats.bytes).c_str());
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+void RunWorkload(const std::vector<BuiltIndex>& indexes,
+                 const std::string& axis, const std::string& value,
+                 const std::vector<Query>& queries, TablePrinter* table) {
+  if (queries.empty()) return;
+  for (const BuiltIndex& b : indexes) {
+    const QueryStats stats = MeasureQueries(*b.index, queries);
+    table->AddRow({axis, value, std::string(b.index->Name()),
+                   Fmt(stats.queries_per_second, 0),
+                   Fmt(static_cast<uint64_t>(queries.size())),
+                   Fmt(stats.total_results)});
+  }
+}
+
+void RunDataset(const std::string& dataset, const Corpus& corpus) {
+  bench::PrintHeader("Figure 11 — " + dataset);
+  const size_t count = BenchQueriesFromEnv(1000);
+  WorkloadGenerator generator(corpus, /*seed=*/4242);
+  const std::vector<BuiltIndex> indexes = BuildAll(corpus);
+  TablePrinter table(
+      {"axis", "value", "index", "queries/s", "#q", "#results"});
+
+  // Column 1: query interval extent (0.1% default elsewhere).
+  for (const double extent :
+       {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0}) {
+    const auto queries = generator.ExtentWorkload(extent, /*k=*/3, count);
+    RunWorkload(indexes, "extent%", Fmt(extent, 2), queries, &table);
+  }
+
+  // Column 2: |q.d| in 1..5 at the default 0.1% extent.
+  for (uint32_t k = 1; k <= 5; ++k) {
+    const auto queries = generator.ExtentWorkload(0.1, k, count);
+    RunWorkload(indexes, "|q.d|", Fmt(static_cast<uint64_t>(k)), queries,
+                &table);
+  }
+
+  // Column 3: element frequency bins (percent of objects).
+  struct Bin {
+    const char* label;
+    double lo, hi;
+  };
+  for (const Bin& bin :
+       {Bin{"[*-0.1]", -1.0, 0.1}, Bin{"(0.1-1]", 0.1, 1.0},
+        Bin{"(1-10]", 1.0, 10.0}, Bin{"(10-*]", 10.0, 100.0}}) {
+    const auto queries =
+        generator.FrequencyBinWorkload(bin.lo, bin.hi, 0.1, 3, count);
+    RunWorkload(indexes, "elemfreq%", bin.label, queries, &table);
+  }
+
+  // Column 4: selectivity bins over a mixed workload.
+  const auto mixed = generator.MixedWorkload(count * 4);
+  const auto bins = BinBySelectivity(generator.oracle(), mixed, corpus.size());
+  {
+    const auto empties = generator.EmptyResultWorkload(0.1, 3, count / 2);
+    RunWorkload(indexes, "results%", "0", empties, &table);
+  }
+  for (const Workload& bin : bins) {
+    if (bin.name == "0") continue;  // handled above with purpose-built queries
+    RunWorkload(indexes, "results%", bin.name, bin.queries, &table);
+  }
+
+  std::printf("\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  // Figure 11 runs at a larger scale than the other benches: the relative
+  // behaviour of the five indexes only separates once postings lists are
+  // long enough that scanning work dominates fixed per-query costs.
+  const double boost = 3.0;
+  {
+    std::printf("# ECLOG-sim scale %.4f\n",
+                bench::kEclogBaseScale * boost * BenchScaleFromEnv());
+    const Corpus eclog = MakeEclogLike(std::min(
+        bench::kEclogBaseScale * boost * BenchScaleFromEnv(), 1.0));
+    RunDataset("ECLOG", eclog);
+  }
+  {
+    std::printf("# WIKIPEDIA-sim scale %.4f\n",
+                bench::kWikipediaBaseScale * boost * BenchScaleFromEnv());
+    const Corpus wiki = MakeWikipediaLike(std::min(
+        bench::kWikipediaBaseScale * boost * BenchScaleFromEnv(), 1.0));
+    RunDataset("WIKIPEDIA", wiki);
+  }
+  return 0;
+}

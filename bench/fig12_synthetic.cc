@@ -1,0 +1,168 @@
+// Figure 12: query throughput on synthetic datasets while sweeping the
+// Table 4 construction parameters (cardinality, domain size, interval
+// duration skew alpha, interval position deviation sigma, dictionary size,
+// description size |d|, element frequency skew zeta) and the query
+// parameters (extent, |q.d|, element frequency, selectivity).
+//
+// Paper shape to reproduce: same trend as Figure 11 — the performance
+// irHINT variant leads, followed by the size variant; all indexes slow
+// down with cardinality, domain size (longer queries at fixed extent %)
+// and description size, and speed up with alpha (shorter intervals) and
+// sigma (more spread, more selective temporal predicate).
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/factory.h"
+#include "data/query_gen.h"
+#include "data/synthetic.h"
+#include "eval/workload.h"
+
+using namespace irhint;
+
+namespace {
+
+// Laptop-scale defaults standing in for Table 4's bold column
+// (IRHINT_SCALE multiplies the cardinality).
+SyntheticParams DefaultParams() {
+  SyntheticParams params;
+  params.cardinality =
+      static_cast<uint64_t>(50000 * BenchScaleFromEnv());
+  params.domain = 16'000'000;
+  params.alpha = 1.2;
+  params.sigma = 1'000'000;
+  params.dictionary_size = 10'000;
+  params.description_size = 10;
+  params.zeta = 1.5;
+  params.seed = 4321;
+  return params;
+}
+
+void RunPanel(const std::string& panel, const std::string& value,
+              const SyntheticParams& params, TablePrinter* table) {
+  const Corpus corpus = GenerateSynthetic(params);
+  const size_t count = BenchQueriesFromEnv(500);
+  WorkloadGenerator generator(corpus, /*seed=*/1212);
+  const std::vector<Query> queries = generator.ExtentWorkload(0.1, 3, count);
+  for (const IndexKind kind : ComparisonIndexKinds()) {
+    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
+    const BuildStats build = MeasureBuild(index.get(), corpus);
+    if (build.seconds < 0) continue;
+    const QueryStats stats = MeasureQueries(*index, queries);
+    table->AddRow({panel, value, std::string(index->Name()),
+                   Fmt(stats.queries_per_second, 0)});
+  }
+  std::printf("# panel %s = %s done\n", panel.c_str(), value.c_str());
+}
+
+// Query-axis panels reuse one corpus built with the defaults.
+void RunQueryPanels(TablePrinter* table) {
+  const Corpus corpus = GenerateSynthetic(DefaultParams());
+  const size_t count = BenchQueriesFromEnv(500);
+  WorkloadGenerator generator(corpus, /*seed=*/3131);
+
+  std::vector<std::unique_ptr<TemporalIrIndex>> indexes;
+  for (const IndexKind kind : ComparisonIndexKinds()) {
+    indexes.push_back(CreateIndex(kind));
+    MeasureBuild(indexes.back().get(), corpus);
+  }
+  auto run = [&](const std::string& panel, const std::string& value,
+                 const std::vector<Query>& queries) {
+    if (queries.empty()) return;
+    for (const auto& index : indexes) {
+      const QueryStats stats = MeasureQueries(*index, queries);
+      table->AddRow({panel, value, std::string(index->Name()),
+                     Fmt(stats.queries_per_second, 0)});
+    }
+  };
+
+  for (const double extent :
+       {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0}) {
+    run("query extent%", Fmt(extent, 2),
+        generator.ExtentWorkload(extent, 3, count));
+  }
+  for (uint32_t k = 1; k <= 5; ++k) {
+    run("|q.d|", Fmt(static_cast<uint64_t>(k)),
+        generator.ExtentWorkload(0.1, k, count));
+  }
+  struct Bin {
+    const char* label;
+    double lo, hi;
+  };
+  for (const Bin& bin :
+       {Bin{"[*-0.1]", -1.0, 0.1}, Bin{"(0.1-1]", 0.1, 1.0},
+        Bin{"(1-10]", 1.0, 10.0}, Bin{"(10-*]", 10.0, 100.0}}) {
+    run("element freq%", bin.label,
+        generator.FrequencyBinWorkload(bin.lo, bin.hi, 0.1, 3, count));
+  }
+  const auto mixed = generator.MixedWorkload(count * 4);
+  for (const Workload& bin :
+       BinBySelectivity(generator.oracle(), mixed, corpus.size())) {
+    if (bin.name == "0") {
+      run("results%", "0", generator.EmptyResultWorkload(0.1, 3, count / 2));
+    } else {
+      run("results%", bin.name, bin.queries);
+    }
+  }
+  std::printf("# query-axis panels done\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 12: synthetic datasets (Table 4 sweeps)");
+  TablePrinter table({"panel", "value", "index", "queries/s"});
+  const SyntheticParams defaults = DefaultParams();
+
+  // Dataset-axis panels (one corpus per value; the default value reuses the
+  // same corpus parameters as the query panels).
+  for (const double factor : {0.2, 0.6, 1.0, 2.0}) {
+    SyntheticParams p = defaults;
+    p.cardinality = static_cast<uint64_t>(p.cardinality * factor);
+    RunPanel("cardinality", Fmt(p.cardinality), p, &table);
+  }
+  for (const uint64_t domain :
+       {uint64_t{4'000'000}, uint64_t{16'000'000}, uint64_t{64'000'000},
+        uint64_t{256'000'000}}) {
+    SyntheticParams p = defaults;
+    p.domain = domain;
+    RunPanel("domain size", Fmt(domain), p, &table);
+  }
+  for (const double alpha : {1.01, 1.1, 1.2, 1.4, 1.8}) {
+    SyntheticParams p = defaults;
+    p.alpha = alpha;
+    RunPanel("alpha", Fmt(alpha, 2), p, &table);
+  }
+  for (const uint64_t sigma :
+       {uint64_t{10'000}, uint64_t{100'000}, uint64_t{1'000'000},
+        uint64_t{5'000'000}}) {
+    SyntheticParams p = defaults;
+    p.sigma = sigma;
+    RunPanel("sigma", Fmt(sigma), p, &table);
+  }
+  for (const uint64_t dict :
+       {uint64_t{1'000}, uint64_t{10'000}, uint64_t{100'000}}) {
+    SyntheticParams p = defaults;
+    p.dictionary_size = dict;
+    RunPanel("dictionary", Fmt(dict), p, &table);
+  }
+  for (const uint32_t d : {5u, 10u, 50u, 100u}) {
+    SyntheticParams p = defaults;
+    p.description_size = d;
+    RunPanel("|d|", Fmt(static_cast<uint64_t>(d)), p, &table);
+  }
+  for (const double zeta : {1.0, 1.25, 1.5, 1.75, 2.0}) {
+    SyntheticParams p = defaults;
+    p.zeta = zeta;
+    RunPanel("zeta", Fmt(zeta, 2), p, &table);
+  }
+
+  RunQueryPanels(&table);
+
+  std::printf("\n");
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 5: indexing time [secs] and index size [MBs] for all seven indexes
+// on the ECLOG-like and WIKIPEDIA-like datasets.
+//
+// Paper shape to reproduce: tIF+Sharding and irHINT-size have the smallest
+// sizes; tIF+HINT+Slicing the largest; the HINT-based indexes cost more
+// build time than plain slicing; irHINT build times are the highest tier.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/factory.h"
+
+using namespace irhint;
+
+namespace {
+
+void RunDataset(const char* dataset_name, const Corpus& corpus,
+                TablePrinter* table) {
+  for (const IndexKind kind : AllIndexKinds()) {
+    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
+    const BuildStats stats = MeasureBuild(index.get(), corpus);
+    table->AddRow({std::string(dataset_name), std::string(index->Name()),
+                   Fmt(stats.seconds, 2), FmtMb(stats.bytes)});
+    std::printf("# built %-18s on %-9s in %6.2fs\n",
+                std::string(index->Name()).c_str(), dataset_name,
+                stats.seconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 5: indexing costs (time and size)");
+  TablePrinter table({"dataset", "index", "time [s]", "size [MB]"});
+  {
+    const Corpus eclog = bench::LoadEclog();
+    RunDataset("ECLOG", eclog, &table);
+  }
+  {
+    const Corpus wiki = bench::LoadWikipedia();
+    RunDataset("WIKIPEDIA", wiki, &table);
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  return 0;
+}

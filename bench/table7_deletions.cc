@@ -1,0 +1,57 @@
+// Table 7: update time [secs] for deletions. The full dataset is indexed
+// offline; 1%, 5% and 10% of the objects are then logically deleted
+// (tombstoned).
+//
+// Paper shape to reproduce: deletions resemble querying (entries must be
+// located first), so tIF+Sharding — the slowest at querying — also has by
+// far the highest deletion cost; the merge-sort tIF+HINT variant is the
+// cheapest; dual-structure designs (hybrid, irHINT-size) pay roughly
+// double.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/factory.h"
+
+using namespace irhint;
+
+namespace {
+
+void RunDataset(const std::string& dataset, const Corpus& corpus,
+                TablePrinter* table) {
+  const size_t one_pct = corpus.size() / 100;
+  for (const IndexKind kind : AllIndexKinds()) {
+    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
+    const BuildStats build = MeasureBuild(index.get(), corpus);
+    if (build.seconds < 0) continue;
+    const double t1 = MeasureEraseSeconds(index.get(), corpus, 0, one_pct);
+    const double t5 =
+        t1 + MeasureEraseSeconds(index.get(), corpus, one_pct, 5 * one_pct);
+    const double t10 = t5 + MeasureEraseSeconds(index.get(), corpus,
+                                                5 * one_pct, 10 * one_pct);
+    table->AddRow({dataset, std::string(index->Name()), Fmt(t1, 3),
+                   Fmt(t5, 3), Fmt(t10, 3)});
+    std::printf("# %s deletions on %s done\n",
+                std::string(index->Name()).c_str(), dataset.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 7: update time [secs] for deletions");
+  TablePrinter table({"dataset", "index", "1%", "5%", "10%"});
+  {
+    const Corpus eclog = bench::LoadEclog();
+    RunDataset("ECLOG", eclog, &table);
+  }
+  {
+    const Corpus wiki = bench::LoadWikipedia();
+    RunDataset("WIKIPEDIA", wiki, &table);
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Small bit-manipulation helpers used by the HINT domain partitioning.
+
+#ifndef IRHINT_COMMON_BITS_H_
+#define IRHINT_COMMON_BITS_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace irhint {
+
+/// \brief Number of bits needed to represent values 0..v (>= 1 for v == 0).
+inline int BitWidth(uint64_t v) {
+  return v == 0 ? 1 : std::bit_width(v);
+}
+
+/// \brief Smallest power of two >= v (v must leave room in 64 bits).
+inline uint64_t CeilPow2(uint64_t v) {
+  return std::bit_ceil(v);
+}
+
+/// \brief True iff v is a power of two (v > 0).
+inline bool IsPow2(uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// \brief The level-l prefix of a bottom-level (level m) partition number:
+/// drops the (m - l) least significant bits. This is the index of the
+/// ancestor partition at level l in the HINT hierarchy.
+inline uint64_t LevelPrefix(int level, int m, uint64_t bottom_index) {
+  assert(level >= 0 && level <= m);
+  return bottom_index >> (m - level);
+}
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_BITS_H_

@@ -1,0 +1,248 @@
+// Open-addressing hash containers with robin-hood probing and backward-shift
+// deletion. Used on hot query paths (per-division inverted indexes,
+// candidate de-duplication) where std::unordered_map's node allocations and
+// pointer chasing would dominate; the layout here is a single flat array of
+// slots, as in the swiss-table style maps used by modern database engines.
+
+#ifndef IRHINT_COMMON_FLAT_HASH_MAP_H_
+#define IRHINT_COMMON_FLAT_HASH_MAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace irhint {
+
+namespace internal {
+
+/// \brief Mixes a size_t hash so that low bits are well distributed even for
+/// identity-style hashes of sequential integer keys.
+inline size_t MixHash(size_t h) {
+  uint64_t z = static_cast<uint64_t>(h) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<size_t>(z ^ (z >> 31));
+}
+
+}  // namespace internal
+
+/// \brief Flat robin-hood hash map.
+///
+/// Invariants: capacity is a power of two; load factor <= 7/8; each occupied
+/// slot records its probe distance, and slot distances along a probe chain
+/// are kept "robin hood" ordered so that lookups can stop as soon as the
+/// probe distance exceeds the stored one.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatHashMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatHashMap() = default;
+
+  explicit FlatHashMap(size_t initial_capacity) {
+    Rehash(NormalizeCapacity(initial_capacity));
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+    mask_ = 0;
+  }
+
+  /// \brief Ensure space for n elements without rehashing.
+  void reserve(size_t n) {
+    const size_t needed = NormalizeCapacity(n + n / 7 + 1);
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  /// \brief Returns a pointer to the mapped value or nullptr if absent.
+  V* find(const K& key) {
+    return const_cast<V*>(
+        static_cast<const FlatHashMap*>(this)->find(key));
+  }
+
+  const V* find(const K& key) const {
+    if (slots_.empty()) return nullptr;
+    size_t index = internal::MixHash(Hash{}(key)) & mask_;
+    uint32_t distance = 0;
+    while (true) {
+      const Slot& slot = slots_[index];
+      if (!slot.occupied || distance > slot.distance) return nullptr;
+      if (slot.kv.first == key) return &slot.kv.second;
+      index = (index + 1) & mask_;
+      ++distance;
+    }
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// \brief Insert or overwrite; returns true if a new key was inserted.
+  bool insert_or_assign(const K& key, V value) {
+    V* existing = find(key);
+    if (existing != nullptr) {
+      *existing = std::move(value);
+      return false;
+    }
+    EmplaceNew(key, std::move(value));
+    return true;
+  }
+
+  /// \brief Access the value for key, default-constructing it if absent.
+  V& operator[](const K& key) {
+    V* existing = find(key);
+    if (existing != nullptr) return *existing;
+    return EmplaceNew(key, V{});
+  }
+
+  /// \brief Remove key; returns true if it was present.
+  bool erase(const K& key) {
+    if (slots_.empty()) return false;
+    size_t index = internal::MixHash(Hash{}(key)) & mask_;
+    uint32_t distance = 0;
+    while (true) {
+      Slot& slot = slots_[index];
+      if (!slot.occupied || distance > slot.distance) return false;
+      if (slot.kv.first == key) break;
+      index = (index + 1) & mask_;
+      ++distance;
+    }
+    // Backward-shift deletion: pull subsequent displaced entries back.
+    size_t hole = index;
+    while (true) {
+      const size_t next = (hole + 1) & mask_;
+      Slot& next_slot = slots_[next];
+      if (!next_slot.occupied || next_slot.distance == 0) break;
+      slots_[hole].kv = std::move(next_slot.kv);
+      slots_[hole].occupied = true;
+      slots_[hole].distance = next_slot.distance - 1;
+      hole = next;
+    }
+    slots_[hole].occupied = false;
+    slots_[hole].kv = value_type{};
+    --size_;
+    return true;
+  }
+
+  /// \brief Visit every (key, value) pair; fn(const K&, V&).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.occupied) fn(slot.kv.first, slot.kv.second);
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.occupied) fn(slot.kv.first, slot.kv.second);
+    }
+  }
+
+  /// \brief Approximate heap footprint in bytes (for index-size reporting).
+  size_t MemoryUsageBytes() const { return slots_.size() * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    value_type kv{};
+    uint32_t distance = 0;
+    bool occupied = false;
+  };
+
+  static size_t NormalizeCapacity(size_t n) {
+    size_t cap = 8;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+
+  V& EmplaceNew(const K& key, V value) {
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) {
+      Rehash(slots_.empty() ? 8 : slots_.size() * 2);
+    }
+    ++size_;
+    return *InsertSlot(key, std::move(value));
+  }
+
+  // Robin-hood insertion of a key known to be absent. Returns the address of
+  // the mapped value for the originally inserted key.
+  V* InsertSlot(K key, V value) {
+    size_t index = internal::MixHash(Hash{}(key)) & mask_;
+    uint32_t distance = 0;
+    V* result = nullptr;
+    bool carrying_original = true;
+    while (true) {
+      Slot& slot = slots_[index];
+      if (!slot.occupied) {
+        slot.kv = value_type(std::move(key), std::move(value));
+        slot.distance = distance;
+        slot.occupied = true;
+        return carrying_original ? &slot.kv.second : result;
+      }
+      if (slot.distance < distance) {
+        std::swap(slot.kv.first, key);
+        std::swap(slot.kv.second, value);
+        std::swap(slot.distance, distance);
+        if (carrying_original) {
+          result = &slot.kv.second;
+          carrying_original = false;
+        }
+      }
+      index = (index + 1) & mask_;
+      ++distance;
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (Slot& slot : old) {
+      if (slot.occupied) {
+        ++size_;
+        InsertSlot(std::move(slot.kv.first), std::move(slot.kv.second));
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// \brief Flat robin-hood hash set built on FlatHashMap.
+template <typename K, typename Hash = std::hash<K>>
+class FlatHashSet {
+ public:
+  FlatHashSet() = default;
+  explicit FlatHashSet(size_t initial_capacity) : map_(initial_capacity) {}
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(size_t n) { map_.reserve(n); }
+
+  /// \brief Insert key; returns true if it was newly added.
+  bool insert(const K& key) { return map_.insert_or_assign(key, Empty{}); }
+  bool contains(const K& key) const { return map_.contains(key); }
+  bool erase(const K& key) { return map_.erase(key); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    map_.ForEach([&fn](const K& key, const Empty&) { fn(key); });
+  }
+
+  size_t MemoryUsageBytes() const { return map_.MemoryUsageBytes(); }
+
+ private:
+  struct Empty {};
+  FlatHashMap<K, Empty, Hash> map_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_FLAT_HASH_MAP_H_

@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation used by the synthetic data
+// generators and the tests. A small, fast xoshiro256** engine with explicit
+// seeding keeps workloads reproducible across platforms (std::mt19937 would
+// also be deterministic, but the distributions in <random> are not
+// implementation-stable; we implement the few we need ourselves).
+
+#ifndef IRHINT_COMMON_RNG_H_
+#define IRHINT_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace irhint {
+
+/// \brief xoshiro256** pseudo-random generator with SplitMix64 seeding.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// \brief Re-seed the generator; the same seed reproduces the same stream.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, bound). bound must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's unbiased bounded generation.
+    __uint128_t product = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t low = static_cast<uint64_t>(product);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        product = static_cast<__uint128_t>(Next()) * bound;
+        low = static_cast<uint64_t>(product);
+      }
+    }
+    return static_cast<uint64_t>(product >> 64);
+  }
+
+  /// \brief Uniform integer in the inclusive range [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// \brief Standard normal via Box-Muller (deterministic, no cached spare).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// \brief Bernoulli draw with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_RNG_H_

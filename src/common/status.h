@@ -1,0 +1,153 @@
+// Lightweight Status / StatusOr error-handling types, in the spirit of
+// RocksDB's rocksdb::Status and Arrow's arrow::Status. The library does not
+// use exceptions; every fallible operation returns a Status (or StatusOr<T>
+// when a value is produced).
+
+#ifndef IRHINT_COMMON_STATUS_H_
+#define IRHINT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace irhint {
+
+/// \brief Result of a fallible operation: an error code plus a message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is empty in the OK case, which is the common path).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kOutOfDomain,
+    kNotFound,
+    kAlreadyExists,
+    kNotSupported,
+    kIoError,
+    kCorruption,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfDomain(std::string msg) {
+    return Status(Code::kOutOfDomain, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsOutOfDomain() const { return code_ == Code::kOutOfDomain; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+
+  /// \brief Human-readable rendering, e.g. "InvalidArgument: bad m".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = CodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kOutOfDomain: return "OutOfDomain";
+      case Code::kNotFound: return "NotFound";
+      case Code::kAlreadyExists: return "AlreadyExists";
+      case Code::kNotSupported: return "NotSupported";
+      case Code::kIoError: return "IoError";
+      case Code::kCorruption: return "Corruption";
+    }
+    return "Unknown";
+  }
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an
+/// erroneous StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok());
+  }
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// \brief Propagate a non-OK Status to the caller.
+#define IRHINT_RETURN_NOT_OK(expr)           \
+  do {                                       \
+    ::irhint::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_STATUS_H_

@@ -1,0 +1,53 @@
+// Plain-text table rendering for the benchmark harness: each bench binary
+// prints the rows/series of the corresponding paper table or figure.
+
+#ifndef IRHINT_COMMON_TABLE_PRINTER_H_
+#define IRHINT_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace irhint {
+
+/// \brief Collects rows of string cells and renders an aligned text table.
+///
+/// Usage:
+///   TablePrinter table({"index", "time [s]", "size [MB]"});
+///   table.AddRow({"irHINT-perf", Fmt(1.23), Fmt(415.0)});
+///   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// \brief Append one row; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Render with column alignment and a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// \brief Render as CSV (for piping into plotting scripts).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Format a double with a sensible number of significant digits.
+std::string Fmt(double value, int precision = 3);
+
+/// \brief Format an integer count with no decoration.
+std::string Fmt(uint64_t value);
+std::string Fmt(int64_t value);
+std::string Fmt(int value);
+
+/// \brief Format bytes as a human-readable MB figure.
+std::string FmtMb(size_t bytes);
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_TABLE_PRINTER_H_

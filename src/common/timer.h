@@ -1,0 +1,39 @@
+// Wall-clock timing helper used by the benchmark harness.
+
+#ifndef IRHINT_COMMON_TIMER_H_
+#define IRHINT_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace irhint {
+
+/// \brief Monotonic stopwatch. Construction starts the clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// \brief Restart the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed time in seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed time in nanoseconds.
+  uint64_t Nanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_TIMER_H_

@@ -1,0 +1,92 @@
+// Zipfian sampling used by the synthetic workload generators (Table 4 of the
+// paper: interval durations follow a Zipf(alpha) distribution, element
+// frequencies follow Zipf(zeta)).
+
+#ifndef IRHINT_COMMON_ZIPF_H_
+#define IRHINT_COMMON_ZIPF_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace irhint {
+
+/// \brief Samples ranks 1..n with P(rank = k) proportional to 1 / k^theta.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger, which is
+/// O(1) per sample and does not materialize the n-term harmonic table, so it
+/// stays fast for the paper's largest configurations (n up to 512M duration
+/// values).
+class ZipfSampler {
+ public:
+  /// \param n      number of ranks (>= 1).
+  /// \param theta  skew parameter (> 0). Larger theta -> more skew toward
+  ///               rank 1. theta == 1 is handled via the exact logarithmic
+  ///               integral.
+  ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+    assert(n >= 1);
+    assert(theta > 0.0);
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - HInv(H(2.5) - std::pow(2.0, -theta));
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// \brief Draw one rank in [1, n].
+  uint64_t Sample(Rng& rng) const {
+    if (n_ == 1) return 1;
+    while (true) {
+      const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+      const double x = HInv(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -theta_)) {
+        return k;
+      }
+    }
+  }
+
+  /// \brief Exact probability mass of rank k (for tests; O(n) normalizer is
+  /// computed lazily and cached).
+  double Pmf(uint64_t k) const {
+    if (norm_ == 0.0) {
+      double sum = 0.0;
+      for (uint64_t i = 1; i <= n_; ++i) {
+        sum += std::pow(static_cast<double>(i), -theta_);
+      }
+      norm_ = sum;
+    }
+    return std::pow(static_cast<double>(k), -theta_) / norm_;
+  }
+
+ private:
+  // H(x) = integral of x^-theta: the antiderivative used by
+  // rejection-inversion.
+  double H(double x) const {
+    if (theta_ == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+  }
+
+  double HInv(double x) const {
+    if (theta_ == 1.0) return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+  }
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+  mutable double norm_ = 0.0;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_ZIPF_H_

@@ -1,0 +1,56 @@
+// Factory for every time-travel IR index in the library; used by the
+// benchmark harness and the examples to instantiate indexes by kind.
+
+#ifndef IRHINT_CORE_FACTORY_H_
+#define IRHINT_CORE_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/temporal_ir_index.h"
+
+namespace irhint {
+
+enum class IndexKind {
+  kNaiveScan,
+  kTif,
+  kTifSlicing,
+  kTifSharding,
+  kTifHintBinarySearch,
+  kTifHintMergeSort,
+  kTifHintSlicing,
+  kIrHintPerf,
+  kIrHintSize,
+};
+
+/// \brief Tuning knobs for all index kinds (each kind reads only its own).
+struct IndexConfig {
+  /// tIF+Slicing and the hybrid: number of time-domain slices.
+  uint32_t num_slices = 50;
+  /// Postings-HINT bits. The paper tunes the binary-search variant to
+  /// m = 10 and the merge-sort / hybrid variants to m = 5 (Figure 9).
+  int tif_hint_bits_bs = 10;
+  int tif_hint_bits_ms = 5;
+  /// irHINT variants: hierarchy bits (-1 = cost model).
+  int irhint_bits = -1;
+  /// tIF+Sharding: shard cap per list.
+  uint32_t max_shards_per_list = 16;
+};
+
+/// \brief Instantiate an (unbuilt) index of the given kind.
+std::unique_ptr<TemporalIrIndex> CreateIndex(IndexKind kind,
+                                             const IndexConfig& config = {});
+
+/// \brief Display name without instantiating.
+std::string_view IndexKindName(IndexKind kind);
+
+/// \brief The five indexes compared in Figures 11/12 (competitors + ours).
+std::vector<IndexKind> ComparisonIndexKinds();
+
+/// \brief All seven indexes of Table 5.
+std::vector<IndexKind> AllIndexKinds();
+
+}  // namespace irhint
+
+#endif  // IRHINT_CORE_FACTORY_H_

@@ -1,0 +1,359 @@
+#include "core/irhint_size.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "hint/cost_model.h"
+
+namespace irhint {
+
+template <typename Fn>
+void IrHintSize::ForAssignments(const Interval& interval, Fn&& fn) {
+  uint64_t first, last;
+  mapper_.CellSpan(interval, &first, &last);
+  AssignToPartitions(m_, first, last, [&](const PartitionRef& ref) {
+    const bool ends_inside = (last >> (m_ - ref.level)) == ref.index;
+    const SubdivRole role = ref.original ? (ends_inside ? kOin : kOaft)
+                                         : (ends_inside ? kRin : kRaft);
+    fn(ref, role);
+  });
+}
+
+void IrHintSize::SortedInsert(PostingsList* entries, SubdivRole role,
+                              const Posting& posting) {
+  // Beneficial sorting: O_in/O_aft ascending by start, R_in descending by
+  // end, R_aft unsorted (no comparisons ever reach it).
+  PostingsList::iterator pos;
+  switch (role) {
+    case kOin:
+    case kOaft:
+      pos = std::upper_bound(entries->begin(), entries->end(), posting,
+                             [](const Posting& a, const Posting& b) {
+                               return a.st < b.st;
+                             });
+      break;
+    case kRin:
+      pos = std::upper_bound(entries->begin(), entries->end(), posting,
+                             [](const Posting& a, const Posting& b) {
+                               return a.end > b.end;
+                             });
+      break;
+    case kRaft:
+    default:
+      pos = entries->end();
+      break;
+  }
+  entries->insert(pos, posting);
+}
+
+void IrHintSize::ScanIntervals(const PostingsList& entries, SubdivRole role,
+                               CheckMode mode, const Interval& q,
+                               std::vector<ObjectId>* candidates) {
+  const size_t n = entries.size();
+  switch (mode) {
+    case CheckMode::kNone:
+      for (size_t i = 0; i < n; ++i) {
+        if (entries[i].id != kTombstoneId) candidates->push_back(entries[i].id);
+      }
+      break;
+    case CheckMode::kStartOnly:  // i.end >= q.st
+      if (role == kRin) {
+        for (size_t i = 0; i < n && entries[i].end >= q.st; ++i) {
+          if (entries[i].id != kTombstoneId) {
+            candidates->push_back(entries[i].id);
+          }
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (entries[i].end >= q.st && entries[i].id != kTombstoneId) {
+            candidates->push_back(entries[i].id);
+          }
+        }
+      }
+      break;
+    case CheckMode::kEndOnly:  // i.st <= q.end
+      if (role == kOin || role == kOaft) {
+        for (size_t i = 0; i < n && entries[i].st <= q.end; ++i) {
+          if (entries[i].id != kTombstoneId) {
+            candidates->push_back(entries[i].id);
+          }
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (entries[i].st <= q.end && entries[i].id != kTombstoneId) {
+            candidates->push_back(entries[i].id);
+          }
+        }
+      }
+      break;
+    case CheckMode::kBoth:
+      if (role == kOin || role == kOaft) {
+        for (size_t i = 0; i < n && entries[i].st <= q.end; ++i) {
+          if (entries[i].end >= q.st && entries[i].id != kTombstoneId) {
+            candidates->push_back(entries[i].id);
+          }
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (entries[i].st <= q.end && entries[i].end >= q.st &&
+              entries[i].id != kTombstoneId) {
+            candidates->push_back(entries[i].id);
+          }
+        }
+      }
+      break;
+  }
+}
+
+Status IrHintSize::Build(const Corpus& corpus) {
+  if (corpus.domain_end() >= std::numeric_limits<StoredTime>::max()) {
+    return Status::InvalidArgument("domain exceeds 32-bit stored endpoints");
+  }
+  int m = options_.num_bits;
+  if (m < 0) {
+    std::vector<IntervalRecord> records;
+    records.reserve(corpus.size());
+    for (const Object& o : corpus.objects()) {
+      records.push_back(IntervalRecord{o.id, o.interval});
+    }
+    // The size variant's per-division probe (one interval scan feeding
+    // merge intersections) is cheaper than the performance variant's
+    // multi-list tIF probe but still heavier than plain HINT's.
+    CostModelOptions model;
+    model.partition_probe_cost = 32.0;
+    m = ChooseHintBits(records, corpus.domain_end(), model);
+  }
+  if (m > 30) return Status::InvalidArgument("num_bits must be <= 30");
+  m_ = m;
+  mapper_ = DomainMapper(corpus.domain_end(), m_);
+  levels_.Init(m_);
+  frequencies_.assign(corpus.dictionary().frequencies().begin(),
+                      corpus.dictionary().frequencies().end());
+  built_ = true;
+  for (const Object& o : corpus.objects()) {
+    if (o.interval.end > corpus.domain_end()) {
+      return Status::OutOfDomain("interval exceeds declared domain");
+    }
+    if (o.interval.st > o.interval.end) {
+      return Status::InvalidArgument("interval start exceeds end");
+    }
+    // Bulk path: append unsorted (sorted once below) and fill the deltas of
+    // the id indexes (compacted once below).
+    const Posting posting{o.id, static_cast<StoredTime>(o.interval.st),
+                          static_cast<StoredTime>(o.interval.end)};
+    ForAssignments(o.interval, [&](const PartitionRef& ref, SubdivRole role) {
+      Partition& part = levels_.FindOrCreate(ref.level, ref.index);
+      part.intervals[role].push_back(posting);
+      if (role == kOin || role == kOaft) {
+        part.originals_index.Add(o.id, o.elements);
+      } else {
+        part.replicas_index.Add(o.id, o.elements);
+      }
+    });
+  }
+  levels_.ForEachMutable([](int, uint64_t, Partition& part) {
+    // Beneficial sorting per subdivision (R_aft needs no order).
+    std::sort(part.intervals[kOin].begin(), part.intervals[kOin].end(),
+              [](const Posting& a, const Posting& b) { return a.st < b.st; });
+    std::sort(part.intervals[kOaft].begin(), part.intervals[kOaft].end(),
+              [](const Posting& a, const Posting& b) { return a.st < b.st; });
+    std::sort(part.intervals[kRin].begin(), part.intervals[kRin].end(),
+              [](const Posting& a, const Posting& b) { return a.end > b.end; });
+    for (PostingsList& list : part.intervals) list.shrink_to_fit();
+    part.originals_index.Finalize();
+    part.replicas_index.Finalize();
+  });
+  return Status::OK();
+}
+
+Status IrHintSize::Insert(const Object& object) {
+  if (!built_) return Status::InvalidArgument("index not built");
+  if (object.interval.st > object.interval.end) {
+    return Status::InvalidArgument("interval start exceeds end");
+  }
+  if (object.interval.end >=
+      std::numeric_limits<StoredTime>::max()) {
+    return Status::OutOfDomain("interval exceeds 32-bit stored endpoints");
+  }
+  if (object.interval.end > mapper_.domain_end()) {
+    overflow_.push_back(object);
+    std::sort(overflow_.back().elements.begin(),
+              overflow_.back().elements.end());
+    for (ElementId e : object.elements) {
+      if (e >= frequencies_.size()) frequencies_.resize(e + 1, 0);
+      ++frequencies_[e];
+    }
+    return Status::OK();
+  }
+  const Posting posting{object.id,
+                        static_cast<StoredTime>(object.interval.st),
+                        static_cast<StoredTime>(object.interval.end)};
+  ForAssignments(object.interval,
+                 [&](const PartitionRef& ref, SubdivRole role) {
+                   Partition& part =
+                       levels_.FindOrCreate(ref.level, ref.index);
+                   SortedInsert(&part.intervals[role], role, posting);
+                   if (role == kOin || role == kOaft) {
+                     part.originals_index.Add(object.id, object.elements);
+                   } else {
+                     part.replicas_index.Add(object.id, object.elements);
+                   }
+                 });
+  for (ElementId e : object.elements) {
+    if (e >= frequencies_.size()) frequencies_.resize(e + 1, 0);
+    ++frequencies_[e];
+  }
+  return Status::OK();
+}
+
+Status IrHintSize::Erase(const Object& object) {
+  if (!built_) return Status::InvalidArgument("index not built");
+  if (object.interval.end > mapper_.domain_end()) {
+    for (Object& o : overflow_) {
+      if (o.id == object.id) {
+        o.id = kTombstoneId;
+        for (ElementId e : object.elements) {
+          if (e < frequencies_.size() && frequencies_[e] > 0) {
+            --frequencies_[e];
+          }
+        }
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("object not present");
+  }
+  size_t tombstoned = 0;
+  ForAssignments(object.interval,
+                 [&](const PartitionRef& ref, SubdivRole role) {
+                   Partition* part = levels_.Find(ref.level, ref.index);
+                   if (part == nullptr) return;
+                   for (Posting& p : part->intervals[role]) {
+                     if (p.id == object.id) {
+                       p.id = kTombstoneId;
+                       ++tombstoned;
+                       break;
+                     }
+                   }
+                   DivisionIdIndex& index = (role == kOin || role == kOaft)
+                                                ? part->originals_index
+                                                : part->replicas_index;
+                   index.Tombstone(object.id, object.elements);
+                 });
+  if (tombstoned == 0) return Status::NotFound("object not present");
+  for (ElementId e : object.elements) {
+    if (e < frequencies_.size() && frequencies_[e] > 0) --frequencies_[e];
+  }
+  return Status::OK();
+}
+
+void IrHintSize::Query(const irhint::Query& query, std::vector<ObjectId>* out) const {
+  out->clear();
+  if (!built_ || query.elements.empty()) return;
+  if (query.interval.st > query.interval.end) return;
+
+  std::vector<ElementId> elements = query.elements;
+  std::sort(elements.begin(), elements.end(),
+            [this](ElementId a, ElementId b) {
+              const uint64_t fa = Frequency(a);
+              const uint64_t fb = Frequency(b);
+              if (fa != fb) return fa < fb;
+              return a < b;
+            });
+
+  std::vector<ObjectId> candidates;
+  DivisionQueryScratch scratch;
+  if (query.interval.st <= mapper_.domain_end()) {
+  TraversalState state(m_, mapper_.Cell(query.interval.st),
+                       mapper_.Cell(query.interval.end));
+  for (int level = m_; level >= 0; --level) {
+    const LevelPlan plan = state.PlanLevel(level);
+    levels_.ForRange(
+        level, plan.f, plan.l, [&](uint64_t j, const Partition& part) {
+          CheckMode originals_mode;
+          bool scan_replicas = false;
+          CheckMode replicas_mode = CheckMode::kNone;
+          if (j == plan.f) {
+            originals_mode = plan.first_originals;
+            scan_replicas = true;
+            replicas_mode = plan.first_replicas;
+          } else if (j == plan.l) {
+            originals_mode = plan.last_originals;
+          } else {
+            originals_mode = CheckMode::kNone;
+          }
+
+          // Step 1 (range query) + sort + step 2 (merge intersections),
+          // per division — Algorithm 6. Divisions requiring no temporal
+          // checks skip step 1 entirely: the candidate set is the whole
+          // division, so the answer is the intersection of the element
+          // lists themselves.
+          if (originals_mode == CheckMode::kNone) {
+            part.originals_index.IntersectLists(elements, &scratch, out);
+          } else {
+            const auto [in_mode, aft_mode] =
+                SplitOriginalsMode(originals_mode);
+            candidates.clear();
+            ScanIntervals(part.intervals[kOin], kOin, in_mode,
+                          query.interval, &candidates);
+            ScanIntervals(part.intervals[kOaft], kOaft, aft_mode,
+                          query.interval, &candidates);
+            if (!candidates.empty()) {
+              std::sort(candidates.begin(), candidates.end());
+              part.originals_index.Intersect(candidates, elements, &scratch,
+                                             out);
+            }
+          }
+          if (scan_replicas) {
+            if (replicas_mode == CheckMode::kNone) {
+              part.replicas_index.IntersectLists(elements, &scratch, out);
+            } else {
+              const auto [rin_mode, raft_mode] =
+                  SplitReplicasMode(replicas_mode);
+              candidates.clear();
+              ScanIntervals(part.intervals[kRin], kRin, rin_mode,
+                            query.interval, &candidates);
+              ScanIntervals(part.intervals[kRaft], kRaft, raft_mode,
+                            query.interval, &candidates);
+              if (!candidates.empty()) {
+                std::sort(candidates.begin(), candidates.end());
+                part.replicas_index.Intersect(candidates, elements, &scratch,
+                                              out);
+              }
+            }
+          }
+        });
+    state.Descend(level);
+  }
+  }
+
+  // Overflow objects: exhaustive check.
+  if (!overflow_.empty()) {
+    std::vector<ElementId> by_id = query.elements;
+    std::sort(by_id.begin(), by_id.end());
+    for (const Object& o : overflow_) {
+      if (o.id != kTombstoneId && Overlaps(o.interval, query.interval) &&
+          o.ContainsAll(by_id)) {
+        out->push_back(o.id);
+      }
+    }
+  }
+}
+
+size_t IrHintSize::MemoryUsageBytes() const {
+  size_t bytes = levels_.DirectoryBytes();
+  bytes += overflow_.capacity() * sizeof(Object);
+  for (const Object& o : overflow_) {
+    bytes += o.elements.capacity() * sizeof(ElementId);
+  }
+  bytes += frequencies_.capacity() * sizeof(uint64_t);
+  levels_.ForEach([&bytes](int, uint64_t, const Partition& part) {
+    for (const PostingsList& list : part.intervals) {
+      bytes += list.capacity() * sizeof(Posting);
+    }
+    bytes += part.originals_index.MemoryUsageBytes();
+    bytes += part.replicas_index.MemoryUsageBytes();
+  });
+  return bytes;
+}
+
+}  // namespace irhint

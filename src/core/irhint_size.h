@@ -1,0 +1,90 @@
+// irHINT (size variant) — Section 4.2, Algorithm 6.
+//
+// Like the performance variant, a single HINT hierarchy indexes the time
+// domain; but each division decouples the two object attributes into two
+// structures: (1) an interval store identical to plain HINT — subdivisions
+// with beneficial temporal sorting, holding <id, t_st, t_end> once per
+// object — and (2) an id-only inverted index mapping elements to the ids of
+// the division's objects. Queries first run the mode-restricted interval
+// scan of Algorithm 2 inside each relevant division to obtain temporal
+// candidates, sort them by id, and then intersect them against the
+// division's postings in merge fashion. Intervals are stored once per
+// division instead of once per (element, division), which is where the
+// space savings come from.
+
+#ifndef IRHINT_CORE_IRHINT_SIZE_H_
+#define IRHINT_CORE_IRHINT_SIZE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/temporal_ir_index.h"
+#include "hint/domain.h"
+#include "hint/sparse_levels.h"
+#include "hint/traversal.h"
+#include "ir/division_index.h"
+#include "ir/postings.h"
+
+namespace irhint {
+
+struct IrHintSizeOptions {
+  /// Number of bits m; -1 selects m with the HINT cost model.
+  int num_bits = -1;
+};
+
+/// \brief irHINT, focus-on-index-size variant.
+class IrHintSize : public TemporalIrIndex {
+ public:
+  IrHintSize() = default;
+  explicit IrHintSize(const IrHintSizeOptions& options) : options_(options) {}
+
+  Status Build(const Corpus& corpus) override;
+  void Query(const irhint::Query& query, std::vector<ObjectId>* out) const override;
+  Status Insert(const Object& object) override;
+  Status Erase(const Object& object) override;
+  size_t MemoryUsageBytes() const override;
+  std::string_view Name() const override { return "irHINT-size"; }
+
+  int m() const { return m_; }
+  uint64_t Frequency(ElementId e) const {
+    return e < frequencies_.size() ? frequencies_[e] : 0;
+  }
+
+ private:
+  enum SubdivRole { kOin = 0, kOaft = 1, kRin = 2, kRaft = 3 };
+
+  struct Partition {
+    // Interval store: one beneficial-sorted entry vector per subdivision
+    // (O_in/O_aft by ascending start, R_in by descending end).
+    PostingsList intervals[4];
+    // Id-only inverted indexes, one per division.
+    DivisionIdIndex originals_index;
+    DivisionIdIndex replicas_index;
+  };
+
+  template <typename Fn>
+  void ForAssignments(const Interval& interval, Fn&& fn);
+
+  // Scan one subdivision's interval store under `mode`, appending
+  // qualifying live ids to candidates.
+  static void ScanIntervals(const PostingsList& entries, SubdivRole role,
+                            CheckMode mode, const Interval& q,
+                            std::vector<ObjectId>* candidates);
+
+  static void SortedInsert(PostingsList* entries, SubdivRole role,
+                           const Posting& posting);
+
+  IrHintSizeOptions options_;
+  int m_ = 0;
+  DomainMapper mapper_;
+  SparseLevels<Partition> levels_;
+  // Objects extending past the declared domain (time-expanding extension).
+  std::vector<Object> overflow_;
+  std::vector<uint64_t> frequencies_;
+  bool built_ = false;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_CORE_IRHINT_SIZE_H_

@@ -1,0 +1,60 @@
+#include "core/naive_scan.h"
+
+#include <algorithm>
+
+namespace irhint {
+
+Status NaiveScan::Build(const Corpus& corpus) {
+  for (const Object& o : corpus.objects()) {
+    IRHINT_RETURN_NOT_OK(Insert(o));
+  }
+  return Status::OK();
+}
+
+Status NaiveScan::Insert(const Object& object) {
+  if (slot_of_.contains(object.id)) {
+    return Status::AlreadyExists("duplicate object id");
+  }
+  slot_of_.insert_or_assign(object.id,
+                            static_cast<uint32_t>(objects_.size()));
+  objects_.push_back(object);
+  // Descriptions must be sorted for ContainsAll.
+  std::sort(objects_.back().elements.begin(), objects_.back().elements.end());
+  deleted_.push_back(false);
+  return Status::OK();
+}
+
+Status NaiveScan::Erase(const Object& object) {
+  const uint32_t* slot = slot_of_.find(object.id);
+  if (slot == nullptr || deleted_[*slot]) {
+    return Status::NotFound("object not present");
+  }
+  deleted_[*slot] = true;
+  return Status::OK();
+}
+
+void NaiveScan::Query(const irhint::Query& query, std::vector<ObjectId>* out) const {
+  out->clear();
+  if (query.elements.empty()) return;
+  std::vector<ElementId> sorted = query.elements;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    if (deleted_[i]) continue;
+    const Object& o = objects_[i];
+    if (Overlaps(o.interval, query.interval) && o.ContainsAll(sorted)) {
+      out->push_back(o.id);
+    }
+  }
+}
+
+size_t NaiveScan::MemoryUsageBytes() const {
+  size_t bytes = objects_.capacity() * sizeof(Object);
+  for (const Object& o : objects_) {
+    bytes += o.elements.capacity() * sizeof(ElementId);
+  }
+  bytes += slot_of_.MemoryUsageBytes();
+  bytes += deleted_.capacity() / 8;
+  return bytes;
+}
+
+}  // namespace irhint

@@ -1,0 +1,35 @@
+// Naive full-scan evaluator: the correctness oracle for every index in the
+// library (and the no-index lower bound in ablation discussions).
+
+#ifndef IRHINT_CORE_NAIVE_SCAN_H_
+#define IRHINT_CORE_NAIVE_SCAN_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+#include "core/temporal_ir_index.h"
+
+namespace irhint {
+
+/// \brief Answers time-travel IR queries by scanning every live object.
+class NaiveScan : public TemporalIrIndex {
+ public:
+  NaiveScan() = default;
+
+  Status Build(const Corpus& corpus) override;
+  void Query(const irhint::Query& query, std::vector<ObjectId>* out) const override;
+  Status Insert(const Object& object) override;
+  Status Erase(const Object& object) override;
+  size_t MemoryUsageBytes() const override;
+  std::string_view Name() const override { return "NaiveScan"; }
+
+ private:
+  std::vector<Object> objects_;
+  FlatHashMap<ObjectId, uint32_t> slot_of_;
+  std::vector<bool> deleted_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_CORE_NAIVE_SCAN_H_

@@ -1,0 +1,53 @@
+// The common interface of every time-travel IR index in this library:
+// the baselines (tIF, tIF+Slicing, tIF+Sharding), the novel IR-first
+// methods (tIF+HINT variants, tIF+HINT+Slicing) and the time-first irHINT
+// variants.
+
+#ifndef IRHINT_CORE_TEMPORAL_IR_INDEX_H_
+#define IRHINT_CORE_TEMPORAL_IR_INDEX_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/corpus.h"
+#include "data/object.h"
+
+namespace irhint {
+
+/// \brief Abstract time-travel IR index.
+///
+/// Query semantics (Definition 2.1): report the ids of all live objects o
+/// with Overlap([o.t_st, o.t_end], [q.t_st, q.t_end]) and o.d ⊇ q.d.
+/// Every implementation reports each qualifying id exactly once; output
+/// order is unspecified.
+class TemporalIrIndex {
+ public:
+  virtual ~TemporalIrIndex() = default;
+
+  /// \brief Build from a finalized corpus. May be called once.
+  virtual Status Build(const Corpus& corpus) = 0;
+
+  /// \brief Evaluate a time-travel IR query. `out` is cleared first.
+  virtual void Query(const irhint::Query& query, std::vector<ObjectId>* out) const = 0;
+
+  /// \brief Insert a new object. Preconditions: ids strictly increase
+  /// across inserts (the update model of Section 5.5) and `elements` is
+  /// sorted and duplicate-free (set semantics, as Corpus::Finalize
+  /// produces).
+  virtual Status Insert(const Object& object) = 0;
+
+  /// \brief Logically delete an object (tombstoning; Section 5.5). The
+  /// object must carry the same interval/description it was inserted with.
+  virtual Status Erase(const Object& object) = 0;
+
+  /// \brief Heap footprint of the index structure in bytes.
+  virtual size_t MemoryUsageBytes() const = 0;
+
+  /// \brief Stable display name, e.g. "irHINT-perf".
+  virtual std::string_view Name() const = 0;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_CORE_TEMPORAL_IR_INDEX_H_

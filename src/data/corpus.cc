@@ -1,0 +1,129 @@
+#include "data/corpus.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace irhint {
+
+std::string CorpusStats::ToString() const {
+  std::ostringstream os;
+  os << "cardinality              " << cardinality << "\n"
+     << "time domain              [" << domain_start << ", " << domain_end
+     << "]\n"
+     << "min/avg/max duration     " << min_duration << " / " << avg_duration
+     << " / " << max_duration << "\n"
+     << "avg duration [% domain]  " << avg_duration_pct << "\n"
+     << "dictionary size          " << dictionary_size << "\n"
+     << "min/avg/max |d|          " << min_description_size << " / "
+     << avg_description_size << " / " << max_description_size << "\n"
+     << "min/avg/max elem freq    " << min_element_frequency << " / "
+     << avg_element_frequency << " / " << max_element_frequency << "\n";
+  return os.str();
+}
+
+Status Corpus::Add(Object object) {
+  if (object.id != objects_.size()) {
+    return Status::InvalidArgument("object ids must be dense and in order");
+  }
+  if (object.interval.st > object.interval.end) {
+    return Status::InvalidArgument("interval start exceeds end");
+  }
+  domain_end_ = std::max(domain_end_, object.interval.end);
+  objects_.push_back(std::move(object));
+  return Status::OK();
+}
+
+ObjectId Corpus::Append(Interval interval, std::vector<ElementId> elements) {
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  domain_end_ = std::max(domain_end_, interval.end);
+  objects_.emplace_back(id, interval, std::move(elements));
+  return id;
+}
+
+Status Corpus::Finalize() {
+  std::vector<uint64_t> frequencies(dictionary_.size(), 0);
+  for (Object& o : objects_) {
+    std::sort(o.elements.begin(), o.elements.end());
+    o.elements.erase(std::unique(o.elements.begin(), o.elements.end()),
+                     o.elements.end());
+    for (ElementId e : o.elements) {
+      if (e >= frequencies.size()) frequencies.resize(e + 1, 0);
+      ++frequencies[e];
+    }
+    if (o.interval.st > o.interval.end) {
+      return Status::Corruption("interval start exceeds end after finalize");
+    }
+  }
+  dictionary_.SetFrequencies(std::move(frequencies));
+  return Status::OK();
+}
+
+CorpusStats Corpus::Stats() const {
+  CorpusStats stats;
+  stats.cardinality = objects_.size();
+  stats.domain_end = domain_end_;
+  stats.dictionary_size = dictionary_.size();
+  if (objects_.empty()) return stats;
+
+  stats.min_duration = UINT64_MAX;
+  stats.min_description_size = UINT64_MAX;
+  double duration_sum = 0.0;
+  double description_sum = 0.0;
+  for (const Object& o : objects_) {
+    const uint64_t dur = o.interval.Length();
+    stats.min_duration = std::min(stats.min_duration, dur);
+    stats.max_duration = std::max(stats.max_duration, dur);
+    duration_sum += static_cast<double>(dur);
+    const uint64_t dsize = o.elements.size();
+    stats.min_description_size = std::min(stats.min_description_size, dsize);
+    stats.max_description_size = std::max(stats.max_description_size, dsize);
+    description_sum += static_cast<double>(dsize);
+  }
+  stats.avg_duration = duration_sum / static_cast<double>(objects_.size());
+  stats.avg_duration_pct =
+      100.0 * stats.avg_duration / static_cast<double>(domain_end_ + 1);
+  stats.avg_description_size =
+      description_sum / static_cast<double>(objects_.size());
+
+  const auto& freqs = dictionary_.frequencies();
+  if (!freqs.empty()) {
+    stats.min_element_frequency = UINT64_MAX;
+    double freq_sum = 0.0;
+    uint64_t nonzero = 0;
+    for (uint64_t f : freqs) {
+      if (f == 0) continue;
+      ++nonzero;
+      stats.min_element_frequency = std::min(stats.min_element_frequency, f);
+      stats.max_element_frequency = std::max(stats.max_element_frequency, f);
+      freq_sum += static_cast<double>(f);
+    }
+    if (nonzero > 0) {
+      stats.avg_element_frequency = freq_sum / static_cast<double>(nonzero);
+    } else {
+      stats.min_element_frequency = 0;
+    }
+  }
+  return stats;
+}
+
+Corpus Corpus::Prefix(size_t count) const {
+  Corpus out;
+  out.dictionary_ = dictionary_;
+  out.domain_end_ = domain_end_;
+  count = std::min(count, objects_.size());
+  for (size_t i = 0; i < count; ++i) {
+    out.objects_.push_back(objects_[i]);
+  }
+  // Frequencies must reflect only the retained prefix.
+  std::vector<uint64_t> frequencies(out.dictionary_.size(), 0);
+  for (const Object& o : out.objects_) {
+    for (ElementId e : o.elements) {
+      if (e >= frequencies.size()) frequencies.resize(e + 1, 0);
+      ++frequencies[e];
+    }
+  }
+  out.dictionary_.SetFrequencies(std::move(frequencies));
+  return out;
+}
+
+}  // namespace irhint

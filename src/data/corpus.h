@@ -1,0 +1,90 @@
+// A corpus: the object collection O plus its global dictionary and summary
+// statistics (the quantities of Table 3 in the paper).
+
+#ifndef IRHINT_DATA_CORPUS_H_
+#define IRHINT_DATA_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dictionary.h"
+#include "data/object.h"
+
+namespace irhint {
+
+/// \brief Summary statistics of a corpus (mirrors Table 3 of the paper).
+struct CorpusStats {
+  uint64_t cardinality = 0;
+  Time domain_start = 0;
+  Time domain_end = 0;
+  uint64_t min_duration = 0;
+  uint64_t max_duration = 0;
+  double avg_duration = 0.0;
+  double avg_duration_pct = 0.0;  // of the full time domain
+  uint64_t dictionary_size = 0;
+  uint64_t min_description_size = 0;
+  uint64_t max_description_size = 0;
+  double avg_description_size = 0.0;
+  uint64_t min_element_frequency = 0;
+  uint64_t max_element_frequency = 0;
+  double avg_element_frequency = 0.0;
+
+  /// \brief Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// \brief The object collection plus its dictionary.
+///
+/// Objects are stored with dense ids 0..n-1 in insertion order (new inserts
+/// get larger ids, matching the update model of Section 5.5). Finalize()
+/// sorts descriptions, computes element frequencies and validates the data.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// \brief Append an object. The object's id must equal size().
+  Status Add(Object object);
+
+  /// \brief Convenience overload assigning the next id automatically.
+  ObjectId Append(Interval interval, std::vector<ElementId> elements);
+
+  /// \brief Sort/unique all descriptions, derive frequencies, validate.
+  Status Finalize();
+
+  size_t size() const { return objects_.size(); }
+  bool empty() const { return objects_.empty(); }
+
+  const Object& object(ObjectId id) const { return objects_[id]; }
+  const std::vector<Object>& objects() const { return objects_; }
+
+  Dictionary& dictionary() { return dictionary_; }
+  const Dictionary& dictionary() const { return dictionary_; }
+  void set_dictionary(Dictionary d) { dictionary_ = std::move(d); }
+
+  /// \brief End of the time domain (max t_end over all objects unless a
+  /// larger domain was declared with DeclareDomain()).
+  Time domain_end() const { return domain_end_; }
+
+  /// \brief Declare the time domain [0, end] explicitly (needed when the
+  /// generator's domain extends past the last object, or when later inserts
+  /// may grow time).
+  void DeclareDomain(Time end) { domain_end_ = std::max(domain_end_, end); }
+
+  /// \brief Compute the Table 3 statistics.
+  CorpusStats Stats() const;
+
+  /// \brief Split off the last `fraction` of objects (by id) — used by the
+  /// update experiments which index 90% offline and insert the rest.
+  Corpus Prefix(size_t count) const;
+
+ private:
+  std::vector<Object> objects_;
+  Dictionary dictionary_;
+  Time domain_end_ = 0;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_DATA_CORPUS_H_

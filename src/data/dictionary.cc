@@ -1,0 +1,54 @@
+#include "data/dictionary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace irhint {
+
+Dictionary Dictionary::MakeAnonymous(size_t size) {
+  Dictionary d;
+  d.size_ = size;
+  return d;
+}
+
+ElementId Dictionary::AddTerm(std::string_view term) {
+  std::string key(term);
+  if (const ElementId* existing = term_to_id_.find(key)) return *existing;
+  const ElementId id = static_cast<ElementId>(size_);
+  term_to_id_.insert_or_assign(key, id);
+  terms_.push_back(std::move(key));
+  ++size_;
+  return id;
+}
+
+ElementId Dictionary::LookupTerm(std::string_view term) const {
+  const ElementId* found = term_to_id_.find(std::string(term));
+  return found != nullptr ? *found : kInvalidElement;
+}
+
+const std::string& Dictionary::Term(ElementId e) const {
+  static const std::string kEmpty;
+  return e < terms_.size() ? terms_[e] : kEmpty;
+}
+
+void Dictionary::SetFrequencies(std::vector<uint64_t> frequencies) {
+  assert(frequencies.size() >= size_ || frequencies.empty());
+  frequencies_ = std::move(frequencies);
+}
+
+void Dictionary::BumpFrequency(ElementId e, uint64_t delta) {
+  if (e >= frequencies_.size()) frequencies_.resize(e + 1, 0);
+  frequencies_[e] += delta;
+}
+
+void Dictionary::SortByFrequency(std::vector<ElementId>* elements) const {
+  std::sort(elements->begin(), elements->end(),
+            [this](ElementId a, ElementId b) {
+              const uint64_t fa = Frequency(a);
+              const uint64_t fb = Frequency(b);
+              if (fa != fb) return fa < fb;
+              return a < b;
+            });
+}
+
+}  // namespace irhint

@@ -1,0 +1,76 @@
+// The global dictionary D of descriptive elements, with optional string
+// terms and per-element document frequencies (number of objects whose
+// description contains the element). Frequencies drive the query-time
+// ordering of q.d (least frequent element first, Algorithm 1).
+
+#ifndef IRHINT_DATA_DICTIONARY_H_
+#define IRHINT_DATA_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+#include "common/status.h"
+#include "data/object.h"
+
+namespace irhint {
+
+/// \brief Global element dictionary.
+///
+/// Two usage modes:
+///  * *Textual*: terms are interned via AddTerm()/LookupTerm(); element ids
+///    are assigned densely in insertion order (used by the examples, which
+///    work with real keyword strings).
+///  * *Anonymous*: a fixed id universe [0, size) with no strings (used by
+///    the synthetic generators, where elements are abstract ids).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// \brief Create an anonymous dictionary of `size` elements.
+  static Dictionary MakeAnonymous(size_t size);
+
+  /// \brief Intern a term; returns its (possibly pre-existing) element id.
+  ElementId AddTerm(std::string_view term);
+
+  /// \brief Find a term's id, or kInvalidElement if unknown.
+  ElementId LookupTerm(std::string_view term) const;
+
+  /// \brief Term string for an id (empty for anonymous dictionaries).
+  const std::string& Term(ElementId e) const;
+
+  /// \brief Number of elements in the dictionary.
+  size_t size() const { return size_; }
+
+  /// \brief Document frequency of element e (0 before frequencies are set).
+  uint64_t Frequency(ElementId e) const {
+    return e < frequencies_.size() ? frequencies_[e] : 0;
+  }
+
+  /// \brief Replace all frequencies; indexed by element id.
+  void SetFrequencies(std::vector<uint64_t> frequencies);
+
+  /// \brief Increase the frequency of element e by delta (used by inserts).
+  void BumpFrequency(ElementId e, uint64_t delta = 1);
+
+  const std::vector<uint64_t>& frequencies() const { return frequencies_; }
+
+  /// \brief Sort query elements by ascending document frequency (the
+  /// standard least-frequent-first evaluation order); ties break by id so
+  /// the order is deterministic.
+  void SortByFrequency(std::vector<ElementId>* elements) const;
+
+  static constexpr ElementId kInvalidElement = static_cast<ElementId>(-1);
+
+ private:
+  size_t size_ = 0;
+  std::vector<std::string> terms_;                 // empty when anonymous
+  FlatHashMap<std::string, ElementId> term_to_id_;
+  std::vector<uint64_t> frequencies_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_DATA_DICTIONARY_H_

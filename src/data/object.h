@@ -1,0 +1,107 @@
+// Core value types of the temporal IR data model (Section 2.1 of the paper):
+// time intervals, data objects, and time-travel IR queries.
+
+#ifndef IRHINT_DATA_OBJECT_H_
+#define IRHINT_DATA_OBJECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace irhint {
+
+/// \brief Object identifier. Objects are assigned dense, increasing ids.
+using ObjectId = uint32_t;
+
+/// \brief Identifier of a descriptive element in the global dictionary D.
+using ElementId = uint32_t;
+
+/// \brief A discrete time point. The raw (application) domain can be any
+/// range of non-negative integers; HINT-based indexes rescale it internally.
+using Time = uint64_t;
+
+/// \brief Sentinel id used for tombstoned (logically deleted) entries.
+inline constexpr ObjectId kTombstoneId = static_cast<ObjectId>(-1);
+
+/// \brief Closed time interval [st, end] with st <= end.
+struct Interval {
+  Time st = 0;
+  Time end = 0;
+
+  Interval() = default;
+  Interval(Time s, Time e) : st(s), end(e) {}
+
+  bool operator==(const Interval& other) const = default;
+
+  /// \brief Duration as number of covered time points (end - st + 1).
+  uint64_t Length() const { return end - st + 1; }
+};
+
+/// \brief The Overlap predicate of Section 2.1: intervals share >= 1 point.
+inline bool Overlaps(const Interval& a, const Interval& b) {
+  return a.st <= b.end && b.st <= a.end;
+}
+
+/// \brief True iff time point t lies inside interval i.
+inline bool Contains(const Interval& i, Time t) {
+  return i.st <= t && t <= i.end;
+}
+
+/// \brief A data object <id, [t_st, t_end], d>: identifier, lifespan and a
+/// set of descriptive elements (set semantics; `elements` is sorted and
+/// duplicate-free).
+struct Object {
+  ObjectId id = 0;
+  Interval interval;
+  std::vector<ElementId> elements;
+
+  Object() = default;
+  Object(ObjectId object_id, Interval iv, std::vector<ElementId> elems)
+      : id(object_id), interval(iv), elements(std::move(elems)) {}
+
+  /// \brief True iff the (sorted) description contains element e.
+  bool ContainsElement(ElementId e) const;
+
+  /// \brief True iff the description contains every element of the (sorted)
+  /// query description.
+  bool ContainsAll(const std::vector<ElementId>& query_elements) const;
+};
+
+/// \brief A time-travel IR query q = <[t_st, t_end], d> (Definition 2.1).
+struct Query {
+  Interval interval;
+  std::vector<ElementId> elements;
+
+  Query() = default;
+  Query(Interval iv, std::vector<ElementId> elems)
+      : interval(iv), elements(std::move(elems)) {}
+};
+
+inline bool Object::ContainsElement(ElementId e) const {
+  // Descriptions are short on average; binary search over the sorted vector.
+  size_t lo = 0, hi = elements.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (elements[mid] < e) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < elements.size() && elements[lo] == e;
+}
+
+inline bool Object::ContainsAll(
+    const std::vector<ElementId>& query_elements) const {
+  // Merge over two sorted vectors.
+  size_t i = 0;
+  for (ElementId e : query_elements) {
+    while (i < elements.size() && elements[i] < e) ++i;
+    if (i == elements.size() || elements[i] != e) return false;
+  }
+  return true;
+}
+
+}  // namespace irhint
+
+#endif  // IRHINT_DATA_OBJECT_H_

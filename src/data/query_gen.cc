@@ -1,0 +1,200 @@
+#include "data/query_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace irhint {
+
+WorkloadGenerator::WorkloadGenerator(const Corpus& corpus, uint64_t seed)
+    : corpus_(corpus), rng_(seed) {
+  const Status st = tif_.Build(corpus);
+  assert(st.ok());
+  (void)st;
+}
+
+uint64_t WorkloadGenerator::ExtentToLength(double extent_pct) const {
+  const double domain_size = static_cast<double>(corpus_.domain_end()) + 1.0;
+  const uint64_t length =
+      static_cast<uint64_t>(std::llround(domain_size * extent_pct / 100.0));
+  return std::clamp<uint64_t>(length, 1, corpus_.domain_end() + 1);
+}
+
+Interval WorkloadGenerator::MakeIntervalAround(const Interval& anchor,
+                                               uint64_t length) {
+  // Choose q.st so that [q.st, q.st + length - 1] overlaps the anchor and
+  // stays inside [0, domain_end].
+  const Time domain_end = corpus_.domain_end();
+  const Time lo =
+      anchor.st + 1 >= length ? anchor.st + 1 - length : 0;
+  const Time hi = std::min<Time>(anchor.end, domain_end + 1 - length);
+  const Time st = hi >= lo ? static_cast<Time>(rng_.UniformRange(
+                                 static_cast<int64_t>(lo),
+                                 static_cast<int64_t>(hi)))
+                           : lo;
+  return Interval(st, st + length - 1);
+}
+
+std::vector<ElementId> WorkloadGenerator::PickElements(const Object& anchor,
+                                                       uint32_t k) {
+  if (anchor.elements.size() < k) return {};
+  // Frequency-weighted sampling without replacement (roulette over the
+  // anchor's description).
+  std::vector<ElementId> pool = anchor.elements;
+  std::vector<double> weights(pool.size());
+  double total = 0.0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    weights[i] =
+        static_cast<double>(corpus_.dictionary().Frequency(pool[i])) + 1.0;
+    total += weights[i];
+  }
+  std::vector<ElementId> picked;
+  picked.reserve(k);
+  for (uint32_t round = 0; round < k; ++round) {
+    double target = rng_.NextDouble() * total;
+    size_t chosen = pool.size() - 1;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (weights[i] <= 0.0) continue;
+      if (target < weights[i]) {
+        chosen = i;
+        break;
+      }
+      target -= weights[i];
+    }
+    picked.push_back(pool[chosen]);
+    total -= weights[chosen];
+    weights[chosen] = 0.0;
+  }
+  return picked;
+}
+
+std::vector<Query> WorkloadGenerator::ExtentWorkload(double extent_pct,
+                                                     uint32_t k,
+                                                     size_t count) {
+  std::vector<Query> queries;
+  if (corpus_.empty()) return queries;
+  queries.reserve(count);
+  const uint64_t length = ExtentToLength(extent_pct);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 200 + 1000;
+  while (queries.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const Object& anchor =
+        corpus_.object(static_cast<ObjectId>(rng_.Uniform(corpus_.size())));
+    std::vector<ElementId> elements = PickElements(anchor, k);
+    if (elements.empty()) continue;
+    queries.emplace_back(MakeIntervalAround(anchor.interval, length),
+                         std::move(elements));
+  }
+  return queries;
+}
+
+std::vector<Query> WorkloadGenerator::FrequencyBinWorkload(
+    double lo_pct, double hi_pct, double extent_pct, uint32_t k,
+    size_t count) {
+  const double n = static_cast<double>(corpus_.size());
+  // A negative lo_pct means "no lower bound" (the paper's [*-x] bins).
+  const uint64_t lo =
+      lo_pct <= 0 ? 0 : static_cast<uint64_t>(n * lo_pct / 100.0);
+  const uint64_t hi =
+      hi_pct < 0 ? UINT64_MAX : static_cast<uint64_t>(n * hi_pct / 100.0);
+  auto in_bin = [&](ElementId e) {
+    const uint64_t f = corpus_.dictionary().Frequency(e);
+    return f > lo && f <= hi && f > 0;
+  };
+
+  // Elements inside the bin.
+  std::vector<ElementId> bin_elements;
+  for (ElementId e = 0;
+       e < static_cast<ElementId>(corpus_.dictionary().size()); ++e) {
+    if (in_bin(e)) bin_elements.push_back(e);
+  }
+  std::vector<Query> queries;
+  if (bin_elements.empty()) return queries;
+  queries.reserve(count);
+  const uint64_t length = ExtentToLength(extent_pct);
+
+  size_t attempts = 0;
+  const size_t max_attempts = count * 500 + 1000;
+  std::vector<ElementId> candidates;
+  while (queries.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const ElementId seed_element =
+        bin_elements[rng_.Uniform(bin_elements.size())];
+    const PostingsList* list = tif_.List(seed_element);
+    if (list == nullptr || list->empty()) continue;
+    const Posting& posting = (*list)[rng_.Uniform(list->size())];
+    if (posting.id == kTombstoneId) continue;
+    const Object& anchor = corpus_.object(posting.id);
+    // All query elements must come from the bin and from the anchor.
+    candidates.clear();
+    for (ElementId e : anchor.elements) {
+      if (in_bin(e)) candidates.push_back(e);
+    }
+    if (candidates.size() < k) continue;
+    // Random k-subset containing the seed element.
+    std::vector<ElementId> elements{seed_element};
+    while (elements.size() < k) {
+      const ElementId e = candidates[rng_.Uniform(candidates.size())];
+      if (std::find(elements.begin(), elements.end(), e) == elements.end()) {
+        elements.push_back(e);
+      }
+    }
+    queries.emplace_back(MakeIntervalAround(anchor.interval, length),
+                         std::move(elements));
+  }
+  return queries;
+}
+
+std::vector<Query> WorkloadGenerator::MixedWorkload(size_t count) {
+  static constexpr double kExtents[] = {0.01, 0.05, 0.1, 0.5,
+                                        1.0,  5.0,  10.0};
+  std::vector<Query> queries;
+  if (corpus_.empty()) return queries;
+  queries.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 200 + 1000;
+  while (queries.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const double extent =
+        kExtents[rng_.Uniform(sizeof(kExtents) / sizeof(kExtents[0]))];
+    const uint32_t k = 1 + static_cast<uint32_t>(rng_.Uniform(5));
+    const Object& anchor =
+        corpus_.object(static_cast<ObjectId>(rng_.Uniform(corpus_.size())));
+    std::vector<ElementId> elements = PickElements(anchor, k);
+    if (elements.empty()) continue;
+    queries.emplace_back(
+        MakeIntervalAround(anchor.interval, ExtentToLength(extent)),
+        std::move(elements));
+  }
+  return queries;
+}
+
+std::vector<Query> WorkloadGenerator::EmptyResultWorkload(double extent_pct,
+                                                          uint32_t k,
+                                                          size_t count) {
+  std::vector<Query> queries;
+  if (corpus_.empty()) return queries;
+  queries.reserve(count);
+  const uint64_t length = ExtentToLength(extent_pct);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 500 + 1000;
+  std::vector<ObjectId> results;
+  while (queries.size() < count && attempts < max_attempts) {
+    ++attempts;
+    // Random elements (frequency-weighted via a random object) and a random
+    // interval; keep only queries the oracle reports empty.
+    const Object& anchor =
+        corpus_.object(static_cast<ObjectId>(rng_.Uniform(corpus_.size())));
+    std::vector<ElementId> elements = PickElements(anchor, k);
+    if (elements.empty()) continue;
+    const Time st = static_cast<Time>(
+        rng_.Uniform(corpus_.domain_end() + 2 - length));
+    Query query(Interval(st, st + length - 1), std::move(elements));
+    tif_.Query(query, &results);
+    if (results.empty()) queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace irhint

@@ -1,0 +1,79 @@
+// Time-travel IR query workload generation, following Section 5.1.
+//
+// Four experimental axes are supported:
+//  (1) query interval extent as a % of the domain (0.01% .. 100%; extent 0
+//      produces stabbing queries),
+//  (2) number of query elements |q.d| in 1..5,
+//  (3) element-frequency bins (elements appearing in lo%..hi% of objects),
+//  (4) query selectivity bins (delegated to the eval harness, which bins a
+//      mixed workload by oracle-measured result counts).
+//
+// All generated queries (except the explicit empty-result workload) have a
+// non-empty result by construction: each query is anchored at a random
+// corpus object whose description supplies the query elements and whose
+// interval overlaps the query interval. Element choices are weighted by
+// global frequency — "the probability of an element to appear in a query
+// follows the element frequency distribution in the collection".
+
+#ifndef IRHINT_DATA_QUERY_GEN_H_
+#define IRHINT_DATA_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/corpus.h"
+#include "data/object.h"
+#include "ir/tif.h"
+
+namespace irhint {
+
+/// \brief Generates reproducible query workloads over one corpus.
+class WorkloadGenerator {
+ public:
+  /// Builds an internal tIF over the corpus (used to anchor frequency-bin
+  /// queries and to verify emptiness for the zero-result workload).
+  WorkloadGenerator(const Corpus& corpus, uint64_t seed);
+
+  /// \brief Axis (1)/(2): `extent_pct` percent of the domain (0 = stabbing
+  /// query of a single time point), `k` query elements. Non-empty results.
+  std::vector<Query> ExtentWorkload(double extent_pct, uint32_t k,
+                                    size_t count);
+
+  /// \brief Axis (3): all k query elements drawn from the frequency bin
+  /// (lo_pct, hi_pct] (percent of corpus cardinality). Non-empty results.
+  /// May return fewer than `count` queries if the bin is too sparse.
+  std::vector<Query> FrequencyBinWorkload(double lo_pct, double hi_pct,
+                                          double extent_pct, uint32_t k,
+                                          size_t count);
+
+  /// \brief Axis (4) input: mixed extents (from the paper's value set) and
+  /// |q.d| in 1..5, all with non-empty results; the harness bins them by
+  /// measured selectivity.
+  std::vector<Query> MixedWorkload(size_t count);
+
+  /// \brief Queries with an empty result set (the paper's "0" bin).
+  std::vector<Query> EmptyResultWorkload(double extent_pct, uint32_t k,
+                                         size_t count);
+
+  const TemporalInvertedFile& oracle() const { return tif_; }
+
+ private:
+  /// Query interval of `length` points overlapping `anchor`, inside the
+  /// domain.
+  Interval MakeIntervalAround(const Interval& anchor, uint64_t length);
+
+  /// k distinct elements from the anchor's description, frequency-weighted,
+  /// or empty if the description is too small.
+  std::vector<ElementId> PickElements(const Object& anchor, uint32_t k);
+
+  uint64_t ExtentToLength(double extent_pct) const;
+
+  const Corpus& corpus_;
+  TemporalInvertedFile tif_;
+  Rng rng_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_DATA_QUERY_GEN_H_

@@ -1,0 +1,89 @@
+#include "data/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace irhint {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4952484e54435231ULL;  // "IRHNTCR1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  std::FILE* f = file.get();
+  if (!WriteU64(f, kMagic) || !WriteU64(f, corpus.size()) ||
+      !WriteU64(f, corpus.domain_end()) ||
+      !WriteU64(f, corpus.dictionary().size())) {
+    return Status::IoError("write failed: " + path);
+  }
+  for (const Object& o : corpus.objects()) {
+    if (!WriteU64(f, o.interval.st) || !WriteU64(f, o.interval.end) ||
+        !WriteU64(f, o.elements.size())) {
+      return Status::IoError("write failed: " + path);
+    }
+    if (!o.elements.empty() &&
+        std::fwrite(o.elements.data(), sizeof(ElementId), o.elements.size(),
+                    f) != o.elements.size()) {
+      return Status::IoError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Corpus> LoadCorpus(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  std::FILE* f = file.get();
+  uint64_t magic, count, domain_end, dict_size;
+  if (!ReadU64(f, &magic) || magic != kMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!ReadU64(f, &count) || !ReadU64(f, &domain_end) ||
+      !ReadU64(f, &dict_size)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(dict_size));
+  corpus.DeclareDomain(domain_end);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t st, end, num_elements;
+    if (!ReadU64(f, &st) || !ReadU64(f, &end) || !ReadU64(f, &num_elements)) {
+      return Status::Corruption("truncated object in " + path);
+    }
+    if (st > end || num_elements > dict_size) {
+      return Status::Corruption("invalid object in " + path);
+    }
+    std::vector<ElementId> elements(num_elements);
+    if (num_elements > 0 &&
+        std::fread(elements.data(), sizeof(ElementId), num_elements, f) !=
+            num_elements) {
+      return Status::Corruption("truncated elements in " + path);
+    }
+    corpus.Append(Interval(st, end), std::move(elements));
+  }
+  IRHINT_RETURN_NOT_OK(corpus.Finalize());
+  return corpus;
+}
+
+}  // namespace irhint

@@ -1,0 +1,24 @@
+// Binary corpus serialization, so generated workloads can be cached on disk
+// and shared between bench runs.
+
+#ifndef IRHINT_DATA_SERIALIZE_H_
+#define IRHINT_DATA_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/corpus.h"
+
+namespace irhint {
+
+/// \brief Write the corpus (objects + declared domain + dictionary size) to
+/// `path` in a little-endian binary format.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+/// \brief Load a corpus written by SaveCorpus. The dictionary is anonymous
+/// (term strings are not persisted); frequencies are recomputed.
+StatusOr<Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace irhint
+
+#endif  // IRHINT_DATA_SERIALIZE_H_

@@ -1,0 +1,63 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace irhint {
+
+Corpus GenerateSynthetic(const SyntheticParams& params) {
+  assert(params.cardinality > 0);
+  assert(params.domain > 1);
+  assert(params.dictionary_size > 0);
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(params.dictionary_size));
+  corpus.DeclareDomain(params.domain - 1);
+
+  Rng rng(params.seed);
+  const ZipfSampler duration_sampler(params.domain, params.alpha);
+  const ZipfSampler element_sampler(params.dictionary_size, params.zeta);
+
+  const double mid_domain = static_cast<double>(params.domain) / 2.0;
+  const uint32_t desc_size = std::min<uint64_t>(
+      params.description_size, params.dictionary_size);
+
+  std::vector<ElementId> elements;
+  for (uint64_t i = 0; i < params.cardinality; ++i) {
+    // Duration: Zipf over [1, domain]; small alpha yields long intervals.
+    const uint64_t duration =
+        std::min<uint64_t>(duration_sampler.Sample(rng), params.domain);
+
+    // Midpoint: normal around the middle of the domain.
+    const double mid =
+        mid_domain + rng.NextGaussian() * static_cast<double>(params.sigma);
+    int64_t st = static_cast<int64_t>(std::llround(mid)) -
+                 static_cast<int64_t>(duration / 2);
+    const int64_t max_st =
+        static_cast<int64_t>(params.domain) - static_cast<int64_t>(duration);
+    st = std::clamp<int64_t>(st, 0, std::max<int64_t>(0, max_st));
+    const Time t_st = static_cast<Time>(st);
+    const Time t_end = t_st + duration - 1;
+
+    // Description: desc_size distinct Zipf(zeta) elements. Element ids are
+    // frequency ranks minus one (id 0 is the most frequent element).
+    elements.clear();
+    while (elements.size() < desc_size) {
+      const ElementId e =
+          static_cast<ElementId>(element_sampler.Sample(rng) - 1);
+      if (std::find(elements.begin(), elements.end(), e) == elements.end()) {
+        elements.push_back(e);
+      }
+    }
+    corpus.Append(Interval(t_st, t_end), elements);
+  }
+  const Status st = corpus.Finalize();
+  assert(st.ok());
+  (void)st;
+  return corpus;
+}
+
+}  // namespace irhint

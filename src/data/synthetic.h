@@ -1,0 +1,34 @@
+// Synthetic corpus generator following the paper's Section 5.1 / Table 4:
+// interval durations are Zipf(alpha)-distributed, interval midpoints follow
+// a normal distribution centered in the middle of the domain with deviation
+// sigma, and object descriptions draw |d| distinct elements from a
+// dictionary with Zipf(zeta) element frequencies.
+
+#ifndef IRHINT_DATA_SYNTHETIC_H_
+#define IRHINT_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "data/corpus.h"
+
+namespace irhint {
+
+/// \brief Table 4 parameters (paper defaults in comments; bench binaries
+/// scale cardinality down via IRHINT_SCALE).
+struct SyntheticParams {
+  uint64_t cardinality = 1'000'000;     ///< 100K..10M, default 1M
+  uint64_t domain = 128'000'000;        ///< 32M..512M, default 128M
+  double alpha = 1.2;                   ///< interval duration skew, 1.01..1.8
+  uint64_t sigma = 1'000'000;           ///< midpoint deviation, 10K..10M
+  uint64_t dictionary_size = 100'000;   ///< 10K..1M, default 100K
+  uint32_t description_size = 10;       ///< |d|, 5..500, default 10
+  double zeta = 1.5;                    ///< element frequency skew, 1.0..2.0
+  uint64_t seed = 42;
+};
+
+/// \brief Generate a finalized corpus. Deterministic in the seed.
+Corpus GenerateSynthetic(const SyntheticParams& params);
+
+}  // namespace irhint
+
+#endif  // IRHINT_DATA_SYNTHETIC_H_

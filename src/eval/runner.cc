@@ -1,0 +1,87 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/timer.h"
+
+namespace irhint {
+
+BuildStats MeasureBuild(TemporalIrIndex* index, const Corpus& corpus) {
+  BuildStats stats;
+  Timer timer;
+  const Status st = index->Build(corpus);
+  stats.seconds = timer.Seconds();
+  if (!st.ok()) {
+    stats.seconds = -1.0;
+    return stats;
+  }
+  stats.bytes = index->MemoryUsageBytes();
+  return stats;
+}
+
+QueryStats MeasureQueries(const TemporalIrIndex& index,
+                          const std::vector<Query>& queries) {
+  QueryStats stats;
+  stats.num_queries = queries.size();
+  if (queries.empty()) return stats;
+  std::vector<ObjectId> results;
+
+  // Warm-up pass over a prefix (touches index pages, sizes the scratch).
+  const size_t warmup = std::min<size_t>(queries.size(), 32);
+  for (size_t i = 0; i < warmup; ++i) index.Query(queries[i], &results);
+
+  // Repeat the whole batch until enough wall time accumulates so that fast
+  // indexes are not measured at timer granularity.
+  constexpr double kMinSeconds = 0.2;
+  size_t executed = 0;
+  Timer timer;
+  do {
+    stats.total_results = 0;
+    for (const Query& q : queries) {
+      index.Query(q, &results);
+      stats.total_results += results.size();
+    }
+    executed += queries.size();
+  } while (timer.Seconds() < kMinSeconds);
+  stats.seconds = timer.Seconds();
+  stats.queries_per_second =
+      static_cast<double>(executed) / stats.seconds;
+  return stats;
+}
+
+double MeasureInsertSeconds(TemporalIrIndex* index, const Corpus& corpus,
+                            size_t begin, size_t end) {
+  Timer timer;
+  for (size_t i = begin; i < end && i < corpus.size(); ++i) {
+    const Status st = index->Insert(corpus.object(static_cast<ObjectId>(i)));
+    if (!st.ok()) return -1.0;
+  }
+  return timer.Seconds();
+}
+
+double MeasureEraseSeconds(TemporalIrIndex* index, const Corpus& corpus,
+                           size_t begin, size_t end) {
+  Timer timer;
+  for (size_t i = begin; i < end && i < corpus.size(); ++i) {
+    const Status st = index->Erase(corpus.object(static_cast<ObjectId>(i)));
+    if (!st.ok()) return -1.0;
+  }
+  return timer.Seconds();
+}
+
+double BenchScaleFromEnv() {
+  const char* value = std::getenv("IRHINT_SCALE");
+  if (value == nullptr) return 1.0;
+  const double scale = std::atof(value);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+size_t BenchQueriesFromEnv(size_t fallback) {
+  const char* value = std::getenv("IRHINT_QUERIES");
+  if (value == nullptr) return fallback;
+  const long long n = std::atoll(value);
+  return n > 0 ? static_cast<size_t>(n) : fallback;
+}
+
+}  // namespace irhint

@@ -1,0 +1,55 @@
+// Measurement harness shared by all bench binaries: build costs, query
+// throughput (queries/second, the paper's efficiency metric), and update
+// timings; plus the environment knobs that scale bench workloads.
+
+#ifndef IRHINT_EVAL_RUNNER_H_
+#define IRHINT_EVAL_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/temporal_ir_index.h"
+#include "data/corpus.h"
+#include "data/object.h"
+
+namespace irhint {
+
+/// \brief Result of timing an index build.
+struct BuildStats {
+  double seconds = 0.0;
+  size_t bytes = 0;
+};
+
+/// \brief Result of timing a query batch.
+struct QueryStats {
+  double seconds = 0.0;
+  double queries_per_second = 0.0;
+  uint64_t total_results = 0;
+  size_t num_queries = 0;
+};
+
+/// \brief Build `index` from `corpus`, timing it and measuring its size.
+BuildStats MeasureBuild(TemporalIrIndex* index, const Corpus& corpus);
+
+/// \brief Run all queries once, reporting throughput.
+QueryStats MeasureQueries(const TemporalIrIndex& index,
+                          const std::vector<Query>& queries);
+
+/// \brief Insert the objects [begin, end) of `corpus`, timing the batch.
+double MeasureInsertSeconds(TemporalIrIndex* index, const Corpus& corpus,
+                            size_t begin, size_t end);
+
+/// \brief Erase the objects [begin, end) of `corpus`, timing the batch.
+double MeasureEraseSeconds(TemporalIrIndex* index, const Corpus& corpus,
+                           size_t begin, size_t end);
+
+/// \brief Scale factor for bench datasets: env IRHINT_SCALE (default 1.0
+/// multiplies each bench's built-in laptop-scale defaults).
+double BenchScaleFromEnv();
+
+/// \brief Queries per measurement: env IRHINT_QUERIES (default `fallback`).
+size_t BenchQueriesFromEnv(size_t fallback);
+
+}  // namespace irhint
+
+#endif  // IRHINT_EVAL_RUNNER_H_

@@ -1,0 +1,42 @@
+#include "eval/workload.h"
+
+namespace irhint {
+
+std::vector<SelectivityBin> PaperSelectivityBins() {
+  return {
+      {"0", -1.0, 0.0},
+      {"(0,1e-3]", 0.0, 1e-3},
+      {"(1e-3,1e-2]", 1e-3, 1e-2},
+      {"(1e-2,1e-1]", 1e-2, 1e-1},
+      {"(1e-1,1]", 1e-1, 1.0},
+      {"(1,10]", 1.0, 10.0},
+  };
+}
+
+std::vector<Workload> BinBySelectivity(const TemporalIrIndex& oracle,
+                                       const std::vector<Query>& mixed,
+                                       size_t corpus_cardinality) {
+  const std::vector<SelectivityBin> bins = PaperSelectivityBins();
+  std::vector<Workload> out(bins.size());
+  for (size_t b = 0; b < bins.size(); ++b) out[b].name = bins[b].label;
+
+  std::vector<ObjectId> results;
+  for (const Query& q : mixed) {
+    oracle.Query(q, &results);
+    const double pct = 100.0 * static_cast<double>(results.size()) /
+                       static_cast<double>(corpus_cardinality);
+    for (size_t b = 0; b < bins.size(); ++b) {
+      const bool zero_bin = bins[b].hi_pct == 0.0;
+      const bool matches = zero_bin
+                               ? results.empty()
+                               : (pct > bins[b].lo_pct && pct <= bins[b].hi_pct);
+      if (matches) {
+        out[b].queries.push_back(q);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace irhint

@@ -1,0 +1,39 @@
+// Named query workloads and selectivity binning (experimental axis (4) of
+// Section 5.1).
+
+#ifndef IRHINT_EVAL_WORKLOAD_H_
+#define IRHINT_EVAL_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/temporal_ir_index.h"
+#include "data/object.h"
+
+namespace irhint {
+
+/// \brief A labeled batch of queries.
+struct Workload {
+  std::string name;
+  std::vector<Query> queries;
+};
+
+/// \brief The paper's selectivity bins (% of corpus cardinality):
+/// 0, (0, 1e-3], (1e-3, 1e-2], (1e-2, 1e-1], (1e-1, 1], (1, 10].
+struct SelectivityBin {
+  std::string label;
+  double lo_pct;  // exclusive
+  double hi_pct;  // inclusive
+};
+
+std::vector<SelectivityBin> PaperSelectivityBins();
+
+/// \brief Evaluate `mixed` with `oracle` and distribute the queries into the
+/// paper's selectivity bins (queries outside every bin are dropped).
+std::vector<Workload> BinBySelectivity(const TemporalIrIndex& oracle,
+                                       const std::vector<Query>& mixed,
+                                       size_t corpus_cardinality);
+
+}  // namespace irhint
+
+#endif  // IRHINT_EVAL_WORKLOAD_H_

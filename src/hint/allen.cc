@@ -1,0 +1,24 @@
+#include "hint/allen.h"
+
+namespace irhint {
+
+const char* AllenRelationName(AllenRelation relation) {
+  switch (relation) {
+    case AllenRelation::kEquals: return "EQUALS";
+    case AllenRelation::kStarts: return "STARTS";
+    case AllenRelation::kStartedBy: return "STARTED_BY";
+    case AllenRelation::kFinishes: return "FINISHES";
+    case AllenRelation::kFinishedBy: return "FINISHED_BY";
+    case AllenRelation::kMeets: return "MEETS";
+    case AllenRelation::kMetBy: return "MET_BY";
+    case AllenRelation::kOverlaps: return "OVERLAPS";
+    case AllenRelation::kOverlappedBy: return "OVERLAPPED_BY";
+    case AllenRelation::kContains: return "CONTAINS";
+    case AllenRelation::kDuring: return "DURING";
+    case AllenRelation::kBefore: return "BEFORE";
+    case AllenRelation::kAfter: return "AFTER";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace irhint

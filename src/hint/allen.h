@@ -1,0 +1,140 @@
+// Allen's interval algebra on HINT (the VLDBJ extension of HINT, "a
+// hierarchical interval index for Allen relationships").
+//
+// Semantics for closed discrete intervals [st, end] (st <= end): the
+// standard half-open mapping [st, end + 1) is applied, so MEETS means
+// *adjacency* (i.end + 1 == q.st) and the thirteen relations partition the
+// space — for any pair of intervals exactly one relation holds:
+//   EQUALS        i.st == q.st && i.end == q.end
+//   STARTS        i.st == q.st && i.end <  q.end
+//   STARTED_BY    i.st == q.st && i.end >  q.end
+//   FINISHES      i.end == q.end && i.st >  q.st
+//   FINISHED_BY   i.end == q.end && i.st <  q.st
+//   MEETS         i.end + 1 == q.st              (adjacent before q)
+//   MET_BY        i.st == q.end + 1              (adjacent after q)
+//   OVERLAPS      i.st <  q.st && q.st <= i.end && i.end < q.end
+//   OVERLAPPED_BY i.st >  q.st && i.st <= q.end && i.end > q.end
+//   CONTAINS      i.st <  q.st && i.end >  q.end
+//   DURING        i.st >  q.st && i.end <  q.end (contained by q)
+//   BEFORE        i.end + 1 < q.st               (gap before q)
+//   AFTER         i.st > q.end + 1               (gap after q)
+//
+// The generalized Overlap predicate of the paper equals the union of all
+// relations except MEETS, MET_BY, BEFORE and AFTER.
+
+#ifndef IRHINT_HINT_ALLEN_H_
+#define IRHINT_HINT_ALLEN_H_
+
+#include <cstdint>
+
+#include "data/object.h"
+
+namespace irhint {
+
+/// \brief The thirteen basic relations of Allen's interval algebra.
+enum class AllenRelation {
+  kEquals,
+  kStarts,
+  kStartedBy,
+  kFinishes,
+  kFinishedBy,
+  kMeets,
+  kMetBy,
+  kOverlaps,
+  kOverlappedBy,
+  kContains,
+  kDuring,
+  kBefore,
+  kAfter,
+};
+
+/// \brief Display name, e.g. "OVERLAPS".
+const char* AllenRelationName(AllenRelation relation);
+
+/// \brief Exact predicate: does data interval i stand in `relation` to q?
+inline bool MatchesAllen(AllenRelation relation, const Interval& i,
+                         const Interval& q) {
+  switch (relation) {
+    case AllenRelation::kEquals:
+      return i.st == q.st && i.end == q.end;
+    case AllenRelation::kStarts:
+      return i.st == q.st && i.end < q.end;
+    case AllenRelation::kStartedBy:
+      return i.st == q.st && i.end > q.end;
+    case AllenRelation::kFinishes:
+      return i.end == q.end && i.st > q.st;
+    case AllenRelation::kFinishedBy:
+      return i.end == q.end && i.st < q.st;
+    case AllenRelation::kMeets:
+      return i.end + 1 == q.st;
+    case AllenRelation::kMetBy:
+      return q.end != static_cast<Time>(-1) && i.st == q.end + 1;
+    case AllenRelation::kOverlaps:
+      return i.st < q.st && q.st <= i.end && i.end < q.end;
+    case AllenRelation::kOverlappedBy:
+      return i.st > q.st && i.st <= q.end && i.end > q.end;
+    case AllenRelation::kContains:
+      return i.st < q.st && i.end > q.end;
+    case AllenRelation::kDuring:
+      return i.st > q.st && i.end < q.end;
+    case AllenRelation::kBefore:
+      return i.end + 1 < q.st;
+    case AllenRelation::kAfter:
+      return q.end != static_cast<Time>(-1) && i.st > q.end + 1;
+  }
+  return false;
+}
+
+/// \brief The smallest Overlap-style range query whose result set is a
+/// superset of the relation's result set; the exact predicate is then
+/// applied as a filter. Returns false when the result is provably empty
+/// (e.g. BEFORE with q.st == 0).
+///
+/// Relations other than MEETS / MET_BY / BEFORE / AFTER imply sharing at
+/// least one time point with q, so q itself is a valid candidate range;
+/// for several relations a much tighter range exists and is used instead:
+///   EQUALS / STARTS / STARTED_BY -> the single point q.st
+///   FINISHES / FINISHED_BY       -> the single point q.end
+///   MEETS  -> the point q.st - 1,  MET_BY -> the point q.end + 1
+///   BEFORE -> [0, q.st - 2],       AFTER  -> [q.end + 2, domain_end]
+inline bool AllenCandidateRange(AllenRelation relation, const Interval& q,
+                                Time domain_end, Interval* range) {
+  switch (relation) {
+    case AllenRelation::kEquals:
+    case AllenRelation::kStarts:
+    case AllenRelation::kStartedBy:
+      *range = Interval(q.st, q.st);
+      return true;
+    case AllenRelation::kFinishes:
+    case AllenRelation::kFinishedBy:
+      *range = Interval(q.end, q.end);
+      return true;
+    case AllenRelation::kMeets:
+      if (q.st == 0) return false;
+      *range = Interval(q.st - 1, q.st - 1);
+      return true;
+    case AllenRelation::kMetBy:
+      if (q.end + 1 > domain_end) return false;
+      *range = Interval(q.end + 1, q.end + 1);
+      return true;
+    case AllenRelation::kBefore:
+      if (q.st < 2) return false;
+      *range = Interval(0, q.st - 2);
+      return true;
+    case AllenRelation::kAfter:
+      if (q.end + 2 > domain_end) return false;
+      *range = Interval(q.end + 2, domain_end);
+      return true;
+    case AllenRelation::kOverlaps:
+    case AllenRelation::kOverlappedBy:
+    case AllenRelation::kContains:
+    case AllenRelation::kDuring:
+      *range = q;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace irhint
+
+#endif  // IRHINT_HINT_ALLEN_H_

@@ -1,0 +1,68 @@
+#include "hint/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "hint/domain.h"
+#include "hint/traversal.h"
+
+namespace irhint {
+
+double EstimateHintQueryCost(const std::vector<IntervalRecord>& records,
+                             Time domain_end, int m,
+                             const CostModelOptions& options) {
+  if (records.empty()) return 0.0;
+  // Deterministic subsample: every k-th record.
+  const size_t stride =
+      std::max<size_t>(1, records.size() / options.max_sample);
+  const double scale = static_cast<double>(stride);
+
+  const DomainMapper mapper(domain_end, m);
+  std::vector<double> level_entries(static_cast<size_t>(m) + 1, 0.0);
+  std::vector<double> level_replicas(static_cast<size_t>(m) + 1, 0.0);
+  for (size_t i = 0; i < records.size(); i += stride) {
+    uint64_t first, last;
+    mapper.CellSpan(records[i].interval, &first, &last);
+    AssignToPartitions(m, first, last, [&](const PartitionRef& ref) {
+      level_entries[ref.level] += scale;
+      if (!ref.original) level_replicas[ref.level] += scale;
+    });
+  }
+
+  double cost = 0.0;
+  for (int level = 0; level <= m; ++level) {
+    const double partitions = std::pow(2.0, level);
+    // Relevant partitions for a query of the configured extent: the cell
+    // span plus the two boundary partitions.
+    const double relevant = std::min(
+        partitions, options.query_extent_fraction * partitions + 2.0);
+    // Originals are scanned in every relevant partition (uniformity
+    // assumption); replicas only in the first one.
+    const double originals =
+        level_entries[level] - level_replicas[level];
+    cost += originals * relevant / partitions;
+    cost += level_replicas[level] / partitions;
+    cost += options.partition_probe_cost * relevant;
+  }
+  return cost;
+}
+
+int ChooseHintBits(const std::vector<IntervalRecord>& records,
+                   Time domain_end, const CostModelOptions& options) {
+  const int domain_bits = BitWidth(domain_end);
+  const int hi = std::min(options.max_bits, domain_bits);
+  const int lo = std::min(options.min_bits, hi);
+  int best_m = lo;
+  double best_cost = -1.0;
+  for (int m = lo; m <= hi; ++m) {
+    const double cost = EstimateHintQueryCost(records, domain_end, m, options);
+    if (best_cost < 0.0 || cost < best_cost) {
+      best_cost = cost;
+      best_m = m;
+    }
+  }
+  return best_m;
+}
+
+}  // namespace irhint

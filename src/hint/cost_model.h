@@ -1,0 +1,54 @@
+// Cost model for choosing HINT's number of bits m (reconstruction of the
+// model sketched in the HINT papers).
+//
+// Larger m shrinks the bottom-level cells (fewer false candidates, fewer
+// comparisons) but inflates replication (an interval's canonical cover
+// grows with the hierarchy depth) and adds per-partition visit overhead.
+// The model estimates, for every candidate m, the expected number of
+// entries scanned by a range query of a given extent plus a per-partition
+// probe cost, from the per-level assignment histogram of a corpus sample,
+// and picks the minimizing m.
+//
+// The temporal-IR paper observes (Section 5.2) that this interval-only
+// model over-sizes m for the IR-first tIF+HINT variants (which also pay
+// list-intersection fragmentation) but works well for the time-first
+// irHINT; the Figure 9 bench sweeps m to show the same effect.
+
+#ifndef IRHINT_HINT_COST_MODEL_H_
+#define IRHINT_HINT_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/object.h"
+#include "hint/hint.h"
+
+namespace irhint {
+
+struct CostModelOptions {
+  /// Expected query extent as a fraction of the domain (paper default:
+  /// 0.1% = 0.001).
+  double query_extent_fraction = 0.001;
+  /// Relative cost of probing one partition vs scanning one entry.
+  double partition_probe_cost = 8.0;
+  /// Candidate range of m values.
+  int min_bits = 1;
+  int max_bits = 20;
+  /// Sample size cap; larger inputs are subsampled deterministically.
+  size_t max_sample = 100000;
+};
+
+/// \brief Estimated query cost (arbitrary units) of a HINT with `m` bits
+/// over the given intervals.
+double EstimateHintQueryCost(const std::vector<IntervalRecord>& records,
+                             Time domain_end, int m,
+                             const CostModelOptions& options);
+
+/// \brief Pick the m in [options.min_bits, options.max_bits] minimizing the
+/// estimated query cost.
+int ChooseHintBits(const std::vector<IntervalRecord>& records,
+                   Time domain_end, const CostModelOptions& options = {});
+
+}  // namespace irhint
+
+#endif  // IRHINT_HINT_COST_MODEL_H_

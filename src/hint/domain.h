@@ -1,0 +1,60 @@
+// Mapping between the raw (application) time domain and HINT's discretized
+// [0, 2^m - 1] cell domain.
+//
+// HINT normalizes every interval into 2^m uniform cells and assigns it to
+// the canonical dyadic cover of its cell span. The mapping below is monotone
+// (t1 <= t2 implies Cell(t1) <= Cell(t2)), which is what makes the index
+// exact even though cells are coarse: partition membership is decided in
+// cell space, while the comparisons at the first/last relevant partitions
+// always use the raw endpoints.
+
+#ifndef IRHINT_HINT_DOMAIN_H_
+#define IRHINT_HINT_DOMAIN_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "data/object.h"
+
+namespace irhint {
+
+/// \brief Monotone discretization of [0, domain_end] into 2^m cells.
+class DomainMapper {
+ public:
+  DomainMapper() = default;
+
+  /// \param domain_end  last raw time point of the domain (inclusive).
+  /// \param m           number of bits; the grid has 2^m cells.
+  DomainMapper(Time domain_end, int m)
+      : domain_size_(domain_end + 1), m_(m), num_cells_(uint64_t{1} << m) {
+    assert(m >= 0 && m < 63);
+  }
+
+  int m() const { return m_; }
+  uint64_t num_cells() const { return num_cells_; }
+  Time domain_end() const { return domain_size_ - 1; }
+
+  /// \brief Cell index of raw time t, clamped into [0, 2^m - 1].
+  uint64_t Cell(Time t) const {
+    if (t >= domain_size_) return num_cells_ - 1;
+    // floor(t * 2^m / domain_size); 128-bit to avoid overflow for large
+    // domains.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(t) << m_) / domain_size_);
+  }
+
+  /// \brief Cell span [first, last] of a raw interval (clamped).
+  void CellSpan(const Interval& iv, uint64_t* first, uint64_t* last) const {
+    *first = Cell(iv.st);
+    *last = Cell(iv.end);
+  }
+
+ private:
+  Time domain_size_ = 1;
+  int m_ = 0;
+  uint64_t num_cells_ = 1;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_HINT_DOMAIN_H_

@@ -1,0 +1,513 @@
+#include "hint/hint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace irhint {
+
+namespace {
+
+// Applies permutation `perm` to vector v (if non-empty).
+template <typename T>
+void ApplyPermutation(const std::vector<uint32_t>& perm, std::vector<T>* v) {
+  if (v->empty()) return;
+  std::vector<T> tmp(v->size());
+  for (size_t i = 0; i < perm.size(); ++i) tmp[i] = (*v)[perm[i]];
+  *v = std::move(tmp);
+}
+
+// Binary search for id in a sorted candidate vector.
+bool InCandidates(const std::vector<ObjectId>& cand, ObjectId id) {
+  return std::binary_search(cand.begin(), cand.end(), id);
+}
+
+}  // namespace
+
+bool HintIndex::KeepsStart(SubdivRole role) const {
+  if (!options_.storage_optimization) return true;
+  return role == kOin || role == kOaft;
+}
+
+bool HintIndex::KeepsEnd(SubdivRole role) const {
+  if (!options_.storage_optimization) return true;
+  return role == kOin || role == kRin;
+}
+
+void HintIndex::Append(Subdiv* sub, SubdivRole role, ObjectId id,
+                       const Interval& interval) {
+  const StoredTime st = static_cast<StoredTime>(interval.st);
+  const StoredTime end = static_cast<StoredTime>(interval.end);
+  size_t pos = sub->ids.size();
+  switch (options_.sort_mode) {
+    case HintSortMode::kNone:
+      break;
+    case HintSortMode::kById:
+      // Object ids arrive in increasing order (see Section 5.5 of the
+      // paper); appending keeps the subdivision id-sorted.
+      break;
+    case HintSortMode::kBeneficial:
+      if (role == kOin || role == kOaft) {
+        // Sorted by interval start, ascending.
+        pos = static_cast<size_t>(
+            std::upper_bound(sub->sts.begin(), sub->sts.end(), st) -
+            sub->sts.begin());
+      } else if (role == kRin) {
+        // Sorted by interval end, descending.
+        pos = static_cast<size_t>(
+            std::upper_bound(sub->ends.begin(), sub->ends.end(), end,
+                             std::greater<StoredTime>()) -
+            sub->ends.begin());
+      }
+      break;
+  }
+  sub->ids.insert(sub->ids.begin() + pos, id);
+  if (KeepsStart(role)) sub->sts.insert(sub->sts.begin() + pos, st);
+  if (KeepsEnd(role)) sub->ends.insert(sub->ends.begin() + pos, end);
+  ++num_entries_;
+}
+
+void HintIndex::SortSubdiv(Subdiv* sub, SubdivRole role) {
+  const size_t n = sub->ids.size();
+  if (n <= 1) return;
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  switch (options_.sort_mode) {
+    case HintSortMode::kNone:
+      return;
+    case HintSortMode::kById:
+      std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+        return sub->ids[a] < sub->ids[b];
+      });
+      break;
+    case HintSortMode::kBeneficial:
+      if (role == kOin || role == kOaft) {
+        std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+          return sub->sts[a] < sub->sts[b];
+        });
+      } else if (role == kRin) {
+        std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+          return sub->ends[a] > sub->ends[b];
+        });
+      } else {
+        return;  // R_aft: no beneficial order exists
+      }
+      break;
+  }
+  ApplyPermutation(perm, &sub->ids);
+  ApplyPermutation(perm, &sub->sts);
+  ApplyPermutation(perm, &sub->ends);
+}
+
+Status HintIndex::Build(const std::vector<IntervalRecord>& records,
+                        Time domain_end, const HintOptions& options) {
+  if (options.num_bits < 0 || options.num_bits > 30) {
+    return Status::InvalidArgument("num_bits must be in [0, 30]");
+  }
+  if (domain_end >= std::numeric_limits<StoredTime>::max()) {
+    return Status::InvalidArgument(
+        "domain exceeds 32-bit stored endpoints");
+  }
+  options_ = options;
+  mapper_ = DomainMapper(domain_end, options.num_bits);
+  levels_.Init(options.num_bits);
+  num_entries_ = 0;
+  num_tombstones_ = 0;
+
+  const int m = options.num_bits;
+  for (const IntervalRecord& rec : records) {
+    if (rec.interval.end > domain_end) {
+      return Status::OutOfDomain("interval exceeds declared domain");
+    }
+    uint64_t first, last;
+    mapper_.CellSpan(rec.interval, &first, &last);
+    // During bulk build we append unsorted and sort once afterwards.
+    const HintSortMode saved = options_.sort_mode;
+    options_.sort_mode = HintSortMode::kNone;
+    AssignToPartitions(m, first, last, [&](const PartitionRef& ref) {
+      Partition& part = levels_.FindOrCreate(ref.level, ref.index);
+      const bool ends_inside =
+          (last >> (m - ref.level)) == ref.index;
+      const SubdivRole role =
+          ref.original ? (ends_inside ? kOin : kOaft)
+                       : (ends_inside ? kRin : kRaft);
+      Append(&part.subs[role], role, rec.id, rec.interval);
+    });
+    options_.sort_mode = saved;
+  }
+
+  levels_.ForEachMutable([this](int, uint64_t, Partition& part) {
+    for (int role = 0; role < 4; ++role) {
+      SortSubdiv(&part.subs[role], static_cast<SubdivRole>(role));
+    }
+  });
+  max_time_ = std::max(max_time_, domain_end);
+  return Status::OK();
+}
+
+template <typename Emit>
+void HintIndex::ScanSubdiv(const Subdiv& sub, SubdivRole role, CheckMode mode,
+                           const Interval& q, Emit&& emit) const {
+  const size_t n = sub.ids.size();
+  const StoredTime qst = static_cast<StoredTime>(q.st);
+  const StoredTime qend = static_cast<StoredTime>(
+      std::min<Time>(q.end, std::numeric_limits<StoredTime>::max() - 1));
+  const bool beneficial = options_.sort_mode == HintSortMode::kBeneficial;
+
+  switch (mode) {
+    case CheckMode::kNone:
+      for (size_t i = 0; i < n; ++i) {
+        if (sub.ids[i] != kTombstoneId) emit(sub.ids[i]);
+      }
+      break;
+    case CheckMode::kStartOnly:  // keep entries with i.end >= q.st
+      assert(!sub.ends.empty() || n == 0);
+      if (beneficial && role == kRin) {
+        // ends sorted descending: stop at the first miss.
+        for (size_t i = 0; i < n && sub.ends[i] >= qst; ++i) {
+          if (sub.ids[i] != kTombstoneId) emit(sub.ids[i]);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (sub.ends[i] >= qst && sub.ids[i] != kTombstoneId) {
+            emit(sub.ids[i]);
+          }
+        }
+      }
+      break;
+    case CheckMode::kEndOnly:  // keep entries with i.st <= q.end
+      assert(!sub.sts.empty() || n == 0);
+      if (beneficial && (role == kOin || role == kOaft)) {
+        // starts sorted ascending: stop at the first miss.
+        for (size_t i = 0; i < n && sub.sts[i] <= qend; ++i) {
+          if (sub.ids[i] != kTombstoneId) emit(sub.ids[i]);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (sub.sts[i] <= qend && sub.ids[i] != kTombstoneId) {
+            emit(sub.ids[i]);
+          }
+        }
+      }
+      break;
+    case CheckMode::kBoth:
+      assert((!sub.sts.empty() && !sub.ends.empty()) || n == 0);
+      if (beneficial && role == kOin) {
+        for (size_t i = 0; i < n && sub.sts[i] <= qend; ++i) {
+          if (sub.ends[i] >= qst && sub.ids[i] != kTombstoneId) {
+            emit(sub.ids[i]);
+          }
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (sub.sts[i] <= qend && sub.ends[i] >= qst &&
+              sub.ids[i] != kTombstoneId) {
+            emit(sub.ids[i]);
+          }
+        }
+      }
+      break;
+  }
+}
+
+template <typename Emit>
+void HintIndex::ScanPartition(const Partition& part, uint64_t j,
+                              const LevelPlan& plan, const Interval& q,
+                              Emit&& emit) const {
+  CheckMode originals_mode;
+  bool scan_replicas = false;
+  CheckMode replicas_mode = CheckMode::kNone;
+  if (j == plan.f) {
+    originals_mode = plan.first_originals;
+    scan_replicas = true;
+    replicas_mode = plan.first_replicas;
+  } else if (j == plan.l) {
+    originals_mode = plan.last_originals;
+  } else {
+    originals_mode = CheckMode::kNone;
+  }
+  const auto [o_in, o_aft] = SplitOriginalsMode(originals_mode);
+  ScanSubdiv(part.subs[kOin], kOin, o_in, q, emit);
+  ScanSubdiv(part.subs[kOaft], kOaft, o_aft, q, emit);
+  if (scan_replicas) {
+    const auto [r_in, r_aft] = SplitReplicasMode(replicas_mode);
+    ScanSubdiv(part.subs[kRin], kRin, r_in, q, emit);
+    ScanSubdiv(part.subs[kRaft], kRaft, r_aft, q, emit);
+  }
+}
+
+template <typename Emit>
+void HintIndex::Traverse(const Interval& q, Emit&& emit) const {
+  if (q.st > q.end) return;
+  if (q.st <= mapper_.domain_end()) {
+    const int m = options_.num_bits;
+    TraversalState state(m, mapper_.Cell(q.st), mapper_.Cell(q.end));
+    for (int level = m; level >= 0; --level) {
+      const LevelPlan plan = state.PlanLevel(level);
+      levels_.ForRange(level, plan.f, plan.l,
+                       [&](uint64_t j, const Partition& part) {
+                         ScanPartition(part, j, plan, q, emit);
+                       });
+      state.Descend(level);
+    }
+  }
+  // Overflow: intervals past the declared domain, checked exhaustively.
+  for (const IntervalRecord& rec : overflow_) {
+    if (rec.id != kTombstoneId && Overlaps(rec.interval, q)) emit(rec.id);
+  }
+}
+
+void HintIndex::RangeQuery(const Interval& q,
+                           std::vector<ObjectId>* out) const {
+  Traverse(q, [out](ObjectId id) { out->push_back(id); });
+}
+
+void HintIndex::RangeQueryFiltered(
+    const Interval& q, const std::vector<ObjectId>& sorted_candidates,
+    std::vector<ObjectId>* out) const {
+  Traverse(q, [&](ObjectId id) {
+    if (InCandidates(sorted_candidates, id)) out->push_back(id);
+  });
+}
+
+void HintIndex::IntersectRelevant(
+    const Interval& q, const std::vector<ObjectId>& sorted_candidates,
+    std::vector<ObjectId>* out) const {
+  assert(options_.sort_mode == HintSortMode::kById);
+  if (q.st > q.end) return;
+  const int m = options_.num_bits;
+  const uint64_t qst_cell = mapper_.Cell(q.st);
+  const uint64_t qend_cell = mapper_.Cell(q.end);
+
+  auto merge = [&](const Subdiv& sub) {
+    // Two-pointer id merge; tombstones are skipped in place (their slot
+    // keeps the original position, so the live subsequence stays sorted).
+    size_t i = 0;
+    size_t c = 0;
+    const size_t n = sub.ids.size();
+    const size_t cn = sorted_candidates.size();
+    while (i < n && c < cn) {
+      const ObjectId id = sub.ids[i];
+      if (id == kTombstoneId) {
+        ++i;
+        continue;
+      }
+      if (id < sorted_candidates[c]) {
+        ++i;
+      } else if (id > sorted_candidates[c]) {
+        ++c;
+      } else {
+        out->push_back(id);
+        ++i;
+        ++c;
+      }
+    }
+  };
+
+  if (q.st <= mapper_.domain_end()) {
+    for (int level = m; level >= 0; --level) {
+      const uint64_t f = qst_cell >> (m - level);
+      const uint64_t l = qend_cell >> (m - level);
+      levels_.ForRange(level, f, l, [&](uint64_t j, const Partition& part) {
+        merge(part.subs[kOin]);
+        merge(part.subs[kOaft]);
+        if (j == f) {
+          merge(part.subs[kRin]);
+          merge(part.subs[kRaft]);
+        }
+      });
+    }
+  }
+  // Overflow entries are id-ordered (ids only grow); merge directly. The
+  // candidates are temporally qualified, so no endpoint checks are needed.
+  size_t i = 0;
+  size_t c = 0;
+  while (i < overflow_.size() && c < sorted_candidates.size()) {
+    const ObjectId id = overflow_[i].id;
+    if (id == kTombstoneId) {
+      ++i;
+    } else if (id < sorted_candidates[c]) {
+      ++i;
+    } else if (id > sorted_candidates[c]) {
+      ++c;
+    } else {
+      out->push_back(id);
+      ++i;
+      ++c;
+    }
+  }
+}
+
+Status HintIndex::Insert(ObjectId id, const Interval& interval) {
+  if (levels_.empty()) {
+    return Status::InvalidArgument("index not built");
+  }
+  if (interval.st > interval.end) {
+    return Status::InvalidArgument("interval start exceeds end");
+  }
+  if (interval.end >= std::numeric_limits<StoredTime>::max()) {
+    return Status::OutOfDomain("interval exceeds 32-bit stored endpoints");
+  }
+  if (interval.end > mapper_.domain_end()) {
+    // Time-expanding extension: the interval outgrows the declared domain;
+    // keep it in the overflow store (scanned exhaustively by queries).
+    overflow_.push_back(IntervalRecord{id, interval});
+    ++num_entries_;
+    max_time_ = std::max(max_time_, interval.end);
+    return Status::OK();
+  }
+  const int m = options_.num_bits;
+  uint64_t first, last;
+  mapper_.CellSpan(interval, &first, &last);
+  AssignToPartitions(m, first, last, [&](const PartitionRef& ref) {
+    Partition& part = levels_.FindOrCreate(ref.level, ref.index);
+    const bool ends_inside = (last >> (m - ref.level)) == ref.index;
+    const SubdivRole role = ref.original ? (ends_inside ? kOin : kOaft)
+                                         : (ends_inside ? kRin : kRaft);
+    Append(&part.subs[role], role, id, interval);
+  });
+  return Status::OK();
+}
+
+Status HintIndex::Erase(ObjectId id, const Interval& interval) {
+  if (levels_.empty()) {
+    return Status::InvalidArgument("index not built");
+  }
+  if (interval.end > mapper_.domain_end()) {
+    for (IntervalRecord& rec : overflow_) {
+      if (rec.id == id) {
+        rec.id = kTombstoneId;
+        ++num_tombstones_;
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("no live entry for id");
+  }
+  const int m = options_.num_bits;
+  uint64_t first, last;
+  mapper_.CellSpan(interval, &first, &last);
+  size_t tombstoned = 0;
+  AssignToPartitions(m, first, last, [&](const PartitionRef& ref) {
+    Partition* part = levels_.Find(ref.level, ref.index);
+    if (part == nullptr) return;
+    const bool ends_inside = (last >> (m - ref.level)) == ref.index;
+    const SubdivRole role = ref.original ? (ends_inside ? kOin : kOaft)
+                                         : (ends_inside ? kRin : kRaft);
+    Subdiv& sub = part->subs[role];
+    for (size_t i = 0; i < sub.ids.size(); ++i) {
+      if (sub.ids[i] == id) {
+        sub.ids[i] = kTombstoneId;
+        ++tombstoned;
+        break;
+      }
+    }
+  });
+  if (tombstoned == 0) {
+    return Status::NotFound("no live entry for id");
+  }
+  num_tombstones_ += tombstoned;
+  return Status::OK();
+}
+
+template <typename Emit>
+void HintIndex::TraverseEntries(const Interval& range, Emit&& emit) const {
+  if (range.st > range.end) return;
+  if (range.st <= mapper_.domain_end()) {
+    const int m = options_.num_bits;
+    const uint64_t f_bottom = mapper_.Cell(range.st);
+    const uint64_t l_bottom = mapper_.Cell(std::min(range.end,
+                                                    mapper_.domain_end()));
+    auto scan = [&emit](const Subdiv& sub) {
+      for (size_t i = 0; i < sub.ids.size(); ++i) {
+        if (sub.ids[i] != kTombstoneId) {
+          emit(sub.ids[i], static_cast<Time>(sub.sts[i]),
+               static_cast<Time>(sub.ends[i]));
+        }
+      }
+    };
+    for (int level = m; level >= 0; --level) {
+      const uint64_t f = f_bottom >> (m - level);
+      const uint64_t l = l_bottom >> (m - level);
+      levels_.ForRange(level, f, l, [&](uint64_t j, const Partition& part) {
+        // Originals at every relevant partition; replicas only at the
+        // first one. This cannot reach an entry twice even without
+        // comparisons: an interval has exactly one original assignment,
+        // its cover partitions are pairwise disjoint (so at most one can
+        // lie on the first-relevant ancestor chain), and if a replica
+        // assignment is on that chain the original partition lies strictly
+        // before the query's start cell and is never relevant.
+        scan(part.subs[kOin]);
+        scan(part.subs[kOaft]);
+        if (j == f) {
+          scan(part.subs[kRin]);
+          scan(part.subs[kRaft]);
+        }
+      });
+    }
+  }
+  for (const IntervalRecord& rec : overflow_) {
+    if (rec.id != kTombstoneId && Overlaps(rec.interval, range)) {
+      emit(rec.id, rec.interval.st, rec.interval.end);
+    }
+  }
+}
+
+Status HintIndex::AllenQuery(AllenRelation relation, const Interval& q,
+                             std::vector<ObjectId>* out) const {
+  out->clear();
+  if (levels_.empty()) return Status::InvalidArgument("index not built");
+  if (options_.storage_optimization) {
+    return Status::NotSupported(
+        "AllenQuery needs both endpoint arrays; rebuild without the "
+        "storage optimization");
+  }
+  if (q.st > q.end) return Status::InvalidArgument("inverted query interval");
+  Interval range;
+  if (!AllenCandidateRange(relation, q, std::max(max_time_,
+                                                 mapper_.domain_end()),
+                           &range)) {
+    return Status::OK();  // provably empty (BEFORE at 0 / AFTER at the end)
+  }
+  TraverseEntries(range, [&](ObjectId id, Time st, Time end) {
+    if (MatchesAllen(relation, Interval(st, end), q)) out->push_back(id);
+  });
+  return Status::OK();
+}
+
+HintStats HintIndex::Stats(size_t distinct_intervals) const {
+  HintStats stats;
+  stats.levels.resize(static_cast<size_t>(options_.num_bits) + 1);
+  for (int level = 0; level <= options_.num_bits; ++level) {
+    stats.levels[level].level = level;
+  }
+  levels_.ForEach([&stats](int level, uint64_t, const Partition& part) {
+    HintLevelStats& ls = stats.levels[level];
+    ++ls.partitions;
+    ls.originals += part.subs[kOin].ids.size() + part.subs[kOaft].ids.size();
+    ls.replicas += part.subs[kRin].ids.size() + part.subs[kRaft].ids.size();
+  });
+  stats.total_entries = num_entries_;
+  stats.overflow_entries = overflow_.size();
+  stats.tombstones = num_tombstones_;
+  if (distinct_intervals > 0) {
+    stats.replication_factor = static_cast<double>(num_entries_) /
+                               static_cast<double>(distinct_intervals);
+  }
+  return stats;
+}
+
+size_t HintIndex::MemoryUsageBytes() const {
+  size_t bytes = levels_.DirectoryBytes();
+  bytes += overflow_.capacity() * sizeof(IntervalRecord);
+  levels_.ForEach([&bytes](int, uint64_t, const Partition& part) {
+    for (const auto& sub : part.subs) {
+      bytes += sub.ids.capacity() * sizeof(ObjectId);
+      bytes += sub.sts.capacity() * sizeof(StoredTime);
+      bytes += sub.ends.capacity() * sizeof(StoredTime);
+    }
+  });
+  return bytes;
+}
+
+}  // namespace irhint

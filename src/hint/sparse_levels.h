@@ -1,0 +1,119 @@
+// Sparse storage for HINT's hierarchy of partitions.
+//
+// A dense layout (2^l slots at level l) would waste enormous amounts of
+// memory for skewed or sparse data at large m, and iterating empty slots
+// would dominate query time for wide query ranges. Instead, each level keeps
+// its non-empty partitions in a vector sorted by partition number; range
+// queries locate the first relevant partition with a binary search and then
+// walk only the non-empty ones — this plays the role of the auxiliary index
+// in HINT's skewness & sparsity optimization.
+
+#ifndef IRHINT_HINT_SPARSE_LEVELS_H_
+#define IRHINT_HINT_SPARSE_LEVELS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace irhint {
+
+/// \brief m+1 levels of sorted (partition number -> payload P) maps.
+template <typename P>
+class SparseLevels {
+ public:
+  void Init(int m) {
+    levels_.clear();
+    levels_.resize(static_cast<size_t>(m) + 1);
+  }
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  bool empty() const { return levels_.empty(); }
+
+  /// \brief Payload for partition j at `level`, creating it if absent.
+  P& FindOrCreate(int level, uint64_t j) {
+    Level& lv = levels_[level];
+    const size_t pos = LowerBound(lv, j);
+    if (pos < lv.keys.size() && lv.keys[pos] == j) return lv.parts[pos];
+    lv.keys.insert(lv.keys.begin() + pos, j);
+    lv.parts.insert(lv.parts.begin() + pos, P{});
+    return lv.parts[pos];
+  }
+
+  /// \brief Payload for partition j at `level`, or nullptr if empty.
+  const P* Find(int level, uint64_t j) const {
+    const Level& lv = levels_[level];
+    const size_t pos = LowerBound(lv, j);
+    if (pos < lv.keys.size() && lv.keys[pos] == j) return &lv.parts[pos];
+    return nullptr;
+  }
+
+  P* Find(int level, uint64_t j) {
+    return const_cast<P*>(static_cast<const SparseLevels*>(this)->Find(level, j));
+  }
+
+  /// \brief Visit the non-empty partitions with f <= number <= l at `level`;
+  /// fn(partition_number, const P&).
+  template <typename Fn>
+  void ForRange(int level, uint64_t f, uint64_t l, Fn&& fn) const {
+    const Level& lv = levels_[level];
+    for (size_t pos = LowerBound(lv, f);
+         pos < lv.keys.size() && lv.keys[pos] <= l; ++pos) {
+      fn(lv.keys[pos], lv.parts[pos]);
+    }
+  }
+
+  /// \brief Visit every non-empty partition; fn(level, number, const P&).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int level = 0; level < num_levels(); ++level) {
+      const Level& lv = levels_[level];
+      for (size_t pos = 0; pos < lv.keys.size(); ++pos) {
+        fn(level, lv.keys[pos], lv.parts[pos]);
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    for (int level = 0; level < num_levels(); ++level) {
+      Level& lv = levels_[level];
+      for (size_t pos = 0; pos < lv.keys.size(); ++pos) {
+        fn(level, lv.keys[pos], lv.parts[pos]);
+      }
+    }
+  }
+
+  /// \brief Total number of non-empty partitions across all levels.
+  size_t NumPartitions() const {
+    size_t n = 0;
+    for (const Level& lv : levels_) n += lv.keys.size();
+    return n;
+  }
+
+  /// \brief Bytes used by the directory itself (keys), excluding payloads.
+  size_t DirectoryBytes() const {
+    size_t bytes = 0;
+    for (const Level& lv : levels_) {
+      bytes += lv.keys.capacity() * sizeof(uint64_t);
+    }
+    return bytes;
+  }
+
+ private:
+  struct Level {
+    std::vector<uint64_t> keys;
+    std::vector<P> parts;
+  };
+
+  static size_t LowerBound(const Level& lv, uint64_t j) {
+    return static_cast<size_t>(
+        std::lower_bound(lv.keys.begin(), lv.keys.end(), j) -
+        lv.keys.begin());
+  }
+
+  std::vector<Level> levels_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_HINT_SPARSE_LEVELS_H_

@@ -1,0 +1,202 @@
+// The shared pieces of HINT's hierarchy logic:
+//
+//  * AssignToPartitions()  — the canonical dyadic cover of an interval's
+//    cell span (at most 2 partitions per level), distinguishing originals
+//    (interval starts inside the partition) from replicas;
+//  * PlanLevel()           — the per-level query plan of the bottom-up range
+//    query (Algorithm 2 of the paper): which partitions are relevant and
+//    which endpoint comparisons are still required, given the compfirst /
+//    complast pruning flags;
+//  * check-mode refinement for the in/aft subdivisions.
+//
+// These are reused verbatim by the standalone interval index (hint.h), by
+// the per-term postings HINTs of the IR-first methods (irfirst/tif_hint.h)
+// and by both irHINT variants (core/).
+
+#ifndef IRHINT_HINT_TRAVERSAL_H_
+#define IRHINT_HINT_TRAVERSAL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace irhint {
+
+/// \brief Division of a partition: originals start inside the partition,
+/// replicas start before it.
+enum class DivisionKind { kOriginals, kReplicas };
+
+/// \brief Which raw endpoint comparisons a division still requires.
+///
+///  * kBoth      — check q.st <= i.end AND i.st <= q.end
+///  * kStartOnly — check q.st <= i.end only
+///  * kEndOnly   — check i.st <= q.end only
+///  * kNone      — report everything, no comparisons
+enum class CheckMode { kBoth, kStartOnly, kEndOnly, kNone };
+
+/// \brief One (level, partition) assignment of an interval.
+struct PartitionRef {
+  int level;
+  uint64_t index;
+  bool original;  // true: starts inside the partition; false: replica
+};
+
+/// \brief Compute the canonical cover of the cell span [first, last] over an
+/// m-level hierarchy and invoke fn(PartitionRef) for each assignment.
+///
+/// The cover is the standard segment-tree cover: at each level, a partition
+/// whose sibling is not fully covered is emitted; at most 2 partitions per
+/// level, at most 2(m+1) in total. A partition stores the interval as an
+/// original iff the partition contains the interval's first cell.
+template <typename Fn>
+void AssignToPartitions(int m, uint64_t first, uint64_t last, Fn&& fn) {
+  assert(first <= last);
+  uint64_t a = first;
+  uint64_t b = last;
+  for (int level = m; level >= 0; --level) {
+    const uint64_t start_prefix = first >> (m - level);
+    if (a == b) {
+      fn(PartitionRef{level, a, a == start_prefix});
+      return;
+    }
+    if (a & 1) {
+      fn(PartitionRef{level, a, a == start_prefix});
+      ++a;
+    }
+    if (!(b & 1)) {
+      fn(PartitionRef{level, b, b == start_prefix});
+      --b;
+    }
+    if (a > b) return;
+    a >>= 1;
+    b >>= 1;
+  }
+}
+
+/// \brief Query plan for one hierarchy level (Algorithm 2, lines 5-26).
+///
+/// Relevant partitions at the level are f..l. Replicas are accessed only at
+/// the first partition. Check modes for the three distinguished positions
+/// are given explicitly; every partition strictly between f and l reports
+/// its originals without comparisons (kNone).
+struct LevelPlan {
+  uint64_t f;                 // first relevant partition
+  uint64_t l;                 // last relevant partition
+  CheckMode first_originals;
+  CheckMode first_replicas;
+  CheckMode last_originals;   // only meaningful when l > f
+};
+
+/// \brief Tracks the compfirst/complast pruning flags across the bottom-up
+/// sweep and materializes the per-level plan.
+///
+/// Usage:
+///   TraversalState state(m, qst_cell, qend_cell);
+///   for (int level = m; level >= 0; --level) {
+///     LevelPlan plan = state.PlanLevel(level);
+///     ... visit partitions f..l per plan ...
+///     state.Descend();   // update flags before the next (upper) level
+///   }
+class TraversalState {
+ public:
+  TraversalState(int m, uint64_t qst_cell, uint64_t qend_cell)
+      : m_(m), qst_cell_(qst_cell), qend_cell_(qend_cell) {}
+
+  LevelPlan PlanLevel(int level) const {
+    LevelPlan plan;
+    plan.f = qst_cell_ >> (m_ - level);
+    plan.l = qend_cell_ >> (m_ - level);
+    if (plan.f == plan.l) {
+      if (compfirst_ && complast_) {
+        plan.first_originals = CheckMode::kBoth;
+        plan.first_replicas = CheckMode::kStartOnly;
+      } else if (complast_) {
+        // compfirst cleared: q.st <= i.end holds for everything here.
+        plan.first_originals = CheckMode::kEndOnly;
+        plan.first_replicas = CheckMode::kNone;
+      } else if (compfirst_) {
+        // complast cleared: i.st <= q.end holds for everything here.
+        plan.first_originals = CheckMode::kStartOnly;
+        plan.first_replicas = CheckMode::kStartOnly;
+      } else {
+        plan.first_originals = CheckMode::kNone;
+        plan.first_replicas = CheckMode::kNone;
+      }
+      plan.last_originals = CheckMode::kNone;  // unused
+    } else {
+      // First relevant partition: i.st <= q.end holds by construction
+      // because later partitions exist at this level.
+      if (compfirst_) {
+        plan.first_originals = CheckMode::kStartOnly;
+        plan.first_replicas = CheckMode::kStartOnly;
+      } else {
+        plan.first_originals = CheckMode::kNone;
+        plan.first_replicas = CheckMode::kNone;
+      }
+      // Last relevant partition: q.st <= i.end holds by construction.
+      plan.last_originals = complast_ ? CheckMode::kEndOnly : CheckMode::kNone;
+    }
+    return plan;
+  }
+
+  /// \brief Update the pruning flags after processing `level` (Algorithm 2,
+  /// lines 23-26).
+  void Descend(int level) {
+    const uint64_t f = qst_cell_ >> (m_ - level);
+    const uint64_t l = qend_cell_ >> (m_ - level);
+    if ((f & 1) == 0) compfirst_ = false;
+    if ((l & 1) == 1) complast_ = false;
+  }
+
+  bool compfirst() const { return compfirst_; }
+  bool complast() const { return complast_; }
+
+ private:
+  int m_;
+  uint64_t qst_cell_;
+  uint64_t qend_cell_;
+  bool compfirst_ = true;
+  bool complast_ = true;
+};
+
+/// \brief Refine an originals-division check mode into modes for the
+/// O_in / O_aft subdivisions (Section 2.3 "Optimizations").
+///
+/// Intervals in O_aft end after the partition, so the q.st <= i.end check is
+/// never required for them; the i.st <= q.end check carries over.
+inline std::pair<CheckMode, CheckMode> SplitOriginalsMode(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kBoth:
+      return {CheckMode::kBoth, CheckMode::kEndOnly};
+    case CheckMode::kStartOnly:
+      return {CheckMode::kStartOnly, CheckMode::kNone};
+    case CheckMode::kEndOnly:
+      return {CheckMode::kEndOnly, CheckMode::kEndOnly};
+    case CheckMode::kNone:
+      return {CheckMode::kNone, CheckMode::kNone};
+  }
+  return {CheckMode::kNone, CheckMode::kNone};
+}
+
+/// \brief Refine a replicas-division check mode into modes for the
+/// R_in / R_aft subdivisions.
+///
+/// Replicas are only accessed at the first relevant partition and only ever
+/// need the q.st <= i.end check (they start before the partition, hence
+/// before q.end); R_aft intervals also end after the partition, so they need
+/// no checks at all.
+inline std::pair<CheckMode, CheckMode> SplitReplicasMode(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kBoth:
+    case CheckMode::kStartOnly:
+      return {CheckMode::kStartOnly, CheckMode::kNone};
+    case CheckMode::kEndOnly:
+    case CheckMode::kNone:
+      return {CheckMode::kNone, CheckMode::kNone};
+  }
+  return {CheckMode::kNone, CheckMode::kNone};
+}
+
+}  // namespace irhint
+
+#endif  // IRHINT_HINT_TRAVERSAL_H_

@@ -1,0 +1,98 @@
+#include "interval_baselines/grid1d.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace irhint {
+
+uint32_t Grid1D::PartitionOf(Time t) const {
+  if (t >= domain_size_) return options_.num_partitions - 1;
+  return static_cast<uint32_t>(static_cast<__uint128_t>(t) *
+                               options_.num_partitions / domain_size_);
+}
+
+Status Grid1D::Build(const std::vector<IntervalRecord>& records,
+                     Time domain_end, const Grid1DOptions& options) {
+  if (options.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (domain_end >= std::numeric_limits<StoredTime>::max()) {
+    return Status::InvalidArgument("domain exceeds 32-bit stored endpoints");
+  }
+  options_ = options;
+  domain_size_ = domain_end + 1;
+  cells_.assign(options.num_partitions, Cell{});
+  num_entries_ = 0;
+  for (const IntervalRecord& rec : records) {
+    IRHINT_RETURN_NOT_OK(Insert(rec.id, rec.interval));
+  }
+  return Status::OK();
+}
+
+Status Grid1D::Insert(ObjectId id, const Interval& interval) {
+  if (cells_.empty()) return Status::InvalidArgument("index not built");
+  if (interval.st > interval.end) {
+    return Status::InvalidArgument("interval start exceeds end");
+  }
+  if (interval.end >= domain_size_) {
+    return Status::OutOfDomain("interval exceeds declared domain");
+  }
+  const uint32_t first = PartitionOf(interval.st);
+  const uint32_t last = PartitionOf(interval.end);
+  for (uint32_t p = first; p <= last; ++p) {
+    Cell& cell = cells_[p];
+    cell.ids.push_back(id);
+    cell.sts.push_back(static_cast<StoredTime>(interval.st));
+    cell.ends.push_back(static_cast<StoredTime>(interval.end));
+    ++num_entries_;
+  }
+  return Status::OK();
+}
+
+Status Grid1D::Erase(ObjectId id, const Interval& interval) {
+  if (cells_.empty()) return Status::InvalidArgument("index not built");
+  const uint32_t first = PartitionOf(interval.st);
+  const uint32_t last = PartitionOf(interval.end);
+  size_t tombstoned = 0;
+  for (uint32_t p = first; p <= last; ++p) {
+    Cell& cell = cells_[p];
+    for (size_t i = 0; i < cell.ids.size(); ++i) {
+      if (cell.ids[i] == id) {
+        cell.ids[i] = kTombstoneId;
+        ++tombstoned;
+        break;
+      }
+    }
+  }
+  return tombstoned > 0 ? Status::OK() : Status::NotFound("id not present");
+}
+
+void Grid1D::RangeQuery(const Interval& q, std::vector<ObjectId>* out) const {
+  if (cells_.empty() || q.st > q.end || q.st >= domain_size_) return;
+  const uint32_t first = PartitionOf(q.st);
+  const uint32_t last = PartitionOf(std::min<Time>(q.end, domain_size_ - 1));
+  const StoredTime qst = static_cast<StoredTime>(q.st);
+  for (uint32_t p = first; p <= last; ++p) {
+    const Cell& cell = cells_[p];
+    for (size_t i = 0; i < cell.ids.size(); ++i) {
+      if (cell.ids[i] == kTombstoneId) continue;
+      if (cell.sts[i] > q.end || cell.ends[i] < q.st) continue;
+      // Reference value: report only from the partition that contains
+      // max(i.st, q.st) to avoid duplicates across replicas.
+      const StoredTime ref = std::max(cell.sts[i], qst);
+      if (PartitionOf(ref) == p) out->push_back(cell.ids[i]);
+    }
+  }
+}
+
+size_t Grid1D::MemoryUsageBytes() const {
+  size_t bytes = cells_.capacity() * sizeof(Cell);
+  for (const Cell& cell : cells_) {
+    bytes += cell.ids.capacity() * sizeof(ObjectId);
+    bytes += cell.sts.capacity() * sizeof(StoredTime);
+    bytes += cell.ends.capacity() * sizeof(StoredTime);
+  }
+  return bytes;
+}
+
+}  // namespace irhint

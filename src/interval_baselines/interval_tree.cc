@@ -1,0 +1,141 @@
+#include "interval_baselines/interval_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace irhint {
+
+Status IntervalTree::Build(const std::vector<IntervalRecord>& records,
+                           Time domain_end) {
+  if (domain_end >= std::numeric_limits<StoredTime>::max()) {
+    return Status::InvalidArgument("domain exceeds 32-bit stored endpoints");
+  }
+  nodes_.clear();
+  root_ = -1;
+  num_entries_ = records.size();
+  std::vector<Entry> entries;
+  entries.reserve(records.size());
+  for (const IntervalRecord& rec : records) {
+    if (rec.interval.end > domain_end) {
+      return Status::OutOfDomain("interval exceeds declared domain");
+    }
+    entries.push_back(Entry{rec.id, static_cast<StoredTime>(rec.interval.st),
+                            static_cast<StoredTime>(rec.interval.end)});
+  }
+  root_ = BuildNode(std::move(entries), 0, domain_end);
+  return Status::OK();
+}
+
+int32_t IntervalTree::BuildNode(std::vector<Entry>&& entries, Time lo,
+                                Time hi) {
+  if (entries.empty()) return -1;
+  const Time center = lo + (hi - lo) / 2;
+  std::vector<Entry> here;
+  std::vector<Entry> left;
+  std::vector<Entry> right;
+  for (Entry& e : entries) {
+    if (e.end < center) {
+      left.push_back(e);
+    } else if (e.st > center) {
+      right.push_back(e);
+    } else {
+      here.push_back(e);
+    }
+  }
+  entries.clear();
+  entries.shrink_to_fit();
+
+  const int32_t index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[index].center = static_cast<StoredTime>(center);
+  nodes_[index].by_st = here;
+  std::sort(nodes_[index].by_st.begin(), nodes_[index].by_st.end(),
+            [](const Entry& a, const Entry& b) { return a.st < b.st; });
+  nodes_[index].by_end = std::move(here);
+  std::sort(nodes_[index].by_end.begin(), nodes_[index].by_end.end(),
+            [](const Entry& a, const Entry& b) { return a.end > b.end; });
+
+  // lo == hi implies every entry contains the center; recursion terminates.
+  const int32_t left_child =
+      (center > lo) ? BuildNode(std::move(left), lo, center - 1) : -1;
+  const int32_t right_child =
+      (center < hi) ? BuildNode(std::move(right), center + 1, hi) : -1;
+  nodes_[index].left = left_child;
+  nodes_[index].right = right_child;
+  return index;
+}
+
+void IntervalTree::RangeQuery(const Interval& q,
+                              std::vector<ObjectId>* out) const {
+  if (root_ < 0 || q.st > q.end) return;
+  // Explicit stack; both children must sometimes be visited.
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const int32_t index = stack.back();
+    stack.pop_back();
+    if (index < 0) continue;
+    const Node& node = nodes_[index];
+    if (q.end < node.center) {
+      // Node intervals contain the center; overlap iff they start <= q.end.
+      for (const Entry& e : node.by_st) {
+        if (e.st > q.end) break;
+        if (e.id != kTombstoneId) out->push_back(e.id);
+      }
+      stack.push_back(node.left);
+    } else if (q.st > node.center) {
+      // Overlap iff the interval ends >= q.st.
+      for (const Entry& e : node.by_end) {
+        if (e.end < q.st) break;
+        if (e.id != kTombstoneId) out->push_back(e.id);
+      }
+      stack.push_back(node.right);
+    } else {
+      // The query covers the center: every node interval overlaps.
+      for (const Entry& e : node.by_st) {
+        if (e.id != kTombstoneId) out->push_back(e.id);
+      }
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+}
+
+Status IntervalTree::Erase(ObjectId id, const Interval& interval) {
+  int32_t index = root_;
+  while (index >= 0) {
+    Node& node = nodes_[index];
+    if (interval.end < node.center) {
+      index = node.left;
+    } else if (interval.st > node.center) {
+      index = node.right;
+    } else {
+      bool found = false;
+      for (Entry& e : node.by_st) {
+        if (e.id == id) {
+          e.id = kTombstoneId;
+          found = true;
+          break;
+        }
+      }
+      for (Entry& e : node.by_end) {
+        if (e.id == id) {
+          e.id = kTombstoneId;
+          break;
+        }
+      }
+      return found ? Status::OK() : Status::NotFound("id not present");
+    }
+  }
+  return Status::NotFound("id not present");
+}
+
+size_t IntervalTree::MemoryUsageBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    bytes += node.by_st.capacity() * sizeof(Entry);
+    bytes += node.by_end.capacity() * sizeof(Entry);
+  }
+  return bytes;
+}
+
+}  // namespace irhint

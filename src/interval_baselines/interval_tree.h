@@ -1,0 +1,65 @@
+// Centered interval tree (Edelsbrunner 1980; Section 6.2 of the paper).
+//
+// The domain is divided recursively: intervals containing the center of the
+// current (sub)domain are stored at the node in two sorted lists (by start
+// ascending and by end descending); intervals entirely left/right of the
+// center descend into the corresponding child. Range queries walk the path
+// from the root, using the sorted lists for early-exit scans. Provides the
+// classic O(log n + k) stabbing behaviour and serves as a baseline against
+// HINT in the ablation bench.
+
+#ifndef IRHINT_INTERVAL_BASELINES_INTERVAL_TREE_H_
+#define IRHINT_INTERVAL_BASELINES_INTERVAL_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "data/object.h"
+#include "hint/hint.h"  // IntervalRecord, StoredTime
+
+namespace irhint {
+
+/// \brief Static centered interval tree over [0, domain_end].
+class IntervalTree {
+ public:
+  IntervalTree() = default;
+
+  Status Build(const std::vector<IntervalRecord>& records, Time domain_end);
+
+  /// \brief Report ids of all live intervals overlapping q, exactly once.
+  void RangeQuery(const Interval& q, std::vector<ObjectId>* out) const;
+
+  /// \brief Tombstone all entries of (id, interval).
+  Status Erase(ObjectId id, const Interval& interval);
+
+  size_t MemoryUsageBytes() const;
+  size_t NumEntries() const { return num_entries_; }
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    StoredTime st;
+    StoredTime end;
+  };
+
+  struct Node {
+    StoredTime center = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    std::vector<Entry> by_st;   // ascending interval start
+    std::vector<Entry> by_end;  // descending interval end
+  };
+
+  int32_t BuildNode(std::vector<Entry>&& entries, Time lo, Time hi);
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_INTERVAL_BASELINES_INTERVAL_TREE_H_

@@ -1,0 +1,147 @@
+#include "ir/division_index.h"
+
+#include <algorithm>
+
+namespace irhint {
+
+namespace {
+
+// Checks the temporal conditions required by `mode` (Algorithm 5's
+// per-division variants of Algorithm 1, line 5).
+inline bool PassesMode(const Posting& p, const Interval& q, CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kBoth:
+      return p.st <= q.end && q.st <= p.end;
+    case CheckMode::kStartOnly:
+      return q.st <= p.end;
+    case CheckMode::kEndOnly:
+      return p.st <= q.end;
+    case CheckMode::kNone:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+void DivisionTif::Add(ObjectId id, const Interval& interval,
+                      const std::vector<ElementId>& elements) {
+  const Posting posting{id, static_cast<StoredTime>(interval.st),
+                        static_cast<StoredTime>(interval.end)};
+  postings_.Add(posting, elements);
+}
+
+void DivisionTif::Query(const std::vector<ElementId>& elements,
+                        const Interval& q, CheckMode mode,
+                        DivisionQueryScratch* scratch,
+                        std::vector<ObjectId>* out) const {
+  // Temporal filter over the least (globally) frequent element's list.
+  std::vector<ObjectId>& candidates = scratch->candidates;
+  candidates.clear();
+  postings_.ScanList(elements[0], [&](const Posting& p) {
+    if (PassesMode(p, q, mode)) candidates.push_back(p.id);
+    return true;
+  });
+  if (candidates.empty()) return;
+
+  // Intersect with the remaining lists of this division: linear merge for
+  // comparably sized inputs, binary probing when the list dwarfs the
+  // candidate set (Algorithm 1 in merge fashion vs Algorithm 3's binary
+  // search, chosen adaptively).
+  std::vector<ObjectId>& next = scratch->next;
+  for (size_t i = 1; i < elements.size(); ++i) {
+    if (!postings_.HasElement(elements[i])) return;
+    next.clear();
+    if (postings_.CanProbe() &&
+        postings_.ListLength(elements[i]) > 16 * candidates.size()) {
+      for (ObjectId id : candidates) {
+        if (postings_.Probe(elements[i], id) != nullptr) next.push_back(id);
+      }
+    } else {
+      size_t c = 0;
+      postings_.ScanList(elements[i], [&](const Posting& p) {
+        while (c < candidates.size() && candidates[c] < p.id) ++c;
+        if (c == candidates.size()) return false;
+        if (candidates[c] == p.id) {
+          next.push_back(p.id);
+          ++c;
+        }
+        return true;
+      });
+    }
+    candidates.swap(next);
+    if (candidates.empty()) return;
+  }
+  out->insert(out->end(), candidates.begin(), candidates.end());
+}
+
+void DivisionIdIndex::Intersect(const std::vector<ObjectId>& sorted_candidates,
+                                const std::vector<ElementId>& elements,
+                                DivisionQueryScratch* scratch,
+                                std::vector<ObjectId>* out) const {
+  std::vector<ObjectId>& candidates = scratch->candidates;
+  candidates.assign(sorted_candidates.begin(), sorted_candidates.end());
+  std::vector<ObjectId>& next = scratch->next;
+  for (ElementId e : elements) {
+    if (candidates.empty()) return;
+    if (!postings_.HasElement(e)) return;
+    next.clear();
+    if (postings_.CanProbe() &&
+        postings_.ListLength(e) > 16 * candidates.size()) {
+      for (ObjectId id : candidates) {
+        if (postings_.Probe(e, id) != nullptr) next.push_back(id);
+      }
+    } else {
+      size_t c = 0;
+      postings_.ScanList(e, [&](const IdEntry& entry) {
+        while (c < candidates.size() && candidates[c] < entry.id) ++c;
+        if (c == candidates.size()) return false;
+        if (candidates[c] == entry.id) {
+          next.push_back(entry.id);
+          ++c;
+        }
+        return true;
+      });
+    }
+    candidates.swap(next);
+  }
+  out->insert(out->end(), candidates.begin(), candidates.end());
+}
+
+void DivisionIdIndex::IntersectLists(const std::vector<ElementId>& elements,
+                                     DivisionQueryScratch* scratch,
+                                     std::vector<ObjectId>* out) const {
+  std::vector<ObjectId>& candidates = scratch->candidates;
+  candidates.clear();
+  postings_.ScanList(elements[0], [&](const IdEntry& entry) {
+    candidates.push_back(entry.id);
+    return true;
+  });
+  std::vector<ObjectId>& next = scratch->next;
+  for (size_t i = 1; i < elements.size(); ++i) {
+    if (candidates.empty()) return;
+    if (!postings_.HasElement(elements[i])) return;
+    next.clear();
+    if (postings_.CanProbe() &&
+        postings_.ListLength(elements[i]) > 16 * candidates.size()) {
+      for (ObjectId id : candidates) {
+        if (postings_.Probe(elements[i], id) != nullptr) next.push_back(id);
+      }
+    } else {
+      size_t c = 0;
+      postings_.ScanList(elements[i], [&](const IdEntry& entry) {
+        while (c < candidates.size() && candidates[c] < entry.id) ++c;
+        if (c == candidates.size()) return false;
+        if (candidates[c] == entry.id) {
+          next.push_back(entry.id);
+          ++c;
+        }
+        return true;
+      });
+    }
+    candidates.swap(next);
+  }
+  out->insert(out->end(), candidates.begin(), candidates.end());
+}
+
+}  // namespace irhint

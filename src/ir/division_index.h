@@ -1,0 +1,325 @@
+// Division-level inverted indexes — the structures irHINT injects into
+// every HINT partition division (Section 4).
+//
+//  * DivisionTif: a temporal inverted file scoped to one (sub)division; the
+//    performance variant answers a mode-restricted time-travel IR query
+//    directly inside the division (Algorithm 5 / QueryTemporalIF).
+//  * DivisionIdIndex: an id-only inverted index per division; the size
+//    variant intersects externally computed temporal candidates against it
+//    (Algorithm 6 / QueryIF).
+//
+// Storage layout: a read-optimized CSR core (sorted element keys, offsets,
+// one contiguous postings array) plus a small mutable delta for online
+// inserts — the classic main+delta design. Because object ids only grow
+// (Section 5.5), every id in the delta is larger than every id in the core,
+// so scanning core-then-delta yields an id-sorted stream without merging.
+// Build paths accumulate into the delta and call Finalize() once to compact
+// it into the core.
+
+#ifndef IRHINT_IR_DIVISION_INDEX_H_
+#define IRHINT_IR_DIVISION_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+#include "data/object.h"
+#include "hint/traversal.h"
+#include "ir/postings.h"
+
+namespace irhint {
+
+/// \brief CSR + delta postings storage, generic over the entry payload.
+/// Entry must expose an ObjectId `id` field (Posting or IdEntry below).
+template <typename Entry>
+class DivisionPostings {
+ public:
+  /// \brief Append one entry per element (into the delta). Object ids must
+  /// arrive in increasing order.
+  void Add(const Entry& entry, const std::vector<ElementId>& elements) {
+    for (ElementId e : elements) {
+      uint32_t slot;
+      if (const uint32_t* found = delta_slot_.find(e)) {
+        slot = *found;
+      } else {
+        slot = static_cast<uint32_t>(delta_lists_.size());
+        delta_slot_.insert_or_assign(e, slot);
+        delta_lists_.emplace_back();
+      }
+      delta_lists_[slot].push_back(entry);
+      ++num_postings_;
+    }
+  }
+
+  /// \brief Compact the delta into the CSR core. Idempotent; called once
+  /// after a bulk build (queries work without it, just slower).
+  void Finalize() {
+    if (delta_slot_.empty()) return;
+    // Gather (key, delta slot) pairs sorted by key.
+    std::vector<std::pair<ElementId, uint32_t>> items;
+    items.reserve(delta_slot_.size());
+    delta_slot_.ForEach([&items](const ElementId& e, const uint32_t& slot) {
+      items.emplace_back(e, slot);
+    });
+    std::sort(items.begin(), items.end());
+
+    // Merge with the existing core (usually empty at build time).
+    std::vector<ElementId> keys;
+    std::vector<uint32_t> offsets;
+    std::vector<Entry> postings;
+    keys.reserve(keys_.size() + items.size());
+    postings.reserve(postings_.size() + num_postings_);
+    size_t core_pos = 0;
+    auto flush_core_until = [&](ElementId bound) {
+      while (core_pos < keys_.size() && keys_[core_pos] < bound) {
+        keys.push_back(keys_[core_pos]);
+        offsets.push_back(static_cast<uint32_t>(postings.size()));
+        postings.insert(postings.end(),
+                        postings_.begin() + offsets_[core_pos],
+                        postings_.begin() + offsets_[core_pos + 1]);
+        ++core_pos;
+      }
+    };
+    for (const auto& [e, slot] : items) {
+      flush_core_until(e);
+      keys.push_back(e);
+      offsets.push_back(static_cast<uint32_t>(postings.size()));
+      if (core_pos < keys_.size() && keys_[core_pos] == e) {
+        postings.insert(postings.end(),
+                        postings_.begin() + offsets_[core_pos],
+                        postings_.begin() + offsets_[core_pos + 1]);
+        ++core_pos;
+      }
+      postings.insert(postings.end(), delta_lists_[slot].begin(),
+                      delta_lists_[slot].end());
+    }
+    flush_core_until(static_cast<ElementId>(-1));
+    if (core_pos < keys_.size()) {  // the max key itself
+      keys.push_back(keys_[core_pos]);
+      offsets.push_back(static_cast<uint32_t>(postings.size()));
+      postings.insert(postings.end(), postings_.begin() + offsets_[core_pos],
+                      postings_.end());
+    }
+    offsets.push_back(static_cast<uint32_t>(postings.size()));
+
+    keys_ = std::move(keys);
+    offsets_ = std::move(offsets);
+    postings_ = std::move(postings);
+    keys_.shrink_to_fit();
+    offsets_.shrink_to_fit();
+    postings_.shrink_to_fit();
+    delta_slot_.clear();
+    delta_lists_.clear();
+  }
+
+  /// \brief Visit the id-ordered live stream of element e's postings:
+  /// core range first, then delta. fn(const Entry&) returning false stops.
+  template <typename Fn>
+  void ScanList(ElementId e, Fn&& fn) const {
+    const size_t pos = KeyPosition(e);
+    if (pos != kNotFound) {
+      for (uint32_t i = offsets_[pos]; i < offsets_[pos + 1]; ++i) {
+        if (postings_[i].id == kTombstoneId) continue;
+        if (!fn(postings_[i])) return;
+      }
+    }
+    if (const uint32_t* slot = delta_slot_.find(e)) {
+      for (const Entry& entry : delta_lists_[*slot]) {
+        if (entry.id == kTombstoneId) continue;
+        if (!fn(entry)) return;
+      }
+    }
+  }
+
+  /// \brief True iff element e has any (possibly tombstoned) postings.
+  bool HasElement(ElementId e) const {
+    return KeyPosition(e) != kNotFound || delta_slot_.find(e) != nullptr;
+  }
+
+  /// \brief Number of postings stored for element e (incl. tombstones).
+  size_t ListLength(ElementId e) const {
+    size_t n = 0;
+    const size_t pos = KeyPosition(e);
+    if (pos != kNotFound) n += offsets_[pos + 1] - offsets_[pos];
+    if (const uint32_t* slot = delta_slot_.find(e)) {
+      n += delta_lists_[*slot].size();
+    }
+    return n;
+  }
+
+  /// \brief True while no tombstones exist, i.e. the id order inside core
+  /// ranges and delta lists is intact and binary probing is sound.
+  bool CanProbe() const { return num_list_tombstones_ == 0; }
+
+  /// \brief Binary-probe element e's postings for `id` (requires
+  /// CanProbe()). Returns the entry or nullptr.
+  const Entry* Probe(ElementId e, ObjectId id) const {
+    const size_t pos = KeyPosition(e);
+    if (pos != kNotFound) {
+      const Entry* begin = postings_.data() + offsets_[pos];
+      const Entry* end = postings_.data() + offsets_[pos + 1];
+      const Entry* it = std::lower_bound(
+          begin, end, id,
+          [](const Entry& entry, ObjectId v) { return entry.id < v; });
+      if (it != end && it->id == id) return it;
+    }
+    if (const uint32_t* slot = delta_slot_.find(e)) {
+      const auto& list = delta_lists_[*slot];
+      const auto it = std::lower_bound(
+          list.begin(), list.end(), id,
+          [](const Entry& entry, ObjectId v) { return entry.id < v; });
+      if (it != list.end() && it->id == id) return &*it;
+    }
+    return nullptr;
+  }
+
+  /// \brief Tombstone id's posting under each element; returns the count.
+  size_t Tombstone(ObjectId id, const std::vector<ElementId>& elements) {
+    size_t tombstoned = 0;
+
+    for (ElementId e : elements) {
+      const size_t pos = KeyPosition(e);
+      bool done = false;
+      if (pos != kNotFound) {
+        for (uint32_t i = offsets_[pos]; i < offsets_[pos + 1]; ++i) {
+          if (postings_[i].id == id) {
+            postings_[i].id = kTombstoneId;
+            ++tombstoned;
+            done = true;
+            break;
+          }
+        }
+      }
+      if (done) continue;
+      if (const uint32_t* slot = delta_slot_.find(e)) {
+        for (Entry& entry : delta_lists_[*slot]) {
+          if (entry.id == id) {
+            entry.id = kTombstoneId;
+            ++tombstoned;
+            break;
+          }
+        }
+      }
+    }
+    num_list_tombstones_ += tombstoned;
+    return tombstoned;
+  }
+
+  size_t NumPostings() const { return num_postings_; }
+
+  size_t MemoryUsageBytes() const {
+    size_t bytes = keys_.capacity() * sizeof(ElementId);
+    bytes += offsets_.capacity() * sizeof(uint32_t);
+    bytes += postings_.capacity() * sizeof(Entry);
+    bytes += delta_slot_.MemoryUsageBytes();
+    bytes += delta_lists_.capacity() * sizeof(std::vector<Entry>);
+    for (const auto& list : delta_lists_) {
+      bytes += list.capacity() * sizeof(Entry);
+    }
+    return bytes;
+  }
+
+ private:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  size_t KeyPosition(ElementId e) const {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), e);
+    if (it == keys_.end() || *it != e) return kNotFound;
+    return static_cast<size_t>(it - keys_.begin());
+  }
+
+  // CSR core.
+  std::vector<ElementId> keys_;   // sorted unique element ids
+  std::vector<uint32_t> offsets_; // keys_.size() + 1 offsets into postings_
+  std::vector<Entry> postings_;
+  // Mutable delta for online inserts.
+  FlatHashMap<ElementId, uint32_t> delta_slot_;
+  std::vector<std::vector<Entry>> delta_lists_;
+  size_t num_postings_ = 0;
+  size_t num_list_tombstones_ = 0;
+};
+
+/// \brief Id-only postings entry.
+struct IdEntry {
+  ObjectId id = 0;
+};
+
+/// \brief Reusable per-query scratch buffers. irHINT queries touch many
+/// small divisions; reusing these across divisions avoids one pair of heap
+/// allocations per division.
+struct DivisionQueryScratch {
+  std::vector<ObjectId> candidates;
+  std::vector<ObjectId> next;
+};
+
+/// \brief Temporal inverted file scoped to one HINT (sub)division.
+class DivisionTif {
+ public:
+  /// \brief Append one posting per element (ids arrive in increasing order).
+  void Add(ObjectId id, const Interval& interval,
+           const std::vector<ElementId>& elements);
+
+  /// \brief Compact after a bulk build.
+  void Finalize() { postings_.Finalize(); }
+
+  /// \brief QueryTemporalIF (Algorithm 5): time-travel IR query restricted
+  /// to this division, with the temporal conditions selected by `mode`.
+  /// `elements` must be pre-sorted by ascending global frequency and
+  /// non-empty. Results are appended to out in id order.
+  void Query(const std::vector<ElementId>& elements, const Interval& q,
+             CheckMode mode, DivisionQueryScratch* scratch,
+             std::vector<ObjectId>* out) const;
+
+  /// \brief Tombstone the postings of `id` under the given elements.
+  size_t Tombstone(ObjectId id, const std::vector<ElementId>& elements) {
+    return postings_.Tombstone(id, elements);
+  }
+
+  size_t NumPostings() const { return postings_.NumPostings(); }
+  size_t MemoryUsageBytes() const { return postings_.MemoryUsageBytes(); }
+
+ private:
+  DivisionPostings<Posting> postings_;
+};
+
+/// \brief Id-only inverted index scoped to one HINT division.
+class DivisionIdIndex {
+ public:
+  /// \brief Append one id per element (ids arrive in increasing order).
+  void Add(ObjectId id, const std::vector<ElementId>& elements) {
+    postings_.Add(IdEntry{id}, elements);
+  }
+
+  /// \brief Compact after a bulk build.
+  void Finalize() { postings_.Finalize(); }
+
+  /// \brief QueryIF (Algorithm 6): intersect the sorted temporal candidate
+  /// set with the postings of every query element, in merge fashion.
+  /// Results are appended to out in id order.
+  void Intersect(const std::vector<ObjectId>& sorted_candidates,
+                 const std::vector<ElementId>& elements,
+                 DivisionQueryScratch* scratch,
+                 std::vector<ObjectId>* out) const;
+
+  /// \brief Fast path for divisions that need no temporal checks (CheckMode
+  /// kNone): the candidate set is the whole division, so the result is the
+  /// intersection of the query elements' own postings lists. `elements`
+  /// must be pre-sorted by ascending global frequency.
+  void IntersectLists(const std::vector<ElementId>& elements,
+                      DivisionQueryScratch* scratch,
+                      std::vector<ObjectId>* out) const;
+
+  size_t Tombstone(ObjectId id, const std::vector<ElementId>& elements) {
+    return postings_.Tombstone(id, elements);
+  }
+
+  size_t NumPostings() const { return postings_.NumPostings(); }
+  size_t MemoryUsageBytes() const { return postings_.MemoryUsageBytes(); }
+
+ private:
+  DivisionPostings<IdEntry> postings_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_IR_DIVISION_INDEX_H_

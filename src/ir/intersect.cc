@@ -1,0 +1,93 @@
+#include "ir/intersect.h"
+
+#include <algorithm>
+
+namespace irhint {
+
+void IntersectMerge(const std::vector<ObjectId>& a,
+                    const std::vector<ObjectId>& b,
+                    std::vector<ObjectId>* out) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == kTombstoneId) {
+      ++i;
+      continue;
+    }
+    if (b[j] == kTombstoneId) {
+      ++j;
+      continue;
+    }
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void IntersectMerge(const std::vector<ObjectId>& candidates,
+                    const PostingsList& list, std::vector<ObjectId>* out) {
+  size_t i = 0, j = 0;
+  while (i < candidates.size() && j < list.size()) {
+    const ObjectId lid = list[j].id;
+    if (lid == kTombstoneId) {
+      ++j;
+      continue;
+    }
+    if (candidates[i] < lid) {
+      ++i;
+    } else if (candidates[i] > lid) {
+      ++j;
+    } else {
+      out->push_back(lid);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void IntersectBinary(const std::vector<ObjectId>& candidates,
+                     const std::vector<ObjectId>& b,
+                     std::vector<ObjectId>* out) {
+  for (ObjectId id : candidates) {
+    if (id == kTombstoneId) continue;
+    if (std::binary_search(b.begin(), b.end(), id)) out->push_back(id);
+  }
+}
+
+void IntersectGalloping(const std::vector<ObjectId>& a,
+                        const std::vector<ObjectId>& b,
+                        std::vector<ObjectId>* out) {
+  const std::vector<ObjectId>& small = a.size() <= b.size() ? a : b;
+  const std::vector<ObjectId>& large = a.size() <= b.size() ? b : a;
+  size_t pos = 0;
+  for (ObjectId id : small) {
+    if (id == kTombstoneId) continue;
+    // Gallop: double the step until we pass id, then binary search the gap.
+    size_t step = 1;
+    size_t hi = pos;
+    while (hi < large.size() && large[hi] < id) {
+      pos = hi;
+      hi += step;
+      step <<= 1;
+    }
+    hi = std::min(hi + 1, large.size());
+    const auto it = std::lower_bound(large.begin() + pos, large.begin() + hi,
+                                     id);
+    pos = static_cast<size_t>(it - large.begin());
+    if (pos < large.size() && large[pos] == id) {
+      out->push_back(id);
+      ++pos;
+    }
+  }
+}
+
+bool SortedContains(const std::vector<ObjectId>& sorted, ObjectId id) {
+  return std::binary_search(sorted.begin(), sorted.end(), id);
+}
+
+}  // namespace irhint

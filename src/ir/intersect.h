@@ -1,0 +1,50 @@
+// Sorted-list intersection kernels.
+//
+// All inputs are sorted by object id; tombstoned entries (id ==
+// kTombstoneId) are skipped in place — tombstoning overwrites the id but
+// never moves entries, so the live subsequence of a list stays sorted.
+// Caveat: the search-based kernels (IntersectBinary, IntersectGalloping,
+// SortedContains) binary-search the probed side, which is only sound while
+// that side is tombstone-free; use the merge kernel otherwise.
+//
+// Three kernels are provided (merge, binary-search probing, galloping);
+// the ablation bench contrasts them, and the indexes pick per the paper:
+// merge for similarly sized lists, binary search when one side is tiny.
+
+#ifndef IRHINT_IR_INTERSECT_H_
+#define IRHINT_IR_INTERSECT_H_
+
+#include <vector>
+
+#include "data/object.h"
+#include "ir/postings.h"
+
+namespace irhint {
+
+/// \brief out = a ∩ b via linear merge. O(|a| + |b|).
+void IntersectMerge(const std::vector<ObjectId>& a,
+                    const std::vector<ObjectId>& b,
+                    std::vector<ObjectId>* out);
+
+/// \brief out = candidates ∩ list (by posting id) via linear merge.
+void IntersectMerge(const std::vector<ObjectId>& candidates,
+                    const PostingsList& list, std::vector<ObjectId>* out);
+
+/// \brief out = candidates ∩ b, probing the (larger) sorted vector b by
+/// binary search for every candidate. O(|candidates| * log |b|).
+void IntersectBinary(const std::vector<ObjectId>& candidates,
+                     const std::vector<ObjectId>& b,
+                     std::vector<ObjectId>* out);
+
+/// \brief out = a ∩ b via galloping (exponential) search from the smaller
+/// list into the larger. O(|a| * log(|b|/|a|)) when |a| << |b|.
+void IntersectGalloping(const std::vector<ObjectId>& a,
+                        const std::vector<ObjectId>& b,
+                        std::vector<ObjectId>* out);
+
+/// \brief True iff id occurs in the sorted, tombstone-free vector.
+bool SortedContains(const std::vector<ObjectId>& sorted, ObjectId id);
+
+}  // namespace irhint
+
+#endif  // IRHINT_IR_INTERSECT_H_

@@ -1,0 +1,139 @@
+#include "ir/tif.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/intersect.h"
+
+namespace irhint {
+
+uint32_t TemporalInvertedFile::SlotFor(ElementId e) {
+  if (const uint32_t* slot = element_slot_.find(e)) return *slot;
+  const uint32_t slot = static_cast<uint32_t>(lists_.size());
+  element_slot_.insert_or_assign(e, slot);
+  lists_.emplace_back();
+  live_counts_.push_back(0);
+  return slot;
+}
+
+Status TemporalInvertedFile::Build(const Corpus& corpus) {
+  if (corpus.domain_end() >= std::numeric_limits<StoredTime>::max()) {
+    return Status::InvalidArgument("domain exceeds 32-bit stored endpoints");
+  }
+  domain_end_ = corpus.domain_end();
+  element_slot_.reserve(corpus.dictionary().size());
+  for (const Object& o : corpus.objects()) {
+    IRHINT_RETURN_NOT_OK(Insert(o));
+  }
+  return Status::OK();
+}
+
+Status TemporalInvertedFile::Insert(const Object& object) {
+  if (object.interval.st > object.interval.end) {
+    return Status::InvalidArgument("interval start exceeds end");
+  }
+  if (object.interval.end >= std::numeric_limits<StoredTime>::max()) {
+    return Status::OutOfDomain("interval exceeds 32-bit stored endpoints");
+  }
+  domain_end_ = std::max(domain_end_, object.interval.end);
+  const Posting posting{object.id,
+                        static_cast<StoredTime>(object.interval.st),
+                        static_cast<StoredTime>(object.interval.end)};
+  for (ElementId e : object.elements) {
+    const uint32_t slot = SlotFor(e);
+    // Ids arrive in increasing order, so appending keeps lists id-sorted.
+    lists_[slot].push_back(posting);
+    ++live_counts_[slot];
+  }
+  return Status::OK();
+}
+
+Status TemporalInvertedFile::Erase(const Object& object) {
+  size_t tombstoned = 0;
+  for (ElementId e : object.elements) {
+    const uint32_t* slot = element_slot_.find(e);
+    if (slot == nullptr) continue;
+    PostingsList& list = lists_[*slot];
+    // Tombstoning overwrites ids in place, which breaks binary-search
+    // preconditions; locate by linear scan (deletion cost tracks list
+    // length, as in the paper's update study).
+    for (Posting& p : list) {
+      if (p.id == object.id) {
+        p.id = kTombstoneId;
+        --live_counts_[*slot];
+        ++tombstoned;
+        break;
+      }
+    }
+  }
+  return tombstoned > 0 ? Status::OK()
+                        : Status::NotFound("object not present");
+}
+
+const PostingsList* TemporalInvertedFile::List(ElementId e) const {
+  const uint32_t* slot = element_slot_.find(e);
+  return slot != nullptr ? &lists_[*slot] : nullptr;
+}
+
+uint64_t TemporalInvertedFile::Frequency(ElementId e) const {
+  const uint32_t* slot = element_slot_.find(e);
+  return slot != nullptr ? live_counts_[*slot] : 0;
+}
+
+void TemporalInvertedFile::SortByFrequency(
+    std::vector<ElementId>* elements) const {
+  std::sort(elements->begin(), elements->end(),
+            [this](ElementId a, ElementId b) {
+              const uint64_t fa = Frequency(a);
+              const uint64_t fb = Frequency(b);
+              if (fa != fb) return fa < fb;
+              return a < b;
+            });
+}
+
+void TemporalInvertedFile::Query(const irhint::Query& query,
+                                 std::vector<ObjectId>* out) const {
+  out->clear();
+  if (query.elements.empty()) return;
+
+  // Algorithm 1, lines 2-3: consider elements by increasing frequency.
+  std::vector<ElementId> elements = query.elements;
+  SortByFrequency(&elements);
+
+  const PostingsList* first = List(elements[0]);
+  if (first == nullptr) return;
+
+  // Lines 4-6: temporal filter over the least frequent element's list.
+  std::vector<ObjectId> candidates;
+  for (const Posting& p : *first) {
+    if (p.id != kTombstoneId && PostingOverlaps(p, query.interval)) {
+      candidates.push_back(p.id);
+    }
+  }
+
+  // Lines 7-8: merge-intersect with the remaining lists.
+  std::vector<ObjectId> next;
+  for (size_t i = 1; i < elements.size() && !candidates.empty(); ++i) {
+    const PostingsList* list = List(elements[i]);
+    if (list == nullptr) {
+      candidates.clear();
+      break;
+    }
+    next.clear();
+    IntersectMerge(candidates, *list, &next);
+    candidates.swap(next);
+  }
+  out->swap(candidates);
+}
+
+size_t TemporalInvertedFile::MemoryUsageBytes() const {
+  size_t bytes = element_slot_.MemoryUsageBytes();
+  bytes += lists_.capacity() * sizeof(PostingsList);
+  bytes += live_counts_.capacity() * sizeof(uint64_t);
+  for (const PostingsList& list : lists_) {
+    bytes += list.capacity() * sizeof(Posting);
+  }
+  return bytes;
+}
+
+}  // namespace irhint

@@ -1,0 +1,60 @@
+// tIF — the base temporal inverted file (Section 2.2, Algorithm 1).
+//
+// Every element of the global dictionary maps to a time-aware postings list
+// of <o.id, [o.t_st, o.t_end]> entries sorted by object id. A time-travel
+// IR query scans the list of the least frequent query element applying the
+// temporal overlap predicate, then intersects the surviving candidates with
+// the remaining lists in merge fashion.
+//
+// This is both the weakest baseline (no temporal indexing at all) and the
+// building block the IR-first competitors extend.
+
+#ifndef IRHINT_IR_TIF_H_
+#define IRHINT_IR_TIF_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+#include "core/temporal_ir_index.h"
+#include "ir/postings.h"
+
+namespace irhint {
+
+/// \brief The base temporal inverted file.
+class TemporalInvertedFile : public TemporalIrIndex {
+ public:
+  TemporalInvertedFile() = default;
+
+  Status Build(const Corpus& corpus) override;
+  void Query(const irhint::Query& query, std::vector<ObjectId>* out) const override;
+  Status Insert(const Object& object) override;
+  Status Erase(const Object& object) override;
+  size_t MemoryUsageBytes() const override;
+  std::string_view Name() const override { return "tIF"; }
+
+  /// \brief Postings list for element e, or nullptr if e is unknown.
+  /// Entries are sorted by id; tombstoned entries have id == kTombstoneId.
+  const PostingsList* List(ElementId e) const;
+
+  /// \brief Number of live postings of element e.
+  uint64_t Frequency(ElementId e) const;
+
+  /// \brief Order query elements by ascending live frequency (ties by id).
+  void SortByFrequency(std::vector<ElementId>* elements) const;
+
+  size_t NumElements() const { return lists_.size(); }
+
+ private:
+  uint32_t SlotFor(ElementId e);  // creating if absent
+
+  FlatHashMap<ElementId, uint32_t> element_slot_;
+  std::vector<PostingsList> lists_;
+  std::vector<uint64_t> live_counts_;
+  Time domain_end_ = 0;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_IR_TIF_H_

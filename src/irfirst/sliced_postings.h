@@ -1,0 +1,281 @@
+// Slicing infrastructure shared by tIF+Slicing (Berberich et al.) and the
+// tIF+HINT+Slicing hybrid (Section 3.2).
+//
+// The time domain is divided into uniform, disjoint slices; every postings
+// list is vertically partitioned into per-slice sub-lists, replicating an
+// entry into each slice its interval overlaps. Duplicates are avoided with
+// the reference-value method: an object is emitted only from the slice
+// containing max(o.t_st, q.t_st). Because the reference slice of an object
+// is the same in every element's list (the interval is a property of the
+// object), subsequent list intersections can run slice-by-slice in merge
+// fashion over the already de-duplicated candidate chunks.
+//
+// The template parameter selects the sub-list entry: tIF+Slicing stores
+// full <id, t_st, t_end> postings (it must evaluate the temporal predicate
+// on the first list); the hybrid only stores <id, t_st> (candidates are
+// already temporally qualified by the HINT copy — the t_st is kept solely
+// for the reference-value test), the space saving discussed in Section 3.2.
+
+#ifndef IRHINT_IRFIRST_SLICED_POSTINGS_H_
+#define IRHINT_IRFIRST_SLICED_POSTINGS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "data/object.h"
+#include "ir/postings.h"
+
+namespace irhint {
+
+/// \brief Sub-list entry of the hybrid: id plus start (for the reference
+/// test only).
+struct IdStEntry {
+  ObjectId id = 0;
+  StoredTime st = 0;
+};
+
+namespace internal {
+
+// Sliced sub-lists tombstone by invalidating the *temporal* fields while
+// keeping the id intact: sub-lists stay id-sorted, so deletions can locate
+// entries by binary search (which is what keeps tIF+Slicing's deletion
+// cost low in the paper's Table 7). A dead entry can never surface again:
+// candidate construction applies the temporal predicate (always false for
+// the sentinel), and merge intersections only match ids already present in
+// the live candidate set.
+inline constexpr StoredTime kDeadStart =
+    std::numeric_limits<StoredTime>::max();
+
+inline bool IsLive(const Posting& e) { return e.st != kDeadStart; }
+inline bool IsLive(const IdStEntry& e) { return e.st != kDeadStart; }
+inline void MarkDead(Posting* e) {
+  e->st = kDeadStart;
+  e->end = 0;
+}
+inline void MarkDead(IdStEntry* e) { e->st = kDeadStart; }
+
+}  // namespace internal
+
+/// \brief Uniform division of [0, domain_end] into slices.
+class SliceGrid {
+ public:
+  SliceGrid() = default;
+  SliceGrid(Time domain_end, uint32_t num_slices)
+      : domain_size_(domain_end + 1), num_slices_(num_slices) {}
+
+  uint32_t num_slices() const { return num_slices_; }
+
+  /// \brief Slice containing raw time t (clamped into the last slice).
+  uint32_t SliceOf(Time t) const {
+    if (t >= domain_size_) return num_slices_ - 1;
+    return static_cast<uint32_t>(static_cast<__uint128_t>(t) * num_slices_ /
+                                 domain_size_);
+  }
+
+ private:
+  Time domain_size_ = 1;
+  uint32_t num_slices_ = 1;
+};
+
+/// \brief De-duplicated per-slice candidate sets: (slice, sorted ids),
+/// ordered by slice number.
+using CandidateChunks =
+    std::vector<std::pair<uint32_t, std::vector<ObjectId>>>;
+
+/// \brief Flatten chunks into one result vector (order unspecified).
+inline void FlattenChunks(const CandidateChunks& chunks,
+                          std::vector<ObjectId>* out) {
+  for (const auto& [slice, ids] : chunks) {
+    (void)slice;
+    out->insert(out->end(), ids.begin(), ids.end());
+  }
+}
+
+inline size_t ChunkCount(const CandidateChunks& chunks) {
+  size_t n = 0;
+  for (const auto& [slice, ids] : chunks) {
+    (void)slice;
+    n += ids.size();
+  }
+  return n;
+}
+
+/// \brief One element's sliced postings list.
+template <typename Entry>
+class SlicedPostingsT {
+ public:
+  /// \brief Replicate an entry into every slice its interval overlaps.
+  /// Object ids must arrive in increasing order (sub-lists stay id-sorted).
+  void Add(const SliceGrid& grid, ObjectId id, const Interval& interval) {
+    const uint32_t first = grid.SliceOf(interval.st);
+    const uint32_t last = grid.SliceOf(interval.end);
+    for (uint32_t s = first; s <= last; ++s) {
+      SublistFor(s).push_back(MakeEntry(id, interval));
+      ++num_entries_;
+    }
+  }
+
+  /// \brief Temporal filter + reference de-duplication over the relevant
+  /// slices (the first-element step of tIF+Slicing). Requires full
+  /// postings (Entry == Posting).
+  void BuildCandidates(const SliceGrid& grid, const Interval& q,
+                       CandidateChunks* out) const
+    requires std::is_same_v<Entry, Posting>
+  {
+    const uint32_t s_lo = grid.SliceOf(q.st);
+    const uint32_t s_hi = grid.SliceOf(q.end);
+    for (size_t pos = LowerBound(s_lo); pos < slice_ids_.size(); ++pos) {
+      const uint32_t s = slice_ids_[pos];
+      if (s > s_hi) break;
+      std::vector<ObjectId> ids;
+      for (const Entry& e : sublists_[pos]) {
+        if (!internal::IsLive(e)) continue;
+        if (e.st > q.end || e.end < q.st) continue;
+        if (grid.SliceOf(std::max<Time>(e.st, q.st)) == s) ids.push_back(e.id);
+      }
+      if (!ids.empty()) out->emplace_back(s, std::move(ids));
+    }
+  }
+
+  /// \brief Slice-by-slice merge of de-duplicated candidate chunks with
+  /// this element's sub-lists (the subsequent-element step).
+  void IntersectChunks(const CandidateChunks& in, CandidateChunks* out) const {
+    for (const auto& [s, ids] : in) {
+      const size_t pos = LowerBound(s);
+      if (pos >= slice_ids_.size() || slice_ids_[pos] != s) continue;
+      std::vector<ObjectId> merged;
+      MergeIds(ids, sublists_[pos], &merged);
+      if (!merged.empty()) out->emplace_back(s, std::move(merged));
+    }
+  }
+
+  /// \brief Merge a flat sorted candidate list against the relevant slices,
+  /// de-duplicating with the reference test (the hybrid's first
+  /// intersection: candidates come from the HINT copy as a single sorted
+  /// vector, already temporally qualified).
+  void IntersectFlat(const SliceGrid& grid, const Interval& q,
+                     const std::vector<ObjectId>& flat,
+                     CandidateChunks* out) const {
+    const uint32_t s_lo = grid.SliceOf(q.st);
+    const uint32_t s_hi = grid.SliceOf(q.end);
+    for (size_t pos = LowerBound(s_lo); pos < slice_ids_.size(); ++pos) {
+      const uint32_t s = slice_ids_[pos];
+      if (s > s_hi) break;
+      std::vector<ObjectId> merged;
+      const std::vector<Entry>& list = sublists_[pos];
+      size_t i = 0, j = 0;
+      while (i < flat.size() && j < list.size()) {
+        const ObjectId lid = list[j].id;
+        if (!internal::IsLive(list[j])) {
+          ++j;
+        } else if (flat[i] < lid) {
+          ++i;
+        } else if (flat[i] > lid) {
+          ++j;
+        } else {
+          if (grid.SliceOf(std::max<Time>(list[j].st, q.st)) == s) {
+            merged.push_back(lid);
+          }
+          ++i;
+          ++j;
+        }
+      }
+      if (!merged.empty()) out->emplace_back(s, std::move(merged));
+    }
+  }
+
+  /// \brief Tombstone every replica of id. The interval (the one the
+  /// object was inserted with) pins down exactly which slices hold
+  /// replicas, and sub-lists remain id-sorted (the id is kept; the
+  /// temporal fields are invalidated), so each replica is located by one
+  /// binary search. Returns replicas tombstoned.
+  size_t Tombstone(const SliceGrid& grid, ObjectId id,
+                   const Interval& interval) {
+    const uint32_t first = grid.SliceOf(interval.st);
+    const uint32_t last = grid.SliceOf(interval.end);
+    size_t tombstoned = 0;
+    for (size_t pos = LowerBound(first);
+         pos < slice_ids_.size() && slice_ids_[pos] <= last; ++pos) {
+      auto& sublist = sublists_[pos];
+      const auto it = std::lower_bound(
+          sublist.begin(), sublist.end(), id,
+          [](const Entry& e, ObjectId v) { return e.id < v; });
+      if (it != sublist.end() && it->id == id && internal::IsLive(*it)) {
+        internal::MarkDead(&*it);
+        ++tombstoned;
+      }
+    }
+    return tombstoned;
+  }
+
+  size_t NumEntries() const { return num_entries_; }
+
+  size_t MemoryUsageBytes() const {
+    size_t bytes = slice_ids_.capacity() * sizeof(uint32_t);
+    bytes += sublists_.capacity() * sizeof(std::vector<Entry>);
+    for (const auto& sublist : sublists_) {
+      bytes += sublist.capacity() * sizeof(Entry);
+    }
+    return bytes;
+  }
+
+ private:
+  static Entry MakeEntry(ObjectId id, const Interval& interval) {
+    if constexpr (std::is_same_v<Entry, Posting>) {
+      return Posting{id, static_cast<StoredTime>(interval.st),
+                     static_cast<StoredTime>(interval.end)};
+    } else {
+      return IdStEntry{id, static_cast<StoredTime>(interval.st)};
+    }
+  }
+
+  size_t LowerBound(uint32_t s) const {
+    return static_cast<size_t>(
+        std::lower_bound(slice_ids_.begin(), slice_ids_.end(), s) -
+        slice_ids_.begin());
+  }
+
+  std::vector<Entry>& SublistFor(uint32_t s) {
+    const size_t pos = LowerBound(s);
+    if (pos < slice_ids_.size() && slice_ids_[pos] == s) {
+      return sublists_[pos];
+    }
+    slice_ids_.insert(slice_ids_.begin() + pos, s);
+    sublists_.insert(sublists_.begin() + pos, std::vector<Entry>());
+    return sublists_[pos];
+  }
+
+  static void MergeIds(const std::vector<ObjectId>& ids,
+                       const std::vector<Entry>& list,
+                       std::vector<ObjectId>* out) {
+    size_t i = 0, j = 0;
+    while (i < ids.size() && j < list.size()) {
+      const ObjectId lid = list[j].id;
+      if (!internal::IsLive(list[j])) {
+        ++j;
+      } else if (ids[i] < lid) {
+        ++i;
+      } else if (ids[i] > lid) {
+        ++j;
+      } else {
+        out->push_back(lid);
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  std::vector<uint32_t> slice_ids_;           // sorted slice numbers
+  std::vector<std::vector<Entry>> sublists_;  // parallel sub-lists
+  size_t num_entries_ = 0;
+};
+
+using SlicedPostings = SlicedPostingsT<Posting>;
+using SlicedPostingsIdSt = SlicedPostingsT<IdStEntry>;
+
+}  // namespace irhint
+
+#endif  // IRHINT_IRFIRST_SLICED_POSTINGS_H_

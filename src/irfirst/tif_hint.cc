@@ -1,0 +1,150 @@
+#include "irfirst/tif_hint.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace irhint {
+
+HintOptions TifHint::HintOptionsFor() const {
+  HintOptions options;
+  options.num_bits = options_.num_bits;
+  options.sort_mode = options_.mode == TifHintMode::kBinarySearch
+                          ? HintSortMode::kBeneficial
+                          : HintSortMode::kById;
+  return options;
+}
+
+uint32_t TifHint::SlotFor(ElementId e) {
+  if (const uint32_t* slot = element_slot_.find(e)) return *slot;
+  const uint32_t slot = static_cast<uint32_t>(hints_.size());
+  element_slot_.insert_or_assign(e, slot);
+  hints_.emplace_back();
+  // An empty build establishes the domain mapper and options.
+  hints_.back().Build({}, domain_end_, HintOptionsFor());
+  live_counts_.push_back(0);
+  return slot;
+}
+
+Status TifHint::Build(const Corpus& corpus) {
+  if (corpus.domain_end() >= std::numeric_limits<StoredTime>::max()) {
+    return Status::InvalidArgument("domain exceeds 32-bit stored endpoints");
+  }
+  domain_end_ = corpus.domain_end();
+  built_ = true;
+  element_slot_.reserve(corpus.dictionary().size());
+
+  // Group records per element, then build one HINT per postings list.
+  std::vector<std::vector<IntervalRecord>> grouped;
+  for (const Object& o : corpus.objects()) {
+    for (ElementId e : o.elements) {
+      uint32_t slot;
+      if (const uint32_t* found = element_slot_.find(e)) {
+        slot = *found;
+      } else {
+        slot = static_cast<uint32_t>(hints_.size());
+        element_slot_.insert_or_assign(e, slot);
+        hints_.emplace_back();
+        live_counts_.push_back(0);
+      }
+      if (slot >= grouped.size()) grouped.resize(slot + 1);
+      grouped[slot].push_back(IntervalRecord{o.id, o.interval});
+      ++live_counts_[slot];
+    }
+  }
+  for (size_t slot = 0; slot < hints_.size(); ++slot) {
+    const std::vector<IntervalRecord> empty;
+    const std::vector<IntervalRecord>& records =
+        slot < grouped.size() ? grouped[slot] : empty;
+    IRHINT_RETURN_NOT_OK(
+        hints_[slot].Build(records, domain_end_, HintOptionsFor()));
+  }
+  return Status::OK();
+}
+
+Status TifHint::Insert(const Object& object) {
+  if (!built_) return Status::InvalidArgument("index not built");
+  // Intervals past the declared domain are accepted: each postings HINT
+  // keeps them in its overflow store (time-expanding extension).
+  for (ElementId e : object.elements) {
+    const uint32_t slot = SlotFor(e);
+    IRHINT_RETURN_NOT_OK(hints_[slot].Insert(object.id, object.interval));
+    ++live_counts_[slot];
+  }
+  return Status::OK();
+}
+
+Status TifHint::Erase(const Object& object) {
+  size_t tombstoned = 0;
+  for (ElementId e : object.elements) {
+    const uint32_t* slot = element_slot_.find(e);
+    if (slot == nullptr) continue;
+    if (hints_[*slot].Erase(object.id, object.interval).ok()) {
+      --live_counts_[*slot];
+      ++tombstoned;
+    }
+  }
+  return tombstoned > 0 ? Status::OK()
+                        : Status::NotFound("object not present");
+}
+
+uint64_t TifHint::Frequency(ElementId e) const {
+  const uint32_t* slot = element_slot_.find(e);
+  return slot != nullptr ? live_counts_[*slot] : 0;
+}
+
+const HintIndex* TifHint::PostingsHint(ElementId e) const {
+  const uint32_t* slot = element_slot_.find(e);
+  return slot != nullptr ? &hints_[*slot] : nullptr;
+}
+
+void TifHint::Query(const irhint::Query& query, std::vector<ObjectId>* out) const {
+  out->clear();
+  if (query.elements.empty()) return;
+
+  std::vector<ElementId> elements = query.elements;
+  std::sort(elements.begin(), elements.end(),
+            [this](ElementId a, ElementId b) {
+              const uint64_t fa = Frequency(a);
+              const uint64_t fb = Frequency(b);
+              if (fa != fb) return fa < fb;
+              return a < b;
+            });
+
+  const uint32_t* first_slot = element_slot_.find(elements[0]);
+  if (first_slot == nullptr) return;
+
+  // Initial candidates: a plain HINT range query on the least frequent
+  // element's postings HINT (Algorithms 3/4, line 3).
+  std::vector<ObjectId> candidates;
+  hints_[*first_slot].RangeQuery(query.interval, &candidates);
+
+  std::vector<ObjectId> next;
+  for (size_t i = 1; i < elements.size() && !candidates.empty(); ++i) {
+    const uint32_t* slot = element_slot_.find(elements[i]);
+    if (slot == nullptr) {
+      candidates.clear();
+      break;
+    }
+    std::sort(candidates.begin(), candidates.end());
+    next.clear();
+    if (options_.mode == TifHintMode::kBinarySearch) {
+      hints_[*slot].RangeQueryFiltered(query.interval, candidates, &next);
+    } else {
+      hints_[*slot].IntersectRelevant(query.interval, candidates, &next);
+    }
+    candidates.swap(next);
+  }
+  out->swap(candidates);
+}
+
+size_t TifHint::MemoryUsageBytes() const {
+  size_t bytes = element_slot_.MemoryUsageBytes();
+  bytes += hints_.capacity() * sizeof(HintIndex);
+  bytes += live_counts_.capacity() * sizeof(uint64_t);
+  for (const HintIndex& hint : hints_) {
+    bytes += hint.MemoryUsageBytes();
+  }
+  return bytes;
+}
+
+}  // namespace irhint

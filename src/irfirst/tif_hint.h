@@ -1,0 +1,74 @@
+// tIF+HINT — the novel IR-first extension of the temporal inverted file
+// that organizes every postings list as a HINT (Section 3.1).
+//
+// Two query-evaluation variants:
+//  * kBinarySearch (Algorithm 3): postings HINTs keep the beneficial
+//    temporal sorting; after the initial range query on the least frequent
+//    element's HINT, the remaining HINTs are traversed bottom-up with
+//    temporal comparisons, probing the sorted candidate set by binary
+//    search for every surviving entry.
+//  * kMergeSort (Algorithm 4): postings HINTs sort divisions by object id;
+//    subsequent intersections run as id-merges over the relevant divisions
+//    with no temporal comparisons at all (the candidate set is already
+//    temporally qualified, and HINT's duplicate-avoidance rule guarantees
+//    each object appears in exactly one relevant division).
+
+#ifndef IRHINT_IRFIRST_TIF_HINT_H_
+#define IRHINT_IRFIRST_TIF_HINT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+#include "core/temporal_ir_index.h"
+#include "hint/hint.h"
+
+namespace irhint {
+
+enum class TifHintMode {
+  kBinarySearch,  // Algorithm 3
+  kMergeSort,     // Algorithm 4
+};
+
+struct TifHintOptions {
+  /// Bits of every postings HINT (Figure 9 tunes this; the paper settles on
+  /// m=10 for binary search and m=5 for merge sort).
+  int num_bits = 5;
+  TifHintMode mode = TifHintMode::kMergeSort;
+};
+
+/// \brief The tIF+HINT index (both variants of Section 3.1).
+class TifHint : public TemporalIrIndex {
+ public:
+  TifHint() = default;
+  explicit TifHint(const TifHintOptions& options) : options_(options) {}
+
+  Status Build(const Corpus& corpus) override;
+  void Query(const irhint::Query& query, std::vector<ObjectId>* out) const override;
+  Status Insert(const Object& object) override;
+  Status Erase(const Object& object) override;
+  size_t MemoryUsageBytes() const override;
+  std::string_view Name() const override {
+    return options_.mode == TifHintMode::kBinarySearch ? "tIF+HINT(bs)"
+                                                       : "tIF+HINT(ms)";
+  }
+
+  uint64_t Frequency(ElementId e) const;
+  const HintIndex* PostingsHint(ElementId e) const;
+
+ private:
+  uint32_t SlotFor(ElementId e);  // creates an empty postings HINT if absent
+  HintOptions HintOptionsFor() const;
+
+  TifHintOptions options_;
+  Time domain_end_ = 0;
+  FlatHashMap<ElementId, uint32_t> element_slot_;
+  std::vector<HintIndex> hints_;
+  std::vector<uint64_t> live_counts_;
+  bool built_ = false;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_IRFIRST_TIF_HINT_H_

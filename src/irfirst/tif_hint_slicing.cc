@@ -1,0 +1,164 @@
+#include "irfirst/tif_hint_slicing.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace irhint {
+
+namespace {
+
+HintOptions MakeHintOptions(int num_bits) {
+  HintOptions options;
+  options.num_bits = num_bits;
+  options.sort_mode = HintSortMode::kById;
+  return options;
+}
+
+}  // namespace
+
+uint32_t TifHintSlicing::SlotFor(ElementId e) {
+  if (const uint32_t* slot = element_slot_.find(e)) return *slot;
+  const uint32_t slot = static_cast<uint32_t>(hints_.size());
+  element_slot_.insert_or_assign(e, slot);
+  hints_.emplace_back();
+  hints_.back().Build({}, domain_end_, MakeHintOptions(options_.num_bits));
+  slices_.emplace_back();
+  live_counts_.push_back(0);
+  return slot;
+}
+
+Status TifHintSlicing::Build(const Corpus& corpus) {
+  if (corpus.domain_end() >= std::numeric_limits<StoredTime>::max()) {
+    return Status::InvalidArgument("domain exceeds 32-bit stored endpoints");
+  }
+  if (options_.num_slices == 0) {
+    return Status::InvalidArgument("num_slices must be positive");
+  }
+  domain_end_ = corpus.domain_end();
+  grid_ = SliceGrid(domain_end_, options_.num_slices);
+  built_ = true;
+  element_slot_.reserve(corpus.dictionary().size());
+
+  std::vector<std::vector<IntervalRecord>> grouped;
+  for (const Object& o : corpus.objects()) {
+    for (ElementId e : o.elements) {
+      uint32_t slot;
+      if (const uint32_t* found = element_slot_.find(e)) {
+        slot = *found;
+      } else {
+        slot = static_cast<uint32_t>(hints_.size());
+        element_slot_.insert_or_assign(e, slot);
+        hints_.emplace_back();
+        slices_.emplace_back();
+        live_counts_.push_back(0);
+      }
+      if (slot >= grouped.size()) grouped.resize(slot + 1);
+      grouped[slot].push_back(IntervalRecord{o.id, o.interval});
+      slices_[slot].Add(grid_, o.id, o.interval);
+      ++live_counts_[slot];
+    }
+  }
+  for (size_t slot = 0; slot < hints_.size(); ++slot) {
+    const std::vector<IntervalRecord> empty;
+    const std::vector<IntervalRecord>& records =
+        slot < grouped.size() ? grouped[slot] : empty;
+    IRHINT_RETURN_NOT_OK(hints_[slot].Build(
+        records, domain_end_, MakeHintOptions(options_.num_bits)));
+  }
+  return Status::OK();
+}
+
+Status TifHintSlicing::Insert(const Object& object) {
+  if (!built_) return Status::InvalidArgument("index not built");
+  // Beyond-domain intervals go to the HINT copies' overflow stores; the
+  // sliced copy clamps them into its last slice (both remain exact).
+  for (ElementId e : object.elements) {
+    const uint32_t slot = SlotFor(e);
+    IRHINT_RETURN_NOT_OK(hints_[slot].Insert(object.id, object.interval));
+    slices_[slot].Add(grid_, object.id, object.interval);
+    ++live_counts_[slot];
+  }
+  return Status::OK();
+}
+
+Status TifHintSlicing::Erase(const Object& object) {
+  size_t tombstoned = 0;
+  for (ElementId e : object.elements) {
+    const uint32_t* slot = element_slot_.find(e);
+    if (slot == nullptr) continue;
+    bool any = false;
+    if (hints_[*slot].Erase(object.id, object.interval).ok()) any = true;
+    if (slices_[*slot].Tombstone(grid_, object.id, object.interval) > 0) {
+      any = true;
+    }
+    if (any) {
+      --live_counts_[*slot];
+      ++tombstoned;
+    }
+  }
+  return tombstoned > 0 ? Status::OK()
+                        : Status::NotFound("object not present");
+}
+
+uint64_t TifHintSlicing::Frequency(ElementId e) const {
+  const uint32_t* slot = element_slot_.find(e);
+  return slot != nullptr ? live_counts_[*slot] : 0;
+}
+
+void TifHintSlicing::Query(const irhint::Query& query,
+                           std::vector<ObjectId>* out) const {
+  out->clear();
+  if (query.elements.empty()) return;
+
+  std::vector<ElementId> elements = query.elements;
+  std::sort(elements.begin(), elements.end(),
+            [this](ElementId a, ElementId b) {
+              const uint64_t fa = Frequency(a);
+              const uint64_t fb = Frequency(b);
+              if (fa != fb) return fa < fb;
+              return a < b;
+            });
+
+  const uint32_t* first_slot = element_slot_.find(elements[0]);
+  if (first_slot == nullptr) return;
+
+  // Initial candidates from the HINT copy of the least frequent element.
+  std::vector<ObjectId> candidates;
+  hints_[*first_slot].RangeQuery(query.interval, &candidates);
+  if (elements.size() == 1) {
+    out->swap(candidates);
+    return;
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // First intersection: flat candidates against the sliced copy of the
+  // second element (reference-value de-duplication splits them into
+  // per-slice chunks).
+  const uint32_t* slot = element_slot_.find(elements[1]);
+  if (slot == nullptr) return;
+  CandidateChunks chunks;
+  slices_[*slot].IntersectFlat(grid_, query.interval, candidates, &chunks);
+
+  // Remaining intersections run chunk-by-chunk.
+  CandidateChunks next;
+  for (size_t i = 2; i < elements.size() && !chunks.empty(); ++i) {
+    slot = element_slot_.find(elements[i]);
+    if (slot == nullptr) return;
+    next.clear();
+    slices_[*slot].IntersectChunks(chunks, &next);
+    chunks.swap(next);
+  }
+  FlattenChunks(chunks, out);
+}
+
+size_t TifHintSlicing::MemoryUsageBytes() const {
+  size_t bytes = element_slot_.MemoryUsageBytes();
+  bytes += hints_.capacity() * sizeof(HintIndex);
+  bytes += slices_.capacity() * sizeof(SlicedPostingsIdSt);
+  bytes += live_counts_.capacity() * sizeof(uint64_t);
+  for (const HintIndex& hint : hints_) bytes += hint.MemoryUsageBytes();
+  for (const SlicedPostingsIdSt& s : slices_) bytes += s.MemoryUsageBytes();
+  return bytes;
+}
+
+}  // namespace irhint

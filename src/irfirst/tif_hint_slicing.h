@@ -1,0 +1,64 @@
+// tIF+HINT+Slicing — the hybrid IR-first index (Section 3.2).
+//
+// Every postings list is stored twice: (1) a HINT whose divisions are
+// sorted by object id, used only for the initial range query on the least
+// frequent element (where HINT excels); and (2) sliced sub-lists storing
+// <o.id, o.t_st> pairs, used for the subsequent intersections (where the
+// coarse slices beat HINT's fragmented divisions). The t_st in the second
+// copy exists solely for the reference-value de-duplication test — the
+// temporal predicate itself never needs re-checking once the initial
+// candidates are qualified.
+
+#ifndef IRHINT_IRFIRST_TIF_HINT_SLICING_H_
+#define IRHINT_IRFIRST_TIF_HINT_SLICING_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+#include "core/temporal_ir_index.h"
+#include "hint/hint.h"
+#include "irfirst/sliced_postings.h"
+
+namespace irhint {
+
+struct TifHintSlicingOptions {
+  /// Bits of every postings HINT (the paper uses m = 5 for the hybrid).
+  int num_bits = 5;
+  /// Number of time-domain slices for the second copy (paper: 50).
+  uint32_t num_slices = 50;
+};
+
+/// \brief The tIF+HINT+Slicing hybrid index.
+class TifHintSlicing : public TemporalIrIndex {
+ public:
+  TifHintSlicing() = default;
+  explicit TifHintSlicing(const TifHintSlicingOptions& options)
+      : options_(options) {}
+
+  Status Build(const Corpus& corpus) override;
+  void Query(const irhint::Query& query, std::vector<ObjectId>* out) const override;
+  Status Insert(const Object& object) override;
+  Status Erase(const Object& object) override;
+  size_t MemoryUsageBytes() const override;
+  std::string_view Name() const override { return "tIF+HINT+Slicing"; }
+
+  uint64_t Frequency(ElementId e) const;
+
+ private:
+  uint32_t SlotFor(ElementId e);
+
+  TifHintSlicingOptions options_;
+  Time domain_end_ = 0;
+  SliceGrid grid_;
+  FlatHashMap<ElementId, uint32_t> element_slot_;
+  std::vector<HintIndex> hints_;              // copy 1 (id-sorted divisions)
+  std::vector<SlicedPostingsIdSt> slices_;    // copy 2 (<id, t_st> entries)
+  std::vector<uint64_t> live_counts_;
+  bool built_ = false;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_IRFIRST_TIF_HINT_SLICING_H_

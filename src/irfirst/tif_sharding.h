@@ -1,0 +1,89 @@
+// tIF+Sharding — the temporal inverted file with horizontally sharded
+// postings lists (Anand et al. [4], re-implemented; Section 2.2).
+//
+// Each postings list is partitioned into shards ordered by t_st that
+// (ideally) satisfy the staircase property: within a shard, t_end is
+// non-decreasing along t_st. Ideal shards are built by patience chaining
+// (the minimal number of staircase chains); a cost-aware merge then bounds
+// the shard count per list, relaxing the staircase property. Every shard
+// keeps a prefix-max(t_end) array — non-decreasing even for relaxed shards,
+// so the skippable prefix (all entries ending before q.t_st) stays binary
+// searchable — plus a sampled impact list of (t_end, offset) pairs that is
+// probed first to find the scan start, as in the original design.
+//
+// No replication takes place, so no de-duplication is needed; the price is
+// that every query element's shards must be temporally scanned.
+
+#ifndef IRHINT_IRFIRST_TIF_SHARDING_H_
+#define IRHINT_IRFIRST_TIF_SHARDING_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+#include "core/temporal_ir_index.h"
+#include "ir/postings.h"
+
+namespace irhint {
+
+struct TifShardingOptions {
+  /// Upper bound on shards per list after cost-aware merging.
+  uint32_t max_shards_per_list = 16;
+  /// Shards smaller than this are merged away (probe overhead dominates).
+  uint32_t min_shard_size = 16;
+  /// Impact-list sampling stride.
+  uint32_t impact_stride = 64;
+};
+
+/// \brief The tIF+Sharding competitor.
+class TifSharding : public TemporalIrIndex {
+ public:
+  TifSharding() = default;
+  explicit TifSharding(const TifShardingOptions& options)
+      : options_(options) {}
+
+  Status Build(const Corpus& corpus) override;
+  void Query(const irhint::Query& query, std::vector<ObjectId>* out) const override;
+  Status Insert(const Object& object) override;
+  Status Erase(const Object& object) override;
+  size_t MemoryUsageBytes() const override;
+  std::string_view Name() const override { return "tIF+Sharding"; }
+
+  uint64_t Frequency(ElementId e) const;
+
+  /// \brief Shards currently backing element e (0 if unknown).
+  size_t NumShards(ElementId e) const;
+
+ private:
+  struct Shard {
+    PostingsList entries;                    // sorted by (t_st, t_end)
+    std::vector<StoredTime> prefix_max_end;  // non-decreasing
+    std::vector<std::pair<StoredTime, uint32_t>> impact;  // sampled
+
+    void RebuildDerived(uint32_t impact_stride);
+    /// First index whose prefix-max end is >= qst (impact probe + refine).
+    size_t ScanStart(StoredTime qst) const;
+  };
+
+  struct ShardedList {
+    std::vector<Shard> shards;
+  };
+
+  uint32_t SlotFor(ElementId e);
+  void BuildShards(PostingsList&& postings, ShardedList* list) const;
+
+  // Scans the list's shards for entries overlapping q; emit(const Posting&).
+  template <typename Emit>
+  void ScanList(const ShardedList& list, const Interval& q, Emit&& emit) const;
+
+  TifShardingOptions options_;
+  FlatHashMap<ElementId, uint32_t> element_slot_;
+  std::vector<ShardedList> lists_;
+  std::vector<uint64_t> live_counts_;
+  bool built_ = false;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_IRFIRST_TIF_SHARDING_H_

@@ -1,0 +1,159 @@
+// Allen-relationship queries on HINT, validated against brute force for
+// all thirteen relations over randomized data, plus hand-checked examples.
+
+#include "hint/allen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hint/hint.h"
+
+namespace irhint {
+namespace {
+
+constexpr AllenRelation kAllRelations[] = {
+    AllenRelation::kEquals,      AllenRelation::kStarts,
+    AllenRelation::kStartedBy,   AllenRelation::kFinishes,
+    AllenRelation::kFinishedBy,  AllenRelation::kMeets,
+    AllenRelation::kMetBy,       AllenRelation::kOverlaps,
+    AllenRelation::kOverlappedBy, AllenRelation::kContains,
+    AllenRelation::kDuring,      AllenRelation::kBefore,
+    AllenRelation::kAfter,
+};
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(AllenPredicateTest, HandCheckedMatrix) {
+  const Interval q(10, 20);
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kEquals, {10, 20}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kStarts, {10, 15}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kStartedBy, {10, 30}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kFinishes, {15, 20}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kFinishedBy, {5, 20}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kMeets, {2, 9}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kMetBy, {21, 28}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kOverlaps, {5, 15}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kOverlappedBy, {15, 25}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kContains, {5, 25}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kDuring, {12, 18}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kBefore, {2, 8}, q));
+  EXPECT_TRUE(MatchesAllen(AllenRelation::kAfter, {22, 30}, q));
+
+  // A few sharp negatives around the boundaries.
+  EXPECT_FALSE(MatchesAllen(AllenRelation::kBefore, {2, 9}, q));    // meets
+  EXPECT_FALSE(MatchesAllen(AllenRelation::kOverlaps, {10, 15}, q));  // starts
+  EXPECT_FALSE(MatchesAllen(AllenRelation::kDuring, {10, 18}, q));  // starts
+  EXPECT_FALSE(MatchesAllen(AllenRelation::kContains, {10, 25}, q));
+}
+
+TEST(AllenPredicateTest, RelationsPartitionAllConfigurations) {
+  // For any pair of intervals exactly one basic relation holds.
+  for (Time ist = 0; ist < 8; ++ist) {
+    for (Time iend = ist; iend < 8; ++iend) {
+      for (Time qst = 0; qst < 8; ++qst) {
+        for (Time qend = qst; qend < 8; ++qend) {
+          int matches = 0;
+          for (const AllenRelation rel : kAllRelations) {
+            if (MatchesAllen(rel, {ist, iend}, {qst, qend})) ++matches;
+          }
+          EXPECT_EQ(matches, 1)
+              << "i=[" << ist << "," << iend << "] q=[" << qst << "," << qend
+              << "]";
+        }
+      }
+    }
+  }
+}
+
+class AllenQueryTest : public ::testing::TestWithParam<AllenRelation> {};
+
+TEST_P(AllenQueryTest, MatchesBruteForce) {
+  const AllenRelation relation = GetParam();
+  const Time domain_end = 499;
+  Rng rng(17 + static_cast<uint64_t>(relation));
+  std::vector<IntervalRecord> records;
+  for (ObjectId i = 0; i < 400; ++i) {
+    const Time st = rng.Uniform(domain_end + 1);
+    // Short intervals so boundary relations (meets, equals...) fire often.
+    const Time end = std::min<Time>(domain_end, st + rng.Uniform(25));
+    records.push_back(IntervalRecord{i, Interval(st, end)});
+  }
+  HintIndex hint;
+  HintOptions options;
+  options.num_bits = 6;
+  ASSERT_TRUE(hint.Build(records, domain_end, options).ok());
+
+  std::vector<ObjectId> out;
+  for (int round = 0; round < 300; ++round) {
+    const Time st = rng.Uniform(domain_end + 1);
+    const Time end = std::min<Time>(domain_end, st + rng.Uniform(40));
+    const Interval q(st, end);
+    ASSERT_TRUE(hint.AllenQuery(relation, q, &out).ok());
+    std::vector<ObjectId> expected;
+    for (const IntervalRecord& rec : records) {
+      if (MatchesAllen(relation, rec.interval, q)) {
+        expected.push_back(rec.id);
+      }
+    }
+    ASSERT_EQ(Sorted(out), expected)
+        << AllenRelationName(relation) << " q=[" << st << "," << end << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRelations, AllenQueryTest,
+                         ::testing::ValuesIn(kAllRelations),
+                         [](const ::testing::TestParamInfo<AllenRelation>& i) {
+                           return AllenRelationName(i.param);
+                         });
+
+TEST(AllenQueryTest, SeesOverflowEntries) {
+  HintIndex hint;
+  HintOptions options;
+  options.num_bits = 4;
+  ASSERT_TRUE(hint.Build({{1, Interval(10, 20)}}, 100, options).ok());
+  ASSERT_TRUE(hint.Insert(2, Interval(150, 300)).ok());  // overflow
+
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(hint.AllenQuery(AllenRelation::kAfter, Interval(30, 40), &out)
+                  .ok());
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{2}));
+  ASSERT_TRUE(
+      hint.AllenQuery(AllenRelation::kDuring, Interval(100, 400), &out).ok());
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{2}));
+  ASSERT_TRUE(
+      hint.AllenQuery(AllenRelation::kBefore, Interval(150, 160), &out).ok());
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1}));
+}
+
+TEST(AllenQueryTest, EmptyEdges) {
+  HintIndex hint;
+  ASSERT_TRUE(hint.Build({{1, Interval(0, 100)}}, 100, HintOptions{}).ok());
+  std::vector<ObjectId> out;
+  // BEFORE with q.st == 0 is provably empty.
+  ASSERT_TRUE(hint.AllenQuery(AllenRelation::kBefore, Interval(0, 5), &out)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+  // AFTER with q.end at the max indexed time is provably empty.
+  ASSERT_TRUE(hint.AllenQuery(AllenRelation::kAfter, Interval(50, 100), &out)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(AllenQueryTest, StorageOptimizationIsRejected) {
+  HintOptions options;
+  options.storage_optimization = true;
+  HintIndex hint;
+  ASSERT_TRUE(hint.Build({{1, Interval(2, 8)}}, 100, options).ok());
+  std::vector<ObjectId> out;
+  EXPECT_TRUE(hint.AllenQuery(AllenRelation::kEquals, Interval(2, 8), &out)
+                  .IsNotSupported());
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,144 @@
+#include "data/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "data/object.h"
+
+namespace irhint {
+namespace {
+
+TEST(IntervalTest, OverlapPredicate) {
+  EXPECT_TRUE(Overlaps(Interval(1, 5), Interval(5, 9)));   // touch at point
+  EXPECT_TRUE(Overlaps(Interval(5, 9), Interval(1, 5)));
+  EXPECT_TRUE(Overlaps(Interval(1, 9), Interval(3, 4)));   // containment
+  EXPECT_TRUE(Overlaps(Interval(3, 4), Interval(1, 9)));
+  EXPECT_TRUE(Overlaps(Interval(2, 2), Interval(2, 2)));   // points
+  EXPECT_FALSE(Overlaps(Interval(1, 4), Interval(5, 9)));  // adjacent
+  EXPECT_FALSE(Overlaps(Interval(5, 9), Interval(1, 4)));
+}
+
+TEST(IntervalTest, LengthAndContains) {
+  const Interval i(3, 7);
+  EXPECT_EQ(i.Length(), 5u);
+  EXPECT_TRUE(Contains(i, 3));
+  EXPECT_TRUE(Contains(i, 7));
+  EXPECT_FALSE(Contains(i, 2));
+  EXPECT_FALSE(Contains(i, 8));
+  EXPECT_EQ(Interval(4, 4).Length(), 1u);
+}
+
+TEST(ObjectTest, ContainsElementBinarySearch) {
+  Object o(0, Interval(0, 1), {2, 5, 9, 12});
+  EXPECT_TRUE(o.ContainsElement(2));
+  EXPECT_TRUE(o.ContainsElement(12));
+  EXPECT_FALSE(o.ContainsElement(0));
+  EXPECT_FALSE(o.ContainsElement(7));
+  EXPECT_FALSE(o.ContainsElement(13));
+}
+
+TEST(ObjectTest, ContainsAllMergeSemantics) {
+  Object o(0, Interval(0, 1), {2, 5, 9, 12});
+  EXPECT_TRUE(o.ContainsAll({}));
+  EXPECT_TRUE(o.ContainsAll({5}));
+  EXPECT_TRUE(o.ContainsAll({2, 9, 12}));
+  EXPECT_FALSE(o.ContainsAll({2, 3}));
+  EXPECT_FALSE(o.ContainsAll({13}));
+}
+
+TEST(CorpusTest, AddValidatesIdsAndIntervals) {
+  Corpus corpus;
+  EXPECT_TRUE(corpus.Add(Object(0, Interval(1, 5), {1})).ok());
+  // Non-dense id rejected.
+  EXPECT_TRUE(corpus.Add(Object(2, Interval(1, 5), {1})).IsInvalidArgument());
+  // Inverted interval rejected.
+  EXPECT_TRUE(corpus.Add(Object(1, Interval(5, 1), {1})).IsInvalidArgument());
+  EXPECT_EQ(corpus.size(), 1u);
+}
+
+TEST(CorpusTest, FinalizeSortsAndDeduplicatesDescriptions) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(10));
+  corpus.Append(Interval(0, 5), {7, 2, 7, 2, 4});
+  ASSERT_TRUE(corpus.Finalize().ok());
+  EXPECT_EQ(corpus.object(0).elements, (std::vector<ElementId>{2, 4, 7}));
+  // Frequencies count each object once per element.
+  EXPECT_EQ(corpus.dictionary().Frequency(7), 1u);
+  EXPECT_EQ(corpus.dictionary().Frequency(3), 0u);
+}
+
+TEST(CorpusTest, DomainTracksMaxEnd) {
+  Corpus corpus;
+  corpus.Append(Interval(0, 50), {});
+  EXPECT_EQ(corpus.domain_end(), 50u);
+  corpus.DeclareDomain(100);
+  EXPECT_EQ(corpus.domain_end(), 100u);
+  corpus.Append(Interval(10, 200), {});
+  EXPECT_EQ(corpus.domain_end(), 200u);
+  corpus.DeclareDomain(150);  // smaller declaration never shrinks
+  EXPECT_EQ(corpus.domain_end(), 200u);
+}
+
+TEST(CorpusTest, StatsMatchHandComputedValues) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(5));
+  corpus.Append(Interval(0, 9), {0, 1});    // duration 10
+  corpus.Append(Interval(5, 24), {1});      // duration 20
+  corpus.DeclareDomain(99);
+  ASSERT_TRUE(corpus.Finalize().ok());
+  const CorpusStats stats = corpus.Stats();
+  EXPECT_EQ(stats.cardinality, 2u);
+  EXPECT_EQ(stats.min_duration, 10u);
+  EXPECT_EQ(stats.max_duration, 20u);
+  EXPECT_DOUBLE_EQ(stats.avg_duration, 15.0);
+  EXPECT_DOUBLE_EQ(stats.avg_duration_pct, 15.0);  // of 100 points
+  EXPECT_EQ(stats.min_description_size, 1u);
+  EXPECT_EQ(stats.max_description_size, 2u);
+  EXPECT_EQ(stats.max_element_frequency, 2u);  // element 1
+  EXPECT_EQ(stats.min_element_frequency, 1u);  // element 0
+}
+
+TEST(CorpusTest, PrefixRecomputesFrequencies) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(3));
+  corpus.Append(Interval(0, 1), {0});
+  corpus.Append(Interval(0, 1), {0, 1});
+  corpus.Append(Interval(0, 1), {1, 2});
+  ASSERT_TRUE(corpus.Finalize().ok());
+
+  const Corpus prefix = corpus.Prefix(2);
+  EXPECT_EQ(prefix.size(), 2u);
+  EXPECT_EQ(prefix.dictionary().Frequency(0), 2u);
+  EXPECT_EQ(prefix.dictionary().Frequency(1), 1u);
+  EXPECT_EQ(prefix.dictionary().Frequency(2), 0u);
+  EXPECT_EQ(prefix.domain_end(), corpus.domain_end());
+}
+
+TEST(DictionaryTest, TextualInterningRoundTrips) {
+  Dictionary dict;
+  const ElementId a = dict.AddTerm("alpha");
+  const ElementId b = dict.AddTerm("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.AddTerm("alpha"), a);  // idempotent
+  EXPECT_EQ(dict.LookupTerm("beta"), b);
+  EXPECT_EQ(dict.LookupTerm("gamma"), Dictionary::kInvalidElement);
+  EXPECT_EQ(dict.Term(a), "alpha");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, SortByFrequencyIsStableByIdOnTies) {
+  Dictionary dict = Dictionary::MakeAnonymous(4);
+  dict.SetFrequencies({5, 1, 5, 0});
+  std::vector<ElementId> elements{0, 1, 2, 3};
+  dict.SortByFrequency(&elements);
+  EXPECT_EQ(elements, (std::vector<ElementId>{3, 1, 0, 2}));
+}
+
+TEST(DictionaryTest, BumpFrequencyGrowsVector) {
+  Dictionary dict = Dictionary::MakeAnonymous(2);
+  dict.BumpFrequency(5, 3);
+  EXPECT_EQ(dict.Frequency(5), 3u);
+  EXPECT_EQ(dict.Frequency(1), 0u);
+}
+
+}  // namespace
+}  // namespace irhint

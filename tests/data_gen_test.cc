@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "data/real_sim.h"
+#include "data/synthetic.h"
+
+namespace irhint {
+namespace {
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticParams params;
+  params.cardinality = 500;
+  params.domain = 100000;
+  params.dictionary_size = 100;
+  params.description_size = 5;
+  const Corpus a = GenerateSynthetic(params);
+  const Corpus b = GenerateSynthetic(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.object(i).interval, b.object(i).interval);
+    EXPECT_EQ(a.object(i).elements, b.object(i).elements);
+  }
+  params.seed = 43;
+  const Corpus c = GenerateSynthetic(params);
+  bool any_differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a.object(i).interval == c.object(i).interval)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(SyntheticTest, RespectsStructuralParameters) {
+  SyntheticParams params;
+  params.cardinality = 2000;
+  params.domain = 50000;
+  params.dictionary_size = 200;
+  params.description_size = 7;
+  const Corpus corpus = GenerateSynthetic(params);
+  EXPECT_EQ(corpus.size(), 2000u);
+  EXPECT_EQ(corpus.dictionary().size(), 200u);
+  EXPECT_EQ(corpus.domain_end(), params.domain - 1);
+  for (const Object& o : corpus.objects()) {
+    EXPECT_EQ(o.elements.size(), 7u);  // distinct by construction
+    EXPECT_LE(o.interval.end, corpus.domain_end());
+    EXPECT_LE(o.interval.st, o.interval.end);
+    for (ElementId e : o.elements) EXPECT_LT(e, 200u);
+  }
+}
+
+TEST(SyntheticTest, AlphaControlsDurations) {
+  SyntheticParams params;
+  params.cardinality = 3000;
+  params.domain = 1000000;
+  params.description_size = 5;
+  params.dictionary_size = 100;
+  params.alpha = 1.01;
+  const double long_avg = GenerateSynthetic(params).Stats().avg_duration;
+  params.alpha = 1.8;
+  const Corpus short_corpus = GenerateSynthetic(params);
+  const double short_avg = short_corpus.Stats().avg_duration;
+  EXPECT_GT(long_avg, 10 * short_avg);
+  // With heavy skew, length-1 intervals dominate (the paper: "with a large
+  // value, the majority of intervals have length 1").
+  size_t length_one = 0;
+  for (const Object& o : short_corpus.objects()) {
+    if (o.interval.Length() == 1) ++length_one;
+  }
+  EXPECT_GT(static_cast<double>(length_one) /
+                static_cast<double>(short_corpus.size()),
+            0.4);
+}
+
+TEST(SyntheticTest, ZetaControlsElementSkew) {
+  SyntheticParams params;
+  params.cardinality = 3000;
+  params.domain = 100000;
+  params.dictionary_size = 1000;
+  params.description_size = 5;
+  params.zeta = 1.0;
+  const auto mild = GenerateSynthetic(params).Stats();
+  params.zeta = 2.0;
+  const auto heavy = GenerateSynthetic(params).Stats();
+  EXPECT_GT(heavy.max_element_frequency, mild.max_element_frequency);
+}
+
+TEST(SyntheticTest, SigmaControlsSpread) {
+  SyntheticParams params;
+  params.cardinality = 3000;
+  params.domain = 10000000;
+  params.alpha = 1.8;  // near-point intervals
+  params.dictionary_size = 100;
+  params.description_size = 5;
+  params.sigma = 1000;
+  const Corpus tight = GenerateSynthetic(params);
+  params.sigma = 2000000;
+  const Corpus wide = GenerateSynthetic(params);
+  // Midpoint spread: compare the fraction within 1% of the center.
+  auto near_center = [](const Corpus& corpus) {
+    const Time center = (corpus.domain_end() + 1) / 2;
+    const Time band = (corpus.domain_end() + 1) / 100;
+    size_t n = 0;
+    for (const Object& o : corpus.objects()) {
+      const Time mid = o.interval.st + o.interval.Length() / 2;
+      if (mid >= center - band && mid <= center + band) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(corpus.size());
+  };
+  EXPECT_GT(near_center(tight), 0.95);
+  EXPECT_LT(near_center(wide), 0.5);
+}
+
+TEST(RealSimTest, EclogMatchesPublishedShape) {
+  const Corpus corpus = MakeEclogLike(0.05);
+  const CorpusStats stats = corpus.Stats();
+  // Table 3 targets: domain 15.8M seconds, mean duration ~8.4% of it,
+  // mean |d| ~72, min duration 1.
+  EXPECT_EQ(corpus.domain_end(), 15807599u - 1);
+  EXPECT_NEAR(stats.avg_duration_pct, 8.4, 1.5);
+  EXPECT_NEAR(stats.avg_description_size, 72.0, 15.0);
+  EXPECT_GE(stats.min_duration, 1u);
+  // Most frequent element in roughly 47% of objects (140423 / 300311).
+  const double max_freq_pct = 100.0 *
+      static_cast<double>(stats.max_element_frequency) /
+      static_cast<double>(stats.cardinality);
+  EXPECT_NEAR(max_freq_pct, 47.0, 12.0);
+}
+
+TEST(RealSimTest, WikipediaMatchesPublishedShape) {
+  const Corpus corpus = MakeWikipediaLike(0.004);
+  const CorpusStats stats = corpus.Stats();
+  EXPECT_EQ(corpus.domain_end(), 126230391u - 1);
+  EXPECT_NEAR(stats.avg_duration_pct, 5.2, 1.2);
+  EXPECT_NEAR(stats.avg_description_size, 367.0, 80.0);
+  // A near-universal element exists (max frequency ~99.9% of objects).
+  const double max_freq_pct = 100.0 *
+      static_cast<double>(stats.max_element_frequency) /
+      static_cast<double>(stats.cardinality);
+  EXPECT_GT(max_freq_pct, 95.0);
+}
+
+TEST(RealSimTest, ScaleControlsCardinality) {
+  const Corpus small = MakeEclogLike(0.01);
+  const Corpus large = MakeEclogLike(0.03);
+  EXPECT_NEAR(static_cast<double>(large.size()),
+              3.0 * static_cast<double>(small.size()),
+              static_cast<double>(small.size()) * 0.2);
+}
+
+}  // namespace
+}  // namespace irhint

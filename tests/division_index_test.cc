@@ -1,0 +1,169 @@
+#include "ir/division_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace irhint {
+namespace {
+
+using Ids = std::vector<ObjectId>;
+
+TEST(DivisionTifTest, SingleElementModes) {
+  DivisionTif tif;
+  tif.Add(1, Interval(10, 20), {5});
+  tif.Add(2, Interval(30, 40), {5});
+  tif.Add(3, Interval(50, 60), {5});
+  tif.Finalize();
+
+  DivisionQueryScratch scratch;
+  Ids out;
+  const Interval q(25, 45);
+  // kBoth: only object 2 overlaps.
+  tif.Query({5}, q, CheckMode::kBoth, &scratch, &out);
+  EXPECT_EQ(out, (Ids{2}));
+  // kStartOnly (end >= q.st): objects 2 and 3.
+  out.clear();
+  tif.Query({5}, q, CheckMode::kStartOnly, &scratch, &out);
+  EXPECT_EQ(out, (Ids{2, 3}));
+  // kEndOnly (st <= q.end): objects 1 and 2.
+  out.clear();
+  tif.Query({5}, q, CheckMode::kEndOnly, &scratch, &out);
+  EXPECT_EQ(out, (Ids{1, 2}));
+  // kNone: everything.
+  out.clear();
+  tif.Query({5}, q, CheckMode::kNone, &scratch, &out);
+  EXPECT_EQ(out, (Ids{1, 2, 3}));
+}
+
+TEST(DivisionTifTest, MultiElementIntersection) {
+  DivisionTif tif;
+  tif.Add(1, Interval(0, 9), {2, 7});
+  tif.Add(2, Interval(0, 9), {2});
+  tif.Add(3, Interval(0, 9), {2, 7, 9});
+  tif.Finalize();
+
+  DivisionQueryScratch scratch;
+  Ids out;
+  tif.Query({7, 2}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_EQ(out, (Ids{1, 3}));
+  out.clear();
+  tif.Query({9, 7, 2}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_EQ(out, (Ids{3}));
+  out.clear();
+  tif.Query({4}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_TRUE(out.empty());  // unknown element
+}
+
+TEST(DivisionTifTest, DeltaAfterFinalizeIsVisibleAndOrdered) {
+  DivisionTif tif;
+  tif.Add(1, Interval(0, 9), {3});
+  tif.Add(2, Interval(0, 9), {3});
+  tif.Finalize();
+  tif.Add(5, Interval(0, 9), {3});  // lands in the delta
+
+  DivisionQueryScratch scratch;
+  Ids out;
+  tif.Query({3}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_EQ(out, (Ids{1, 2, 5}));  // core then delta, still id-sorted
+
+  // Finalize again merges the delta into the core.
+  tif.Finalize();
+  out.clear();
+  tif.Query({3}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_EQ(out, (Ids{1, 2, 5}));
+}
+
+TEST(DivisionTifTest, FinalizeMergesDisjointAndOverlappingKeys) {
+  DivisionTif tif;
+  tif.Add(1, Interval(0, 9), {10, 30});
+  tif.Finalize();
+  // New keys both before, between and after existing core keys, plus an
+  // existing key.
+  tif.Add(2, Interval(0, 9), {5, 20, 30, 40});
+  tif.Finalize();
+
+  DivisionQueryScratch scratch;
+  Ids out;
+  tif.Query({30}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_EQ(out, (Ids{1, 2}));
+  out.clear();
+  tif.Query({5}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_EQ(out, (Ids{2}));
+  out.clear();
+  tif.Query({10}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_EQ(out, (Ids{1}));
+  out.clear();
+  tif.Query({40}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_EQ(out, (Ids{2}));
+}
+
+TEST(DivisionTifTest, TombstoneInCoreAndDelta) {
+  DivisionTif tif;
+  tif.Add(1, Interval(0, 9), {3});
+  tif.Finalize();
+  tif.Add(2, Interval(0, 9), {3});  // delta
+
+  EXPECT_EQ(tif.Tombstone(1, {3}), 1u);  // core hit
+  EXPECT_EQ(tif.Tombstone(2, {3}), 1u);  // delta hit
+  EXPECT_EQ(tif.Tombstone(9, {3}), 0u);  // absent
+
+  DivisionQueryScratch scratch;
+  Ids out;
+  tif.Query({3}, Interval(0, 9), CheckMode::kNone, &scratch, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DivisionIdIndexTest, IntersectAgainstCandidates) {
+  DivisionIdIndex index;
+  index.Add(1, {2, 4});
+  index.Add(2, {2});
+  index.Add(3, {2, 4});
+  index.Finalize();
+
+  DivisionQueryScratch scratch;
+  Ids out;
+  index.Intersect({1, 2, 3}, {2, 4}, &scratch, &out);
+  EXPECT_EQ(out, (Ids{1, 3}));
+  out.clear();
+  index.Intersect({2}, {2, 4}, &scratch, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  index.Intersect({}, {2}, &scratch, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DivisionIdIndexTest, IntersectListsEqualsIntersectWithUniverse) {
+  DivisionIdIndex index;
+  index.Add(1, {2, 4, 6});
+  index.Add(2, {2, 6});
+  index.Add(3, {4, 6});
+  index.Add(4, {2, 4, 6});
+  index.Finalize();
+
+  DivisionQueryScratch scratch;
+  Ids fast, slow;
+  index.IntersectLists({2, 4}, &scratch, &fast);
+  index.Intersect({1, 2, 3, 4}, {2, 4}, &scratch, &slow);
+  EXPECT_EQ(fast, slow);
+  EXPECT_EQ(fast, (Ids{1, 4}));
+
+  fast.clear();
+  index.IntersectLists({6}, &scratch, &fast);
+  EXPECT_EQ(fast, (Ids{1, 2, 3, 4}));
+}
+
+TEST(DivisionIdIndexTest, MemoryShrinksAfterFinalize) {
+  DivisionIdIndex index;
+  for (ObjectId id = 0; id < 500; ++id) {
+    index.Add(id, {id % 37, 37 + id % 11});
+  }
+  const size_t before = index.MemoryUsageBytes();
+  index.Finalize();
+  EXPECT_LT(index.MemoryUsageBytes(), before);
+  EXPECT_EQ(index.NumPostings(), 1000u);
+}
+
+}  // namespace
+}  // namespace irhint

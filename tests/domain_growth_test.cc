@@ -1,0 +1,144 @@
+// Time-expanding updates: objects inserted after Build may extend past the
+// declared time domain (the LIT-style extension the paper points to for
+// growing domains). Every index must keep answering exactly.
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/factory.h"
+#include "core/naive_scan.h"
+#include "data/synthetic.h"
+#include "hint/hint.h"
+
+namespace irhint {
+namespace {
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(HintOverflowTest, InsertBeyondDomainIsQueryable) {
+  HintIndex hint;
+  HintOptions options;
+  options.num_bits = 5;
+  ASSERT_TRUE(hint.Build({{1, Interval(10, 20)}}, 100, options).ok());
+
+  // Grows the time domain: ends at 500 > 100.
+  ASSERT_TRUE(hint.Insert(2, Interval(90, 500)).ok());
+  ASSERT_TRUE(hint.Insert(3, Interval(400, 450)).ok());
+  EXPECT_EQ(hint.NumOverflow(), 2u);
+
+  std::vector<ObjectId> out;
+  hint.RangeQuery(Interval(0, 1000), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 2, 3}));
+
+  // Query entirely beyond the built domain.
+  out.clear();
+  hint.RangeQuery(Interval(420, 430), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{2, 3}));
+
+  // Query inside the built domain still sees the overflow interval that
+  // reaches back into it.
+  out.clear();
+  hint.RangeQuery(Interval(95, 99), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{2}));
+
+  // Overflow tombstoning.
+  ASSERT_TRUE(hint.Erase(2, Interval(90, 500)).ok());
+  out.clear();
+  hint.RangeQuery(Interval(0, 1000), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 3}));
+  EXPECT_TRUE(hint.Erase(2, Interval(90, 500)).IsNotFound());
+}
+
+TEST(HintOverflowTest, FilteredAndMergeQueriesSeeOverflow) {
+  HintOptions options;
+  options.num_bits = 4;
+  options.sort_mode = HintSortMode::kById;
+  HintIndex hint;
+  ASSERT_TRUE(hint.Build({{1, Interval(0, 50)}}, 100, options).ok());
+  ASSERT_TRUE(hint.Insert(5, Interval(80, 300)).ok());
+
+  std::vector<ObjectId> out;
+  hint.RangeQueryFiltered(Interval(200, 250), {4, 5, 6}, &out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{5}));
+
+  out.clear();
+  hint.IntersectRelevant(Interval(200, 250), {5}, &out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{5}));
+}
+
+class DomainGrowthTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(DomainGrowthTest, GrowingInsertsMatchOracle) {
+  SyntheticParams params;
+  params.cardinality = 800;
+  params.domain = 50000;
+  params.dictionary_size = 40;
+  params.description_size = 5;
+  params.sigma = 10000;
+  params.seed = 77;
+  Corpus corpus = GenerateSynthetic(params);
+
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(GetParam());
+  ASSERT_TRUE(index->Build(corpus).ok());
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(corpus).ok());
+
+  // Insert objects that progressively grow the time domain up to 4x.
+  Rng rng(78);
+  for (int i = 0; i < 300; ++i) {
+    const Time st = rng.Uniform(4 * params.domain);
+    const Time end = std::min<Time>(4 * params.domain,
+                                    st + rng.Uniform(20000));
+    // Insert() requires set semantics: sorted, duplicate-free elements.
+    std::vector<ElementId> elements;
+    for (int j = 0; j < 4; ++j) {
+      elements.push_back(static_cast<ElementId>(rng.Uniform(40)));
+    }
+    std::sort(elements.begin(), elements.end());
+    elements.erase(std::unique(elements.begin(), elements.end()),
+                   elements.end());
+    const Object o(static_cast<ObjectId>(corpus.size()), Interval(st, end),
+                   elements);
+    ASSERT_TRUE(corpus.Add(o).ok());
+    ASSERT_TRUE(index->Insert(o).ok()) << index->Name();
+    ASSERT_TRUE(oracle.Insert(o).ok());
+  }
+
+  std::vector<ObjectId> expected, actual;
+  for (int i = 0; i < 300; ++i) {
+    const Time st = rng.Uniform(4 * params.domain + 10000);
+    const Time end = st + rng.Uniform(30000);
+    const Query q(Interval(st, end),
+                  {static_cast<ElementId>(rng.Uniform(40)),
+                   static_cast<ElementId>(rng.Uniform(40))});
+    oracle.Query(q, &expected);
+    index->Query(q, &actual);
+    ASSERT_EQ(Sorted(actual), Sorted(expected))
+        << index->Name() << " q=[" << st << "," << end << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, DomainGrowthTest,
+    ::testing::Values(IndexKind::kTif, IndexKind::kTifSlicing,
+                      IndexKind::kTifSharding,
+                      IndexKind::kTifHintBinarySearch,
+                      IndexKind::kTifHintMergeSort,
+                      IndexKind::kTifHintSlicing, IndexKind::kIrHintPerf,
+                      IndexKind::kIrHintSize),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      std::string label(IndexKindName(info.param));
+      for (char& c : label) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return label;
+    });
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,191 @@
+// Edge cases across the library: degenerate domains, extreme option
+// values, boundary intervals, and tiny corpora.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/factory.h"
+#include "core/naive_scan.h"
+#include "data/corpus.h"
+#include "data/query_gen.h"
+#include "hint/hint.h"
+#include "irfirst/tif_sharding.h"
+
+namespace irhint {
+namespace {
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(HintEdgeTest, SinglePointDomain) {
+  HintIndex hint;
+  HintOptions options;
+  options.num_bits = 0;  // one partition total
+  const std::vector<IntervalRecord> records{{1, Interval(0, 0)},
+                                            {2, Interval(0, 0)}};
+  ASSERT_TRUE(hint.Build(records, 0, options).ok());
+  std::vector<ObjectId> out;
+  hint.RangeQuery(Interval(0, 0), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 2}));
+}
+
+TEST(HintEdgeTest, IntervalsAtDomainBoundaries) {
+  HintIndex hint;
+  HintOptions options;
+  options.num_bits = 5;
+  const Time domain_end = 999;
+  const std::vector<IntervalRecord> records{
+      {1, Interval(0, 0)},                      // first point
+      {2, Interval(domain_end, domain_end)},    // last point
+      {3, Interval(0, domain_end)},             // whole domain
+  };
+  ASSERT_TRUE(hint.Build(records, domain_end, options).ok());
+  std::vector<ObjectId> out;
+  hint.RangeQuery(Interval(0, 0), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 3}));
+  out.clear();
+  hint.RangeQuery(Interval(domain_end, domain_end), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{2, 3}));
+  out.clear();
+  hint.RangeQuery(Interval(500, 500), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{3}));
+}
+
+TEST(HintEdgeTest, MLargerThanDomainBits) {
+  // More bits than distinct time points: cells are mostly empty but
+  // queries stay exact.
+  HintIndex hint;
+  HintOptions options;
+  options.num_bits = 10;  // 1024 cells over a 10-point domain
+  const std::vector<IntervalRecord> records{{1, Interval(2, 7)},
+                                            {2, Interval(8, 9)}};
+  ASSERT_TRUE(hint.Build(records, 9, options).ok());
+  std::vector<ObjectId> out;
+  hint.RangeQuery(Interval(7, 8), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 2}));
+  out.clear();
+  hint.RangeQuery(Interval(0, 1), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HintEdgeTest, RejectsBadOptions) {
+  HintIndex hint;
+  HintOptions options;
+  options.num_bits = 31;
+  EXPECT_TRUE(hint.Build({}, 100, options).IsInvalidArgument());
+  options.num_bits = -1;
+  EXPECT_TRUE(hint.Build({}, 100, options).IsInvalidArgument());
+  // Domain too large for 32-bit endpoints.
+  options.num_bits = 10;
+  EXPECT_TRUE(hint.Build({}, Time{1} << 40, options).IsInvalidArgument());
+}
+
+TEST(ShardingEdgeTest, SingleShardCap) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  for (int i = 0; i < 50; ++i) {
+    corpus.Append(Interval(i, 100 - i), {0});  // nested: 50 ideal shards
+  }
+  ASSERT_TRUE(corpus.Finalize().ok());
+  TifShardingOptions options;
+  options.max_shards_per_list = 1;
+  TifSharding index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  EXPECT_EQ(index.NumShards(0), 1u);
+  std::vector<ObjectId> out;
+  index.Query(Query(Interval(50, 50), {0}), &out);
+  EXPECT_EQ(out.size(), 50u);
+}
+
+TEST(ShardingEdgeTest, ImpactStrideOne) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  for (ObjectId i = 0; i < 200; ++i) {
+    corpus.Append(Interval(i * 3, i * 3 + 2), {0});
+  }
+  ASSERT_TRUE(corpus.Finalize().ok());
+  TifShardingOptions options;
+  options.impact_stride = 1;  // one impact entry per posting
+  TifSharding index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  std::vector<ObjectId> out;
+  index.Query(Query(Interval(300, 305), {0}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{100, 101}));
+}
+
+TEST(CorpusEdgeTest, SingleObjectCorpusWorksEverywhere) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(2));
+  corpus.Append(Interval(10, 20), {0, 1});
+  ASSERT_TRUE(corpus.Finalize().ok());
+  for (const IndexKind kind : AllIndexKinds()) {
+    auto index = CreateIndex(kind);
+    ASSERT_TRUE(index->Build(corpus).ok()) << index->Name();
+    std::vector<ObjectId> out;
+    index->Query(Query(Interval(15, 15), {0, 1}), &out);
+    EXPECT_EQ(out, std::vector<ObjectId>{0}) << index->Name();
+    index->Query(Query(Interval(21, 30), {0, 1}), &out);
+    EXPECT_TRUE(out.empty()) << index->Name();
+  }
+}
+
+TEST(CorpusEdgeTest, EmptyCorpusBuildsEverywhere) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(4));
+  corpus.DeclareDomain(1000);
+  ASSERT_TRUE(corpus.Finalize().ok());
+  for (const IndexKind kind : AllIndexKinds()) {
+    auto index = CreateIndex(kind);
+    ASSERT_TRUE(index->Build(corpus).ok()) << index->Name();
+    std::vector<ObjectId> out;
+    index->Query(Query(Interval(0, 1000), {0}), &out);
+    EXPECT_TRUE(out.empty()) << index->Name();
+    // First insert into an empty index works.
+    ASSERT_TRUE(index->Insert(Object(0, Interval(5, 9), {1})).ok())
+        << index->Name();
+    index->Query(Query(Interval(0, 1000), {1}), &out);
+    EXPECT_EQ(out, std::vector<ObjectId>{0}) << index->Name();
+  }
+}
+
+TEST(WorkloadEdgeTest, FullDomainExtent) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(3));
+  Rng rng(3);
+  for (ObjectId i = 0; i < 200; ++i) {
+    const Time st = rng.Uniform(1000);
+    corpus.Append(Interval(st, st + rng.Uniform(100)),
+                  {static_cast<ElementId>(i % 3)});
+  }
+  ASSERT_TRUE(corpus.Finalize().ok());
+  WorkloadGenerator generator(corpus, 9);
+  const auto queries = generator.ExtentWorkload(100.0, 1, 20);
+  ASSERT_EQ(queries.size(), 20u);
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.interval.st, 0u);
+    EXPECT_EQ(q.interval.end, corpus.domain_end());
+  }
+}
+
+TEST(NaiveEdgeTest, QueryWithDuplicateQueryElements) {
+  // q.d with repeats must behave as the set (containment semantics).
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(2));
+  corpus.Append(Interval(0, 10), {0});
+  corpus.Append(Interval(0, 10), {0, 1});
+  ASSERT_TRUE(corpus.Finalize().ok());
+  for (const IndexKind kind : AllIndexKinds()) {
+    auto index = CreateIndex(kind);
+    ASSERT_TRUE(index->Build(corpus).ok());
+    std::vector<ObjectId> out;
+    index->Query(Query(Interval(0, 10), {0, 0, 1}), &out);
+    EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1})) << index->Name();
+  }
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,126 @@
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/table_printer.h"
+#include "core/naive_scan.h"
+#include "data/query_gen.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+
+namespace irhint {
+namespace {
+
+Corpus SmallCorpus() {
+  SyntheticParams params;
+  params.cardinality = 500;
+  params.domain = 10000;
+  params.dictionary_size = 30;
+  params.description_size = 4;
+  return GenerateSynthetic(params);
+}
+
+TEST(RunnerTest, MeasureBuildReportsTimeAndSize) {
+  const Corpus corpus = SmallCorpus();
+  NaiveScan index;
+  const BuildStats stats = MeasureBuild(&index, corpus);
+  EXPECT_GE(stats.seconds, 0.0);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(RunnerTest, MeasureQueriesCountsResults) {
+  const Corpus corpus = SmallCorpus();
+  NaiveScan index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  WorkloadGenerator generator(corpus, 1);
+  const auto queries = generator.ExtentWorkload(10.0, 1, 20);
+  const QueryStats stats = MeasureQueries(index, queries);
+  EXPECT_EQ(stats.num_queries, queries.size());
+  EXPECT_GT(stats.total_results, 0u);  // non-empty by construction
+  EXPECT_GT(stats.queries_per_second, 0.0);
+  EXPECT_GE(stats.seconds, 0.2);  // repeats until min measurement window
+}
+
+TEST(RunnerTest, MeasureQueriesEmptyBatch) {
+  NaiveScan index;
+  const QueryStats stats = MeasureQueries(index, {});
+  EXPECT_EQ(stats.num_queries, 0u);
+  EXPECT_EQ(stats.queries_per_second, 0.0);
+}
+
+TEST(RunnerTest, InsertAndEraseBatches) {
+  const Corpus corpus = SmallCorpus();
+  const Corpus prefix = corpus.Prefix(400);
+  NaiveScan index;
+  ASSERT_TRUE(index.Build(prefix).ok());
+  EXPECT_GE(MeasureInsertSeconds(&index, corpus, 400, 500), 0.0);
+  EXPECT_GE(MeasureEraseSeconds(&index, corpus, 0, 100), 0.0);
+  // Erasing the same range again fails -> negative sentinel.
+  EXPECT_LT(MeasureEraseSeconds(&index, corpus, 0, 100), 0.0);
+}
+
+TEST(RunnerTest, EnvKnobs) {
+  unsetenv("IRHINT_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  setenv("IRHINT_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 2.5);
+  setenv("IRHINT_SCALE", "bogus", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  unsetenv("IRHINT_SCALE");
+
+  unsetenv("IRHINT_QUERIES");
+  EXPECT_EQ(BenchQueriesFromEnv(123), 123u);
+  setenv("IRHINT_QUERIES", "777", 1);
+  EXPECT_EQ(BenchQueriesFromEnv(123), 777u);
+  unsetenv("IRHINT_QUERIES");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"x", "y"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(FmtTest, Formatting) {
+  EXPECT_EQ(Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Fmt(uint64_t{42}), "42");
+  EXPECT_EQ(Fmt(int64_t{-7}), "-7");
+  EXPECT_EQ(FmtMb(1048576 * 3), "3.0");
+}
+
+TEST(BitsTest, Helpers) {
+  EXPECT_EQ(BitWidth(0), 1);
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(2), 2);
+  EXPECT_EQ(BitWidth(255), 8);
+  EXPECT_EQ(BitWidth(256), 9);
+  EXPECT_EQ(CeilPow2(1), 1u);
+  EXPECT_EQ(CeilPow2(3), 4u);
+  EXPECT_EQ(CeilPow2(1024), 1024u);
+  EXPECT_TRUE(IsPow2(64));
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_FALSE(IsPow2(12));
+  EXPECT_EQ(LevelPrefix(2, 4, 13), 3u);  // 1101 -> 11
+  EXPECT_EQ(LevelPrefix(4, 4, 13), 13u);
+  EXPECT_EQ(LevelPrefix(0, 4, 13), 0u);
+}
+
+}  // namespace
+}  // namespace irhint

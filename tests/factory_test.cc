@@ -1,0 +1,81 @@
+#include "core/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace irhint {
+namespace {
+
+TEST(FactoryTest, CreatesEveryKindWithMatchingName) {
+  const IndexKind kinds[] = {
+      IndexKind::kNaiveScan,       IndexKind::kTif,
+      IndexKind::kTifSlicing,      IndexKind::kTifSharding,
+      IndexKind::kTifHintBinarySearch, IndexKind::kTifHintMergeSort,
+      IndexKind::kTifHintSlicing,  IndexKind::kIrHintPerf,
+      IndexKind::kIrHintSize,
+  };
+  for (const IndexKind kind : kinds) {
+    auto index = CreateIndex(kind);
+    ASSERT_NE(index, nullptr);
+    EXPECT_EQ(index->Name(), IndexKindName(kind));
+  }
+}
+
+TEST(FactoryTest, ComparisonLineupMatchesFigure11) {
+  const auto kinds = ComparisonIndexKinds();
+  ASSERT_EQ(kinds.size(), 5u);  // 2 competitors + hybrid + 2 irHINT
+  EXPECT_EQ(kinds.front(), IndexKind::kTifSlicing);
+  EXPECT_EQ(kinds.back(), IndexKind::kIrHintSize);
+}
+
+TEST(FactoryTest, AllLineupMatchesTable5) {
+  EXPECT_EQ(AllIndexKinds().size(), 7u);
+}
+
+TEST(FactoryTest, ConfigIsApplied) {
+  SyntheticParams params;
+  params.cardinality = 300;
+  params.domain = 10000;
+  params.dictionary_size = 20;
+  params.description_size = 4;
+  const Corpus corpus = GenerateSynthetic(params);
+
+  IndexConfig small;
+  small.num_slices = 2;
+  IndexConfig large;
+  large.num_slices = 200;
+  auto a = CreateIndex(IndexKind::kTifSlicing, small);
+  auto b = CreateIndex(IndexKind::kTifSlicing, large);
+  ASSERT_TRUE(a->Build(corpus).ok());
+  ASSERT_TRUE(b->Build(corpus).ok());
+  // More slices -> more replication -> bigger index.
+  EXPECT_LT(a->MemoryUsageBytes(), b->MemoryUsageBytes());
+}
+
+TEST(FactoryTest, BuiltIndexesAnswerQueries) {
+  SyntheticParams params;
+  params.cardinality = 400;
+  params.domain = 10000;
+  params.dictionary_size = 10;
+  params.description_size = 3;
+  const Corpus corpus = GenerateSynthetic(params);
+  const Query q(Interval(0, 9999), {0});
+  std::vector<ObjectId> reference;
+  std::vector<ObjectId> out;
+  for (const IndexKind kind : AllIndexKinds()) {
+    auto index = CreateIndex(kind);
+    ASSERT_TRUE(index->Build(corpus).ok()) << index->Name();
+    index->Query(q, &out);
+    std::sort(out.begin(), out.end());
+    if (reference.empty()) {
+      reference = out;
+      EXPECT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(out, reference) << index->Name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,158 @@
+#include "common/flat_hash_map.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace irhint {
+namespace {
+
+TEST(FlatHashMapTest, EmptyMap) {
+  FlatHashMap<int, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(5), nullptr);
+  EXPECT_FALSE(map.contains(5));
+  EXPECT_FALSE(map.erase(5));
+}
+
+TEST(FlatHashMapTest, InsertAndFind) {
+  FlatHashMap<int, std::string> map;
+  EXPECT_TRUE(map.insert_or_assign(1, "one"));
+  EXPECT_TRUE(map.insert_or_assign(2, "two"));
+  EXPECT_FALSE(map.insert_or_assign(1, "uno"));  // overwrite
+  ASSERT_NE(map.find(1), nullptr);
+  EXPECT_EQ(*map.find(1), "uno");
+  EXPECT_EQ(*map.find(2), "two");
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatHashMapTest, SubscriptCreatesDefault) {
+  FlatHashMap<int, int> map;
+  map[7] += 3;
+  map[7] += 4;
+  EXPECT_EQ(map[7], 7);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, EraseWithBackwardShift) {
+  FlatHashMap<int, int> map;
+  for (int i = 0; i < 100; ++i) map.insert_or_assign(i, i * 10);
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(map.erase(i));
+  EXPECT_EQ(map.size(), 50u);
+  for (int i = 0; i < 100; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(map.find(i), nullptr) << i;
+    } else {
+      ASSERT_NE(map.find(i), nullptr) << i;
+      EXPECT_EQ(*map.find(i), i * 10);
+    }
+  }
+}
+
+TEST(FlatHashMapTest, GrowsThroughRehash) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 10000; ++i) map.insert_or_assign(i * 7919, i);
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_NE(map.find(i * 7919), nullptr) << i;
+    EXPECT_EQ(*map.find(i * 7919), i);
+  }
+}
+
+TEST(FlatHashMapTest, MatchesUnorderedMapUnderRandomOps) {
+  FlatHashMap<uint32_t, uint32_t> mine;
+  std::unordered_map<uint32_t, uint32_t> reference;
+  Rng rng(31);
+  for (int op = 0; op < 50000; ++op) {
+    const uint32_t key = static_cast<uint32_t>(rng.Uniform(2000));
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const uint32_t value = static_cast<uint32_t>(rng.Next());
+        mine.insert_or_assign(key, value);
+        reference[key] = value;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(mine.erase(key), reference.erase(key) > 0);
+        break;
+      }
+      default: {
+        const uint32_t* found = mine.find(key);
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+    EXPECT_EQ(mine.size(), reference.size());
+  }
+}
+
+TEST(FlatHashMapTest, ForEachVisitsEverything) {
+  FlatHashMap<int, int> map;
+  for (int i = 0; i < 500; ++i) map.insert_or_assign(i, i);
+  int sum = 0;
+  map.ForEach([&sum](const int& k, const int& v) {
+    EXPECT_EQ(k, v);
+    sum += v;
+  });
+  EXPECT_EQ(sum, 499 * 500 / 2);
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsInvalidation) {
+  FlatHashMap<int, int> map;
+  map.reserve(1000);
+  map.insert_or_assign(1, 1);
+  const int* p = map.find(1);
+  for (int i = 2; i < 900; ++i) map.insert_or_assign(i, i);
+  EXPECT_EQ(map.find(1), p);  // no rehash within reserved capacity
+}
+
+TEST(FlatHashSetTest, BasicOps) {
+  FlatHashSet<int> set;
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_FALSE(set.insert(3));
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_TRUE(set.erase(3));
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatHashSetTest, MatchesUnorderedSet) {
+  FlatHashSet<uint32_t> mine;
+  std::unordered_set<uint32_t> reference;
+  Rng rng(37);
+  for (int op = 0; op < 30000; ++op) {
+    const uint32_t key = static_cast<uint32_t>(rng.Uniform(1000));
+    if (rng.NextBool(0.6)) {
+      EXPECT_EQ(mine.insert(key), reference.insert(key).second);
+    } else {
+      EXPECT_EQ(mine.erase(key), reference.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(mine.size(), reference.size());
+  reference.clear();
+  mine.ForEach([&reference](const uint32_t& k) { reference.insert(k); });
+  EXPECT_EQ(mine.size(), reference.size());
+}
+
+TEST(FlatHashMapTest, StringKeys) {
+  FlatHashMap<std::string, int> map;
+  map.insert_or_assign("alpha", 1);
+  map.insert_or_assign("beta", 2);
+  ASSERT_NE(map.find("alpha"), nullptr);
+  EXPECT_EQ(*map.find("alpha"), 1);
+  EXPECT_EQ(map.find("gamma"), nullptr);
+}
+
+}  // namespace
+}  // namespace irhint

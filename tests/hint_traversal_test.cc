@@ -1,0 +1,165 @@
+#include "hint/traversal.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hint/domain.h"
+
+namespace irhint {
+namespace {
+
+using Assignment = std::vector<PartitionRef>;
+
+Assignment Assign(int m, uint64_t first, uint64_t last) {
+  Assignment out;
+  AssignToPartitions(m, first, last,
+                     [&out](const PartitionRef& ref) { out.push_back(ref); });
+  return out;
+}
+
+// Cell range covered by partition (level, index) in an m-level hierarchy.
+std::pair<uint64_t, uint64_t> PartitionCells(int m, int level,
+                                             uint64_t index) {
+  const uint64_t width = uint64_t{1} << (m - level);
+  return {index * width, (index + 1) * width - 1};
+}
+
+TEST(AssignTest, SingleCell) {
+  const Assignment a = Assign(3, 5, 5);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].level, 3);
+  EXPECT_EQ(a[0].index, 5u);
+  EXPECT_TRUE(a[0].original);
+}
+
+TEST(AssignTest, FullDomainGoesToRoot) {
+  const Assignment a = Assign(3, 0, 7);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].level, 0);
+  EXPECT_EQ(a[0].index, 0u);
+  EXPECT_TRUE(a[0].original);
+}
+
+TEST(AssignTest, PaperExample) {
+  // Figure 4: interval spanning cells [1, 4] at m = 3 is assigned to
+  // P3,1 (original), P2,1 and P3,4 (replicas).
+  const Assignment a = Assign(3, 1, 4);
+  ASSERT_EQ(a.size(), 3u);
+  std::set<std::tuple<int, uint64_t, bool>> got;
+  for (const PartitionRef& ref : a) {
+    got.insert({ref.level, ref.index, ref.original});
+  }
+  EXPECT_TRUE(got.count({3, 1, true}));
+  EXPECT_TRUE(got.count({2, 1, false}));
+  EXPECT_TRUE(got.count({3, 4, false}));
+}
+
+class AssignExhaustiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignExhaustiveTest, CoverIsExactAndMinimal) {
+  const int m = GetParam();
+  const uint64_t cells = uint64_t{1} << m;
+  for (uint64_t first = 0; first < cells; ++first) {
+    for (uint64_t last = first; last < cells; ++last) {
+      const Assignment a = Assign(m, first, last);
+      // At most 2 partitions per level.
+      std::map<int, int> per_level;
+      // Exactly one original.
+      int originals = 0;
+      // The union of partition extents equals [first, last], disjointly.
+      uint64_t covered = 0;
+      for (const PartitionRef& ref : a) {
+        ++per_level[ref.level];
+        if (ref.original) ++originals;
+        const auto [lo, hi] = PartitionCells(m, ref.level, ref.index);
+        EXPECT_GE(lo, first);
+        EXPECT_LE(hi, last);
+        covered += hi - lo + 1;
+        // Original iff the partition contains the first cell.
+        EXPECT_EQ(ref.original, lo <= first && first <= hi);
+      }
+      EXPECT_EQ(originals, 1) << "[" << first << "," << last << "]";
+      EXPECT_EQ(covered, last - first + 1)
+          << "[" << first << "," << last << "]";
+      for (const auto& [level, count] : per_level) {
+        EXPECT_LE(count, 2) << "level " << level;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllM, AssignExhaustiveTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(TraversalPlanTest, RelevantPartitionsMatchPrefixes) {
+  const int m = 4;
+  TraversalState state(m, 3, 11);
+  for (int level = m; level >= 0; --level) {
+    const LevelPlan plan = state.PlanLevel(level);
+    EXPECT_EQ(plan.f, 3u >> (m - level));
+    EXPECT_EQ(plan.l, 11u >> (m - level));
+    state.Descend(level);
+  }
+}
+
+TEST(TraversalPlanTest, FlagsClearAccordingToParity) {
+  // qst cell 4 (even) clears compfirst immediately; qend cell 11 (odd)
+  // clears complast immediately.
+  TraversalState state(4, 4, 11);
+  EXPECT_TRUE(state.compfirst());
+  EXPECT_TRUE(state.complast());
+  state.Descend(4);
+  EXPECT_FALSE(state.compfirst());
+  EXPECT_FALSE(state.complast());
+}
+
+TEST(TraversalPlanTest, BothFlagsSetAtBottomSingle) {
+  TraversalState state(4, 5, 5);
+  const LevelPlan plan = state.PlanLevel(4);
+  EXPECT_EQ(plan.f, plan.l);
+  EXPECT_EQ(plan.first_originals, CheckMode::kBoth);
+  EXPECT_EQ(plan.first_replicas, CheckMode::kStartOnly);
+}
+
+TEST(SplitModesTest, OriginalsRefinement) {
+  EXPECT_EQ(SplitOriginalsMode(CheckMode::kBoth),
+            std::make_pair(CheckMode::kBoth, CheckMode::kEndOnly));
+  EXPECT_EQ(SplitOriginalsMode(CheckMode::kStartOnly),
+            std::make_pair(CheckMode::kStartOnly, CheckMode::kNone));
+  EXPECT_EQ(SplitOriginalsMode(CheckMode::kEndOnly),
+            std::make_pair(CheckMode::kEndOnly, CheckMode::kEndOnly));
+  EXPECT_EQ(SplitOriginalsMode(CheckMode::kNone),
+            std::make_pair(CheckMode::kNone, CheckMode::kNone));
+}
+
+TEST(SplitModesTest, ReplicasRefinement) {
+  EXPECT_EQ(SplitReplicasMode(CheckMode::kStartOnly),
+            std::make_pair(CheckMode::kStartOnly, CheckMode::kNone));
+  EXPECT_EQ(SplitReplicasMode(CheckMode::kNone),
+            std::make_pair(CheckMode::kNone, CheckMode::kNone));
+}
+
+TEST(DomainMapperTest, MonotoneAndClamped) {
+  DomainMapper mapper(999, 4);  // 1000 raw points -> 16 cells
+  uint64_t prev = 0;
+  for (Time t = 0; t <= 999; ++t) {
+    const uint64_t cell = mapper.Cell(t);
+    EXPECT_GE(cell, prev);
+    EXPECT_LT(cell, 16u);
+    prev = cell;
+  }
+  EXPECT_EQ(mapper.Cell(0), 0u);
+  EXPECT_EQ(mapper.Cell(999), 15u);
+  EXPECT_EQ(mapper.Cell(5000), 15u);  // beyond-domain clamp
+}
+
+TEST(DomainMapperTest, ExactWhenDomainIsPowerOfTwo) {
+  DomainMapper mapper(15, 4);  // 16 points -> 16 cells, identity
+  for (Time t = 0; t <= 15; ++t) EXPECT_EQ(mapper.Cell(t), t);
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,114 @@
+// End-to-end integration: generate -> serialize -> reload -> build every
+// index -> generated workloads agree across all indexes and the oracle.
+// This is the full pipeline a downstream user of the library would run.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/naive_scan.h"
+#include "data/query_gen.h"
+#include "data/real_sim.h"
+#include "data/serialize.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+#include "eval/workload.h"
+
+namespace irhint {
+namespace {
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(IntegrationTest, FullPipelineOnSyntheticCorpus) {
+  SyntheticParams params;
+  params.cardinality = 2000;
+  params.domain = 500000;
+  params.dictionary_size = 100;
+  params.description_size = 6;
+  params.sigma = 100000;
+  const Corpus generated = GenerateSynthetic(params);
+
+  // Serialize and reload.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/integration_corpus.bin";
+  ASSERT_TRUE(SaveCorpus(generated, path).ok());
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+  const Corpus& corpus = *loaded;
+
+  // Build the full lineup plus the oracle.
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(corpus).ok());
+  std::vector<std::unique_ptr<TemporalIrIndex>> indexes;
+  for (const IndexKind kind : AllIndexKinds()) {
+    indexes.push_back(CreateIndex(kind));
+    const BuildStats stats = MeasureBuild(indexes.back().get(), corpus);
+    ASSERT_GE(stats.seconds, 0.0) << indexes.back()->Name();
+    ASSERT_GT(stats.bytes, 0u) << indexes.back()->Name();
+  }
+
+  // All four workload generators produce queries every index answers
+  // identically.
+  WorkloadGenerator generator(corpus, 5150);
+  std::vector<std::vector<Query>> workloads;
+  workloads.push_back(generator.ExtentWorkload(0.5, 2, 50));
+  workloads.push_back(generator.ExtentWorkload(10.0, 4, 50));
+  workloads.push_back(generator.FrequencyBinWorkload(-1, 50, 0.5, 2, 30));
+  workloads.push_back(generator.MixedWorkload(80));
+  workloads.push_back(generator.EmptyResultWorkload(0.1, 3, 20));
+
+  std::vector<ObjectId> expected, actual;
+  for (const auto& workload : workloads) {
+    ASSERT_FALSE(workload.empty());
+    for (const Query& q : workload) {
+      oracle.Query(q, &expected);
+      for (const auto& index : indexes) {
+        index->Query(q, &actual);
+        ASSERT_EQ(Sorted(actual), Sorted(expected)) << index->Name();
+      }
+    }
+  }
+
+  // Selectivity binning covers the mixed workload and the harness measures
+  // sensible throughput on every index.
+  const auto bins = BinBySelectivity(oracle, workloads[3], corpus.size());
+  size_t binned = 0;
+  for (const Workload& bin : bins) binned += bin.queries.size();
+  EXPECT_GE(binned, workloads[3].size() * 9 / 10);
+  const QueryStats stats = MeasureQueries(*indexes.front(), workloads[0]);
+  EXPECT_GT(stats.queries_per_second, 0.0);
+}
+
+TEST(IntegrationTest, RealSimulatorsRoundTripAndIndex) {
+  const Corpus corpus = MakeEclogLike(0.004);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/integration_eclog.bin";
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  auto index = CreateIndex(IndexKind::kIrHintPerf);
+  ASSERT_TRUE(index->Build(*loaded).ok());
+  WorkloadGenerator generator(*loaded, 1);
+  const auto queries = generator.ExtentWorkload(1.0, 2, 25);
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(*loaded).ok());
+  std::vector<ObjectId> expected, actual;
+  for (const Query& q : queries) {
+    oracle.Query(q, &expected);
+    index->Query(q, &actual);
+    ASSERT_EQ(Sorted(actual), Sorted(expected));
+  }
+}
+
+}  // namespace
+}  // namespace irhint

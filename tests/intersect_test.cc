@@ -1,0 +1,107 @@
+#include "ir/intersect.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace irhint {
+namespace {
+
+using Ids = std::vector<ObjectId>;
+
+Ids ReferenceIntersect(Ids a, Ids b) {
+  a.erase(std::remove(a.begin(), a.end(), kTombstoneId), a.end());
+  b.erase(std::remove(b.begin(), b.end(), kTombstoneId), b.end());
+  Ids out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(IntersectTest, MergeBasics) {
+  Ids out;
+  IntersectMerge(Ids{1, 3, 5}, Ids{2, 3, 4, 5}, &out);
+  EXPECT_EQ(out, (Ids{3, 5}));
+  out.clear();
+  IntersectMerge(Ids{}, Ids{1, 2}, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  IntersectMerge(Ids{1, 2}, Ids{}, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  IntersectMerge(Ids{7}, Ids{7}, &out);
+  EXPECT_EQ(out, Ids{7});
+}
+
+TEST(IntersectTest, MergeSkipsTombstonesInPlace) {
+  // Tombstones keep their slot; live subsequence remains sorted.
+  Ids a{1, kTombstoneId, 5, 9};
+  Ids b{kTombstoneId, 5, 9, kTombstoneId};
+  Ids out;
+  IntersectMerge(a, b, &out);
+  EXPECT_EQ(out, (Ids{5, 9}));
+}
+
+TEST(IntersectTest, MergeWithPostings) {
+  PostingsList list{{2, 0, 1}, {4, 0, 1}, {kTombstoneId, 0, 1}, {6, 0, 1}};
+  Ids out;
+  IntersectMerge(Ids{1, 2, 5, 6}, list, &out);
+  EXPECT_EQ(out, (Ids{2, 6}));
+}
+
+TEST(IntersectTest, BinaryAndGallopingMatchMerge) {
+  Rng rng(42);
+  for (int round = 0; round < 50; ++round) {
+    Ids a, b;
+    const size_t na = 1 + rng.Uniform(200);
+    const size_t nb = 1 + rng.Uniform(2000);
+    for (size_t i = 0; i < na; ++i) {
+      a.push_back(static_cast<ObjectId>(rng.Uniform(3000)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      b.push_back(static_cast<ObjectId>(rng.Uniform(3000)));
+    }
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+
+    const Ids expected = ReferenceIntersect(a, b);
+    Ids merge, binary, gallop;
+    IntersectMerge(a, b, &merge);
+    IntersectBinary(a, b, &binary);
+    IntersectGalloping(a, b, &gallop);
+    EXPECT_EQ(merge, expected);
+    EXPECT_EQ(binary, expected);
+    EXPECT_EQ(gallop, expected);
+  }
+}
+
+TEST(IntersectTest, GallopingHandlesExtremes) {
+  Ids out;
+  IntersectGalloping(Ids{0}, Ids{0, 1, 2, 3}, &out);
+  EXPECT_EQ(out, Ids{0});
+  out.clear();
+  IntersectGalloping(Ids{3}, Ids{0, 1, 2, 3}, &out);
+  EXPECT_EQ(out, Ids{3});
+  out.clear();
+  IntersectGalloping(Ids{5}, Ids{0, 1, 2, 3}, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  IntersectGalloping(Ids{}, Ids{}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectTest, SortedContains) {
+  const Ids v{2, 4, 6};
+  EXPECT_TRUE(SortedContains(v, 2));
+  EXPECT_TRUE(SortedContains(v, 6));
+  EXPECT_FALSE(SortedContains(v, 5));
+  EXPECT_FALSE(SortedContains({}, 1));
+}
+
+}  // namespace
+}  // namespace irhint

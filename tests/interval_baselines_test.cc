@@ -1,0 +1,157 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "interval_baselines/grid1d.h"
+#include "interval_baselines/interval_tree.h"
+
+namespace irhint {
+namespace {
+
+std::vector<ObjectId> BruteForce(const std::vector<IntervalRecord>& records,
+                                 const Interval& q) {
+  std::vector<ObjectId> out;
+  for (const IntervalRecord& rec : records) {
+    if (Overlaps(rec.interval, q)) out.push_back(rec.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<IntervalRecord> RandomRecords(size_t n, Time domain_end,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IntervalRecord> records;
+  for (size_t i = 0; i < n; ++i) {
+    const Time st = rng.Uniform(domain_end + 1);
+    const Time max_len = rng.NextBool(0.2) ? domain_end / 2 + 1 : 30;
+    const Time end = std::min<Time>(domain_end, st + rng.Uniform(max_len));
+    records.push_back(IntervalRecord{static_cast<ObjectId>(i),
+                                     Interval(st, end)});
+  }
+  return records;
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class Grid1DPartitionsTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Grid1DPartitionsTest, MatchesBruteForceWithoutDuplicates) {
+  const Time domain_end = 997;
+  const auto records = RandomRecords(300, domain_end, 21);
+  Grid1D grid;
+  Grid1DOptions options;
+  options.num_partitions = GetParam();
+  ASSERT_TRUE(grid.Build(records, domain_end, options).ok());
+
+  Rng rng(22);
+  std::vector<ObjectId> out;
+  for (int i = 0; i < 300; ++i) {
+    const Time st = rng.Uniform(domain_end + 1);
+    const Time end = std::min<Time>(domain_end, st + rng.Uniform(300));
+    out.clear();
+    grid.RangeQuery(Interval(st, end), &out);
+    const auto sorted = Sorted(out);
+    EXPECT_EQ(sorted, BruteForce(records, Interval(st, end)));
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, Grid1DPartitionsTest,
+                         ::testing::Values(1, 2, 7, 16, 64, 255));
+
+TEST(Grid1DTest, EraseTombstonesAllReplicas) {
+  Grid1D grid;
+  Grid1DOptions options;
+  options.num_partitions = 8;
+  const std::vector<IntervalRecord> records{{1, Interval(0, 900)},
+                                            {2, Interval(100, 150)}};
+  ASSERT_TRUE(grid.Build(records, 999, options).ok());
+  ASSERT_TRUE(grid.Erase(1, Interval(0, 900)).ok());
+  std::vector<ObjectId> out;
+  grid.RangeQuery(Interval(0, 999), &out);
+  EXPECT_EQ(out, std::vector<ObjectId>{2});
+  EXPECT_TRUE(grid.Erase(1, Interval(0, 900)).IsNotFound());
+}
+
+TEST(Grid1DTest, RejectsOutOfDomain) {
+  Grid1D grid;
+  ASSERT_TRUE(grid.Build({}, 100, Grid1DOptions{}).ok());
+  EXPECT_TRUE(grid.Insert(1, Interval(90, 200)).IsOutOfDomain());
+  EXPECT_TRUE(grid.Insert(1, Interval(50, 10)).IsInvalidArgument());
+}
+
+TEST(IntervalTreeTest, MatchesBruteForce) {
+  const Time domain_end = 2047;
+  const auto records = RandomRecords(500, domain_end, 31);
+  IntervalTree tree;
+  ASSERT_TRUE(tree.Build(records, domain_end).ok());
+
+  Rng rng(32);
+  std::vector<ObjectId> out;
+  for (int i = 0; i < 400; ++i) {
+    const Time st = rng.Uniform(domain_end + 1);
+    const Time end = std::min<Time>(domain_end, st + rng.Uniform(500));
+    out.clear();
+    tree.RangeQuery(Interval(st, end), &out);
+    EXPECT_EQ(Sorted(out), BruteForce(records, Interval(st, end)));
+  }
+}
+
+TEST(IntervalTreeTest, StabbingQueries) {
+  const Time domain_end = 511;
+  const auto records = RandomRecords(200, domain_end, 33);
+  IntervalTree tree;
+  ASSERT_TRUE(tree.Build(records, domain_end).ok());
+  std::vector<ObjectId> out;
+  for (Time t = 0; t <= domain_end; t += 3) {
+    out.clear();
+    tree.RangeQuery(Interval(t, t), &out);
+    EXPECT_EQ(Sorted(out), BruteForce(records, Interval(t, t)));
+  }
+}
+
+TEST(IntervalTreeTest, EraseAndDoubleErase) {
+  const std::vector<IntervalRecord> records{{1, Interval(10, 60)},
+                                            {2, Interval(40, 45)}};
+  IntervalTree tree;
+  ASSERT_TRUE(tree.Build(records, 100).ok());
+  ASSERT_TRUE(tree.Erase(1, Interval(10, 60)).ok());
+  std::vector<ObjectId> out;
+  tree.RangeQuery(Interval(0, 100), &out);
+  EXPECT_EQ(out, std::vector<ObjectId>{2});
+  EXPECT_TRUE(tree.Erase(1, Interval(10, 60)).IsNotFound());
+  EXPECT_TRUE(tree.Erase(9, Interval(0, 5)).IsNotFound());
+}
+
+TEST(IntervalTreeTest, EmptyTree) {
+  IntervalTree tree;
+  ASSERT_TRUE(tree.Build({}, 100).ok());
+  std::vector<ObjectId> out;
+  tree.RangeQuery(Interval(0, 100), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntervalTreeTest, AllRecordsAtOnePoint) {
+  std::vector<IntervalRecord> records;
+  for (ObjectId i = 0; i < 50; ++i) {
+    records.push_back(IntervalRecord{i, Interval(7, 7)});
+  }
+  IntervalTree tree;
+  ASSERT_TRUE(tree.Build(records, 15).ok());
+  std::vector<ObjectId> out;
+  tree.RangeQuery(Interval(7, 7), &out);
+  EXPECT_EQ(out.size(), 50u);
+  out.clear();
+  tree.RangeQuery(Interval(8, 15), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,146 @@
+// Targeted tests for the irHINT variants on the paper's running example
+// (Figures 1 and 6, Table 2) and their bookkeeping.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/irhint_perf.h"
+#include "core/irhint_size.h"
+#include "data/corpus.h"
+
+namespace irhint {
+namespace {
+
+// Figure 1 objects over D = {a=0, b=1, c=2}; domain [0, 99] so that m = 3
+// gives the 8 bottom partitions of Figure 6.
+Corpus RunningExample() {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(3));
+  corpus.Append(Interval(55, 95), {0, 1, 2});  // o1
+  corpus.Append(Interval(12, 30), {0, 2});     // o2
+  corpus.Append(Interval(40, 58), {1});        // o3
+  corpus.Append(Interval(5, 90), {0, 1, 2});   // o4
+  corpus.Append(Interval(20, 45), {1, 2});     // o5
+  corpus.Append(Interval(25, 60), {2});        // o6
+  corpus.Append(Interval(15, 99), {0, 2});     // o7
+  corpus.Append(Interval(30, 38), {2});        // o8
+  EXPECT_TRUE(corpus.Finalize().ok());
+  return corpus;
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+template <typename Index>
+void ExpectRunningExampleAnswers(Index& index) {
+  std::vector<ObjectId> out;
+  // Example 2.2: q = [18, 42] with {a, c} -> o2, o4, o7.
+  index.Query(Query(Interval(18, 42), {0, 2}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 3, 6}));
+  // Single element c over everything -> all but o3.
+  index.Query(Query(Interval(0, 99), {2}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{0, 1, 3, 4, 5, 6, 7}));
+  // {a, b, c} over a window covering only o1's span.
+  index.Query(Query(Interval(91, 99), {0, 1, 2}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{0}));
+  // Stabbing query at t = 5 -> o4 only (with {c}).
+  index.Query(Query(Interval(5, 5), {2}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{3}));
+}
+
+TEST(IrHintPerfTest, RunningExample) {
+  const Corpus corpus = RunningExample();
+  IrHintOptions options;
+  options.num_bits = 3;
+  IrHintPerf index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  EXPECT_EQ(index.m(), 3);
+  ExpectRunningExampleAnswers(index);
+}
+
+TEST(IrHintSizeTest, RunningExample) {
+  const Corpus corpus = RunningExample();
+  IrHintSizeOptions options;
+  options.num_bits = 3;
+  IrHintSize index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  ExpectRunningExampleAnswers(index);
+}
+
+TEST(IrHintPerfTest, AutoChoosesMWithCostModel) {
+  const Corpus corpus = RunningExample();
+  IrHintPerf index;  // num_bits = -1
+  ASSERT_TRUE(index.Build(corpus).ok());
+  EXPECT_GE(index.m(), 1);
+  EXPECT_LE(index.m(), 20);
+  ExpectRunningExampleAnswers(index);
+}
+
+TEST(IrHintPerfTest, FrequencyTracksUpdates) {
+  const Corpus corpus = RunningExample();
+  IrHintPerf index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  EXPECT_EQ(index.Frequency(0), 4u);
+  EXPECT_EQ(index.Frequency(2), 7u);
+  ASSERT_TRUE(index.Insert(Object(8, Interval(10, 12), {0})).ok());
+  EXPECT_EQ(index.Frequency(0), 5u);
+  ASSERT_TRUE(index.Erase(corpus.object(0)).ok());  // o1 has a, b, c
+  EXPECT_EQ(index.Frequency(0), 4u);
+  EXPECT_EQ(index.Frequency(2), 6u);
+}
+
+TEST(IrHintSizeTest, SmallerThanPerfVariant) {
+  // The size variant stores each interval once per division instead of once
+  // per (element, division); with multi-element descriptions it must be
+  // smaller.
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(50));
+  for (ObjectId i = 0; i < 2000; ++i) {
+    std::vector<ElementId> elements;
+    for (ElementId e = 0; e < 10; ++e) {
+      elements.push_back((i + e * 7) % 50);
+    }
+    corpus.Append(Interval((i * 13) % 9000, (i * 13) % 9000 + 500),
+                  std::move(elements));
+  }
+  ASSERT_TRUE(corpus.Finalize().ok());
+  IrHintOptions perf_options;
+  perf_options.num_bits = 8;
+  IrHintPerf perf(perf_options);
+  IrHintSizeOptions size_options;
+  size_options.num_bits = 8;
+  IrHintSize size(size_options);
+  ASSERT_TRUE(perf.Build(corpus).ok());
+  ASSERT_TRUE(size.Build(corpus).ok());
+  EXPECT_LT(size.MemoryUsageBytes(), perf.MemoryUsageBytes());
+
+  // And they agree.
+  std::vector<ObjectId> a, b;
+  perf.Query(Query(Interval(1000, 2000), {3, 10}), &a);
+  size.Query(Query(Interval(1000, 2000), {3, 10}), &b);
+  EXPECT_EQ(Sorted(a), Sorted(b));
+}
+
+TEST(IrHintPerfTest, QueryBeforeBuildIsSafe) {
+  IrHintPerf index;
+  std::vector<ObjectId> out{1, 2};
+  index.Query(Query(Interval(0, 10), {0}), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(index.Insert(Object(0, Interval(0, 1), {0})).IsInvalidArgument());
+  EXPECT_TRUE(index.Erase(Object(0, Interval(0, 1), {0})).IsInvalidArgument());
+}
+
+TEST(IrHintPerfTest, InvertedQueryIntervalIsEmpty) {
+  const Corpus corpus = RunningExample();
+  IrHintPerf index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  std::vector<ObjectId> out;
+  index.Query(Query(Interval(50, 10), {0}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace irhint

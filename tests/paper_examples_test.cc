@@ -1,0 +1,124 @@
+// Regression tests pinned to the paper's own worked examples: Figure 4
+// (HINT partitioning/query), Figure 1 + Example 2.2 (the running corpus),
+// and the Figure 6 / Table 2 irHINT partitioning.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "data/corpus.h"
+#include "hint/hint.h"
+#include "hint/traversal.h"
+
+namespace irhint {
+namespace {
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Figure 4 of the paper: m = 3, interval i spanning cells [1, 4], query q
+// spanning cells [4, 7].
+TEST(PaperFigure4Test, IntervalAssignment) {
+  std::set<std::tuple<int, uint64_t, bool>> assignments;
+  AssignToPartitions(3, 1, 4, [&](const PartitionRef& ref) {
+    assignments.insert({ref.level, ref.index, ref.original});
+  });
+  // "interval i is assigned to partitions P3,1, P2,1, and P3,4", original
+  // in P3,1 (it starts there), replicas elsewhere.
+  EXPECT_EQ(assignments,
+            (std::set<std::tuple<int, uint64_t, bool>>{
+                {3, 1, true}, {2, 1, false}, {3, 4, false}}));
+}
+
+TEST(PaperFigure4Test, QueryVisitsRelevantPartitions) {
+  // "For query q... only partitions P3,4-P3,7, P2,2, P2,3, P1,1 and P0,0
+  // will be accessed."
+  TraversalState state(3, 4, 7);
+  std::set<std::pair<int, uint64_t>> relevant;
+  for (int level = 3; level >= 0; --level) {
+    const LevelPlan plan = state.PlanLevel(level);
+    for (uint64_t j = plan.f; j <= plan.l; ++j) relevant.insert({level, j});
+    state.Descend(level);
+  }
+  EXPECT_EQ(relevant, (std::set<std::pair<int, uint64_t>>{{3, 4},
+                                                          {3, 5},
+                                                          {3, 6},
+                                                          {3, 7},
+                                                          {2, 2},
+                                                          {2, 3},
+                                                          {1, 1},
+                                                          {0, 0}}));
+}
+
+TEST(PaperFigure4Test, BottomUpFlagPruning) {
+  // "no comparisons are needed in partition P2,3" — q covers cells [4,7];
+  // at level 3 the last relevant partition is 7 (odd), so complast clears
+  // before level 2, and P2,3 (the last relevant partition at level 2) is
+  // reported without comparisons.
+  TraversalState state(3, 4, 7);
+  state.Descend(3);
+  EXPECT_FALSE(state.complast());
+  // f = 4 is even, so compfirst clears as well ("comparisons are necessary
+  // only in 4 partitions" at the bottom level).
+  EXPECT_FALSE(state.compfirst());
+  const LevelPlan level2 = state.PlanLevel(2);
+  EXPECT_EQ(level2.last_originals, CheckMode::kNone);
+  EXPECT_EQ(level2.first_originals, CheckMode::kNone);
+}
+
+// The running example (Figure 1 / Example 2.2) answered by every index.
+TEST(PaperRunningExampleTest, AllIndexesAnswerExample22) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(3));
+  corpus.Append(Interval(55, 95), {0, 1, 2});  // o1
+  corpus.Append(Interval(12, 30), {0, 2});     // o2
+  corpus.Append(Interval(40, 58), {1});        // o3
+  corpus.Append(Interval(5, 90), {0, 1, 2});   // o4
+  corpus.Append(Interval(20, 45), {1, 2});     // o5
+  corpus.Append(Interval(25, 60), {2});        // o6
+  corpus.Append(Interval(15, 99), {0, 2});     // o7
+  corpus.Append(Interval(30, 38), {2});        // o8
+  ASSERT_TRUE(corpus.Finalize().ok());
+
+  for (const IndexKind kind : AllIndexKinds()) {
+    IndexConfig config;
+    config.num_slices = 4;    // Figure 2 uses 4 slices
+    config.tif_hint_bits_bs = 3;  // Figures 5/6 use m = 3
+    config.tif_hint_bits_ms = 3;
+    config.irhint_bits = 3;
+    auto index = CreateIndex(kind, config);
+    ASSERT_TRUE(index->Build(corpus).ok()) << index->Name();
+    std::vector<ObjectId> out;
+    // "The answer to q consists of objects o2, o4 and o7."
+    index->Query(Query(Interval(18, 42), {0, 2}), &out);
+    EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 3, 6}))
+        << index->Name();
+  }
+}
+
+// Figure 6: the irHINT partitioning of the running example stores o6 as an
+// original in P3,1 and replicas in P2,1 (the paper's Figure 5 commentary:
+// "object o6 in H[c]; the object is stored as an original in P_O3,1 and as
+// a replica in P_R2,1 and P_R2,2"). With the running example's domain
+// mapped to 8 cells, o6 = [25, 60] spans cells 2..4.
+TEST(PaperFigure6Test, ObjectO6Partitioning) {
+  const DomainMapper mapper(99, 3);
+  EXPECT_EQ(mapper.Cell(25), 2u);
+  EXPECT_EQ(mapper.Cell(60), 4u);
+  std::set<std::tuple<int, uint64_t, bool>> assignments;
+  AssignToPartitions(3, 2, 4, [&](const PartitionRef& ref) {
+    assignments.insert({ref.level, ref.index, ref.original});
+  });
+  // Cells [2,4]: original in P2,1 (covers cells 2-3, contains the start),
+  // replica in P3,4.
+  EXPECT_EQ(assignments,
+            (std::set<std::tuple<int, uint64_t, bool>>{{2, 1, true},
+                                                       {3, 4, false}}));
+}
+
+}  // namespace
+}  // namespace irhint

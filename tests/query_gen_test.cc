@@ -1,0 +1,148 @@
+#include "data/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_scan.h"
+#include "data/synthetic.h"
+#include "eval/workload.h"
+
+namespace irhint {
+namespace {
+
+Corpus TestCorpus() {
+  SyntheticParams params;
+  params.cardinality = 3000;
+  params.domain = 1000000;
+  params.alpha = 1.2;
+  params.sigma = 200000;
+  params.dictionary_size = 300;
+  params.description_size = 8;
+  params.zeta = 1.2;
+  return GenerateSynthetic(params);
+}
+
+TEST(QueryGenTest, ExtentWorkloadHasRequestedShape) {
+  const Corpus corpus = TestCorpus();
+  WorkloadGenerator generator(corpus, 99);
+  const auto queries = generator.ExtentWorkload(1.0, 3, 100);
+  ASSERT_EQ(queries.size(), 100u);
+  const uint64_t expected_length = (corpus.domain_end() + 1) / 100;
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.elements.size(), 3u);
+    EXPECT_EQ(q.interval.Length(), expected_length);
+    EXPECT_LE(q.interval.end, corpus.domain_end());
+  }
+}
+
+TEST(QueryGenTest, ExtentWorkloadIsNonEmptyByConstruction) {
+  const Corpus corpus = TestCorpus();
+  WorkloadGenerator generator(corpus, 100);
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(corpus).ok());
+  std::vector<ObjectId> results;
+  for (const Query& q : generator.ExtentWorkload(0.1, 2, 200)) {
+    oracle.Query(q, &results);
+    EXPECT_FALSE(results.empty());
+  }
+}
+
+TEST(QueryGenTest, StabbingExtentProducesSinglePoint) {
+  const Corpus corpus = TestCorpus();
+  WorkloadGenerator generator(corpus, 101);
+  for (const Query& q : generator.ExtentWorkload(0.0, 2, 50)) {
+    EXPECT_EQ(q.interval.st, q.interval.end);
+  }
+}
+
+TEST(QueryGenTest, FrequencyBinWorkloadRespectsBin) {
+  const Corpus corpus = TestCorpus();
+  WorkloadGenerator generator(corpus, 102);
+  const double lo = 1.0, hi = 10.0;
+  const auto queries = generator.FrequencyBinWorkload(lo, hi, 0.1, 2, 100);
+  EXPECT_FALSE(queries.empty());
+  const double n = static_cast<double>(corpus.size());
+  for (const Query& q : queries) {
+    for (ElementId e : q.elements) {
+      const double pct =
+          100.0 * static_cast<double>(corpus.dictionary().Frequency(e)) / n;
+      EXPECT_GT(pct, lo);
+      EXPECT_LE(pct, hi);
+    }
+  }
+}
+
+TEST(QueryGenTest, EmptyWorkloadIsVerifiedEmpty) {
+  const Corpus corpus = TestCorpus();
+  WorkloadGenerator generator(corpus, 103);
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(corpus).ok());
+  std::vector<ObjectId> results;
+  const auto queries = generator.EmptyResultWorkload(0.1, 3, 50);
+  EXPECT_FALSE(queries.empty());
+  for (const Query& q : queries) {
+    oracle.Query(q, &results);
+    EXPECT_TRUE(results.empty());
+  }
+}
+
+TEST(QueryGenTest, MixedWorkloadVariesShape) {
+  const Corpus corpus = TestCorpus();
+  WorkloadGenerator generator(corpus, 104);
+  const auto queries = generator.MixedWorkload(300);
+  ASSERT_EQ(queries.size(), 300u);
+  std::set<size_t> sizes;
+  std::set<uint64_t> lengths;
+  for (const Query& q : queries) {
+    sizes.insert(q.elements.size());
+    lengths.insert(q.interval.Length());
+  }
+  EXPECT_GE(sizes.size(), 4u);    // |q.d| varies over 1..5
+  EXPECT_GE(lengths.size(), 5u);  // extents vary
+}
+
+TEST(QueryGenTest, DeterministicInSeed) {
+  const Corpus corpus = TestCorpus();
+  WorkloadGenerator a(corpus, 7);
+  WorkloadGenerator b(corpus, 7);
+  const auto qa = a.ExtentWorkload(0.5, 2, 50);
+  const auto qb = b.ExtentWorkload(0.5, 2, 50);
+  ASSERT_EQ(qa.size(), qb.size());
+  for (size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i].interval, qb[i].interval);
+    EXPECT_EQ(qa[i].elements, qb[i].elements);
+  }
+}
+
+TEST(WorkloadTest, SelectivityBinningIsExhaustiveAndDisjoint) {
+  const Corpus corpus = TestCorpus();
+  WorkloadGenerator generator(corpus, 105);
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(corpus).ok());
+  const auto mixed = generator.MixedWorkload(400);
+  const auto bins = BinBySelectivity(oracle, mixed, corpus.size());
+  ASSERT_EQ(bins.size(), PaperSelectivityBins().size());
+
+  size_t total = 0;
+  std::vector<ObjectId> results;
+  for (size_t b = 0; b < bins.size(); ++b) {
+    total += bins[b].queries.size();
+    const SelectivityBin spec = PaperSelectivityBins()[b];
+    for (const Query& q : bins[b].queries) {
+      oracle.Query(q, &results);
+      const double pct = 100.0 * static_cast<double>(results.size()) /
+                         static_cast<double>(corpus.size());
+      if (spec.hi_pct == 0.0) {
+        EXPECT_TRUE(results.empty());
+      } else {
+        EXPECT_GT(pct, spec.lo_pct) << bins[b].name;
+        EXPECT_LE(pct, spec.hi_pct) << bins[b].name;
+      }
+    }
+  }
+  // Mixed queries are non-empty and <= 10% selective by construction, so
+  // nearly all land in some bin.
+  EXPECT_GE(total, mixed.size() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace irhint

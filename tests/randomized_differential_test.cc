@@ -1,0 +1,218 @@
+// Randomized differential tests for the lower-level components that the
+// cross-index property suite only exercises indirectly.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/naive_scan.h"
+#include "hint/cost_model.h"
+#include "ir/division_index.h"
+
+namespace irhint {
+namespace {
+
+using Ids = std::vector<ObjectId>;
+
+// Reference model of a division tif: per element, the list of (id,
+// interval) pairs in insertion (= id) order.
+struct ReferenceDivision {
+  std::map<ElementId, std::vector<std::pair<ObjectId, Interval>>> lists;
+  std::set<ObjectId> dead;
+
+  void Add(ObjectId id, const Interval& iv,
+           const std::vector<ElementId>& elements) {
+    for (ElementId e : elements) lists[e].emplace_back(id, iv);
+  }
+
+  Ids Query(const std::vector<ElementId>& elements, const Interval& q,
+            CheckMode mode) const {
+    Ids out;
+    const auto first = lists.find(elements[0]);
+    if (first == lists.end()) return out;
+    for (const auto& [id, iv] : first->second) {
+      if (dead.count(id)) continue;
+      bool pass = true;
+      switch (mode) {
+        case CheckMode::kBoth:
+          pass = iv.st <= q.end && q.st <= iv.end;
+          break;
+        case CheckMode::kStartOnly:
+          pass = q.st <= iv.end;
+          break;
+        case CheckMode::kEndOnly:
+          pass = iv.st <= q.end;
+          break;
+        case CheckMode::kNone:
+          break;
+      }
+      if (!pass) continue;
+      bool in_all = true;
+      for (size_t i = 1; i < elements.size() && in_all; ++i) {
+        const auto it = lists.find(elements[i]);
+        in_all = it != lists.end() &&
+                 std::any_of(it->second.begin(), it->second.end(),
+                             [&](const auto& p) { return p.first == id; });
+      }
+      if (in_all) out.push_back(id);
+    }
+    return out;
+  }
+};
+
+TEST(DivisionTifDifferentialTest, RandomOpsMatchReference) {
+  Rng rng(61);
+  for (int round = 0; round < 20; ++round) {
+    DivisionTif tif;
+    ReferenceDivision reference;
+    ObjectId next_id = 0;
+    // Interleave adds, finalizes and tombstones.
+    for (int op = 0; op < 300; ++op) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.70) {
+        const Time st = rng.Uniform(1000);
+        const Interval iv(st, st + rng.Uniform(200));
+        std::vector<ElementId> elements;
+        const int k = 1 + static_cast<int>(rng.Uniform(4));
+        for (int i = 0; i < k; ++i) {
+          const ElementId e = static_cast<ElementId>(rng.Uniform(12));
+          if (std::find(elements.begin(), elements.end(), e) ==
+              elements.end()) {
+            elements.push_back(e);
+          }
+        }
+        std::sort(elements.begin(), elements.end());
+        tif.Add(next_id, iv, elements);
+        reference.Add(next_id, iv, elements);
+        ++next_id;
+      } else if (dice < 0.78) {
+        tif.Finalize();
+      } else if (dice < 0.85 && next_id > 0) {
+        const ObjectId victim = static_cast<ObjectId>(rng.Uniform(next_id));
+        // Tombstone under every element the reference says it has.
+        std::vector<ElementId> elements;
+        for (const auto& [e, list] : reference.lists) {
+          for (const auto& [id, iv] : list) {
+            if (id == victim) {
+              elements.push_back(e);
+              break;
+            }
+          }
+        }
+        if (!reference.dead.count(victim) && !elements.empty()) {
+          EXPECT_EQ(tif.Tombstone(victim, elements), elements.size());
+          reference.dead.insert(victim);
+        }
+      } else {
+        // Query with random mode and elements.
+        const CheckMode mode = static_cast<CheckMode>(rng.Uniform(4));
+        std::vector<ElementId> elements;
+        const int k = 1 + static_cast<int>(rng.Uniform(3));
+        for (int i = 0; i < k; ++i) {
+          const ElementId e = static_cast<ElementId>(rng.Uniform(12));
+          if (std::find(elements.begin(), elements.end(), e) ==
+              elements.end()) {
+            elements.push_back(e);
+          }
+        }
+        const Time st = rng.Uniform(1000);
+        const Interval q(st, st + rng.Uniform(300));
+        DivisionQueryScratch scratch;
+        Ids out;
+        tif.Query(elements, q, mode, &scratch, &out);
+        EXPECT_EQ(out, reference.Query(elements, q, mode))
+            << "round " << round << " op " << op;
+      }
+    }
+  }
+}
+
+TEST(DivisionIdIndexDifferentialTest, IntersectMatchesSetAlgebra) {
+  Rng rng(67);
+  DivisionIdIndex index;
+  std::map<ElementId, std::set<ObjectId>> reference;
+  for (ObjectId id = 0; id < 500; ++id) {
+    std::vector<ElementId> elements;
+    for (int i = 0; i < 3; ++i) {
+      const ElementId e = static_cast<ElementId>(rng.Uniform(10));
+      if (std::find(elements.begin(), elements.end(), e) == elements.end()) {
+        elements.push_back(e);
+        reference[e].insert(id);
+      }
+    }
+    std::sort(elements.begin(), elements.end());
+    index.Add(id, elements);
+    if (id == 250) index.Finalize();  // half core, half delta
+  }
+  DivisionQueryScratch scratch;
+  for (int round = 0; round < 200; ++round) {
+    // Random candidate subset + 2 elements.
+    Ids candidates;
+    for (ObjectId id = 0; id < 500; ++id) {
+      if (rng.NextBool(0.3)) candidates.push_back(id);
+    }
+    const ElementId e1 = static_cast<ElementId>(rng.Uniform(10));
+    const ElementId e2 = static_cast<ElementId>(rng.Uniform(10));
+    Ids out;
+    index.Intersect(candidates, {e1, e2}, &scratch, &out);
+    Ids expected;
+    for (ObjectId id : candidates) {
+      if (reference[e1].count(id) && reference[e2].count(id)) {
+        expected.push_back(id);
+      }
+    }
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(CostModelDifferentialTest, HigherProbeCostNeverRaisesM) {
+  Rng rng(71);
+  std::vector<IntervalRecord> records;
+  for (ObjectId i = 0; i < 3000; ++i) {
+    const Time st = rng.Uniform(1 << 20);
+    records.push_back(IntervalRecord{
+        i, Interval(st, std::min<Time>((1 << 20) - 1,
+                                       st + rng.Uniform(1 << 12)))});
+  }
+  int prev_m = 1000;
+  for (const double probe : {1.0, 8.0, 32.0, 128.0, 512.0}) {
+    CostModelOptions options;
+    options.partition_probe_cost = probe;
+    const int m = ChooseHintBits(records, (1 << 20) - 1, options);
+    EXPECT_LE(m, prev_m) << "probe=" << probe;
+    prev_m = m;
+  }
+}
+
+TEST(CostModelDifferentialTest, LargerExtentPrefersSmallerM) {
+  Rng rng(73);
+  std::vector<IntervalRecord> records;
+  for (ObjectId i = 0; i < 3000; ++i) {
+    const Time st = rng.Uniform(1 << 20);
+    records.push_back(IntervalRecord{
+        i, Interval(st, std::min<Time>((1 << 20) - 1,
+                                       st + rng.Uniform(1 << 10)))});
+  }
+  CostModelOptions narrow;
+  narrow.query_extent_fraction = 1e-4;
+  CostModelOptions wide;
+  wide.query_extent_fraction = 0.2;
+  EXPECT_GE(ChooseHintBits(records, (1 << 20) - 1, narrow),
+            ChooseHintBits(records, (1 << 20) - 1, wide));
+}
+
+TEST(NaiveScanTest, DuplicateAndUnknownHandling) {
+  NaiveScan scan;
+  ASSERT_TRUE(scan.Insert(Object(5, Interval(1, 2), {0})).ok());
+  EXPECT_TRUE(scan.Insert(Object(5, Interval(3, 4), {1})).IsAlreadyExists());
+  EXPECT_TRUE(scan.Erase(Object(9, Interval(0, 0), {})).IsNotFound());
+  ASSERT_TRUE(scan.Erase(Object(5, Interval(1, 2), {0})).ok());
+  EXPECT_TRUE(scan.Erase(Object(5, Interval(1, 2), {0})).IsNotFound());
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/zipf.h"
+
+namespace irhint {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(ZipfTest, RanksInRange) {
+  Rng rng(19);
+  ZipfSampler zipf(1000, 1.2);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t k = zipf.Sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfTest, SingleRank) {
+  Rng rng(23);
+  ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+class ZipfDistributionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfDistributionTest, EmpiricalMatchesPmfOnHead) {
+  const double theta = GetParam();
+  constexpr uint64_t kN = 500;
+  constexpr int kDraws = 300000;
+  Rng rng(29);
+  ZipfSampler zipf(kN, theta);
+  std::vector<int> counts(kN + 1, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  // The five most likely ranks must match the analytic pmf within 15%.
+  for (uint64_t k = 1; k <= 5; ++k) {
+    const double expected = zipf.Pmf(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, expected * 0.15 + 30)
+        << "theta=" << theta << " rank=" << k;
+  }
+  // Skew direction: rank 1 strictly more popular than rank 10.
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfDistributionTest,
+                         ::testing::Values(0.65, 0.8, 1.0, 1.2, 1.5, 2.0));
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,101 @@
+#include "data/serialize.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace irhint {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripsCorpus) {
+  SyntheticParams params;
+  params.cardinality = 500;
+  params.domain = 100000;
+  params.dictionary_size = 64;
+  params.description_size = 5;
+  const Corpus original = GenerateSynthetic(params);
+
+  const std::string path = TempPath("corpus_roundtrip.bin");
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->domain_end(), original.domain_end());
+  EXPECT_EQ(loaded->dictionary().size(), original.dictionary().size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->object(i).interval, original.object(i).interval);
+    EXPECT_EQ(loaded->object(i).elements, original.object(i).elements);
+  }
+  // Frequencies are recomputed on load.
+  EXPECT_EQ(loaded->dictionary().frequencies(),
+            original.dictionary().frequencies());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyCorpusRoundTrips) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(10));
+  corpus.DeclareDomain(42);
+  ASSERT_TRUE(corpus.Finalize().ok());
+  const std::string path = TempPath("corpus_empty.bin");
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->domain_end(), 42u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  StatusOr<Corpus> loaded = LoadCorpus("/nonexistent/dir/corpus.bin");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIoError());
+}
+
+TEST(SerializeTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("corpus_badmagic.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[] = "not a corpus file at all";
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileIsCorruption) {
+  SyntheticParams params;
+  params.cardinality = 50;
+  params.domain = 1000;
+  params.dictionary_size = 16;
+  params.description_size = 3;
+  const Corpus original = GenerateSynthetic(params);
+  const std::string path = TempPath("corpus_truncated.bin");
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+
+  // Truncate the file to half its size.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace irhint

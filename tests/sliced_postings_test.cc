@@ -1,0 +1,166 @@
+#include "irfirst/sliced_postings.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace irhint {
+namespace {
+
+using Ids = std::vector<ObjectId>;
+
+Ids Flatten(const CandidateChunks& chunks) {
+  Ids out;
+  FlattenChunks(chunks, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(SliceGridTest, UniformMapping) {
+  SliceGrid grid(99, 10);  // 100 points, 10 slices of 10
+  EXPECT_EQ(grid.SliceOf(0), 0u);
+  EXPECT_EQ(grid.SliceOf(9), 0u);
+  EXPECT_EQ(grid.SliceOf(10), 1u);
+  EXPECT_EQ(grid.SliceOf(99), 9u);
+  EXPECT_EQ(grid.SliceOf(1000), 9u);  // clamp
+}
+
+TEST(SlicedPostingsTest, ReplicationCountsOverlappingSlices) {
+  SliceGrid grid(99, 10);
+  SlicedPostings list;
+  list.Add(grid, 1, Interval(5, 35));   // slices 0..3 -> 4 replicas
+  list.Add(grid, 2, Interval(50, 50));  // 1 replica
+  EXPECT_EQ(list.NumEntries(), 5u);
+}
+
+TEST(SlicedPostingsTest, BuildCandidatesDeduplicatesByReference) {
+  SliceGrid grid(99, 10);
+  SlicedPostings list;
+  list.Add(grid, 1, Interval(0, 99));   // replicated everywhere
+  list.Add(grid, 2, Interval(12, 18));  // slice 1 only
+  list.Add(grid, 3, Interval(70, 95));  // slices 7..9
+
+  CandidateChunks chunks;
+  list.BuildCandidates(grid, Interval(10, 79), &chunks);
+  EXPECT_EQ(Flatten(chunks), (Ids{1, 2, 3}));
+
+  // Narrow query missing object 2 and 3.
+  chunks.clear();
+  list.BuildCandidates(grid, Interval(30, 40), &chunks);
+  EXPECT_EQ(Flatten(chunks), (Ids{1}));
+}
+
+TEST(SlicedPostingsTest, ChunksComeSortedBySliceAndId) {
+  SliceGrid grid(99, 10);
+  SlicedPostings list;
+  for (ObjectId id = 0; id < 20; ++id) {
+    const Time st = (id * 13) % 90;
+    list.Add(grid, id, Interval(st, st + 9));
+  }
+  CandidateChunks chunks;
+  list.BuildCandidates(grid, Interval(0, 99), &chunks);
+  uint32_t prev_slice = 0;
+  bool first = true;
+  size_t total = 0;
+  for (const auto& [slice, ids] : chunks) {
+    if (!first) EXPECT_GT(slice, prev_slice);
+    prev_slice = slice;
+    first = false;
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    total += ids.size();
+  }
+  EXPECT_EQ(total, 20u);  // every object exactly once
+}
+
+TEST(SlicedPostingsTest, IntersectChunksMatchesPerSliceMembership) {
+  SliceGrid grid(99, 10);
+  SlicedPostings first;
+  SlicedPostings second;
+  // Objects 1..4 all overlap the query; only 1 and 3 appear in `second`.
+  first.Add(grid, 1, Interval(0, 99));
+  first.Add(grid, 2, Interval(15, 20));
+  first.Add(grid, 3, Interval(30, 60));
+  first.Add(grid, 4, Interval(80, 85));
+  second.Add(grid, 1, Interval(0, 99));
+  second.Add(grid, 3, Interval(30, 60));
+
+  CandidateChunks chunks;
+  first.BuildCandidates(grid, Interval(0, 99), &chunks);
+  CandidateChunks out;
+  second.IntersectChunks(chunks, &out);
+  EXPECT_EQ(Flatten(out), (Ids{1, 3}));
+}
+
+TEST(SlicedPostingsTest, IntersectFlatAppliesReferenceTest) {
+  SliceGrid grid(99, 10);
+  SlicedPostingsIdSt list;
+  list.Add(grid, 1, Interval(0, 99));  // in every slice
+  list.Add(grid, 5, Interval(42, 44));
+
+  // Flat candidates sorted by id (as produced by the hybrid's HINT copy).
+  const Ids flat{1, 5, 9};
+  CandidateChunks out;
+  list.IntersectFlat(grid, Interval(20, 70), flat, &out);
+  // Each candidate reported exactly once despite replication.
+  EXPECT_EQ(Flatten(out), (Ids{1, 5}));
+  size_t occurrences_of_1 = 0;
+  for (const auto& [slice, ids] : out) {
+    (void)slice;
+    occurrences_of_1 += std::count(ids.begin(), ids.end(), 1u);
+  }
+  EXPECT_EQ(occurrences_of_1, 1u);
+}
+
+TEST(SlicedPostingsTest, TombstoneHidesAllReplicas) {
+  SliceGrid grid(99, 10);
+  SlicedPostings list;
+  list.Add(grid, 7, Interval(0, 99));
+  EXPECT_EQ(list.Tombstone(grid, 7, Interval(0, 99)), 10u);  // one per slice
+  CandidateChunks chunks;
+  list.BuildCandidates(grid, Interval(0, 99), &chunks);
+  EXPECT_TRUE(Flatten(chunks).empty());
+  EXPECT_EQ(list.Tombstone(grid, 7, Interval(0, 99)), 0u);  // already gone
+}
+
+TEST(SlicedPostingsTest, TombstoneOnlyTouchesOwnReplicas) {
+  SliceGrid grid(99, 10);
+  SlicedPostings list;
+  list.Add(grid, 3, Interval(10, 35));   // slices 1..3
+  list.Add(grid, 4, Interval(30, 55));   // slices 3..5
+  EXPECT_EQ(list.Tombstone(grid, 3, Interval(10, 35)), 3u);
+  CandidateChunks chunks;
+  list.BuildCandidates(grid, Interval(0, 99), &chunks);
+  EXPECT_EQ(Flatten(chunks), (Ids{4}));
+}
+
+TEST(SlicedPostingsTest, RandomizedAgainstBruteForce) {
+  const Time domain_end = 999;
+  SliceGrid grid(domain_end, 13);
+  SlicedPostings list;
+  Rng rng(77);
+  std::vector<Interval> intervals;
+  for (ObjectId id = 0; id < 200; ++id) {
+    const Time st = rng.Uniform(domain_end + 1);
+    const Time end = std::min<Time>(domain_end, st + rng.Uniform(400));
+    intervals.emplace_back(st, end);
+    list.Add(grid, id, intervals.back());
+  }
+  for (int round = 0; round < 200; ++round) {
+    const Time st = rng.Uniform(domain_end + 1);
+    const Time end = std::min<Time>(domain_end, st + rng.Uniform(500));
+    const Interval q(st, end);
+    CandidateChunks chunks;
+    list.BuildCandidates(grid, q, &chunks);
+    Ids expected;
+    for (ObjectId id = 0; id < 200; ++id) {
+      if (Overlaps(intervals[id], q)) expected.push_back(id);
+    }
+    EXPECT_EQ(Flatten(chunks), expected) << "q=[" << st << "," << end << "]";
+  }
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,105 @@
+#include "hint/sparse_levels.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace irhint {
+namespace {
+
+struct Payload {
+  int value = 0;
+};
+
+TEST(SparseLevelsTest, InitCreatesEmptyLevels) {
+  SparseLevels<Payload> levels;
+  levels.Init(4);
+  EXPECT_EQ(levels.num_levels(), 5);
+  EXPECT_EQ(levels.NumPartitions(), 0u);
+  EXPECT_EQ(levels.Find(0, 0), nullptr);
+  EXPECT_EQ(levels.Find(4, 15), nullptr);
+}
+
+TEST(SparseLevelsTest, FindOrCreateIsIdempotent) {
+  SparseLevels<Payload> levels;
+  levels.Init(3);
+  levels.FindOrCreate(2, 3).value = 42;
+  EXPECT_EQ(levels.FindOrCreate(2, 3).value, 42);
+  ASSERT_NE(levels.Find(2, 3), nullptr);
+  EXPECT_EQ(levels.Find(2, 3)->value, 42);
+  EXPECT_EQ(levels.NumPartitions(), 1u);
+  // Same index at a different level is distinct.
+  EXPECT_EQ(levels.Find(1, 3), nullptr);
+}
+
+TEST(SparseLevelsTest, ForRangeVisitsSortedWindow) {
+  SparseLevels<Payload> levels;
+  levels.Init(5);
+  // Insert out of order.
+  for (const uint64_t j : {17u, 3u, 29u, 11u, 5u, 23u}) {
+    levels.FindOrCreate(5, j).value = static_cast<int>(j);
+  }
+  std::vector<uint64_t> seen;
+  levels.ForRange(5, 5, 23, [&seen](uint64_t j, const Payload& p) {
+    EXPECT_EQ(p.value, static_cast<int>(j));
+    seen.push_back(j);
+  });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{5, 11, 17, 23}));
+  // Empty window.
+  seen.clear();
+  levels.ForRange(5, 30, 100, [&seen](uint64_t j, const Payload&) {
+    seen.push_back(j);
+  });
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(SparseLevelsTest, ForEachCoversAllLevels) {
+  SparseLevels<Payload> levels;
+  levels.Init(3);
+  levels.FindOrCreate(0, 0);
+  levels.FindOrCreate(1, 1);
+  levels.FindOrCreate(3, 7);
+  std::set<std::pair<int, uint64_t>> seen;
+  levels.ForEach([&seen](int level, uint64_t j, const Payload&) {
+    seen.insert({level, j});
+  });
+  EXPECT_EQ(seen, (std::set<std::pair<int, uint64_t>>{{0, 0}, {1, 1},
+                                                      {3, 7}}));
+  EXPECT_EQ(levels.NumPartitions(), 3u);
+}
+
+TEST(SparseLevelsTest, ForEachMutableAllowsEdits) {
+  SparseLevels<Payload> levels;
+  levels.Init(2);
+  levels.FindOrCreate(2, 0);
+  levels.FindOrCreate(2, 3);
+  levels.ForEachMutable([](int, uint64_t, Payload& p) { p.value = 9; });
+  EXPECT_EQ(levels.Find(2, 0)->value, 9);
+  EXPECT_EQ(levels.Find(2, 3)->value, 9);
+}
+
+TEST(SparseLevelsTest, RandomizedAgainstReferenceMap) {
+  SparseLevels<Payload> levels;
+  levels.Init(8);
+  std::set<std::pair<int, uint64_t>> reference;
+  Rng rng(41);
+  for (int op = 0; op < 2000; ++op) {
+    const int level = static_cast<int>(rng.Uniform(9));
+    const uint64_t j = rng.Uniform(uint64_t{1} << level);
+    if (rng.NextBool(0.7)) {
+      levels.FindOrCreate(level, j);
+      reference.insert({level, j});
+    } else {
+      EXPECT_EQ(levels.Find(level, j) != nullptr,
+                reference.count({level, j}) > 0);
+    }
+  }
+  EXPECT_EQ(levels.NumPartitions(), reference.size());
+  EXPECT_GT(levels.DirectoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,172 @@
+// Dedicated tests for the two tIF+HINT variants (Algorithms 3 and 4) and
+// the tIF+HINT+Slicing hybrid (Section 3.2).
+
+#include "irfirst/tif_hint.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_scan.h"
+#include "data/synthetic.h"
+#include "irfirst/tif_hint_slicing.h"
+
+namespace irhint {
+namespace {
+
+Corpus TestCorpus(uint64_t seed = 21) {
+  SyntheticParams params;
+  params.cardinality = 1500;
+  params.domain = 200000;
+  params.alpha = 1.1;
+  params.sigma = 40000;
+  params.dictionary_size = 60;
+  params.description_size = 6;
+  params.seed = seed;
+  return GenerateSynthetic(params);
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(TifHintTest, VariantsAgreeAcrossM) {
+  const Corpus corpus = TestCorpus();
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(corpus).ok());
+
+  for (const int m : {1, 3, 6, 9}) {
+    TifHintOptions bs_options;
+    bs_options.num_bits = m;
+    bs_options.mode = TifHintMode::kBinarySearch;
+    TifHint bs(bs_options);
+    ASSERT_TRUE(bs.Build(corpus).ok());
+
+    TifHintOptions ms_options;
+    ms_options.num_bits = m;
+    ms_options.mode = TifHintMode::kMergeSort;
+    TifHint ms(ms_options);
+    ASSERT_TRUE(ms.Build(corpus).ok());
+
+    std::vector<ObjectId> expected, a, b;
+    Query q(Interval(30000, 90000), {0, 1});
+    oracle.Query(q, &expected);
+    bs.Query(q, &a);
+    ms.Query(q, &b);
+    EXPECT_EQ(Sorted(a), Sorted(expected)) << "bs m=" << m;
+    EXPECT_EQ(Sorted(b), Sorted(expected)) << "ms m=" << m;
+  }
+}
+
+TEST(TifHintTest, NamesReflectVariant) {
+  TifHintOptions options;
+  options.mode = TifHintMode::kBinarySearch;
+  EXPECT_EQ(TifHint(options).Name(), "tIF+HINT(bs)");
+  options.mode = TifHintMode::kMergeSort;
+  EXPECT_EQ(TifHint(options).Name(), "tIF+HINT(ms)");
+}
+
+TEST(TifHintTest, PostingsHintExposesPerElementIndex) {
+  const Corpus corpus = TestCorpus();
+  TifHint index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  const HintIndex* hint = index.PostingsHint(0);
+  ASSERT_NE(hint, nullptr);
+  // Entries (incl. replicas) of element 0's HINT cover at least its
+  // frequency.
+  EXPECT_GE(hint->NumEntries(), index.Frequency(0));
+  EXPECT_EQ(index.PostingsHint(static_cast<ElementId>(9999)), nullptr);
+}
+
+TEST(TifHintTest, SingleElementQueryIsPlainRangeQuery) {
+  const Corpus corpus = TestCorpus();
+  TifHint index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(corpus).ok());
+  std::vector<ObjectId> a, expected;
+  const Query q(Interval(0, corpus.domain_end()), {3});
+  index.Query(q, &a);
+  oracle.Query(q, &expected);
+  EXPECT_EQ(Sorted(a), Sorted(expected));
+  EXPECT_EQ(a.size(), index.Frequency(3));
+}
+
+TEST(TifHintTest, FrequencyTracksErase) {
+  const Corpus corpus = TestCorpus();
+  TifHint index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  const Object& victim = corpus.object(0);
+  const ElementId e = victim.elements.front();
+  const uint64_t before = index.Frequency(e);
+  ASSERT_TRUE(index.Erase(victim).ok());
+  EXPECT_EQ(index.Frequency(e), before - 1);
+}
+
+TEST(TifHintSlicingTest, MatchesOracleAcrossConfigs) {
+  const Corpus corpus = TestCorpus(22);
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(corpus).ok());
+  for (const uint32_t slices : {1u, 4u, 16u}) {
+    for (const int m : {2, 5}) {
+      TifHintSlicingOptions options;
+      options.num_slices = slices;
+      options.num_bits = m;
+      TifHintSlicing index(options);
+      ASSERT_TRUE(index.Build(corpus).ok());
+      std::vector<ObjectId> expected, actual;
+      for (const auto& q :
+           {Query(Interval(10000, 60000), {0, 1, 2}),
+            Query(Interval(0, corpus.domain_end()), {1}),
+            Query(Interval(99000, 99000), {0, 2})}) {
+        oracle.Query(q, &expected);
+        index.Query(q, &actual);
+        EXPECT_EQ(Sorted(actual), Sorted(expected))
+            << "slices=" << slices << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(TifHintSlicingTest, DualCopiesStayConsistentUnderUpdates) {
+  const Corpus corpus = TestCorpus(23);
+  const Corpus prefix = corpus.Prefix(1000);
+  TifHintSlicing index;
+  ASSERT_TRUE(index.Build(prefix).ok());
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(prefix).ok());
+  // Insert the rest, erase a slab, re-check.
+  for (size_t i = 1000; i < corpus.size(); ++i) {
+    ASSERT_TRUE(index.Insert(corpus.object(static_cast<ObjectId>(i))).ok());
+    ASSERT_TRUE(oracle.Insert(corpus.object(static_cast<ObjectId>(i))).ok());
+  }
+  for (size_t i = 100; i < 200; ++i) {
+    ASSERT_TRUE(index.Erase(corpus.object(static_cast<ObjectId>(i))).ok());
+    ASSERT_TRUE(oracle.Erase(corpus.object(static_cast<ObjectId>(i))).ok());
+  }
+  std::vector<ObjectId> expected, actual;
+  const Query q(Interval(20000, 150000), {0, 1});
+  oracle.Query(q, &expected);
+  index.Query(q, &actual);
+  EXPECT_EQ(Sorted(actual), Sorted(expected));
+}
+
+TEST(TifHintSlicingTest, HybridIsSmallerWithIdStEntries) {
+  // The hybrid's second copy stores <id, t_st> instead of full postings;
+  // its total size must be below HINT copy + a full-posting slicing copy.
+  const Corpus corpus = TestCorpus(24);
+  TifHintSlicing hybrid;
+  ASSERT_TRUE(hybrid.Build(corpus).ok());
+  EXPECT_GT(hybrid.MemoryUsageBytes(), 0u);
+  // Sanity: hybrid must cost more than a bare merge-sort tIF+HINT (it
+  // stores the postings twice).
+  TifHintOptions ms;
+  ms.mode = TifHintMode::kMergeSort;
+  TifHint bare(ms);
+  ASSERT_TRUE(bare.Build(corpus).ok());
+  EXPECT_GT(hybrid.MemoryUsageBytes(), bare.MemoryUsageBytes());
+}
+
+}  // namespace
+}  // namespace irhint

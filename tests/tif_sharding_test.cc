@@ -1,0 +1,134 @@
+#include "irfirst/tif_sharding.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/corpus.h"
+
+namespace irhint {
+namespace {
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+Corpus StaircaseCorpus() {
+  // Two interleaved "staircases" over one element, forcing >= 2 ideal
+  // shards: intervals whose ends decrease as starts increase violate the
+  // staircase property within one chain.
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(2));
+  corpus.Append(Interval(0, 100), {0});
+  corpus.Append(Interval(10, 90), {0});
+  corpus.Append(Interval(20, 80), {0});
+  corpus.Append(Interval(30, 70), {0});
+  corpus.Append(Interval(40, 60), {0});
+  EXPECT_TRUE(corpus.Finalize().ok());
+  return corpus;
+}
+
+TEST(TifShardingTest, NestedIntervalsNeedOneShardEach) {
+  const Corpus corpus = StaircaseCorpus();
+  TifShardingOptions options;
+  options.min_shard_size = 1;       // keep ideal shards
+  options.max_shards_per_list = 64;
+  TifSharding index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  // Fully nested intervals: every chain holds exactly one interval.
+  EXPECT_EQ(index.NumShards(0), 5u);
+}
+
+TEST(TifShardingTest, StaircaseInputNeedsOneShard) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  corpus.Append(Interval(0, 10), {0});
+  corpus.Append(Interval(5, 20), {0});
+  corpus.Append(Interval(7, 30), {0});
+  corpus.Append(Interval(9, 30), {0});
+  ASSERT_TRUE(corpus.Finalize().ok());
+  TifShardingOptions options;
+  options.min_shard_size = 1;
+  TifSharding index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  EXPECT_EQ(index.NumShards(0), 1u);
+}
+
+TEST(TifShardingTest, MergingBoundsShardCount) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  // 100 fully nested intervals -> 100 ideal shards.
+  for (int i = 0; i < 100; ++i) {
+    corpus.Append(Interval(i, 200 - i), {0});
+  }
+  ASSERT_TRUE(corpus.Finalize().ok());
+  TifShardingOptions options;
+  options.max_shards_per_list = 4;
+  options.min_shard_size = 1;
+  TifSharding index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  EXPECT_LE(index.NumShards(0), 4u);
+
+  // Relaxed shards must still answer correctly.
+  std::vector<ObjectId> out;
+  index.Query(Query(Interval(95, 105), {0}), &out);
+  EXPECT_EQ(out.size(), 100u);
+  out.clear();
+  index.Query(Query(Interval(0, 0), {0}), &out);
+  EXPECT_EQ(out, std::vector<ObjectId>{0});
+}
+
+TEST(TifShardingTest, ImpactListSkipsDeadPrefix) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  // A long staircase; queries late in the domain must not scan the prefix.
+  for (ObjectId i = 0; i < 1000; ++i) {
+    corpus.Append(Interval(i, i + 5), {0});
+  }
+  ASSERT_TRUE(corpus.Finalize().ok());
+  TifSharding index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  std::vector<ObjectId> out;
+  index.Query(Query(Interval(990, 1000), {0}), &out);
+  EXPECT_EQ(Sorted(out),
+            (std::vector<ObjectId>{985, 986, 987, 988, 989, 990, 991, 992,
+                                   993, 994, 995, 996, 997, 998, 999}));
+}
+
+TEST(TifShardingTest, InsertKeepsShardsQueryable) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(2));
+  for (ObjectId i = 0; i < 50; ++i) {
+    corpus.Append(Interval(i * 2, i * 2 + 10), {i % 2});
+  }
+  ASSERT_TRUE(corpus.Finalize().ok());
+  TifSharding index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  // Insert an interval that starts before existing ones end (stresses the
+  // sorted-insert path).
+  ASSERT_TRUE(index.Insert(Object(50, Interval(3, 200), {0, 1})).ok());
+  std::vector<ObjectId> out;
+  index.Query(Query(Interval(150, 180), {0, 1}), &out);
+  EXPECT_EQ(out, std::vector<ObjectId>{50});
+}
+
+TEST(TifShardingTest, EraseViaQueryResemblingScan) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  for (ObjectId i = 0; i < 30; ++i) {
+    corpus.Append(Interval(i, i + 3), {0});
+  }
+  ASSERT_TRUE(corpus.Finalize().ok());
+  TifSharding index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  ASSERT_TRUE(index.Erase(corpus.object(10)).ok());
+  std::vector<ObjectId> out;
+  index.Query(Query(Interval(10, 10), {0}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{7, 8, 9}));
+  EXPECT_TRUE(index.Erase(corpus.object(10)).IsNotFound());
+}
+
+}  // namespace
+}  // namespace irhint

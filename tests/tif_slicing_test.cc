@@ -1,0 +1,137 @@
+// Dedicated tests for tIF+Slicing (replication accounting, tuning knob,
+// degenerate slice counts, update interplay).
+
+#include "irfirst/tif_slicing.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_scan.h"
+#include "data/corpus.h"
+#include "data/synthetic.h"
+
+namespace irhint {
+namespace {
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(TifSlicingTest, ReplicationCountsMatchHandComputation) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(2));
+  corpus.DeclareDomain(99);
+  corpus.Append(Interval(0, 99), {0});   // spans all 10 slices
+  corpus.Append(Interval(5, 9), {0});    // 1 slice
+  corpus.Append(Interval(8, 12), {1});   // 2 slices
+  ASSERT_TRUE(corpus.Finalize().ok());
+
+  TifSlicingOptions options;
+  options.num_slices = 10;
+  TifSlicing index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  EXPECT_EQ(index.NumEntries(), 10u + 1u + 2u);
+  EXPECT_EQ(index.Frequency(0), 2u);  // distinct objects, not replicas
+  EXPECT_EQ(index.Frequency(1), 1u);
+}
+
+TEST(TifSlicingTest, SingleSliceDegeneratesToPlainTif) {
+  SyntheticParams params;
+  params.cardinality = 800;
+  params.domain = 50000;
+  params.dictionary_size = 30;
+  params.description_size = 4;
+  const Corpus corpus = GenerateSynthetic(params);
+
+  TifSlicingOptions options;
+  options.num_slices = 1;
+  TifSlicing index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  // No replication with a single slice.
+  size_t postings = 0;
+  for (const Object& o : corpus.objects()) postings += o.elements.size();
+  EXPECT_EQ(index.NumEntries(), postings);
+
+  NaiveScan oracle;
+  ASSERT_TRUE(oracle.Build(corpus).ok());
+  std::vector<ObjectId> expected, actual;
+  const Query q(Interval(10000, 30000), {0, 1});
+  oracle.Query(q, &expected);
+  index.Query(q, &actual);
+  EXPECT_EQ(Sorted(actual), Sorted(expected));
+}
+
+TEST(TifSlicingTest, ZeroSlicesRejected) {
+  TifSlicingOptions options;
+  options.num_slices = 0;
+  TifSlicing index(options);
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  EXPECT_TRUE(index.Build(corpus).IsInvalidArgument());
+}
+
+TEST(TifSlicingTest, MoreSlicesMoreEntries) {
+  SyntheticParams params;
+  params.cardinality = 500;
+  params.domain = 50000;
+  params.alpha = 1.01;  // long intervals -> heavy replication
+  params.dictionary_size = 20;
+  params.description_size = 3;
+  const Corpus corpus = GenerateSynthetic(params);
+  size_t prev = 0;
+  for (const uint32_t slices : {1u, 8u, 64u}) {
+    TifSlicingOptions options;
+    options.num_slices = slices;
+    TifSlicing index(options);
+    ASSERT_TRUE(index.Build(corpus).ok());
+    EXPECT_GT(index.NumEntries(), prev);
+    prev = index.NumEntries();
+  }
+}
+
+TEST(TifSlicingTest, EraseDropsAllReplicasAndFrequency) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  corpus.DeclareDomain(99);
+  corpus.Append(Interval(0, 99), {0});
+  corpus.Append(Interval(40, 45), {0});
+  ASSERT_TRUE(corpus.Finalize().ok());
+  TifSlicingOptions options;
+  options.num_slices = 10;
+  TifSlicing index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+
+  ASSERT_TRUE(index.Erase(corpus.object(0)).ok());
+  EXPECT_EQ(index.Frequency(0), 1u);
+  std::vector<ObjectId> out;
+  index.Query(Query(Interval(0, 99), {0}), &out);
+  EXPECT_EQ(out, std::vector<ObjectId>{1});
+  // Re-erasing fails; erasing the other object works.
+  EXPECT_TRUE(index.Erase(corpus.object(0)).IsNotFound());
+  ASSERT_TRUE(index.Erase(corpus.object(1)).ok());
+  index.Query(Query(Interval(0, 99), {0}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TifSlicingTest, QueryWindowClampsToRelevantSlices) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  corpus.DeclareDomain(99);
+  // One object per slice of 10.
+  for (int s = 0; s < 10; ++s) {
+    corpus.Append(Interval(s * 10 + 2, s * 10 + 7), {0});
+  }
+  ASSERT_TRUE(corpus.Finalize().ok());
+  TifSlicingOptions options;
+  options.num_slices = 10;
+  TifSlicing index(options);
+  ASSERT_TRUE(index.Build(corpus).ok());
+  std::vector<ObjectId> out;
+  index.Query(Query(Interval(35, 55), {0}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,133 @@
+#include "ir/tif.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/corpus.h"
+
+namespace irhint {
+namespace {
+
+Corpus RunningExample() {
+  // The paper's Figure 1 corpus over D = {a=0, b=1, c=2}.
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(3));
+  corpus.Append(Interval(55, 95), {0, 1, 2});  // o1
+  corpus.Append(Interval(12, 30), {0, 2});     // o2
+  corpus.Append(Interval(40, 58), {1});        // o3
+  corpus.Append(Interval(5, 90), {0, 1, 2});   // o4
+  corpus.Append(Interval(20, 45), {1, 2});     // o5
+  corpus.Append(Interval(25, 60), {2});        // o6
+  corpus.Append(Interval(15, 99), {0, 2});     // o7
+  corpus.Append(Interval(30, 38), {2});        // o8
+  EXPECT_TRUE(corpus.Finalize().ok());
+  return corpus;
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(TifTest, RunningExampleQuery) {
+  const Corpus corpus = RunningExample();
+  TemporalInvertedFile tif;
+  ASSERT_TRUE(tif.Build(corpus).ok());
+  // Query of Example 2.2: interval inside the shaded area, q.d = {a, c};
+  // the answer is o2, o4, o7 (ids 1, 3, 6).
+  std::vector<ObjectId> out;
+  tif.Query(Query(Interval(18, 42), {0, 2}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 3, 6}));
+}
+
+TEST(TifTest, FrequenciesMatchListLengths) {
+  const Corpus corpus = RunningExample();
+  TemporalInvertedFile tif;
+  ASSERT_TRUE(tif.Build(corpus).ok());
+  EXPECT_EQ(tif.Frequency(0), 4u);  // a in o1 o2 o4 o7
+  EXPECT_EQ(tif.Frequency(1), 4u);  // b in o1 o3 o4 o5
+  EXPECT_EQ(tif.Frequency(2), 7u);  // c in all but o3
+  EXPECT_EQ(tif.Frequency(9), 0u);
+}
+
+TEST(TifTest, SortByFrequencyPutsRarestFirst) {
+  const Corpus corpus = RunningExample();
+  TemporalInvertedFile tif;
+  ASSERT_TRUE(tif.Build(corpus).ok());
+  std::vector<ElementId> elements{2, 0};
+  tif.SortByFrequency(&elements);
+  EXPECT_EQ(elements, (std::vector<ElementId>{0, 2}));
+}
+
+TEST(TifTest, ListsStayIdSorted) {
+  const Corpus corpus = RunningExample();
+  TemporalInvertedFile tif;
+  ASSERT_TRUE(tif.Build(corpus).ok());
+  const PostingsList* list = tif.List(2);
+  ASSERT_NE(list, nullptr);
+  for (size_t i = 1; i < list->size(); ++i) {
+    EXPECT_LT((*list)[i - 1].id, (*list)[i].id);
+  }
+}
+
+TEST(TifTest, EraseRemovesFromResults) {
+  const Corpus corpus = RunningExample();
+  TemporalInvertedFile tif;
+  ASSERT_TRUE(tif.Build(corpus).ok());
+  ASSERT_TRUE(tif.Erase(corpus.object(3)).ok());  // delete o4
+  std::vector<ObjectId> out;
+  tif.Query(Query(Interval(18, 42), {0, 2}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 6}));
+  EXPECT_EQ(tif.Frequency(0), 3u);
+  // Double delete fails.
+  EXPECT_TRUE(tif.Erase(corpus.object(3)).IsNotFound());
+}
+
+TEST(TifTest, StabbingAndFullDomainQueries) {
+  const Corpus corpus = RunningExample();
+  TemporalInvertedFile tif;
+  ASSERT_TRUE(tif.Build(corpus).ok());
+  std::vector<ObjectId> out;
+  // Stabbing at t=5: only o4 starts there; query {c}.
+  tif.Query(Query(Interval(5, 5), {2}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{3}));
+  // Full domain with {a, b, c}: o1 and o4.
+  tif.Query(Query(Interval(0, 99), {0, 1, 2}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{0, 3}));
+}
+
+TEST(TifTest, EmptyAndUnknownQueries) {
+  const Corpus corpus = RunningExample();
+  TemporalInvertedFile tif;
+  ASSERT_TRUE(tif.Build(corpus).ok());
+  std::vector<ObjectId> out{99};  // must be cleared
+  tif.Query(Query(Interval(0, 99), {}), &out);
+  EXPECT_TRUE(out.empty());
+  tif.Query(Query(Interval(0, 99), {42}), &out);
+  EXPECT_TRUE(out.empty());
+  // Non-overlapping window.
+  tif.Query(Query(Interval(97, 98), {0, 1}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TifTest, InsertAfterBuild) {
+  const Corpus corpus = RunningExample();
+  TemporalInvertedFile tif;
+  ASSERT_TRUE(tif.Build(corpus).ok());
+  ASSERT_TRUE(tif.Insert(Object(8, Interval(20, 25), {0, 2})).ok());
+  std::vector<ObjectId> out;
+  tif.Query(Query(Interval(18, 42), {0, 2}), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<ObjectId>{1, 3, 6, 8}));
+}
+
+TEST(TifTest, RejectsInvertedInterval) {
+  TemporalInvertedFile tif;
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(1));
+  ASSERT_TRUE(tif.Build(corpus).ok());
+  EXPECT_TRUE(tif.Insert(Object(0, Interval(9, 3), {0})).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace irhint

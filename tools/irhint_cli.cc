@@ -1,0 +1,214 @@
+// irhint_cli — command-line driver for the library.
+//
+// Subcommands:
+//   generate   synthesize a corpus and write it to disk
+//       --out FILE [--kind synthetic|eclog|wikipedia] [--scale S]
+//       [--cardinality N] [--domain T] [--alpha A] [--sigma S]
+//       [--dictionary D] [--dsize K] [--zeta Z] [--seed S]
+//   stats      print Table 3-style statistics of a corpus file
+//       --in FILE
+//   bench      build one index over a corpus and measure throughput
+//       --in FILE [--index NAME] [--queries N] [--extent PCT] [--k K]
+//   query      evaluate one time-travel IR query
+//       --in FILE --st T --end T --elements e1,e2,... [--index NAME]
+//
+// Index names: tif, slicing, sharding, hint-bs, hint-ms, hybrid,
+// irhint-perf (default), irhint-size.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/factory.h"
+#include "data/query_gen.h"
+#include "data/real_sim.h"
+#include "data/serialize.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+
+using namespace irhint;
+
+namespace {
+
+struct Args {
+  std::string command;
+  FlatHashMap<std::string, std::string> options;
+
+  const char* Get(const std::string& key, const char* fallback) const {
+    const std::string* value = options.find(key);
+    return value != nullptr ? value->c_str() : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const std::string* value = options.find(key);
+    return value != nullptr ? std::atof(value->c_str()) : fallback;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    const std::string* value = options.find(key);
+    return value != nullptr
+               ? static_cast<uint64_t>(std::atoll(value->c_str()))
+               : fallback;
+  }
+  bool Has(const std::string& key) const {
+    return options.find(key) != nullptr;
+  }
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return false;
+    args->options.insert_or_assign(argv[i] + 2, argv[i + 1]);
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: irhint_cli <generate|stats|bench|query> [--opt value]\n"
+               "see the header of tools/irhint_cli.cc for details\n");
+  return 2;
+}
+
+IndexKind KindFromName(const std::string& name) {
+  if (name == "tif") return IndexKind::kTif;
+  if (name == "slicing") return IndexKind::kTifSlicing;
+  if (name == "sharding") return IndexKind::kTifSharding;
+  if (name == "hint-bs") return IndexKind::kTifHintBinarySearch;
+  if (name == "hint-ms") return IndexKind::kTifHintMergeSort;
+  if (name == "hybrid") return IndexKind::kTifHintSlicing;
+  if (name == "irhint-size") return IndexKind::kIrHintSize;
+  return IndexKind::kIrHintPerf;
+}
+
+int Generate(const Args& args) {
+  if (!args.Has("out")) return Usage();
+  const std::string kind = args.Get("kind", "synthetic");
+  Corpus corpus;
+  if (kind == "eclog") {
+    corpus = MakeEclogLike(args.GetDouble("scale", 0.05),
+                           args.GetU64("seed", 7));
+  } else if (kind == "wikipedia") {
+    corpus = MakeWikipediaLike(args.GetDouble("scale", 0.005),
+                               args.GetU64("seed", 11));
+  } else {
+    SyntheticParams params;
+    params.cardinality = args.GetU64("cardinality", 100000);
+    params.domain = args.GetU64("domain", 16'000'000);
+    params.alpha = args.GetDouble("alpha", 1.2);
+    params.sigma = args.GetU64("sigma", 1'000'000);
+    params.dictionary_size = args.GetU64("dictionary", 10'000);
+    params.description_size =
+        static_cast<uint32_t>(args.GetU64("dsize", 10));
+    params.zeta = args.GetDouble("zeta", 1.5);
+    params.seed = args.GetU64("seed", 42);
+    corpus = GenerateSynthetic(params);
+  }
+  const Status st = SaveCorpus(corpus, args.Get("out", ""));
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu objects to %s\n", corpus.size(),
+              args.Get("out", ""));
+  return 0;
+}
+
+StatusOr<Corpus> LoadFromArgs(const Args& args) {
+  if (!args.Has("in")) return Status::InvalidArgument("--in required");
+  return LoadCorpus(args.Get("in", ""));
+}
+
+int Stats(const Args& args) {
+  StatusOr<Corpus> corpus = LoadFromArgs(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", corpus->Stats().ToString().c_str());
+  return 0;
+}
+
+int Bench(const Args& args) {
+  StatusOr<Corpus> corpus = LoadFromArgs(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<TemporalIrIndex> index =
+      CreateIndex(KindFromName(args.Get("index", "irhint-perf")));
+  const BuildStats build = MeasureBuild(index.get(), *corpus);
+  if (build.seconds < 0) {
+    std::fprintf(stderr, "build failed\n");
+    return 1;
+  }
+  std::printf("built %s in %.2fs (%.1f MB)\n",
+              std::string(index->Name()).c_str(), build.seconds,
+              static_cast<double>(build.bytes) / 1048576.0);
+  WorkloadGenerator generator(*corpus, args.GetU64("seed", 1));
+  const std::vector<Query> queries = generator.ExtentWorkload(
+      args.GetDouble("extent", 0.1),
+      static_cast<uint32_t>(args.GetU64("k", 3)),
+      args.GetU64("queries", 1000));
+  const QueryStats stats = MeasureQueries(*index, queries);
+  std::printf("%zu queries: %.0f queries/s (%llu results)\n",
+              queries.size(), stats.queries_per_second,
+              static_cast<unsigned long long>(stats.total_results));
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  StatusOr<Corpus> corpus = LoadFromArgs(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  if (!args.Has("st") || !args.Has("end") || !args.Has("elements")) {
+    return Usage();
+  }
+  std::vector<ElementId> elements;
+  const char* spec = args.Get("elements", "");
+  while (*spec != '\0') {
+    char* next = nullptr;
+    elements.push_back(
+        static_cast<ElementId>(std::strtoull(spec, &next, 10)));
+    spec = (*next == ',') ? next + 1 : next;
+  }
+  std::unique_ptr<TemporalIrIndex> index =
+      CreateIndex(KindFromName(args.Get("index", "irhint-perf")));
+  if (Status st = index->Build(*corpus); !st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Query query(Interval(args.GetU64("st", 0), args.GetU64("end", 0)),
+              std::move(elements));
+  std::vector<ObjectId> results;
+  Timer timer;
+  index->Query(query, &results);
+  const double micros = timer.Seconds() * 1e6;
+  std::printf("%zu results in %.1f us:", results.size(), micros);
+  const size_t shown = std::min<size_t>(results.size(), 20);
+  for (size_t i = 0; i < shown; ++i) std::printf(" %u", results[i]);
+  if (results.size() > shown) std::printf(" ...");
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.command == "generate") return Generate(args);
+  if (args.command == "stats") return Stats(args);
+  if (args.command == "bench") return Bench(args);
+  if (args.command == "query") return RunQuery(args);
+  return Usage();
+}
