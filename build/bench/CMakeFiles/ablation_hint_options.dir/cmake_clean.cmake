@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hint_options.dir/ablation_hint_options.cc.o"
+  "CMakeFiles/ablation_hint_options.dir/ablation_hint_options.cc.o.d"
+  "ablation_hint_options"
+  "ablation_hint_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hint_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_intersections.dir/ablation_intersections.cc.o"
+  "CMakeFiles/ablation_intersections.dir/ablation_intersections.cc.o.d"
+  "ablation_intersections"
+  "ablation_intersections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_intersections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

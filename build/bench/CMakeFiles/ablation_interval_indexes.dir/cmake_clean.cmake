@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interval_indexes.dir/ablation_interval_indexes.cc.o"
+  "CMakeFiles/ablation_interval_indexes.dir/ablation_interval_indexes.cc.o.d"
+  "ablation_interval_indexes"
+  "ablation_interval_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interval_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

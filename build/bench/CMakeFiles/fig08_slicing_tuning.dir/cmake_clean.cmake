@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_slicing_tuning.dir/fig08_slicing_tuning.cc.o"
+  "CMakeFiles/fig08_slicing_tuning.dir/fig08_slicing_tuning.cc.o.d"
+  "fig08_slicing_tuning"
+  "fig08_slicing_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_slicing_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tifhint_tuning.dir/fig09_tifhint_tuning.cc.o"
+  "CMakeFiles/fig09_tifhint_tuning.dir/fig09_tifhint_tuning.cc.o.d"
+  "fig09_tifhint_tuning"
+  "fig09_tifhint_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tifhint_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tifhint_variants.dir/fig10_tifhint_variants.cc.o"
+  "CMakeFiles/fig10_tifhint_variants.dir/fig10_tifhint_variants.cc.o.d"
+  "fig10_tifhint_variants"
+  "fig10_tifhint_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tifhint_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_real_datasets.dir/fig11_real_datasets.cc.o"
+  "CMakeFiles/fig11_real_datasets.dir/fig11_real_datasets.cc.o.d"
+  "fig11_real_datasets"
+  "fig11_real_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_real_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

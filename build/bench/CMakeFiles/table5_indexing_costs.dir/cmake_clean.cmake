@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_indexing_costs.dir/table5_indexing_costs.cc.o"
+  "CMakeFiles/table5_indexing_costs.dir/table5_indexing_costs.cc.o.d"
+  "table5_indexing_costs"
+  "table5_indexing_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_indexing_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_insertions.dir/table6_insertions.cc.o"
+  "CMakeFiles/table6_insertions.dir/table6_insertions.cc.o.d"
+  "table6_insertions"
+  "table6_insertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_insertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_deletions.dir/table7_deletions.cc.o"
+  "CMakeFiles/table7_deletions.dir/table7_deletions.cc.o.d"
+  "table7_deletions"
+  "table7_deletions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_deletions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

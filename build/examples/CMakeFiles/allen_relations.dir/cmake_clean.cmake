@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allen_relations.dir/allen_relations.cpp.o"
+  "CMakeFiles/allen_relations.dir/allen_relations.cpp.o.d"
+  "allen_relations"
+  "allen_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allen_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_baskets.dir/market_baskets.cpp.o"
+  "CMakeFiles/market_baskets.dir/market_baskets.cpp.o.d"
+  "market_baskets"
+  "market_baskets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_baskets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

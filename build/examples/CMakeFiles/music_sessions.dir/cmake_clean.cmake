@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_sessions.dir/music_sessions.cpp.o"
+  "CMakeFiles/music_sessions.dir/music_sessions.cpp.o.d"
+  "music_sessions"
+  "music_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_archive_search.dir/wiki_archive_search.cpp.o"
+  "CMakeFiles/wiki_archive_search.dir/wiki_archive_search.cpp.o.d"
+  "wiki_archive_search"
+  "wiki_archive_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_archive_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/irhint.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/irhint.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/CMakeFiles/irhint.dir/core/factory.cc.o" "gcc" "src/CMakeFiles/irhint.dir/core/factory.cc.o.d"
+  "/root/repo/src/core/irhint_perf.cc" "src/CMakeFiles/irhint.dir/core/irhint_perf.cc.o" "gcc" "src/CMakeFiles/irhint.dir/core/irhint_perf.cc.o.d"
+  "/root/repo/src/core/irhint_size.cc" "src/CMakeFiles/irhint.dir/core/irhint_size.cc.o" "gcc" "src/CMakeFiles/irhint.dir/core/irhint_size.cc.o.d"
+  "/root/repo/src/core/naive_scan.cc" "src/CMakeFiles/irhint.dir/core/naive_scan.cc.o" "gcc" "src/CMakeFiles/irhint.dir/core/naive_scan.cc.o.d"
+  "/root/repo/src/data/corpus.cc" "src/CMakeFiles/irhint.dir/data/corpus.cc.o" "gcc" "src/CMakeFiles/irhint.dir/data/corpus.cc.o.d"
+  "/root/repo/src/data/dictionary.cc" "src/CMakeFiles/irhint.dir/data/dictionary.cc.o" "gcc" "src/CMakeFiles/irhint.dir/data/dictionary.cc.o.d"
+  "/root/repo/src/data/query_gen.cc" "src/CMakeFiles/irhint.dir/data/query_gen.cc.o" "gcc" "src/CMakeFiles/irhint.dir/data/query_gen.cc.o.d"
+  "/root/repo/src/data/real_sim.cc" "src/CMakeFiles/irhint.dir/data/real_sim.cc.o" "gcc" "src/CMakeFiles/irhint.dir/data/real_sim.cc.o.d"
+  "/root/repo/src/data/serialize.cc" "src/CMakeFiles/irhint.dir/data/serialize.cc.o" "gcc" "src/CMakeFiles/irhint.dir/data/serialize.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/irhint.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/irhint.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "src/CMakeFiles/irhint.dir/eval/runner.cc.o" "gcc" "src/CMakeFiles/irhint.dir/eval/runner.cc.o.d"
+  "/root/repo/src/eval/workload.cc" "src/CMakeFiles/irhint.dir/eval/workload.cc.o" "gcc" "src/CMakeFiles/irhint.dir/eval/workload.cc.o.d"
+  "/root/repo/src/hint/allen.cc" "src/CMakeFiles/irhint.dir/hint/allen.cc.o" "gcc" "src/CMakeFiles/irhint.dir/hint/allen.cc.o.d"
+  "/root/repo/src/hint/cost_model.cc" "src/CMakeFiles/irhint.dir/hint/cost_model.cc.o" "gcc" "src/CMakeFiles/irhint.dir/hint/cost_model.cc.o.d"
+  "/root/repo/src/hint/hint.cc" "src/CMakeFiles/irhint.dir/hint/hint.cc.o" "gcc" "src/CMakeFiles/irhint.dir/hint/hint.cc.o.d"
+  "/root/repo/src/interval_baselines/grid1d.cc" "src/CMakeFiles/irhint.dir/interval_baselines/grid1d.cc.o" "gcc" "src/CMakeFiles/irhint.dir/interval_baselines/grid1d.cc.o.d"
+  "/root/repo/src/interval_baselines/interval_tree.cc" "src/CMakeFiles/irhint.dir/interval_baselines/interval_tree.cc.o" "gcc" "src/CMakeFiles/irhint.dir/interval_baselines/interval_tree.cc.o.d"
+  "/root/repo/src/ir/division_index.cc" "src/CMakeFiles/irhint.dir/ir/division_index.cc.o" "gcc" "src/CMakeFiles/irhint.dir/ir/division_index.cc.o.d"
+  "/root/repo/src/ir/intersect.cc" "src/CMakeFiles/irhint.dir/ir/intersect.cc.o" "gcc" "src/CMakeFiles/irhint.dir/ir/intersect.cc.o.d"
+  "/root/repo/src/ir/tif.cc" "src/CMakeFiles/irhint.dir/ir/tif.cc.o" "gcc" "src/CMakeFiles/irhint.dir/ir/tif.cc.o.d"
+  "/root/repo/src/irfirst/tif_hint.cc" "src/CMakeFiles/irhint.dir/irfirst/tif_hint.cc.o" "gcc" "src/CMakeFiles/irhint.dir/irfirst/tif_hint.cc.o.d"
+  "/root/repo/src/irfirst/tif_hint_slicing.cc" "src/CMakeFiles/irhint.dir/irfirst/tif_hint_slicing.cc.o" "gcc" "src/CMakeFiles/irhint.dir/irfirst/tif_hint_slicing.cc.o.d"
+  "/root/repo/src/irfirst/tif_sharding.cc" "src/CMakeFiles/irhint.dir/irfirst/tif_sharding.cc.o" "gcc" "src/CMakeFiles/irhint.dir/irfirst/tif_sharding.cc.o.d"
+  "/root/repo/src/irfirst/tif_slicing.cc" "src/CMakeFiles/irhint.dir/irfirst/tif_slicing.cc.o" "gcc" "src/CMakeFiles/irhint.dir/irfirst/tif_slicing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

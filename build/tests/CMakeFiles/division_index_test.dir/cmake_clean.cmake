@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/division_index_test.dir/division_index_test.cc.o"
+  "CMakeFiles/division_index_test.dir/division_index_test.cc.o.d"
+  "division_index_test"
+  "division_index_test.pdb"
+  "division_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/division_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

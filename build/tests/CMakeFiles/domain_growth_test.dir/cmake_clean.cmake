@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_growth_test.dir/domain_growth_test.cc.o"
+  "CMakeFiles/domain_growth_test.dir/domain_growth_test.cc.o.d"
+  "domain_growth_test"
+  "domain_growth_test.pdb"
+  "domain_growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

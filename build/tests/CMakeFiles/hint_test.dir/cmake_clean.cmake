@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hint_test.dir/hint_test.cc.o"
+  "CMakeFiles/hint_test.dir/hint_test.cc.o.d"
+  "hint_test"
+  "hint_test.pdb"
+  "hint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hint_traversal_test.dir/hint_traversal_test.cc.o"
+  "CMakeFiles/hint_traversal_test.dir/hint_traversal_test.cc.o.d"
+  "hint_traversal_test"
+  "hint_traversal_test.pdb"
+  "hint_traversal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hint_traversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_baselines_test.dir/interval_baselines_test.cc.o"
+  "CMakeFiles/interval_baselines_test.dir/interval_baselines_test.cc.o.d"
+  "interval_baselines_test"
+  "interval_baselines_test.pdb"
+  "interval_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irhint_test.dir/irhint_test.cc.o"
+  "CMakeFiles/irhint_test.dir/irhint_test.cc.o.d"
+  "irhint_test"
+  "irhint_test.pdb"
+  "irhint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irhint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_differential_test.dir/randomized_differential_test.cc.o"
+  "CMakeFiles/randomized_differential_test.dir/randomized_differential_test.cc.o.d"
+  "randomized_differential_test"
+  "randomized_differential_test.pdb"
+  "randomized_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliced_postings_test.dir/sliced_postings_test.cc.o"
+  "CMakeFiles/sliced_postings_test.dir/sliced_postings_test.cc.o.d"
+  "sliced_postings_test"
+  "sliced_postings_test.pdb"
+  "sliced_postings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliced_postings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

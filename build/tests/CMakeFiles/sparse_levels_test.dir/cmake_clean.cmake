@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_levels_test.dir/sparse_levels_test.cc.o"
+  "CMakeFiles/sparse_levels_test.dir/sparse_levels_test.cc.o.d"
+  "sparse_levels_test"
+  "sparse_levels_test.pdb"
+  "sparse_levels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_levels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

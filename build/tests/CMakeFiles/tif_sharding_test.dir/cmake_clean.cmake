@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tif_sharding_test.dir/tif_sharding_test.cc.o"
+  "CMakeFiles/tif_sharding_test.dir/tif_sharding_test.cc.o.d"
+  "tif_sharding_test"
+  "tif_sharding_test.pdb"
+  "tif_sharding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tif_sharding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

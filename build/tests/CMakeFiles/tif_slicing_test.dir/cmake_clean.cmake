@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tif_slicing_test.dir/tif_slicing_test.cc.o"
+  "CMakeFiles/tif_slicing_test.dir/tif_slicing_test.cc.o.d"
+  "tif_slicing_test"
+  "tif_slicing_test.pdb"
+  "tif_slicing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tif_slicing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/flat_hash_map_test[1]_include.cmake")
+include("/root/repo/build/tests/hint_traversal_test[1]_include.cmake")
+include("/root/repo/build/tests/hint_test[1]_include.cmake")
+include("/root/repo/build/tests/index_property_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/intersect_test[1]_include.cmake")
+include("/root/repo/build/tests/tif_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/sliced_postings_test[1]_include.cmake")
+include("/root/repo/build/tests/tif_sharding_test[1]_include.cmake")
+include("/root/repo/build/tests/division_index_test[1]_include.cmake")
+include("/root/repo/build/tests/data_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/query_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/domain_growth_test[1]_include.cmake")
+include("/root/repo/build/tests/irhint_test[1]_include.cmake")
+include("/root/repo/build/tests/factory_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/allen_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_levels_test[1]_include.cmake")
+include("/root/repo/build/tests/tif_hint_test[1]_include.cmake")
+include("/root/repo/build/tests/tif_slicing_test[1]_include.cmake")
+include("/root/repo/build/tests/randomized_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_examples_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irhint_cli.dir/irhint_cli.cc.o"
+  "CMakeFiles/irhint_cli.dir/irhint_cli.cc.o.d"
+  "irhint_cli"
+  "irhint_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irhint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
