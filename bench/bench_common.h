@@ -9,8 +9,12 @@
 #define IRHINT_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "common/table_printer.h"
+#include "core/temporal_ir_index.h"
 #include "data/corpus.h"
 #include "data/real_sim.h"
 #include "eval/runner.h"
@@ -42,6 +46,41 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n==============================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("==============================================\n");
+}
+
+/// \brief Measure the batch serially, or sharded over IRHINT_THREADS pool
+/// workers when that is set above 1. Both paths report the same
+/// total_results (queries are const and sharding is deterministic), so
+/// table shapes are unchanged — only queries/s scales.
+inline QueryStats MeasureQueriesAuto(const TemporalIrIndex& index,
+                                     const std::vector<Query>& queries) {
+  const size_t threads = BenchThreadsFromEnv(1);
+  if (threads > 1) return ParallelMeasureQueries(index, queries, threads);
+  return MeasureQueries(index, queries);
+}
+
+/// \brief True when IRHINT_COUNTERS is set to a non-zero value: benches
+/// then enable per-index work counters and print them alongside the
+/// throughput tables. Off by default so the headline numbers stay
+/// counter-free.
+inline bool BenchCountersFromEnv() {
+  const char* value = std::getenv("IRHINT_COUNTERS");
+  return value != nullptr && std::atoi(value) != 0;
+}
+
+/// \brief Append one row per QueryCounters field to `table` (expects the
+/// columns {"index", "counter", "value"}); no-op for indexes without
+/// counter support.
+inline void AddCounterRows(const TemporalIrIndex& index, TablePrinter* table) {
+  const std::optional<QueryCounters> stats = index.Stats();
+  if (!stats.has_value()) return;
+  const std::string name(index.Name());
+  table->AddRow({name, "divisions_visited", Fmt(stats->divisions_visited)});
+  table->AddRow({name, "postings_scanned", Fmt(stats->postings_scanned)});
+  table->AddRow(
+      {name, "intersections_performed", Fmt(stats->intersections_performed)});
+  table->AddRow(
+      {name, "candidates_verified", Fmt(stats->candidates_verified)});
 }
 
 }  // namespace bench

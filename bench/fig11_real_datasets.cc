@@ -49,7 +49,7 @@ void RunWorkload(const std::vector<BuiltIndex>& indexes,
                  const std::vector<Query>& queries, TablePrinter* table) {
   if (queries.empty()) return;
   for (const BuiltIndex& b : indexes) {
-    const QueryStats stats = MeasureQueries(*b.index, queries);
+    const QueryStats stats = bench::MeasureQueriesAuto(*b.index, queries);
     table->AddRow({axis, value, std::string(b.index->Name()),
                    Fmt(stats.queries_per_second, 0),
                    Fmt(static_cast<uint64_t>(queries.size())),
@@ -62,6 +62,9 @@ void RunDataset(const std::string& dataset, const Corpus& corpus) {
   const size_t count = BenchQueriesFromEnv(1000);
   WorkloadGenerator generator(corpus, /*seed=*/4242);
   const std::vector<BuiltIndex> indexes = BuildAll(corpus);
+  if (bench::BenchCountersFromEnv()) {
+    for (const BuiltIndex& b : indexes) b.index->EnableStats(true);
+  }
   TablePrinter table(
       {"axis", "value", "index", "queries/s", "#q", "#results"});
 
@@ -106,6 +109,15 @@ void RunDataset(const std::string& dataset, const Corpus& corpus) {
 
   std::printf("\n");
   table.Print(std::cout);
+
+  if (bench::BenchCountersFromEnv()) {
+    TablePrinter counters({"index", "counter", "value"});
+    for (const BuiltIndex& b : indexes) {
+      bench::AddCounterRows(*b.index, &counters);
+    }
+    std::printf("\nper-index work counters (all workloads above):\n");
+    counters.Print(std::cout);
+  }
 }
 
 }  // namespace

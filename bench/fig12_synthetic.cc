@@ -51,7 +51,7 @@ void RunPanel(const std::string& panel, const std::string& value,
     std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
     const BuildStats build = MeasureBuild(index.get(), corpus);
     if (build.seconds < 0) continue;
-    const QueryStats stats = MeasureQueries(*index, queries);
+    const QueryStats stats = bench::MeasureQueriesAuto(*index, queries);
     table->AddRow({panel, value, std::string(index->Name()),
                    Fmt(stats.queries_per_second, 0)});
   }
@@ -73,7 +73,7 @@ void RunQueryPanels(TablePrinter* table) {
                  const std::vector<Query>& queries) {
     if (queries.empty()) return;
     for (const auto& index : indexes) {
-      const QueryStats stats = MeasureQueries(*index, queries);
+      const QueryStats stats = bench::MeasureQueriesAuto(*index, queries);
       table->AddRow({panel, value, std::string(index->Name()),
                      Fmt(stats.queries_per_second, 0)});
     }

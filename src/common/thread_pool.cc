@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace irhint {
+
+namespace {
+thread_local int g_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<int>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  g_worker_index = worker_index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  const size_t num_chunks = std::min(total, num_threads());
+  const size_t chunk = (total + num_chunks - 1) / num_chunks;
+
+  // First exception wins; later ones are swallowed. Every other index
+  // still runs to completion (a throw skips only the throwing index), so
+  // state stays consistent and callers can inspect partial progress.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = begin + c * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    Submit([&, lo, hi] {
+      for (size_t i = lo; i < hi; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!failed.exchange(true)) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            first_error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  Wait();
+  if (failed.load()) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    std::rethrow_exception(first_error);
+  }
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (const char* value = std::getenv("IRHINT_THREADS")) {
+    const long long n = std::atoll(value);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+int ThreadPool::CurrentWorkerIndex() { return g_worker_index; }
+
+}  // namespace irhint

@@ -1,0 +1,77 @@
+// Fixed-size thread pool shared by the parallel query-execution engine.
+//
+// Workers pull tasks from a single locked queue; Wait() blocks until every
+// submitted task has finished, so the pool doubles as a fork-join region.
+// ParallelFor shards an index range into contiguous chunks (one per worker
+// by default), runs them on the pool, and rethrows the first task exception
+// on the calling thread — the library itself never throws, but user-supplied
+// callables (and test assertions) may.
+//
+// The default worker count reads the IRHINT_THREADS environment variable and
+// falls back to std::thread::hardware_concurrency().
+
+#ifndef IRHINT_COMMON_THREAD_POOL_H_
+#define IRHINT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace irhint {
+
+/// \brief Fixed-size pool of worker threads with a fork-join Wait().
+class ThreadPool {
+ public:
+  /// \brief Start `num_threads` workers (0 selects DefaultThreadCount()).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// \brief Drains outstanding tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Enqueue one task. Tasks must not throw (use ParallelFor for
+  /// exception-propagating regions) and may be executed in any order.
+  void Submit(std::function<void()> task);
+
+  /// \brief Block until every task submitted so far has completed.
+  void Wait();
+
+  /// \brief Run fn(i) for every i in [begin, end), sharded into contiguous
+  /// chunks across the workers, and block until all chunks finish. The
+  /// first exception thrown by fn (if any) is rethrown on the caller.
+  /// An empty or inverted range is a no-op.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  /// \brief Worker count implied by the environment: IRHINT_THREADS if set
+  /// to a positive integer, else std::thread::hardware_concurrency()
+  /// (minimum 1).
+  static size_t DefaultThreadCount();
+
+  /// \brief Dense index of the current pool worker in [0, num_threads), or
+  /// -1 when called off-pool (e.g. from the main thread).
+  static int CurrentWorkerIndex();
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_THREAD_POOL_H_

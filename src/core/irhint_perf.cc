@@ -145,6 +145,7 @@ void IrHintPerf::Query(const irhint::Query& query, std::vector<ObjectId>* out) c
             });
 
   DivisionQueryScratch scratch;
+  scratch.count = counters_.enabled();
   if (query.interval.st <= mapper_.domain_end()) {
   TraversalState state(m_, mapper_.Cell(query.interval.st),
                        mapper_.Cell(query.interval.end));
@@ -191,7 +192,9 @@ void IrHintPerf::Query(const irhint::Query& query, std::vector<ObjectId>* out) c
         out->push_back(o.id);
       }
     }
+    scratch.counters.candidates_verified += overflow_.size();
   }
+  counters_.Accumulate(scratch.counters);
 }
 
 size_t IrHintPerf::MemoryUsageBytes() const {

@@ -32,7 +32,7 @@ struct IrHintOptions {
 };
 
 /// \brief irHINT, focus-on-performance variant.
-class IrHintPerf : public TemporalIrIndex {
+class IrHintPerf : public CountingTemporalIrIndex {
  public:
   IrHintPerf() = default;
   explicit IrHintPerf(const IrHintOptions& options) : options_(options) {}

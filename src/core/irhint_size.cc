@@ -262,6 +262,7 @@ void IrHintSize::Query(const irhint::Query& query, std::vector<ObjectId>* out) c
 
   std::vector<ObjectId> candidates;
   DivisionQueryScratch scratch;
+  scratch.count = counters_.enabled();
   if (query.interval.st <= mapper_.domain_end()) {
   TraversalState state(m_, mapper_.Cell(query.interval.st),
                        mapper_.Cell(query.interval.end));
@@ -297,6 +298,10 @@ void IrHintSize::Query(const irhint::Query& query, std::vector<ObjectId>* out) c
                           query.interval, &candidates);
             ScanIntervals(part.intervals[kOaft], kOaft, aft_mode,
                           query.interval, &candidates);
+            if (scratch.count) {
+              scratch.counters.postings_scanned +=
+                  part.intervals[kOin].size() + part.intervals[kOaft].size();
+            }
             if (!candidates.empty()) {
               std::sort(candidates.begin(), candidates.end());
               part.originals_index.Intersect(candidates, elements, &scratch,
@@ -314,6 +319,10 @@ void IrHintSize::Query(const irhint::Query& query, std::vector<ObjectId>* out) c
                             query.interval, &candidates);
               ScanIntervals(part.intervals[kRaft], kRaft, raft_mode,
                             query.interval, &candidates);
+              if (scratch.count) {
+                scratch.counters.postings_scanned +=
+                    part.intervals[kRin].size() + part.intervals[kRaft].size();
+              }
               if (!candidates.empty()) {
                 std::sort(candidates.begin(), candidates.end());
                 part.replicas_index.Intersect(candidates, elements, &scratch,
@@ -336,7 +345,9 @@ void IrHintSize::Query(const irhint::Query& query, std::vector<ObjectId>* out) c
         out->push_back(o.id);
       }
     }
+    scratch.counters.candidates_verified += overflow_.size();
   }
+  counters_.Accumulate(scratch.counters);
 }
 
 size_t IrHintSize::MemoryUsageBytes() const {

@@ -34,7 +34,7 @@ struct IrHintSizeOptions {
 };
 
 /// \brief irHINT, focus-on-index-size variant.
-class IrHintSize : public TemporalIrIndex {
+class IrHintSize : public CountingTemporalIrIndex {
  public:
   IrHintSize() = default;
   explicit IrHintSize(const IrHintSizeOptions& options) : options_(options) {}

@@ -45,6 +45,10 @@ void NaiveScan::Query(const irhint::Query& query, std::vector<ObjectId>* out) co
       out->push_back(o.id);
     }
   }
+  QueryCounters local;
+  local.divisions_visited = 1;  // the one flat object store
+  local.candidates_verified = objects_.size();
+  counters_.Accumulate(local);
 }
 
 size_t NaiveScan::MemoryUsageBytes() const {

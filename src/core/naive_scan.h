@@ -13,7 +13,7 @@
 namespace irhint {
 
 /// \brief Answers time-travel IR queries by scanning every live object.
-class NaiveScan : public TemporalIrIndex {
+class NaiveScan : public CountingTemporalIrIndex {
  public:
   NaiveScan() = default;
 

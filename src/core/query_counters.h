@@ -1,0 +1,121 @@
+// Per-query work counters — the observability layer of the query engine.
+//
+// Every counting index owns one CounterSink. Query() (which is const and
+// may run concurrently on many threads) tallies a local QueryCounters on
+// the stack and flushes it into the sink once per query; the sink spreads
+// the flushes over cacheline-aligned striped atomics so concurrent readers
+// never contend on one line, and merges the stripes on demand. Collection
+// is off by default: a disabled sink drops the flush after a single relaxed
+// load, so the counters cost nothing on the measurement paths.
+
+#ifndef IRHINT_CORE_QUERY_COUNTERS_H_
+#define IRHINT_CORE_QUERY_COUNTERS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace irhint {
+
+/// \brief Work performed while answering one query (or a batch, once
+/// merged). Semantics shared by every index:
+///  * divisions_visited: index substructures consulted — postings lists,
+///    postings-HINT traversals, or HINT partition subdivisions.
+///  * postings_scanned: posting entries read by filter or merge scans.
+///  * intersections_performed: list-intersection passes executed.
+///  * candidates_verified: candidate objects checked against the temporal
+///    or containment predicate after the initial filter.
+struct QueryCounters {
+  uint64_t divisions_visited = 0;
+  uint64_t postings_scanned = 0;
+  uint64_t intersections_performed = 0;
+  uint64_t candidates_verified = 0;
+
+  QueryCounters& operator+=(const QueryCounters& other) {
+    divisions_visited += other.divisions_visited;
+    postings_scanned += other.postings_scanned;
+    intersections_performed += other.intersections_performed;
+    candidates_verified += other.candidates_verified;
+    return *this;
+  }
+};
+
+/// \brief Thread-safe accumulator for QueryCounters.
+///
+/// Writers (concurrent const Query() calls) each land on a stripe derived
+/// from a per-thread id, so the common case is an uncontended relaxed
+/// fetch_add on a private cacheline. Readers merge all stripes; merging is
+/// meant for quiescent or best-effort monitoring reads.
+class CounterSink {
+ public:
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// \brief Fold one query's counters in. No-op while disabled.
+  void Accumulate(const QueryCounters& c) const {
+    if (!enabled()) return;
+    Stripe& s = stripes_[ThreadStripe()];
+    s.divisions_visited.fetch_add(c.divisions_visited,
+                                  std::memory_order_relaxed);
+    s.postings_scanned.fetch_add(c.postings_scanned,
+                                 std::memory_order_relaxed);
+    s.intersections_performed.fetch_add(c.intersections_performed,
+                                        std::memory_order_relaxed);
+    s.candidates_verified.fetch_add(c.candidates_verified,
+                                    std::memory_order_relaxed);
+  }
+
+  /// \brief Sum of every stripe (i.e. every thread) since the last Reset().
+  QueryCounters Merged() const {
+    QueryCounters total;
+    for (const Stripe& s : stripes_) {
+      total.divisions_visited +=
+          s.divisions_visited.load(std::memory_order_relaxed);
+      total.postings_scanned +=
+          s.postings_scanned.load(std::memory_order_relaxed);
+      total.intersections_performed +=
+          s.intersections_performed.load(std::memory_order_relaxed);
+      total.candidates_verified +=
+          s.candidates_verified.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() const {
+    for (Stripe& s : stripes_) {
+      s.divisions_visited.store(0, std::memory_order_relaxed);
+      s.postings_scanned.store(0, std::memory_order_relaxed);
+      s.intersections_performed.store(0, std::memory_order_relaxed);
+      s.candidates_verified.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> divisions_visited{0};
+    std::atomic<uint64_t> postings_scanned{0};
+    std::atomic<uint64_t> intersections_performed{0};
+    std::atomic<uint64_t> candidates_verified{0};
+  };
+
+  // Threads are assigned stripes round-robin on first use; 16 stripes keep
+  // typical pool sizes collision-free without bloating every index.
+  static constexpr size_t kStripes = 16;
+
+  static size_t ThreadStripe() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+  }
+
+  mutable std::array<Stripe, kStripes> stripes_;
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_CORE_QUERY_COUNTERS_H_

@@ -6,10 +6,12 @@
 #ifndef IRHINT_CORE_TEMPORAL_IR_INDEX_H_
 #define IRHINT_CORE_TEMPORAL_IR_INDEX_H_
 
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_counters.h"
 #include "data/corpus.h"
 #include "data/object.h"
 
@@ -44,8 +46,37 @@ class TemporalIrIndex {
   /// \brief Heap footprint of the index structure in bytes.
   virtual size_t MemoryUsageBytes() const = 0;
 
+  /// \brief Query-work counters merged across all querying threads since
+  /// the last ResetStats(), or nullopt for indexes without counter support.
+  /// Counting starts after EnableStats(true); it is off by default so the
+  /// measurement paths pay nothing.
+  virtual std::optional<QueryCounters> Stats() const { return std::nullopt; }
+
+  /// \brief Zero the counters (no-op without counter support). Safe to call
+  /// concurrently with queries; per-thread stripes are cleared relaxed.
+  virtual void ResetStats() {}
+
+  /// \brief Turn counter collection on or off (no-op without support).
+  virtual void EnableStats(bool enabled) { (void)enabled; }
+
   /// \brief Stable display name, e.g. "irHINT-perf".
   virtual std::string_view Name() const = 0;
+};
+
+/// \brief Convenience base for indexes that maintain QueryCounters: owns
+/// the sink and implements the optional stats interface. Query()
+/// implementations tally a stack-local QueryCounters and flush it with
+/// counters_.Accumulate(local) once per query.
+class CountingTemporalIrIndex : public TemporalIrIndex {
+ public:
+  std::optional<QueryCounters> Stats() const override {
+    return counters_.Merged();
+  }
+  void ResetStats() override { counters_.Reset(); }
+  void EnableStats(bool enabled) override { counters_.set_enabled(enabled); }
+
+ protected:
+  CounterSink counters_;
 };
 
 }  // namespace irhint

@@ -1,11 +1,30 @@
 #include "eval/runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace irhint {
+
+namespace {
+
+// Repeat each measured batch until this much wall time accumulates so that
+// fast indexes are not measured at timer granularity.
+constexpr double kMinSeconds = 0.2;
+
+// Nearest-rank percentile over an unsorted sample vector (sorted in place).
+double PercentileUs(std::vector<double>* samples, double pct) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples->size())));
+  return (*samples)[std::min(samples->size(), std::max<size_t>(rank, 1)) - 1];
+}
+
+}  // namespace
 
 BuildStats MeasureBuild(TemporalIrIndex* index, const Corpus& corpus) {
   BuildStats stats;
@@ -31,9 +50,6 @@ QueryStats MeasureQueries(const TemporalIrIndex& index,
   const size_t warmup = std::min<size_t>(queries.size(), 32);
   for (size_t i = 0; i < warmup; ++i) index.Query(queries[i], &results);
 
-  // Repeat the whole batch until enough wall time accumulates so that fast
-  // indexes are not measured at timer granularity.
-  constexpr double kMinSeconds = 0.2;
   size_t executed = 0;
   Timer timer;
   do {
@@ -47,6 +63,71 @@ QueryStats MeasureQueries(const TemporalIrIndex& index,
   stats.seconds = timer.Seconds();
   stats.queries_per_second =
       static_cast<double>(executed) / stats.seconds;
+  return stats;
+}
+
+QueryStats ParallelMeasureQueries(const TemporalIrIndex& index,
+                                  const std::vector<Query>& queries,
+                                  size_t num_threads) {
+  QueryStats stats;
+  stats.num_queries = queries.size();
+  if (queries.empty()) return stats;
+
+  ThreadPool pool(num_threads);
+  const size_t workers = pool.num_threads();
+  stats.num_threads = workers;
+
+  // Contiguous shards, one per worker; the fixed assignment keeps the merge
+  // deterministic regardless of scheduling.
+  struct Shard {
+    size_t begin = 0;
+    size_t end = 0;
+    uint64_t total_results = 0;
+    std::vector<double> latencies_us;
+    std::vector<ObjectId> results;  // per-worker scratch, never shared
+  };
+  const size_t num_shards = std::min(workers, queries.size());
+  std::vector<Shard> shards(num_shards);
+  const size_t chunk = (queries.size() + num_shards - 1) / num_shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards[s].begin = s * chunk;
+    shards[s].end = std::min(queries.size(), shards[s].begin + chunk);
+  }
+
+  // Warm-up pass over a prefix (touches index pages, sizes the scratch).
+  const size_t warmup = std::min<size_t>(queries.size(), 32);
+  std::vector<ObjectId> warm;
+  for (size_t i = 0; i < warmup; ++i) index.Query(queries[i], &warm);
+
+  size_t executed = 0;
+  Timer timer;
+  do {
+    for (Shard& shard : shards) {
+      shard.total_results = 0;
+      pool.Submit([&index, &queries, &shard] {
+        for (size_t i = shard.begin; i < shard.end; ++i) {
+          Timer per_query;
+          index.Query(queries[i], &shard.results);
+          shard.latencies_us.push_back(per_query.Seconds() * 1e6);
+          shard.total_results += shard.results.size();
+        }
+      });
+    }
+    pool.Wait();
+    stats.total_results = 0;
+    for (const Shard& shard : shards) stats.total_results += shard.total_results;
+    executed += queries.size();
+  } while (timer.Seconds() < kMinSeconds);
+  stats.seconds = timer.Seconds();
+  stats.queries_per_second = static_cast<double>(executed) / stats.seconds;
+
+  std::vector<double> all_latencies;
+  for (Shard& shard : shards) {
+    all_latencies.insert(all_latencies.end(), shard.latencies_us.begin(),
+                         shard.latencies_us.end());
+  }
+  stats.latency_p50_us = PercentileUs(&all_latencies, 50.0);
+  stats.latency_p99_us = PercentileUs(&all_latencies, 99.0);
   return stats;
 }
 
@@ -79,6 +160,13 @@ double BenchScaleFromEnv() {
 
 size_t BenchQueriesFromEnv(size_t fallback) {
   const char* value = std::getenv("IRHINT_QUERIES");
+  if (value == nullptr) return fallback;
+  const long long n = std::atoll(value);
+  return n > 0 ? static_cast<size_t>(n) : fallback;
+}
+
+size_t BenchThreadsFromEnv(size_t fallback) {
+  const char* value = std::getenv("IRHINT_THREADS");
   if (value == nullptr) return fallback;
   const long long n = std::atoll(value);
   return n > 0 ? static_cast<size_t>(n) : fallback;

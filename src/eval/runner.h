@@ -26,6 +26,14 @@ struct QueryStats {
   double queries_per_second = 0.0;
   uint64_t total_results = 0;
   size_t num_queries = 0;
+  /// Worker threads used (1 for the serial path).
+  size_t num_threads = 1;
+  /// Per-query latency percentiles in microseconds, merged across every
+  /// worker's samples. Only the parallel path fills these (the serial path
+  /// avoids per-query clock reads to keep the paper's throughput metric
+  /// undisturbed).
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
 };
 
 /// \brief Build `index` from `corpus`, timing it and measuring its size.
@@ -34,6 +42,16 @@ BuildStats MeasureBuild(TemporalIrIndex* index, const Corpus& corpus);
 /// \brief Run all queries once, reporting throughput.
 QueryStats MeasureQueries(const TemporalIrIndex& index,
                           const std::vector<Query>& queries);
+
+/// \brief Run the batch sharded over `num_threads` pool workers (0 reads
+/// IRHINT_THREADS, falling back to the hardware concurrency). Each worker
+/// owns its shard's result buffer and latency samples; shard tallies are
+/// merged deterministically, so total_results is identical to the serial
+/// path for any thread count. Requires only the documented read-concurrency
+/// contract: concurrent const Query() calls are safe on a built index.
+QueryStats ParallelMeasureQueries(const TemporalIrIndex& index,
+                                  const std::vector<Query>& queries,
+                                  size_t num_threads = 0);
 
 /// \brief Insert the objects [begin, end) of `corpus`, timing the batch.
 double MeasureInsertSeconds(TemporalIrIndex* index, const Corpus& corpus,
@@ -49,6 +67,10 @@ double BenchScaleFromEnv();
 
 /// \brief Queries per measurement: env IRHINT_QUERIES (default `fallback`).
 size_t BenchQueriesFromEnv(size_t fallback);
+
+/// \brief Query threads: env IRHINT_THREADS (default `fallback`; 1 keeps
+/// the serial measurement path).
+size_t BenchThreadsFromEnv(size_t fallback);
 
 }  // namespace irhint
 

@@ -42,6 +42,11 @@ void DivisionTif::Query(const std::vector<ElementId>& elements,
     if (PassesMode(p, q, mode)) candidates.push_back(p.id);
     return true;
   });
+  if (scratch->count) {
+    ++scratch->counters.divisions_visited;
+    scratch->counters.postings_scanned += postings_.ListLength(elements[0]);
+    scratch->counters.candidates_verified += candidates.size();
+  }
   if (candidates.empty()) return;
 
   // Intersect with the remaining lists of this division: linear merge for
@@ -52,8 +57,15 @@ void DivisionTif::Query(const std::vector<ElementId>& elements,
   for (size_t i = 1; i < elements.size(); ++i) {
     if (!postings_.HasElement(elements[i])) return;
     next.clear();
-    if (postings_.CanProbe() &&
-        postings_.ListLength(elements[i]) > 16 * candidates.size()) {
+    const bool probe = postings_.CanProbe() &&
+                       postings_.ListLength(elements[i]) >
+                           16 * candidates.size();
+    if (scratch->count) {
+      ++scratch->counters.intersections_performed;
+      scratch->counters.postings_scanned +=
+          probe ? candidates.size() : postings_.ListLength(elements[i]);
+    }
+    if (probe) {
       for (ObjectId id : candidates) {
         if (postings_.Probe(elements[i], id) != nullptr) next.push_back(id);
       }
@@ -81,13 +93,23 @@ void DivisionIdIndex::Intersect(const std::vector<ObjectId>& sorted_candidates,
                                 std::vector<ObjectId>* out) const {
   std::vector<ObjectId>& candidates = scratch->candidates;
   candidates.assign(sorted_candidates.begin(), sorted_candidates.end());
+  if (scratch->count) {
+    ++scratch->counters.divisions_visited;
+    scratch->counters.candidates_verified += candidates.size();
+  }
   std::vector<ObjectId>& next = scratch->next;
   for (ElementId e : elements) {
     if (candidates.empty()) return;
     if (!postings_.HasElement(e)) return;
     next.clear();
-    if (postings_.CanProbe() &&
-        postings_.ListLength(e) > 16 * candidates.size()) {
+    const bool probe = postings_.CanProbe() &&
+                       postings_.ListLength(e) > 16 * candidates.size();
+    if (scratch->count) {
+      ++scratch->counters.intersections_performed;
+      scratch->counters.postings_scanned +=
+          probe ? candidates.size() : postings_.ListLength(e);
+    }
+    if (probe) {
       for (ObjectId id : candidates) {
         if (postings_.Probe(e, id) != nullptr) next.push_back(id);
       }
@@ -117,13 +139,24 @@ void DivisionIdIndex::IntersectLists(const std::vector<ElementId>& elements,
     candidates.push_back(entry.id);
     return true;
   });
+  if (scratch->count) {
+    ++scratch->counters.divisions_visited;
+    scratch->counters.postings_scanned += postings_.ListLength(elements[0]);
+  }
   std::vector<ObjectId>& next = scratch->next;
   for (size_t i = 1; i < elements.size(); ++i) {
     if (candidates.empty()) return;
     if (!postings_.HasElement(elements[i])) return;
     next.clear();
-    if (postings_.CanProbe() &&
-        postings_.ListLength(elements[i]) > 16 * candidates.size()) {
+    const bool probe = postings_.CanProbe() &&
+                       postings_.ListLength(elements[i]) >
+                           16 * candidates.size();
+    if (scratch->count) {
+      ++scratch->counters.intersections_performed;
+      scratch->counters.postings_scanned +=
+          probe ? candidates.size() : postings_.ListLength(elements[i]);
+    }
+    if (probe) {
       for (ObjectId id : candidates) {
         if (postings_.Probe(elements[i], id) != nullptr) next.push_back(id);
       }

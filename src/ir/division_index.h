@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/flat_hash_map.h"
+#include "core/query_counters.h"
 #include "data/object.h"
 #include "hint/traversal.h"
 #include "ir/postings.h"
@@ -250,6 +251,11 @@ struct IdEntry {
 struct DivisionQueryScratch {
   std::vector<ObjectId> candidates;
   std::vector<ObjectId> next;
+  // Per-query work tally, filled by the division queries only when the
+  // owning index sets `count` (so disabled counters skip even the
+  // list-length lookups).
+  bool count = false;
+  QueryCounters counters;
 };
 
 /// \brief Temporal inverted file scoped to one HINT (sub)division.

@@ -103,6 +103,10 @@ void TemporalInvertedFile::Query(const irhint::Query& query,
   const PostingsList* first = List(elements[0]);
   if (first == nullptr) return;
 
+  QueryCounters local;
+  local.divisions_visited = 1;
+  local.postings_scanned = first->size();
+
   // Lines 4-6: temporal filter over the least frequent element's list.
   std::vector<ObjectId> candidates;
   for (const Posting& p : *first) {
@@ -110,6 +114,7 @@ void TemporalInvertedFile::Query(const irhint::Query& query,
       candidates.push_back(p.id);
     }
   }
+  local.candidates_verified = candidates.size();
 
   // Lines 7-8: merge-intersect with the remaining lists.
   std::vector<ObjectId> next;
@@ -119,11 +124,15 @@ void TemporalInvertedFile::Query(const irhint::Query& query,
       candidates.clear();
       break;
     }
+    ++local.divisions_visited;
+    ++local.intersections_performed;
+    local.postings_scanned += list->size();
     next.clear();
     IntersectMerge(candidates, *list, &next);
     candidates.swap(next);
   }
   out->swap(candidates);
+  counters_.Accumulate(local);
 }
 
 size_t TemporalInvertedFile::MemoryUsageBytes() const {

@@ -23,7 +23,7 @@
 namespace irhint {
 
 /// \brief The base temporal inverted file.
-class TemporalInvertedFile : public TemporalIrIndex {
+class TemporalInvertedFile : public CountingTemporalIrIndex {
  public:
   TemporalInvertedFile() = default;
 

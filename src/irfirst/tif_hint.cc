@@ -118,6 +118,10 @@ void TifHint::Query(const irhint::Query& query, std::vector<ObjectId>* out) cons
   std::vector<ObjectId> candidates;
   hints_[*first_slot].RangeQuery(query.interval, &candidates);
 
+  QueryCounters local;
+  local.divisions_visited = 1;  // one traversed postings HINT so far
+  local.postings_scanned = candidates.size();
+
   std::vector<ObjectId> next;
   for (size_t i = 1; i < elements.size() && !candidates.empty(); ++i) {
     const uint32_t* slot = element_slot_.find(elements[i]);
@@ -125,6 +129,9 @@ void TifHint::Query(const irhint::Query& query, std::vector<ObjectId>* out) cons
       candidates.clear();
       break;
     }
+    ++local.divisions_visited;
+    ++local.intersections_performed;
+    local.candidates_verified += candidates.size();
     std::sort(candidates.begin(), candidates.end());
     next.clear();
     if (options_.mode == TifHintMode::kBinarySearch) {
@@ -135,6 +142,7 @@ void TifHint::Query(const irhint::Query& query, std::vector<ObjectId>* out) cons
     candidates.swap(next);
   }
   out->swap(candidates);
+  counters_.Accumulate(local);
 }
 
 size_t TifHint::MemoryUsageBytes() const {

@@ -39,7 +39,7 @@ struct TifHintOptions {
 };
 
 /// \brief The tIF+HINT index (both variants of Section 3.1).
-class TifHint : public TemporalIrIndex {
+class TifHint : public CountingTemporalIrIndex {
  public:
   TifHint() = default;
   explicit TifHint(const TifHintOptions& options) : options_(options) {}

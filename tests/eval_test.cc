@@ -1,10 +1,14 @@
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "common/bits.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "core/factory.h"
 #include "core/naive_scan.h"
 #include "data/query_gen.h"
 #include "data/synthetic.h"
@@ -61,6 +65,163 @@ TEST(RunnerTest, InsertAndEraseBatches) {
   EXPECT_LT(MeasureEraseSeconds(&index, corpus, 0, 100), 0.0);
 }
 
+TEST(RunnerTest, ParallelMeasureQueriesEmptyBatch) {
+  NaiveScan index;
+  const QueryStats stats = ParallelMeasureQueries(index, {}, 4);
+  EXPECT_EQ(stats.num_queries, 0u);
+  EXPECT_EQ(stats.queries_per_second, 0.0);
+}
+
+TEST(RunnerTest, ParallelMeasureQueriesMatchesSerial) {
+  const Corpus corpus = SmallCorpus();
+  NaiveScan index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  WorkloadGenerator generator(corpus, 7);
+  const auto queries = generator.ExtentWorkload(10.0, 1, 50);
+  const QueryStats serial = MeasureQueries(index, queries);
+  const QueryStats parallel = ParallelMeasureQueries(index, queries, 4);
+  EXPECT_EQ(parallel.num_queries, queries.size());
+  EXPECT_EQ(parallel.num_threads, 4u);
+  EXPECT_EQ(parallel.total_results, serial.total_results);
+  EXPECT_GT(parallel.queries_per_second, 0.0);
+  EXPECT_GT(parallel.latency_p50_us, 0.0);
+  EXPECT_GE(parallel.latency_p99_us, parallel.latency_p50_us);
+}
+
+// The read-concurrency contract every index must honor: concurrent const
+// Query() calls on a built index return exactly the serial answer. Runs
+// every factory-constructed index over a randomized workload, comparing
+// sorted per-query result sets and the merged total against serial
+// execution with 4 threads.
+TEST(RunnerTest, ParallelQueriesAreDeterministicForAllIndexes) {
+  SyntheticParams params;
+  params.cardinality = 2000;
+  params.domain = 50000;
+  params.dictionary_size = 100;
+  params.description_size = 6;
+  params.seed = 99;
+  const Corpus corpus = GenerateSynthetic(params);
+  WorkloadGenerator generator(corpus, 31);
+  const auto queries = generator.MixedWorkload(60);
+  ASSERT_FALSE(queries.empty());
+
+  ThreadPool pool(4);
+  for (const IndexKind kind : AllIndexKinds()) {
+    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
+    ASSERT_TRUE(index->Build(corpus).ok()) << IndexKindName(kind);
+
+    std::vector<std::vector<ObjectId>> serial(queries.size());
+    uint64_t serial_total = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      index->Query(queries[i], &serial[i]);
+      std::sort(serial[i].begin(), serial[i].end());
+      serial_total += serial[i].size();
+    }
+
+    std::vector<std::vector<ObjectId>> concurrent(queries.size());
+    pool.ParallelFor(0, queries.size(), [&](size_t i) {
+      index->Query(queries[i], &concurrent[i]);
+      std::sort(concurrent[i].begin(), concurrent[i].end());
+    });
+    uint64_t concurrent_total = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(concurrent[i], serial[i])
+          << IndexKindName(kind) << " query " << i;
+      concurrent_total += concurrent[i].size();
+    }
+    EXPECT_EQ(concurrent_total, serial_total) << IndexKindName(kind);
+  }
+}
+
+TEST(CountersTest, DisabledByDefaultAndZeroed) {
+  const Corpus corpus = SmallCorpus();
+  NaiveScan index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  WorkloadGenerator generator(corpus, 5);
+  const auto queries = generator.ExtentWorkload(10.0, 1, 5);
+  for (const Query& q : queries) {
+    std::vector<ObjectId> out;
+    index.Query(q, &out);
+  }
+  const std::optional<QueryCounters> stats = index.Stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->candidates_verified, 0u);  // collection was off
+  EXPECT_EQ(stats->divisions_visited, 0u);
+}
+
+TEST(CountersTest, SupportedIndexesCountWorkAndReset) {
+  SyntheticParams params;
+  params.cardinality = 1500;
+  params.domain = 40000;
+  params.dictionary_size = 50;
+  params.description_size = 5;
+  params.seed = 17;
+  const Corpus corpus = GenerateSynthetic(params);
+  WorkloadGenerator generator(corpus, 23);
+  const auto queries = generator.ExtentWorkload(20.0, 2, 30);
+
+  const IndexKind counting_kinds[] = {
+      IndexKind::kNaiveScan,          IndexKind::kTif,
+      IndexKind::kTifHintBinarySearch, IndexKind::kTifHintMergeSort,
+      IndexKind::kIrHintPerf,         IndexKind::kIrHintSize,
+  };
+  for (const IndexKind kind : counting_kinds) {
+    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
+    ASSERT_TRUE(index->Build(corpus).ok()) << IndexKindName(kind);
+    index->EnableStats(true);
+    std::vector<ObjectId> out;
+    for (const Query& q : queries) index->Query(q, &out);
+    const std::optional<QueryCounters> stats = index->Stats();
+    ASSERT_TRUE(stats.has_value()) << IndexKindName(kind);
+    const uint64_t work = stats->divisions_visited + stats->postings_scanned +
+                          stats->intersections_performed +
+                          stats->candidates_verified;
+    EXPECT_GT(work, 0u) << IndexKindName(kind);
+
+    index->ResetStats();
+    const std::optional<QueryCounters> cleared = index->Stats();
+    ASSERT_TRUE(cleared.has_value());
+    EXPECT_EQ(cleared->divisions_visited, 0u) << IndexKindName(kind);
+    EXPECT_EQ(cleared->postings_scanned, 0u) << IndexKindName(kind);
+    EXPECT_EQ(cleared->intersections_performed, 0u) << IndexKindName(kind);
+    EXPECT_EQ(cleared->candidates_verified, 0u) << IndexKindName(kind);
+  }
+}
+
+TEST(CountersTest, CountersMergeAcrossThreads) {
+  SyntheticParams params;
+  params.cardinality = 1000;
+  params.domain = 30000;
+  params.dictionary_size = 40;
+  params.description_size = 5;
+  params.seed = 29;
+  const Corpus corpus = GenerateSynthetic(params);
+  WorkloadGenerator generator(corpus, 41);
+  const auto queries = generator.ExtentWorkload(20.0, 2, 40);
+
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(IndexKind::kIrHintPerf);
+  ASSERT_TRUE(index->Build(corpus).ok());
+  index->EnableStats(true);
+
+  // Serial reference tally.
+  std::vector<ObjectId> out;
+  for (const Query& q : queries) index->Query(q, &out);
+  const QueryCounters serial = *index->Stats();
+
+  // The same batch from 4 threads must merge to the same totals.
+  index->ResetStats();
+  ThreadPool pool(4);
+  pool.ParallelFor(0, queries.size(), [&](size_t i) {
+    std::vector<ObjectId> local;
+    index->Query(queries[i], &local);
+  });
+  const QueryCounters merged = *index->Stats();
+  EXPECT_EQ(merged.divisions_visited, serial.divisions_visited);
+  EXPECT_EQ(merged.postings_scanned, serial.postings_scanned);
+  EXPECT_EQ(merged.intersections_performed, serial.intersections_performed);
+  EXPECT_EQ(merged.candidates_verified, serial.candidates_verified);
+}
+
 TEST(RunnerTest, EnvKnobs) {
   unsetenv("IRHINT_SCALE");
   EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
@@ -75,6 +236,14 @@ TEST(RunnerTest, EnvKnobs) {
   setenv("IRHINT_QUERIES", "777", 1);
   EXPECT_EQ(BenchQueriesFromEnv(123), 777u);
   unsetenv("IRHINT_QUERIES");
+
+  unsetenv("IRHINT_THREADS");
+  EXPECT_EQ(BenchThreadsFromEnv(1), 1u);
+  setenv("IRHINT_THREADS", "4", 1);
+  EXPECT_EQ(BenchThreadsFromEnv(1), 4u);
+  setenv("IRHINT_THREADS", "-2", 1);
+  EXPECT_EQ(BenchThreadsFromEnv(3), 3u);
+  unsetenv("IRHINT_THREADS");
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

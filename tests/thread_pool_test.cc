@@ -1,0 +1,136 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace irhint {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&done] { done.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(done.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(0, visits.size(),
+                   [&visits](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsBounds) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<size_t> seen;
+  pool.ParallelFor(17, 113, [&](size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(i);
+  });
+  ASSERT_EQ(seen.size(), 113u - 17u);
+  EXPECT_EQ(*seen.begin(), 17u);
+  EXPECT_EQ(*seen.rbegin(), 112u);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndInvertedRangesAreNoOps) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&calls](size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(9, 3, [&calls](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeOnWidePool) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 3, [&calls](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.ParallelFor(0, 64,
+                                [&completed](size_t i) {
+                                  if (i == 20) {
+                                    throw std::runtime_error("task failed");
+                                  }
+                                  completed.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // Every non-throwing index still ran: a failed chunk does not cancel the
+  // others.
+  EXPECT_EQ(completed.load(), 63);
+  // The pool is still usable afterwards.
+  std::atomic<int> after{0};
+  pool.ParallelFor(0, 8, [&after](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexIsDenseInsidePoolAndMinusOneOutside) {
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<int> indexes;
+  pool.ParallelFor(0, 64, [&](size_t) {
+    const int w = ThreadPool::CurrentWorkerIndex();
+    std::lock_guard<std::mutex> lock(mu);
+    indexes.insert(w);
+  });
+  ASSERT_FALSE(indexes.empty());
+  EXPECT_GE(*indexes.begin(), 0);
+  EXPECT_LT(*indexes.rbegin(), 3);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountReadsEnv) {
+  unsetenv("IRHINT_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  setenv("IRHINT_THREADS", "7", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 7u);
+  setenv("IRHINT_THREADS", "bogus", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  unsetenv("IRHINT_THREADS");
+}
+
+TEST(ThreadPoolTest, ZeroRequestedThreadsUsesDefault) {
+  setenv("IRHINT_THREADS", "2", 1);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  unsetenv("IRHINT_THREADS");
+}
+
+}  // namespace
+}  // namespace irhint

@@ -9,6 +9,8 @@
 //       --in FILE
 //   bench      build one index over a corpus and measure throughput
 //       --in FILE [--index NAME] [--queries N] [--extent PCT] [--k K]
+//       [--threads N] (0/1 = serial; defaults to IRHINT_THREADS)
+//       [--stats 1]   (collect and print per-index work counters)
 //   query      evaluate one time-travel IR query
 //       --in FILE --st T --end T --elements e1,e2,... [--index NAME]
 //
@@ -156,10 +158,48 @@ int Bench(const Args& args) {
       args.GetDouble("extent", 0.1),
       static_cast<uint32_t>(args.GetU64("k", 3)),
       args.GetU64("queries", 1000));
-  const QueryStats stats = MeasureQueries(*index, queries);
-  std::printf("%zu queries: %.0f queries/s (%llu results)\n",
-              queries.size(), stats.queries_per_second,
-              static_cast<unsigned long long>(stats.total_results));
+
+  const bool collect_stats = args.GetU64("stats", 0) != 0;
+  if (collect_stats) index->EnableStats(true);
+
+  // A negative --threads would wrap to a huge size_t; treat it as serial.
+  const long long threads_flag = static_cast<long long>(
+      args.GetU64("threads", BenchThreadsFromEnv(1)));
+  const size_t threads =
+      threads_flag > 0 ? static_cast<size_t>(threads_flag) : 1;
+  if (threads > 1) {
+    const QueryStats stats = ParallelMeasureQueries(*index, queries, threads);
+    std::printf(
+        "%zu queries x %zu threads: %.0f queries/s (%llu results, "
+        "p50 %.1f us, p99 %.1f us)\n",
+        queries.size(), stats.num_threads, stats.queries_per_second,
+        static_cast<unsigned long long>(stats.total_results),
+        stats.latency_p50_us, stats.latency_p99_us);
+  } else {
+    const QueryStats stats = MeasureQueries(*index, queries);
+    std::printf("%zu queries: %.0f queries/s (%llu results)\n",
+                queries.size(), stats.queries_per_second,
+                static_cast<unsigned long long>(stats.total_results));
+  }
+
+  if (collect_stats) {
+    if (const std::optional<QueryCounters> counters = index->Stats()) {
+      std::printf("work counters:\n");
+      std::printf("  divisions_visited        %llu\n",
+                  static_cast<unsigned long long>(counters->divisions_visited));
+      std::printf("  postings_scanned         %llu\n",
+                  static_cast<unsigned long long>(counters->postings_scanned));
+      std::printf(
+          "  intersections_performed  %llu\n",
+          static_cast<unsigned long long>(counters->intersections_performed));
+      std::printf(
+          "  candidates_verified      %llu\n",
+          static_cast<unsigned long long>(counters->candidates_verified));
+    } else {
+      std::printf("work counters: not supported by %s\n",
+                  std::string(index->Name()).c_str());
+    }
+  }
   return 0;
 }
 
