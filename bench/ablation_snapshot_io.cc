@@ -1,0 +1,116 @@
+// Ablation D: snapshot persistence — cold-start load (mmap zero-copy vs
+// buffered copying) against a full rebuild, and the save cost, for the two
+// irHINT variants. Quantifies the "build once, serve many" win: the mmap
+// path defers posting materialization entirely, so load time is dominated
+// by directory reconstruction.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/factory.h"
+#include "data/synthetic.h"
+#include "storage/index_io.h"
+
+namespace irhint {
+namespace {
+
+constexpr uint64_t kCardinality = 200000;
+
+const Corpus& SharedCorpus() {
+  static const Corpus* corpus = [] {
+    SyntheticParams params;
+    params.cardinality = kCardinality;
+    params.domain = 8'000'000;
+    params.sigma = 500'000;
+    params.dictionary_size = 5000;
+    params.description_size = 8;
+    params.seed = 23;
+    return new Corpus(GenerateSynthetic(params));
+  }();
+  return *corpus;
+}
+
+std::string SnapshotPath(IndexKind kind) {
+  return "/tmp/irhint_bench_" +
+         std::to_string(static_cast<int>(kind)) + ".irh";
+}
+
+// Build once per kind, save once; benchmarks then measure load paths.
+const std::string& EnsureSnapshot(IndexKind kind) {
+  static std::string paths[16];
+  std::string& path = paths[static_cast<int>(kind)];
+  if (path.empty()) {
+    path = SnapshotPath(kind);
+    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
+    if (index->Build(SharedCorpus()).ok()) {
+      SaveIndex(*index, path).ok();
+    }
+  }
+  return path;
+}
+
+void BM_Rebuild(benchmark::State& state, IndexKind kind) {
+  const Corpus& corpus = SharedCorpus();
+  for (auto _ : state) {
+    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
+    if (!index->Build(corpus).ok()) {
+      state.SkipWithError("build failed");
+      return;
+    }
+    benchmark::DoNotOptimize(index.get());
+  }
+}
+
+void BM_Load(benchmark::State& state, IndexKind kind, bool use_mmap) {
+  const std::string& path = EnsureSnapshot(kind);
+  SnapshotReadOptions options;
+  options.use_mmap = use_mmap;
+  for (auto _ : state) {
+    StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(path, options);
+    if (!loaded.ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded->index.get());
+  }
+}
+
+void BM_Save(benchmark::State& state, IndexKind kind) {
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
+  if (!index->Build(SharedCorpus()).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  const std::string path = SnapshotPath(kind) + ".save";
+  for (auto _ : state) {
+    if (!SaveIndex(*index, path).ok()) {
+      state.SkipWithError("save failed");
+      return;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+#define SNAPSHOT_BENCHES(name, kind)                                   \
+  void BM_##name##_Rebuild(benchmark::State& s) { BM_Rebuild(s, kind); } \
+  BENCHMARK(BM_##name##_Rebuild)->Unit(benchmark::kMillisecond);       \
+  void BM_##name##_LoadMmap(benchmark::State& s) {                     \
+    BM_Load(s, kind, true);                                            \
+  }                                                                    \
+  BENCHMARK(BM_##name##_LoadMmap)->Unit(benchmark::kMillisecond);      \
+  void BM_##name##_LoadBuffered(benchmark::State& s) {                 \
+    BM_Load(s, kind, false);                                           \
+  }                                                                    \
+  BENCHMARK(BM_##name##_LoadBuffered)->Unit(benchmark::kMillisecond);  \
+  void BM_##name##_Save(benchmark::State& s) { BM_Save(s, kind); }     \
+  BENCHMARK(BM_##name##_Save)->Unit(benchmark::kMillisecond);
+
+SNAPSHOT_BENCHES(IrHintPerf, IndexKind::kIrHintPerf)
+SNAPSHOT_BENCHES(IrHintSize, IndexKind::kIrHintSize)
+SNAPSHOT_BENCHES(Tif, IndexKind::kTif)
+
+}  // namespace
+}  // namespace irhint

@@ -8,21 +8,10 @@
 #include <string_view>
 #include <vector>
 
+#include "core/index_kind.h"
 #include "core/temporal_ir_index.h"
 
 namespace irhint {
-
-enum class IndexKind {
-  kNaiveScan,
-  kTif,
-  kTifSlicing,
-  kTifSharding,
-  kTifHintBinarySearch,
-  kTifHintMergeSort,
-  kTifHintSlicing,
-  kIrHintPerf,
-  kIrHintSize,
-};
 
 /// \brief Tuning knobs for all index kinds (each kind reads only its own).
 struct IndexConfig {

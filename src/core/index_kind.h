@@ -1,0 +1,24 @@
+// IndexKind lives in its own header so that temporal_ir_index.h (which
+// every index implements and whose Kind() returns one) does not need the
+// full factory interface.
+
+#ifndef IRHINT_CORE_INDEX_KIND_H_
+#define IRHINT_CORE_INDEX_KIND_H_
+
+namespace irhint {
+
+enum class IndexKind {
+  kNaiveScan,
+  kTif,
+  kTifSlicing,
+  kTifSharding,
+  kTifHintBinarySearch,
+  kTifHintMergeSort,
+  kTifHintSlicing,
+  kIrHintPerf,
+  kIrHintSize,
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_CORE_INDEX_KIND_H_

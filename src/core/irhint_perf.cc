@@ -212,4 +212,87 @@ size_t IrHintPerf::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status IrHintPerf::SaveTo(SnapshotWriter* writer) const {
+  writer->BeginSection(kSectionMeta);
+  writer->WriteI32(options_.num_bits);
+  writer->WriteI32(m_);
+  writer->WriteU64(mapper_.domain_end());
+  writer->WriteU8(built_ ? 1 : 0);
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionPayload);
+  for (int level = 0; level < levels_.num_levels(); ++level) {
+    writer->WriteVector(levels_.keys(level));
+    for (const Partition& part : levels_.parts(level)) {
+      for (const DivisionTif& sub : part.subs) {
+        sub.SaveTo(writer);
+      }
+    }
+  }
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionAux);
+  writer->WriteU64(overflow_.size());
+  for (const Object& o : overflow_) {
+    writer->WriteU32(o.id);
+    writer->WriteU64(o.interval.st);
+    writer->WriteU64(o.interval.end);
+    writer->WriteVector(o.elements);
+  }
+  writer->WriteVector(frequencies_);
+  return writer->EndSection();
+}
+
+Status IrHintPerf::LoadFrom(SnapshotReader* reader) {
+  auto meta = reader->OpenSection(kSectionMeta);
+  IRHINT_RETURN_NOT_OK(meta.status());
+  uint64_t domain_end;
+  uint8_t built;
+  IRHINT_RETURN_NOT_OK(meta->ReadI32(&options_.num_bits));
+  IRHINT_RETURN_NOT_OK(meta->ReadI32(&m_));
+  IRHINT_RETURN_NOT_OK(meta->ReadU64(&domain_end));
+  IRHINT_RETURN_NOT_OK(meta->ReadU8(&built));
+  if (m_ < 0 || m_ > 30) {
+    return Status::Corruption("irhint snapshot has invalid m");
+  }
+  mapper_ = DomainMapper(domain_end, m_);
+  built_ = built != 0;
+
+  auto payload = reader->OpenSection(kSectionPayload);
+  IRHINT_RETURN_NOT_OK(payload.status());
+  levels_.Init(m_);
+  for (int level = 0; level <= m_; ++level) {
+    std::vector<uint64_t> keys;
+    IRHINT_RETURN_NOT_OK(payload->ReadVector(&keys));
+    std::vector<Partition> parts(keys.size());
+    for (Partition& part : parts) {
+      for (DivisionTif& sub : part.subs) {
+        IRHINT_RETURN_NOT_OK(sub.LoadFrom(&payload.value()));
+      }
+    }
+    levels_.RestoreLevel(level, std::move(keys), std::move(parts));
+  }
+
+  auto aux = reader->OpenSection(kSectionAux);
+  IRHINT_RETURN_NOT_OK(aux.status());
+  uint64_t num_overflow;
+  IRHINT_RETURN_NOT_OK(aux->ReadU64(&num_overflow));
+  if (num_overflow > aux->remaining() / 28) {
+    // 28 = minimum bytes per overflow object record.
+    return Status::Corruption("irhint snapshot overflow count out of bounds");
+  }
+  overflow_.clear();
+  overflow_.reserve(static_cast<size_t>(num_overflow));
+  for (uint64_t i = 0; i < num_overflow; ++i) {
+    Object o;
+    IRHINT_RETURN_NOT_OK(aux->ReadU32(&o.id));
+    IRHINT_RETURN_NOT_OK(aux->ReadU64(&o.interval.st));
+    IRHINT_RETURN_NOT_OK(aux->ReadU64(&o.interval.end));
+    IRHINT_RETURN_NOT_OK(aux->ReadVector(&o.elements));
+    overflow_.push_back(std::move(o));
+  }
+  IRHINT_RETURN_NOT_OK(aux->ReadVector(&frequencies_));
+  return Status::OK();
+}
+
 }  // namespace irhint

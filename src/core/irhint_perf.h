@@ -43,6 +43,9 @@ class IrHintPerf : public CountingTemporalIrIndex {
   Status Erase(const Object& object) override;
   size_t MemoryUsageBytes() const override;
   std::string_view Name() const override { return "irHINT-perf"; }
+  IndexKind Kind() const override { return IndexKind::kIrHintPerf; }
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
 
   int m() const { return m_; }
   uint64_t Frequency(ElementId e) const {

@@ -19,35 +19,42 @@ void IrHintSize::ForAssignments(const Interval& interval, Fn&& fn) {
   });
 }
 
-void IrHintSize::SortedInsert(PostingsList* entries, SubdivRole role,
+void IrHintSize::SortedInsert(FlatArray<Posting>* entries, SubdivRole role,
                               const Posting& posting) {
   // Beneficial sorting: O_in/O_aft ascending by start, R_in descending by
-  // end, R_aft unsorted (no comparisons ever reach it).
-  PostingsList::iterator pos;
+  // end, R_aft unsorted (no comparisons ever reach it). The search runs on
+  // the read-only span; insert() materializes a mapped view if needed.
+  const std::span<const Posting> view = entries->span();
+  size_t pos;
   switch (role) {
     case kOin:
     case kOaft:
-      pos = std::upper_bound(entries->begin(), entries->end(), posting,
-                             [](const Posting& a, const Posting& b) {
-                               return a.st < b.st;
-                             });
+      pos = static_cast<size_t>(
+          std::upper_bound(view.begin(), view.end(), posting,
+                           [](const Posting& a, const Posting& b) {
+                             return a.st < b.st;
+                           }) -
+          view.begin());
       break;
     case kRin:
-      pos = std::upper_bound(entries->begin(), entries->end(), posting,
-                             [](const Posting& a, const Posting& b) {
-                               return a.end > b.end;
-                             });
+      pos = static_cast<size_t>(
+          std::upper_bound(view.begin(), view.end(), posting,
+                           [](const Posting& a, const Posting& b) {
+                             return a.end > b.end;
+                           }) -
+          view.begin());
       break;
     case kRaft:
     default:
-      pos = entries->end();
+      pos = view.size();
       break;
   }
   entries->insert(pos, posting);
 }
 
-void IrHintSize::ScanIntervals(const PostingsList& entries, SubdivRole role,
-                               CheckMode mode, const Interval& q,
+void IrHintSize::ScanIntervals(const FlatArray<Posting>& entries,
+                               SubdivRole role, CheckMode mode,
+                               const Interval& q,
                                std::vector<ObjectId>* candidates) {
   const size_t n = entries.size();
   switch (mode) {
@@ -153,13 +160,17 @@ Status IrHintSize::Build(const Corpus& corpus) {
   }
   levels_.ForEachMutable([](int, uint64_t, Partition& part) {
     // Beneficial sorting per subdivision (R_aft needs no order).
-    std::sort(part.intervals[kOin].begin(), part.intervals[kOin].end(),
+    const auto sort_with = [](FlatArray<Posting>& list, auto cmp) {
+      std::span<Posting> s = list.MutableSpan();
+      std::sort(s.begin(), s.end(), cmp);
+    };
+    sort_with(part.intervals[kOin],
               [](const Posting& a, const Posting& b) { return a.st < b.st; });
-    std::sort(part.intervals[kOaft].begin(), part.intervals[kOaft].end(),
+    sort_with(part.intervals[kOaft],
               [](const Posting& a, const Posting& b) { return a.st < b.st; });
-    std::sort(part.intervals[kRin].begin(), part.intervals[kRin].end(),
+    sort_with(part.intervals[kRin],
               [](const Posting& a, const Posting& b) { return a.end > b.end; });
-    for (PostingsList& list : part.intervals) list.shrink_to_fit();
+    for (FlatArray<Posting>& list : part.intervals) list.shrink_to_fit();
     part.originals_index.Finalize();
     part.replicas_index.Finalize();
   });
@@ -227,9 +238,12 @@ Status IrHintSize::Erase(const Object& object) {
                  [&](const PartitionRef& ref, SubdivRole role) {
                    Partition* part = levels_.Find(ref.level, ref.index);
                    if (part == nullptr) return;
-                   for (Posting& p : part->intervals[role]) {
-                     if (p.id == object.id) {
-                       p.id = kTombstoneId;
+                   FlatArray<Posting>& list = part->intervals[role];
+                   for (size_t i = 0; i < list.size(); ++i) {
+                     if (list[i].id == object.id) {
+                       // Materialize only on a hit so misses leave mapped
+                       // subdivisions untouched.
+                       list.MutableData()[i].id = kTombstoneId;
                        ++tombstoned;
                        break;
                      }
@@ -358,13 +372,100 @@ size_t IrHintSize::MemoryUsageBytes() const {
   }
   bytes += frequencies_.capacity() * sizeof(uint64_t);
   levels_.ForEach([&bytes](int, uint64_t, const Partition& part) {
-    for (const PostingsList& list : part.intervals) {
-      bytes += list.capacity() * sizeof(Posting);
+    for (const FlatArray<Posting>& list : part.intervals) {
+      bytes += list.MemoryUsageBytes();
     }
     bytes += part.originals_index.MemoryUsageBytes();
     bytes += part.replicas_index.MemoryUsageBytes();
   });
   return bytes;
+}
+
+Status IrHintSize::SaveTo(SnapshotWriter* writer) const {
+  writer->BeginSection(kSectionMeta);
+  writer->WriteI32(options_.num_bits);
+  writer->WriteI32(m_);
+  writer->WriteU64(mapper_.domain_end());
+  writer->WriteU8(built_ ? 1 : 0);
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionPayload);
+  for (int level = 0; level < levels_.num_levels(); ++level) {
+    writer->WriteVector(levels_.keys(level));
+    for (const Partition& part : levels_.parts(level)) {
+      for (const FlatArray<Posting>& list : part.intervals) {
+        writer->WriteFlatArray(list);
+      }
+      part.originals_index.SaveTo(writer);
+      part.replicas_index.SaveTo(writer);
+    }
+  }
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionAux);
+  writer->WriteU64(overflow_.size());
+  for (const Object& o : overflow_) {
+    writer->WriteU32(o.id);
+    writer->WriteU64(o.interval.st);
+    writer->WriteU64(o.interval.end);
+    writer->WriteVector(o.elements);
+  }
+  writer->WriteVector(frequencies_);
+  return writer->EndSection();
+}
+
+Status IrHintSize::LoadFrom(SnapshotReader* reader) {
+  auto meta = reader->OpenSection(kSectionMeta);
+  IRHINT_RETURN_NOT_OK(meta.status());
+  uint64_t domain_end;
+  uint8_t built;
+  IRHINT_RETURN_NOT_OK(meta->ReadI32(&options_.num_bits));
+  IRHINT_RETURN_NOT_OK(meta->ReadI32(&m_));
+  IRHINT_RETURN_NOT_OK(meta->ReadU64(&domain_end));
+  IRHINT_RETURN_NOT_OK(meta->ReadU8(&built));
+  if (m_ < 0 || m_ > 30) {
+    return Status::Corruption("irhint snapshot has invalid m");
+  }
+  mapper_ = DomainMapper(domain_end, m_);
+  built_ = built != 0;
+
+  auto payload = reader->OpenSection(kSectionPayload);
+  IRHINT_RETURN_NOT_OK(payload.status());
+  levels_.Init(m_);
+  for (int level = 0; level <= m_; ++level) {
+    std::vector<uint64_t> keys;
+    IRHINT_RETURN_NOT_OK(payload->ReadVector(&keys));
+    std::vector<Partition> parts(keys.size());
+    for (Partition& part : parts) {
+      for (FlatArray<Posting>& list : part.intervals) {
+        IRHINT_RETURN_NOT_OK(payload->ReadFlatArray(&list));
+      }
+      IRHINT_RETURN_NOT_OK(part.originals_index.LoadFrom(&payload.value()));
+      IRHINT_RETURN_NOT_OK(part.replicas_index.LoadFrom(&payload.value()));
+    }
+    levels_.RestoreLevel(level, std::move(keys), std::move(parts));
+  }
+
+  auto aux = reader->OpenSection(kSectionAux);
+  IRHINT_RETURN_NOT_OK(aux.status());
+  uint64_t num_overflow;
+  IRHINT_RETURN_NOT_OK(aux->ReadU64(&num_overflow));
+  if (num_overflow > aux->remaining() / 28) {
+    // 28 = minimum bytes per overflow object record.
+    return Status::Corruption("irhint snapshot overflow count out of bounds");
+  }
+  overflow_.clear();
+  overflow_.reserve(static_cast<size_t>(num_overflow));
+  for (uint64_t i = 0; i < num_overflow; ++i) {
+    Object o;
+    IRHINT_RETURN_NOT_OK(aux->ReadU32(&o.id));
+    IRHINT_RETURN_NOT_OK(aux->ReadU64(&o.interval.st));
+    IRHINT_RETURN_NOT_OK(aux->ReadU64(&o.interval.end));
+    IRHINT_RETURN_NOT_OK(aux->ReadVector(&o.elements));
+    overflow_.push_back(std::move(o));
+  }
+  IRHINT_RETURN_NOT_OK(aux->ReadVector(&frequencies_));
+  return Status::OK();
 }
 
 }  // namespace irhint

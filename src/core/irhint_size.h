@@ -25,6 +25,7 @@
 #include "hint/traversal.h"
 #include "ir/division_index.h"
 #include "ir/postings.h"
+#include "storage/flat_array.h"
 
 namespace irhint {
 
@@ -45,6 +46,9 @@ class IrHintSize : public CountingTemporalIrIndex {
   Status Erase(const Object& object) override;
   size_t MemoryUsageBytes() const override;
   std::string_view Name() const override { return "irHINT-size"; }
+  IndexKind Kind() const override { return IndexKind::kIrHintSize; }
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
 
   int m() const { return m_; }
   uint64_t Frequency(ElementId e) const {
@@ -55,9 +59,10 @@ class IrHintSize : public CountingTemporalIrIndex {
   enum SubdivRole { kOin = 0, kOaft = 1, kRin = 2, kRaft = 3 };
 
   struct Partition {
-    // Interval store: one beneficial-sorted entry vector per subdivision
-    // (O_in/O_aft by ascending start, R_in by descending end).
-    PostingsList intervals[4];
+    // Interval store: one beneficial-sorted entry array per subdivision
+    // (O_in/O_aft by ascending start, R_in by descending end). FlatArray so
+    // a snapshot load can alias the mapped file without copying.
+    FlatArray<Posting> intervals[4];
     // Id-only inverted indexes, one per division.
     DivisionIdIndex originals_index;
     DivisionIdIndex replicas_index;
@@ -68,11 +73,12 @@ class IrHintSize : public CountingTemporalIrIndex {
 
   // Scan one subdivision's interval store under `mode`, appending
   // qualifying live ids to candidates.
-  static void ScanIntervals(const PostingsList& entries, SubdivRole role,
-                            CheckMode mode, const Interval& q,
+  static void ScanIntervals(const FlatArray<Posting>& entries,
+                            SubdivRole role, CheckMode mode,
+                            const Interval& q,
                             std::vector<ObjectId>* candidates);
 
-  static void SortedInsert(PostingsList* entries, SubdivRole role,
+  static void SortedInsert(FlatArray<Posting>* entries, SubdivRole role,
                            const Posting& posting);
 
   IrHintSizeOptions options_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+
 namespace irhint {
 
 Status NaiveScan::Build(const Corpus& corpus) {
@@ -59,6 +62,52 @@ size_t NaiveScan::MemoryUsageBytes() const {
   bytes += slot_of_.MemoryUsageBytes();
   bytes += deleted_.capacity() / 8;
   return bytes;
+}
+
+Status NaiveScan::SaveTo(SnapshotWriter* writer) const {
+  writer->BeginSection(kSectionPayload);
+  writer->WriteU64(objects_.size());
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    const Object& o = objects_[i];
+    writer->WriteU32(o.id);
+    writer->WriteU64(o.interval.st);
+    writer->WriteU64(o.interval.end);
+    writer->WriteVector(o.elements);
+    writer->WriteU8(deleted_[i] ? 1 : 0);
+  }
+  return writer->EndSection();
+}
+
+Status NaiveScan::LoadFrom(SnapshotReader* reader) {
+  auto cursor = reader->OpenSection(kSectionPayload);
+  IRHINT_RETURN_NOT_OK(cursor.status());
+  SectionCursor& cur = cursor.value();
+  uint64_t count;
+  IRHINT_RETURN_NOT_OK(cur.ReadU64(&count));
+  if (count > cur.remaining() / 21) {
+    // 21 = minimum bytes per object record; rejects absurd counts.
+    return Status::Corruption("naive_scan snapshot object count out of "
+                              "bounds");
+  }
+  objects_.clear();
+  objects_.reserve(static_cast<size_t>(count));
+  deleted_.clear();
+  deleted_.reserve(static_cast<size_t>(count));
+  slot_of_.clear();
+  slot_of_.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Object o;
+    uint8_t is_deleted;
+    IRHINT_RETURN_NOT_OK(cur.ReadU32(&o.id));
+    IRHINT_RETURN_NOT_OK(cur.ReadU64(&o.interval.st));
+    IRHINT_RETURN_NOT_OK(cur.ReadU64(&o.interval.end));
+    IRHINT_RETURN_NOT_OK(cur.ReadVector(&o.elements));
+    IRHINT_RETURN_NOT_OK(cur.ReadU8(&is_deleted));
+    slot_of_.insert_or_assign(o.id, static_cast<uint32_t>(objects_.size()));
+    objects_.push_back(std::move(o));
+    deleted_.push_back(is_deleted != 0);
+  }
+  return Status::OK();
 }
 
 }  // namespace irhint

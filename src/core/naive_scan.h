@@ -23,6 +23,9 @@ class NaiveScan : public CountingTemporalIrIndex {
   Status Erase(const Object& object) override;
   size_t MemoryUsageBytes() const override;
   std::string_view Name() const override { return "NaiveScan"; }
+  IndexKind Kind() const override { return IndexKind::kNaiveScan; }
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
 
  private:
   std::vector<Object> objects_;

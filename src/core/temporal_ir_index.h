@@ -6,16 +6,21 @@
 #ifndef IRHINT_CORE_TEMPORAL_IR_INDEX_H_
 #define IRHINT_CORE_TEMPORAL_IR_INDEX_H_
 
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "core/index_kind.h"
 #include "core/query_counters.h"
 #include "data/corpus.h"
 #include "data/object.h"
 
 namespace irhint {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 /// \brief Abstract time-travel IR index.
 ///
@@ -61,6 +66,28 @@ class TemporalIrIndex {
 
   /// \brief Stable display name, e.g. "irHINT-perf".
   virtual std::string_view Name() const = 0;
+
+  /// \brief Which factory kind this index is (drives snapshot tagging).
+  virtual IndexKind Kind() const = 0;
+
+  /// \brief Serialize the built index into an open SnapshotWriter. The
+  /// writer's header/kind is managed by SaveIndex (storage/index_io.h);
+  /// implementations only emit their sections.
+  virtual Status SaveTo(SnapshotWriter* writer) const = 0;
+
+  /// \brief Restore state from a validated snapshot, replacing any current
+  /// contents. On the mmap path large arrays become zero-copy views; the
+  /// caller (LoadIndexSnapshot) hands the mapping to set_storage_keepalive()
+  /// afterwards so those views stay valid.
+  virtual Status LoadFrom(SnapshotReader* reader) = 0;
+
+  /// \brief Retain the resource (e.g. an mmap) backing zero-copy views.
+  void set_storage_keepalive(std::shared_ptr<void> keepalive) {
+    storage_keepalive_ = std::move(keepalive);
+  }
+
+ protected:
+  std::shared_ptr<void> storage_keepalive_;
 };
 
 /// \brief Convenience base for indexes that maintain QueryCounters: owns

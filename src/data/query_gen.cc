@@ -121,7 +121,7 @@ std::vector<Query> WorkloadGenerator::FrequencyBinWorkload(
     ++attempts;
     const ElementId seed_element =
         bin_elements[rng_.Uniform(bin_elements.size())];
-    const PostingsList* list = tif_.List(seed_element);
+    const auto* list = tif_.List(seed_element);
     if (list == nullptr || list->empty()) continue;
     const Posting& posting = (*list)[rng_.Uniform(list->size())];
     if (posting.id == kTombstoneId) continue;

@@ -1,84 +1,102 @@
 #include "data/serialize.h"
 
 #include <cstdint>
-#include <cstdio>
-#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
 
 namespace irhint {
 
-namespace {
-
-constexpr uint64_t kMagic = 0x4952484e54435231ULL;  // "IRHNTCR1"
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-bool WriteU64(std::FILE* f, uint64_t v) {
-  return std::fwrite(&v, sizeof(v), 1, f) == 1;
-}
-
-bool ReadU64(std::FILE* f, uint64_t* v) {
-  return std::fread(v, sizeof(*v), 1, f) == 1;
-}
-
-}  // namespace
-
 Status SaveCorpus(const Corpus& corpus, const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) return Status::IoError("cannot open " + path);
-  std::FILE* f = file.get();
-  if (!WriteU64(f, kMagic) || !WriteU64(f, corpus.size()) ||
-      !WriteU64(f, corpus.domain_end()) ||
-      !WriteU64(f, corpus.dictionary().size())) {
-    return Status::IoError("write failed: " + path);
+  SnapshotWriter writer;
+  IRHINT_RETURN_NOT_OK(writer.Open(path, SnapshotKind::kCorpus));
+
+  writer.BeginSection(kSectionMeta);
+  writer.WriteU64(corpus.size());
+  writer.WriteU64(corpus.domain_end());
+  writer.WriteU64(corpus.dictionary().size());
+  IRHINT_RETURN_NOT_OK(writer.EndSection());
+
+  // Dictionary: frequencies always; term strings when the dictionary is
+  // textual (interned ids are dense, so position i holds term i).
+  const Dictionary& dict = corpus.dictionary();
+  const bool textual = dict.size() > 0 && !dict.Term(0).empty();
+  writer.BeginSection(kSectionDictionary);
+  writer.WriteU8(textual ? 1 : 0);
+  writer.WriteVector(dict.frequencies());
+  if (textual) {
+    for (size_t e = 0; e < dict.size(); ++e) {
+      writer.WriteString(dict.Term(static_cast<ElementId>(e)));
+    }
   }
+  IRHINT_RETURN_NOT_OK(writer.EndSection());
+
+  writer.BeginSection(kSectionObjects);
   for (const Object& o : corpus.objects()) {
-    if (!WriteU64(f, o.interval.st) || !WriteU64(f, o.interval.end) ||
-        !WriteU64(f, o.elements.size())) {
-      return Status::IoError("write failed: " + path);
-    }
-    if (!o.elements.empty() &&
-        std::fwrite(o.elements.data(), sizeof(ElementId), o.elements.size(),
-                    f) != o.elements.size()) {
-      return Status::IoError("write failed: " + path);
-    }
+    writer.WriteU64(o.interval.st);
+    writer.WriteU64(o.interval.end);
+    writer.WriteVector(o.elements);
   }
-  return Status::OK();
+  IRHINT_RETURN_NOT_OK(writer.EndSection());
+  return writer.Finish();
 }
 
 StatusOr<Corpus> LoadCorpus(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) return Status::IoError("cannot open " + path);
-  std::FILE* f = file.get();
-  uint64_t magic, count, domain_end, dict_size;
-  if (!ReadU64(f, &magic) || magic != kMagic) {
-    return Status::Corruption("bad magic in " + path);
+  SnapshotReader reader;
+  IRHINT_RETURN_NOT_OK(reader.Open(path));
+  if (reader.kind() != static_cast<uint32_t>(SnapshotKind::kCorpus)) {
+    return Status::Corruption("snapshot is not a corpus: " + path);
   }
-  if (!ReadU64(f, &count) || !ReadU64(f, &domain_end) ||
-      !ReadU64(f, &dict_size)) {
-    return Status::Corruption("truncated header in " + path);
+
+  auto meta = reader.OpenSection(kSectionMeta);
+  IRHINT_RETURN_NOT_OK(meta.status());
+  uint64_t count, domain_end, dict_size;
+  IRHINT_RETURN_NOT_OK(meta->ReadU64(&count));
+  IRHINT_RETURN_NOT_OK(meta->ReadU64(&domain_end));
+  IRHINT_RETURN_NOT_OK(meta->ReadU64(&dict_size));
+
+  auto dict_cursor = reader.OpenSection(kSectionDictionary);
+  IRHINT_RETURN_NOT_OK(dict_cursor.status());
+  uint8_t textual;
+  std::vector<uint64_t> frequencies;
+  IRHINT_RETURN_NOT_OK(dict_cursor->ReadU8(&textual));
+  IRHINT_RETURN_NOT_OK(dict_cursor->ReadVector(&frequencies));
+  Dictionary dict;
+  if (textual != 0) {
+    for (uint64_t e = 0; e < dict_size; ++e) {
+      std::string term;
+      IRHINT_RETURN_NOT_OK(dict_cursor->ReadString(&term));
+      dict.AddTerm(term);
+    }
+    if (dict.size() != dict_size) {
+      return Status::Corruption("duplicate dictionary terms in " + path);
+    }
+  } else {
+    dict = Dictionary::MakeAnonymous(dict_size);
   }
+
   Corpus corpus;
-  corpus.set_dictionary(Dictionary::MakeAnonymous(dict_size));
+  corpus.set_dictionary(std::move(dict));
   corpus.DeclareDomain(domain_end);
+
+  auto objects = reader.OpenSection(kSectionObjects);
+  IRHINT_RETURN_NOT_OK(objects.status());
+  if (count > objects->remaining() / 24) {
+    // 24 = minimum bytes per object record (st + end + element count).
+    return Status::Corruption("object count out of bounds in " + path);
+  }
   for (uint64_t i = 0; i < count; ++i) {
-    uint64_t st, end, num_elements;
-    if (!ReadU64(f, &st) || !ReadU64(f, &end) || !ReadU64(f, &num_elements)) {
-      return Status::Corruption("truncated object in " + path);
-    }
-    if (st > end || num_elements > dict_size) {
+    uint64_t st, end;
+    std::vector<ElementId> elements;
+    IRHINT_RETURN_NOT_OK(objects->ReadU64(&st));
+    IRHINT_RETURN_NOT_OK(objects->ReadU64(&end));
+    IRHINT_RETURN_NOT_OK(objects->ReadVector(&elements));
+    if (st > end || elements.size() > dict_size) {
       return Status::Corruption("invalid object in " + path);
-    }
-    std::vector<ElementId> elements(num_elements);
-    if (num_elements > 0 &&
-        std::fread(elements.data(), sizeof(ElementId), num_elements, f) !=
-            num_elements) {
-      return Status::Corruption("truncated elements in " + path);
     }
     corpus.Append(Interval(st, end), std::move(elements));
   }

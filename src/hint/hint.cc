@@ -5,13 +5,16 @@
 #include <limits>
 #include <numeric>
 
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+
 namespace irhint {
 
 namespace {
 
-// Applies permutation `perm` to vector v (if non-empty).
+// Applies permutation `perm` to array v (if non-empty).
 template <typename T>
-void ApplyPermutation(const std::vector<uint32_t>& perm, std::vector<T>* v) {
+void ApplyPermutation(const std::vector<uint32_t>& perm, FlatArray<T>* v) {
   if (v->empty()) return;
   std::vector<T> tmp(v->size());
   for (size_t i = 0; i < perm.size(); ++i) tmp[i] = (*v)[perm[i]];
@@ -62,9 +65,9 @@ void HintIndex::Append(Subdiv* sub, SubdivRole role, ObjectId id,
       }
       break;
   }
-  sub->ids.insert(sub->ids.begin() + pos, id);
-  if (KeepsStart(role)) sub->sts.insert(sub->sts.begin() + pos, st);
-  if (KeepsEnd(role)) sub->ends.insert(sub->ends.begin() + pos, end);
+  sub->ids.insert(pos, id);
+  if (KeepsStart(role)) sub->sts.insert(pos, st);
+  if (KeepsEnd(role)) sub->ends.insert(pos, end);
   ++num_entries_;
 }
 
@@ -397,7 +400,7 @@ Status HintIndex::Erase(ObjectId id, const Interval& interval) {
     Subdiv& sub = part->subs[role];
     for (size_t i = 0; i < sub.ids.size(); ++i) {
       if (sub.ids[i] == id) {
-        sub.ids[i] = kTombstoneId;
+        sub.ids.MutableData()[i] = kTombstoneId;
         ++tombstoned;
         break;
       }
@@ -502,12 +505,94 @@ size_t HintIndex::MemoryUsageBytes() const {
   bytes += overflow_.capacity() * sizeof(IntervalRecord);
   levels_.ForEach([&bytes](int, uint64_t, const Partition& part) {
     for (const auto& sub : part.subs) {
-      bytes += sub.ids.capacity() * sizeof(ObjectId);
-      bytes += sub.sts.capacity() * sizeof(StoredTime);
-      bytes += sub.ends.capacity() * sizeof(StoredTime);
+      bytes += sub.ids.MemoryUsageBytes();
+      bytes += sub.sts.MemoryUsageBytes();
+      bytes += sub.ends.MemoryUsageBytes();
     }
   });
   return bytes;
+}
+
+void HintIndex::SaveTo(SnapshotWriter* writer) const {
+  writer->WriteI32(options_.num_bits);
+  writer->WriteU8(static_cast<uint8_t>(options_.sort_mode));
+  writer->WriteU8(options_.storage_optimization ? 1 : 0);
+  writer->WriteU64(mapper_.domain_end());
+  writer->WriteU64(max_time_);
+  writer->WriteU64(num_entries_);
+  writer->WriteU64(num_tombstones_);
+  for (int level = 0; level < levels_.num_levels(); ++level) {
+    const auto& keys = levels_.keys(level);
+    const auto& parts = levels_.parts(level);
+    writer->WriteVector(keys);
+    for (const Partition& part : parts) {
+      for (const Subdiv& sub : part.subs) {
+        writer->WriteFlatArray(sub.ids);
+        writer->WriteFlatArray(sub.sts);
+        writer->WriteFlatArray(sub.ends);
+      }
+    }
+  }
+  writer->WriteU64(overflow_.size());
+  for (const IntervalRecord& rec : overflow_) {
+    writer->WriteU32(rec.id);
+    writer->WriteU64(rec.interval.st);
+    writer->WriteU64(rec.interval.end);
+  }
+}
+
+Status HintIndex::LoadFrom(SectionCursor* cursor) {
+  int32_t num_bits;
+  uint8_t sort_mode, storage_opt;
+  uint64_t domain_end, max_time, num_entries, num_tombstones;
+  IRHINT_RETURN_NOT_OK(cursor->ReadI32(&num_bits));
+  IRHINT_RETURN_NOT_OK(cursor->ReadU8(&sort_mode));
+  IRHINT_RETURN_NOT_OK(cursor->ReadU8(&storage_opt));
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&domain_end));
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&max_time));
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&num_entries));
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&num_tombstones));
+  if (num_bits < 0 || num_bits > 30 ||
+      sort_mode > static_cast<uint8_t>(HintSortMode::kById)) {
+    return Status::Corruption("hint snapshot has invalid options");
+  }
+  options_.num_bits = num_bits;
+  options_.sort_mode = static_cast<HintSortMode>(sort_mode);
+  options_.storage_optimization = storage_opt != 0;
+  mapper_ = DomainMapper(domain_end, num_bits);
+  max_time_ = max_time;
+  num_entries_ = static_cast<size_t>(num_entries);
+  num_tombstones_ = static_cast<size_t>(num_tombstones);
+  levels_.Init(num_bits);
+  for (int level = 0; level <= num_bits; ++level) {
+    std::vector<uint64_t> keys;
+    IRHINT_RETURN_NOT_OK(cursor->ReadVector(&keys));
+    std::vector<Partition> parts(keys.size());
+    for (Partition& part : parts) {
+      for (Subdiv& sub : part.subs) {
+        IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&sub.ids));
+        IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&sub.sts));
+        IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&sub.ends));
+      }
+    }
+    levels_.RestoreLevel(level, std::move(keys), std::move(parts));
+  }
+  uint64_t num_overflow;
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&num_overflow));
+  if (num_overflow > cursor->remaining() / 20) {
+    // 20 = bytes per record below; rejects absurd counts up front.
+    return Status::Corruption("hint snapshot overflow count out of bounds");
+  }
+  overflow_.clear();
+  overflow_.reserve(static_cast<size_t>(num_overflow));
+  for (uint64_t i = 0; i < num_overflow; ++i) {
+    IntervalRecord rec;
+    IRHINT_RETURN_NOT_OK(cursor->ReadU32(&rec.id));
+    IRHINT_RETURN_NOT_OK(cursor->ReadU64(&rec.interval.st));
+    IRHINT_RETURN_NOT_OK(cursor->ReadU64(&rec.interval.end));
+    overflow_.push_back(rec);
+  }
+  return Status::OK();
 }
 
 }  // namespace irhint

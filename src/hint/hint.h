@@ -37,8 +37,12 @@
 #include "hint/domain.h"
 #include "hint/sparse_levels.h"
 #include "hint/traversal.h"
+#include "storage/flat_array.h"
 
 namespace irhint {
+
+class SectionCursor;
+class SnapshotWriter;
 
 /// \brief Endpoint type used inside index storage. All evaluated domains
 /// (up to 512M time points) fit in 32 bits; Build() validates this.
@@ -148,13 +152,21 @@ class HintIndex {
   const HintOptions& options() const { return options_; }
   const DomainMapper& mapper() const { return mapper_; }
 
+  /// \brief Serialize into the section currently open on `writer`.
+  void SaveTo(SnapshotWriter* writer) const;
+
+  /// \brief Restore from a section cursor, replacing current contents.
+  /// Subdivision arrays become zero-copy views on the mmap path.
+  Status LoadFrom(SectionCursor* cursor);
+
  private:
   // One subdivision: parallel arrays (SoA). Which endpoint arrays are
   // populated depends on the subdivision role and the storage optimization.
+  // FlatArrays so snapshot loads can alias the mapping zero-copy.
   struct Subdiv {
-    std::vector<ObjectId> ids;
-    std::vector<StoredTime> sts;
-    std::vector<StoredTime> ends;
+    FlatArray<ObjectId> ids;
+    FlatArray<StoredTime> sts;
+    FlatArray<StoredTime> ends;
   };
 
   enum SubdivRole { kOin = 0, kOaft = 1, kRin = 2, kRaft = 3 };

@@ -99,6 +99,24 @@ class SparseLevels {
     return bytes;
   }
 
+  // -- Serialization hooks -------------------------------------------------
+
+  /// \brief Sorted partition numbers of the non-empty partitions at `level`.
+  const std::vector<uint64_t>& keys(int level) const {
+    return levels_[level].keys;
+  }
+
+  /// \brief Payloads parallel to keys(level).
+  const std::vector<P>& parts(int level) const { return levels_[level].parts; }
+
+  /// \brief Replace one level wholesale (snapshot load). `keys` must be
+  /// sorted and parallel to `parts`.
+  void RestoreLevel(int level, std::vector<uint64_t> keys,
+                    std::vector<P> parts) {
+    levels_[level].keys = std::move(keys);
+    levels_[level].parts = std::move(parts);
+  }
+
  private:
   struct Level {
     std::vector<uint64_t> keys;

@@ -23,10 +23,14 @@
 #include <vector>
 
 #include "common/flat_hash_map.h"
+#include "common/status.h"
 #include "core/query_counters.h"
 #include "data/object.h"
 #include "hint/traversal.h"
 #include "ir/postings.h"
+#include "storage/flat_array.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
 
 namespace irhint {
 
@@ -184,7 +188,7 @@ class DivisionPostings {
       if (pos != kNotFound) {
         for (uint32_t i = offsets_[pos]; i < offsets_[pos + 1]; ++i) {
           if (postings_[i].id == id) {
-            postings_[i].id = kTombstoneId;
+            postings_.MutableData()[i].id = kTombstoneId;
             ++tombstoned;
             done = true;
             break;
@@ -209,15 +213,66 @@ class DivisionPostings {
   size_t NumPostings() const { return num_postings_; }
 
   size_t MemoryUsageBytes() const {
-    size_t bytes = keys_.capacity() * sizeof(ElementId);
-    bytes += offsets_.capacity() * sizeof(uint32_t);
-    bytes += postings_.capacity() * sizeof(Entry);
+    size_t bytes = keys_.MemoryUsageBytes();
+    bytes += offsets_.MemoryUsageBytes();
+    bytes += postings_.MemoryUsageBytes();
     bytes += delta_slot_.MemoryUsageBytes();
     bytes += delta_lists_.capacity() * sizeof(std::vector<Entry>);
     for (const auto& list : delta_lists_) {
       bytes += list.capacity() * sizeof(Entry);
     }
     return bytes;
+  }
+
+  /// \brief Serialize into the section currently open on `writer`: the CSR
+  /// core as three arrays (views of the mapping on the mmap load path),
+  /// then the delta as sorted (key, list) pairs, then the counters.
+  void SaveTo(SnapshotWriter* writer) const {
+    writer->WriteFlatArray(keys_);
+    writer->WriteFlatArray(offsets_);
+    writer->WriteFlatArray(postings_);
+    std::vector<std::pair<ElementId, uint32_t>> items;
+    items.reserve(delta_slot_.size());
+    delta_slot_.ForEach([&items](const ElementId& e, const uint32_t& slot) {
+      items.emplace_back(e, slot);
+    });
+    std::sort(items.begin(), items.end());
+    writer->WriteU64(items.size());
+    for (const auto& [e, slot] : items) {
+      writer->WriteU32(e);
+      writer->WriteVector(delta_lists_[slot]);
+    }
+    writer->WriteU64(num_postings_);
+    writer->WriteU64(num_list_tombstones_);
+  }
+
+  Status LoadFrom(SectionCursor* cursor) {
+    IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&keys_));
+    IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&offsets_));
+    IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&postings_));
+    if (offsets_.size() != (keys_.empty() ? 0 : keys_.size() + 1) ||
+        (!offsets_.empty() && offsets_.back() > postings_.size())) {
+      return Status::Corruption("division postings CSR shape mismatch");
+    }
+    uint64_t num_delta;
+    IRHINT_RETURN_NOT_OK(cursor->ReadU64(&num_delta));
+    delta_slot_.clear();
+    delta_lists_.clear();
+    for (uint64_t i = 0; i < num_delta; ++i) {
+      ElementId e;
+      IRHINT_RETURN_NOT_OK(cursor->ReadU32(&e));
+      std::vector<Entry> list;
+      IRHINT_RETURN_NOT_OK(cursor->ReadVector(&list));
+      delta_slot_.insert_or_assign(e,
+                                   static_cast<uint32_t>(delta_lists_.size()));
+      delta_lists_.push_back(std::move(list));
+    }
+    uint64_t num_postings, num_tombstones;
+    IRHINT_RETURN_NOT_OK(cursor->ReadU64(&num_postings));
+    IRHINT_RETURN_NOT_OK(cursor->ReadU64(&num_tombstones));
+    num_postings_ = static_cast<size_t>(num_postings);
+    num_list_tombstones_ = static_cast<size_t>(num_tombstones);
+    return Status::OK();
   }
 
  private:
@@ -229,10 +284,11 @@ class DivisionPostings {
     return static_cast<size_t>(it - keys_.begin());
   }
 
-  // CSR core.
-  std::vector<ElementId> keys_;   // sorted unique element ids
-  std::vector<uint32_t> offsets_; // keys_.size() + 1 offsets into postings_
-  std::vector<Entry> postings_;
+  // CSR core. FlatArrays so a snapshot load can alias the mapping
+  // (zero-copy) while built/mutated indexes own plain vectors.
+  FlatArray<ElementId> keys_;   // sorted unique element ids
+  FlatArray<uint32_t> offsets_; // keys_.size() + 1 offsets into postings_
+  FlatArray<Entry> postings_;
   // Mutable delta for online inserts.
   FlatHashMap<ElementId, uint32_t> delta_slot_;
   std::vector<std::vector<Entry>> delta_lists_;
@@ -284,6 +340,11 @@ class DivisionTif {
   size_t NumPostings() const { return postings_.NumPostings(); }
   size_t MemoryUsageBytes() const { return postings_.MemoryUsageBytes(); }
 
+  void SaveTo(SnapshotWriter* writer) const { postings_.SaveTo(writer); }
+  Status LoadFrom(SectionCursor* cursor) {
+    return postings_.LoadFrom(cursor);
+  }
+
  private:
   DivisionPostings<Posting> postings_;
 };
@@ -321,6 +382,11 @@ class DivisionIdIndex {
 
   size_t NumPostings() const { return postings_.NumPostings(); }
   size_t MemoryUsageBytes() const { return postings_.MemoryUsageBytes(); }
+
+  void SaveTo(SnapshotWriter* writer) const { postings_.SaveTo(writer); }
+  Status LoadFrom(SectionCursor* cursor) {
+    return postings_.LoadFrom(cursor);
+  }
 
  private:
   DivisionPostings<IdEntry> postings_;

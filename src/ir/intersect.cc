@@ -30,7 +30,8 @@ void IntersectMerge(const std::vector<ObjectId>& a,
 }
 
 void IntersectMerge(const std::vector<ObjectId>& candidates,
-                    const PostingsList& list, std::vector<ObjectId>* out) {
+                    std::span<const Posting> list,
+                    std::vector<ObjectId>* out) {
   size_t i = 0, j = 0;
   while (i < candidates.size() && j < list.size()) {
     const ObjectId lid = list[j].id;

@@ -14,6 +14,7 @@
 #ifndef IRHINT_IR_INTERSECT_H_
 #define IRHINT_IR_INTERSECT_H_
 
+#include <span>
 #include <vector>
 
 #include "data/object.h"
@@ -26,9 +27,11 @@ void IntersectMerge(const std::vector<ObjectId>& a,
                     const std::vector<ObjectId>& b,
                     std::vector<ObjectId>* out);
 
-/// \brief out = candidates ∩ list (by posting id) via linear merge.
+/// \brief out = candidates ∩ list (by posting id) via linear merge. Takes a
+/// span so both owned lists and mmap-backed FlatArray views bind directly.
 void IntersectMerge(const std::vector<ObjectId>& candidates,
-                    const PostingsList& list, std::vector<ObjectId>* out);
+                    std::span<const Posting> list,
+                    std::vector<ObjectId>* out);
 
 /// \brief out = candidates ∩ b, probing the (larger) sorted vector b by
 /// binary search for every candidate. O(|candidates| * log |b|).

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "ir/intersect.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
 
 namespace irhint {
 
@@ -53,13 +55,14 @@ Status TemporalInvertedFile::Erase(const Object& object) {
   for (ElementId e : object.elements) {
     const uint32_t* slot = element_slot_.find(e);
     if (slot == nullptr) continue;
-    PostingsList& list = lists_[*slot];
+    FlatArray<Posting>& list = lists_[*slot];
     // Tombstoning overwrites ids in place, which breaks binary-search
     // preconditions; locate by linear scan (deletion cost tracks list
-    // length, as in the paper's update study).
-    for (Posting& p : list) {
-      if (p.id == object.id) {
-        p.id = kTombstoneId;
+    // length, as in the paper's update study). The scan is read-only;
+    // only a hit materializes a mapped list.
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i].id == object.id) {
+        list.MutableData()[i].id = kTombstoneId;
         --live_counts_[*slot];
         ++tombstoned;
         break;
@@ -70,7 +73,7 @@ Status TemporalInvertedFile::Erase(const Object& object) {
                         : Status::NotFound("object not present");
 }
 
-const PostingsList* TemporalInvertedFile::List(ElementId e) const {
+const FlatArray<Posting>* TemporalInvertedFile::List(ElementId e) const {
   const uint32_t* slot = element_slot_.find(e);
   return slot != nullptr ? &lists_[*slot] : nullptr;
 }
@@ -100,7 +103,7 @@ void TemporalInvertedFile::Query(const irhint::Query& query,
   std::vector<ElementId> elements = query.elements;
   SortByFrequency(&elements);
 
-  const PostingsList* first = List(elements[0]);
+  const FlatArray<Posting>* first = List(elements[0]);
   if (first == nullptr) return;
 
   QueryCounters local;
@@ -119,7 +122,7 @@ void TemporalInvertedFile::Query(const irhint::Query& query,
   // Lines 7-8: merge-intersect with the remaining lists.
   std::vector<ObjectId> next;
   for (size_t i = 1; i < elements.size() && !candidates.empty(); ++i) {
-    const PostingsList* list = List(elements[i]);
+    const FlatArray<Posting>* list = List(elements[i]);
     if (list == nullptr) {
       candidates.clear();
       break;
@@ -128,7 +131,7 @@ void TemporalInvertedFile::Query(const irhint::Query& query,
     ++local.intersections_performed;
     local.postings_scanned += list->size();
     next.clear();
-    IntersectMerge(candidates, *list, &next);
+    IntersectMerge(candidates, list->span(), &next);
     candidates.swap(next);
   }
   out->swap(candidates);
@@ -137,12 +140,58 @@ void TemporalInvertedFile::Query(const irhint::Query& query,
 
 size_t TemporalInvertedFile::MemoryUsageBytes() const {
   size_t bytes = element_slot_.MemoryUsageBytes();
-  bytes += lists_.capacity() * sizeof(PostingsList);
+  bytes += lists_.capacity() * sizeof(FlatArray<Posting>);
   bytes += live_counts_.capacity() * sizeof(uint64_t);
-  for (const PostingsList& list : lists_) {
-    bytes += list.capacity() * sizeof(Posting);
+  for (const FlatArray<Posting>& list : lists_) {
+    bytes += list.MemoryUsageBytes();
   }
   return bytes;
+}
+
+void TemporalInvertedFile::SaveState(SnapshotWriter* writer) const {
+  writer->WriteU64(domain_end_);
+  // Invert the slot map into a per-slot element array: deterministic bytes
+  // and a direct rebuild of element_slot_ on load.
+  std::vector<ElementId> slot_elements(lists_.size(), 0);
+  element_slot_.ForEach([&slot_elements](const ElementId& e,
+                                         const uint32_t& slot) {
+    slot_elements[slot] = e;
+  });
+  writer->WriteVector(slot_elements);
+  writer->WriteVector(live_counts_);
+  for (const FlatArray<Posting>& list : lists_) {
+    writer->WriteFlatArray(list);
+  }
+}
+
+Status TemporalInvertedFile::LoadState(SectionCursor* cursor) {
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&domain_end_));
+  std::vector<ElementId> slot_elements;
+  IRHINT_RETURN_NOT_OK(cursor->ReadVector(&slot_elements));
+  IRHINT_RETURN_NOT_OK(cursor->ReadVector(&live_counts_));
+  if (live_counts_.size() != slot_elements.size()) {
+    return Status::Corruption("tIF snapshot directory shape mismatch");
+  }
+  element_slot_.clear();
+  element_slot_.reserve(slot_elements.size());
+  lists_.assign(slot_elements.size(), {});
+  for (uint32_t slot = 0; slot < slot_elements.size(); ++slot) {
+    element_slot_.insert_or_assign(slot_elements[slot], slot);
+    IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&lists_[slot]));
+  }
+  return Status::OK();
+}
+
+Status TemporalInvertedFile::SaveTo(SnapshotWriter* writer) const {
+  writer->BeginSection(kSectionPayload);
+  SaveState(writer);
+  return writer->EndSection();
+}
+
+Status TemporalInvertedFile::LoadFrom(SnapshotReader* reader) {
+  auto cursor = reader->OpenSection(kSectionPayload);
+  IRHINT_RETURN_NOT_OK(cursor.status());
+  return LoadState(&cursor.value());
 }
 
 }  // namespace irhint

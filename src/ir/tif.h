@@ -19,8 +19,11 @@
 #include "common/flat_hash_map.h"
 #include "core/temporal_ir_index.h"
 #include "ir/postings.h"
+#include "storage/flat_array.h"
 
 namespace irhint {
+
+class SectionCursor;
 
 /// \brief The base temporal inverted file.
 class TemporalInvertedFile : public CountingTemporalIrIndex {
@@ -33,10 +36,13 @@ class TemporalInvertedFile : public CountingTemporalIrIndex {
   Status Erase(const Object& object) override;
   size_t MemoryUsageBytes() const override;
   std::string_view Name() const override { return "tIF"; }
+  IndexKind Kind() const override { return IndexKind::kTif; }
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
 
   /// \brief Postings list for element e, or nullptr if e is unknown.
   /// Entries are sorted by id; tombstoned entries have id == kTombstoneId.
-  const PostingsList* List(ElementId e) const;
+  const FlatArray<Posting>* List(ElementId e) const;
 
   /// \brief Number of live postings of element e.
   uint64_t Frequency(ElementId e) const;
@@ -46,11 +52,18 @@ class TemporalInvertedFile : public CountingTemporalIrIndex {
 
   size_t NumElements() const { return lists_.size(); }
 
+  /// \brief Serialize into the section currently open on `writer` (used by
+  /// the composite indexes that embed a tIF as their IR layer).
+  void SaveState(SnapshotWriter* writer) const;
+
+  /// \brief Restore from a section cursor, replacing current contents.
+  Status LoadState(SectionCursor* cursor);
+
  private:
   uint32_t SlotFor(ElementId e);  // creating if absent
 
   FlatHashMap<ElementId, uint32_t> element_slot_;
-  std::vector<PostingsList> lists_;
+  std::vector<FlatArray<Posting>> lists_;
   std::vector<uint64_t> live_counts_;
   Time domain_end_ = 0;
 };

@@ -25,8 +25,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "data/object.h"
 #include "ir/postings.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
 
 namespace irhint {
 
@@ -67,6 +70,7 @@ class SliceGrid {
       : domain_size_(domain_end + 1), num_slices_(num_slices) {}
 
   uint32_t num_slices() const { return num_slices_; }
+  Time domain_end() const { return domain_size_ - 1; }
 
   /// \brief Slice containing raw time t (clamped into the last slice).
   uint32_t SliceOf(Time t) const {
@@ -220,6 +224,29 @@ class SlicedPostingsT {
       bytes += sublist.capacity() * sizeof(Entry);
     }
     return bytes;
+  }
+
+  /// \brief Serialize into the section currently open on `writer`.
+  void SaveTo(SnapshotWriter* writer) const {
+    writer->WriteVector(slice_ids_);
+    for (const auto& sublist : sublists_) {
+      writer->WriteVector(sublist);
+    }
+    writer->WriteU64(num_entries_);
+  }
+
+  /// \brief Restore from a section cursor, replacing current contents.
+  /// Sub-lists are small per slice; they stay owned vectors.
+  Status LoadFrom(SectionCursor* cursor) {
+    IRHINT_RETURN_NOT_OK(cursor->ReadVector(&slice_ids_));
+    sublists_.assign(slice_ids_.size(), {});
+    for (auto& sublist : sublists_) {
+      IRHINT_RETURN_NOT_OK(cursor->ReadVector(&sublist));
+    }
+    uint64_t num_entries;
+    IRHINT_RETURN_NOT_OK(cursor->ReadU64(&num_entries));
+    num_entries_ = static_cast<size_t>(num_entries);
+    return Status::OK();
   }
 
  private:

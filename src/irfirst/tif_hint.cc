@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+
 namespace irhint {
 
 HintOptions TifHint::HintOptionsFor() const {
@@ -153,6 +156,66 @@ size_t TifHint::MemoryUsageBytes() const {
     bytes += hint.MemoryUsageBytes();
   }
   return bytes;
+}
+
+Status TifHint::SaveTo(SnapshotWriter* writer) const {
+  writer->BeginSection(kSectionMeta);
+  writer->WriteI32(options_.num_bits);
+  writer->WriteU8(options_.mode == TifHintMode::kBinarySearch ? 0 : 1);
+  writer->WriteU64(domain_end_);
+  writer->WriteU8(built_ ? 1 : 0);
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionDirectory);
+  std::vector<ElementId> slot_elements(hints_.size(), 0);
+  element_slot_.ForEach([&slot_elements](const ElementId& e,
+                                         const uint32_t& slot) {
+    slot_elements[slot] = e;
+  });
+  writer->WriteVector(slot_elements);
+  writer->WriteVector(live_counts_);
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionPayload);
+  for (const HintIndex& hint : hints_) {
+    hint.SaveTo(writer);
+  }
+  return writer->EndSection();
+}
+
+Status TifHint::LoadFrom(SnapshotReader* reader) {
+  auto meta = reader->OpenSection(kSectionMeta);
+  IRHINT_RETURN_NOT_OK(meta.status());
+  uint8_t mode, built;
+  IRHINT_RETURN_NOT_OK(meta->ReadI32(&options_.num_bits));
+  IRHINT_RETURN_NOT_OK(meta->ReadU8(&mode));
+  IRHINT_RETURN_NOT_OK(meta->ReadU64(&domain_end_));
+  IRHINT_RETURN_NOT_OK(meta->ReadU8(&built));
+  options_.mode =
+      mode == 0 ? TifHintMode::kBinarySearch : TifHintMode::kMergeSort;
+  built_ = built != 0;
+
+  auto directory = reader->OpenSection(kSectionDirectory);
+  IRHINT_RETURN_NOT_OK(directory.status());
+  std::vector<ElementId> slot_elements;
+  IRHINT_RETURN_NOT_OK(directory->ReadVector(&slot_elements));
+  IRHINT_RETURN_NOT_OK(directory->ReadVector(&live_counts_));
+  if (live_counts_.size() != slot_elements.size()) {
+    return Status::Corruption("tif_hint snapshot directory shape mismatch");
+  }
+  element_slot_.clear();
+  element_slot_.reserve(slot_elements.size());
+  for (uint32_t slot = 0; slot < slot_elements.size(); ++slot) {
+    element_slot_.insert_or_assign(slot_elements[slot], slot);
+  }
+
+  auto payload = reader->OpenSection(kSectionPayload);
+  IRHINT_RETURN_NOT_OK(payload.status());
+  hints_.assign(slot_elements.size(), {});
+  for (HintIndex& hint : hints_) {
+    IRHINT_RETURN_NOT_OK(hint.LoadFrom(&payload.value()));
+  }
+  return Status::OK();
 }
 
 }  // namespace irhint

@@ -53,6 +53,13 @@ class TifHint : public CountingTemporalIrIndex {
     return options_.mode == TifHintMode::kBinarySearch ? "tIF+HINT(bs)"
                                                        : "tIF+HINT(ms)";
   }
+  IndexKind Kind() const override {
+    return options_.mode == TifHintMode::kBinarySearch
+               ? IndexKind::kTifHintBinarySearch
+               : IndexKind::kTifHintMergeSort;
+  }
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
 
   uint64_t Frequency(ElementId e) const;
   const HintIndex* PostingsHint(ElementId e) const;

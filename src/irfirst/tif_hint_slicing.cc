@@ -161,4 +161,86 @@ size_t TifHintSlicing::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status TifHintSlicing::SaveTo(SnapshotWriter* writer) const {
+  writer->BeginSection(kSectionMeta);
+  writer->WriteI32(options_.num_bits);
+  writer->WriteU32(options_.num_slices);
+  writer->WriteU64(domain_end_);
+  writer->WriteU32(grid_.num_slices());
+  writer->WriteU64(grid_.domain_end());
+  writer->WriteU8(built_ ? 1 : 0);
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionDirectory);
+  std::vector<ElementId> slot_elements(hints_.size(), 0);
+  element_slot_.ForEach([&slot_elements](const ElementId& e,
+                                         const uint32_t& slot) {
+    slot_elements[slot] = e;
+  });
+  writer->WriteVector(slot_elements);
+  writer->WriteVector(live_counts_);
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionPayload);
+  for (const HintIndex& hint : hints_) {
+    hint.SaveTo(writer);
+  }
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionAux);
+  for (const SlicedPostingsIdSt& s : slices_) {
+    s.SaveTo(writer);
+  }
+  return writer->EndSection();
+}
+
+Status TifHintSlicing::LoadFrom(SnapshotReader* reader) {
+  auto meta = reader->OpenSection(kSectionMeta);
+  IRHINT_RETURN_NOT_OK(meta.status());
+  uint32_t grid_slices;
+  uint64_t grid_domain_end;
+  uint8_t built;
+  IRHINT_RETURN_NOT_OK(meta->ReadI32(&options_.num_bits));
+  IRHINT_RETURN_NOT_OK(meta->ReadU32(&options_.num_slices));
+  IRHINT_RETURN_NOT_OK(meta->ReadU64(&domain_end_));
+  IRHINT_RETURN_NOT_OK(meta->ReadU32(&grid_slices));
+  IRHINT_RETURN_NOT_OK(meta->ReadU64(&grid_domain_end));
+  IRHINT_RETURN_NOT_OK(meta->ReadU8(&built));
+  if (grid_slices == 0) {
+    return Status::Corruption("tif_hint_slicing snapshot has zero slices");
+  }
+  grid_ = SliceGrid(grid_domain_end, grid_slices);
+  built_ = built != 0;
+
+  auto directory = reader->OpenSection(kSectionDirectory);
+  IRHINT_RETURN_NOT_OK(directory.status());
+  std::vector<ElementId> slot_elements;
+  IRHINT_RETURN_NOT_OK(directory->ReadVector(&slot_elements));
+  IRHINT_RETURN_NOT_OK(directory->ReadVector(&live_counts_));
+  if (live_counts_.size() != slot_elements.size()) {
+    return Status::Corruption(
+        "tif_hint_slicing snapshot directory shape mismatch");
+  }
+  element_slot_.clear();
+  element_slot_.reserve(slot_elements.size());
+  for (uint32_t slot = 0; slot < slot_elements.size(); ++slot) {
+    element_slot_.insert_or_assign(slot_elements[slot], slot);
+  }
+
+  auto payload = reader->OpenSection(kSectionPayload);
+  IRHINT_RETURN_NOT_OK(payload.status());
+  hints_.assign(slot_elements.size(), {});
+  for (HintIndex& hint : hints_) {
+    IRHINT_RETURN_NOT_OK(hint.LoadFrom(&payload.value()));
+  }
+
+  auto aux = reader->OpenSection(kSectionAux);
+  IRHINT_RETURN_NOT_OK(aux.status());
+  slices_.assign(slot_elements.size(), {});
+  for (SlicedPostingsIdSt& s : slices_) {
+    IRHINT_RETURN_NOT_OK(s.LoadFrom(&aux.value()));
+  }
+  return Status::OK();
+}
+
 }  // namespace irhint

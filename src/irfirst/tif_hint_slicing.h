@@ -43,6 +43,9 @@ class TifHintSlicing : public TemporalIrIndex {
   Status Erase(const Object& object) override;
   size_t MemoryUsageBytes() const override;
   std::string_view Name() const override { return "tIF+HINT+Slicing"; }
+  IndexKind Kind() const override { return IndexKind::kTifHintSlicing; }
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
 
   uint64_t Frequency(ElementId e) const;
 

@@ -4,6 +4,9 @@
 #include <limits>
 #include <map>
 
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+
 namespace irhint {
 
 void TifSharding::Shard::RebuildDerived(uint32_t impact_stride) {
@@ -303,6 +306,83 @@ size_t TifSharding::MemoryUsageBytes() const {
     }
   }
   return bytes;
+}
+
+Status TifSharding::SaveTo(SnapshotWriter* writer) const {
+  writer->BeginSection(kSectionMeta);
+  writer->WriteU32(options_.max_shards_per_list);
+  writer->WriteU32(options_.min_shard_size);
+  writer->WriteU32(options_.impact_stride);
+  writer->WriteU8(built_ ? 1 : 0);
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  writer->BeginSection(kSectionDirectory);
+  std::vector<ElementId> slot_elements(lists_.size(), 0);
+  element_slot_.ForEach([&slot_elements](const ElementId& e,
+                                         const uint32_t& slot) {
+    slot_elements[slot] = e;
+  });
+  writer->WriteVector(slot_elements);
+  writer->WriteVector(live_counts_);
+  IRHINT_RETURN_NOT_OK(writer->EndSection());
+
+  // Only shard entries are persisted; the prefix-max and impact arrays are
+  // derived and rebuilt on load.
+  writer->BeginSection(kSectionPayload);
+  for (const ShardedList& list : lists_) {
+    writer->WriteU64(list.shards.size());
+    for (const Shard& shard : list.shards) {
+      writer->WriteVector(shard.entries);
+    }
+  }
+  return writer->EndSection();
+}
+
+Status TifSharding::LoadFrom(SnapshotReader* reader) {
+  auto meta = reader->OpenSection(kSectionMeta);
+  IRHINT_RETURN_NOT_OK(meta.status());
+  uint8_t built;
+  IRHINT_RETURN_NOT_OK(meta->ReadU32(&options_.max_shards_per_list));
+  IRHINT_RETURN_NOT_OK(meta->ReadU32(&options_.min_shard_size));
+  IRHINT_RETURN_NOT_OK(meta->ReadU32(&options_.impact_stride));
+  IRHINT_RETURN_NOT_OK(meta->ReadU8(&built));
+  if (options_.impact_stride == 0) {
+    return Status::Corruption("tif_sharding snapshot has zero stride");
+  }
+  built_ = built != 0;
+
+  auto directory = reader->OpenSection(kSectionDirectory);
+  IRHINT_RETURN_NOT_OK(directory.status());
+  std::vector<ElementId> slot_elements;
+  IRHINT_RETURN_NOT_OK(directory->ReadVector(&slot_elements));
+  IRHINT_RETURN_NOT_OK(directory->ReadVector(&live_counts_));
+  if (live_counts_.size() != slot_elements.size()) {
+    return Status::Corruption(
+        "tif_sharding snapshot directory shape mismatch");
+  }
+  element_slot_.clear();
+  element_slot_.reserve(slot_elements.size());
+  for (uint32_t slot = 0; slot < slot_elements.size(); ++slot) {
+    element_slot_.insert_or_assign(slot_elements[slot], slot);
+  }
+
+  auto payload = reader->OpenSection(kSectionPayload);
+  IRHINT_RETURN_NOT_OK(payload.status());
+  lists_.assign(slot_elements.size(), {});
+  for (ShardedList& list : lists_) {
+    uint64_t num_shards;
+    IRHINT_RETURN_NOT_OK(payload->ReadU64(&num_shards));
+    if (num_shards > payload->remaining() / 8) {
+      return Status::Corruption(
+          "tif_sharding snapshot shard count out of bounds");
+    }
+    list.shards.resize(static_cast<size_t>(num_shards));
+    for (Shard& shard : list.shards) {
+      IRHINT_RETURN_NOT_OK(payload->ReadVector(&shard.entries));
+      shard.RebuildDerived(options_.impact_stride);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace irhint

@@ -49,6 +49,9 @@ class TifSharding : public TemporalIrIndex {
   Status Erase(const Object& object) override;
   size_t MemoryUsageBytes() const override;
   std::string_view Name() const override { return "tIF+Sharding"; }
+  IndexKind Kind() const override { return IndexKind::kTifSharding; }
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
 
   uint64_t Frequency(ElementId e) const;
 

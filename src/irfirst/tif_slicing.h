@@ -34,6 +34,9 @@ class TifSlicing : public TemporalIrIndex {
   Status Erase(const Object& object) override;
   size_t MemoryUsageBytes() const override;
   std::string_view Name() const override { return "tIF+Slicing"; }
+  IndexKind Kind() const override { return IndexKind::kTifSlicing; }
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
 
   uint64_t Frequency(ElementId e) const;
   size_t NumEntries() const;  // including replicas

@@ -1,0 +1,84 @@
+#include "storage/crc32c.h"
+
+#include <cstring>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace irhint {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+// Slicing-by-8 lookup tables, generated once at first use.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+#if defined(__SSE4_2__)
+  // Hardware path: one 8-byte CRC instruction per quadword.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, chunk));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+#else
+  const Tables& tb = GetTables();
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= crc;
+    crc = tb.t[7][chunk & 0xFF] ^ tb.t[6][(chunk >> 8) & 0xFF] ^
+          tb.t[5][(chunk >> 16) & 0xFF] ^ tb.t[4][(chunk >> 24) & 0xFF] ^
+          tb.t[3][(chunk >> 32) & 0xFF] ^ tb.t[2][(chunk >> 40) & 0xFF] ^
+          tb.t[1][(chunk >> 48) & 0xFF] ^ tb.t[0][(chunk >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+#endif
+  return ~crc;
+}
+
+}  // namespace irhint

@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum protecting every snapshot section. The same polynomial is used by
+// RocksDB, LevelDB and iSCSI; it detects all burst errors up to 32 bits and
+// has hardware support on modern x86 (SSE4.2) and ARM.
+
+#ifndef IRHINT_STORAGE_CRC32C_H_
+#define IRHINT_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace irhint {
+
+/// \brief Extend a running CRC32C with `n` bytes. Start with crc == 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// \brief CRC32C of a whole buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace irhint
+
+#endif  // IRHINT_STORAGE_CRC32C_H_

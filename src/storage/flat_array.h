@@ -1,0 +1,162 @@
+// FlatArray<T>: a contiguous array that either owns its storage (a plain
+// std::vector) or is a zero-copy view into a memory-mapped snapshot. The
+// hot read paths (scans, binary searches, merges) see a single `const T*` +
+// size either way; mutation transparently materializes a private copy first
+// (copy-on-write at array granularity), so a loaded index supports inserts
+// and tombstoning exactly like a freshly built one.
+//
+// Lifetime: a view does NOT keep the mapping alive. The index that loads a
+// snapshot retains the mapping (TemporalIrIndex::storage_keepalive_) for as
+// long as it lives, which covers every view inside it.
+
+#ifndef IRHINT_STORAGE_FLAT_ARRAY_H_
+#define IRHINT_STORAGE_FLAT_ARRAY_H_
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace irhint {
+
+template <typename T>
+class FlatArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FlatArray requires trivially copyable elements");
+
+ public:
+  FlatArray() = default;
+
+  FlatArray(const FlatArray& other) { CopyFrom(other); }
+  FlatArray& operator=(const FlatArray& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  FlatArray(FlatArray&& other) noexcept { MoveFrom(&other); }
+  FlatArray& operator=(FlatArray&& other) noexcept {
+    if (this != &other) MoveFrom(&other);
+    return *this;
+  }
+
+  FlatArray& operator=(std::vector<T> v) {
+    owned_ = std::move(v);
+    SyncOwned();
+    return *this;
+  }
+
+  /// \brief Point at externally owned memory (e.g. an mmapped section).
+  void SetView(const T* data, size_t n) {
+    owned_.clear();
+    data_ = data;
+    size_ = n;
+    is_view_ = true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* data() const { return data_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& back() const { return data_[size_ - 1]; }
+  std::span<const T> span() const { return {data_, size_}; }
+  bool is_view() const { return is_view_; }
+
+  /// \brief Ensure the array owns its storage (copies a view's contents).
+  void Materialize() {
+    if (!is_view_) return;
+    owned_.assign(data_, data_ + size_);
+    SyncOwned();
+  }
+
+  /// \brief Mutable base pointer; materializes a view first.
+  T* MutableData() {
+    Materialize();
+    return owned_.data();
+  }
+
+  std::span<T> MutableSpan() {
+    Materialize();
+    return {owned_.data(), owned_.size()};
+  }
+
+  void push_back(const T& v) {
+    Materialize();
+    owned_.push_back(v);
+    SyncOwned();
+  }
+
+  /// \brief Insert at position `pos` (0 <= pos <= size()).
+  void insert(size_t pos, const T& v) {
+    Materialize();
+    owned_.insert(owned_.begin() + static_cast<ptrdiff_t>(pos), v);
+    SyncOwned();
+  }
+
+  void clear() {
+    owned_.clear();
+    SyncOwned();
+  }
+
+  void reserve(size_t n) {
+    Materialize();
+    owned_.reserve(n);
+    SyncOwned();
+  }
+
+  void shrink_to_fit() {
+    if (is_view_) return;
+    owned_.shrink_to_fit();
+    SyncOwned();
+  }
+
+  /// \brief Heap bytes owned by this array (0 while it views a mapping).
+  size_t MemoryUsageBytes() const {
+    return owned_.capacity() * sizeof(T);
+  }
+
+ private:
+  void SyncOwned() {
+    data_ = owned_.data();
+    size_ = owned_.size();
+    is_view_ = false;
+  }
+
+  void CopyFrom(const FlatArray& other) {
+    if (other.is_view_) {
+      // Copying a view yields another view of the same mapping (the
+      // keepalive is per-index, shared by all copies inside it).
+      owned_.clear();
+      data_ = other.data_;
+      size_ = other.size_;
+      is_view_ = true;
+    } else {
+      owned_ = other.owned_;
+      SyncOwned();
+    }
+  }
+
+  void MoveFrom(FlatArray* other) {
+    if (other->is_view_) {
+      owned_.clear();
+      data_ = other->data_;
+      size_ = other->size_;
+      is_view_ = true;
+    } else {
+      owned_ = std::move(other->owned_);
+      SyncOwned();
+    }
+    other->owned_.clear();
+    other->SyncOwned();
+  }
+
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool is_view_ = false;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_STORAGE_FLAT_ARRAY_H_

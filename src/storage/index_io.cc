@@ -1,0 +1,70 @@
+#include "storage/index_io.h"
+
+#include <utility>
+
+#include "core/factory.h"
+#include "storage/snapshot_writer.h"
+
+namespace irhint {
+
+SnapshotKind SnapshotKindFor(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kNaiveScan: return SnapshotKind::kNaiveScan;
+    case IndexKind::kTif: return SnapshotKind::kTif;
+    case IndexKind::kTifSlicing: return SnapshotKind::kTifSlicing;
+    case IndexKind::kTifSharding: return SnapshotKind::kTifSharding;
+    case IndexKind::kTifHintBinarySearch:
+      return SnapshotKind::kTifHintBinarySearch;
+    case IndexKind::kTifHintMergeSort: return SnapshotKind::kTifHintMergeSort;
+    case IndexKind::kTifHintSlicing: return SnapshotKind::kTifHintSlicing;
+    case IndexKind::kIrHintPerf: return SnapshotKind::kIrHintPerf;
+    case IndexKind::kIrHintSize: return SnapshotKind::kIrHintSize;
+  }
+  return SnapshotKind::kNaiveScan;  // unreachable
+}
+
+StatusOr<IndexKind> IndexKindForSnapshot(uint32_t tag) {
+  switch (static_cast<SnapshotKind>(tag)) {
+    case SnapshotKind::kNaiveScan: return IndexKind::kNaiveScan;
+    case SnapshotKind::kTif: return IndexKind::kTif;
+    case SnapshotKind::kTifSlicing: return IndexKind::kTifSlicing;
+    case SnapshotKind::kTifSharding: return IndexKind::kTifSharding;
+    case SnapshotKind::kTifHintBinarySearch:
+      return IndexKind::kTifHintBinarySearch;
+    case SnapshotKind::kTifHintMergeSort:
+      return IndexKind::kTifHintMergeSort;
+    case SnapshotKind::kTifHintSlicing: return IndexKind::kTifHintSlicing;
+    case SnapshotKind::kIrHintPerf: return IndexKind::kIrHintPerf;
+    case SnapshotKind::kIrHintSize: return IndexKind::kIrHintSize;
+    case SnapshotKind::kCorpus:
+      return Status::InvalidArgument("snapshot holds a corpus, not an index");
+  }
+  return Status::Corruption("snapshot has unknown index kind tag");
+}
+
+Status SaveIndex(const TemporalIrIndex& index, const std::string& path) {
+  SnapshotWriter writer;
+  IRHINT_RETURN_NOT_OK(writer.Open(path, SnapshotKindFor(index.Kind())));
+  IRHINT_RETURN_NOT_OK(index.SaveTo(&writer));
+  return writer.Finish();
+}
+
+StatusOr<LoadedIndex> LoadIndexSnapshot(const std::string& path,
+                                        const SnapshotReadOptions& options) {
+  SnapshotReader reader;
+  IRHINT_RETURN_NOT_OK(reader.Open(path, options));
+  auto kind = IndexKindForSnapshot(reader.kind());
+  IRHINT_RETURN_NOT_OK(kind.status());
+  LoadedIndex loaded;
+  loaded.kind = kind.value();
+  loaded.index = CreateIndex(loaded.kind);
+  if (loaded.index == nullptr) {
+    return Status::Corruption("snapshot has unknown index kind tag");
+  }
+  IRHINT_RETURN_NOT_OK(loaded.index->LoadFrom(&reader));
+  // Zero-copy views inside the index alias the mapping; pin it.
+  loaded.index->set_storage_keepalive(reader.mapping());
+  return loaded;
+}
+
+}  // namespace irhint

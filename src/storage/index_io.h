@@ -1,0 +1,41 @@
+// Save/Load dispatch for whole indexes: maps every IndexKind to its stable
+// on-disk SnapshotKind tag, writes an index as a snapshot file, and loads a
+// snapshot back into a freshly instantiated index of the recorded kind.
+
+#ifndef IRHINT_STORAGE_INDEX_IO_H_
+#define IRHINT_STORAGE_INDEX_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/index_kind.h"
+#include "core/temporal_ir_index.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
+
+namespace irhint {
+
+/// \brief Stable on-disk tag for an index kind (never renumbered).
+SnapshotKind SnapshotKindFor(IndexKind kind);
+
+/// \brief Inverse of SnapshotKindFor; kCorpus and unknown tags fail.
+StatusOr<IndexKind> IndexKindForSnapshot(uint32_t tag);
+
+/// \brief Write `index` to `path` as a versioned snapshot.
+Status SaveIndex(const TemporalIrIndex& index, const std::string& path);
+
+struct LoadedIndex {
+  IndexKind kind;
+  std::unique_ptr<TemporalIrIndex> index;
+};
+
+/// \brief Load a snapshot written by SaveIndex. The index kind is read from
+/// the file header; with mmap enabled (the default) large posting arrays
+/// alias the mapping, which the returned index keeps alive.
+StatusOr<LoadedIndex> LoadIndexSnapshot(
+    const std::string& path, const SnapshotReadOptions& options = {});
+
+}  // namespace irhint
+
+#endif  // IRHINT_STORAGE_INDEX_IO_H_

@@ -1,0 +1,41 @@
+// Read-only memory-mapped file, the backing store of the zero-copy
+// snapshot load path.
+
+#ifndef IRHINT_STORAGE_MAPPED_FILE_H_
+#define IRHINT_STORAGE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace irhint {
+
+/// \brief An immutable byte range backed by mmap. Unmapped on destruction;
+/// loaded indexes hold a shared_ptr to keep their views valid.
+class MappedFile {
+ public:
+  /// \brief Map `path` read-only. Fails with IoError if the file cannot be
+  /// opened or mapped (callers fall back to buffered reads).
+  static StatusOr<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_STORAGE_MAPPED_FILE_H_

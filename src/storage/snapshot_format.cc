@@ -1,0 +1,33 @@
+#include "storage/snapshot_format.h"
+
+namespace irhint {
+
+std::string_view SnapshotKindName(uint32_t kind) {
+  switch (static_cast<SnapshotKind>(kind)) {
+    case SnapshotKind::kCorpus: return "corpus";
+    case SnapshotKind::kNaiveScan: return "naive_scan";
+    case SnapshotKind::kTif: return "tif";
+    case SnapshotKind::kTifSlicing: return "tif_slicing";
+    case SnapshotKind::kTifSharding: return "tif_sharding";
+    case SnapshotKind::kTifHintBinarySearch: return "tif_hint_bs";
+    case SnapshotKind::kTifHintMergeSort: return "tif_hint_ms";
+    case SnapshotKind::kTifHintSlicing: return "tif_hint_slicing";
+    case SnapshotKind::kIrHintPerf: return "irhint_perf";
+    case SnapshotKind::kIrHintSize: return "irhint_size";
+  }
+  return "?";
+}
+
+std::string_view SnapshotSectionName(uint32_t id) {
+  switch (static_cast<SnapshotSection>(id)) {
+    case kSectionMeta: return "meta";
+    case kSectionDirectory: return "directory";
+    case kSectionPayload: return "payload";
+    case kSectionAux: return "aux";
+    case kSectionDictionary: return "dictionary";
+    case kSectionObjects: return "objects";
+  }
+  return "?";
+}
+
+}  // namespace irhint

@@ -1,0 +1,96 @@
+// The versioned on-disk snapshot format.
+//
+// File layout (all integers little-endian, fixed width):
+//
+//   +0   Header (40 bytes)
+//        magic          u64   "IRHSNAP1"
+//        format_version u32   kFormatVersion
+//        kind           u32   SnapshotKind payload tag
+//        table_offset   u64   file offset of the section table
+//        section_count  u32
+//        flags          u32   reserved, 0
+//        header_crc     u32   CRC32C of the 32 bytes above
+//        reserved       u32   0
+//   +40  Sections: each payload starts at an 8-byte-aligned offset
+//        (zero padding in between). A payload is an opaque byte string;
+//        the cursor protocol below gives it structure.
+//   ...  Section table: section_count entries of 32 bytes each
+//        id        u32
+//        flags     u32   reserved, 0
+//        offset    u64   file offset of the payload
+//        size      u64   payload bytes
+//        crc       u32   CRC32C of the payload
+//        reserved  u32   0
+//        followed by table_crc u32 (CRC32C over all entries).
+//
+// Section payload protocol (SnapshotWriter / SectionCursor):
+//   scalars    fixed-width little-endian (u8/u16/u32/u64/i32)
+//   string     u64 length + raw bytes
+//   array<T>   u64 count, zero padding to the next 8-byte boundary
+//              (relative to the payload start, which is itself 8-aligned
+//              in the file), then count * sizeof(T) raw bytes. T must be
+//              trivially copyable with no padding; the alignment rule is
+//              what lets the mmap path hand out zero-copy views.
+//
+// Version policy: bump kFormatVersion whenever the encoding of any
+// existing section changes shape. Adding a NEW section id to a snapshot
+// is backward compatible (readers ignore unknown sections); removing or
+// re-encoding one is not. Readers reject versions newer than their own
+// with NotSupported and must keep loading all older versions they ever
+// shipped (tests/golden pins this).
+
+#ifndef IRHINT_STORAGE_SNAPSHOT_FORMAT_H_
+#define IRHINT_STORAGE_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace irhint {
+
+inline constexpr uint64_t kSnapshotMagic = 0x3150414E53485249ULL;  // "IRHSNAP1"
+inline constexpr uint32_t kFormatVersion = 1;
+
+inline constexpr size_t kSnapshotHeaderBytes = 40;
+inline constexpr size_t kSectionEntryBytes = 32;
+
+/// \brief What a snapshot file contains. Values are stable on-disk tags:
+/// never renumber, only append.
+enum class SnapshotKind : uint32_t {
+  kCorpus = 1,
+  kNaiveScan = 10,
+  kTif = 11,
+  kTifSlicing = 12,
+  kTifSharding = 13,
+  kTifHintBinarySearch = 14,
+  kTifHintMergeSort = 15,
+  kTifHintSlicing = 16,
+  kIrHintPerf = 17,
+  kIrHintSize = 18,
+};
+
+/// \brief Section ids. Stable on-disk tags; never renumber.
+enum SnapshotSection : uint32_t {
+  /// Options + scalar state of the payload (index kind specific).
+  kSectionMeta = 1,
+  /// Lookup structure: element/partition directories, per-list counts.
+  kSectionDirectory = 2,
+  /// The large contiguous arrays (postings, subdivision entries) — the
+  /// zero-copy targets of the mmap load path.
+  kSectionPayload = 3,
+  /// Auxiliary state: overflow stores, frequencies, tombstone counts.
+  kSectionAux = 4,
+  /// Corpus snapshots: the dictionary (terms + frequencies).
+  kSectionDictionary = 5,
+  /// Corpus snapshots: the object collection.
+  kSectionObjects = 6,
+};
+
+/// \brief Human-readable name of a snapshot kind tag ("?" if unknown).
+std::string_view SnapshotKindName(uint32_t kind);
+
+/// \brief Human-readable name of a section id ("?" if unknown).
+std::string_view SnapshotSectionName(uint32_t id);
+
+}  // namespace irhint
+
+#endif  // IRHINT_STORAGE_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,182 @@
+#include "storage/snapshot_reader.h"
+
+#include <algorithm>
+
+#include "storage/crc32c.h"
+
+namespace irhint {
+
+namespace {
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+SnapshotReader::~SnapshotReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SnapshotReader::Open(const std::string& path,
+                            const SnapshotReadOptions& options) {
+  path_ = path;
+  options_ = options;
+  if (options.use_mmap) {
+    auto mapped = MappedFile::Open(path);
+    if (mapped.ok()) {
+      mapping_ = std::move(mapped).value();
+      file_size_ = mapping_->size();
+      return ParseHeaderAndTable();
+    }
+    if (mapped.status().IsCorruption()) return mapped.status();
+    // IoError (e.g. mmap unavailable): fall through to buffered reads.
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IoError("cannot seek " + path);
+  }
+  const long end = std::ftell(file_);
+  if (end < 0) return Status::IoError("cannot tell " + path);
+  file_size_ = static_cast<uint64_t>(end);
+  return ParseHeaderAndTable();
+}
+
+Status SnapshotReader::ReadAt(uint64_t offset, size_t n, uint8_t* out) {
+  if (offset > file_size_ || n > file_size_ - offset) {
+    return Status::Corruption("snapshot truncated: " + path_);
+  }
+  if (mapping_ != nullptr) {
+    std::memcpy(out, mapping_->data() + offset, n);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fread(out, 1, n, file_) != n) {
+    return Status::IoError("read failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status SnapshotReader::ParseHeaderAndTable() {
+  uint8_t header[kSnapshotHeaderBytes];
+  if (file_size_ < kSnapshotHeaderBytes) {
+    return Status::Corruption("snapshot smaller than header: " + path_);
+  }
+  IRHINT_RETURN_NOT_OK(ReadAt(0, sizeof(header), header));
+
+  if (GetU64(header + 0) != kSnapshotMagic) {
+    return Status::Corruption("bad snapshot magic: " + path_);
+  }
+  version_ = GetU32(header + 8);
+  if (version_ > kFormatVersion) {
+    return Status::NotSupported(
+        "snapshot format version " + std::to_string(version_) +
+        " is newer than this build supports (" +
+        std::to_string(kFormatVersion) + "): " + path_);
+  }
+  if (GetU32(header + 32) != Crc32c(header, 32)) {
+    return Status::Corruption("snapshot header checksum mismatch: " + path_);
+  }
+  kind_ = GetU32(header + 12);
+  const uint64_t table_offset = GetU64(header + 16);
+  const uint32_t section_count = GetU32(header + 24);
+
+  const uint64_t table_bytes =
+      uint64_t{section_count} * kSectionEntryBytes + 4;
+  if (table_offset < kSnapshotHeaderBytes || table_offset > file_size_ ||
+      table_bytes > file_size_ - table_offset) {
+    return Status::Corruption("snapshot section table out of bounds: " +
+                              path_);
+  }
+  std::vector<uint8_t> table(static_cast<size_t>(table_bytes));
+  IRHINT_RETURN_NOT_OK(ReadAt(table_offset, table.size(), table.data()));
+  const size_t entries_bytes = table.size() - 4;
+  if (GetU32(table.data() + entries_bytes) !=
+      Crc32c(table.data(), entries_bytes)) {
+    return Status::Corruption("snapshot section table checksum mismatch: " +
+                              path_);
+  }
+
+  sections_.clear();
+  sections_.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const uint8_t* e = table.data() + size_t{i} * kSectionEntryBytes;
+    SectionInfo info;
+    info.id = GetU32(e + 0);
+    info.offset = GetU64(e + 8);
+    info.size = GetU64(e + 16);
+    info.crc = GetU32(e + 24);
+    if (info.offset < kSnapshotHeaderBytes || info.offset % 8 != 0 ||
+        info.offset > table_offset || info.size > table_offset - info.offset) {
+      return Status::Corruption("snapshot section " +
+                                std::string(SnapshotSectionName(info.id)) +
+                                " out of bounds: " + path_);
+    }
+    sections_.push_back(info);
+  }
+  return Status::OK();
+}
+
+bool SnapshotReader::HasSection(uint32_t id) const {
+  return std::any_of(sections_.begin(), sections_.end(),
+                     [id](const SectionInfo& s) { return s.id == id; });
+}
+
+StatusOr<SectionCursor> SnapshotReader::OpenSection(uint32_t id) {
+  const auto it =
+      std::find_if(sections_.begin(), sections_.end(),
+                   [id](const SectionInfo& s) { return s.id == id; });
+  if (it == sections_.end()) {
+    return Status::NotFound("snapshot has no section " +
+                            std::string(SnapshotSectionName(id)) + ": " +
+                            path_);
+  }
+  SectionCursor cursor;
+  cursor.size_ = static_cast<size_t>(it->size);
+  if (mapping_ != nullptr) {
+    cursor.base_ = mapping_->data() + it->offset;
+    cursor.zero_copy_ = true;
+  } else {
+    cursor.owned_.resize(cursor.size_);
+    IRHINT_RETURN_NOT_OK(ReadAt(it->offset, cursor.size_,
+                                cursor.owned_.data()));
+    cursor.base_ = cursor.owned_.data();
+  }
+  if (options_.verify_checksums &&
+      Crc32c(cursor.base_, cursor.size_) != it->crc) {
+    return Status::Corruption("snapshot section " +
+                              std::string(SnapshotSectionName(id)) +
+                              " checksum mismatch: " + path_);
+  }
+  return cursor;
+}
+
+Status SnapshotReader::VerifySection(const SectionInfo& info) {
+  uint32_t actual;
+  if (mapping_ != nullptr) {
+    actual = Crc32c(mapping_->data() + info.offset,
+                    static_cast<size_t>(info.size));
+  } else {
+    std::vector<uint8_t> buf(static_cast<size_t>(info.size));
+    IRHINT_RETURN_NOT_OK(ReadAt(info.offset, buf.size(), buf.data()));
+    actual = Crc32c(buf.data(), buf.size());
+  }
+  if (actual != info.crc) {
+    return Status::Corruption("section " +
+                              std::string(SnapshotSectionName(info.id)) +
+                              " checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace irhint

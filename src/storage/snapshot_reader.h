@@ -1,0 +1,203 @@
+// Snapshot reading: header/table validation, per-section CRC checks, and a
+// bounds-checked cursor over section payloads. Two backends:
+//
+//   mmap (default)  the whole file is mapped once; ReadFlatArray hands out
+//                   zero-copy views into the mapping. The caller must keep
+//                   reader.mapping() alive for as long as any view lives
+//                   (indexes stash it in storage_keepalive_).
+//   buffered        the file stays on a FILE*; each OpenSection freads the
+//                   payload into a cursor-owned buffer and ReadFlatArray
+//                   copies. Fallback when mmap fails, and the path the
+//                   corruption tests exercise in both flavours.
+//
+// Every decode error is a clean Status (Corruption / NotSupported /
+// IoError); no input, however mangled, may crash the reader.
+
+#ifndef IRHINT_STORAGE_SNAPSHOT_READER_H_
+#define IRHINT_STORAGE_SNAPSHOT_READER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/flat_array.h"
+#include "storage/mapped_file.h"
+#include "storage/snapshot_format.h"
+
+namespace irhint {
+
+struct SnapshotReadOptions {
+  /// Map the file and serve large arrays as zero-copy views.
+  bool use_mmap = true;
+  /// Verify the CRC32C of each section payload on OpenSection().
+  bool verify_checksums = true;
+};
+
+/// \brief One entry of the section table, as read from disk.
+struct SectionInfo {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+/// \brief Bounds-checked decoder over one section payload. Obtained from
+/// SnapshotReader::OpenSection; movable, not copyable.
+class SectionCursor {
+ public:
+  SectionCursor() = default;
+  SectionCursor(SectionCursor&&) = default;
+  SectionCursor& operator=(SectionCursor&&) = default;
+  SectionCursor(const SectionCursor&) = delete;
+  SectionCursor& operator=(const SectionCursor&) = delete;
+
+  Status ReadU8(uint8_t* out) { return ReadScalar(out); }
+  Status ReadU16(uint16_t* out) { return ReadScalar(out); }
+  Status ReadU32(uint32_t* out) { return ReadScalar(out); }
+  Status ReadU64(uint64_t* out) { return ReadScalar(out); }
+  Status ReadI32(int32_t* out) {
+    uint32_t v;
+    IRHINT_RETURN_NOT_OK(ReadScalar(&v));
+    *out = static_cast<int32_t>(v);
+    return Status::OK();
+  }
+
+  Status ReadBytes(void* out, size_t n) {
+    if (n > remaining()) return Truncated();
+    std::memcpy(out, base_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    uint64_t len;
+    IRHINT_RETURN_NOT_OK(ReadU64(&len));
+    if (len > remaining()) return Truncated();
+    out->assign(reinterpret_cast<const char*>(base_ + pos_),
+                static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return Status::OK();
+  }
+
+  /// \brief Decode the array protocol (u64 count, pad to 8, raw bytes) into
+  /// an owned vector.
+  template <typename T>
+  Status ReadVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const T* data;
+    size_t count;
+    IRHINT_RETURN_NOT_OK(ReadArrayRaw<T>(&data, &count));
+    out->assign(data, data + count);
+    return Status::OK();
+  }
+
+  /// \brief Decode the array protocol into a FlatArray: a zero-copy view of
+  /// the mapping when this cursor is mmap-backed, an owned copy otherwise.
+  template <typename T>
+  Status ReadFlatArray(FlatArray<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const T* data;
+    size_t count;
+    IRHINT_RETURN_NOT_OK(ReadArrayRaw<T>(&data, &count));
+    if (zero_copy_) {
+      out->SetView(data, count);
+    } else {
+      std::vector<T> copy(data, data + count);
+      *out = std::move(copy);
+    }
+    return Status::OK();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  friend class SnapshotReader;
+
+  static Status Truncated() {
+    return Status::Corruption("section payload truncated");
+  }
+
+  Status ReadScalar(auto* out) {
+    if (sizeof(*out) > remaining()) return Truncated();
+    std::memcpy(out, base_ + pos_, sizeof(*out));
+    pos_ += sizeof(*out);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadArrayRaw(const T** data, size_t* count) {
+    uint64_t n;
+    IRHINT_RETURN_NOT_OK(ReadU64(&n));
+    pos_ = (pos_ + 7) & ~size_t{7};
+    if (pos_ > size_) return Truncated();
+    if (n > remaining() / sizeof(T)) return Truncated();
+    *data = reinterpret_cast<const T*>(base_ + pos_);
+    *count = static_cast<size_t>(n);
+    pos_ += static_cast<size_t>(n) * sizeof(T);
+    return Status::OK();
+  }
+
+  const uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;
+  /// True when base_ points into the reader's long-lived mapping.
+  bool zero_copy_ = false;
+  /// Buffered mode: the cursor owns the payload bytes it decodes.
+  std::vector<uint8_t> owned_;
+};
+
+class SnapshotReader {
+ public:
+  SnapshotReader() = default;
+  ~SnapshotReader();
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  /// \brief Open and validate `path`: magic, format version, header CRC,
+  /// section-table bounds and CRC. Section payloads are only checksummed
+  /// when opened. With options.use_mmap the reader transparently falls back
+  /// to buffered reads if mapping fails.
+  Status Open(const std::string& path,
+              const SnapshotReadOptions& options = {});
+
+  uint32_t version() const { return version_; }
+  uint32_t kind() const { return kind_; }
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+  bool HasSection(uint32_t id) const;
+
+  /// \brief Open the first section with this id, verifying its CRC (unless
+  /// disabled). NotFound if the snapshot has no such section.
+  StatusOr<SectionCursor> OpenSection(uint32_t id);
+
+  /// \brief Recompute a section's CRC32C and compare against the table
+  /// entry (used by snapshot_inspect to report per-section status).
+  Status VerifySection(const SectionInfo& info);
+
+  /// \brief The mapping backing zero-copy views; null in buffered mode.
+  /// Loaded indexes must retain this for the lifetime of their views.
+  std::shared_ptr<MappedFile> mapping() const { return mapping_; }
+
+ private:
+  Status ReadAt(uint64_t offset, size_t n, uint8_t* out);
+  Status ParseHeaderAndTable();
+
+  std::string path_;
+  SnapshotReadOptions options_;
+  std::shared_ptr<MappedFile> mapping_;  // mmap mode
+  std::FILE* file_ = nullptr;            // buffered mode
+  uint64_t file_size_ = 0;
+  uint32_t version_ = 0;
+  uint32_t kind_ = 0;
+  std::vector<SectionInfo> sections_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_STORAGE_SNAPSHOT_READER_H_

@@ -1,0 +1,123 @@
+#include "storage/snapshot_writer.h"
+
+#include <cassert>
+
+#include "storage/crc32c.h"
+
+namespace irhint {
+
+namespace {
+
+void PutU32(uint8_t* out, uint32_t v) { std::memcpy(out, &v, 4); }
+void PutU64(uint8_t* out, uint64_t v) { std::memcpy(out, &v, 8); }
+
+}  // namespace
+
+SnapshotWriter::~SnapshotWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SnapshotWriter::Open(const std::string& path, SnapshotKind kind) {
+  assert(file_ == nullptr);
+  path_ = path;
+  kind_ = kind;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot create " + path);
+    return status_;
+  }
+  // Placeholder header; Finish() rewrites it with the real table offset.
+  uint8_t header[kSnapshotHeaderBytes];
+  WriteHeaderInto(header);
+  return WriteFileBytes(header, sizeof(header));
+}
+
+void SnapshotWriter::WriteHeaderInto(uint8_t* out) const {
+  std::memset(out, 0, kSnapshotHeaderBytes);
+  PutU64(out + 0, kSnapshotMagic);
+  PutU32(out + 8, kFormatVersion);
+  PutU32(out + 12, static_cast<uint32_t>(kind_));
+  PutU64(out + 16, /*table_offset=*/0);
+  PutU32(out + 24, static_cast<uint32_t>(table_.size()));
+  PutU32(out + 28, /*flags=*/0);
+  // header_crc and the trailing reserved word are filled by Finish().
+}
+
+Status SnapshotWriter::WriteFileBytes(const void* p, size_t n) {
+  if (!status_.ok()) return status_;
+  if (n > 0 && std::fwrite(p, 1, n, file_) != n) {
+    status_ = Status::IoError("write failed: " + path_);
+    return status_;
+  }
+  file_offset_ += n;
+  return Status::OK();
+}
+
+Status SnapshotWriter::PadFileTo8() {
+  static const uint8_t kZeros[8] = {0};
+  const size_t pad = (8 - (file_offset_ % 8)) % 8;
+  return WriteFileBytes(kZeros, pad);
+}
+
+void SnapshotWriter::BeginSection(uint32_t id) {
+  assert(!in_section_);
+  in_section_ = true;
+  section_id_ = id;
+  section_buf_.clear();
+}
+
+Status SnapshotWriter::EndSection() {
+  assert(in_section_);
+  in_section_ = false;
+  if (!status_.ok()) return status_;
+  IRHINT_RETURN_NOT_OK(PadFileTo8());
+  TableEntry entry;
+  entry.id = section_id_;
+  entry.offset = file_offset_;
+  entry.size = section_buf_.size();
+  entry.crc = Crc32c(section_buf_.data(), section_buf_.size());
+  IRHINT_RETURN_NOT_OK(WriteFileBytes(section_buf_.data(),
+                                      section_buf_.size()));
+  table_.push_back(entry);
+  section_buf_.clear();
+  return Status::OK();
+}
+
+Status SnapshotWriter::Finish() {
+  assert(!in_section_);
+  if (!status_.ok()) return status_;
+  IRHINT_RETURN_NOT_OK(PadFileTo8());
+  const uint64_t table_offset = file_offset_;
+
+  std::vector<uint8_t> table_bytes(table_.size() * kSectionEntryBytes, 0);
+  for (size_t i = 0; i < table_.size(); ++i) {
+    uint8_t* e = table_bytes.data() + i * kSectionEntryBytes;
+    PutU32(e + 0, table_[i].id);
+    PutU32(e + 4, /*flags=*/0);
+    PutU64(e + 8, table_[i].offset);
+    PutU64(e + 16, table_[i].size);
+    PutU32(e + 24, table_[i].crc);
+    PutU32(e + 28, 0);
+  }
+  IRHINT_RETURN_NOT_OK(WriteFileBytes(table_bytes.data(),
+                                      table_bytes.size()));
+  uint8_t table_crc[4];
+  PutU32(table_crc, Crc32c(table_bytes.data(), table_bytes.size()));
+  IRHINT_RETURN_NOT_OK(WriteFileBytes(table_crc, 4));
+
+  uint8_t header[kSnapshotHeaderBytes];
+  WriteHeaderInto(header);
+  PutU64(header + 16, table_offset);
+  PutU32(header + 32, Crc32c(header, 32));
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fflush(file_) != 0) {
+    status_ = Status::IoError("header rewrite failed: " + path_);
+    return status_;
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace irhint

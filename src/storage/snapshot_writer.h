@@ -1,0 +1,117 @@
+// Buffered snapshot writer. Each section is accumulated in memory, then
+// flushed with its CRC32C recorded in the section table; Finish() writes
+// the table and patches the header. Errors are sticky: any failed write
+// poisons the writer and surfaces from EndSection()/Finish().
+
+#ifndef IRHINT_STORAGE_SNAPSHOT_WRITER_H_
+#define IRHINT_STORAGE_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/flat_array.h"
+#include "storage/snapshot_format.h"
+
+namespace irhint {
+
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// \brief Create/truncate `path` and write a placeholder header.
+  Status Open(const std::string& path, SnapshotKind kind);
+
+  /// \brief Start accumulating a section. Sections cannot nest.
+  void BeginSection(uint32_t id);
+
+  /// \brief Flush the current section to disk and record its table entry.
+  Status EndSection();
+
+  /// \brief Write the section table, patch the header, close the file.
+  Status Finish();
+
+  // -- Field writers (append to the open section) --------------------------
+
+  void WriteU8(uint8_t v) { Append(&v, 1); }
+  void WriteU16(uint16_t v) { AppendScalar(v); }
+  void WriteU32(uint32_t v) { AppendScalar(v); }
+  void WriteU64(uint64_t v) { AppendScalar(v); }
+  void WriteI32(int32_t v) { AppendScalar(static_cast<uint32_t>(v)); }
+  void WriteBytes(const void* p, size_t n) { Append(p, n); }
+
+  void WriteString(std::string_view s) {
+    WriteU64(s.size());
+    Append(s.data(), s.size());
+  }
+
+  /// \brief Array protocol: u64 count, pad to 8, raw bytes. T must be
+  /// trivially copyable and padding-free.
+  template <typename T>
+  void WriteArray(const T* p, size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(n);
+    AlignTo8();
+    Append(p, n * sizeof(T));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    WriteArray(v.data(), v.size());
+  }
+
+  template <typename T>
+  void WriteFlatArray(const FlatArray<T>& a) {
+    WriteArray(a.data(), a.size());
+  }
+
+  Status status() const { return status_; }
+
+ private:
+  void AppendScalar(auto v) {
+    // The format is little-endian; this library targets LE hosts only
+    // (x86-64 / aarch64), so a raw copy is the encoding.
+    Append(&v, sizeof(v));
+  }
+  void Append(const void* p, size_t n) {
+    const uint8_t* bytes = static_cast<const uint8_t*>(p);
+    section_buf_.insert(section_buf_.end(), bytes, bytes + n);
+  }
+  void AlignTo8() {
+    while (section_buf_.size() % 8 != 0) section_buf_.push_back(0);
+  }
+
+  Status WriteFileBytes(const void* p, size_t n);
+  Status PadFileTo8();
+  void WriteHeaderInto(uint8_t* out) const;
+
+  struct TableEntry {
+    uint32_t id = 0;
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  SnapshotKind kind_ = SnapshotKind::kCorpus;
+  uint64_t file_offset_ = 0;
+  std::vector<uint8_t> section_buf_;
+  uint32_t section_id_ = 0;
+  bool in_section_ = false;
+  std::vector<TableEntry> table_;
+  Status status_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_STORAGE_SNAPSHOT_WRITER_H_

@@ -1,0 +1,70 @@
+// Backward-compatibility test over the committed golden fixtures in
+// tests/golden/ (regenerated only on deliberate format-version bumps via
+// tools/make_golden_snapshot). Guards against accidental encoding changes:
+// a snapshot written by an older build must keep loading and answering
+// queries identically to a freshly built index.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "data/query_gen.h"
+#include "data/serialize.h"
+#include "storage/index_io.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
+
+namespace irhint {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(IRHINT_TEST_DATA_DIR) + "/" + name;
+}
+
+class SnapshotCompatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<Corpus> corpus = LoadCorpus(GoldenPath("corpus_v1.snap"));
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    corpus_ = std::move(corpus.value());
+  }
+  Corpus corpus_;
+};
+
+TEST_F(SnapshotCompatTest, GoldenCorpusLoads) {
+  EXPECT_EQ(corpus_.size(), 300u);
+  EXPECT_GT(corpus_.dictionary().size(), 0u);
+}
+
+TEST_F(SnapshotCompatTest, GoldenIndexSnapshotsAnswerLikeFreshBuilds) {
+  WorkloadGenerator generator(corpus_, 5);
+  const std::vector<Query> queries = generator.ExtentWorkload(0.1, 2, 100);
+
+  for (const char* name : {"irhint_perf_v1.irh", "tif_v1.irh"}) {
+    SCOPED_TRACE(name);
+    StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(GoldenPath(name));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    SnapshotReader reader;
+    ASSERT_TRUE(reader.Open(GoldenPath(name)).ok());
+    EXPECT_LE(reader.version(), kFormatVersion);
+
+    std::unique_ptr<TemporalIrIndex> fresh = CreateIndex(loaded->kind);
+    ASSERT_TRUE(fresh->Build(corpus_).ok());
+    std::vector<ObjectId> got, want;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      loaded->index->Query(queries[i], &got);
+      fresh->Query(queries[i], &want);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << "query " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace irhint

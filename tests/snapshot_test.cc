@@ -1,0 +1,357 @@
+// Snapshot storage tests: build → save → load → randomized differential
+// queries for every index kind (mmap and buffered), update support on
+// loaded indexes, and corruption injection (truncation at every section
+// boundary, bit flips, bad magic, future versions) asserting every decode
+// failure is a clean Status — never a crash.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "data/query_gen.h"
+#include "data/serialize.h"
+#include "data/synthetic.h"
+#include "storage/crc32c.h"
+#include "storage/index_io.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
+
+namespace irhint {
+namespace {
+
+using Ids = std::vector<ObjectId>;
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Corpus MakeCorpus(uint64_t cardinality = 2000) {
+  SyntheticParams params;
+  params.cardinality = cardinality;
+  params.domain = 200000;
+  params.sigma = 20000;
+  params.dictionary_size = 200;
+  params.description_size = 5;
+  params.seed = 17;
+  return GenerateSynthetic(params);
+}
+
+std::vector<Query> MakeQueries(const Corpus& corpus, size_t count) {
+  WorkloadGenerator generator(corpus, 99);
+  return generator.ExtentWorkload(0.1, 3, count);
+}
+
+Ids Answer(const TemporalIrIndex& index, const Query& query) {
+  Ids out;
+  index.Query(query, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectSameAnswers(const TemporalIrIndex& a, const TemporalIrIndex& b,
+                       const std::vector<Query>& queries) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(Answer(a, queries[i]), Answer(b, queries[i]))
+        << "query " << i << " differs";
+  }
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+const IndexKind kAllKinds[] = {
+    IndexKind::kNaiveScan,           IndexKind::kTif,
+    IndexKind::kTifSlicing,          IndexKind::kTifSharding,
+    IndexKind::kTifHintBinarySearch, IndexKind::kTifHintMergeSort,
+    IndexKind::kTifHintSlicing,      IndexKind::kIrHintPerf,
+    IndexKind::kIrHintSize,
+};
+
+class SnapshotRoundTripTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(SnapshotRoundTripTest, LoadAnswersIdentically) {
+  const Corpus corpus = MakeCorpus();
+  std::unique_ptr<TemporalIrIndex> built = CreateIndex(GetParam());
+  ASSERT_TRUE(built->Build(corpus).ok());
+  const std::string path = TempPath("roundtrip.irh");
+  ASSERT_TRUE(SaveIndex(*built, path).ok());
+
+  const std::vector<Query> queries = MakeQueries(corpus, 100);
+  for (const bool use_mmap : {true, false}) {
+    SnapshotReadOptions options;
+    options.use_mmap = use_mmap;
+    StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(path, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->kind, GetParam());
+    EXPECT_EQ(loaded->index->Name(), built->Name());
+    ExpectSameAnswers(*loaded->index, *built, queries);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(SnapshotRoundTripTest, LoadedIndexSupportsUpdates) {
+  const Corpus corpus = MakeCorpus(500);
+  std::unique_ptr<TemporalIrIndex> built = CreateIndex(GetParam());
+  ASSERT_TRUE(built->Build(corpus).ok());
+  const std::string path = TempPath("updatable.irh");
+  ASSERT_TRUE(SaveIndex(*built, path).ok());
+  StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Mutate both copies identically: new inserts (copy-on-write inside any
+  // mapped arrays) and erases of existing objects.
+  ObjectId next_id = static_cast<ObjectId>(corpus.size());
+  for (int i = 0; i < 20; ++i) {
+    Object o;
+    o.id = next_id++;
+    o.interval = Interval(100 + 40 * static_cast<Time>(i),
+                          900 + 150 * static_cast<Time>(i));
+    o.elements = {static_cast<ElementId>(i % 7),
+                  static_cast<ElementId>(10 + i % 5)};
+    std::sort(o.elements.begin(), o.elements.end());
+    ASSERT_TRUE(built->Insert(o).ok());
+    ASSERT_TRUE(loaded->index->Insert(o).ok());
+  }
+  for (ObjectId id = 0; id < 30; ++id) {
+    const Object& victim = corpus.object(id);
+    const Status a = built->Erase(victim);
+    const Status b = loaded->index->Erase(victim);
+    EXPECT_EQ(a.ok(), b.ok());
+  }
+  ExpectSameAnswers(*loaded->index, *built, MakeQueries(corpus, 100));
+
+  // A mutated loaded index must save and reload cleanly again.
+  const std::string path2 = TempPath("updatable2.irh");
+  ASSERT_TRUE(SaveIndex(*loaded->index, path2).ok());
+  StatusOr<LoadedIndex> reloaded = LoadIndexSnapshot(path2);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ExpectSameAnswers(*reloaded->index, *built, MakeQueries(corpus, 50));
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST_P(SnapshotRoundTripTest, EmptyCorpusRoundTrips) {
+  Corpus corpus;
+  corpus.set_dictionary(Dictionary::MakeAnonymous(8));
+  corpus.DeclareDomain(1000);
+  ASSERT_TRUE(corpus.Finalize().ok());
+  std::unique_ptr<TemporalIrIndex> built = CreateIndex(GetParam());
+  ASSERT_TRUE(built->Build(corpus).ok());
+  const std::string path = TempPath("empty.irh");
+  ASSERT_TRUE(SaveIndex(*built, path).ok());
+  StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Ids out;
+  loaded->index->Query(Query(Interval(0, 1000), {1, 2}), &out);
+  EXPECT_TRUE(out.empty());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SnapshotRoundTripTest,
+                         ::testing::ValuesIn(kAllKinds),
+                         [](const auto& info) {
+                           std::string name(IndexKindName(info.param));
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Corruption injection. Every mangled input must fail with a clean Status.
+// ---------------------------------------------------------------------------
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = MakeCorpus(800);
+    index_ = CreateIndex(IndexKind::kIrHintPerf);
+    ASSERT_TRUE(index_->Build(corpus_).ok());
+    path_ = TempPath("corrupt.irh");
+    ASSERT_TRUE(SaveIndex(*index_, path_).ok());
+    bytes_ = ReadFile(path_);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Expect load failure (clean Status) under both read backends.
+  void ExpectLoadFails(const std::vector<uint8_t>& mangled) {
+    WriteFile(path_, mangled);
+    for (const bool use_mmap : {true, false}) {
+      SnapshotReadOptions options;
+      options.use_mmap = use_mmap;
+      StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(path_, options);
+      EXPECT_FALSE(loaded.ok());
+    }
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<TemporalIrIndex> index_;
+  std::string path_;
+  std::vector<uint8_t> bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, TruncationAtEverySectionBoundary) {
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  std::vector<size_t> cuts = {0, 1, kSnapshotHeaderBytes - 1,
+                              kSnapshotHeaderBytes, bytes_.size() - 1,
+                              bytes_.size() - 4};
+  for (const SectionInfo& section : reader.sections()) {
+    cuts.push_back(static_cast<size_t>(section.offset));
+    cuts.push_back(static_cast<size_t>(section.offset + section.size / 2));
+    cuts.push_back(static_cast<size_t>(section.offset + section.size));
+  }
+  for (const size_t cut : cuts) {
+    ASSERT_LE(cut, bytes_.size());
+    std::vector<uint8_t> mangled(bytes_.begin(),
+                                 bytes_.begin() + static_cast<long>(cut));
+    ExpectLoadFails(mangled);
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, BitFlipsAreDetected) {
+  // Flip a bit inside the header, inside each section payload, and inside
+  // the section table; the CRCs must catch all of them.
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  std::vector<size_t> positions = {4, 9, 13, bytes_.size() - 3};
+  for (const SectionInfo& section : reader.sections()) {
+    positions.push_back(static_cast<size_t>(section.offset));
+    positions.push_back(
+        static_cast<size_t>(section.offset + section.size / 2));
+    positions.push_back(static_cast<size_t>(section.offset + section.size - 1));
+  }
+  for (const size_t pos : positions) {
+    ASSERT_LT(pos, bytes_.size());
+    std::vector<uint8_t> mangled = bytes_;
+    mangled[pos] ^= 0x10;
+    ExpectLoadFails(mangled);
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, BadMagicIsCorruption) {
+  std::vector<uint8_t> mangled = bytes_;
+  mangled[0] ^= 0xFF;
+  WriteFile(path_, mangled);
+  StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST_F(SnapshotCorruptionTest, FutureVersionIsNotSupported) {
+  std::vector<uint8_t> mangled = bytes_;
+  // Bump the version field and re-stamp the header CRC so only the version
+  // check can fire.
+  const uint32_t version = kFormatVersion + 1;
+  std::memcpy(mangled.data() + 8, &version, sizeof(version));
+  const uint32_t crc = Crc32c(mangled.data(), 32);
+  std::memcpy(mangled.data() + 32, &crc, sizeof(crc));
+  WriteFile(path_, mangled);
+  StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotSupported());
+}
+
+TEST_F(SnapshotCorruptionTest, EmptyAndTinyFilesAreCorruption) {
+  ExpectLoadFails({});
+  ExpectLoadFails({'I', 'R', 'H'});
+}
+
+TEST_F(SnapshotCorruptionTest, WrongSnapshotTypeIsRejected) {
+  // An index snapshot is not a corpus, and vice versa.
+  StatusOr<Corpus> as_corpus = LoadCorpus(path_);
+  EXPECT_FALSE(as_corpus.ok());
+
+  const std::string corpus_path = TempPath("corpus.snap");
+  ASSERT_TRUE(SaveCorpus(corpus_, corpus_path).ok());
+  StatusOr<LoadedIndex> as_index = LoadIndexSnapshot(corpus_path);
+  EXPECT_FALSE(as_index.ok());
+  EXPECT_TRUE(as_index.status().IsInvalidArgument());
+  std::remove(corpus_path.c_str());
+}
+
+TEST_F(SnapshotCorruptionTest, MissingFileIsIoError) {
+  StatusOr<LoadedIndex> loaded =
+      LoadIndexSnapshot("/nonexistent/dir/snap.irh");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIoError());
+}
+
+// ---------------------------------------------------------------------------
+// Corpus snapshots.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusSnapshotTest, TextualDictionaryRoundTrips) {
+  Corpus corpus;
+  Dictionary dict;
+  const ElementId apple = dict.AddTerm("apple");
+  const ElementId pear = dict.AddTerm("pear");
+  const ElementId quince = dict.AddTerm("quince");
+  corpus.set_dictionary(std::move(dict));
+  corpus.Append(Interval(0, 10), {apple, pear});
+  corpus.Append(Interval(5, 20), {pear, quince});
+  corpus.Append(Interval(15, 30), {apple, quince});
+  ASSERT_TRUE(corpus.Finalize().ok());
+
+  const std::string path = TempPath("textual_corpus.snap");
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dictionary().size(), 3u);
+  EXPECT_EQ(loaded->dictionary().LookupTerm("apple"), apple);
+  EXPECT_EQ(loaded->dictionary().LookupTerm("pear"), pear);
+  EXPECT_EQ(loaded->dictionary().Term(quince), "quince");
+  EXPECT_EQ(loaded->dictionary().frequencies(),
+            corpus.dictionary().frequencies());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(loaded->object(i).interval, corpus.object(i).interval);
+    EXPECT_EQ(loaded->object(i).elements, corpus.object(i).elements);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorpusSnapshotTest, InspectableSections) {
+  const Corpus corpus = MakeCorpus(100);
+  const std::string path = TempPath("sections.snap");
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.version(), kFormatVersion);
+  EXPECT_EQ(reader.kind(), static_cast<uint32_t>(SnapshotKind::kCorpus));
+  EXPECT_TRUE(reader.HasSection(kSectionMeta));
+  EXPECT_TRUE(reader.HasSection(kSectionDictionary));
+  EXPECT_TRUE(reader.HasSection(kSectionObjects));
+  for (const SectionInfo& section : reader.sections()) {
+    EXPECT_EQ(section.offset % 8, 0u);
+    EXPECT_TRUE(reader.VerifySection(section).ok());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace irhint

@@ -64,7 +64,7 @@ TEST(TifTest, ListsStayIdSorted) {
   const Corpus corpus = RunningExample();
   TemporalInvertedFile tif;
   ASSERT_TRUE(tif.Build(corpus).ok());
-  const PostingsList* list = tif.List(2);
+  const auto* list = tif.List(2);
   ASSERT_NE(list, nullptr);
   for (size_t i = 1; i < list->size(); ++i) {
     EXPECT_LT((*list)[i - 1].id, (*list)[i].id);

@@ -7,16 +7,23 @@
 //       [--dictionary D] [--dsize K] [--zeta Z] [--seed S]
 //   stats      print Table 3-style statistics of a corpus file
 //       --in FILE
+//   build      build one index over a corpus and save it as a snapshot
+//       --in FILE --save FILE [--index NAME]
 //   bench      build one index over a corpus and measure throughput
 //       --in FILE [--index NAME] [--queries N] [--extent PCT] [--k K]
 //       [--threads N] (0/1 = serial; defaults to IRHINT_THREADS)
 //       [--stats 1]   (collect and print per-index work counters)
+//       [--load FILE] (load a snapshot instead of building; reports the
+//                      cold-start load time) [--mmap 0|1] (default 1)
+//       [--verify 1]  (with --load: also rebuild from the corpus and check
+//                      that both indexes answer the workload identically)
 //   query      evaluate one time-travel IR query
 //       --in FILE --st T --end T --elements e1,e2,... [--index NAME]
 //
 // Index names: tif, slicing, sharding, hint-bs, hint-ms, hybrid,
 // irhint-perf (default), irhint-size.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +38,7 @@
 #include "data/serialize.h"
 #include "data/synthetic.h"
 #include "eval/runner.h"
+#include "storage/index_io.h"
 
 using namespace irhint;
 
@@ -71,7 +79,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: irhint_cli <generate|stats|bench|query> [--opt value]\n"
+               "usage: irhint_cli <generate|stats|build|bench|query> "
+               "[--opt value]\n"
                "see the header of tools/irhint_cli.cc for details\n");
   return 2;
 }
@@ -136,7 +145,8 @@ int Stats(const Args& args) {
   return 0;
 }
 
-int Bench(const Args& args) {
+int Build(const Args& args) {
+  if (!args.Has("save")) return Usage();
   StatusOr<Corpus> corpus = LoadFromArgs(args);
   if (!corpus.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -153,11 +163,82 @@ int Bench(const Args& args) {
   std::printf("built %s in %.2fs (%.1f MB)\n",
               std::string(index->Name()).c_str(), build.seconds,
               static_cast<double>(build.bytes) / 1048576.0);
+  Timer timer;
+  const Status st = SaveIndex(*index, args.Get("save", ""));
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved snapshot to %s in %.2fs\n", args.Get("save", ""),
+              timer.Seconds());
+  return 0;
+}
+
+int Bench(const Args& args) {
+  StatusOr<Corpus> corpus = LoadFromArgs(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<TemporalIrIndex> index;
+  if (args.Has("load")) {
+    SnapshotReadOptions options;
+    options.use_mmap = args.GetU64("mmap", 1) != 0;
+    Timer timer;
+    StatusOr<LoadedIndex> loaded =
+        LoadIndexSnapshot(args.Get("load", ""), options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "snapshot load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    const double seconds = timer.Seconds();
+    index = std::move(loaded->index);
+    std::printf("loaded %s from %s in %.4fs (cold start, %s; %.1f MB heap)\n",
+                std::string(index->Name()).c_str(), args.Get("load", ""),
+                seconds, options.use_mmap ? "mmap" : "buffered",
+                static_cast<double>(index->MemoryUsageBytes()) / 1048576.0);
+  } else {
+    index = CreateIndex(KindFromName(args.Get("index", "irhint-perf")));
+    const BuildStats build = MeasureBuild(index.get(), *corpus);
+    if (build.seconds < 0) {
+      std::fprintf(stderr, "build failed\n");
+      return 1;
+    }
+    std::printf("built %s in %.2fs (%.1f MB)\n",
+                std::string(index->Name()).c_str(), build.seconds,
+                static_cast<double>(build.bytes) / 1048576.0);
+  }
   WorkloadGenerator generator(*corpus, args.GetU64("seed", 1));
   const std::vector<Query> queries = generator.ExtentWorkload(
       args.GetDouble("extent", 0.1),
       static_cast<uint32_t>(args.GetU64("k", 3)),
       args.GetU64("queries", 1000));
+
+  if (args.Has("load") && args.GetU64("verify", 0) != 0) {
+    std::unique_ptr<TemporalIrIndex> fresh = CreateIndex(index->Kind());
+    if (Status st = fresh->Build(*corpus); !st.ok()) {
+      std::fprintf(stderr, "verify build failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::vector<ObjectId> got, want;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      index->Query(queries[i], &got);
+      fresh->Query(queries[i], &want);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      if (got != want) {
+        std::fprintf(stderr,
+                     "verify FAILED: query %zu differs (%zu vs %zu results)\n",
+                     i, got.size(), want.size());
+        return 1;
+      }
+    }
+    std::printf("verify: %zu queries answered identically by the loaded "
+                "and rebuilt index\n",
+                queries.size());
+  }
 
   const bool collect_stats = args.GetU64("stats", 0) != 0;
   if (collect_stats) index->EnableStats(true);
@@ -248,6 +329,7 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) return Usage();
   if (args.command == "generate") return Generate(args);
   if (args.command == "stats") return Stats(args);
+  if (args.command == "build") return Build(args);
   if (args.command == "bench") return Bench(args);
   if (args.command == "query") return RunQuery(args);
   return Usage();

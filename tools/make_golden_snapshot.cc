@@ -1,0 +1,61 @@
+// make_golden_snapshot — regenerate the committed snapshot fixtures under
+// tests/golden/. Run from the repo root after a deliberate format-version
+// bump (the old fixtures then move aside to keep pinning older versions):
+//
+//   build/tools/make_golden_snapshot tests/golden
+//
+// The corpus is deterministic (fixed seed), so the fixture stays tiny and
+// reproducible; the compat test rebuilds a reference index from the golden
+// corpus and differentially checks the golden index snapshot against it.
+
+#include <cstdio>
+#include <string>
+
+#include "core/factory.h"
+#include "data/serialize.h"
+#include "data/synthetic.h"
+#include "storage/index_io.h"
+
+using namespace irhint;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_golden_snapshot DIR\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  SyntheticParams params;
+  params.cardinality = 300;
+  params.domain = 20000;
+  params.sigma = 2000;
+  params.dictionary_size = 40;
+  params.description_size = 4;
+  params.seed = 7;
+  const Corpus corpus = GenerateSynthetic(params);
+
+  const std::string corpus_path = dir + "/corpus_v1.snap";
+  if (Status st = SaveCorpus(corpus, corpus_path); !st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", corpus_path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", corpus_path.c_str());
+
+  for (const auto& [kind, name] :
+       {std::pair{IndexKind::kIrHintPerf, "irhint_perf_v1.irh"},
+        std::pair{IndexKind::kTif, "tif_v1.irh"}}) {
+    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
+    if (Status st = index->Build(corpus); !st.ok()) {
+      std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const std::string path = dir + "/" + name;
+    if (Status st = SaveIndex(*index, path); !st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
