@@ -1,0 +1,144 @@
+// Ablation E: the cost of durability for live ingestion. For each WAL
+// durability policy (none / batch group-commit / fsync-per-record) the
+// full synthetic stream is ingested through a DurableIndex and then
+// recovered cold, reporting ingest throughput, log volume, and recovery
+// (replay) time. Checkpointing is disabled so the recovery column measures
+// a pure full-log replay; the checkpointed steady state is exercised by
+// the wal tests and irhint_cli ingest instead.
+//
+// Expected shape: `none` rides the page cache and sets the throughput
+// ceiling, `batch` stays within a small factor of it (one fsync per group),
+// `always` pays a full fsync per object and lands orders of magnitude
+// lower, while recovery time is policy-independent (same records replayed).
+//
+// Knobs: IRHINT_SCALE multiplies the object counts (default sizes 100K and
+// 1M), IRHINT_CSV=1 switches the report to CSV.
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/durable_index.h"
+#include "data/synthetic.h"
+
+using namespace irhint;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+uint64_t WalBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+struct PolicyCase {
+  const char* name;
+  WalDurability durability;
+};
+
+void RunSize(uint64_t cardinality, TablePrinter* table) {
+  SyntheticParams params;
+  params.cardinality = cardinality;
+  params.domain = 80 * cardinality;
+  params.sigma = 4 * cardinality;
+  params.dictionary_size = std::max<uint64_t>(100, cardinality / 10);
+  params.description_size = 8;
+  params.seed = 31;
+  const Corpus corpus = GenerateSynthetic(params);
+
+  const PolicyCase policies[] = {
+      {"none", WalDurability::kNone},
+      {"batch", WalDurability::kBatch},
+      {"always", WalDurability::kAlways},
+  };
+  for (const PolicyCase& policy : policies) {
+    const std::string dir = "/tmp/irhint_bench_wal_" +
+                            std::to_string(cardinality) + "_" + policy.name;
+    std::filesystem::remove_all(dir);
+
+    DurableIndexOptions options;
+    options.kind = IndexKind::kIrHintPerf;
+    options.durability = policy.durability;
+    options.checkpoint_bytes = 0;  // measure a pure full-log replay below
+
+    double ingest_seconds = 0;
+    {
+      auto index = DurableIndex::Open(dir, options);
+      if (!index.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     index.status().ToString().c_str());
+        continue;
+      }
+      const auto begin = std::chrono::steady_clock::now();
+      bool failed = false;
+      for (const Object& object : corpus.objects()) {
+        if (!(*index)->Insert(object).ok()) {
+          failed = true;
+          break;
+        }
+      }
+      if (failed || !(*index)->Flush().ok()) {
+        std::fprintf(stderr, "ingest failed for %s\n", policy.name);
+        continue;
+      }
+      ingest_seconds = Seconds(begin, std::chrono::steady_clock::now());
+    }
+    const uint64_t wal_bytes = WalBytes(dir);
+
+    const auto begin = std::chrono::steady_clock::now();
+    auto recovered = DurableIndex::Open(dir, options);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      continue;
+    }
+    const double recovery_seconds =
+        Seconds(begin, std::chrono::steady_clock::now());
+    const uint64_t replayed = (*recovered)->recovery_info().records_replayed;
+    recovered->reset();
+    std::filesystem::remove_all(dir);
+
+    table->AddRow({Fmt(static_cast<uint64_t>(cardinality)), policy.name,
+                   Fmt(ingest_seconds, 3),
+                   Fmt(cardinality / ingest_seconds, 0), FmtMb(wal_bytes),
+                   Fmt(recovery_seconds, 3), Fmt(replayed)});
+    std::printf("# %llu objects, policy %s done\n",
+                static_cast<unsigned long long>(cardinality), policy.name);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation E: WAL durability policies — ingest vs recovery");
+  TablePrinter table({"objects", "durability", "ingest [s]", "objects/s",
+                      "wal [MB]", "recovery [s]", "replayed"});
+  const double scale = BenchScaleFromEnv();
+  for (const uint64_t base : {uint64_t{100'000}, uint64_t{1'000'000}}) {
+    const uint64_t cardinality =
+        std::max<uint64_t>(1000, static_cast<uint64_t>(base * scale));
+    RunSize(cardinality, &table);
+  }
+  std::printf("\n");
+  const char* csv = std::getenv("IRHINT_CSV");
+  if (csv != nullptr && std::atoi(csv) != 0) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+// A TemporalIrIndex wrapper that makes live ingestion durable: every
+// Insert/Erase is appended to a write-ahead log before it is applied, the
+// index is rebuilt from the newest checkpoint snapshot plus log replay on
+// Open(), and a background (or inline) checkpointer bounds replay time by
+// snapshotting the index and garbage-collecting sealed log segments.
+
+#ifndef IRHINT_CORE_DURABLE_INDEX_H_
+#define IRHINT_CORE_DURABLE_INDEX_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/factory.h"
+#include "core/temporal_ir_index.h"
+#include "wal/recovery.h"
+#include "wal/wal_writer.h"
+
+namespace irhint {
+
+struct DurableIndexOptions {
+  /// Index kind to create on a fresh directory. When the directory already
+  /// holds a checkpoint snapshot, the snapshot's recorded kind wins.
+  IndexKind kind = IndexKind::kIrHintPerf;
+  IndexConfig config;
+
+  /// WAL durability policy and group-commit knobs (see wal/wal_writer.h).
+  WalDurability durability = WalDurability::kBatch;
+  uint64_t batch_bytes = 256 * 1024;
+  double batch_interval_seconds = 0.02;
+
+  /// Checkpoint once the live segment exceeds this many bytes; 0 disables
+  /// automatic checkpointing (TriggerCheckpoint() still works).
+  uint64_t checkpoint_bytes = 0;
+  /// Run automatic checkpoints on a background thread. When false they run
+  /// inline inside the Insert/Erase that crossed the threshold, which is
+  /// deterministic (what the tests use) but stalls that update.
+  bool background_checkpoint = true;
+  /// Checkpoint snapshots to retain after GC (>= 1). Only the newest is
+  /// recoverable from — older segments are deleted — but extras help
+  /// post-mortems.
+  uint32_t gc_keep_snapshots = 1;
+
+  SnapshotReadOptions snapshot_read;
+};
+
+/// \brief Durable live index over a WAL directory.
+///
+/// Concurrency: Query()/Stats() take a shared lock, updates and checkpoints
+/// an exclusive one, so readers run concurrently with each other but not
+/// with writes (single-writer model, Section 5.5). All methods are
+/// thread-safe.
+class DurableIndex : public TemporalIrIndex {
+ public:
+  /// \brief Recover (or create) the index in `wal_dir` and arm the log
+  /// writer. `env` defaults to the POSIX environment; the crash-torture
+  /// test passes a fault-injecting one.
+  static StatusOr<std::unique_ptr<DurableIndex>> Open(
+      const std::string& wal_dir, const DurableIndexOptions& options = {},
+      WalEnv* env = nullptr);
+
+  /// Stops the checkpointer and syncs the log (so a clean close loses
+  /// nothing even under the kNone policy).
+  ~DurableIndex() override;
+
+  // -- TemporalIrIndex ------------------------------------------------------
+
+  /// \brief Bulk-load a corpus through the log. Only valid on a fresh
+  /// directory (no LSN assigned yet); recovery rebuilds the same state.
+  Status Build(const Corpus& corpus) override;
+
+  void Query(const irhint::Query& query,
+             std::vector<ObjectId>* out) const override;
+  Status Insert(const Object& object) override;
+  Status Erase(const Object& object) override;
+  size_t MemoryUsageBytes() const override;
+  std::optional<QueryCounters> Stats() const override;
+  void ResetStats() override;
+  void EnableStats(bool enabled) override;
+  std::string_view Name() const override { return name_; }
+  IndexKind Kind() const override;
+
+  /// Persistence is the WAL directory itself; snapshot the inner index via
+  /// checkpoints, not SaveIndex.
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
+
+  // -- Durability controls --------------------------------------------------
+
+  /// \brief fsync everything appended so far, regardless of policy.
+  Status Flush();
+
+  /// \brief Run one checkpoint now, inline: rotate the log, snapshot the
+  /// index, then garbage-collect sealed segments and old snapshots.
+  Status TriggerCheckpoint();
+
+  /// \brief Block until no automatic checkpoint is queued or running;
+  /// returns the status of the last one that ran.
+  Status WaitForCheckpoint();
+
+  /// \brief LSN the next update will get.
+  uint64_t next_lsn() const;
+  /// \brief Highest LSN known durable.
+  uint64_t last_synced_lsn() const;
+  uint64_t wal_segment_seq() const;
+  uint64_t wal_segment_bytes() const;
+  /// \brief Smallest id the next insert may use.
+  uint64_t next_object_id() const;
+
+  /// \brief How Open() reconstructed the state (`index` member is null).
+  const RecoveryResult& recovery_info() const { return recovery_info_; }
+
+ private:
+  DurableIndex() = default;
+
+  bool ShouldCheckpointLocked() const;
+  /// One full checkpoint cycle; serialized against concurrent triggers.
+  Status RunCheckpoint();
+  Status GarbageCollect(uint64_t live_seq, uint64_t keep_ckpt_lsn);
+  void CheckpointThreadMain();
+
+  WalEnv* env_ = nullptr;
+  std::string dir_;
+  DurableIndexOptions options_;
+  std::string name_;
+  RecoveryResult recovery_info_;
+
+  /// Guards inner_, writer_ and the watermark (shared: queries; exclusive:
+  /// updates).
+  mutable std::shared_mutex mutex_;
+  std::unique_ptr<TemporalIrIndex> inner_;
+  std::unique_ptr<WalWriter> writer_;
+  /// Smallest id the next insert may use. The inner indexes trust the
+  /// strictly-increasing-id contract of Section 5.5 without checking it,
+  /// so the durable layer enforces it (and persists it via checkpoints) —
+  /// otherwise a re-ingest after recovery would insert duplicates.
+  uint64_t next_object_id_ = 0;
+
+  /// Checkpoints are serialized; the trigger handshake has its own mutex
+  /// (never held while acquiring mutex_).
+  std::mutex ckpt_serial_mutex_;
+  std::mutex ckpt_mutex_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_requested_ = false;
+  bool ckpt_running_ = false;
+  bool ckpt_stop_ = false;
+  Status last_checkpoint_status_;
+  std::thread ckpt_thread_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_CORE_DURABLE_INDEX_H_

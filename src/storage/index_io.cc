@@ -49,11 +49,10 @@ Status SaveIndex(const TemporalIrIndex& index, const std::string& path) {
   return writer.Finish();
 }
 
-StatusOr<LoadedIndex> LoadIndexSnapshot(const std::string& path,
-                                        const SnapshotReadOptions& options) {
-  SnapshotReader reader;
-  IRHINT_RETURN_NOT_OK(reader.Open(path, options));
-  auto kind = IndexKindForSnapshot(reader.kind());
+namespace {
+
+StatusOr<LoadedIndex> LoadIndexFromReader(SnapshotReader* reader) {
+  auto kind = IndexKindForSnapshot(reader->kind());
   IRHINT_RETURN_NOT_OK(kind.status());
   LoadedIndex loaded;
   loaded.kind = kind.value();
@@ -61,10 +60,51 @@ StatusOr<LoadedIndex> LoadIndexSnapshot(const std::string& path,
   if (loaded.index == nullptr) {
     return Status::Corruption("snapshot has unknown index kind tag");
   }
-  IRHINT_RETURN_NOT_OK(loaded.index->LoadFrom(&reader));
+  IRHINT_RETURN_NOT_OK(loaded.index->LoadFrom(reader));
   // Zero-copy views inside the index alias the mapping; pin it.
-  loaded.index->set_storage_keepalive(reader.mapping());
+  loaded.index->set_storage_keepalive(reader->mapping());
   return loaded;
+}
+
+}  // namespace
+
+StatusOr<LoadedIndex> LoadIndexSnapshot(const std::string& path,
+                                        const SnapshotReadOptions& options) {
+  SnapshotReader reader;
+  IRHINT_RETURN_NOT_OK(reader.Open(path, options));
+  return LoadIndexFromReader(&reader);
+}
+
+Status SaveIndexCheckpoint(const TemporalIrIndex& index,
+                           const std::string& path, uint64_t wal_lsn,
+                           uint64_t next_object_id) {
+  SnapshotWriter writer;
+  IRHINT_RETURN_NOT_OK(writer.Open(path, SnapshotKindFor(index.Kind())));
+  IRHINT_RETURN_NOT_OK(index.SaveTo(&writer));
+  writer.BeginSection(kSectionWalState);
+  writer.WriteU64(wal_lsn);
+  writer.WriteU64(next_object_id);
+  IRHINT_RETURN_NOT_OK(writer.EndSection());
+  return writer.Finish();
+}
+
+StatusOr<CheckpointInfo> LoadIndexCheckpoint(
+    const std::string& path, const SnapshotReadOptions& options) {
+  SnapshotReader reader;
+  IRHINT_RETURN_NOT_OK(reader.Open(path, options));
+  auto cursor = reader.OpenSection(kSectionWalState);
+  if (cursor.status().IsNotFound()) {
+    return Status::InvalidArgument(
+        "snapshot has no WAL state section (not a checkpoint): " + path);
+  }
+  IRHINT_RETURN_NOT_OK(cursor.status());
+  CheckpointInfo info;
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&info.wal_lsn));
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&info.next_object_id));
+  auto loaded = LoadIndexFromReader(&reader);
+  IRHINT_RETURN_NOT_OK(loaded.status());
+  info.loaded = std::move(loaded).value();
+  return info;
 }
 
 }  // namespace irhint

@@ -36,6 +36,30 @@ struct LoadedIndex {
 StatusOr<LoadedIndex> LoadIndexSnapshot(
     const std::string& path, const SnapshotReadOptions& options = {});
 
+/// \brief Write `index` to `path` as a snapshot that additionally records
+/// the WAL LSN it covers and the id high-water mark (a kSectionWalState
+/// section). Used by WAL checkpointing; the file is a regular index
+/// snapshot plus one extra section, so LoadIndexSnapshot can still open it.
+Status SaveIndexCheckpoint(const TemporalIrIndex& index,
+                           const std::string& path, uint64_t wal_lsn,
+                           uint64_t next_object_id);
+
+struct CheckpointInfo {
+  LoadedIndex loaded;
+  /// Every update with LSN <= wal_lsn is contained in the snapshot.
+  uint64_t wal_lsn = 0;
+  /// Smallest id a future insert may use (ids strictly increase; the inner
+  /// indexes trust this precondition, so the durable layer enforces it and
+  /// must persist the watermark).
+  uint64_t next_object_id = 0;
+};
+
+/// \brief Load a snapshot written by SaveIndexCheckpoint. Fails with
+/// InvalidArgument if the file has no WAL state section (i.e. it is a plain
+/// SaveIndex snapshot).
+StatusOr<CheckpointInfo> LoadIndexCheckpoint(
+    const std::string& path, const SnapshotReadOptions& options = {});
+
 }  // namespace irhint
 
 #endif  // IRHINT_STORAGE_INDEX_IO_H_

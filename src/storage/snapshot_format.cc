@@ -26,6 +26,7 @@ std::string_view SnapshotSectionName(uint32_t id) {
     case kSectionAux: return "aux";
     case kSectionDictionary: return "dictionary";
     case kSectionObjects: return "objects";
+    case kSectionWalState: return "wal_state";
   }
   return "?";
 }

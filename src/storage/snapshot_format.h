@@ -83,6 +83,10 @@ enum SnapshotSection : uint32_t {
   kSectionDictionary = 5,
   /// Corpus snapshots: the object collection.
   kSectionObjects = 6,
+  /// Checkpoint snapshots (src/wal): the WAL LSN the snapshot covers.
+  /// Added after format v1 shipped — readers ignore unknown sections, so
+  /// no version bump (see the version policy above).
+  kSectionWalState = 7,
 };
 
 /// \brief Human-readable name of a snapshot kind tag ("?" if unknown).

@@ -1,6 +1,10 @@
 #include "storage/snapshot_writer.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cassert>
+#include <cstdio>
 
 #include "storage/crc32c.h"
 
@@ -11,19 +15,39 @@ namespace {
 void PutU32(uint8_t* out, uint32_t v) { std::memcpy(out, &v, 4); }
 void PutU64(uint8_t* out, uint64_t v) { std::memcpy(out, &v, 8); }
 
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open directory " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed on directory " + dir);
+  return Status::OK();
+}
+
 }  // namespace
 
 SnapshotWriter::~SnapshotWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    // Abandoned without Finish(): drop the temp file; `path_` keeps
+    // whatever good snapshot it held before.
+    std::fclose(file_);
+    std::remove(tmp_path_.c_str());
+  }
 }
 
-Status SnapshotWriter::Open(const std::string& path, SnapshotKind kind) {
+Status SnapshotWriter::Open(const std::string& path, SnapshotKind kind,
+                            const SnapshotWriteOptions& options) {
   assert(file_ == nullptr);
   path_ = path;
+  tmp_path_ = path + ".tmp";
+  options_ = options;
   kind_ = kind;
-  file_ = std::fopen(path.c_str(), "wb");
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
   if (file_ == nullptr) {
-    status_ = Status::IoError("cannot create " + path);
+    status_ = Status::IoError("cannot create " + tmp_path_);
     return status_;
   }
   // Placeholder header; Finish() rewrites it with the real table offset.
@@ -112,11 +136,25 @@ Status SnapshotWriter::Finish() {
   if (std::fseek(file_, 0, SEEK_SET) != 0 ||
       std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
       std::fflush(file_) != 0) {
-    status_ = Status::IoError("header rewrite failed: " + path_);
+    status_ = Status::IoError("header rewrite failed: " + tmp_path_);
+    return status_;
+  }
+  if (options_.sync_on_finish && ::fsync(fileno(file_)) != 0) {
+    status_ = Status::IoError("fsync failed: " + tmp_path_);
     return status_;
   }
   std::fclose(file_);
   file_ = nullptr;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    status_ = Status::IoError("rename failed: " + tmp_path_ + " -> " + path_);
+    return status_;
+  }
+  // Persist the rename itself; without this a crash can resurface the old
+  // directory entry even though the file data is durable.
+  if (options_.sync_on_finish) {
+    IRHINT_RETURN_NOT_OK(SyncParentDir(path_));
+  }
   return Status::OK();
 }
 

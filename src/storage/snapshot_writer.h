@@ -20,6 +20,13 @@
 
 namespace irhint {
 
+struct SnapshotWriteOptions {
+  /// fsync the file (and its parent directory after the rename) in
+  /// Finish(), so a power loss right after saving cannot leave a torn or
+  /// missing snapshot. On by default; benches may turn it off.
+  bool sync_on_finish = true;
+};
+
 class SnapshotWriter {
  public:
   SnapshotWriter() = default;
@@ -28,8 +35,12 @@ class SnapshotWriter {
   SnapshotWriter(const SnapshotWriter&) = delete;
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
 
-  /// \brief Create/truncate `path` and write a placeholder header.
-  Status Open(const std::string& path, SnapshotKind kind);
+  /// \brief Start writing. Bytes go to `path`.tmp; Finish() atomically
+  /// renames over `path`, so a crash mid-save never clobbers an existing
+  /// good snapshot, and `path` either remains the old file or becomes the
+  /// complete new one. An abandoned writer removes its temp file.
+  Status Open(const std::string& path, SnapshotKind kind,
+              const SnapshotWriteOptions& options = {});
 
   /// \brief Start accumulating a section. Sections cannot nest.
   void BeginSection(uint32_t id);
@@ -37,7 +48,8 @@ class SnapshotWriter {
   /// \brief Flush the current section to disk and record its table entry.
   Status EndSection();
 
-  /// \brief Write the section table, patch the header, close the file.
+  /// \brief Write the section table, patch the header, fsync (per the
+  /// open options), close, and rename the temp file into place.
   Status Finish();
 
   // -- Field writers (append to the open section) --------------------------
@@ -103,6 +115,8 @@ class SnapshotWriter {
 
   std::FILE* file_ = nullptr;
   std::string path_;
+  std::string tmp_path_;
+  SnapshotWriteOptions options_;
   SnapshotKind kind_ = SnapshotKind::kCorpus;
   uint64_t file_offset_ = 0;
   std::vector<uint8_t> section_buf_;

@@ -1,0 +1,212 @@
+#include "wal/fault_env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace irhint {
+
+/// Write-through file that reports appends/syncs back to the env so it can
+/// model what survives a crash. Named (not in the anonymous namespace) so
+/// the env's friend declaration matches it.
+class FaultInjectingFile : public WalWritableFile {
+ public:
+  FaultInjectingFile(FaultInjectingWalEnv* env, std::string path,
+                     std::unique_ptr<WalWritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(const void* data, size_t n) override;
+  Status Sync() override;
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingWalEnv* env_;
+  std::string path_;
+  std::unique_ptr<WalWritableFile> base_;
+};
+
+namespace {
+
+Status FlipOneBit(const std::string& path, uint64_t offset, uint32_t bit) {
+  // Direct FILE* surgery on the materialized file; this runs after the
+  // simulated crash, outside any env, so bypassing WalEnv is fine.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return Status::IoError("cannot reopen " + path);
+  unsigned char byte = 0;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fread(&byte, 1, 1, f) != 1) {
+    std::fclose(f);
+    return Status::IoError("cannot read flip target in " + path);
+  }
+  byte = static_cast<unsigned char>(byte ^ (1u << (bit % 8)));
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fwrite(&byte, 1, 1, f) != 1) {
+    std::fclose(f);
+    return Status::IoError("cannot write flip target in " + path);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultInjectingFile::Append(const void* data, size_t n) {
+  auto& state = env_->files_[path_];
+  if (env_->CountOp()) {
+    // Torn write: a random prefix of this record reaches the page cache
+    // before the lights go out.
+    const size_t torn = n == 0 ? 0 : env_->rng_() % (n + 1);
+    if (torn > 0) {
+      const Status st = base_->Append(data, torn);
+      if (st.ok()) state.appended_len += torn;
+    }
+    return FaultInjectingWalEnv::CrashedStatus();
+  }
+  IRHINT_RETURN_NOT_OK(base_->Append(data, n));
+  state.appended_len += n;
+  return Status::OK();
+}
+
+Status FaultInjectingFile::Sync() {
+  auto& state = env_->files_[path_];
+  if (env_->CountOp()) {
+    // Crash mid-fsync: nothing new is promised durable.
+    return FaultInjectingWalEnv::CrashedStatus();
+  }
+  IRHINT_RETURN_NOT_OK(base_->Sync());
+  state.synced_len = state.appended_len;
+  return Status::OK();
+}
+
+void FaultInjectingWalEnv::ArmCrash(uint64_t ops_from_now, uint64_t seed) {
+  crash_at_op_ = ops_ + ops_from_now;
+  crashed_ = false;
+  rng_.seed(seed);
+}
+
+bool FaultInjectingWalEnv::CountOp() {
+  if (crashed_) return true;
+  ++ops_;
+  if (crash_at_op_ != 0 && ops_ >= crash_at_op_) crashed_ = true;
+  return crashed_;
+}
+
+Status FaultInjectingWalEnv::MaterializeCrashState(std::mt19937_64* rng,
+                                                   bool flip_bits) {
+  for (const auto& [path, state] : files_) {
+    if (!base_->FileExists(path)) continue;
+    auto size = base_->FileSize(path);
+    IRHINT_RETURN_NOT_OK(size.status());
+    // appended_len is what our writer handed over; the actual file can be
+    // no larger (O_APPEND), but clamp defensively.
+    const uint64_t appended = std::min<uint64_t>(state.appended_len, *size);
+    const uint64_t synced = std::min<uint64_t>(state.synced_len, appended);
+    const uint64_t survive =
+        synced + (*rng)() % (appended - synced + 1);  // in [synced, appended]
+    if (survive < *size) {
+      IRHINT_RETURN_NOT_OK(base_->TruncateFile(path, survive));
+    }
+    // A flipped bit models a torn sector; only the unsynced tail may be
+    // damaged — synced bytes are durable by contract.
+    if (flip_bits && survive > synced) {
+      const uint64_t offset = synced + (*rng)() % (survive - synced);
+      IRHINT_RETURN_NOT_OK(
+          FlipOneBit(path, offset, static_cast<uint32_t>((*rng)() % 8)));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<WalWritableFile>>
+FaultInjectingWalEnv::NewWritableFile(const std::string& path) {
+  if (CountOp()) return CrashedStatus();
+  auto base = base_->NewWritableFile(path);
+  IRHINT_RETURN_NOT_OK(base.status());
+  files_[path] = FileState{};  // truncated: nothing appended or synced yet
+  return std::unique_ptr<WalWritableFile>(
+      new FaultInjectingFile(this, path, std::move(base).value()));
+}
+
+StatusOr<std::string> FaultInjectingWalEnv::ReadFileToString(
+    const std::string& path) {
+  if (crashed_) return CrashedStatus();
+  return base_->ReadFileToString(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingWalEnv::ListDir(
+    const std::string& dir) {
+  if (crashed_) return CrashedStatus();
+  return base_->ListDir(dir);
+}
+
+Status FaultInjectingWalEnv::CreateDirIfMissing(const std::string& dir) {
+  if (crashed_) return CrashedStatus();
+  return base_->CreateDirIfMissing(dir);
+}
+
+Status FaultInjectingWalEnv::RenameFile(const std::string& from,
+                                        const std::string& to) {
+  if (CountOp()) return CrashedStatus();
+  IRHINT_RETURN_NOT_OK(base_->RenameFile(from, to));
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingWalEnv::DeleteFile(const std::string& path) {
+  if (CountOp()) return CrashedStatus();
+  IRHINT_RETURN_NOT_OK(base_->DeleteFile(path));
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectingWalEnv::TruncateFile(const std::string& path,
+                                          uint64_t size) {
+  if (CountOp()) return CrashedStatus();
+  IRHINT_RETURN_NOT_OK(base_->TruncateFile(path, size));
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.appended_len = std::min(it->second.appended_len, size);
+    it->second.synced_len = std::min(it->second.synced_len, size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingWalEnv::SyncDir(const std::string& dir) {
+  if (CountOp()) return CrashedStatus();
+  return base_->SyncDir(dir);
+}
+
+bool FaultInjectingWalEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+StatusOr<uint64_t> FaultInjectingWalEnv::FileSize(const std::string& path) {
+  if (crashed_) return CrashedStatus();
+  return base_->FileSize(path);
+}
+
+Status FaultInjectingWalEnv::WriteIndexSnapshot(const TemporalIrIndex& index,
+                                                const std::string& path,
+                                                uint64_t lsn,
+                                                uint64_t next_object_id) {
+  if (CountOp()) {
+    // Crash mid-checkpoint. The real save path is tmp + atomic rename, so
+    // a true crash leaves no file at `path`; model the harsher failure of
+    // a non-atomic filesystem by leaving garbage there, which recovery
+    // must reject and fall back past.
+    auto file = base_->NewWritableFile(path);
+    if (file.ok()) {
+      static const char kGarbage[] = "torn checkpoint snapshot";
+      (void)(*file)->Append(kGarbage, sizeof(kGarbage));
+      (void)(*file)->Close();
+    }
+    return CrashedStatus();
+  }
+  return base_->WriteIndexSnapshot(index, path, lsn, next_object_id);
+}
+
+}  // namespace irhint

@@ -1,0 +1,89 @@
+// Fault-injecting WalEnv for the crash-torture harness. Wraps a real
+// environment write-through, counts every mutating filesystem operation,
+// and "crashes" the process at an armed operation budget: the op fails
+// with IoError, a mid-record Append may leave a torn prefix, a mid-fsync
+// Sync leaves everything since the last sync volatile, and a mid-snapshot
+// WriteIndexSnapshot leaves garbage bytes. After the crash every further
+// mutation fails, and MaterializeCrashState() rewrites the on-disk files
+// to a state the kernel could have left after power loss: each WAL file
+// keeps its synced prefix plus a random portion of the unsynced tail,
+// optionally with a flipped bit in that tail.
+
+#ifndef IRHINT_WAL_FAULT_ENV_H_
+#define IRHINT_WAL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/wal_env.h"
+
+namespace irhint {
+
+class FaultInjectingWalEnv : public WalEnv {
+ public:
+  /// \brief Wrap `base` (not owned; typically DefaultWalEnv()).
+  explicit FaultInjectingWalEnv(WalEnv* base) : base_(base) {}
+
+  /// \brief Crash on the `ops_from_now`-th mutating operation counted from
+  /// now (1 = the very next one). `seed` drives the torn-prefix length.
+  void ArmCrash(uint64_t ops_from_now, uint64_t seed);
+
+  bool crashed() const { return crashed_; }
+  uint64_t ops_performed() const { return ops_; }
+
+  /// \brief After a crash: for every file written through this env, keep
+  /// the synced prefix plus a uniformly random part of the unsynced tail
+  /// (what the page cache may or may not have flushed). With `flip_bits`,
+  /// one surviving unsynced byte additionally gets a random bit flipped —
+  /// a torn sector, which the CRC framing must catch. Call before
+  /// recovering with the real environment.
+  Status MaterializeCrashState(std::mt19937_64* rng, bool flip_bits);
+
+  // -- WalEnv ---------------------------------------------------------------
+
+  StatusOr<std::unique_ptr<WalWritableFile>> NewWritableFile(
+      const std::string& path) override;
+  StatusOr<std::string> ReadFileToString(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDirIfMissing(const std::string& dir) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  Status WriteIndexSnapshot(const TemporalIrIndex& index,
+                            const std::string& path, uint64_t lsn,
+                            uint64_t next_object_id) override;
+
+ private:
+  friend class FaultInjectingFile;
+
+  struct FileState {
+    uint64_t synced_len = 0;    // survives the crash for certain
+    uint64_t appended_len = 0;  // upper bound on what can survive
+  };
+
+  /// \brief Count one mutating op; returns true when this op is the crash
+  /// point (or the crash already happened).
+  bool CountOp();
+  static Status CrashedStatus() {
+    return Status::IoError("simulated crash: filesystem is gone");
+  }
+
+  WalEnv* base_;
+  uint64_t ops_ = 0;
+  uint64_t crash_at_op_ = 0;  // 0 = disarmed
+  bool crashed_ = false;
+  std::mt19937_64 rng_;
+  std::map<std::string, FileState> files_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_WAL_FAULT_ENV_H_

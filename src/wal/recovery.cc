@@ -1,0 +1,192 @@
+#include "wal/recovery.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "data/corpus.h"
+#include "storage/index_io.h"
+#include "wal/wal_reader.h"
+
+namespace irhint {
+
+StatusOr<std::vector<uint64_t>> ListCheckpointLsns(WalEnv* env,
+                                                   const std::string& dir) {
+  auto names = env->ListDir(dir);
+  IRHINT_RETURN_NOT_OK(names.status());
+  std::vector<uint64_t> lsns;
+  for (const std::string& name : *names) {
+    uint64_t lsn = 0;
+    if (ParseCheckpointFileName(name, &lsn)) lsns.push_back(lsn);
+  }
+  std::sort(lsns.rbegin(), lsns.rend());
+  return lsns;
+}
+
+StatusOr<std::vector<uint64_t>> ListWalSegments(WalEnv* env,
+                                                const std::string& dir) {
+  auto names = env->ListDir(dir);
+  IRHINT_RETURN_NOT_OK(names.status());
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    if (ParseWalSegmentFileName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+namespace {
+
+StatusOr<std::unique_ptr<TemporalIrIndex>> FreshIndex(
+    const RecoveryOptions& options) {
+  std::unique_ptr<TemporalIrIndex> index =
+      CreateIndex(options.kind, options.config);
+  if (index == nullptr) {
+    return Status::InvalidArgument("unknown index kind");
+  }
+  Corpus empty;
+  empty.DeclareDomain(1);  // inserts grow the domain as needed
+  IRHINT_RETURN_NOT_OK(empty.Finalize());
+  IRHINT_RETURN_NOT_OK(index->Build(empty));
+  return index;
+}
+
+}  // namespace
+
+StatusOr<RecoveryResult> RecoveryManager::Recover(
+    const RecoveryOptions& options) {
+  RecoveryResult result;
+  result.kind = options.kind;
+
+  if (!env_->FileExists(dir_)) {
+    auto fresh = FreshIndex(options);
+    IRHINT_RETURN_NOT_OK(fresh.status());
+    result.index = std::move(fresh).value();
+    return result;
+  }
+
+  auto checkpoints = ListCheckpointLsns(env_, dir_);
+  IRHINT_RETURN_NOT_OK(checkpoints.status());
+  auto segments = ListWalSegments(env_, dir_);
+  IRHINT_RETURN_NOT_OK(segments.status());
+
+  // Newest checkpoint snapshot that still loads wins; bit-rotted ones are
+  // passed over (the LSN-contiguity check below fails recovery if their
+  // records were already garbage-collected, rather than losing data
+  // silently).
+  for (const uint64_t lsn : *checkpoints) {
+    const std::string name = CheckpointFileName(lsn);
+    auto loaded = LoadIndexCheckpoint(WalPathJoin(dir_, name),
+                                      options.snapshot_read);
+    if (!loaded.ok()) {
+      ++result.snapshots_rejected;
+      continue;
+    }
+    if (loaded->wal_lsn != lsn) {
+      // File renamed to the wrong LSN: treat as unusable, not fatal.
+      ++result.snapshots_rejected;
+      continue;
+    }
+    result.index = std::move(loaded->loaded.index);
+    result.kind = loaded->loaded.kind;
+    result.snapshot_file = name;
+    result.snapshot_lsn = lsn;
+    result.next_object_id = loaded->next_object_id;
+    break;
+  }
+  if (result.index == nullptr) {
+    auto fresh = FreshIndex(options);
+    IRHINT_RETURN_NOT_OK(fresh.status());
+    result.index = std::move(fresh).value();
+  }
+
+  const uint64_t base_lsn = result.snapshot_lsn;
+  uint64_t expected_lsn = base_lsn + 1;
+  bool final_segment_deleted = false;
+  for (size_t i = 0; i < segments->size(); ++i) {
+    const uint64_t seq = (*segments)[i];
+    const bool is_final = i + 1 == segments->size();
+    const std::string path = WalPathJoin(dir_, WalSegmentFileName(seq));
+    auto contents = ReadWalSegment(env_, path);
+    IRHINT_RETURN_NOT_OK(contents.status());
+    if (!contents->clean) {
+      if (!is_final) {
+        // Sealed segments were fully fsynced by Rotate before the next
+        // segment opened, so damage here cannot be a crash artifact.
+        return Status::Corruption(
+            "wal mid-log corruption in " + path + ": " +
+            contents->tail_status.message());
+      }
+      // Any decode failure in the final (live) segment ends the log: a
+      // crash can tear it mid-record or mid-fsync, and out-of-order page
+      // writeback can even corrupt an unsynced record while later ones
+      // survive (which is why a valid record after the damage proves
+      // nothing here). Drop the tail and physically truncate so the
+      // segment parses to EOF on the next recovery.
+      result.torn_bytes_dropped =
+          contents->file_bytes - contents->valid_bytes;
+      if (options.truncate_torn_tail) {
+        if (contents->valid_bytes < kWalSegmentHeaderBytes) {
+          // The crash cut the segment inside its own header, so not a
+          // single byte is usable and a truncated stub could never parse
+          // again (it would read as mid-log corruption once the writer
+          // moves on). Remove the file and hand its sequence number back
+          // to the writer.
+          IRHINT_RETURN_NOT_OK(env_->DeleteFile(path));
+          IRHINT_RETURN_NOT_OK(env_->SyncDir(dir_));
+          final_segment_deleted = true;
+        } else {
+          IRHINT_RETURN_NOT_OK(
+              env_->TruncateFile(path, contents->valid_bytes));
+        }
+      }
+    }
+    for (const WalRecord& record : contents->records) {
+      if (record.lsn <= base_lsn) continue;  // covered by the snapshot
+      if (record.lsn != expected_lsn) {
+        // LSNs are dense; a jump means records were lost (e.g. a segment
+        // garbage-collected against a checkpoint whose snapshot no longer
+        // loads).
+        return Status::Corruption(
+            "wal records missing before " + path + ": expected LSN " +
+            std::to_string(expected_lsn) + ", found " +
+            std::to_string(record.lsn));
+      }
+      ++expected_lsn;
+      // A failed apply is skipped, never an error: the inner indexes are
+      // deterministic and replay reconstructs the exact state each record
+      // was logged against, so the same call failed identically (and was
+      // surfaced to the caller) when it was first logged.
+      switch (record.type) {
+        case WalRecordType::kInsert: {
+          if (result.index->Insert(record.object).ok()) {
+            ++result.records_replayed;
+          } else {
+            ++result.records_skipped;
+          }
+          result.next_object_id = std::max<uint64_t>(
+              result.next_object_id, uint64_t{record.object.id} + 1);
+          break;
+        }
+        case WalRecordType::kErase: {
+          if (result.index->Erase(record.object).ok()) {
+            ++result.records_replayed;
+          } else {
+            ++result.records_skipped;
+          }
+          break;
+        }
+        case WalRecordType::kCheckpoint:
+        case WalRecordType::kRotate:
+          break;  // control records carry no state
+      }
+    }
+  }
+
+  result.last_lsn = expected_lsn - 1;
+  result.next_segment_seq = segments->empty() ? 1 : segments->back() + 1;
+  if (final_segment_deleted) result.next_segment_seq = segments->back();
+  return result;
+}
+
+}  // namespace irhint

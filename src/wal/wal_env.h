@@ -1,0 +1,85 @@
+// Filesystem abstraction for the WAL subsystem. Everything the log writer,
+// replayer and checkpointer do to disk funnels through a WalEnv so the
+// crash-torture harness can substitute a fault-injecting implementation
+// (wal/fault_env.h) that kills the writer mid-record or mid-fsync.
+//
+// The default environment is POSIX: append-only files opened O_APPEND,
+// fsync-backed Sync(), directory fsyncs for rename durability.
+
+#ifndef IRHINT_WAL_WAL_ENV_H_
+#define IRHINT_WAL_WAL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace irhint {
+
+class TemporalIrIndex;
+
+/// \brief An append-only file handle. Append() hands bytes to the OS
+/// immediately (no user-space buffering), Sync() makes them survive power
+/// loss. One record is always handed over in a single Append call, which is
+/// the granularity fault injection tears.
+class WalWritableFile {
+ public:
+  virtual ~WalWritableFile() = default;
+
+  virtual Status Append(const void* data, size_t n) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// \brief The filesystem operations the WAL subsystem needs. Paths are
+/// plain strings; directories are separated with '/'.
+class WalEnv {
+ public:
+  virtual ~WalEnv() = default;
+
+  /// \brief Create or truncate `path` for appending.
+  virtual StatusOr<std::unique_ptr<WalWritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// \brief Read the whole file into memory (segments are replay-sized).
+  virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// \brief Entry names (not paths) in `dir`, excluding "." and "..".
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// \brief Shrink `path` to exactly `size` bytes (torn-tail truncation).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// \brief fsync the directory itself so renames/creates/removes survive.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// \brief Write a checkpoint snapshot of `index` to `path`, recording the
+  /// WAL LSN it covers and the insert-id watermark. The default forwards to
+  /// SaveIndexCheckpoint (storage/index_io.h: tmp file + fsync + atomic
+  /// rename); the fault-injecting environment can crash in the middle
+  /// instead.
+  virtual Status WriteIndexSnapshot(const TemporalIrIndex& index,
+                                    const std::string& path, uint64_t lsn,
+                                    uint64_t next_object_id);
+};
+
+/// \brief The process-wide POSIX environment.
+WalEnv* DefaultWalEnv();
+
+/// \brief `dir` + "/" + `name` (no-op when dir is empty).
+std::string WalPathJoin(const std::string& dir, const std::string& name);
+
+}  // namespace irhint
+
+#endif  // IRHINT_WAL_WAL_ENV_H_

@@ -1,0 +1,58 @@
+#include "wal/wal_format.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace irhint {
+
+std::string_view WalRecordTypeName(uint32_t type) {
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kInsert: return "insert";
+    case WalRecordType::kErase: return "erase";
+    case WalRecordType::kCheckpoint: return "checkpoint";
+    case WalRecordType::kRotate: return "rotate";
+  }
+  return "?";
+}
+
+std::string WalSegmentFileName(uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", seq);
+  return buf;
+}
+
+std::string CheckpointFileName(uint64_t lsn) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "ckpt-%020" PRIu64 ".snap", lsn);
+  return buf;
+}
+
+namespace {
+
+bool ParseNumberedName(std::string_view name, std::string_view prefix,
+                       std::string_view suffix, uint64_t* value) {
+  if (name.size() != prefix.size() + 20 + suffix.size()) return false;
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  if (name.substr(prefix.size() + 20) != suffix) return false;
+  uint64_t v = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 20; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+bool ParseWalSegmentFileName(std::string_view name, uint64_t* seq) {
+  return ParseNumberedName(name, "wal-", ".log", seq);
+}
+
+bool ParseCheckpointFileName(std::string_view name, uint64_t* lsn) {
+  return ParseNumberedName(name, "ckpt-", ".snap", lsn);
+}
+
+}  // namespace irhint

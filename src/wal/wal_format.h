@@ -1,0 +1,117 @@
+// The on-disk write-ahead-log format.
+//
+// A WAL directory holds numbered segment files plus checkpoint snapshots:
+//
+//   wal-<seq>.log         segment files, seq is a zero-padded decimal and
+//                         strictly increases; records never move between
+//                         segments
+//   ckpt-<lsn>.snap       index snapshots written by checkpointing (the
+//                         PR 2 snapshot format plus a kSectionWalState
+//                         section recording the checkpoint LSN)
+//
+// Segment layout (all integers little-endian, fixed width):
+//
+//   +0   Segment header (32 bytes)
+//        magic     u64   "IRHWAL01"
+//        version   u32   kWalFormatVersion
+//        reserved  u32   0
+//        seq       u64   the segment's own sequence number (catches
+//                        renamed/misplaced files)
+//        crc       u32   CRC32C of the 24 bytes above
+//        pad       u32   0
+//   +32  Records, each starting at an 8-byte-aligned offset:
+//        crc       u32   CRC32C of bytes [4, 24 + payload_size)
+//        size      u32   payload bytes (excluding header and padding)
+//        lsn       u64   strictly increasing across the whole log
+//        type      u32   WalRecordType
+//        reserved  u32   0
+//        payload   size bytes, then zero padding to the next 8-byte
+//                  boundary
+//
+// Record payloads:
+//   kInsert/kErase   id u32, element_count u32, t_st u64, t_end u64,
+//                    elements u32 * element_count
+//   kCheckpoint      checkpoint_lsn u64, name_len u32 + snapshot file name
+//                    (relative to the WAL directory)
+//   kRotate          next_seq u64 (the segment that continues the log);
+//                    always the final record of a cleanly rotated segment
+//
+// Torn-tail rule (crash tolerance): any decode failure in the FINAL (live)
+// segment ends the log there — a crash can tear it mid-record or
+// mid-fsync, and out-of-order page writeback can corrupt an unsynced
+// record while later ones survive, so even a valid record after the
+// damage proves nothing. Recovery physically truncates the tail (and
+// deletes a final segment torn inside its own header, reusing its
+// sequence number — a truncated stub could never parse again). A decode
+// failure in a NON-final segment is mid-log corruption and fails recovery
+// with a clean Status: sealed segments were fully fsynced by the rotate
+// handoff, so damage there cannot be a crash artifact.
+
+#ifndef IRHINT_WAL_WAL_FORMAT_H_
+#define IRHINT_WAL_WAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "data/object.h"
+
+namespace irhint {
+
+inline constexpr uint64_t kWalMagic = 0x31304C4157485249ULL;  // "IRHWAL01"
+inline constexpr uint32_t kWalFormatVersion = 1;
+
+inline constexpr size_t kWalSegmentHeaderBytes = 32;
+inline constexpr size_t kWalRecordHeaderBytes = 24;
+
+/// \brief Record types. Stable on-disk tags; never renumber.
+enum class WalRecordType : uint32_t {
+  kInsert = 1,
+  kErase = 2,
+  kCheckpoint = 3,
+  kRotate = 4,
+};
+
+/// \brief Human-readable name of a record type tag ("?" if unknown).
+std::string_view WalRecordTypeName(uint32_t type);
+
+/// \brief One decoded WAL record. Only the fields of its type are set.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kInsert;
+  /// kInsert / kErase: the logged object.
+  Object object;
+  /// kCheckpoint: LSN covered by the snapshot and its file name.
+  uint64_t checkpoint_lsn = 0;
+  std::string snapshot_file;
+  /// kRotate: sequence number of the segment that continues the log.
+  uint64_t next_seq = 0;
+};
+
+/// \brief File name of segment `seq`, e.g. "wal-00000000000000000007.log".
+std::string WalSegmentFileName(uint64_t seq);
+
+/// \brief File name of the checkpoint snapshot covering `lsn`.
+std::string CheckpointFileName(uint64_t lsn);
+
+/// \brief Parse a segment file name; returns false if `name` is not one.
+bool ParseWalSegmentFileName(std::string_view name, uint64_t* seq);
+
+/// \brief Parse a checkpoint snapshot file name.
+bool ParseCheckpointFileName(std::string_view name, uint64_t* lsn);
+
+/// \brief Bytes a record with `payload_size` payload occupies on disk
+/// (header + payload + padding to 8).
+inline size_t WalRecordBytesOnDisk(size_t payload_size) {
+  return (kWalRecordHeaderBytes + payload_size + 7) & ~size_t{7};
+}
+
+/// \brief Payload bytes of an insert/erase record for `object`.
+inline size_t WalObjectPayloadBytes(const Object& object) {
+  return 8 + 16 + object.elements.size() * sizeof(ElementId);
+}
+
+}  // namespace irhint
+
+#endif  // IRHINT_WAL_WAL_FORMAT_H_

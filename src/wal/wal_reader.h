@@ -1,0 +1,58 @@
+// Decodes WAL segments. A segment parses into its records plus a tail
+// verdict: `clean` (every byte decoded), or the offset where decoding
+// stopped and whether any valid record exists past that point — the fact
+// the torn-tail rule needs to tell a crash tail from mid-log corruption.
+
+#ifndef IRHINT_WAL_WAL_READER_H_
+#define IRHINT_WAL_WAL_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/wal_env.h"
+#include "wal/wal_format.h"
+
+namespace irhint {
+
+/// \brief Everything decoded from one segment file.
+struct WalSegmentContents {
+  /// Sequence number from the (validated) segment header.
+  uint64_t seq = 0;
+  /// Records in file order, up to the first undecodable byte.
+  std::vector<WalRecord> records;
+  /// File size that decoded cleanly; equals the file size iff `clean`.
+  uint64_t valid_bytes = 0;
+  uint64_t file_bytes = 0;
+  /// True when the whole file decoded.
+  bool clean = false;
+  /// Why decoding stopped when !clean (truncated header, bad CRC, ...).
+  Status tail_status;
+  /// !clean only: a CRC-valid record exists past the stop point.
+  /// Diagnostic (surfaced by wal_inspect): in a live segment this is still
+  /// a tolerable crash state — out-of-order writeback can corrupt an
+  /// unsynced record while later ones survive — so recovery truncates at
+  /// the first failure regardless.
+  bool valid_record_after_tail = false;
+  /// True when the last decoded record is a rotate marker (clean handoff
+  /// to the next segment).
+  bool ends_with_rotate = false;
+};
+
+/// \brief Read and decode one segment. Fails outright only when the file
+/// is unreadable or its header names a different sequence number than its
+/// file name (misplaced file); header corruption is reported through the
+/// tail fields like any other undecodable byte range, so the caller can
+/// apply the torn-tail policy uniformly.
+StatusOr<WalSegmentContents> ReadWalSegment(WalEnv* env,
+                                            const std::string& path);
+
+/// \brief Decode one record at `data + offset` (bounds-checked against
+/// `size`). Used by ReadWalSegment and the mid-log corruption probe.
+Status DecodeWalRecord(const uint8_t* data, size_t size, size_t offset,
+                       WalRecord* out, size_t* bytes_consumed);
+
+}  // namespace irhint
+
+#endif  // IRHINT_WAL_WAL_READER_H_

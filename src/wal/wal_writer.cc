@@ -1,0 +1,204 @@
+#include "wal/wal_writer.h"
+
+#include <cstring>
+#include <vector>
+
+#include "storage/crc32c.h"
+
+namespace irhint {
+
+namespace {
+
+void PutU32(uint8_t* out, uint32_t v) { std::memcpy(out, &v, 4); }
+void PutU64(uint8_t* out, uint64_t v) { std::memcpy(out, &v, 8); }
+
+}  // namespace
+
+StatusOr<WalDurability> ParseWalDurability(std::string_view name) {
+  if (name == "none") return WalDurability::kNone;
+  if (name == "batch") return WalDurability::kBatch;
+  if (name == "always") return WalDurability::kAlways;
+  return Status::InvalidArgument("unknown durability policy \"" +
+                                 std::string(name) +
+                                 "\" (want none|batch|always)");
+}
+
+std::string_view WalDurabilityName(WalDurability durability) {
+  switch (durability) {
+    case WalDurability::kNone: return "none";
+    case WalDurability::kBatch: return "batch";
+    case WalDurability::kAlways: return "always";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
+    WalEnv* env, const std::string& dir, uint64_t seq, uint64_t next_lsn,
+    const WalWriterOptions& options) {
+  std::unique_ptr<WalWriter> writer(new WalWriter(env, dir, options));
+  writer->next_lsn_ = next_lsn;
+  IRHINT_RETURN_NOT_OK(writer->OpenSegment(seq));
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    // Best effort: push buffered bytes out, but a poisoned writer (e.g.
+    // after an injected crash) must not touch the environment again.
+    if (status_.ok()) (void)MaybeSync(/*force=*/true);
+    (void)file_->Close();
+  }
+}
+
+std::string WalWriter::segment_path() const {
+  return WalPathJoin(dir_, WalSegmentFileName(seq_));
+}
+
+Status WalWriter::OpenSegment(uint64_t seq) {
+  seq_ = seq;
+  auto file = env_->NewWritableFile(segment_path());
+  if (!file.ok()) {
+    status_ = file.status();
+    return status_;
+  }
+  file_ = std::move(file).value();
+
+  uint8_t header[kWalSegmentHeaderBytes];
+  std::memset(header, 0, sizeof(header));
+  PutU64(header + 0, kWalMagic);
+  PutU32(header + 8, kWalFormatVersion);
+  PutU64(header + 16, seq);
+  PutU32(header + 24, Crc32c(header, 24));
+  if (Status st = file_->Append(header, sizeof(header)); !st.ok()) {
+    status_ = st;
+    return status_;
+  }
+  segment_bytes_ = sizeof(header);
+  unsynced_bytes_ = sizeof(header);
+  // Make the new segment itself durable before accepting records: its name
+  // must survive the crash that its records are supposed to survive.
+  if (options_.durability != WalDurability::kNone) {
+    if (Status st = file_->Sync(); !st.ok()) {
+      status_ = st;
+      return status_;
+    }
+    if (Status st = env_->SyncDir(dir_); !st.ok()) {
+      status_ = st;
+      return status_;
+    }
+    unsynced_bytes_ = 0;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> WalWriter::AppendRecord(WalRecordType type,
+                                           const void* payload,
+                                           size_t payload_size) {
+  IRHINT_RETURN_NOT_OK(status_);
+  const size_t total = WalRecordBytesOnDisk(payload_size);
+  std::vector<uint8_t> buf(total, 0);
+  const uint64_t lsn = next_lsn_;
+  PutU32(buf.data() + 4, static_cast<uint32_t>(payload_size));
+  PutU64(buf.data() + 8, lsn);
+  PutU32(buf.data() + 16, static_cast<uint32_t>(type));
+  if (payload_size > 0) {
+    std::memcpy(buf.data() + kWalRecordHeaderBytes, payload, payload_size);
+  }
+  PutU32(buf.data(),
+         Crc32c(buf.data() + 4, kWalRecordHeaderBytes - 4 + payload_size));
+
+  if (Status st = file_->Append(buf.data(), buf.size()); !st.ok()) {
+    status_ = st;
+    return status_;
+  }
+  next_lsn_ = lsn + 1;
+  last_appended_lsn_ = lsn;
+  segment_bytes_ += total;
+  unsynced_bytes_ += total;
+  IRHINT_RETURN_NOT_OK(
+      MaybeSync(/*force=*/options_.durability == WalDurability::kAlways));
+  return lsn;
+}
+
+StatusOr<uint64_t> WalWriter::AppendObjectRecord(WalRecordType type,
+                                                 const Object& object) {
+  std::vector<uint8_t> payload(WalObjectPayloadBytes(object), 0);
+  PutU32(payload.data() + 0, object.id);
+  PutU32(payload.data() + 4,
+         static_cast<uint32_t>(object.elements.size()));
+  PutU64(payload.data() + 8, object.interval.st);
+  PutU64(payload.data() + 16, object.interval.end);
+  if (!object.elements.empty()) {
+    std::memcpy(payload.data() + 24, object.elements.data(),
+                object.elements.size() * sizeof(ElementId));
+  }
+  return AppendRecord(type, payload.data(), payload.size());
+}
+
+StatusOr<uint64_t> WalWriter::AppendInsert(const Object& object) {
+  return AppendObjectRecord(WalRecordType::kInsert, object);
+}
+
+StatusOr<uint64_t> WalWriter::AppendErase(const Object& object) {
+  return AppendObjectRecord(WalRecordType::kErase, object);
+}
+
+StatusOr<uint64_t> WalWriter::AppendCheckpoint(uint64_t checkpoint_lsn,
+                                               std::string_view file) {
+  std::vector<uint8_t> payload(12 + file.size(), 0);
+  PutU64(payload.data() + 0, checkpoint_lsn);
+  PutU32(payload.data() + 8, static_cast<uint32_t>(file.size()));
+  std::memcpy(payload.data() + 12, file.data(), file.size());
+  auto lsn = AppendRecord(WalRecordType::kCheckpoint, payload.data(),
+                          payload.size());
+  IRHINT_RETURN_NOT_OK(lsn.status());
+  IRHINT_RETURN_NOT_OK(MaybeSync(/*force=*/true));
+  return lsn;
+}
+
+Status WalWriter::Rotate() {
+  IRHINT_RETURN_NOT_OK(status_);
+  const uint64_t next_seq = seq_ + 1;
+  uint8_t payload[8];
+  PutU64(payload, next_seq);
+  IRHINT_RETURN_NOT_OK(
+      AppendRecord(WalRecordType::kRotate, payload, sizeof(payload))
+          .status());
+  IRHINT_RETURN_NOT_OK(MaybeSync(/*force=*/true));
+  if (Status st = file_->Close(); !st.ok()) {
+    status_ = st;
+    return status_;
+  }
+  file_ = nullptr;
+  return OpenSegment(next_seq);
+}
+
+Status WalWriter::Sync() { return MaybeSync(/*force=*/true); }
+
+Status WalWriter::MaybeSync(bool force) {
+  IRHINT_RETURN_NOT_OK(status_);
+  if (unsynced_bytes_ == 0) return Status::OK();
+  if (!force) {
+    if (options_.durability != WalDurability::kBatch) return Status::OK();
+    const double since_sync =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      last_sync_time_)
+            .count();
+    if (unsynced_bytes_ < options_.batch_bytes &&
+        since_sync < options_.batch_interval_seconds) {
+      return Status::OK();
+    }
+  }
+  // An explicit Sync() (force) is honored even under kNone; the policy
+  // only decides when syncs happen automatically.
+  if (Status st = file_->Sync(); !st.ok()) {
+    status_ = st;
+    return status_;
+  }
+  unsynced_bytes_ = 0;
+  last_synced_lsn_ = last_appended_lsn_;
+  last_sync_time_ = std::chrono::steady_clock::now();
+  return Status::OK();
+}
+
+}  // namespace irhint

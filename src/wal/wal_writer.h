@@ -1,0 +1,119 @@
+// Appends CRC-framed records to the live WAL segment with a configurable
+// durability policy. Every record is handed to the environment in one
+// Append call (the torn-write granularity) and assigned the next monotonic
+// LSN; group commit batches fsyncs by bytes and by time.
+
+#ifndef IRHINT_WAL_WAL_WRITER_H_
+#define IRHINT_WAL_WAL_WRITER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/object.h"
+#include "wal/wal_env.h"
+#include "wal/wal_format.h"
+
+namespace irhint {
+
+/// \brief When appended records are fsynced.
+enum class WalDurability {
+  /// Never fsync; the OS flushes when it pleases. Fastest, weakest.
+  kNone,
+  /// Group commit: fsync once `batch_bytes` are unsynced or
+  /// `batch_interval_seconds` elapsed since the last sync.
+  kBatch,
+  /// fsync after every record. Strongest, slowest.
+  kAlways,
+};
+
+/// \brief Parse "none" / "batch" / "always" (CLI flag values).
+StatusOr<WalDurability> ParseWalDurability(std::string_view name);
+std::string_view WalDurabilityName(WalDurability durability);
+
+struct WalWriterOptions {
+  WalDurability durability = WalDurability::kBatch;
+  uint64_t batch_bytes = 256 * 1024;
+  double batch_interval_seconds = 0.02;
+};
+
+/// \brief The single-threaded append side of the log (DurableIndex holds
+/// its own lock around it). Any environment failure poisons the writer;
+/// callers recover by reopening the directory, never by retrying.
+class WalWriter {
+ public:
+  /// \brief Start a fresh segment `seq` in `dir`; the first record appended
+  /// gets LSN `next_lsn`.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(
+      WalEnv* env, const std::string& dir, uint64_t seq, uint64_t next_lsn,
+      const WalWriterOptions& options);
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// \brief Append an insert/erase record; returns its LSN. The record is
+  /// durable per the writer's policy when the call returns OK.
+  StatusOr<uint64_t> AppendInsert(const Object& object);
+  StatusOr<uint64_t> AppendErase(const Object& object);
+
+  /// \brief Append a checkpoint marker: `snapshot_file` (relative to the
+  /// WAL directory) covers every record with LSN <= checkpoint_lsn. Always
+  /// fsynced, regardless of policy.
+  StatusOr<uint64_t> AppendCheckpoint(uint64_t checkpoint_lsn,
+                                      std::string_view snapshot_file);
+
+  /// \brief Seal the current segment with a rotate record (fsynced), close
+  /// it and start segment seq+1.
+  Status Rotate();
+
+  /// \brief Force an fsync of everything appended so far.
+  Status Sync();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// \brief Highest LSN known durable (0 before the first sync; tracks
+  /// every append under kAlways).
+  uint64_t last_synced_lsn() const { return last_synced_lsn_; }
+  uint64_t segment_seq() const { return seq_; }
+  /// \brief Bytes in the current segment (header included) — the live-log
+  /// size the checkpoint trigger watches.
+  uint64_t segment_bytes() const { return segment_bytes_; }
+  std::string segment_path() const;
+
+  /// \brief Sticky failure state (environment errors, e.g. a full disk or
+  /// an injected crash).
+  Status status() const { return status_; }
+
+ private:
+  WalWriter(WalEnv* env, std::string dir, const WalWriterOptions& options)
+      : env_(env), dir_(std::move(dir)), options_(options) {}
+
+  Status OpenSegment(uint64_t seq);
+  StatusOr<uint64_t> AppendRecord(WalRecordType type, const void* payload,
+                                  size_t payload_size);
+  StatusOr<uint64_t> AppendObjectRecord(WalRecordType type,
+                                        const Object& object);
+  Status MaybeSync(bool force);
+
+  WalEnv* env_;
+  std::string dir_;
+  WalWriterOptions options_;
+  std::unique_ptr<WalWritableFile> file_;
+  uint64_t seq_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t last_synced_lsn_ = 0;
+  uint64_t last_appended_lsn_ = 0;
+  uint64_t segment_bytes_ = 0;
+  uint64_t unsynced_bytes_ = 0;
+  std::chrono::steady_clock::time_point last_sync_time_ =
+      std::chrono::steady_clock::now();
+  Status status_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_WAL_WAL_WRITER_H_

@@ -1,0 +1,273 @@
+// Crash-torture harness for the durable ingestion stack. Each iteration
+// drives a DurableIndex through a randomized insert/erase stream on a
+// fault-injecting filesystem that "loses power" at a random mutating
+// operation — possibly mid-record, mid-fsync, or mid-checkpoint. The
+// crash state is then materialized (synced prefix + random unsynced tail,
+// optionally with a flipped bit), recovered with the real environment, and
+// checked differentially: the recovered index must answer exactly like a
+// NaiveScan reference replay of the LSN prefix the log retained, and that
+// prefix must cover every LSN the writer acknowledged as synced.
+//
+// Knobs (environment variables, for the CI soak loop):
+//   IRHINT_TORTURE_ITERS   iterations per test run (default 8)
+//   IRHINT_TORTURE_OPS     max update ops per iteration (default 400)
+//   IRHINT_TORTURE_SEED    base RNG seed (default 20250805)
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/durable_index.h"
+#include "core/factory.h"
+#include "wal/fault_env.h"
+#include "wal/recovery.h"
+#include "wal/wal_env.h"
+
+namespace irhint {
+namespace {
+
+using Ids = std::vector<ObjectId>;
+
+uint64_t EnvKnob(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0'
+             ? std::strtoull(value, nullptr, 10)
+             : fallback;
+}
+
+std::string TortureDir(uint64_t iteration) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string name = std::string(info->test_suite_name()) + "_" + info->name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return std::string(::testing::TempDir()) + "/torture_" + name + "_" +
+         std::to_string(iteration);
+}
+
+/// One acknowledged-or-attempted update with the LSN its record carries if
+/// it made it into the log (captured as next_lsn() before the call — the
+/// op's own record is always logged before any rotate/checkpoint marker
+/// the same call may emit).
+struct LoggedOp {
+  uint64_t lsn = 0;
+  bool is_erase = false;
+  Object object;
+};
+
+Object TortureObject(ObjectId id, std::mt19937_64* rng) {
+  Object o;
+  o.id = id;
+  const uint64_t st = (*rng)() % 100000;
+  o.interval = Interval(st, st + 1 + (*rng)() % 5000);
+  const size_t n = 1 + (*rng)() % 6;
+  for (size_t i = 0; i < n; ++i) o.elements.push_back((*rng)() % 40);
+  std::sort(o.elements.begin(), o.elements.end());
+  o.elements.erase(std::unique(o.elements.begin(), o.elements.end()),
+                   o.elements.end());
+  return o;
+}
+
+std::vector<Query> TortureQueries(std::mt19937_64* rng) {
+  std::vector<Query> queries;
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t st = (*rng)() % 100000;
+    std::vector<ElementId> elements = {
+        static_cast<ElementId>((*rng)() % 40)};
+    if (i % 3 == 0) elements.push_back(static_cast<ElementId>((*rng)() % 40));
+    std::sort(elements.begin(), elements.end());
+    elements.erase(std::unique(elements.begin(), elements.end()),
+                   elements.end());
+    queries.push_back(
+        Query(Interval(st, st + 1 + (*rng)() % 20000), std::move(elements)));
+  }
+  return queries;
+}
+
+Ids Answer(const TemporalIrIndex& index, const Query& query) {
+  Ids out;
+  index.Query(query, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// NaiveScan holding the replay of every logged op with lsn <= last_lsn.
+std::unique_ptr<TemporalIrIndex> ReferenceReplay(
+    const std::vector<LoggedOp>& ops, uint64_t last_lsn) {
+  std::unique_ptr<TemporalIrIndex> reference =
+      CreateIndex(IndexKind::kNaiveScan);
+  Corpus empty;
+  empty.DeclareDomain(1);
+  EXPECT_TRUE(empty.Finalize().ok());
+  EXPECT_TRUE(reference->Build(empty).ok());
+  for (const LoggedOp& op : ops) {
+    if (op.lsn > last_lsn) break;  // ops are logged in LSN order
+    const Status st = op.is_erase ? reference->Erase(op.object)
+                                  : reference->Insert(op.object);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return reference;
+}
+
+void RunTortureIteration(uint64_t iteration, uint64_t base_seed,
+                         uint64_t max_ops, bool flip_bits) {
+  SCOPED_TRACE("iteration " + std::to_string(iteration) +
+               " seed=" + std::to_string(base_seed) +
+               " flip=" + std::to_string(flip_bits));
+  std::mt19937_64 rng(base_seed + 7919 * iteration);
+  const std::string dir = TortureDir(iteration);
+  std::filesystem::remove_all(dir);
+
+  FaultInjectingWalEnv fault(DefaultWalEnv());
+  DurableIndexOptions options;
+  options.kind = iteration % 2 == 0 ? IndexKind::kIrHintPerf
+                                    : IndexKind::kTifHintSlicing;
+  options.durability =
+      iteration % 3 == 0 ? WalDurability::kAlways : WalDurability::kBatch;
+  options.batch_bytes = 512;  // sync every handful of records
+  options.checkpoint_bytes = 2048;
+  options.background_checkpoint = false;  // keep the op stream deterministic
+  auto opened = DurableIndex::Open(dir, options, &fault);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  DurableIndex* index = opened->get();
+
+  // Crash somewhere inside the update stream (each insert is >= 1 op, plus
+  // periodic sync/rotate/snapshot bursts). A budget beyond the stream's
+  // total op count yields a clean-shutdown iteration, also worth checking.
+  fault.ArmCrash(1 + rng() % (2 * max_ops), rng());
+
+  std::vector<LoggedOp> ops;
+  std::vector<Object> live;  // erase candidates
+  uint64_t max_acked_synced_lsn = 0;
+  ObjectId next_id = 0;
+  for (uint64_t i = 0; i < max_ops; ++i) {
+    LoggedOp op;
+    op.is_erase = !live.empty() && rng() % 5 == 0;
+    if (op.is_erase) {
+      const size_t pick = rng() % live.size();
+      op.object = live[pick];
+      live.erase(live.begin() + pick);
+    } else {
+      op.object = TortureObject(next_id++, &rng);
+    }
+    op.lsn = index->next_lsn();
+    ops.push_back(op);
+    const Status st =
+        op.is_erase ? index->Erase(op.object) : index->Insert(op.object);
+    if (!st.ok()) {
+      ASSERT_TRUE(fault.crashed()) << st.ToString();
+      break;
+    }
+    if (!op.is_erase) live.push_back(op.object);
+    if (rng() % 32 == 0 && !index->Flush().ok()) {
+      ASSERT_TRUE(fault.crashed());
+      break;
+    }
+    max_acked_synced_lsn =
+        std::max(max_acked_synced_lsn, index->last_synced_lsn());
+  }
+  const bool crashed = fault.crashed();
+  opened->reset();  // destructor's best-effort sync fails after the crash
+
+  if (crashed) {
+    ASSERT_TRUE(fault.MaterializeCrashState(&rng, flip_bits).ok());
+  } else {
+    // Clean shutdown: the destructor synced, so everything is durable.
+    max_acked_synced_lsn = ops.empty() ? 0 : ops.back().lsn;
+  }
+
+  // Recover with the REAL environment — the disk now looks exactly like
+  // what a machine reboot would present.
+  RecoveryOptions recovery_options;
+  recovery_options.kind = options.kind;
+  auto recovered = RecoveryManager(DefaultWalEnv(), dir).Recover(
+      recovery_options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  // Durability: nothing acknowledged as synced may be lost.
+  EXPECT_GE(recovered->last_lsn, max_acked_synced_lsn);
+
+  // Differential check: the recovered state equals a reference replay of
+  // the exact LSN prefix the log retained.
+  std::unique_ptr<TemporalIrIndex> reference =
+      ReferenceReplay(ops, recovered->last_lsn);
+  std::mt19937_64 query_rng(base_seed ^ (iteration << 20));
+  const std::vector<Query> queries = TortureQueries(&query_rng);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(Answer(*recovered->index, queries[i]),
+              Answer(*reference, queries[i]))
+        << "query " << i << " diverges after recovery";
+  }
+  recovered->index.reset();
+
+  // The directory must be fully operational again: reopen, ingest more,
+  // survive another clean close.
+  auto reopened = DurableIndex::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ObjectId id = static_cast<ObjectId>((*reopened)->next_object_id());
+  for (int i = 0; i < 25; ++i) {
+    const Object object = TortureObject(id++, &rng);
+    ASSERT_TRUE((*reopened)->Insert(object).ok());
+    ASSERT_TRUE(reference->Insert(object).ok());
+  }
+  ASSERT_TRUE((*reopened)->Flush().ok());
+  reopened->reset();
+
+  auto final_open = DurableIndex::Open(dir, options);
+  ASSERT_TRUE(final_open.ok()) << final_open.status().ToString();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(Answer(**final_open, queries[i]), Answer(*reference, queries[i]))
+        << "query " << i << " diverges after post-recovery ingest";
+  }
+  final_open->reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashTortureTest, FaultEnvCrashesAndMaterializes) {
+  const std::string dir = TortureDir(0);
+  std::filesystem::remove_all(dir);
+  FaultInjectingWalEnv fault(DefaultWalEnv());
+  ASSERT_TRUE(fault.CreateDirIfMissing(dir).ok());
+  auto file = fault.NewWritableFile(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789", 10).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  fault.ArmCrash(1, 99);
+  const Status torn = (*file)->Append("abcdefghij", 10);
+  EXPECT_TRUE(torn.IsIoError());
+  EXPECT_TRUE(fault.crashed());
+  EXPECT_TRUE((*file)->Sync().IsIoError());
+  EXPECT_TRUE(fault.NewWritableFile(dir + "/g").status().IsIoError());
+  EXPECT_TRUE(fault.FileExists(dir + "/f"));  // reads keep working
+
+  std::mt19937_64 rng(7);
+  ASSERT_TRUE(fault.MaterializeCrashState(&rng, /*flip_bits=*/true).ok());
+  auto size = DefaultWalEnv()->FileSize(dir + "/f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_GE(*size, 10u);  // the synced prefix always survives
+  auto contents = DefaultWalEnv()->ReadFileToString(dir + "/f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->substr(0, 10), "0123456789");  // bit flips stay in the tail
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashTortureTest, RandomizedCrashRecoveryIsLossless) {
+  const uint64_t iterations = EnvKnob("IRHINT_TORTURE_ITERS", 8);
+  const uint64_t max_ops = EnvKnob("IRHINT_TORTURE_OPS", 400);
+  const uint64_t seed = EnvKnob("IRHINT_TORTURE_SEED", 20250805);
+  for (uint64_t i = 0; i < iterations; ++i) {
+    RunTortureIteration(i, seed, max_ops, /*flip_bits=*/i % 2 == 1);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace irhint

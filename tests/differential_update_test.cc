@@ -1,0 +1,117 @@
+// Differential test of live updates (the Table 6/7 insertion/deletion
+// workloads): every index kind is bulk-loaded with 90% of a synthetic
+// corpus, the remaining objects are inserted in batches, then a third of
+// the corpus is erased in batches — and after every batch each index must
+// answer a mixed query workload exactly like a NaiveScan subjected to the
+// same update stream.
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "data/query_gen.h"
+#include "data/synthetic.h"
+
+namespace irhint {
+namespace {
+
+using Ids = std::vector<ObjectId>;
+
+Ids Answer(const TemporalIrIndex& index, const Query& query) {
+  Ids out;
+  index.Query(query, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class DifferentialUpdateTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(DifferentialUpdateTest, MatchesNaiveScanAfterEveryBatch) {
+  SyntheticParams params;
+  params.cardinality = 1500;
+  params.domain = 200000;
+  params.sigma = 40000;
+  params.dictionary_size = 300;
+  params.description_size = 6;
+  params.seed = 11;
+  const Corpus corpus = GenerateSynthetic(params);
+  const size_t offline = corpus.size() * 9 / 10;
+
+  // Queries are anchored on the full corpus so they exercise both the
+  // bulk-loaded objects and the ones arriving live.
+  WorkloadGenerator generator(corpus, /*seed=*/3);
+  std::vector<Query> queries = generator.ExtentWorkload(0.5, 1, 40);
+  const std::vector<Query> more = generator.ExtentWorkload(5.0, 2, 40);
+  queries.insert(queries.end(), more.begin(), more.end());
+  const std::vector<Query> stabs = generator.ExtentWorkload(0.0, 1, 20);
+  queries.insert(queries.end(), stabs.begin(), stabs.end());
+
+  const Corpus prefix = corpus.Prefix(offline);
+  std::unique_ptr<TemporalIrIndex> reference =
+      CreateIndex(IndexKind::kNaiveScan);
+  ASSERT_TRUE(reference->Build(prefix).ok());
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(GetParam());
+  ASSERT_TRUE(index->Build(prefix).ok());
+
+  auto expect_equal = [&](const char* stage, size_t batch) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(Answer(*index, queries[i]), Answer(*reference, queries[i]))
+          << IndexKindName(GetParam()) << ": query " << i << " diverges, "
+          << stage << " batch " << batch;
+    }
+  };
+  expect_equal("after build", 0);
+
+  // Insertion workload: the held-out 10% arrives in batches of ~2%.
+  const size_t insert_batch = std::max<size_t>(1, corpus.size() / 50);
+  size_t batch = 0;
+  for (size_t begin = offline; begin < corpus.size(); begin += insert_batch) {
+    const size_t end = std::min(corpus.size(), begin + insert_batch);
+    for (size_t id = begin; id < end; ++id) {
+      const Object& object = corpus.object(static_cast<ObjectId>(id));
+      ASSERT_TRUE(index->Insert(object).ok());
+      ASSERT_TRUE(reference->Insert(object).ok());
+    }
+    expect_equal("insert", ++batch);
+  }
+
+  // Deletion workload: erase every third object, again in batches.
+  std::vector<ObjectId> victims;
+  for (size_t id = 0; id < corpus.size(); id += 3) {
+    victims.push_back(static_cast<ObjectId>(id));
+  }
+  const size_t erase_batch = std::max<size_t>(1, victims.size() / 5);
+  batch = 0;
+  for (size_t begin = 0; begin < victims.size(); begin += erase_batch) {
+    const size_t end = std::min(victims.size(), begin + erase_batch);
+    for (size_t i = begin; i < end; ++i) {
+      const Object& object = corpus.object(victims[i]);
+      ASSERT_TRUE(index->Erase(object).ok());
+      ASSERT_TRUE(reference->Erase(object).ok());
+    }
+    expect_equal("erase", ++batch);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DifferentialUpdateTest,
+    ::testing::Values(IndexKind::kNaiveScan, IndexKind::kTif,
+                      IndexKind::kTifSlicing, IndexKind::kTifSharding,
+                      IndexKind::kTifHintBinarySearch,
+                      IndexKind::kTifHintMergeSort, IndexKind::kTifHintSlicing,
+                      IndexKind::kIrHintPerf, IndexKind::kIrHintSize),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      std::string name(IndexKindName(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace irhint

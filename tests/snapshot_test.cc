@@ -22,6 +22,7 @@
 #include "storage/index_io.h"
 #include "storage/snapshot_format.h"
 #include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
 
 namespace irhint {
 namespace {
@@ -29,7 +30,20 @@ namespace {
 using Ids = std::vector<ObjectId>;
 
 std::string TempPath(const std::string& name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  // ctest runs the parameterized cases of this binary as separate tests,
+  // possibly concurrently; a path shared between cases lets one truncate a
+  // file another still has mmapped (SIGBUS). Namespace every path by the
+  // running test.
+  std::string unique = name;
+  if (const auto* info =
+          ::testing::UnitTest::GetInstance()->current_test_info()) {
+    unique = std::string(info->test_suite_name()) + "_" + info->name() + "_" +
+             name;
+    for (char& c : unique) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.') c = '_';
+    }
+  }
+  return std::string(::testing::TempDir()) + "/" + unique;
 }
 
 Corpus MakeCorpus(uint64_t cardinality = 2000) {
@@ -300,6 +314,67 @@ TEST_F(SnapshotCorruptionTest, MissingFileIsIoError) {
       LoadIndexSnapshot("/nonexistent/dir/snap.irh");
   EXPECT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsIoError());
+}
+
+// ---------------------------------------------------------------------------
+// Write atomicity: snapshots are written to <path>.tmp and renamed into
+// place by Finish(), so a crash mid-save never clobbers a good snapshot.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotAtomicityTest, FinishLeavesNoTempFile) {
+  const Corpus corpus = MakeCorpus(200);
+  std::unique_ptr<TemporalIrIndex> index =
+      CreateIndex(IndexKind::kIrHintPerf);
+  ASSERT_TRUE(index->Build(corpus).ok());
+  const std::string path = TempPath("atomic.irh");
+  ASSERT_TRUE(SaveIndex(*index, path).ok());
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "Finish() must rename the temp file away";
+  if (tmp != nullptr) std::fclose(tmp);
+  EXPECT_TRUE(LoadIndexSnapshot(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotAtomicityTest, AbandonedWriterPreservesExistingSnapshot) {
+  const Corpus corpus = MakeCorpus(200);
+  std::unique_ptr<TemporalIrIndex> index =
+      CreateIndex(IndexKind::kIrHintPerf);
+  ASSERT_TRUE(index->Build(corpus).ok());
+  const std::string path = TempPath("abandoned.irh");
+  ASSERT_TRUE(SaveIndex(*index, path).ok());
+  const std::vector<uint8_t> before = ReadFile(path);
+
+  {
+    // A save that dies before Finish() (crash, error unwind) must leave
+    // the previous snapshot untouched and clean up its temp file.
+    SnapshotWriter writer;
+    ASSERT_TRUE(writer.Open(path, SnapshotKind::kIrHintPerf).ok());
+    writer.BeginSection(kSectionMeta);
+    writer.WriteU64(123);
+    ASSERT_TRUE(writer.EndSection().ok());
+  }
+  EXPECT_EQ(ReadFile(path), before);
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "abandoned writer must remove its temp file";
+  if (tmp != nullptr) std::fclose(tmp);
+  EXPECT_TRUE(LoadIndexSnapshot(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotAtomicityTest, SyncCanBeDisabled) {
+  const Corpus corpus = MakeCorpus(100);
+  std::unique_ptr<TemporalIrIndex> index =
+      CreateIndex(IndexKind::kNaiveScan);
+  ASSERT_TRUE(index->Build(corpus).ok());
+  const std::string path = TempPath("nosync.irh");
+  SnapshotWriter writer;
+  SnapshotWriteOptions options;
+  options.sync_on_finish = false;
+  ASSERT_TRUE(writer.Open(path, SnapshotKindFor(index->Kind()), options).ok());
+  ASSERT_TRUE(index->SaveTo(&writer).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_TRUE(LoadIndexSnapshot(path).ok());
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -36,7 +36,22 @@ int main(int argc, char** argv) {
   std::printf("format       v%u\n", reader.version());
   std::printf("kind         %u (%s)\n", reader.kind(),
               std::string(SnapshotKindName(reader.kind())).c_str());
-  std::printf("sections     %zu\n\n", reader.sections().size());
+  std::printf("sections     %zu\n", reader.sections().size());
+  if (reader.HasSection(kSectionWalState)) {
+    // WAL checkpoint snapshots record the LSN they cover and the id
+    // watermark.
+    auto cursor = reader.OpenSection(kSectionWalState);
+    uint64_t lsn = 0, next_id = 0;
+    if (cursor.ok() && cursor->ReadU64(&lsn).ok() &&
+        cursor->ReadU64(&next_id).ok()) {
+      std::printf("checkpoint   LSN %llu, next object id %llu\n",
+                  static_cast<unsigned long long>(lsn),
+                  static_cast<unsigned long long>(next_id));
+    } else {
+      std::printf("checkpoint   (wal_state section unreadable)\n");
+    }
+  }
+  std::printf("\n");
 
   std::printf("%4s  %-12s %12s %14s %10s", "id", "name", "offset", "size",
               "crc32c");
