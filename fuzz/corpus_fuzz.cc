@@ -1,0 +1,19 @@
+// Fuzz target: the corpus deserializer.
+//
+// LoadCorpus parses the dictionary, object table, and description lists
+// out of a snapshot payload; hostile counts and out-of-range element ids
+// must surface as Status::Corruption, never as an over-allocation or an
+// out-of-bounds index into the dictionary.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "data/serialize.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  irhint_fuzz::ScratchFile file(data, size);
+  if (!file.ok()) return 0;
+  (void)irhint::LoadCorpus(file.path());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared plumbing for the decoder fuzz harnesses.
+//
+// Several decode entry points take file paths rather than byte spans
+// (SnapshotReader::Open mmaps, LoadCorpus opens), so harnesses stage the
+// fuzz input in a throwaway file. ScratchFile/ScratchDir keep that cheap
+// and leak-free: contents live under the system temp directory and are
+// removed on destruction.
+
+#ifndef IRHINT_FUZZ_FUZZ_UTIL_H_
+#define IRHINT_FUZZ_FUZZ_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace irhint_fuzz {
+
+/// \brief A temp file holding one fuzz input; unlinked on destruction.
+class ScratchFile {
+ public:
+  ScratchFile(const uint8_t* data, size_t size) {
+    char tmpl[] = "/tmp/irhint_fuzz_XXXXXX";
+    const int fd = ::mkstemp(tmpl);
+    if (fd < 0) return;
+    path_ = tmpl;
+    size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::write(fd, data + written, size - written);
+      if (n <= 0) break;
+      written += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    ok_ = written == size;
+  }
+  ~ScratchFile() {
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+  ScratchFile(const ScratchFile&) = delete;
+  ScratchFile& operator=(const ScratchFile&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  bool ok_ = false;
+};
+
+/// \brief A temp directory with one named file inside; removed recursively
+/// on destruction. Used to stage WAL segments, whose reader derives the
+/// segment sequence from the file name.
+class ScratchDir {
+ public:
+  ScratchDir(const std::string& file_name, const uint8_t* data, size_t size) {
+    char tmpl[] = "/tmp/irhint_fuzzdir_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) return;
+    dir_ = tmpl;
+    const std::string path = dir_ + "/" + file_name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return;
+    ok_ = size == 0 || std::fwrite(data, 1, size, f) == size;
+    std::fclose(f);
+    file_ = path;
+  }
+  ~ScratchDir() {
+    if (!dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& dir() const { return dir_; }
+  const std::string& file() const { return file_; }
+
+ private:
+  std::string dir_;
+  std::string file_;
+  bool ok_ = false;
+};
+
+}  // namespace irhint_fuzz
+
+#endif  // IRHINT_FUZZ_FUZZ_UTIL_H_

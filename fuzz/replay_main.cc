@@ -1,0 +1,62 @@
+// Corpus replay driver: a plain main() over LLVMFuzzerTestOneInput.
+//
+// libFuzzer needs Clang, but the regression corpus must run everywhere the
+// tests run — including GCC-only hosts — so each harness also links against
+// this driver. Arguments are corpus files or directories of them; every
+// input is fed through the harness once. Exit 0 means no input crashed
+// (any decode-path failure aborts the process, which ctest reports).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s CORPUS_FILE_OR_DIR...\n", argv[0]);
+    return 2;
+  }
+  size_t inputs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg = argv[i];
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (!RunFile(file)) return 1;
+        ++inputs;
+      }
+    } else {
+      if (!RunFile(arg)) return 1;
+      ++inputs;
+    }
+  }
+  std::printf("replayed %zu corpus inputs without a crash\n", inputs);
+  return 0;
+}

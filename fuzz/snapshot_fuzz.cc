@@ -1,0 +1,29 @@
+// Fuzz target: the snapshot decode path, end to end.
+//
+// Contract under test (DESIGN.md §9): arbitrary bytes presented as a
+// snapshot file must come back as a non-OK Status — never a crash, UB, or
+// unbounded allocation. The harness drives the same deep pass irhint_fsck
+// uses, in both mmap and buffered modes, so every section decoder,
+// LoadIndexSnapshot branch, and IntegrityCheck implementation sits behind
+// the fuzzer.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/fsck.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  irhint_fuzz::ScratchFile file(data, size);
+  if (!file.ok()) return 0;
+
+  irhint::SnapshotReadOptions mapped;
+  (void)irhint::CheckSnapshotFile(file.path(), irhint::CheckLevel::kDeep,
+                                  mapped);
+
+  irhint::SnapshotReadOptions buffered;
+  buffered.use_mmap = false;
+  (void)irhint::CheckSnapshotFile(file.path(), irhint::CheckLevel::kDeep,
+                                  buffered);
+  return 0;
+}

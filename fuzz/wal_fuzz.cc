@@ -1,0 +1,42 @@
+// Fuzz target: the WAL decoders.
+//
+// Two layers. First the pure in-memory record decoder — DecodeWalRecord is
+// handed the raw buffer at every prefix the previous decode left off at,
+// which is exactly how ReadWalSegment walks a segment. Then the input is
+// staged as a single live segment (wal-000001.log) and the full directory
+// audit runs over it, covering segment-header parsing, torn-tail
+// classification, and recovery replay. Every outcome must be a Status;
+// crashes and hangs are bugs.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/fsck.h"
+#include "fuzz_util.h"
+#include "wal/wal_format.h"
+#include "wal/wal_reader.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Layer 1: raw record decoding, starting just past where a segment
+  // header would sit and at offset zero (both occur in practice).
+  const size_t starts[] = {0, irhint::kWalSegmentHeaderBytes};
+  for (size_t start : starts) {
+    size_t offset = start;
+    while (offset < size) {
+      irhint::WalRecord record;
+      size_t consumed = 0;
+      const irhint::Status status =
+          irhint::DecodeWalRecord(data, size, offset, &record, &consumed);
+      if (!status.ok() || consumed == 0) break;
+      offset += consumed;
+    }
+  }
+
+  // Layer 2: the same bytes as a live segment in an otherwise empty
+  // directory, through the full fsck audit (segment read + recovery).
+  irhint_fuzz::ScratchDir dir(irhint::WalSegmentFileName(1), data, size);
+  if (dir.ok()) {
+    (void)irhint::CheckWalDirectory(dir.dir(), irhint::CheckLevel::kDeep);
+  }
+  return 0;
+}

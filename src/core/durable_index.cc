@@ -205,6 +205,37 @@ Status DurableIndex::WaitForCheckpoint() {
   return last_checkpoint_status_;
 }
 
+Status DurableIndex::IntegrityCheck(CheckLevel level) const {
+  // One shared lock for the whole audit: the accessors each lock, so the
+  // checks below read the members directly to stay re-entrancy free and to
+  // see one consistent state.
+  std::shared_lock lock(mutex_);
+  if (inner_ == nullptr || writer_ == nullptr) {
+    return Status::Corruption("durable index missing inner index or log "
+                              "writer");
+  }
+  // Id watermark: may only grow past what recovery established, otherwise
+  // a re-ingest after the next recovery would hand out duplicate ids.
+  if (next_object_id_ < recovery_info_.next_object_id) {
+    return Status::Corruption("durable index id watermark regressed below "
+                              "recovery point");
+  }
+  // LSN bookkeeping: assignments are dense and monotone from the recovery
+  // point, and the synced watermark can never pass the assignment cursor.
+  if (writer_->next_lsn() <= recovery_info_.last_lsn) {
+    return Status::Corruption("durable index LSN cursor regressed below "
+                              "recovery point");
+  }
+  if (writer_->last_synced_lsn() >= writer_->next_lsn()) {
+    return Status::Corruption("durable index synced-LSN watermark ahead of "
+                              "assignment cursor");
+  }
+  if (writer_->segment_seq() < recovery_info_.next_segment_seq) {
+    return Status::Corruption("durable index segment sequence regressed");
+  }
+  return inner_->IntegrityCheck(level);
+}
+
 uint64_t DurableIndex::next_lsn() const {
   std::shared_lock lock(mutex_);
   return writer_->next_lsn();

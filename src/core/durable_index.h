@@ -90,6 +90,10 @@ class DurableIndex : public TemporalIrIndex {
   Status SaveTo(SnapshotWriter* writer) const override;
   Status LoadFrom(SnapshotReader* reader) override;
 
+  /// \brief Audit the wrapped index plus the durability bookkeeping (id
+  /// watermark, log-writer LSN monotonicity) under one shared lock.
+  Status IntegrityCheck(CheckLevel level) const override;
+
   // -- Durability controls --------------------------------------------------
 
   /// \brief fsync everything appended so far, regardless of policy.
@@ -116,6 +120,8 @@ class DurableIndex : public TemporalIrIndex {
   const RecoveryResult& recovery_info() const { return recovery_info_; }
 
  private:
+  friend struct IntegrityTestPeer;
+
   DurableIndex() = default;
 
   bool ShouldCheckpointLocked() const;

@@ -1,0 +1,165 @@
+#include "core/fsck.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/serialize.h"
+#include "storage/index_io.h"
+#include "storage/snapshot_format.h"
+#include "wal/recovery.h"
+#include "wal/wal_env.h"
+#include "wal/wal_format.h"
+#include "wal/wal_reader.h"
+
+namespace irhint {
+
+Status CheckSnapshotFile(const std::string& path, CheckLevel level,
+                         const SnapshotReadOptions& options,
+                         FsckReport* report) {
+  FsckReport local;
+  FsckReport* rep = report != nullptr ? report : &local;
+
+  SnapshotReader reader;
+  IRHINT_RETURN_NOT_OK(reader.Open(path, options));
+  rep->snapshot_kind = reader.kind();
+  for (const SectionInfo& info : reader.sections()) {
+    IRHINT_RETURN_NOT_OK(reader.VerifySection(info));
+    ++rep->sections_verified;
+  }
+  if (level == CheckLevel::kQuick) return Status::OK();
+
+  if (reader.kind() == static_cast<uint32_t>(SnapshotKind::kCorpus)) {
+    // LoadCorpus revalidates object intervals, dictionary ranges and
+    // duplicate-free descriptions; a corpus that loads is structurally
+    // sound.
+    auto corpus = LoadCorpus(path);
+    return corpus.status();
+  }
+
+  // Checkpoint snapshots carry a WAL-state section; it must decode even
+  // though this call cannot cross-check it against a log (CheckWalDirectory
+  // does that).
+  if (reader.HasSection(kSectionWalState)) {
+    auto cursor = reader.OpenSection(kSectionWalState);
+    IRHINT_RETURN_NOT_OK(cursor.status());
+    uint64_t wal_lsn;
+    uint64_t next_object_id;
+    IRHINT_RETURN_NOT_OK(cursor->ReadU64(&wal_lsn));
+    IRHINT_RETURN_NOT_OK(cursor->ReadU64(&next_object_id));
+  }
+
+  auto loaded = LoadIndexSnapshot(path, options);
+  IRHINT_RETURN_NOT_OK(loaded.status());
+  IRHINT_RETURN_NOT_OK(loaded->index->IntegrityCheck(CheckLevel::kDeep));
+  ++rep->indexes_deep_checked;
+  return Status::OK();
+}
+
+Status CheckWalDirectory(const std::string& dir, CheckLevel level,
+                         WalEnv* env, FsckReport* report) {
+  if (env == nullptr) env = DefaultWalEnv();
+  FsckReport local;
+  FsckReport* rep = report != nullptr ? report : &local;
+
+  auto segments = ListWalSegments(env, dir);
+  IRHINT_RETURN_NOT_OK(segments.status());
+  auto checkpoints = ListCheckpointLsns(env, dir);
+  IRHINT_RETURN_NOT_OK(checkpoints.status());
+
+  // Pass 1: decode every segment. Sealed segments were fully fsynced by
+  // their rotate handoff, so any damage there is corruption; only the live
+  // (final) segment may carry a torn tail. LSNs must stay dense across the
+  // retained log (records never move between segments).
+  const std::vector<uint64_t>& seqs = segments.value();
+  std::vector<std::pair<uint64_t, uint64_t>> insert_lsn_ids;
+  uint64_t prev_lsn = 0;
+  bool have_lsn = false;
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    const std::string path = WalPathJoin(dir, WalSegmentFileName(seqs[i]));
+    auto contents = ReadWalSegment(env, path);
+    IRHINT_RETURN_NOT_OK(contents.status());
+    const WalSegmentContents& seg = contents.value();
+    const bool final_segment = i + 1 == seqs.size();
+    if (!seg.clean) {
+      if (!final_segment) {
+        return Status::Corruption("sealed WAL segment damaged (" + path +
+                                  "): " + seg.tail_status.ToString());
+      }
+      rep->torn_tail_bytes += seg.file_bytes - seg.valid_bytes;
+    }
+    if (!final_segment) {
+      if (seg.records.empty() || !seg.ends_with_rotate) {
+        return Status::Corruption("sealed WAL segment lacks its rotate "
+                                  "handoff: " + path);
+      }
+      if (seg.records.back().next_seq != seqs[i + 1]) {
+        return Status::Corruption("WAL rotate chain broken after " + path);
+      }
+    }
+    for (const WalRecord& rec : seg.records) {
+      if (have_lsn && rec.lsn != prev_lsn + 1) {
+        return Status::Corruption("WAL LSNs not dense in " + path);
+      }
+      prev_lsn = rec.lsn;
+      have_lsn = true;
+      if (rec.type == WalRecordType::kInsert) {
+        insert_lsn_ids.emplace_back(rec.lsn, rec.object.id);
+      }
+      ++rep->records_decoded;
+    }
+    ++rep->segments_scanned;
+  }
+
+  // Pass 2: checkpoint snapshots. Quick verifies their framing; deep loads
+  // each one, cross-checks the recorded LSN against the file name and the
+  // id watermark against every logged insert the snapshot claims to cover,
+  // and audits the loaded index.
+  for (uint64_t lsn : checkpoints.value()) {
+    const std::string path = WalPathJoin(dir, CheckpointFileName(lsn));
+    if (level == CheckLevel::kQuick) {
+      IRHINT_RETURN_NOT_OK(
+          CheckSnapshotFile(path, CheckLevel::kQuick, {}, rep));
+      ++rep->checkpoints_checked;
+      continue;
+    }
+    auto info = LoadIndexCheckpoint(path);
+    IRHINT_RETURN_NOT_OK(info.status());
+    if (info->wal_lsn != lsn) {
+      return Status::Corruption("checkpoint file name disagrees with its "
+                                "recorded LSN: " + path);
+    }
+    uint64_t max_insert_id = 0;
+    bool any_covered = false;
+    for (const auto& [record_lsn, id] : insert_lsn_ids) {
+      if (record_lsn <= lsn) {
+        max_insert_id = std::max(max_insert_id, id);
+        any_covered = true;
+      }
+    }
+    if (any_covered && info->next_object_id <= max_insert_id) {
+      // A future re-ingest would hand out an id the log already used.
+      return Status::Corruption("checkpoint id watermark below logged "
+                                "insert ids: " + path);
+    }
+    IRHINT_RETURN_NOT_OK(
+        info->loaded.index->IntegrityCheck(CheckLevel::kDeep));
+    ++rep->indexes_deep_checked;
+    ++rep->checkpoints_checked;
+  }
+  if (level == CheckLevel::kQuick) return Status::OK();
+
+  // Pass 3: end-to-end recovery (read-only: torn-tail truncation is
+  // suppressed), then a deep audit of the recovered index.
+  RecoveryOptions options;
+  options.truncate_torn_tail = false;
+  RecoveryManager manager(env, dir);
+  auto result = manager.Recover(options);
+  IRHINT_RETURN_NOT_OK(result.status());
+  IRHINT_RETURN_NOT_OK(result->index->IntegrityCheck(CheckLevel::kDeep));
+  ++rep->indexes_deep_checked;
+  return Status::OK();
+}
+
+}  // namespace irhint

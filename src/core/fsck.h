@@ -1,0 +1,70 @@
+// Structural auditing ("fsck") for everything this library persists: index
+// and corpus snapshot files, checkpoint snapshots, and whole WAL
+// directories. One code path serves the irhint_fsck tool, snapshot_inspect
+// --check, irhint_cli verification and the integrity tests (DESIGN.md §9).
+//
+// Contract: a damaged input of any shape yields a non-OK Status — never a
+// crash, never a silent pass.
+
+#ifndef IRHINT_CORE_FSCK_H_
+#define IRHINT_CORE_FSCK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/integrity.h"
+#include "storage/snapshot_reader.h"
+
+namespace irhint {
+
+class WalEnv;
+
+/// \brief What an audit covered (for tool output; zero-initialized fields
+/// simply did not apply to the input).
+struct FsckReport {
+  /// Snapshot kind tag of the audited file (0 when not a snapshot).
+  uint32_t snapshot_kind = 0;
+  /// Sections whose CRC was recomputed and matched.
+  uint64_t sections_verified = 0;
+  /// WAL segments decoded end-to-end.
+  uint64_t segments_scanned = 0;
+  /// WAL records decoded across all segments.
+  uint64_t records_decoded = 0;
+  /// Checkpoint snapshots audited inside a WAL directory.
+  uint64_t checkpoints_checked = 0;
+  /// Torn bytes tolerated at the live segment's tail (crash artifact, not
+  /// corruption; reported so operators know a truncation is pending).
+  uint64_t torn_tail_bytes = 0;
+  /// Deep pass only: live indexes that passed IntegrityCheck(kDeep).
+  uint64_t indexes_deep_checked = 0;
+};
+
+/// \brief Audit one snapshot file (index, corpus, or checkpoint).
+///
+/// kQuick: header magic/version/CRC, section-table bounds, and a CRC32C
+/// recomputation over every section payload.
+/// kDeep: additionally decode the payload — the corpus, or an index of the
+/// recorded kind — and run IntegrityCheck(kDeep) on the result; checkpoint
+/// snapshots also get their WAL-state section decoded.
+Status CheckSnapshotFile(const std::string& path, CheckLevel level,
+                         const SnapshotReadOptions& options = {},
+                         FsckReport* report = nullptr);
+
+/// \brief Audit a WAL directory end-to-end. Read-only: the torn-tail
+/// truncation recovery would normally perform is suppressed.
+///
+/// kQuick: every segment decodes; sealed segments must be clean and chain
+/// to their successor via rotate records; LSNs strictly increase across
+/// the retained log; checkpoint snapshots pass their quick audit.
+/// kDeep: additionally cross-check every checkpoint's recorded LSN and
+/// id watermark against the log's records, run IntegrityCheck(kDeep) on
+/// every loadable checkpoint index, and replay the directory through
+/// RecoveryManager, deep-checking the recovered index.
+Status CheckWalDirectory(const std::string& dir, CheckLevel level,
+                         WalEnv* env = nullptr,
+                         FsckReport* report = nullptr);
+
+}  // namespace irhint
+
+#endif  // IRHINT_CORE_FSCK_H_

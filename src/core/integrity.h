@@ -1,0 +1,33 @@
+// Structural integrity checking: the CheckLevel knob shared by
+// TemporalIrIndex::IntegrityCheck implementations and the fsck layer
+// (core/fsck.h, tools/irhint_fsck). Lives in its own header so that
+// temporal_ir_index.h and the per-index headers can name it without
+// pulling in the fsck machinery.
+//
+// The invariant catalog each level covers, per index kind, is documented
+// in DESIGN.md §9 ("Integrity model").
+
+#ifndef IRHINT_CORE_INTEGRITY_H_
+#define IRHINT_CORE_INTEGRITY_H_
+
+namespace irhint {
+
+/// \brief Test-only backdoor for seeding structural corruption. Defined by
+/// tests/integrity_test.cc; befriended by the structures whose invariants
+/// IntegrityCheck guards so negative tests can violate them in place.
+struct IntegrityTestPeer;
+
+/// \brief How deep IntegrityCheck digs.
+enum class CheckLevel {
+  /// O(metadata): directory shapes, parallel-array sizes, count
+  /// bookkeeping, option ranges. Cheap enough to run after every load.
+  kQuick,
+  /// O(index): every stored entry re-validated — canonical HINT partition
+  /// assignment re-derived per interval, postings sortedness/dedup,
+  /// cross-structure referential integrity, derived arrays recomputed.
+  kDeep,
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_CORE_INTEGRITY_H_

@@ -91,7 +91,12 @@ Status IrHintPerf::Insert(const Object& object) {
                    });
   }
   for (ElementId e : object.elements) {
-    if (e >= frequencies_.size()) frequencies_.resize(e + 1, 0);
+    // size_t arithmetic: e + 1 in ElementId width wraps to 0 at the max
+    // id, making the resize a no-op and the increment an out-of-bounds
+    // write.
+    if (e >= frequencies_.size()) {
+      frequencies_.resize(static_cast<size_t>(e) + 1, 0);
+    }
     ++frequencies_[e];
   }
   return Status::OK();
@@ -212,6 +217,120 @@ size_t IrHintPerf::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status IrHintPerf::IntegrityCheck(CheckLevel level) const {
+  if (!built_) {
+    if (levels_.num_levels() != 0 || !overflow_.empty()) {
+      return Status::Corruption("irhint-perf unbuilt index holds data");
+    }
+    return Status::OK();
+  }
+  if (m_ < 0 || m_ > 30) {
+    return Status::Corruption("irhint-perf m out of range");
+  }
+  if (levels_.num_levels() != m_ + 1) {
+    return Status::Corruption("irhint-perf level directory shape mismatch");
+  }
+  const uint64_t element_limit =
+      frequencies_.empty() ? DivisionPostings<Posting>::kNoElementLimit
+                           : static_cast<uint64_t>(frequencies_.size());
+  for (int lvl = 0; lvl <= m_; ++lvl) {
+    const std::vector<uint64_t>& keys = levels_.keys(lvl);
+    if (keys.size() != levels_.parts(lvl).size()) {
+      return Status::Corruption("irhint-perf partition directory mismatch");
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0 && keys[i] <= keys[i - 1]) {
+        return Status::Corruption("irhint-perf partition keys not sorted");
+      }
+      if ((keys[i] >> lvl) != 0) {
+        return Status::Corruption("irhint-perf partition key out of level "
+                                  "range");
+      }
+    }
+  }
+
+  Status status = Status::OK();
+  // Live original postings per element; reconciled against frequencies_
+  // below (each live object has exactly one original assignment, so the
+  // per-element census over O_in/O_aft plus overflow must equal the global
+  // frequency table).
+  std::vector<uint64_t> census(frequencies_.size(), 0);
+  levels_.ForEach([&](int lvl, uint64_t key, const Partition& part) {
+    if (!status.ok()) return;
+    for (int role = 0; role < 4; ++role) {
+      const DivisionTif& sub = part.subs[role];
+      status = sub.CheckStructure(level, element_limit);
+      if (!status.ok()) return;
+      if (level == CheckLevel::kQuick) continue;
+      status = sub.ForEachEntry([&](ElementId e, const Posting& p) {
+        if (p.st > p.end) {
+          return Status::Corruption("irhint-perf posting has inverted "
+                                    "interval");
+        }
+        if (p.end > mapper_.domain_end()) {
+          return Status::Corruption("irhint-perf posting exceeds declared "
+                                    "domain");
+        }
+        if (p.id == kTombstoneId) return Status::OK();
+        if ((role == kOin || role == kOaft) && e < census.size()) {
+          ++census[e];
+        }
+        // Re-derive the canonical HINT assignment from the stored
+        // endpoints: this (level, key, role) must be one of the partitions
+        // AssignToPartitions emits for the interval.
+        uint64_t first, last;
+        mapper_.CellSpan(Interval(p.st, p.end), &first, &last);
+        bool matched = false;
+        AssignToPartitions(m_, first, last, [&](const PartitionRef& ref) {
+          if (ref.level != lvl || ref.index != key) return;
+          const bool ends_inside = (last >> (m_ - ref.level)) == ref.index;
+          const int expected = ref.original ? (ends_inside ? kOin : kOaft)
+                                            : (ends_inside ? kRin : kRaft);
+          if (expected == role) matched = true;
+        });
+        if (!matched) {
+          return Status::Corruption("irhint-perf posting stored in "
+                                    "non-canonical division");
+        }
+        return Status::OK();
+      });
+      if (!status.ok()) return;
+    }
+  });
+  IRHINT_RETURN_NOT_OK(status);
+  if (level == CheckLevel::kQuick) return Status::OK();
+
+  for (const Object& o : overflow_) {
+    if (o.interval.st > o.interval.end) {
+      return Status::Corruption("irhint-perf overflow object has inverted "
+                                "interval");
+    }
+    if (o.interval.end <= mapper_.domain_end()) {
+      // Defining property of the overflow store: the object outgrew the
+      // declared domain.
+      return Status::Corruption("irhint-perf overflow object fits the "
+                                "indexed domain");
+    }
+    for (size_t k = 1; k < o.elements.size(); ++k) {
+      if (o.elements[k] <= o.elements[k - 1]) {
+        return Status::Corruption("irhint-perf overflow description not "
+                                  "sorted");
+      }
+    }
+    if (o.id == kTombstoneId) continue;
+    for (ElementId e : o.elements) {
+      if (e < census.size()) ++census[e];
+    }
+  }
+  for (size_t e = 0; e < frequencies_.size(); ++e) {
+    if (census[e] != frequencies_[e]) {
+      return Status::Corruption("irhint-perf frequency table out of sync "
+                                "with live postings");
+    }
+  }
+  return Status::OK();
+}
+
 Status IrHintPerf::SaveTo(SnapshotWriter* writer) const {
   writer->BeginSection(kSectionMeta);
   writer->WriteI32(options_.num_bits);
@@ -246,8 +365,8 @@ Status IrHintPerf::SaveTo(SnapshotWriter* writer) const {
 Status IrHintPerf::LoadFrom(SnapshotReader* reader) {
   auto meta = reader->OpenSection(kSectionMeta);
   IRHINT_RETURN_NOT_OK(meta.status());
-  uint64_t domain_end;
-  uint8_t built;
+  uint64_t domain_end = 0;
+  uint8_t built = 0;
   IRHINT_RETURN_NOT_OK(meta->ReadI32(&options_.num_bits));
   IRHINT_RETURN_NOT_OK(meta->ReadI32(&m_));
   IRHINT_RETURN_NOT_OK(meta->ReadU64(&domain_end));

@@ -46,6 +46,7 @@ class IrHintPerf : public CountingTemporalIrIndex {
   IndexKind Kind() const override { return IndexKind::kIrHintPerf; }
   Status SaveTo(SnapshotWriter* writer) const override;
   Status LoadFrom(SnapshotReader* reader) override;
+  Status IntegrityCheck(CheckLevel level) const override;
 
   int m() const { return m_; }
   uint64_t Frequency(ElementId e) const {
@@ -53,6 +54,8 @@ class IrHintPerf : public CountingTemporalIrIndex {
   }
 
  private:
+  friend struct IntegrityTestPeer;
+
   struct Partition {
     DivisionTif subs[4];  // O_in, O_aft, R_in, R_aft
   };

@@ -191,7 +191,11 @@ Status IrHintSize::Insert(const Object& object) {
     std::sort(overflow_.back().elements.begin(),
               overflow_.back().elements.end());
     for (ElementId e : object.elements) {
-      if (e >= frequencies_.size()) frequencies_.resize(e + 1, 0);
+      // size_t arithmetic: e + 1 in ElementId width wraps to 0 at the
+      // max id.
+      if (e >= frequencies_.size()) {
+        frequencies_.resize(static_cast<size_t>(e) + 1, 0);
+      }
       ++frequencies_[e];
     }
     return Status::OK();
@@ -211,7 +215,9 @@ Status IrHintSize::Insert(const Object& object) {
                    }
                  });
   for (ElementId e : object.elements) {
-    if (e >= frequencies_.size()) frequencies_.resize(e + 1, 0);
+    if (e >= frequencies_.size()) {
+      frequencies_.resize(static_cast<size_t>(e) + 1, 0);
+    }
     ++frequencies_[e];
   }
   return Status::OK();
@@ -381,6 +387,158 @@ size_t IrHintSize::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status IrHintSize::IntegrityCheck(CheckLevel level) const {
+  if (!built_) {
+    if (levels_.num_levels() != 0 || !overflow_.empty()) {
+      return Status::Corruption("irhint-size unbuilt index holds data");
+    }
+    return Status::OK();
+  }
+  if (m_ < 0 || m_ > 30) {
+    return Status::Corruption("irhint-size m out of range");
+  }
+  if (levels_.num_levels() != m_ + 1) {
+    return Status::Corruption("irhint-size level directory shape mismatch");
+  }
+  const uint64_t element_limit =
+      frequencies_.empty() ? DivisionPostings<IdEntry>::kNoElementLimit
+                           : static_cast<uint64_t>(frequencies_.size());
+  for (int lvl = 0; lvl <= m_; ++lvl) {
+    const std::vector<uint64_t>& keys = levels_.keys(lvl);
+    if (keys.size() != levels_.parts(lvl).size()) {
+      return Status::Corruption("irhint-size partition directory mismatch");
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0 && keys[i] <= keys[i - 1]) {
+        return Status::Corruption("irhint-size partition keys not sorted");
+      }
+      if ((keys[i] >> lvl) != 0) {
+        return Status::Corruption("irhint-size partition key out of level "
+                                  "range");
+      }
+    }
+  }
+
+  Status status = Status::OK();
+  // Live id-index entries of the original divisions per element; reconciled
+  // against frequencies_ below.
+  std::vector<uint64_t> census(frequencies_.size(), 0);
+  std::vector<ObjectId> original_ids;
+  std::vector<ObjectId> replica_ids;
+  levels_.ForEach([&](int lvl, uint64_t key, const Partition& part) {
+    if (!status.ok()) return;
+    status = part.originals_index.CheckStructure(level, element_limit);
+    if (!status.ok()) return;
+    status = part.replicas_index.CheckStructure(level, element_limit);
+    if (!status.ok()) return;
+    if (level == CheckLevel::kQuick) return;
+
+    // Interval stores: beneficial sorting, in-domain endpoints, and the
+    // canonical HINT assignment (tombstones keep their endpoints, so the
+    // assignment must hold for them too).
+    original_ids.clear();
+    replica_ids.clear();
+    for (int role = 0; role < 4; ++role) {
+      const FlatArray<Posting>& list = part.intervals[role];
+      for (size_t i = 0; i < list.size(); ++i) {
+        const Posting& p = list[i];
+        if (p.st > p.end) {
+          status = Status::Corruption("irhint-size interval entry inverted");
+          return;
+        }
+        if (p.end > mapper_.domain_end()) {
+          status = Status::Corruption("irhint-size interval entry exceeds "
+                                      "declared domain");
+          return;
+        }
+        if (i > 0) {
+          if ((role == kOin || role == kOaft) && p.st < list[i - 1].st) {
+            status = Status::Corruption("irhint-size O-division not "
+                                        "start-sorted");
+            return;
+          }
+          if (role == kRin && p.end > list[i - 1].end) {
+            status = Status::Corruption("irhint-size R_in not end-sorted "
+                                        "descending");
+            return;
+          }
+        }
+        uint64_t first, last;
+        mapper_.CellSpan(Interval(p.st, p.end), &first, &last);
+        bool matched = false;
+        AssignToPartitions(m_, first, last, [&](const PartitionRef& ref) {
+          if (ref.level != lvl || ref.index != key) return;
+          const bool ends_inside = (last >> (m_ - ref.level)) == ref.index;
+          const int expected = ref.original ? (ends_inside ? kOin : kOaft)
+                                            : (ends_inside ? kRin : kRaft);
+          if (expected == role) matched = true;
+        });
+        if (!matched) {
+          status = Status::Corruption("irhint-size interval stored in "
+                                      "non-canonical division");
+          return;
+        }
+        if (p.id == kTombstoneId) continue;
+        ((role == kOin || role == kOaft) ? original_ids : replica_ids)
+            .push_back(p.id);
+      }
+    }
+    std::sort(original_ids.begin(), original_ids.end());
+    std::sort(replica_ids.begin(), replica_ids.end());
+
+    // Referential integrity: every live id-index entry must refer to a
+    // live interval of the same division (a dangling id would surface
+    // phantom results under CheckMode::kNone probes).
+    const auto check_index = [&](const DivisionIdIndex& index,
+                                 const std::vector<ObjectId>& ids,
+                                 bool count, const char* what) {
+      return index.ForEachEntry([&](ElementId e, const IdEntry& entry) {
+        if (entry.id == kTombstoneId) return Status::OK();
+        if (!std::binary_search(ids.begin(), ids.end(), entry.id)) {
+          return Status::Corruption(what);
+        }
+        if (count && e < census.size()) ++census[e];
+        return Status::OK();
+      });
+    };
+    status = check_index(part.originals_index, original_ids, true,
+                         "irhint-size originals id entry dangles");
+    if (!status.ok()) return;
+    status = check_index(part.replicas_index, replica_ids, false,
+                         "irhint-size replicas id entry dangles");
+  });
+  IRHINT_RETURN_NOT_OK(status);
+  if (level == CheckLevel::kQuick) return Status::OK();
+
+  for (const Object& o : overflow_) {
+    if (o.interval.st > o.interval.end) {
+      return Status::Corruption("irhint-size overflow object has inverted "
+                                "interval");
+    }
+    if (o.interval.end <= mapper_.domain_end()) {
+      return Status::Corruption("irhint-size overflow object fits the "
+                                "indexed domain");
+    }
+    for (size_t k = 1; k < o.elements.size(); ++k) {
+      if (o.elements[k] <= o.elements[k - 1]) {
+        return Status::Corruption("irhint-size overflow description not "
+                                  "sorted");
+      }
+    }
+    if (o.id == kTombstoneId) continue;
+    for (ElementId e : o.elements) {
+      if (e < census.size()) ++census[e];
+    }
+  }
+  for (size_t e = 0; e < frequencies_.size(); ++e) {
+    if (census[e] != frequencies_[e]) {
+      return Status::Corruption("irhint-size frequency table out of sync "
+                                "with live postings");
+    }
+  }
+  return Status::OK();
+}
+
 Status IrHintSize::SaveTo(SnapshotWriter* writer) const {
   writer->BeginSection(kSectionMeta);
   writer->WriteI32(options_.num_bits);
@@ -417,8 +575,8 @@ Status IrHintSize::SaveTo(SnapshotWriter* writer) const {
 Status IrHintSize::LoadFrom(SnapshotReader* reader) {
   auto meta = reader->OpenSection(kSectionMeta);
   IRHINT_RETURN_NOT_OK(meta.status());
-  uint64_t domain_end;
-  uint8_t built;
+  uint64_t domain_end = 0;
+  uint8_t built = 0;
   IRHINT_RETURN_NOT_OK(meta->ReadI32(&options_.num_bits));
   IRHINT_RETURN_NOT_OK(meta->ReadI32(&m_));
   IRHINT_RETURN_NOT_OK(meta->ReadU64(&domain_end));

@@ -49,6 +49,7 @@ class IrHintSize : public CountingTemporalIrIndex {
   IndexKind Kind() const override { return IndexKind::kIrHintSize; }
   Status SaveTo(SnapshotWriter* writer) const override;
   Status LoadFrom(SnapshotReader* reader) override;
+  Status IntegrityCheck(CheckLevel level) const override;
 
   int m() const { return m_; }
   uint64_t Frequency(ElementId e) const {
@@ -56,6 +57,8 @@ class IrHintSize : public CountingTemporalIrIndex {
   }
 
  private:
+  friend struct IntegrityTestPeer;
+
   enum SubdivRole { kOin = 0, kOaft = 1, kRin = 2, kRaft = 3 };
 
   struct Partition {

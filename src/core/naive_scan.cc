@@ -64,6 +64,32 @@ size_t NaiveScan::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status NaiveScan::IntegrityCheck(CheckLevel level) const {
+  if (deleted_.size() != objects_.size() ||
+      slot_of_.size() != objects_.size()) {
+    return Status::Corruption("naive_scan directory shape mismatch");
+  }
+  if (level == CheckLevel::kQuick) return Status::OK();
+
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    const Object& o = objects_[i];
+    const uint32_t* slot = slot_of_.find(o.id);
+    if (slot == nullptr || *slot != i) {
+      return Status::Corruption("naive_scan slot map broken");
+    }
+    if (o.interval.st > o.interval.end) {
+      return Status::Corruption("naive_scan object has inverted interval");
+    }
+    // ContainsAll merges over the sorted, duplicate-free description.
+    for (size_t k = 1; k < o.elements.size(); ++k) {
+      if (o.elements[k] <= o.elements[k - 1]) {
+        return Status::Corruption("naive_scan description not sorted");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status NaiveScan::SaveTo(SnapshotWriter* writer) const {
   writer->BeginSection(kSectionPayload);
   writer->WriteU64(objects_.size());

@@ -26,8 +26,11 @@ class NaiveScan : public CountingTemporalIrIndex {
   IndexKind Kind() const override { return IndexKind::kNaiveScan; }
   Status SaveTo(SnapshotWriter* writer) const override;
   Status LoadFrom(SnapshotReader* reader) override;
+  Status IntegrityCheck(CheckLevel level) const override;
 
  private:
+  friend struct IntegrityTestPeer;
+
   std::vector<Object> objects_;
   FlatHashMap<ObjectId, uint32_t> slot_of_;
   std::vector<bool> deleted_;

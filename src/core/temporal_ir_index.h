@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "core/index_kind.h"
+#include "core/integrity.h"
 #include "core/query_counters.h"
 #include "data/corpus.h"
 #include "data/object.h"
@@ -80,6 +81,18 @@ class TemporalIrIndex {
   /// caller (LoadIndexSnapshot) hands the mapping to set_storage_keepalive()
   /// afterwards so those views stay valid.
   virtual Status LoadFrom(SnapshotReader* reader) = 0;
+
+  /// \brief Audit the index's structural invariants (see DESIGN.md §9).
+  /// kQuick validates shapes and bookkeeping in O(metadata); kDeep
+  /// re-validates every stored entry (canonical HINT partition assignment,
+  /// postings sortedness, cross-structure referential integrity). Returns
+  /// Corruption describing the first violation found; never crashes on a
+  /// malformed structure. The default covers indexes with no invariants
+  /// beyond what their Load paths already enforce.
+  virtual Status IntegrityCheck(CheckLevel level) const {
+    (void)level;
+    return Status::OK();
+  }
 
   /// \brief Retain the resource (e.g. an mmap) backing zero-copy views.
   void set_storage_keepalive(std::shared_ptr<void> keepalive) {

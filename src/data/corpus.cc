@@ -47,7 +47,12 @@ Status Corpus::Finalize() {
     o.elements.erase(std::unique(o.elements.begin(), o.elements.end()),
                      o.elements.end());
     for (ElementId e : o.elements) {
-      if (e >= frequencies.size()) frequencies.resize(e + 1, 0);
+      // size_t arithmetic: e + 1 in ElementId width wraps to 0 at the max
+      // id, turning the resize into a no-op and the increment into an
+      // out-of-bounds write.
+      if (e >= frequencies.size()) {
+        frequencies.resize(static_cast<size_t>(e) + 1, 0);
+      }
       ++frequencies[e];
     }
     if (o.interval.st > o.interval.end) {
@@ -118,7 +123,9 @@ Corpus Corpus::Prefix(size_t count) const {
   std::vector<uint64_t> frequencies(out.dictionary_.size(), 0);
   for (const Object& o : out.objects_) {
     for (ElementId e : o.elements) {
-      if (e >= frequencies.size()) frequencies.resize(e + 1, 0);
+      if (e >= frequencies.size()) {
+        frequencies.resize(static_cast<size_t>(e) + 1, 0);
+      }
       ++frequencies[e];
     }
   }

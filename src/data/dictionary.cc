@@ -37,7 +37,10 @@ void Dictionary::SetFrequencies(std::vector<uint64_t> frequencies) {
 }
 
 void Dictionary::BumpFrequency(ElementId e, uint64_t delta) {
-  if (e >= frequencies_.size()) frequencies_.resize(e + 1, 0);
+  // size_t arithmetic: e + 1 in ElementId width wraps to 0 at the max id.
+  if (e >= frequencies_.size()) {
+    frequencies_.resize(static_cast<size_t>(e) + 1, 0);
+  }
   frequencies_[e] += delta;
 }
 

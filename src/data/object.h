@@ -16,6 +16,14 @@ using ObjectId = uint32_t;
 /// \brief Identifier of a descriptive element in the global dictionary D.
 using ElementId = uint32_t;
 
+/// \brief Exclusive upper bound on element ids accepted from decode
+/// boundaries (WAL records, snapshots). Dictionary ids are dense, so the
+/// per-element frequency tables are allocated out to the largest id seen;
+/// without a ceiling, one hostile id in an otherwise CRC-valid record
+/// forces a multi-gigabyte resize. 2^28 elements (a 2 GiB table) is far
+/// beyond any real dictionary.
+inline constexpr ElementId kElementIdLimit = 1u << 28;
+
 /// \brief A discrete time point. The raw (application) domain can be any
 /// range of non-negative integers; HINT-based indexes rescale it internally.
 using Time = uint64_t;

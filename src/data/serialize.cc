@@ -54,17 +54,24 @@ StatusOr<Corpus> LoadCorpus(const std::string& path) {
 
   auto meta = reader.OpenSection(kSectionMeta);
   IRHINT_RETURN_NOT_OK(meta.status());
-  uint64_t count, domain_end, dict_size;
+  uint64_t count = 0, domain_end = 0, dict_size = 0;
   IRHINT_RETURN_NOT_OK(meta->ReadU64(&count));
   IRHINT_RETURN_NOT_OK(meta->ReadU64(&domain_end));
   IRHINT_RETURN_NOT_OK(meta->ReadU64(&dict_size));
 
   auto dict_cursor = reader.OpenSection(kSectionDictionary);
   IRHINT_RETURN_NOT_OK(dict_cursor.status());
-  uint8_t textual;
+  uint8_t textual = 0;
   std::vector<uint64_t> frequencies;
   IRHINT_RETURN_NOT_OK(dict_cursor->ReadU8(&textual));
   IRHINT_RETURN_NOT_OK(dict_cursor->ReadVector(&frequencies));
+  // The stored frequency vector always has one slot per element, and its
+  // length is bounded by the section payload — so this check also caps
+  // dict_size before anything allocates proportional to it.
+  if (frequencies.size() != dict_size) {
+    return Status::Corruption("dictionary size disagrees with frequency "
+                              "vector in " + path);
+  }
   Dictionary dict;
   if (textual != 0) {
     for (uint64_t e = 0; e < dict_size; ++e) {
@@ -95,8 +102,17 @@ StatusOr<Corpus> LoadCorpus(const std::string& path) {
     IRHINT_RETURN_NOT_OK(objects->ReadU64(&st));
     IRHINT_RETURN_NOT_OK(objects->ReadU64(&end));
     IRHINT_RETURN_NOT_OK(objects->ReadVector(&elements));
-    if (st > end || elements.size() > dict_size) {
+    if (st > end || end > domain_end || elements.size() > dict_size) {
       return Status::Corruption("invalid object in " + path);
+    }
+    for (ElementId e : elements) {
+      // Element ids index the dictionary (and later the frequency and
+      // postings arrays); an out-of-range id must die here, at the decode
+      // boundary, not as an out-of-bounds write in Finalize().
+      if (e >= dict_size) {
+        return Status::Corruption("object element outside the dictionary "
+                                  "in " + path);
+      }
     }
     corpus.Append(Interval(st, end), std::move(elements));
   }

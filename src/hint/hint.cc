@@ -541,10 +541,198 @@ void HintIndex::SaveTo(SnapshotWriter* writer) const {
   }
 }
 
+size_t HintIndex::LiveOriginalCount() const {
+  size_t live = 0;
+  levels_.ForEach([&live](int, uint64_t, const Partition& part) {
+    for (int role : {kOin, kOaft}) {
+      const Subdiv& sub = part.subs[role];
+      for (size_t i = 0; i < sub.ids.size(); ++i) {
+        if (sub.ids[i] != kTombstoneId) ++live;
+      }
+    }
+  });
+  for (const IntervalRecord& rec : overflow_) {
+    if (rec.id != kTombstoneId) ++live;
+  }
+  return live;
+}
+
+Status HintIndex::IntegrityCheck(CheckLevel level) const {
+  if (levels_.empty()) {
+    // Never built: all bookkeeping must still be zero.
+    if (num_entries_ != 0 || num_tombstones_ != 0 || !overflow_.empty()) {
+      return Status::Corruption("hint counters nonzero before build");
+    }
+    return Status::OK();
+  }
+  if (options_.num_bits < 0 || options_.num_bits > 30) {
+    return Status::Corruption("hint num_bits out of range");
+  }
+  const int m = options_.num_bits;
+  if (levels_.num_levels() != m + 1) {
+    return Status::Corruption("hint level count does not match num_bits");
+  }
+  if (max_time_ < mapper_.domain_end()) {
+    return Status::Corruption("hint max_time below declared domain");
+  }
+
+  // Level directory and parallel-array shapes; tally stored entries.
+  size_t stored = 0;
+  for (int lvl = 0; lvl <= m; ++lvl) {
+    const auto& keys = levels_.keys(lvl);
+    const auto& parts = levels_.parts(lvl);
+    if (keys.size() != parts.size()) {
+      return Status::Corruption("hint level directory shape mismatch");
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0 && keys[i] <= keys[i - 1]) {
+        return Status::Corruption("hint partition keys not sorted");
+      }
+      if (keys[i] >> lvl != 0) {
+        return Status::Corruption("hint partition key outside level range");
+      }
+      for (int role = 0; role < 4; ++role) {
+        const Subdiv& sub = parts[i].subs[role];
+        const size_t n = sub.ids.size();
+        const size_t want_sts =
+            KeepsStart(static_cast<SubdivRole>(role)) ? n : 0;
+        const size_t want_ends =
+            KeepsEnd(static_cast<SubdivRole>(role)) ? n : 0;
+        if (sub.sts.size() != want_sts || sub.ends.size() != want_ends) {
+          return Status::Corruption("hint subdivision arrays not parallel");
+        }
+        stored += n;
+      }
+    }
+  }
+  stored += overflow_.size();
+  if (stored != num_entries_) {
+    return Status::Corruption("hint entry count mismatch");
+  }
+  if (level == CheckLevel::kQuick) return Status::OK();
+
+  // Deep pass: per-entry canonical assignment, sort orders, endpoint
+  // bounds and the tombstone census.
+  size_t tombstones = 0;
+  Status status = Status::OK();
+  levels_.ForEach([&](int lvl, uint64_t key, const Partition& part) {
+    if (!status.ok()) return;
+    for (int role = 0; role < 4; ++role) {
+      const Subdiv& sub = part.subs[role];
+      const size_t n = sub.ids.size();
+      const bool has_st = !sub.sts.empty();
+      const bool has_end = !sub.ends.empty();
+      ObjectId prev_live_id = 0;
+      bool have_live_id = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (sub.ids[i] == kTombstoneId) {
+          ++tombstones;
+        } else if (options_.sort_mode == HintSortMode::kById) {
+          // Tombstones keep their slot; the live subsequence must stay
+          // strictly id-increasing (merge-intersection soundness).
+          if (have_live_id && sub.ids[i] <= prev_live_id) {
+            status = Status::Corruption("hint by-id subdivision unsorted");
+            return;
+          }
+          prev_live_id = sub.ids[i];
+          have_live_id = true;
+        }
+        if (options_.sort_mode == HintSortMode::kBeneficial && i > 0) {
+          if ((role == kOin || role == kOaft) && has_st &&
+              sub.sts[i] < sub.sts[i - 1]) {
+            status = Status::Corruption("hint originals not start-sorted");
+            return;
+          }
+          if (role == kRin && has_end && sub.ends[i] > sub.ends[i - 1]) {
+            status =
+                Status::Corruption("hint R_in not end-sorted descending");
+            return;
+          }
+        }
+        if (has_st && has_end && sub.sts[i] > sub.ends[i]) {
+          status = Status::Corruption("hint entry has inverted interval");
+          return;
+        }
+        if (has_end && sub.ends[i] > mapper_.domain_end()) {
+          status = Status::Corruption(
+              "hint in-hierarchy entry exceeds declared domain");
+          return;
+        }
+        // Canonical dyadic cover: re-derive the assignment from the stored
+        // endpoints and require this exact (level, partition, role).
+        if (has_st && has_end) {
+          uint64_t first, last;
+          mapper_.CellSpan(Interval(sub.sts[i], sub.ends[i]), &first, &last);
+          bool matched = false;
+          AssignToPartitions(m, first, last, [&](const PartitionRef& ref) {
+            if (ref.level != lvl || ref.index != key) return;
+            const bool ends_inside = (last >> (m - ref.level)) == ref.index;
+            const int expected = ref.original ? (ends_inside ? kOin : kOaft)
+                                              : (ends_inside ? kRin : kRaft);
+            if (expected == role) matched = true;
+          });
+          if (!matched) {
+            status = Status::Corruption(
+                "hint entry stored outside its canonical partition "
+                "assignment");
+            return;
+          }
+        } else if (has_st && (role == kOin || role == kOaft)) {
+          // Storage optimization dropped the end array: originals must
+          // still start inside this partition.
+          if (mapper_.Cell(sub.sts[i]) >> (m - lvl) != key) {
+            status = Status::Corruption(
+                "hint original entry does not start in its partition");
+            return;
+          }
+        } else if (has_end && role == kRin) {
+          // R_in keeps only ends: the interval must end inside.
+          if (mapper_.Cell(sub.ends[i]) >> (m - lvl) != key) {
+            status = Status::Corruption(
+                "hint R_in entry does not end in its partition");
+            return;
+          }
+        }
+      }
+    }
+  });
+  IRHINT_RETURN_NOT_OK(status);
+
+  // Overflow store: defining property (past the declared domain), id order
+  // of the live subsequence (IntersectRelevant merges against it), bounds.
+  ObjectId prev_live = 0;
+  bool have_live = false;
+  for (const IntervalRecord& rec : overflow_) {
+    if (rec.id == kTombstoneId) {
+      ++tombstones;
+    } else {
+      if (have_live && rec.id <= prev_live) {
+        return Status::Corruption("hint overflow not id-sorted");
+      }
+      prev_live = rec.id;
+      have_live = true;
+    }
+    if (rec.interval.st > rec.interval.end) {
+      return Status::Corruption("hint overflow record has inverted interval");
+    }
+    if (rec.interval.end <= mapper_.domain_end()) {
+      return Status::Corruption(
+          "hint overflow record fits the declared domain");
+    }
+    if (rec.interval.end > max_time_) {
+      return Status::Corruption("hint overflow record exceeds max_time");
+    }
+  }
+  if (tombstones != num_tombstones_) {
+    return Status::Corruption("hint tombstone count mismatch");
+  }
+  return Status::OK();
+}
+
 Status HintIndex::LoadFrom(SectionCursor* cursor) {
-  int32_t num_bits;
-  uint8_t sort_mode, storage_opt;
-  uint64_t domain_end, max_time, num_entries, num_tombstones;
+  int32_t num_bits = 0;
+  uint8_t sort_mode = 0, storage_opt = 0;
+  uint64_t domain_end = 0, max_time = 0, num_entries = 0, num_tombstones = 0;
   IRHINT_RETURN_NOT_OK(cursor->ReadI32(&num_bits));
   IRHINT_RETURN_NOT_OK(cursor->ReadU8(&sort_mode));
   IRHINT_RETURN_NOT_OK(cursor->ReadU8(&storage_opt));

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/integrity.h"
 #include "hint/allen.h"
 #include "data/object.h"
 #include "hint/domain.h"
@@ -152,6 +153,20 @@ class HintIndex {
   const HintOptions& options() const { return options_; }
   const DomainMapper& mapper() const { return mapper_; }
 
+  /// \brief Live (non-tombstoned) entries in the original subdivisions plus
+  /// the live overflow records. Every interval has exactly one original
+  /// assignment, so this equals the number of live intervals in the index.
+  size_t LiveOriginalCount() const;
+
+  /// \brief Audit the hierarchy's structural invariants (DESIGN.md §9).
+  /// kQuick: option ranges, level directory (sorted keys < 2^level),
+  /// parallel subdivision array shapes, entry-count bookkeeping. kDeep
+  /// additionally re-derives the canonical dyadic cover per stored entry
+  /// (partition AND subdivision role must match the assignment rule),
+  /// verifies the sort-mode orders, endpoint bounds, overflow id order and
+  /// the tombstone census. Never crashes on a malformed structure.
+  Status IntegrityCheck(CheckLevel level) const;
+
   /// \brief Serialize into the section currently open on `writer`.
   void SaveTo(SnapshotWriter* writer) const;
 
@@ -160,6 +175,8 @@ class HintIndex {
   Status LoadFrom(SectionCursor* cursor);
 
  private:
+  friend struct IntegrityTestPeer;
+
   // One subdivision: parallel arrays (SoA). Which endpoint arrays are
   // populated depends on the subdivision role and the storage optimization.
   // FlatArrays so snapshot loads can alias the mapping zero-copy.

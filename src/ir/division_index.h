@@ -20,10 +20,12 @@
 #define IRHINT_IR_DIVISION_INDEX_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/flat_hash_map.h"
 #include "common/status.h"
+#include "core/integrity.h"
 #include "core/query_counters.h"
 #include "data/object.h"
 #include "hint/traversal.h"
@@ -212,6 +214,156 @@ class DivisionPostings {
 
   size_t NumPostings() const { return num_postings_; }
 
+  /// \brief Audit the CSR+delta invariants (Section 5.5 / DESIGN.md §9):
+  /// sorted unique keys, a well-formed offsets array, per-list id order
+  /// (raw order when no tombstones exist — the probe soundness condition —
+  /// and live-subsequence order otherwise), delta keys in range, delta ids
+  /// above core ids per element, and exact posting/tombstone bookkeeping.
+  /// `element_limit` bounds the element-id universe (dictionary range);
+  /// pass kNoElementLimit when the owner has no dictionary.
+  static constexpr uint64_t kNoElementLimit = ~uint64_t{0};
+  Status CheckStructure(CheckLevel level,
+                        uint64_t element_limit = kNoElementLimit) const {
+    // Shape: keys sorted strictly increasing and inside the dictionary.
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (i > 0 && keys_[i] <= keys_[i - 1]) {
+        return Status::Corruption("division keys not strictly increasing");
+      }
+      if (keys_[i] >= element_limit) {
+        return Status::Corruption("division key outside dictionary range");
+      }
+    }
+    if (offsets_.size() != (keys_.empty() ? 0 : keys_.size() + 1)) {
+      return Status::Corruption("division offsets size mismatch");
+    }
+    if (!offsets_.empty()) {
+      if (offsets_[0] != 0) {
+        return Status::Corruption("division offsets do not start at 0");
+      }
+      for (size_t i = 1; i < offsets_.size(); ++i) {
+        if (offsets_[i] < offsets_[i - 1]) {
+          return Status::Corruption("division offsets decrease");
+        }
+      }
+      if (offsets_.back() != postings_.size()) {
+        return Status::Corruption("division offsets do not cover postings");
+      }
+    } else if (!postings_.empty()) {
+      return Status::Corruption("division postings without keys");
+    }
+    if (delta_slot_.size() != delta_lists_.size()) {
+      return Status::Corruption("division delta slot/list count mismatch");
+    }
+    // Bookkeeping: every entry ever added is still stored somewhere.
+    size_t stored = postings_.size();
+    for (const auto& list : delta_lists_) stored += list.size();
+    if (stored != num_postings_) {
+      return Status::Corruption("division posting count mismatch");
+    }
+    if (level == CheckLevel::kQuick) return Status::OK();
+
+    // Deep: per-list id order and the tombstone census.
+    size_t tombstones = 0;
+    auto check_list = [&](const Entry* begin, const Entry* end) -> Status {
+      ObjectId prev_raw = 0;
+      ObjectId prev_live = 0;
+      bool have_raw = false;
+      bool have_live = false;
+      for (const Entry* it = begin; it != end; ++it) {
+        if (it->id == kTombstoneId) {
+          ++tombstones;
+        } else {
+          if (have_live && it->id <= prev_live) {
+            return Status::Corruption("division postings not id-sorted");
+          }
+          prev_live = it->id;
+          have_live = true;
+        }
+        // Probe soundness: with zero recorded tombstones even the raw
+        // order must be intact (Probe() binary-searches raw entries).
+        if (num_list_tombstones_ == 0) {
+          if (have_raw && it->id <= prev_raw) {
+            return Status::Corruption(
+                "division postings raw order broken with CanProbe() set");
+          }
+          prev_raw = it->id;
+          have_raw = true;
+        }
+      }
+      return Status::OK();
+    };
+    for (size_t k = 0; k + 1 < offsets_.size(); ++k) {
+      IRHINT_RETURN_NOT_OK(check_list(postings_.data() + offsets_[k],
+                                      postings_.data() + offsets_[k + 1]));
+    }
+    Status delta_status = Status::OK();
+    std::vector<bool> slot_seen(delta_lists_.size(), false);
+    delta_slot_.ForEach([&](const ElementId& e, const uint32_t& slot) {
+      if (!delta_status.ok()) return;
+      if (e >= element_limit) {
+        delta_status =
+            Status::Corruption("division delta key outside dictionary range");
+        return;
+      }
+      if (slot >= delta_lists_.size() || slot_seen[slot]) {
+        delta_status = Status::Corruption("division delta slot map broken");
+        return;
+      }
+      slot_seen[slot] = true;
+      const auto& list = delta_lists_[slot];
+      delta_status = check_list(list.data(), list.data() + list.size());
+      if (!delta_status.ok()) return;
+      // Main+delta contract: ids only grow, so every live delta id lies
+      // above every live core id of the same element.
+      const size_t pos = KeyPosition(e);
+      if (pos != kNotFound) {
+        ObjectId core_max = 0;
+        bool have_core = false;
+        for (uint32_t i = offsets_[pos]; i < offsets_[pos + 1]; ++i) {
+          if (postings_[i].id != kTombstoneId) {
+            core_max = postings_[i].id;
+            have_core = true;
+          }
+        }
+        if (have_core) {
+          for (const Entry& entry : list) {
+            if (entry.id != kTombstoneId && entry.id <= core_max) {
+              delta_status =
+                  Status::Corruption("division delta id below core ids");
+              return;
+            }
+          }
+        }
+      }
+    });
+    IRHINT_RETURN_NOT_OK(delta_status);
+    if (tombstones != num_list_tombstones_) {
+      return Status::Corruption("division tombstone count mismatch");
+    }
+    return Status::OK();
+  }
+
+  /// \brief Visit every stored entry with its element: fn(ElementId,
+  /// const Entry&) -> Status; a non-OK return stops and propagates.
+  /// Tombstoned entries are included (their payload beyond `id` is intact).
+  template <typename Fn>
+  Status ForEachEntry(Fn&& fn) const {
+    for (size_t k = 0; k + 1 < offsets_.size(); ++k) {
+      for (uint32_t i = offsets_[k]; i < offsets_[k + 1]; ++i) {
+        IRHINT_RETURN_NOT_OK(fn(keys_[k], postings_[i]));
+      }
+    }
+    Status status = Status::OK();
+    delta_slot_.ForEach([&](const ElementId& e, const uint32_t& slot) {
+      if (!status.ok() || slot >= delta_lists_.size()) return;
+      for (const Entry& entry : delta_lists_[slot]) {
+        status = fn(e, entry);
+        if (!status.ok()) return;
+      }
+    });
+    return status;
+  }
+
   size_t MemoryUsageBytes() const {
     size_t bytes = keys_.MemoryUsageBytes();
     bytes += offsets_.MemoryUsageBytes();
@@ -254,12 +406,12 @@ class DivisionPostings {
         (!offsets_.empty() && offsets_.back() > postings_.size())) {
       return Status::Corruption("division postings CSR shape mismatch");
     }
-    uint64_t num_delta;
+    uint64_t num_delta = 0;
     IRHINT_RETURN_NOT_OK(cursor->ReadU64(&num_delta));
     delta_slot_.clear();
     delta_lists_.clear();
     for (uint64_t i = 0; i < num_delta; ++i) {
-      ElementId e;
+      ElementId e = 0;
       IRHINT_RETURN_NOT_OK(cursor->ReadU32(&e));
       std::vector<Entry> list;
       IRHINT_RETURN_NOT_OK(cursor->ReadVector(&list));
@@ -276,6 +428,8 @@ class DivisionPostings {
   }
 
  private:
+  friend struct IntegrityTestPeer;
+
   static constexpr size_t kNotFound = static_cast<size_t>(-1);
 
   size_t KeyPosition(ElementId e) const {
@@ -345,7 +499,24 @@ class DivisionTif {
     return postings_.LoadFrom(cursor);
   }
 
+  /// \brief Audit the underlying postings structure; see
+  /// DivisionPostings::CheckStructure.
+  Status CheckStructure(CheckLevel level,
+                        uint64_t element_limit =
+                            DivisionPostings<Posting>::kNoElementLimit) const {
+    return postings_.CheckStructure(level, element_limit);
+  }
+
+  /// \brief Visit every stored posting: fn(ElementId, const Posting&) ->
+  /// Status (tombstones included; their endpoints stay intact).
+  template <typename Fn>
+  Status ForEachEntry(Fn&& fn) const {
+    return postings_.ForEachEntry(std::forward<Fn>(fn));
+  }
+
  private:
+  friend struct IntegrityTestPeer;
+
   DivisionPostings<Posting> postings_;
 };
 
@@ -388,7 +559,24 @@ class DivisionIdIndex {
     return postings_.LoadFrom(cursor);
   }
 
+  /// \brief Audit the underlying postings structure; see
+  /// DivisionPostings::CheckStructure.
+  Status CheckStructure(CheckLevel level,
+                        uint64_t element_limit =
+                            DivisionPostings<IdEntry>::kNoElementLimit) const {
+    return postings_.CheckStructure(level, element_limit);
+  }
+
+  /// \brief Visit every stored id entry: fn(ElementId, const IdEntry&) ->
+  /// Status (tombstones included).
+  template <typename Fn>
+  Status ForEachEntry(Fn&& fn) const {
+    return postings_.ForEachEntry(std::forward<Fn>(fn));
+  }
+
  private:
+  friend struct IntegrityTestPeer;
+
   DivisionPostings<IdEntry> postings_;
 };
 

@@ -182,6 +182,55 @@ Status TemporalInvertedFile::LoadState(SectionCursor* cursor) {
   return Status::OK();
 }
 
+Status TemporalInvertedFile::IntegrityCheck(CheckLevel level) const {
+  if (lists_.size() != live_counts_.size() ||
+      lists_.size() != element_slot_.size()) {
+    return Status::Corruption("tIF directory shape mismatch");
+  }
+  Status status = Status::OK();
+  std::vector<bool> slot_seen(lists_.size(), false);
+  element_slot_.ForEach([&](const ElementId&, const uint32_t& slot) {
+    if (!status.ok()) return;
+    if (slot >= lists_.size() || slot_seen[slot]) {
+      status = Status::Corruption("tIF element slot map broken");
+      return;
+    }
+    slot_seen[slot] = true;
+  });
+  IRHINT_RETURN_NOT_OK(status);
+  if (level == CheckLevel::kQuick) return Status::OK();
+
+  for (size_t slot = 0; slot < lists_.size(); ++slot) {
+    const FlatArray<Posting>& list = lists_[slot];
+    uint64_t live = 0;
+    ObjectId prev_live = 0;
+    bool have_live = false;
+    for (size_t i = 0; i < list.size(); ++i) {
+      const Posting& p = list[i];
+      if (p.id != kTombstoneId) {
+        // Tombstones keep their slot; the live subsequence must stay
+        // strictly id-increasing (merge-intersection soundness).
+        if (have_live && p.id <= prev_live) {
+          return Status::Corruption("tIF postings list not id-sorted");
+        }
+        prev_live = p.id;
+        have_live = true;
+        ++live;
+      }
+      if (p.st > p.end) {
+        return Status::Corruption("tIF posting has inverted interval");
+      }
+      if (p.end > domain_end_) {
+        return Status::Corruption("tIF posting exceeds declared domain");
+      }
+    }
+    if (live != live_counts_[slot]) {
+      return Status::Corruption("tIF live count mismatch");
+    }
+  }
+  return Status::OK();
+}
+
 Status TemporalInvertedFile::SaveTo(SnapshotWriter* writer) const {
   writer->BeginSection(kSectionPayload);
   SaveState(writer);

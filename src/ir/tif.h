@@ -39,6 +39,7 @@ class TemporalInvertedFile : public CountingTemporalIrIndex {
   IndexKind Kind() const override { return IndexKind::kTif; }
   Status SaveTo(SnapshotWriter* writer) const override;
   Status LoadFrom(SnapshotReader* reader) override;
+  Status IntegrityCheck(CheckLevel level) const override;
 
   /// \brief Postings list for element e, or nullptr if e is unknown.
   /// Entries are sorted by id; tombstoned entries have id == kTombstoneId.
@@ -60,6 +61,8 @@ class TemporalInvertedFile : public CountingTemporalIrIndex {
   Status LoadState(SectionCursor* cursor);
 
  private:
+  friend struct IntegrityTestPeer;
+
   uint32_t SlotFor(ElementId e);  // creating if absent
 
   FlatHashMap<ElementId, uint32_t> element_slot_;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/integrity.h"
 #include "data/object.h"
 #include "ir/postings.h"
 #include "storage/snapshot_reader.h"
@@ -217,6 +218,74 @@ class SlicedPostingsT {
 
   size_t NumEntries() const { return num_entries_; }
 
+  /// \brief Number of live objects in this list, counting each object once
+  /// via its representative replica (the one in the slice containing its
+  /// start). Owners reconcile this against their live-frequency tables.
+  uint64_t LiveObjectCount(const SliceGrid& grid) const {
+    uint64_t live = 0;
+    for (size_t pos = 0; pos < slice_ids_.size(); ++pos) {
+      for (const Entry& e : sublists_[pos]) {
+        if (internal::IsLive(e) && grid.SliceOf(e.st) == slice_ids_[pos]) {
+          ++live;
+        }
+      }
+    }
+    return live;
+  }
+
+  /// \brief Audit the sliced-list invariants (DESIGN.md §9). kQuick:
+  /// slice directory sorted and inside the grid, entry bookkeeping. kDeep
+  /// additionally checks per-sub-list id order (live and dead entries keep
+  /// their slot, so the raw order must be strictly increasing — Tombstone()
+  /// binary-searches it) and, for live entries, membership of the sub-list's
+  /// slice in the entry's replication span.
+  Status CheckStructure(const SliceGrid& grid, CheckLevel level) const {
+    if (sublists_.size() != slice_ids_.size()) {
+      return Status::Corruption("sliced list directory shape mismatch");
+    }
+    size_t stored = 0;
+    for (size_t pos = 0; pos < slice_ids_.size(); ++pos) {
+      if (pos > 0 && slice_ids_[pos] <= slice_ids_[pos - 1]) {
+        return Status::Corruption("sliced list slice ids not sorted");
+      }
+      if (slice_ids_[pos] >= grid.num_slices()) {
+        return Status::Corruption("sliced list slice id outside grid");
+      }
+      stored += sublists_[pos].size();
+    }
+    if (stored != num_entries_) {
+      return Status::Corruption("sliced list entry count mismatch");
+    }
+    if (level == CheckLevel::kQuick) return Status::OK();
+
+    for (size_t pos = 0; pos < slice_ids_.size(); ++pos) {
+      const uint32_t s = slice_ids_[pos];
+      const std::vector<Entry>& sublist = sublists_[pos];
+      for (size_t i = 0; i < sublist.size(); ++i) {
+        if (i > 0 && sublist[i].id <= sublist[i - 1].id) {
+          return Status::Corruption("sliced sub-list not id-sorted");
+        }
+        const Entry& e = sublist[i];
+        if (!internal::IsLive(e)) continue;
+        // A live replica sits only in slices its interval overlaps.
+        if (grid.SliceOf(e.st) > s) {
+          return Status::Corruption(
+              "sliced entry stored before its first slice");
+        }
+        if constexpr (std::is_same_v<Entry, Posting>) {
+          if (e.st > e.end) {
+            return Status::Corruption("sliced entry has inverted interval");
+          }
+          if (grid.SliceOf(e.end) < s) {
+            return Status::Corruption(
+                "sliced entry stored past its last slice");
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
   size_t MemoryUsageBytes() const {
     size_t bytes = slice_ids_.capacity() * sizeof(uint32_t);
     bytes += sublists_.capacity() * sizeof(std::vector<Entry>);
@@ -243,13 +312,15 @@ class SlicedPostingsT {
     for (auto& sublist : sublists_) {
       IRHINT_RETURN_NOT_OK(cursor->ReadVector(&sublist));
     }
-    uint64_t num_entries;
+    uint64_t num_entries = 0;
     IRHINT_RETURN_NOT_OK(cursor->ReadU64(&num_entries));
     num_entries_ = static_cast<size_t>(num_entries);
     return Status::OK();
   }
 
  private:
+  friend struct IntegrityTestPeer;
+
   static Entry MakeEntry(ObjectId id, const Interval& interval) {
     if constexpr (std::is_same_v<Entry, Posting>) {
       return Posting{id, static_cast<StoredTime>(interval.st),

@@ -158,6 +158,37 @@ size_t TifHint::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status TifHint::IntegrityCheck(CheckLevel level) const {
+  if (hints_.size() != live_counts_.size() ||
+      hints_.size() != element_slot_.size()) {
+    return Status::Corruption("tif_hint directory shape mismatch");
+  }
+  Status status = Status::OK();
+  std::vector<bool> slot_seen(hints_.size(), false);
+  element_slot_.ForEach([&](const ElementId&, const uint32_t& slot) {
+    if (!status.ok()) return;
+    if (slot >= hints_.size() || slot_seen[slot]) {
+      status = Status::Corruption("tif_hint element slot map broken");
+      return;
+    }
+    slot_seen[slot] = true;
+  });
+  IRHINT_RETURN_NOT_OK(status);
+
+  for (size_t slot = 0; slot < hints_.size(); ++slot) {
+    IRHINT_RETURN_NOT_OK(hints_[slot].IntegrityCheck(level));
+    if (level == CheckLevel::kQuick) continue;
+    // Each object occupies exactly one original assignment (or the
+    // overflow store) of its postings HINT, so live originals must equal
+    // the element's live frequency.
+    if (hints_[slot].LiveOriginalCount() != live_counts_[slot]) {
+      return Status::Corruption("tif_hint live count out of sync with "
+                                "postings HINT");
+    }
+  }
+  return Status::OK();
+}
+
 Status TifHint::SaveTo(SnapshotWriter* writer) const {
   writer->BeginSection(kSectionMeta);
   writer->WriteI32(options_.num_bits);

@@ -60,11 +60,14 @@ class TifHint : public CountingTemporalIrIndex {
   }
   Status SaveTo(SnapshotWriter* writer) const override;
   Status LoadFrom(SnapshotReader* reader) override;
+  Status IntegrityCheck(CheckLevel level) const override;
 
   uint64_t Frequency(ElementId e) const;
   const HintIndex* PostingsHint(ElementId e) const;
 
  private:
+  friend struct IntegrityTestPeer;
+
   uint32_t SlotFor(ElementId e);  // creates an empty postings HINT if absent
   HintOptions HintOptionsFor() const;
 

@@ -161,6 +161,48 @@ size_t TifHintSlicing::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status TifHintSlicing::IntegrityCheck(CheckLevel level) const {
+  if (hints_.size() != live_counts_.size() ||
+      hints_.size() != slices_.size() ||
+      hints_.size() != element_slot_.size()) {
+    return Status::Corruption("tif_hint_slicing directory shape mismatch");
+  }
+  if (built_ && grid_.num_slices() == 0) {
+    return Status::Corruption("tif_hint_slicing grid has zero slices");
+  }
+  Status status = Status::OK();
+  std::vector<bool> slot_seen(hints_.size(), false);
+  element_slot_.ForEach([&](const ElementId&, const uint32_t& slot) {
+    if (!status.ok()) return;
+    if (slot >= hints_.size() || slot_seen[slot]) {
+      status = Status::Corruption("tif_hint_slicing element slot map broken");
+      return;
+    }
+    slot_seen[slot] = true;
+  });
+  IRHINT_RETURN_NOT_OK(status);
+
+  for (size_t slot = 0; slot < hints_.size(); ++slot) {
+    IRHINT_RETURN_NOT_OK(hints_[slot].IntegrityCheck(level));
+    IRHINT_RETURN_NOT_OK(slices_[slot].CheckStructure(grid_, level));
+    if (level == CheckLevel::kQuick) continue;
+    // Both copies store every live object exactly once (HINT: one original
+    // assignment or overflow; slices: one representative replica), so both
+    // censuses must agree with the live-frequency table — catching a
+    // desynchronized dual-copy state that queries would answer
+    // inconsistently depending on which copy serves the element.
+    if (hints_[slot].LiveOriginalCount() != live_counts_[slot]) {
+      return Status::Corruption("tif_hint_slicing live count out of sync "
+                                "with postings HINT");
+    }
+    if (slices_[slot].LiveObjectCount(grid_) != live_counts_[slot]) {
+      return Status::Corruption("tif_hint_slicing live count out of sync "
+                                "with sliced copy");
+    }
+  }
+  return Status::OK();
+}
+
 Status TifHintSlicing::SaveTo(SnapshotWriter* writer) const {
   writer->BeginSection(kSectionMeta);
   writer->WriteI32(options_.num_bits);
@@ -197,9 +239,9 @@ Status TifHintSlicing::SaveTo(SnapshotWriter* writer) const {
 Status TifHintSlicing::LoadFrom(SnapshotReader* reader) {
   auto meta = reader->OpenSection(kSectionMeta);
   IRHINT_RETURN_NOT_OK(meta.status());
-  uint32_t grid_slices;
-  uint64_t grid_domain_end;
-  uint8_t built;
+  uint32_t grid_slices = 0;
+  uint64_t grid_domain_end = 0;
+  uint8_t built = 0;
   IRHINT_RETURN_NOT_OK(meta->ReadI32(&options_.num_bits));
   IRHINT_RETURN_NOT_OK(meta->ReadU32(&options_.num_slices));
   IRHINT_RETURN_NOT_OK(meta->ReadU64(&domain_end_));

@@ -46,10 +46,13 @@ class TifHintSlicing : public TemporalIrIndex {
   IndexKind Kind() const override { return IndexKind::kTifHintSlicing; }
   Status SaveTo(SnapshotWriter* writer) const override;
   Status LoadFrom(SnapshotReader* reader) override;
+  Status IntegrityCheck(CheckLevel level) const override;
 
   uint64_t Frequency(ElementId e) const;
 
  private:
+  friend struct IntegrityTestPeer;
+
   uint32_t SlotFor(ElementId e);
 
   TifHintSlicingOptions options_;

@@ -308,6 +308,76 @@ size_t TifSharding::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status TifSharding::IntegrityCheck(CheckLevel level) const {
+  if (lists_.size() != live_counts_.size() ||
+      lists_.size() != element_slot_.size()) {
+    return Status::Corruption("tif_sharding directory shape mismatch");
+  }
+  if ((built_ || !lists_.empty()) && options_.impact_stride == 0) {
+    return Status::Corruption("tif_sharding impact stride is zero");
+  }
+  Status status = Status::OK();
+  std::vector<bool> slot_seen(lists_.size(), false);
+  element_slot_.ForEach([&](const ElementId&, const uint32_t& slot) {
+    if (!status.ok()) return;
+    if (slot >= lists_.size() || slot_seen[slot]) {
+      status = Status::Corruption("tif_sharding element slot map broken");
+      return;
+    }
+    slot_seen[slot] = true;
+  });
+  IRHINT_RETURN_NOT_OK(status);
+  if (level == CheckLevel::kQuick) return Status::OK();
+
+  for (size_t slot = 0; slot < lists_.size(); ++slot) {
+    uint64_t live = 0;
+    for (const Shard& shard : lists_[slot].shards) {
+      if (shard.prefix_max_end.size() != shard.entries.size()) {
+        return Status::Corruption("tif_sharding prefix-max array shape "
+                                  "mismatch");
+      }
+      // Replay RebuildDerived: the stored prefix-max and impact samples
+      // must match a fresh recomputation (ScanStart trusts both).
+      StoredTime running = 0;
+      size_t next_impact = 0;
+      for (size_t i = 0; i < shard.entries.size(); ++i) {
+        const Posting& p = shard.entries[i];
+        if (p.st > p.end) {
+          return Status::Corruption("tif_sharding entry has inverted "
+                                    "interval");
+        }
+        if (i > 0) {
+          const Posting& prev = shard.entries[i - 1];
+          if (p.st < prev.st || (p.st == prev.st && p.end < prev.end)) {
+            return Status::Corruption("tif_sharding shard not sorted by "
+                                      "(st, end)");
+          }
+        }
+        running = std::max(running, p.end);
+        if (shard.prefix_max_end[i] != running) {
+          return Status::Corruption("tif_sharding prefix-max array stale");
+        }
+        if (i % options_.impact_stride == 0) {
+          if (next_impact >= shard.impact.size() ||
+              shard.impact[next_impact].first != running ||
+              shard.impact[next_impact].second != i) {
+            return Status::Corruption("tif_sharding impact list stale");
+          }
+          ++next_impact;
+        }
+        if (p.id != kTombstoneId) ++live;
+      }
+      if (next_impact != shard.impact.size()) {
+        return Status::Corruption("tif_sharding impact list stale");
+      }
+    }
+    if (live != live_counts_[slot]) {
+      return Status::Corruption("tif_sharding live count mismatch");
+    }
+  }
+  return Status::OK();
+}
+
 Status TifSharding::SaveTo(SnapshotWriter* writer) const {
   writer->BeginSection(kSectionMeta);
   writer->WriteU32(options_.max_shards_per_list);
@@ -341,7 +411,7 @@ Status TifSharding::SaveTo(SnapshotWriter* writer) const {
 Status TifSharding::LoadFrom(SnapshotReader* reader) {
   auto meta = reader->OpenSection(kSectionMeta);
   IRHINT_RETURN_NOT_OK(meta.status());
-  uint8_t built;
+  uint8_t built = 0;
   IRHINT_RETURN_NOT_OK(meta->ReadU32(&options_.max_shards_per_list));
   IRHINT_RETURN_NOT_OK(meta->ReadU32(&options_.min_shard_size));
   IRHINT_RETURN_NOT_OK(meta->ReadU32(&options_.impact_stride));
@@ -370,7 +440,7 @@ Status TifSharding::LoadFrom(SnapshotReader* reader) {
   IRHINT_RETURN_NOT_OK(payload.status());
   lists_.assign(slot_elements.size(), {});
   for (ShardedList& list : lists_) {
-    uint64_t num_shards;
+    uint64_t num_shards = 0;
     IRHINT_RETURN_NOT_OK(payload->ReadU64(&num_shards));
     if (num_shards > payload->remaining() / 8) {
       return Status::Corruption(

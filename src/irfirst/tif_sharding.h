@@ -52,6 +52,7 @@ class TifSharding : public TemporalIrIndex {
   IndexKind Kind() const override { return IndexKind::kTifSharding; }
   Status SaveTo(SnapshotWriter* writer) const override;
   Status LoadFrom(SnapshotReader* reader) override;
+  Status IntegrityCheck(CheckLevel level) const override;
 
   uint64_t Frequency(ElementId e) const;
 
@@ -59,6 +60,8 @@ class TifSharding : public TemporalIrIndex {
   size_t NumShards(ElementId e) const;
 
  private:
+  friend struct IntegrityTestPeer;
+
   struct Shard {
     PostingsList entries;                    // sorted by (t_st, t_end)
     std::vector<StoredTime> prefix_max_end;  // non-decreasing

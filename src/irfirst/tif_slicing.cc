@@ -117,6 +117,40 @@ size_t TifSlicing::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status TifSlicing::IntegrityCheck(CheckLevel level) const {
+  if (lists_.size() != live_counts_.size() ||
+      lists_.size() != element_slot_.size()) {
+    return Status::Corruption("tif_slicing directory shape mismatch");
+  }
+  if (built_ && grid_.num_slices() == 0) {
+    return Status::Corruption("tif_slicing grid has zero slices");
+  }
+  Status status = Status::OK();
+  std::vector<bool> slot_seen(lists_.size(), false);
+  element_slot_.ForEach([&](const ElementId&, const uint32_t& slot) {
+    if (!status.ok()) return;
+    if (slot >= lists_.size() || slot_seen[slot]) {
+      status = Status::Corruption("tif_slicing element slot map broken");
+      return;
+    }
+    slot_seen[slot] = true;
+  });
+  IRHINT_RETURN_NOT_OK(status);
+
+  for (size_t slot = 0; slot < lists_.size(); ++slot) {
+    IRHINT_RETURN_NOT_OK(lists_[slot].CheckStructure(grid_, level));
+    if (level == CheckLevel::kQuick) continue;
+    // Reference de-duplication counts every live object exactly once (in
+    // the slice holding its start), so the representative census must
+    // match the live-frequency table.
+    if (lists_[slot].LiveObjectCount(grid_) != live_counts_[slot]) {
+      return Status::Corruption("tif_slicing live count out of sync with "
+                                "sliced list");
+    }
+  }
+  return Status::OK();
+}
+
 Status TifSlicing::SaveTo(SnapshotWriter* writer) const {
   writer->BeginSection(kSectionMeta);
   writer->WriteU32(options_.num_slices);

@@ -37,11 +37,14 @@ class TifSlicing : public TemporalIrIndex {
   IndexKind Kind() const override { return IndexKind::kTifSlicing; }
   Status SaveTo(SnapshotWriter* writer) const override;
   Status LoadFrom(SnapshotReader* reader) override;
+  Status IntegrityCheck(CheckLevel level) const override;
 
   uint64_t Frequency(ElementId e) const;
   size_t NumEntries() const;  // including replicas
 
  private:
+  friend struct IntegrityTestPeer;
+
   uint32_t SlotFor(ElementId e);
 
   TifSlicingOptions options_;

@@ -10,6 +10,8 @@ namespace irhint {
 
 namespace {
 
+#if !defined(__SSE4_2__)
+
 constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
 
 // Slicing-by-8 lookup tables, generated once at first use.
@@ -37,6 +39,8 @@ const Tables& GetTables() {
   static const Tables tables;
   return tables;
 }
+
+#endif  // !defined(__SSE4_2__)
 
 }  // namespace
 

@@ -61,7 +61,7 @@ class SectionCursor {
   Status ReadU32(uint32_t* out) { return ReadScalar(out); }
   Status ReadU64(uint64_t* out) { return ReadScalar(out); }
   Status ReadI32(int32_t* out) {
-    uint32_t v;
+    uint32_t v = 0;
     IRHINT_RETURN_NOT_OK(ReadScalar(&v));
     *out = static_cast<int32_t>(v);
     return Status::OK();
@@ -75,7 +75,7 @@ class SectionCursor {
   }
 
   Status ReadString(std::string* out) {
-    uint64_t len;
+    uint64_t len = 0;
     IRHINT_RETURN_NOT_OK(ReadU64(&len));
     if (len > remaining()) return Truncated();
     out->assign(reinterpret_cast<const char*>(base_ + pos_),
@@ -89,8 +89,8 @@ class SectionCursor {
   template <typename T>
   Status ReadVector(std::vector<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const T* data;
-    size_t count;
+    const T* data = nullptr;
+    size_t count = 0;
     IRHINT_RETURN_NOT_OK(ReadArrayRaw<T>(&data, &count));
     out->assign(data, data + count);
     return Status::OK();
@@ -101,8 +101,8 @@ class SectionCursor {
   template <typename T>
   Status ReadFlatArray(FlatArray<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const T* data;
-    size_t count;
+    const T* data = nullptr;
+    size_t count = 0;
     IRHINT_RETURN_NOT_OK(ReadArrayRaw<T>(&data, &count));
     if (zero_copy_) {
       out->SetView(data, count);
@@ -132,7 +132,7 @@ class SectionCursor {
 
   template <typename T>
   Status ReadArrayRaw(const T** data, size_t* count) {
-    uint64_t n;
+    uint64_t n = 0;
     IRHINT_RETURN_NOT_OK(ReadU64(&n));
     pos_ = (pos_ + 7) & ~size_t{7};
     if (pos_ > size_) return Truncated();

@@ -38,6 +38,13 @@ Status DecodeObjectPayload(const uint8_t* payload, size_t size,
     std::memcpy(out->elements.data(), payload + 24,
                 static_cast<size_t>(count) * sizeof(ElementId));
   }
+  for (ElementId e : out->elements) {
+    // Replay grows dense per-element tables out to the largest id, so an
+    // unbounded id in a CRC-valid record is an allocation bomb.
+    if (e >= kElementIdLimit) {
+      return Status::Corruption("wal object element id out of range");
+    }
+  }
   return Status::OK();
 }
 

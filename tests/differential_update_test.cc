@@ -59,6 +59,12 @@ TEST_P(DifferentialUpdateTest, MatchesNaiveScanAfterEveryBatch) {
   ASSERT_TRUE(index->Build(prefix).ok());
 
   auto expect_equal = [&](const char* stage, size_t batch) {
+    // Structural invariants must hold after every batch, not just the
+    // observable query answers (DESIGN.md §9).
+    const Status integrity = index->IntegrityCheck(CheckLevel::kDeep);
+    ASSERT_TRUE(integrity.ok())
+        << IndexKindName(GetParam()) << ": integrity broken, " << stage
+        << " batch " << batch << ": " << integrity.ToString();
     for (size_t i = 0; i < queries.size(); ++i) {
       ASSERT_EQ(Answer(*index, queries[i]), Answer(*reference, queries[i]))
           << IndexKindName(GetParam()) << ": query " << i << " diverges, "

@@ -1,0 +1,260 @@
+// Tests for the fsck layer (src/core/fsck.h): CheckSnapshotFile and
+// CheckWalDirectory must pass on healthy state produced through the public
+// APIs and return a non-OK Status — never crash — for damaged files,
+// damaged sealed segments, and checkpoint watermarks that disagree with
+// the log.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/durable_index.h"
+#include "core/factory.h"
+#include "core/fsck.h"
+#include "data/serialize.h"
+#include "data/synthetic.h"
+#include "storage/index_io.h"
+#include "wal/wal_env.h"
+#include "wal/wal_format.h"
+#include "wal/wal_writer.h"
+
+namespace irhint {
+namespace {
+
+Corpus TestCorpus() {
+  SyntheticParams params;
+  params.cardinality = 400;
+  params.domain = 50000;
+  params.sigma = 9000;
+  params.dictionary_size = 80;
+  params.description_size = 4;
+  params.seed = 23;
+  return GenerateSynthetic(params);
+}
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// WAL directories accumulate state across test-binary runs; start clean.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = TempPath(name);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+void FlipByte(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
+
+TEST(FsckSnapshotTest, HealthyIndexSnapshotPasses) {
+  const Corpus corpus = TestCorpus();
+  std::unique_ptr<TemporalIrIndex> index =
+      CreateIndex(IndexKind::kIrHintPerf);
+  ASSERT_TRUE(index->Build(corpus).ok());
+  const std::string path = TempPath("fsck_healthy.irh");
+  ASSERT_TRUE(SaveIndex(*index, path).ok());
+
+  FsckReport report;
+  EXPECT_TRUE(CheckSnapshotFile(path, CheckLevel::kQuick).ok());
+  EXPECT_TRUE(CheckSnapshotFile(path, CheckLevel::kDeep, {}, &report).ok());
+  EXPECT_GT(report.sections_verified, 0u);
+  EXPECT_EQ(report.indexes_deep_checked, 1u);
+}
+
+TEST(FsckSnapshotTest, HealthyCorpusSnapshotPasses) {
+  const Corpus corpus = TestCorpus();
+  const std::string path = TempPath("fsck_corpus.snap");
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  EXPECT_TRUE(CheckSnapshotFile(path, CheckLevel::kDeep).ok());
+}
+
+TEST(FsckSnapshotTest, PayloadDamageFailsQuickPass) {
+  const Corpus corpus = TestCorpus();
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(IndexKind::kTif);
+  ASSERT_TRUE(index->Build(corpus).ok());
+  const std::string path = TempPath("fsck_damaged.irh");
+  ASSERT_TRUE(SaveIndex(*index, path).ok());
+  FlipByte(path, 300);  // inside the first section payload
+  EXPECT_FALSE(CheckSnapshotFile(path, CheckLevel::kQuick).ok());
+  EXPECT_FALSE(CheckSnapshotFile(path, CheckLevel::kDeep).ok());
+}
+
+TEST(FsckSnapshotTest, TruncationFailsCleanly) {
+  const Corpus corpus = TestCorpus();
+  const std::string path = TempPath("fsck_trunc.snap");
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  auto* env = DefaultWalEnv();
+  auto bytes = env->ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::string cut = TempPath("fsck_trunc_cut.snap");
+  std::ofstream out(cut, std::ios::binary);
+  out.write(bytes->data(), static_cast<std::streamoff>(bytes->size() / 2));
+  out.close();
+  EXPECT_FALSE(CheckSnapshotFile(cut, CheckLevel::kQuick).ok());
+}
+
+TEST(FsckSnapshotTest, MissingFileIsErrorNotCrash) {
+  EXPECT_FALSE(
+      CheckSnapshotFile(TempPath("fsck_nonexistent"), CheckLevel::kDeep).ok());
+}
+
+TEST(FsckWalTest, HealthyDirectoryPassesBothLevels) {
+  const Corpus corpus = TestCorpus();
+  const std::string dir = FreshDir("fsck_wal_healthy");
+  {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t id = 0; id < 150; ++id) {
+      ASSERT_TRUE(
+          (*index)->Insert(corpus.object(static_cast<ObjectId>(id))).ok());
+    }
+    ASSERT_TRUE((*index)->TriggerCheckpoint().ok());
+    ASSERT_TRUE((*index)->WaitForCheckpoint().ok());
+    for (size_t id = 150; id < 200; ++id) {
+      ASSERT_TRUE(
+          (*index)->Insert(corpus.object(static_cast<ObjectId>(id))).ok());
+    }
+  }
+  FsckReport report;
+  EXPECT_TRUE(CheckWalDirectory(dir, CheckLevel::kQuick).ok());
+  const Status deep = CheckWalDirectory(dir, CheckLevel::kDeep, nullptr,
+                                        &report);
+  EXPECT_TRUE(deep.ok()) << deep.ToString();
+  EXPECT_GT(report.segments_scanned, 0u);
+  EXPECT_GT(report.records_decoded, 0u);
+  EXPECT_GT(report.checkpoints_checked, 0u);
+  // Checkpoint snapshot + recovered live index both deep-audited.
+  EXPECT_GE(report.indexes_deep_checked, 2u);
+}
+
+TEST(FsckWalTest, DamagedSealedSegmentDetected) {
+  // Checkpointing garbage-collects sealed segments, so a retained sealed
+  // segment means a crash landed between the rotate and the GC. Author
+  // that state directly with the writer: segment 1 sealed by its rotate
+  // handoff, segment 2 live, no checkpoint yet.
+  const Corpus corpus = TestCorpus();
+  const std::string dir = FreshDir("fsck_wal_sealed_damage");
+  auto* env = DefaultWalEnv();
+  ASSERT_TRUE(env->CreateDirIfMissing(dir).ok());
+  {
+    auto writer = WalWriter::Open(env, dir, /*seq=*/1, /*next_lsn=*/1,
+                                  WalWriterOptions{});
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (size_t id = 0; id < 20; ++id) {
+      ASSERT_TRUE(
+          (*writer)->AppendInsert(corpus.object(static_cast<ObjectId>(id)))
+              .ok());
+    }
+    ASSERT_TRUE((*writer)->Rotate().ok());
+    ASSERT_TRUE(
+        (*writer)->AppendInsert(corpus.object(static_cast<ObjectId>(20))).ok());
+  }
+  ASSERT_TRUE(CheckWalDirectory(dir, CheckLevel::kDeep).ok());
+  // A flipped byte inside a record of the sealed segment is mid-log
+  // corruption, not a torn tail.
+  FlipByte(WalPathJoin(dir, WalSegmentFileName(1)), kWalSegmentHeaderBytes + 30);
+  EXPECT_FALSE(CheckWalDirectory(dir, CheckLevel::kDeep).ok());
+}
+
+TEST(FsckWalTest, TornLiveTailTolerated) {
+  const Corpus corpus = TestCorpus();
+  const std::string dir = FreshDir("fsck_wal_torn_tail");
+  {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t id = 0; id < 60; ++id) {
+      ASSERT_TRUE(
+          (*index)->Insert(corpus.object(static_cast<ObjectId>(id))).ok());
+    }
+  }
+  // Tear the live segment mid-record (cut the final 10 bytes).
+  auto* env = DefaultWalEnv();
+  const std::string seg = WalPathJoin(dir, WalSegmentFileName(1));
+  auto bytes = env->ReadFileToString(seg);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(env->TruncateFile(seg, bytes->size() - 10).ok());
+
+  FsckReport report;
+  const Status status =
+      CheckWalDirectory(dir, CheckLevel::kDeep, nullptr, &report);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(report.torn_tail_bytes, 0u);
+}
+
+TEST(FsckWalTest, CheckpointWatermarkBelowLoggedIdsDetected) {
+  const Corpus corpus = TestCorpus();
+  const std::string dir = FreshDir("fsck_wal_bad_watermark");
+  uint64_t last_lsn = 0;
+  {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t id = 0; id < 80; ++id) {
+      ASSERT_TRUE(
+          (*index)->Insert(corpus.object(static_cast<ObjectId>(id))).ok());
+    }
+    last_lsn = (*index)->next_lsn() - 1;
+  }
+  ASSERT_TRUE(CheckWalDirectory(dir, CheckLevel::kDeep).ok());
+
+  // Plant a checkpoint claiming to cover the log but with an id watermark
+  // of zero: a re-ingest after recovery from it would reuse logged ids.
+  std::unique_ptr<TemporalIrIndex> stale =
+      CreateIndex(IndexKind::kIrHintPerf);
+  ASSERT_TRUE(stale->Build(corpus.Prefix(80)).ok());
+  ASSERT_TRUE(SaveIndexCheckpoint(*stale,
+                                  WalPathJoin(dir, CheckpointFileName(last_lsn)),
+                                  /*wal_lsn=*/last_lsn,
+                                  /*next_object_id=*/0)
+                  .ok());
+  const Status status = CheckWalDirectory(dir, CheckLevel::kDeep);
+  EXPECT_FALSE(status.ok()) << "stale id watermark not detected";
+}
+
+TEST(FsckWalTest, CheckpointLsnFileNameMismatchDetected) {
+  const Corpus corpus = TestCorpus();
+  const std::string dir = FreshDir("fsck_wal_lsn_mismatch");
+  uint64_t last_lsn = 0;
+  {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t id = 0; id < 40; ++id) {
+      ASSERT_TRUE(
+          (*index)->Insert(corpus.object(static_cast<ObjectId>(id))).ok());
+    }
+    last_lsn = (*index)->next_lsn() - 1;
+  }
+  // The file name says one LSN, the wal_state section another.
+  std::unique_ptr<TemporalIrIndex> stale =
+      CreateIndex(IndexKind::kIrHintPerf);
+  ASSERT_TRUE(stale->Build(corpus.Prefix(40)).ok());
+  ASSERT_TRUE(SaveIndexCheckpoint(*stale,
+                                  WalPathJoin(dir, CheckpointFileName(last_lsn)),
+                                  /*wal_lsn=*/last_lsn - 1,
+                                  /*next_object_id=*/1000)
+                  .ok());
+  const Status status = CheckWalDirectory(dir, CheckLevel::kDeep);
+  EXPECT_FALSE(status.ok()) << "file-name/LSN disagreement not detected";
+}
+
+TEST(FsckWalTest, EmptyDirectoryPasses) {
+  const std::string dir = TempPath("fsck_wal_empty");
+  ASSERT_TRUE(DefaultWalEnv()->CreateDirIfMissing(dir).ok());
+  EXPECT_TRUE(CheckWalDirectory(dir, CheckLevel::kDeep).ok());
+}
+
+}  // namespace
+}  // namespace irhint

@@ -1,0 +1,266 @@
+// Tests for IntegrityCheck (DESIGN.md §9).
+//
+// Positive direction: a freshly built, a live-updated, a snapshot
+// round-tripped, and a WAL-recovered index of every kind passes the deep
+// pass. Negative direction: IntegrityTestPeer reaches through the friend
+// declarations to seed one representative corruption per class — unsorted
+// postings, an interval filed in a non-canonical HINT division, a dangling
+// size-variant id entry, desynced live counters, a stale sharding
+// prefix-max — and the deep pass must return a non-OK Status (never crash)
+// for each.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/durable_index.h"
+#include "core/factory.h"
+#include "core/integrity.h"
+#include "core/irhint_perf.h"
+#include "core/irhint_size.h"
+#include "data/synthetic.h"
+#include "irfirst/tif_hint.h"
+#include "irfirst/tif_sharding.h"
+#include "storage/index_io.h"
+
+namespace irhint {
+
+// Friend of every index class (and their storage internals): each helper
+// plants exactly one corruption and returns false if the built instance
+// has no site to corrupt (so tests can fail loudly instead of silently
+// passing on an empty structure).
+struct IntegrityTestPeer {
+  // Swaps two postings inside one element list of one division, breaking
+  // the id sort order the CSR core guarantees.
+  static bool UnsortPerfPostings(IrHintPerf* index) {
+    bool done = false;
+    index->levels_.ForEachMutable([&](int, uint64_t,
+                                      IrHintPerf::Partition& part) {
+      if (done) return;
+      for (DivisionTif& sub : part.subs) {
+        auto& dp = sub.postings_;
+        for (size_t i = 0; i + 1 < dp.offsets_.size() && !done; ++i) {
+          if (dp.offsets_[i + 1] - dp.offsets_[i] >= 2) {
+            Posting* data = dp.postings_.MutableData();
+            std::swap(data[dp.offsets_[i]], data[dp.offsets_[i] + 1]);
+            done = true;
+          }
+        }
+        if (done) return;
+      }
+    });
+    return done;
+  }
+
+  // Rewrites one stored posting's interval to [0, 0], whose canonical
+  // dyadic cover is a single leaf partition — so the entry no longer
+  // belongs where it is filed.
+  static bool MisfilePerfInterval(IrHintPerf* index) {
+    bool done = false;
+    const int m = index->m_;
+    index->levels_.ForEachMutable([&](int level, uint64_t key,
+                                      IrHintPerf::Partition& part) {
+      if (done) return;
+      for (int role = 0; role < 4; ++role) {
+        // Skip the one slot [0, 0] canonically lands in.
+        if (level == m && key == 0 && role == IrHintPerf::kOin) continue;
+        auto& dp = part.subs[role].postings_;
+        if (dp.postings_.size() > 0) {
+          Posting* data = dp.postings_.MutableData();
+          if (data[0].id == kTombstoneId) continue;
+          data[0].st = 0;
+          data[0].end = 0;
+          done = true;
+          return;
+        }
+      }
+    });
+    return done;
+  }
+
+  // Repoints one live id-index entry at an object id absent from the
+  // partition's interval stores.
+  static bool DangleSizeId(IrHintSize* index) {
+    bool done = false;
+    index->levels_.ForEachMutable([&](int, uint64_t,
+                                      IrHintSize::Partition& part) {
+      if (done) return;
+      auto& dp = part.originals_index.postings_;
+      if (dp.postings_.size() > 0) {
+        IdEntry* data = dp.postings_.MutableData();
+        if (data[0].id == kTombstoneId) return;
+        data[0].id = 0x7FFFFFF0u;  // far beyond any corpus object id
+        done = true;
+      }
+    });
+    return done;
+  }
+
+  // Desyncs the per-slot live counter from the postings HINT under it.
+  static bool DesyncTifHintLiveCount(TifHint* index) {
+    if (index->live_counts_.empty()) return false;
+    ++index->live_counts_[0];
+    return true;
+  }
+
+  // Stales one shard's prefix-max array relative to its entries.
+  static bool StaleShardPrefixMax(TifSharding* index) {
+    for (auto& list : index->lists_) {
+      for (auto& shard : list.shards) {
+        if (!shard.prefix_max_end.empty()) {
+          shard.prefix_max_end.back() += 1;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+namespace {
+
+Corpus TestCorpus() {
+  SyntheticParams params;
+  params.cardinality = 800;
+  params.domain = 100000;
+  params.sigma = 20000;
+  params.dictionary_size = 120;
+  params.description_size = 5;
+  params.seed = 17;
+  return GenerateSynthetic(params);
+}
+
+std::string KindTestName(const ::testing::TestParamInfo<IndexKind>& info) {
+  std::string name(IndexKindName(info.param));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class IntegrityCleanTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(IntegrityCleanTest, FreshBuildPassesBothLevels) {
+  const Corpus corpus = TestCorpus();
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(GetParam());
+  ASSERT_TRUE(index->Build(corpus).ok());
+  EXPECT_TRUE(index->IntegrityCheck(CheckLevel::kQuick).ok());
+  EXPECT_TRUE(index->IntegrityCheck(CheckLevel::kDeep).ok());
+}
+
+TEST_P(IntegrityCleanTest, UnbuiltIndexPasses) {
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(GetParam());
+  EXPECT_TRUE(index->IntegrityCheck(CheckLevel::kDeep).ok());
+}
+
+TEST_P(IntegrityCleanTest, LiveUpdatesKeepInvariants) {
+  const Corpus corpus = TestCorpus();
+  const Corpus prefix = corpus.Prefix(corpus.size() * 9 / 10);
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(GetParam());
+  ASSERT_TRUE(index->Build(prefix).ok());
+  for (size_t id = prefix.size(); id < corpus.size(); ++id) {
+    ASSERT_TRUE(index->Insert(corpus.object(static_cast<ObjectId>(id))).ok());
+  }
+  for (size_t id = 0; id < corpus.size(); id += 4) {
+    ASSERT_TRUE(index->Erase(corpus.object(static_cast<ObjectId>(id))).ok());
+  }
+  EXPECT_TRUE(index->IntegrityCheck(CheckLevel::kDeep).ok());
+}
+
+TEST_P(IntegrityCleanTest, SnapshotRoundTripPasses) {
+  const Corpus corpus = TestCorpus();
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(GetParam());
+  ASSERT_TRUE(index->Build(corpus).ok());
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/integrity_rt_" + KindTestName({GetParam(), 0}) +
+                           ".snap";
+  ASSERT_TRUE(SaveIndex(*index, path).ok());
+  auto loaded = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->index->IntegrityCheck(CheckLevel::kDeep).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, IntegrityCleanTest,
+                         ::testing::ValuesIn(AllIndexKinds()), KindTestName);
+
+TEST(IntegrityDurableTest, WalRecoveredIndexPasses) {
+  const Corpus corpus = TestCorpus();
+  // WAL directories accumulate state across test-binary runs; start clean.
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/integrity_wal_recovered";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t id = 0; id < 200; ++id) {
+      ASSERT_TRUE(
+          (*index)->Insert(corpus.object(static_cast<ObjectId>(id))).ok());
+    }
+    EXPECT_TRUE((*index)->IntegrityCheck(CheckLevel::kDeep).ok());
+  }
+  auto reopened = DurableIndex::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->IntegrityCheck(CheckLevel::kQuick).ok());
+  EXPECT_TRUE((*reopened)->IntegrityCheck(CheckLevel::kDeep).ok());
+}
+
+// -- seeded corruption, one test per class ----------------------------------
+
+TEST(IntegrityCorruptionTest, UnsortedPostingsDetected) {
+  const Corpus corpus = TestCorpus();
+  IrHintPerf index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  ASSERT_TRUE(index.IntegrityCheck(CheckLevel::kDeep).ok());
+  ASSERT_TRUE(IntegrityTestPeer::UnsortPerfPostings(&index));
+  const Status status = index.IntegrityCheck(CheckLevel::kDeep);
+  EXPECT_FALSE(status.ok()) << "unsorted postings not detected";
+}
+
+TEST(IntegrityCorruptionTest, IntervalInWrongDivisionDetected) {
+  const Corpus corpus = TestCorpus();
+  IrHintPerf index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  ASSERT_TRUE(index.IntegrityCheck(CheckLevel::kDeep).ok());
+  ASSERT_TRUE(IntegrityTestPeer::MisfilePerfInterval(&index));
+  const Status status = index.IntegrityCheck(CheckLevel::kDeep);
+  EXPECT_FALSE(status.ok()) << "misfiled interval not detected";
+}
+
+TEST(IntegrityCorruptionTest, DanglingSizeVariantIdDetected) {
+  const Corpus corpus = TestCorpus();
+  IrHintSize index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  ASSERT_TRUE(index.IntegrityCheck(CheckLevel::kDeep).ok());
+  ASSERT_TRUE(IntegrityTestPeer::DangleSizeId(&index));
+  const Status status = index.IntegrityCheck(CheckLevel::kDeep);
+  EXPECT_FALSE(status.ok()) << "dangling id entry not detected";
+}
+
+TEST(IntegrityCorruptionTest, DesyncedLiveCountDetected) {
+  const Corpus corpus = TestCorpus();
+  TifHint index{TifHintOptions{}};
+  ASSERT_TRUE(index.Build(corpus).ok());
+  ASSERT_TRUE(index.IntegrityCheck(CheckLevel::kDeep).ok());
+  ASSERT_TRUE(IntegrityTestPeer::DesyncTifHintLiveCount(&index));
+  const Status status = index.IntegrityCheck(CheckLevel::kDeep);
+  EXPECT_FALSE(status.ok()) << "desynced live count not detected";
+}
+
+TEST(IntegrityCorruptionTest, StaleShardingDerivedStateDetected) {
+  const Corpus corpus = TestCorpus();
+  TifSharding index{TifShardingOptions{}};
+  ASSERT_TRUE(index.Build(corpus).ok());
+  ASSERT_TRUE(index.IntegrityCheck(CheckLevel::kDeep).ok());
+  ASSERT_TRUE(IntegrityTestPeer::StaleShardPrefixMax(&index));
+  const Status status = index.IntegrityCheck(CheckLevel::kDeep);
+  EXPECT_FALSE(status.ok()) << "stale prefix-max array not detected";
+}
+
+}  // namespace
+}  // namespace irhint

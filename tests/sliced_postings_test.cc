@@ -66,7 +66,9 @@ TEST(SlicedPostingsTest, ChunksComeSortedBySliceAndId) {
   bool first = true;
   size_t total = 0;
   for (const auto& [slice, ids] : chunks) {
-    if (!first) EXPECT_GT(slice, prev_slice);
+    if (!first) {
+      EXPECT_GT(slice, prev_slice);
+    }
     prev_slice = slice;
     first = false;
     EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));

@@ -426,7 +426,9 @@ TEST(RecoveryTest, CorruptSnapshotFallsBackToFullReplay) {
   for (ObjectId id = 0; id < 60; ++id) {
     ASSERT_TRUE((*writer)->AppendInsert(MakeObject(id)).ok());
     ASSERT_TRUE(reference->Insert(MakeObject(id)).ok());
-    if (id < 40) ASSERT_TRUE(mid->Insert(MakeObject(id)).ok());
+    if (id < 40) {
+      ASSERT_TRUE(mid->Insert(MakeObject(id)).ok());
+    }
   }
   ASSERT_TRUE((*writer)->Sync().ok());
   writer->reset();
@@ -459,7 +461,9 @@ TEST(RecoveryTest, IntactSnapshotSkipsCoveredRecords) {
   for (ObjectId id = 0; id < 60; ++id) {
     ASSERT_TRUE((*writer)->AppendInsert(MakeObject(id)).ok());
     ASSERT_TRUE(reference->Insert(MakeObject(id)).ok());
-    if (id < 40) ASSERT_TRUE(mid->Insert(MakeObject(id)).ok());
+    if (id < 40) {
+      ASSERT_TRUE(mid->Insert(MakeObject(id)).ok());
+    }
   }
   ASSERT_TRUE((*writer)->Sync().ok());
   writer->reset();

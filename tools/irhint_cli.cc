@@ -44,6 +44,7 @@
 #include "common/timer.h"
 #include "core/durable_index.h"
 #include "core/factory.h"
+#include "core/integrity.h"
 #include "data/query_gen.h"
 #include "data/real_sim.h"
 #include "data/serialize.h"
@@ -228,6 +229,13 @@ int Bench(const Args& args) {
       args.GetU64("queries", 1000));
 
   if (args.Has("load") && args.GetU64("verify", 0) != 0) {
+    // Same deep pass as irhint_fsck: structural invariants first, then the
+    // behavioural cross-check against a fresh build.
+    if (Status st = index->IntegrityCheck(CheckLevel::kDeep); !st.ok()) {
+      std::fprintf(stderr, "verify FAILED: integrity check: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
     std::unique_ptr<TemporalIrIndex> fresh = CreateIndex(index->Kind());
     if (Status st = fresh->Build(*corpus); !st.ok()) {
       std::fprintf(stderr, "verify build failed: %s\n", st.ToString().c_str());
@@ -421,6 +429,13 @@ int Ingest(const Args& args) {
               static_cast<unsigned long long>(index->wal_segment_bytes()));
 
   if (args.GetU64("verify", 0) != 0) {
+    // Same deep pass as irhint_fsck, covering the WAL watermarks and the
+    // inner index, before the behavioural cross-check.
+    if (Status st = index->IntegrityCheck(CheckLevel::kDeep); !st.ok()) {
+      std::fprintf(stderr, "verify FAILED: integrity check: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
     // The directory may have been ingested across several runs, but always
     // from a prefix of this corpus (inserts only), so NaiveScan over the
     // same prefix is the ground truth.

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run the project clang-tidy gate locally, the same way CI does.
+#
+#   tools/lint/run_clang_tidy.sh [BUILD_DIR]
+#
+# Needs a configured build directory (default: build) — the top-level
+# CMakeLists.txt exports compile_commands.json unconditionally. Checks and
+# warning policy come from .clang-tidy at the repo root; any warning fails
+# (WarningsAsErrors: '*').
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "$REPO"
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found; configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null; then
+  echo "error: $TIDY not found (set CLANG_TIDY to your binary)" >&2
+  exit 2
+fi
+
+# Library + tools + fuzz sources; tests are gtest-macro-heavy and stay out
+# of the gate.
+mapfile -t FILES < <(git ls-files 'src/**/*.cc' 'tools/*.cc' 'fuzz/*.cc')
+
+"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
+echo "clang-tidy: ${#FILES[@]} files clean"

@@ -5,12 +5,15 @@
 // Prints the format version, the index/corpus kind, and one line per
 // section (id, name, file offset, payload size, stored CRC32C). With
 // --check the payload of every section is re-read and its checksum
-// recomputed, reporting OK or MISMATCH per section.
+// recomputed (OK or MISMATCH per section), and then the whole file runs
+// through the irhint_fsck deep pass — the payload is decoded and the
+// loaded index audited with IntegrityCheck(kDeep).
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "core/fsck.h"
 #include "storage/snapshot_format.h"
 #include "storage/snapshot_reader.h"
 
@@ -67,6 +70,14 @@ int main(int argc, char** argv) {
       std::printf("  %s", st.ok() ? "OK" : "MISMATCH");
     }
     std::printf("\n");
+  }
+  if (check) {
+    // One code path with irhint_fsck: decode the payload and deep-audit
+    // the loaded structure.
+    const Status st = CheckSnapshotFile(path, CheckLevel::kDeep);
+    std::printf("\ndeep check   %s\n",
+                st.ok() ? "OK" : st.ToString().c_str());
+    if (!st.ok()) return 1;
   }
   return 0;
 }
