@@ -134,7 +134,7 @@ int main() {
     RunSize(cardinality, &table);
   }
   std::printf("\n");
-  const char* csv = std::getenv("IRHINT_CSV");
+  const char* csv = GetEnv("IRHINT_CSV");
   if (csv != nullptr && std::atoi(csv) != 0) {
     table.PrintCsv(std::cout);
   } else {

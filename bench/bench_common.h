@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/table_printer.h"
 #include "core/temporal_ir_index.h"
 #include "data/corpus.h"
@@ -64,7 +65,7 @@ inline QueryStats MeasureQueriesAuto(const TemporalIrIndex& index,
 /// throughput tables. Off by default so the headline numbers stay
 /// counter-free.
 inline bool BenchCountersFromEnv() {
-  const char* value = std::getenv("IRHINT_COUNTERS");
+  const char* value = GetEnv("IRHINT_COUNTERS");
   return value != nullptr && std::atoi(value) != 0;
 }
 

@@ -1,0 +1,193 @@
+#include "common/synchronization.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifdef IRHINT_DEBUG_LOCK_ORDER
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+#endif
+
+namespace irhint {
+namespace lock_order {
+
+#ifdef IRHINT_DEBUG_LOCK_ORDER
+
+namespace {
+
+struct HeldLock {
+  const void* lock;
+  const char* name;
+};
+
+// The calling thread's lock stack, innermost last. thread_local keeps the
+// hot path allocation- and contention-free; only the order graph below is
+// shared.
+thread_local std::vector<HeldLock> g_held;
+
+/// Global acquisition-order graph over lock *names* (class-level ranks):
+/// an edge A -> B means "A was held while B was acquired" was observed on
+/// some thread. An acquisition that would create a cycle is an inversion:
+/// two threads interleaving the two observed orders can deadlock, whether
+/// or not this run's schedule ever does.
+class OrderGraph {
+ public:
+  /// \brief Returns true (and records the edge) if `before -> after` is
+  /// consistent with every order seen so far; false when the opposite
+  /// order is already established (directly or transitively).
+  bool RecordEdge(const char* before, const char* after) {
+    // Raw std::mutex on purpose: the registry must not instrument itself.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Reachable(after, before)) return false;
+    edges_[before].insert(after);
+    return true;
+  }
+
+ private:
+  bool Reachable(const std::string& from, const std::string& to) {
+    if (from == to) return true;
+    auto it = edges_.find(from);
+    if (it == edges_.end()) return false;
+    for (const std::string& next : it->second) {
+      if (Reachable(next, to)) return true;
+    }
+    return false;
+  }
+
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> edges_;
+};
+
+OrderGraph& Graph() {
+  static OrderGraph* graph = new OrderGraph;  // leaked: outlives all threads
+  return *graph;
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::string held_stack;
+  for (const HeldLock& held : g_held) {
+    held_stack += " \"";
+    held_stack += held.name;
+    held_stack += "\"";
+  }
+  std::fprintf(stderr,
+               "irhint lock-order check failed: %s\nheld stack (outermost "
+               "first):%s\n",
+               message.c_str(), held_stack.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void OnAcquire(const void* lock, const char* name) {
+  for (const HeldLock& held : g_held) {
+    if (held.lock == lock) {
+      Die(std::string("recursive acquisition of \"") + name +
+          "\" (already held by this thread)");
+    }
+  }
+  for (const HeldLock& held : g_held) {
+    if (std::string(held.name) == name) {
+      Die(std::string("two locks named \"") + name +
+          "\" held together — simultaneously held locks need distinct "
+          "names (ranks)");
+    }
+    if (!Graph().RecordEdge(held.name, name)) {
+      Die(std::string("lock-order inversion: acquiring \"") + name +
+          "\" while holding \"" + held.name +
+          "\", but the opposite order was established earlier (this pair "
+          "can deadlock)");
+    }
+  }
+  g_held.push_back({lock, name});
+}
+
+void OnRelease(const void* lock) {
+  for (size_t i = g_held.size(); i > 0; --i) {
+    if (g_held[i - 1].lock == lock) {
+      g_held.erase(g_held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+// CondVar::Wait releases and reacquires its mutex around the sleep. The
+// reacquisition repeats an order already validated at the original
+// acquire, so it only adjusts the held stack and records no new edges
+// (recording them could manufacture false cycles against locks taken by
+// the notifying thread).
+void OnWaitRelease(const void* lock) { OnRelease(lock); }
+void OnWaitReacquire(const void* lock, const char* name) {
+  g_held.push_back({lock, name});
+}
+
+}  // namespace
+
+size_t HeldCount() { return g_held.size(); }
+
+#else  // !IRHINT_DEBUG_LOCK_ORDER
+
+size_t HeldCount() { return 0; }
+
+#endif  // IRHINT_DEBUG_LOCK_ORDER
+
+}  // namespace lock_order
+
+#ifdef IRHINT_DEBUG_LOCK_ORDER
+#define IRHINT_LOCK_ORDER_ACQUIRE(lock, name) \
+  lock_order::OnAcquire(lock, name)
+#define IRHINT_LOCK_ORDER_RELEASE(lock) lock_order::OnRelease(lock)
+#define IRHINT_LOCK_ORDER_WAIT_RELEASE(lock) \
+  lock_order::OnWaitRelease(lock)
+#define IRHINT_LOCK_ORDER_WAIT_REACQUIRE(lock, name) \
+  lock_order::OnWaitReacquire(lock, name)
+#else
+#define IRHINT_LOCK_ORDER_ACQUIRE(lock, name) (void)0
+#define IRHINT_LOCK_ORDER_RELEASE(lock) (void)0
+#define IRHINT_LOCK_ORDER_WAIT_RELEASE(lock) (void)0
+#define IRHINT_LOCK_ORDER_WAIT_REACQUIRE(lock, name) (void)0
+#endif
+
+void Mutex::Lock() {
+  IRHINT_LOCK_ORDER_ACQUIRE(this, name_);
+  mu_.lock();
+}
+
+void Mutex::Unlock() {
+  mu_.unlock();
+  IRHINT_LOCK_ORDER_RELEASE(this);
+}
+
+void SharedMutex::Lock() {
+  IRHINT_LOCK_ORDER_ACQUIRE(this, name_);
+  mu_.lock();
+}
+
+void SharedMutex::Unlock() {
+  mu_.unlock();
+  IRHINT_LOCK_ORDER_RELEASE(this);
+}
+
+void SharedMutex::LockShared() {
+  IRHINT_LOCK_ORDER_ACQUIRE(this, name_);
+  mu_.lock_shared();
+}
+
+void SharedMutex::UnlockShared() {
+  mu_.unlock_shared();
+  IRHINT_LOCK_ORDER_RELEASE(this);
+}
+
+void CondVar::Wait(Mutex* mu) {
+  IRHINT_LOCK_ORDER_WAIT_RELEASE(mu);
+  // The caller holds mu (IRHINT_REQUIRES); adopt its native handle for the
+  // wait and release the std::unique_lock's ownership claim afterwards so
+  // the caller's RAII scope (or explicit Unlock) stays the sole owner.
+  std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+  IRHINT_LOCK_ORDER_WAIT_REACQUIRE(mu, mu->name_);
+}
+
+}  // namespace irhint

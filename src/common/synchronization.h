@@ -1,0 +1,154 @@
+// Annotated synchronization primitives — the only locks in the repo.
+//
+// Every mutex in the codebase is a named irhint::Mutex or
+// irhint::SharedMutex from this header (tools/lint/check_contracts.py
+// rejects raw std::mutex & friends anywhere else). The wrappers carry the
+// Clang capability attributes from common/thread_annotations.h, so the
+// `<lock, data>` contracts are compile-checked by -Wthread-safety, and in
+// IRHINT_DEBUG_LOCK_ORDER builds (Debug and sanitizer presets) they feed a
+// runtime lock-order registry: each thread's held-lock stack plus a global
+// acquisition-order graph, which aborts — printing both participants'
+// names — on any acquisition that inverts an order established earlier.
+// That catches lock-order deadlocks even when the two acquisitions never
+// actually collide in the observed schedule, which is exactly the class
+// TSan cannot see.
+//
+// Lock names are class-level ranks: two simultaneously held locks must
+// have distinct names (same-name pairs are reported as inversions), so
+// name locks "Class::purpose" and never hold two instances of one class.
+
+#ifndef IRHINT_COMMON_SYNCHRONIZATION_H_
+#define IRHINT_COMMON_SYNCHRONIZATION_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace irhint {
+
+/// \brief Named exclusive mutex (std::mutex + annotations + lock-order
+/// instrumentation). Non-recursive: relocking from the owning thread is a
+/// deadlock, and the debug registry aborts on it.
+class IRHINT_CAPABILITY("mutex") Mutex {
+ public:
+  /// \brief `name` must outlive the mutex (string literals in practice)
+  /// and is the lock's rank in the order registry and in diagnostics.
+  explicit Mutex(const char* name) : name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() IRHINT_ACQUIRE();
+  void Unlock() IRHINT_RELEASE();
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const char* name_;
+};
+
+/// \brief Named reader/writer mutex. Shared acquisitions participate in
+/// lock-order checking exactly like exclusive ones (a shared/exclusive
+/// inversion deadlocks just the same).
+class IRHINT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(const char* name) : name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() IRHINT_ACQUIRE();
+  void Unlock() IRHINT_RELEASE();
+  void LockShared() IRHINT_ACQUIRE_SHARED();
+  void UnlockShared() IRHINT_RELEASE_SHARED();
+
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_;
+};
+
+/// \brief RAII exclusive lock on a Mutex.
+class IRHINT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) IRHINT_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() IRHINT_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief RAII exclusive (writer) lock on a SharedMutex.
+class IRHINT_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) IRHINT_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() IRHINT_RELEASE() { mu_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief RAII shared (reader) lock on a SharedMutex.
+class IRHINT_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) IRHINT_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() IRHINT_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Condition variable bound to Mutex. No predicate overload on
+/// purpose: spell waits as `while (!cond) cv.Wait(&mu);` so the predicate
+/// reads stay inside the locked scope the thread-safety analysis sees.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// \brief Atomically release `*mu`, sleep, and reacquire it before
+  /// returning. Spurious wakeups happen; always re-test the predicate.
+  void Wait(Mutex* mu) IRHINT_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+namespace lock_order {
+
+// Instrumentation hooks called by the wrappers in IRHINT_DEBUG_LOCK_ORDER
+// builds (no-ops otherwise; see synchronization.cc). Exposed for tests.
+
+/// \brief Number of locks the calling thread currently holds (0 when
+/// checking is compiled out).
+size_t HeldCount();
+
+}  // namespace lock_order
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_SYNCHRONIZATION_H_

@@ -1,0 +1,85 @@
+// Clang thread-safety-analysis attribute macros (DESIGN.md §10).
+//
+// The `<lock, data>` associations that DESIGN.md's concurrency model
+// describes in prose are spelled in code with these macros and checked by
+// `clang -Wthread-safety` (a CI gate, -Werror=thread-safety): a field
+// tagged IRHINT_GUARDED_BY(mu) cannot be touched without holding `mu`, a
+// method tagged IRHINT_REQUIRES(mu) cannot be called without it, and the
+// RAII lock types in common/synchronization.h are the only way to hold
+// one. Under gcc (which has no such analysis) every macro expands to
+// nothing, so the annotations are free documentation there.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef IRHINT_COMMON_THREAD_ANNOTATIONS_H_
+#define IRHINT_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define IRHINT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IRHINT_THREAD_ANNOTATION(x)  // no-op on gcc/msvc
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define IRHINT_CAPABILITY(x) IRHINT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define IRHINT_SCOPED_CAPABILITY IRHINT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding `x` (exclusively for writes,
+/// at least shared for reads).
+#define IRHINT_GUARDED_BY(x) IRHINT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x` (the pointer itself
+/// may additionally be IRHINT_GUARDED_BY the same or another capability).
+#define IRHINT_PT_GUARDED_BY(x) IRHINT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares the global acquisition order between two capabilities.
+#define IRHINT_ACQUIRED_BEFORE(...) \
+  IRHINT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define IRHINT_ACQUIRED_AFTER(...) \
+  IRHINT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held exclusively (resp. shared) on
+/// entry and does not release it.
+#define IRHINT_REQUIRES(...) \
+  IRHINT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IRHINT_REQUIRES_SHARED(...) \
+  IRHINT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not be held on entry).
+#define IRHINT_ACQUIRE(...) \
+  IRHINT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IRHINT_ACQUIRE_SHARED(...) \
+  IRHINT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define IRHINT_RELEASE(...) \
+  IRHINT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IRHINT_RELEASE_SHARED(...) \
+  IRHINT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define IRHINT_TRY_ACQUIRE(b, ...) \
+  IRHINT_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock
+/// guard for self-locking public APIs).
+#define IRHINT_EXCLUDES(...) \
+  IRHINT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code reached only
+/// under a lock the analysis cannot see).
+#define IRHINT_ASSERT_CAPABILITY(x) \
+  IRHINT_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define IRHINT_RETURN_CAPABILITY(x) IRHINT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a `// thread-safety:` justification comment on the same or the
+/// preceding line — tools/lint/check_contracts.py enforces this.
+#define IRHINT_NO_THREAD_SAFETY_ANALYSIS \
+  IRHINT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // IRHINT_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
-#include <exception>
 #include <utility>
+
+#include "common/env.h"
 
 namespace irhint {
 
 namespace {
 thread_local int g_worker_index = -1;
+// Which pool the current thread is a worker of; lets Wait() detect
+// re-entrancy from this pool's own tasks (helping) vs. a foreign pool's
+// task (which waits like any external caller).
+thread_local ThreadPool* g_worker_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -22,45 +26,88 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    // A worker blocked in a re-entrant Wait() sleeps on all_done_, not
+    // work_available_; it must wake to help with the new task, or the
+    // queue can starve when every worker is a waiter.
+    if (waiting_workers_ > 0) all_done_.NotifyAll();
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  mu_.Lock();
+  if (g_worker_pool == this) {
+    // Called from one of our own tasks: that task is itself in-flight, so
+    // waiting for in_flight_ == 0 would deadlock. Help drain the queue
+    // instead, and treat the blocked callers as already-retired: the join
+    // condition is "all remaining in-flight tasks are blocked right here".
+    ++waiting_workers_;
+    all_done_.NotifyAll();  // our own entry may complete others' condition
+    for (;;) {
+      if (!queue_.empty()) {
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        mu_.Unlock();
+        RunTask(std::move(task));
+        mu_.Lock();
+        FinishTaskLocked();
+        continue;
+      }
+      if (in_flight_ == waiting_workers_) break;
+      all_done_.Wait(&mu_);
+    }
+    --waiting_workers_;
+  } else {
+    while (in_flight_ != 0) all_done_.Wait(&mu_);
+  }
+  error = pending_error_;
+  pending_error_ = nullptr;
+  mu_.Unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::RunTask(std::function<void()> task) {
+  try {
+    task();
+  } catch (...) {
+    MutexLock lock(&mu_);
+    if (!pending_error_) pending_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::FinishTaskLocked() {
+  --in_flight_;
+  if (in_flight_ <= waiting_workers_) all_done_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
   g_worker_index = worker_index;
+  g_worker_pool = this;
+  mu_.Lock();
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
-    }
+    while (!stopping_ && queue_.empty()) work_available_.Wait(&mu_);
+    if (queue_.empty()) break;  // stopping_ and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    mu_.Unlock();
+    RunTask(std::move(task));
+    mu_.Lock();
+    FinishTaskLocked();
   }
+  mu_.Unlock();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
@@ -75,7 +122,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // state stays consistent and callers can inspect partial progress.
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mu;
+  Mutex error_mu{"ThreadPool::parallel_for_error"};
 
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t lo = begin + c * chunk;
@@ -86,7 +133,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
           fn(i);
         } catch (...) {
           if (!failed.exchange(true)) {
-            std::lock_guard<std::mutex> lock(error_mu);
+            MutexLock lock(&error_mu);
             first_error = std::current_exception();
           }
         }
@@ -95,13 +142,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   }
   Wait();
   if (failed.load()) {
-    std::lock_guard<std::mutex> lock(error_mu);
+    MutexLock lock(&error_mu);
     std::rethrow_exception(first_error);
   }
 }
 
 size_t ThreadPool::DefaultThreadCount() {
-  if (const char* value = std::getenv("IRHINT_THREADS")) {
+  if (const char* value = GetEnv("IRHINT_THREADS")) {
     const long long n = std::atoll(value);
     if (n > 0) return static_cast<size_t>(n);
   }

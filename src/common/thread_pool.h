@@ -2,24 +2,36 @@
 //
 // Workers pull tasks from a single locked queue; Wait() blocks until every
 // submitted task has finished, so the pool doubles as a fork-join region.
-// ParallelFor shards an index range into contiguous chunks (one per worker
-// by default), runs them on the pool, and rethrows the first task exception
-// on the calling thread — the library itself never throws, but user-supplied
-// callables (and test assertions) may.
+// Wait() is re-entrant from inside a pool task: a worker that calls it
+// helps drain the queue inline (instead of deadlocking on its own
+// in-flight count) and returns once every task other than the blocked
+// callers has finished. A task that throws no longer takes the process
+// down: the first exception is captured and rethrown from the next Wait()
+// on the submitting side. ParallelFor shards an index range into
+// contiguous chunks (one per worker by default), runs them on the pool,
+// and rethrows the first task exception on the calling thread with
+// run-to-completion semantics (a throw skips only the throwing index).
 //
-// The default worker count reads the IRHINT_THREADS environment variable and
-// falls back to std::thread::hardware_concurrency().
+// The default worker count reads the IRHINT_THREADS environment variable
+// and falls back to std::thread::hardware_concurrency().
+//
+// Concurrency (DESIGN.md §10): one lock, "ThreadPool::mu", guards the
+// queue and the fork-join accounting; the annotations below are enforced
+// by clang -Wthread-safety. Tasks run with no pool lock held, so they may
+// take any lock of their own.
 
 #ifndef IRHINT_COMMON_THREAD_POOL_H_
 #define IRHINT_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/synchronization.h"
+#include "common/thread_annotations.h"
 
 namespace irhint {
 
@@ -29,7 +41,9 @@ class ThreadPool {
   /// \brief Start `num_threads` workers (0 selects DefaultThreadCount()).
   explicit ThreadPool(size_t num_threads = 0);
 
-  /// \brief Drains outstanding tasks, then joins every worker.
+  /// \brief Drains outstanding tasks, then joins every worker. A pending
+  /// captured exception is dropped (destructors cannot throw) — call
+  /// Wait() first if you care.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -37,11 +51,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// \brief Enqueue one task. Tasks must not throw (use ParallelFor for
-  /// exception-propagating regions) and may be executed in any order.
+  /// \brief Enqueue one task. Tasks may run in any order. If a task
+  /// throws, the first exception is rethrown from the next Wait().
   void Submit(std::function<void()> task);
 
-  /// \brief Block until every task submitted so far has completed.
+  /// \brief Block until every task submitted so far has completed, then
+  /// rethrow the first exception any of them raised (if any). Callable
+  /// from inside a pool task: the calling worker helps run queued tasks
+  /// while it waits.
   void Wait();
 
   /// \brief Run fn(i) for every i in [begin, end), sharded into contiguous
@@ -62,14 +79,26 @@ class ThreadPool {
 
  private:
   void WorkerLoop(int worker_index);
+  /// Run one task with no lock held, capturing its exception (first one
+  /// wins) into pending_error_.
+  void RunTask(std::function<void()> task) IRHINT_EXCLUDES(mu_);
+  /// Retire one finished task and wake waiters whose condition may now
+  /// hold.
+  void FinishTaskLocked() IRHINT_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently running tasks
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_{"ThreadPool::mu"};
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ IRHINT_GUARDED_BY(mu_);
+  size_t in_flight_ IRHINT_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  /// Workers currently blocked inside a re-entrant Wait(); their tasks
+  /// count as in-flight but can never finish before Wait returns, so the
+  /// fork-join condition for helpers is in_flight_ == waiting_workers_.
+  size_t waiting_workers_ IRHINT_GUARDED_BY(mu_) = 0;
+  bool stopping_ IRHINT_GUARDED_BY(mu_) = false;
+  /// First exception thrown by a Submit()ed task; rethrown by Wait().
+  std::exception_ptr pending_error_ IRHINT_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // unguarded: ctor starts, dtor joins
 };
 
 }  // namespace irhint

@@ -44,12 +44,17 @@ StatusOr<std::unique_ptr<DurableIndex>> DurableIndex::Open(
   index->env_ = env;
   index->dir_ = wal_dir;
   index->options_ = options;
-  index->inner_ = std::move(recovered->index);
-  index->writer_ = std::move(writer).value();
-  index->name_ = "durable:" + std::string(index->inner_->Name());
-  index->recovery_info_ = std::move(recovered).value();
-  index->recovery_info_.index = nullptr;  // moved into inner_
-  index->next_object_id_ = index->recovery_info_.next_object_id;
+  {
+    // Uncontended (the index is not published yet), but the guarded
+    // members are only ever touched under the state lock.
+    WriterLock lock(&index->mutex_);
+    index->inner_ = std::move(recovered->index);
+    index->writer_ = std::move(writer).value();
+    index->name_ = "durable:" + std::string(index->inner_->Name());
+    index->recovery_info_ = std::move(recovered).value();
+    index->recovery_info_.index = nullptr;  // moved into inner_
+    index->next_object_id_ = index->recovery_info_.next_object_id;
+  }
   if (options.checkpoint_bytes > 0 && options.background_checkpoint) {
     index->ckpt_thread_ =
         std::thread(&DurableIndex::CheckpointThreadMain, index.get());
@@ -60,19 +65,19 @@ StatusOr<std::unique_ptr<DurableIndex>> DurableIndex::Open(
 DurableIndex::~DurableIndex() {
   if (ckpt_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(ckpt_mutex_);
+      MutexLock lock(&ckpt_mutex_);
       ckpt_stop_ = true;
     }
-    ckpt_cv_.notify_all();
+    ckpt_cv_.NotifyAll();
     ckpt_thread_.join();
   }
-  std::unique_lock lock(mutex_);
+  WriterLock lock(&mutex_);
   if (writer_ != nullptr) (void)writer_->Sync();  // best effort on close
 }
 
 Status DurableIndex::Build(const Corpus& corpus) {
   {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(&mutex_);
     if (writer_->next_lsn() != 1) {
       return Status::InvalidArgument(
           "durable index already has logged state; Build is only valid on a "
@@ -87,14 +92,14 @@ Status DurableIndex::Build(const Corpus& corpus) {
 
 void DurableIndex::Query(const irhint::Query& query,
                          std::vector<ObjectId>* out) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   inner_->Query(query, out);
 }
 
 Status DurableIndex::Insert(const Object& object) {
   bool want_checkpoint = false;
   {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(&mutex_);
     // Enforce before logging what the inner indexes only assume: strictly
     // increasing ids (Section 5.5) and a well-formed interval (an inverted
     // one would be flagged as corruption by the log decoder).
@@ -121,10 +126,10 @@ Status DurableIndex::Insert(const Object& object) {
   if (!want_checkpoint) return Status::OK();
   if (options_.background_checkpoint) {
     {
-      std::lock_guard<std::mutex> lock(ckpt_mutex_);
+      MutexLock lock(&ckpt_mutex_);
       ckpt_requested_ = true;
     }
-    ckpt_cv_.notify_all();
+    ckpt_cv_.NotifyAll();
     return Status::OK();
   }
   return RunCheckpoint();
@@ -133,7 +138,7 @@ Status DurableIndex::Insert(const Object& object) {
 Status DurableIndex::Erase(const Object& object) {
   bool want_checkpoint = false;
   {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(&mutex_);
     if (object.id >= next_object_id_) {
       return Status::NotFound("object id " + std::to_string(object.id) +
                               " was never inserted");
@@ -149,37 +154,41 @@ Status DurableIndex::Erase(const Object& object) {
   if (!want_checkpoint) return Status::OK();
   if (options_.background_checkpoint) {
     {
-      std::lock_guard<std::mutex> lock(ckpt_mutex_);
+      MutexLock lock(&ckpt_mutex_);
       ckpt_requested_ = true;
     }
-    ckpt_cv_.notify_all();
+    ckpt_cv_.NotifyAll();
     return Status::OK();
   }
   return RunCheckpoint();
 }
 
 size_t DurableIndex::MemoryUsageBytes() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   return inner_->MemoryUsageBytes();
 }
 
 std::optional<QueryCounters> DurableIndex::Stats() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   return inner_->Stats();
 }
 
 void DurableIndex::ResetStats() {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   inner_->ResetStats();
 }
 
 void DurableIndex::EnableStats(bool enabled) {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   inner_->EnableStats(enabled);
 }
 
 IndexKind DurableIndex::Kind() const {
-  return inner_->Kind();  // immutable after Open
+  // The inner index never changes after Open, but the pointer is guarded;
+  // the shared lock costs one uncontended atomic in exchange for keeping
+  // the access provably safe.
+  ReaderLock lock(&mutex_);
+  return inner_->Kind();
 }
 
 Status DurableIndex::SaveTo(SnapshotWriter*) const {
@@ -193,15 +202,15 @@ Status DurableIndex::LoadFrom(SnapshotReader*) {
 }
 
 Status DurableIndex::Flush() {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(&mutex_);
   return writer_->Sync();
 }
 
 Status DurableIndex::TriggerCheckpoint() { return RunCheckpoint(); }
 
 Status DurableIndex::WaitForCheckpoint() {
-  std::unique_lock<std::mutex> lock(ckpt_mutex_);
-  ckpt_cv_.wait(lock, [this] { return !ckpt_requested_ && !ckpt_running_; });
+  MutexLock lock(&ckpt_mutex_);
+  while (ckpt_requested_ || ckpt_running_) ckpt_cv_.Wait(&ckpt_mutex_);
   return last_checkpoint_status_;
 }
 
@@ -209,7 +218,7 @@ Status DurableIndex::IntegrityCheck(CheckLevel level) const {
   // One shared lock for the whole audit: the accessors each lock, so the
   // checks below read the members directly to stay re-entrancy free and to
   // see one consistent state.
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   if (inner_ == nullptr || writer_ == nullptr) {
     return Status::Corruption("durable index missing inner index or log "
                               "writer");
@@ -237,27 +246,27 @@ Status DurableIndex::IntegrityCheck(CheckLevel level) const {
 }
 
 uint64_t DurableIndex::next_lsn() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   return writer_->next_lsn();
 }
 
 uint64_t DurableIndex::last_synced_lsn() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   return writer_->last_synced_lsn();
 }
 
 uint64_t DurableIndex::wal_segment_seq() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   return writer_->segment_seq();
 }
 
 uint64_t DurableIndex::wal_segment_bytes() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   return writer_->segment_bytes();
 }
 
 uint64_t DurableIndex::next_object_id() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(&mutex_);
   return next_object_id_;
 }
 
@@ -267,11 +276,11 @@ bool DurableIndex::ShouldCheckpointLocked() const {
 }
 
 Status DurableIndex::RunCheckpoint() {
-  std::lock_guard<std::mutex> serial(ckpt_serial_mutex_);
+  MutexLock serial(&ckpt_serial_mutex_);
   uint64_t live_seq = 0;
   uint64_t ckpt_lsn = 0;
   {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(&mutex_);
     IRHINT_RETURN_NOT_OK(writer_->status());
     // Seal the live segment; the rotate record's LSN is the exact upper
     // bound of what the snapshot will contain, because we still hold the
@@ -305,7 +314,7 @@ Status DurableIndex::GarbageCollect(uint64_t live_seq,
   IRHINT_RETURN_NOT_OK(checkpoints.status());
   uint32_t kept = 0;
   for (const uint64_t lsn : *checkpoints) {
-    if (lsn > keep_ckpt_lsn) continue;  // never GC a newer one (shouldn't exist)
+    if (lsn > keep_ckpt_lsn) continue;  // never GC a newer one
     if (++kept <= options_.gc_keep_snapshots) continue;
     IRHINT_RETURN_NOT_OK(
         env_->DeleteFile(WalPathJoin(dir_, CheckpointFileName(lsn))));
@@ -316,19 +325,19 @@ Status DurableIndex::GarbageCollect(uint64_t live_seq,
 void DurableIndex::CheckpointThreadMain() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(ckpt_mutex_);
-      ckpt_cv_.wait(lock, [this] { return ckpt_requested_ || ckpt_stop_; });
+      MutexLock lock(&ckpt_mutex_);
+      while (!ckpt_requested_ && !ckpt_stop_) ckpt_cv_.Wait(&ckpt_mutex_);
       if (ckpt_stop_) return;
       ckpt_requested_ = false;
       ckpt_running_ = true;
     }
     const Status status = RunCheckpoint();
     {
-      std::lock_guard<std::mutex> lock(ckpt_mutex_);
+      MutexLock lock(&ckpt_mutex_);
       ckpt_running_ = false;
       last_checkpoint_status_ = status;
     }
-    ckpt_cv_.notify_all();
+    ckpt_cv_.NotifyAll();
   }
 }
 

@@ -7,15 +7,14 @@
 #ifndef IRHINT_CORE_DURABLE_INDEX_H_
 #define IRHINT_CORE_DURABLE_INDEX_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/synchronization.h"
+#include "common/thread_annotations.h"
 #include "core/factory.h"
 #include "core/temporal_ir_index.h"
 #include "wal/recovery.h"
@@ -51,10 +50,14 @@ struct DurableIndexOptions {
 
 /// \brief Durable live index over a WAL directory.
 ///
-/// Concurrency: Query()/Stats() take a shared lock, updates and checkpoints
-/// an exclusive one, so readers run concurrently with each other but not
-/// with writes (single-writer model, Section 5.5). All methods are
-/// thread-safe.
+/// Concurrency (DESIGN.md §10): Query()/Stats() take a shared lock on
+/// "DurableIndex::state", updates and checkpoints an exclusive one, so
+/// readers run concurrently with each other but not with writes
+/// (single-writer model, Section 5.5). All methods are thread-safe. Lock
+/// order: "DurableIndex::ckpt_serial" before "DurableIndex::state";
+/// "DurableIndex::ckpt" is a leaf (never held across another
+/// acquisition). The annotations below make the contracts compile-checked
+/// by clang -Wthread-safety.
 class DurableIndex : public TemporalIrIndex {
  public:
   /// \brief Recover (or create) the index in `wal_dir` and arm the log
@@ -124,39 +127,45 @@ class DurableIndex : public TemporalIrIndex {
 
   DurableIndex() = default;
 
-  bool ShouldCheckpointLocked() const;
+  bool ShouldCheckpointLocked() const IRHINT_REQUIRES(mutex_);
   /// One full checkpoint cycle; serialized against concurrent triggers.
-  Status RunCheckpoint();
+  Status RunCheckpoint() IRHINT_EXCLUDES(mutex_, ckpt_serial_mutex_);
   Status GarbageCollect(uint64_t live_seq, uint64_t keep_ckpt_lsn);
   void CheckpointThreadMain();
 
-  WalEnv* env_ = nullptr;
-  std::string dir_;
-  DurableIndexOptions options_;
-  std::string name_;
-  RecoveryResult recovery_info_;
+  // Set once inside Open() (under the state lock, before the index is
+  // published) and immutable afterwards, hence lock-free to read.
+  WalEnv* env_ = nullptr;               // unguarded: immutable after Open
+  std::string dir_;                     // unguarded: immutable after Open
+  DurableIndexOptions options_;         // unguarded: immutable after Open
+  std::string name_;                    // unguarded: immutable after Open
+  RecoveryResult recovery_info_;        // unguarded: immutable after Open
 
   /// Guards inner_, writer_ and the watermark (shared: queries; exclusive:
-  /// updates).
-  mutable std::shared_mutex mutex_;
-  std::unique_ptr<TemporalIrIndex> inner_;
-  std::unique_ptr<WalWriter> writer_;
+  /// updates). The WalWriter is single-threaded by construction — holding
+  /// this lock exclusively is what makes that safe (PT_GUARDED_BY).
+  mutable SharedMutex mutex_{"DurableIndex::state"};
+  std::unique_ptr<TemporalIrIndex> inner_ IRHINT_GUARDED_BY(mutex_)
+      IRHINT_PT_GUARDED_BY(mutex_);
+  std::unique_ptr<WalWriter> writer_ IRHINT_GUARDED_BY(mutex_)
+      IRHINT_PT_GUARDED_BY(mutex_);
   /// Smallest id the next insert may use. The inner indexes trust the
   /// strictly-increasing-id contract of Section 5.5 without checking it,
   /// so the durable layer enforces it (and persists it via checkpoints) —
   /// otherwise a re-ingest after recovery would insert duplicates.
-  uint64_t next_object_id_ = 0;
+  uint64_t next_object_id_ IRHINT_GUARDED_BY(mutex_) = 0;
 
-  /// Checkpoints are serialized; the trigger handshake has its own mutex
-  /// (never held while acquiring mutex_).
-  std::mutex ckpt_serial_mutex_;
-  std::mutex ckpt_mutex_;
-  std::condition_variable ckpt_cv_;
-  bool ckpt_requested_ = false;
-  bool ckpt_running_ = false;
-  bool ckpt_stop_ = false;
-  Status last_checkpoint_status_;
-  std::thread ckpt_thread_;
+  /// Checkpoints are serialized on ckpt_serial_mutex_, acquired strictly
+  /// before mutex_; the trigger handshake lock ckpt_mutex_ is a leaf
+  /// (never held while acquiring another lock).
+  Mutex ckpt_serial_mutex_{"DurableIndex::ckpt_serial"};
+  Mutex ckpt_mutex_{"DurableIndex::ckpt"};
+  CondVar ckpt_cv_;
+  bool ckpt_requested_ IRHINT_GUARDED_BY(ckpt_mutex_) = false;
+  bool ckpt_running_ IRHINT_GUARDED_BY(ckpt_mutex_) = false;
+  bool ckpt_stop_ IRHINT_GUARDED_BY(ckpt_mutex_) = false;
+  Status last_checkpoint_status_ IRHINT_GUARDED_BY(ckpt_mutex_);
+  std::thread ckpt_thread_;  // unguarded: Open starts it, dtor joins it
 };
 
 }  // namespace irhint

@@ -7,6 +7,13 @@
 // never contend on one line, and merges the stripes on demand. Collection
 // is off by default: a disabled sink drops the flush after a single relaxed
 // load, so the counters cost nothing on the measurement paths.
+//
+// Concurrency (DESIGN.md §10): deliberately lock-free — every shared field
+// is a std::atomic with relaxed ordering, so there is nothing here for a
+// GUARDED_BY annotation to guard and no lock to rank. Merged()/Reset()
+// are racy-by-design best-effort reads against concurrent Accumulate()
+// (each counter is independently atomic; cross-counter snapshots are not
+// promised), which is exactly the monitoring contract the callers want.
 
 #ifndef IRHINT_CORE_QUERY_COUNTERS_H_
 #define IRHINT_CORE_QUERY_COUNTERS_H_

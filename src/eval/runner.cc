@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/env.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 
@@ -152,21 +153,21 @@ double MeasureEraseSeconds(TemporalIrIndex* index, const Corpus& corpus,
 }
 
 double BenchScaleFromEnv() {
-  const char* value = std::getenv("IRHINT_SCALE");
+  const char* value = GetEnv("IRHINT_SCALE");
   if (value == nullptr) return 1.0;
   const double scale = std::atof(value);
   return scale > 0.0 ? scale : 1.0;
 }
 
 size_t BenchQueriesFromEnv(size_t fallback) {
-  const char* value = std::getenv("IRHINT_QUERIES");
+  const char* value = GetEnv("IRHINT_QUERIES");
   if (value == nullptr) return fallback;
   const long long n = std::atoll(value);
   return n > 0 ? static_cast<size_t>(n) : fallback;
 }
 
 size_t BenchThreadsFromEnv(size_t fallback) {
-  const char* value = std::getenv("IRHINT_THREADS");
+  const char* value = GetEnv("IRHINT_THREADS");
   if (value == nullptr) return fallback;
   const long long n = std::atoll(value);
   return n > 0 ? static_cast<size_t>(n) : fallback;

@@ -6,7 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+#include <system_error>
 
 namespace irhint {
 
@@ -15,7 +15,7 @@ StatusOr<std::shared_ptr<MappedFile>> MappedFile::Open(
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IoError("cannot open " + path + ": " +
-                           std::strerror(errno));
+                           std::generic_category().message(errno));
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
@@ -33,7 +33,7 @@ StatusOr<std::shared_ptr<MappedFile>> MappedFile::Open(
   ::close(fd);  // the mapping keeps its own reference
   if (base == MAP_FAILED) {
     return Status::IoError("mmap failed for " + path + ": " +
-                           std::strerror(errno));
+                           std::generic_category().message(errno));
   }
   return std::shared_ptr<MappedFile>(
       new MappedFile(static_cast<const uint8_t*>(base), size));

@@ -7,7 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+#include <system_error>
 
 #include "storage/index_io.h"
 
@@ -27,7 +27,11 @@ std::string WalPathJoin(const std::string& dir, const std::string& name) {
 namespace {
 
 Status Errno(const std::string& what, const std::string& path) {
-  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+  // std::generic_category().message() instead of strerror(): same text,
+  // but thread-safe (strerror's static buffer is a concurrency-mt-unsafe
+  // clang-tidy hit).
+  return Status::IoError(what + " " + path + ": " +
+                         std::generic_category().message(errno));
 }
 
 class PosixWritableFile : public WalWritableFile {

@@ -40,9 +40,14 @@ struct WalWriterOptions {
   double batch_interval_seconds = 0.02;
 };
 
-/// \brief The single-threaded append side of the log (DurableIndex holds
-/// its own lock around it). Any environment failure poisons the writer;
-/// callers recover by reopening the directory, never by retrying.
+/// \brief The single-threaded append side of the log. Deliberately
+/// lock-free: DurableIndex owns the only instance and reaches it through a
+/// field annotated GUARDED_BY/PT_GUARDED_BY its "DurableIndex::state"
+/// SharedMutex, so clang -Wthread-safety proves every call happens under
+/// that lock (exclusive for appends, shared for the LSN accessors) without
+/// this class paying for a second mutex. Any environment failure poisons
+/// the writer; callers recover by reopening the directory, never by
+/// retrying.
 class WalWriter {
  public:
   /// \brief Start a fresh segment `seq` in `dir`; the first record appended

@@ -1,0 +1,276 @@
+// Concurrency race hunt for the durable query/ingest stack. For every
+// index kind, a DurableIndex is hammered by a mix of concurrent threads —
+// inserts, lagging erases, queries, stats reads, integrity audits, and
+// checkpoint triggers (on top of the automatic background checkpointer) —
+// then the final state is verified three ways: a deep IntegrityCheck, a
+// differential check against a NaiveScan reference of the surviving
+// objects, and the same two again after closing and recovering the
+// directory. The schedule is nondeterministic by design; the workload is
+// seeded and deterministic, so the final expected state is exact.
+//
+// This is the test the TSan CI job promotes (TSAN_OPTIONS=halt_on_error=1)
+// and the lock-order registry rides along in Debug/sanitizer builds.
+//
+// Knobs (environment variables):
+//   IRHINT_RACE_HUNT_OPS   objects inserted per kind (default 160)
+//   IRHINT_RACE_HUNT_MS    wall-clock budget per kind; past it the threads
+//                          wind down where they are (default 10000)
+//   IRHINT_RACE_HUNT_SEED  workload RNG seed (default 20260805)
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/durable_index.h"
+#include "core/factory.h"
+#include "core/integrity.h"
+
+namespace irhint {
+namespace {
+
+using Ids = std::vector<ObjectId>;
+
+uint64_t EnvKnob(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0'
+             ? std::strtoull(value, nullptr, 10)
+             : fallback;
+}
+
+Object HuntObject(ObjectId id, std::mt19937_64* rng) {
+  Object o;
+  o.id = id;
+  const uint64_t st = (*rng)() % 100000;
+  o.interval = Interval(st, st + 1 + (*rng)() % 5000);
+  const size_t n = 1 + (*rng)() % 6;
+  for (size_t i = 0; i < n; ++i) o.elements.push_back((*rng)() % 40);
+  std::sort(o.elements.begin(), o.elements.end());
+  o.elements.erase(std::unique(o.elements.begin(), o.elements.end()),
+                   o.elements.end());
+  return o;
+}
+
+std::vector<Query> HuntQueries(std::mt19937_64* rng) {
+  std::vector<Query> queries;
+  for (int i = 0; i < 32; ++i) {
+    const uint64_t st = (*rng)() % 100000;
+    std::vector<ElementId> elements = {
+        static_cast<ElementId>((*rng)() % 40)};
+    if (i % 3 == 0) elements.push_back(static_cast<ElementId>((*rng)() % 40));
+    std::sort(elements.begin(), elements.end());
+    elements.erase(std::unique(elements.begin(), elements.end()),
+                   elements.end());
+    queries.push_back(
+        Query(Interval(st, st + 1 + (*rng)() % 20000), std::move(elements)));
+  }
+  return queries;
+}
+
+Ids Answer(const TemporalIrIndex& index, const Query& query) {
+  Ids out;
+  index.Query(query, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class RaceHuntTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(RaceHuntTest, ConcurrentMixedWorkloadStaysConsistent) {
+  const uint64_t num_objects = EnvKnob("IRHINT_RACE_HUNT_OPS", 160);
+  const uint64_t budget_ms = EnvKnob("IRHINT_RACE_HUNT_MS", 10000);
+  const uint64_t seed = EnvKnob("IRHINT_RACE_HUNT_SEED", 20260805);
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " ops=" + std::to_string(num_objects));
+
+  // The workload is generated up front and immutable while the threads
+  // run, so sharing the vectors needs no lock.
+  std::mt19937_64 rng(seed);
+  std::vector<Object> objects;
+  objects.reserve(num_objects);
+  for (uint64_t i = 0; i < num_objects; ++i) {
+    objects.push_back(HuntObject(static_cast<ObjectId>(i), &rng));
+  }
+  const std::vector<Query> queries = HuntQueries(&rng);
+
+  std::string name(IndexKindName(GetParam()));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/race_hunt_" + name;
+  std::filesystem::remove_all(dir);
+
+  DurableIndexOptions options;
+  options.kind = GetParam();
+  options.durability = WalDurability::kBatch;
+  options.batch_bytes = 1024;  // frequent syncs
+  options.checkpoint_bytes = 8 * 1024;
+  options.background_checkpoint = true;  // automatic checkpointer churns too
+  auto opened = DurableIndex::Open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  DurableIndex* index = opened->get();
+  index->EnableStats(true);
+
+  // inserted/erased are contiguous progress watermarks: objects
+  // [erased, inserted) are live. The erase thread trails the insert thread
+  // by kEraseLag so it only ever erases objects whose Insert has returned.
+  constexpr uint64_t kEraseLag = 24;
+  std::atomic<uint64_t> inserted{0};
+  std::atomic<uint64_t> erased{0};
+  std::atomic<bool> halt{false};  // wall-clock budget exhausted
+  std::atomic<bool> stop{false};  // insert/erase wound down; drain the rest
+
+  std::thread insert_thread([&] {
+    for (uint64_t i = 0; i < num_objects && !halt.load(); ++i) {
+      ASSERT_TRUE(index->Insert(objects[i]).ok());
+      inserted.store(i + 1, std::memory_order_release);
+    }
+  });
+
+  std::thread erase_thread([&] {
+    uint64_t j = 0;
+    while (!halt.load()) {
+      const uint64_t limit = inserted.load(std::memory_order_acquire);
+      if (j + kEraseLag >= limit) {
+        if (limit == num_objects) break;  // inserts done; stop lagging
+        std::this_thread::yield();
+        continue;
+      }
+      ASSERT_TRUE(index->Erase(objects[j]).ok());
+      ++j;
+      erased.store(j, std::memory_order_release);
+    }
+  });
+
+  std::vector<std::thread> query_threads;
+  for (int t = 0; t < 2; ++t) {
+    query_threads.emplace_back([&] {
+      size_t qi = 0;
+      while (!stop.load()) {
+        // Erases of objects [0, floor) returned before this query locked
+        // the index, so none of those ids may ever come back.
+        const uint64_t floor = erased.load(std::memory_order_acquire);
+        const Ids out = Answer(*index, queries[qi % queries.size()]);
+        ++qi;
+        for (const ObjectId id : out) {
+          ASSERT_LT(static_cast<uint64_t>(id), num_objects);
+          ASSERT_GE(static_cast<uint64_t>(id), floor)
+              << "query returned an object whose erase completed earlier";
+        }
+      }
+    });
+  }
+
+  std::thread stats_thread([&] {
+    uint64_t ticks = 0;
+    while (!stop.load()) {
+      (void)index->Stats();
+      (void)index->MemoryUsageBytes();
+      (void)index->Kind();
+      (void)index->next_lsn();
+      if (++ticks % 64 == 0) index->ResetStats();
+      std::this_thread::yield();
+    }
+  });
+
+  std::thread integrity_thread([&] {
+    while (!stop.load()) {
+      const Status st = index->IntegrityCheck(CheckLevel::kQuick);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      std::this_thread::yield();
+    }
+  });
+
+  std::thread checkpoint_thread([&] {
+    while (!stop.load()) {
+      const Status st = index->TriggerCheckpoint();
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Wind down: give the mutators the budget, then drain the readers.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  while (inserted.load() < num_objects &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  halt.store(true);
+  insert_thread.join();
+  erase_thread.join();
+  stop.store(true);
+  for (std::thread& t : query_threads) t.join();
+  stats_thread.join();
+  integrity_thread.join();
+  checkpoint_thread.join();
+  ASSERT_TRUE(index->WaitForCheckpoint().ok());
+
+  // The quiescent state is exact: objects [final_erased, final_inserted)
+  // survive. Verify deep integrity and differential equality against a
+  // NaiveScan reference, then once more after close + recovery.
+  const uint64_t final_inserted = inserted.load();
+  const uint64_t final_erased = erased.load();
+  ASSERT_GE(final_inserted, final_erased);
+  {
+    const Status st = index->IntegrityCheck(CheckLevel::kDeep);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  std::unique_ptr<TemporalIrIndex> reference =
+      CreateIndex(IndexKind::kNaiveScan);
+  Corpus empty;
+  empty.DeclareDomain(1);
+  ASSERT_TRUE(empty.Finalize().ok());
+  ASSERT_TRUE(reference->Build(empty).ok());
+  for (uint64_t i = final_erased; i < final_inserted; ++i) {
+    ASSERT_TRUE(reference->Insert(objects[i]).ok());
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(Answer(*index, queries[i]), Answer(*reference, queries[i]))
+        << "query " << i << " diverges after the concurrent mix";
+  }
+
+  opened->reset();  // clean close: checkpointer stops, log syncs
+  auto recovered = DurableIndex::Open(dir, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  {
+    const Status st = (*recovered)->IntegrityCheck(CheckLevel::kDeep);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(Answer(**recovered, queries[i]), Answer(*reference, queries[i]))
+        << "query " << i << " diverges after recovery";
+  }
+  recovered->reset();
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, RaceHuntTest,
+    ::testing::Values(IndexKind::kNaiveScan, IndexKind::kTif,
+                      IndexKind::kTifSlicing, IndexKind::kTifSharding,
+                      IndexKind::kTifHintBinarySearch,
+                      IndexKind::kTifHintMergeSort, IndexKind::kTifHintSlicing,
+                      IndexKind::kIrHintPerf, IndexKind::kIrHintSize),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      std::string name(IndexKindName(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace irhint

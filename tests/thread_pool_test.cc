@@ -1,13 +1,16 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/synchronization.h"
 
 namespace irhint {
 namespace {
@@ -42,6 +45,64 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
   EXPECT_EQ(done.load(), 50);
 }
 
+TEST(ThreadPoolTest, DestructorRunsTasksThatNeverStarted) {
+  // Queue far more work than the workers can have started, with a slow
+  // first task per worker so the destructor provably finds queued-but-
+  // unstarted tasks. ~ThreadPool must drain them all, not drop them.
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 2; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        done.fetch_add(1);
+      });
+    }
+    for (int i = 0; i < 200; ++i) pool.Submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 202);
+}
+
+TEST(ThreadPoolTest, WaitFromInsideWorkerTaskHelpsDrainTheQueue) {
+  // A task that submits subtasks and Wait()s for them must not deadlock,
+  // even on a single-worker pool where the only worker is the one waiting:
+  // Wait() detects it runs on a pool thread and helps execute the queue.
+  for (size_t threads : {size_t{1}, size_t{3}}) {
+    ThreadPool pool(threads);
+    std::atomic<int> inner{0};
+    std::atomic<int> outer{0};
+    pool.Submit([&] {
+      for (int i = 0; i < 16; ++i) {
+        pool.Submit([&inner] { inner.fetch_add(1); });
+      }
+      pool.Wait();
+      // Every subtask finished before the nested Wait() returned.
+      EXPECT_EQ(inner.load(), 16) << "threads=" << threads;
+      outer.fetch_add(1);
+    });
+    pool.Wait();
+    EXPECT_EQ(outer.load(), 1) << "threads=" << threads;
+    EXPECT_EQ(inner.load(), 16) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, SubmittedTaskExceptionSurfacesAtWaitAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.Submit([] { throw std::runtime_error("submitted task failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&survivors] { survivors.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The failure cancelled nothing: the other tasks all ran.
+  EXPECT_EQ(survivors.load(), 10);
+  // The error does not stick to the pool — the next batch is clean.
+  std::atomic<int> after{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&after] { after.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(after.load(), 10);
+}
+
 TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> visits(1000);
@@ -54,10 +115,10 @@ TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
 
 TEST(ThreadPoolTest, ParallelForRespectsBounds) {
   ThreadPool pool(3);
-  std::mutex mu;
+  Mutex mu{"test::seen"};
   std::set<size_t> seen;
   pool.ParallelFor(17, 113, [&](size_t i) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     seen.insert(i);
   });
   ASSERT_EQ(seen.size(), 113u - 17u);
@@ -103,11 +164,11 @@ TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
 TEST(ThreadPoolTest, CurrentWorkerIndexIsDenseInsidePoolAndMinusOneOutside) {
   EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
   ThreadPool pool(3);
-  std::mutex mu;
+  Mutex mu{"test::indexes"};
   std::set<int> indexes;
   pool.ParallelFor(0, 64, [&](size_t) {
     const int w = ThreadPool::CurrentWorkerIndex();
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     indexes.insert(w);
   });
   ASSERT_FALSE(indexes.empty());

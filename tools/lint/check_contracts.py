@@ -20,6 +20,23 @@ Machine-checkable contracts that clang-tidy cannot express:
   4. Every .cc under src/ is listed in src/CMakeLists.txt — an
      unreferenced translation unit compiles in nobody's build and rots.
 
+  5. Raw standard-library synchronization primitives (std::mutex,
+     std::shared_mutex, lock_guard, unique_lock, condition_variable, …)
+     appear only inside src/common/synchronization.{h,cc}. Everywhere
+     else uses the annotated, named, lock-order-checked wrappers — a raw
+     mutex is invisible to both -Wthread-safety and the order registry.
+
+  6. In headers whose classes own a Mutex/SharedMutex, every data member
+     is either annotated IRHINT_GUARDED_BY/IRHINT_PT_GUARDED_BY or
+     carries an explicit `// unguarded:` justification. Unannotated
+     state next to a lock is exactly where silent races grow.
+
+  7. Thread-safety escape hatches are justified: every use of
+     IRHINT_NO_THREAD_SAFETY_ANALYSIS outside its defining header needs
+     a `// thread-safety:` comment, and non-test code reads the
+     environment through common/env.h GetEnv() (the one audited
+     concurrency-mt-unsafe suppression), never raw getenv().
+
 Exit status: 0 clean, 1 any contract violated. Run from anywhere.
 """
 
@@ -113,12 +130,134 @@ def check_sources_listed(errors):
                     f"is compiled into no target")
 
 
+SYNC_DIRS = ("src", "tests", "tools", "bench", "fuzz", "examples")
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+    r"shared_lock|scoped_lock|condition_variable|condition_variable_any)\b")
+SYNC_EXEMPT = {
+    os.path.join("src", "common", "synchronization.h"),
+    os.path.join("src", "common", "synchronization.cc"),
+}
+
+
+def cxx_files(*dirs):
+    for d in dirs:
+        for root, _, names in os.walk(os.path.join(REPO, d)):
+            for name in names:
+                if name.endswith((".cc", ".h", ".cpp")):
+                    yield os.path.join(root, name)
+
+
+def check_no_raw_sync(errors):
+    for path in cxx_files(*SYNC_DIRS):
+        rel = os.path.relpath(path, REPO)
+        if rel in SYNC_EXEMPT:
+            continue
+        with open(path) as f:
+            clean = strip_comments(f.read())
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                errors.append(
+                    f"{rel}:{lineno}: raw std::{m.group(1)} — use the "
+                    f"named, annotated wrappers from "
+                    f"common/synchronization.h (the only place raw "
+                    f"primitives are allowed)")
+
+
+# Contract 6 scope: a member declaration line `Type name_ ...` inside a
+# header that declares a Mutex/SharedMutex member. The type part admits
+# only identifier/template/pointer characters, so function definitions
+# (which contain parentheses before the trailing `_` name) never match.
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:irhint::)?(?:Mutex|SharedMutex)\s+\w+_\s*\{",
+    re.M)
+FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?"
+    r"[A-Za-z_][\w:]*(?:<[\w:<>,\s*&]*>)?[\s*&]+(\w+_)\s*(?:[={;]|IRHINT_)")
+FIELD_EXEMPT_RE = re.compile(
+    r"\b(Mutex|SharedMutex|CondVar|std::atomic|static|constexpr)\b")
+GUARD_OK_RE = re.compile(r"IRHINT_(PT_)?GUARDED_BY|//\s*unguarded:")
+UNGUARDED_COMMENT_RE = re.compile(r"//\s*unguarded:")
+
+
+def check_guarded_by_coverage(errors):
+    for path in cxx_files("src"):
+        if not path.endswith(".h"):
+            continue
+        rel = os.path.relpath(path, REPO)
+        if rel in SYNC_EXEMPT:
+            continue
+        with open(path) as f:
+            lines = f.read().splitlines()
+        if not MUTEX_MEMBER_RE.search("\n".join(lines)):
+            continue
+        for lineno, line in enumerate(lines, 1):
+            stripped = line.strip()
+            if stripped.startswith("//") or stripped.startswith("*"):
+                continue
+            m = FIELD_RE.match(line)
+            if not m or FIELD_EXEMPT_RE.search(line):
+                continue
+            # The annotation must sit on the declaration line; a
+            # justification comment may sit there or on the line above.
+            prev = lines[lineno - 2] if lineno >= 2 else ""
+            if GUARD_OK_RE.search(line) or UNGUARDED_COMMENT_RE.search(prev):
+                continue
+            errors.append(
+                f"{rel}:{lineno}: member {m.group(1)} sits in a class "
+                f"owning a Mutex but is neither IRHINT_GUARDED_BY an "
+                f"annotation nor justified with `// unguarded: <why>`")
+
+
+def check_escape_hatches_justified(errors):
+    annotations_header = os.path.join("src", "common", "thread_annotations.h")
+    for path in cxx_files(*SYNC_DIRS):
+        rel = os.path.relpath(path, REPO)
+        if rel == annotations_header:
+            continue
+        with open(path) as f:
+            lines = f.read().splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if "IRHINT_NO_THREAD_SAFETY_ANALYSIS" not in line:
+                continue
+            prev = lines[lineno - 2] if lineno >= 2 else ""
+            nxt = lines[lineno] if lineno < len(lines) else ""
+            if any("// thread-safety:" in l for l in (prev, line, nxt)):
+                continue
+            errors.append(
+                f"{rel}:{lineno}: IRHINT_NO_THREAD_SAFETY_ANALYSIS without "
+                f"an adjacent `// thread-safety: <why>` justification — "
+                f"blanket suppressions are banned")
+
+
+def check_getenv_centralized(errors):
+    env_header = os.path.join("src", "common", "env.h")
+    for path in cxx_files("src", "tools", "bench", "fuzz", "examples"):
+        rel = os.path.relpath(path, REPO)
+        if rel == env_header:
+            continue
+        with open(path) as f:
+            clean = strip_comments(f.read())
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            if re.search(r"(?<![\w.])(std::)?getenv\s*\(", line):
+                errors.append(
+                    f"{rel}:{lineno}: raw getenv() — use GetEnv() from "
+                    f"common/env.h, the single audited "
+                    f"concurrency-mt-unsafe suppression")
+
+
 def main():
     errors = []
     check_no_asserts(errors)
     check_decode_returns_status(errors)
     check_fuzz_corpus_nonempty(errors)
     check_sources_listed(errors)
+    check_no_raw_sync(errors)
+    check_guarded_by_coverage(errors)
+    check_escape_hatches_justified(errors)
+    check_getenv_centralized(errors)
     if errors:
         print("contract violations:", file=sys.stderr)
         for e in errors:
