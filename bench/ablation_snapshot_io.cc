@@ -1,116 +1,142 @@
 // Ablation D: snapshot persistence — cold-start load (mmap zero-copy vs
 // buffered copying) against a full rebuild, and the save cost, for the two
-// irHINT variants. Quantifies the "build once, serve many" win: the mmap
-// path defers posting materialization entirely, so load time is dominated
-// by directory reconstruction.
-
-#include <benchmark/benchmark.h>
+// irHINT variants and the tIF baseline. Quantifies the "build once, serve
+// many" win: the mmap path defers posting materialization entirely, so load
+// time is dominated by directory reconstruction.
+//
+// Runs on the shared bench harness (warmup + trials + robust stats). Knobs:
+// IRHINT_SCALE multiplies the corpus size, IRHINT_BENCH_TRIALS /
+// IRHINT_BENCH_WARMUP the trial schedule; --smoke shrinks to CI scale;
+// IRHINT_BENCH_JSON=PATH additionally writes the harness JSON report.
 
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 
+#include "bench/bench_common.h"
+#include "bench/harness.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
 #include "core/factory.h"
 #include "data/synthetic.h"
 #include "storage/index_io.h"
 
-namespace irhint {
+using namespace irhint;
+
 namespace {
 
-constexpr uint64_t kCardinality = 200000;
-
-const Corpus& SharedCorpus() {
-  static const Corpus* corpus = [] {
-    SyntheticParams params;
-    params.cardinality = kCardinality;
-    params.domain = 8'000'000;
-    params.sigma = 500'000;
-    params.dictionary_size = 5000;
-    params.description_size = 8;
-    params.seed = 23;
-    return new Corpus(GenerateSynthetic(params));
-  }();
-  return *corpus;
+Corpus MakeCorpus(uint64_t cardinality) {
+  SyntheticParams params;
+  params.cardinality = cardinality;
+  params.domain = 40 * cardinality;
+  params.sigma = std::max<uint64_t>(1, cardinality * 5 / 2);
+  params.dictionary_size = std::max<uint64_t>(100, cardinality / 40);
+  params.description_size = 8;
+  params.seed = 23;
+  return GenerateSynthetic(params);
 }
 
-std::string SnapshotPath(IndexKind kind) {
-  return "/tmp/irhint_bench_" +
-         std::to_string(static_cast<int>(kind)) + ".irh";
-}
+void RunKind(IndexKind kind, const Corpus& corpus,
+             const bench::MeasureOptions& measure, TablePrinter* table,
+             bench::BenchReport* report) {
+  const std::string name(IndexKindName(kind));
 
-// Build once per kind, save once; benchmarks then measure load paths.
-const std::string& EnsureSnapshot(IndexKind kind) {
-  static std::string paths[16];
-  std::string& path = paths[static_cast<int>(kind)];
-  if (path.empty()) {
-    path = SnapshotPath(kind);
-    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
-    if (index->Build(SharedCorpus()).ok()) {
-      SaveIndex(*index, path).ok();
-    }
-  }
-  return path;
-}
-
-void BM_Rebuild(benchmark::State& state, IndexKind kind) {
-  const Corpus& corpus = SharedCorpus();
-  for (auto _ : state) {
-    std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
-    if (!index->Build(corpus).ok()) {
-      state.SkipWithError("build failed");
-      return;
-    }
-    benchmark::DoNotOptimize(index.get());
-  }
-}
-
-void BM_Load(benchmark::State& state, IndexKind kind, bool use_mmap) {
-  const std::string& path = EnsureSnapshot(kind);
-  SnapshotReadOptions options;
-  options.use_mmap = use_mmap;
-  for (auto _ : state) {
-    StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(path, options);
-    if (!loaded.ok()) {
-      state.SkipWithError("load failed");
-      return;
-    }
-    benchmark::DoNotOptimize(loaded->index.get());
-  }
-}
-
-void BM_Save(benchmark::State& state, IndexKind kind) {
-  std::unique_ptr<TemporalIrIndex> index = CreateIndex(kind);
-  if (!index->Build(SharedCorpus()).ok()) {
-    state.SkipWithError("build failed");
+  std::unique_ptr<TemporalIrIndex> index;
+  const bench::TrialStats rebuild =
+      bench::MeasureTrials(measure, [&corpus, &index, kind]() {
+        index = CreateIndex(kind);
+        Timer timer;
+        if (!index->Build(corpus).ok()) return 0.0;
+        return timer.Seconds();
+      });
+  if (index == nullptr) {
+    std::fprintf(stderr, "build failed for %s\n", name.c_str());
     return;
   }
-  const std::string path = SnapshotPath(kind) + ".save";
-  for (auto _ : state) {
-    if (!SaveIndex(*index, path).ok()) {
-      state.SkipWithError("save failed");
-      return;
-    }
+
+  const std::string path =
+      "/tmp/irhint_ablation_snapshot_" +
+      std::to_string(static_cast<int>(kind)) + ".irh";
+  const bench::TrialStats save =
+      bench::MeasureTrials(measure, [&index, &path]() {
+        Timer timer;
+        if (!SaveIndex(*index, path).ok()) return 0.0;
+        return timer.Seconds();
+      });
+
+  bench::TrialStats load[2];  // [0] buffered, [1] mmap
+  for (const bool use_mmap : {false, true}) {
+    SnapshotReadOptions options;
+    options.use_mmap = use_mmap;
+    load[use_mmap ? 1 : 0] =
+        bench::MeasureTrials(measure, [&path, options]() {
+          Timer timer;
+          auto loaded = LoadIndexSnapshot(path, options);
+          if (!loaded.ok()) return 0.0;
+          return timer.Seconds();
+        });
   }
   std::remove(path.c_str());
+
+  table->AddRow({name, Fmt(rebuild.p50 * 1e3, 1), Fmt(save.p50 * 1e3, 1),
+                 Fmt(load[0].p50 * 1e3, 1), Fmt(load[1].p50 * 1e3, 1),
+                 Fmt(rebuild.p50 / std::max(load[1].p50, 1e-9), 1)});
+
+  report->Add("snapshot_io", "rebuild_s/" + name, "s",
+              /*higher_is_better=*/false, rebuild);
+  report->Add("snapshot_io", "save_s/" + name, "s",
+              /*higher_is_better=*/false, save);
+  report->Add("snapshot_io", "load_buffered_s/" + name, "s",
+              /*higher_is_better=*/false, load[0]);
+  report->Add("snapshot_io", "load_mmap_s/" + name, "s",
+              /*higher_is_better=*/false, load[1]);
+  std::printf("# %s done\n", name.c_str());
 }
 
-#define SNAPSHOT_BENCHES(name, kind)                                   \
-  void BM_##name##_Rebuild(benchmark::State& s) { BM_Rebuild(s, kind); } \
-  BENCHMARK(BM_##name##_Rebuild)->Unit(benchmark::kMillisecond);       \
-  void BM_##name##_LoadMmap(benchmark::State& s) {                     \
-    BM_Load(s, kind, true);                                            \
-  }                                                                    \
-  BENCHMARK(BM_##name##_LoadMmap)->Unit(benchmark::kMillisecond);      \
-  void BM_##name##_LoadBuffered(benchmark::State& s) {                 \
-    BM_Load(s, kind, false);                                           \
-  }                                                                    \
-  BENCHMARK(BM_##name##_LoadBuffered)->Unit(benchmark::kMillisecond);  \
-  void BM_##name##_Save(benchmark::State& s) { BM_Save(s, kind); }     \
-  BENCHMARK(BM_##name##_Save)->Unit(benchmark::kMillisecond);
-
-SNAPSHOT_BENCHES(IrHintPerf, IndexKind::kIrHintPerf)
-SNAPSHOT_BENCHES(IrHintSize, IndexKind::kIrHintSize)
-SNAPSHOT_BENCHES(Tif, IndexKind::kTif)
-
 }  // namespace
-}  // namespace irhint
+
+int main(int argc, char** argv) {
+  uint64_t cardinality = 200'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cardinality = 10'000;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  cardinality = std::max<uint64_t>(
+      1000, static_cast<uint64_t>(static_cast<double>(cardinality) *
+                                  BenchScaleFromEnv()));
+  const bench::MeasureOptions measure =
+      bench::MeasureOptionsFromEnv({/*warmup=*/1, /*trials=*/3});
+
+  bench::PrintHeader("Ablation D: snapshot I/O — rebuild vs save/load");
+  std::printf("# %llu objects, %zu trials (+%zu warmup), p50 shown\n",
+              static_cast<unsigned long long>(cardinality), measure.trials,
+              measure.warmup);
+  const Corpus corpus = MakeCorpus(cardinality);
+
+  TablePrinter table({"index", "rebuild [ms]", "save [ms]",
+                      "load-buffered [ms]", "load-mmap [ms]", "speedup"});
+  bench::BenchReport report("ablation_snapshot_io");
+  for (const IndexKind kind :
+       {IndexKind::kIrHintPerf, IndexKind::kIrHintSize, IndexKind::kTif}) {
+    RunKind(kind, corpus, measure, &table, &report);
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+
+  if (const char* json = GetEnv("IRHINT_BENCH_JSON");
+      json != nullptr && json[0] != '\0') {
+    const Status status = report.WriteJsonFile(json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", json);
+  }
+  return 0;
+}

@@ -11,30 +11,31 @@
 // `always` pays a full fsync per object and lands orders of magnitude
 // lower, while recovery time is policy-independent (same records replayed).
 //
-// Knobs: IRHINT_SCALE multiplies the object counts (default sizes 100K and
-// 1M), IRHINT_CSV=1 switches the report to CSV.
+// Runs on the shared bench harness; each cell is the p50 of
+// IRHINT_BENCH_TRIALS runs (default 1 — a full pass is expensive — with
+// IRHINT_BENCH_WARMUP warmups, default 0). Knobs: IRHINT_SCALE multiplies
+// the object counts (default sizes 100K and 1M), --smoke shrinks to CI
+// scale, IRHINT_CSV=1 switches the report to CSV, IRHINT_BENCH_JSON=PATH
+// additionally writes the harness JSON report.
 
 #include <cstdio>
 #include <cstdlib>
-#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/harness.h"
 #include "common/table_printer.h"
+#include "common/timer.h"
 #include "core/durable_index.h"
 #include "data/synthetic.h"
 
 using namespace irhint;
 
 namespace {
-
-double Seconds(std::chrono::steady_clock::time_point begin,
-               std::chrono::steady_clock::time_point end) {
-  return std::chrono::duration<double>(end - begin).count();
-}
 
 uint64_t WalBytes(const std::string& dir) {
   uint64_t total = 0;
@@ -49,7 +50,8 @@ struct PolicyCase {
   WalDurability durability;
 };
 
-void RunSize(uint64_t cardinality, TablePrinter* table) {
+void RunSize(uint64_t cardinality, const bench::MeasureOptions& measure,
+             TablePrinter* table, bench::BenchReport* report) {
   SyntheticParams params;
   params.cardinality = cardinality;
   params.domain = 80 * cardinality;
@@ -58,6 +60,7 @@ void RunSize(uint64_t cardinality, TablePrinter* table) {
   params.description_size = 8;
   params.seed = 31;
   const Corpus corpus = GenerateSynthetic(params);
+  const std::string size_tag = std::to_string(cardinality);
 
   const PolicyCase policies[] = {
       {"none", WalDurability::kNone},
@@ -65,56 +68,64 @@ void RunSize(uint64_t cardinality, TablePrinter* table) {
       {"always", WalDurability::kAlways},
   };
   for (const PolicyCase& policy : policies) {
-    const std::string dir = "/tmp/irhint_bench_wal_" +
-                            std::to_string(cardinality) + "_" + policy.name;
-    std::filesystem::remove_all(dir);
-
+    const std::string dir = "/tmp/irhint_bench_wal_" + size_tag + "_" +
+                            policy.name;
     DurableIndexOptions options;
     options.kind = IndexKind::kIrHintPerf;
     options.durability = policy.durability;
     options.checkpoint_bytes = 0;  // measure a pure full-log replay below
 
-    double ingest_seconds = 0;
-    {
-      auto index = DurableIndex::Open(dir, options);
-      if (!index.ok()) {
-        std::fprintf(stderr, "open failed: %s\n",
-                     index.status().ToString().c_str());
-        continue;
-      }
-      const auto begin = std::chrono::steady_clock::now();
-      bool failed = false;
-      for (const Object& object : corpus.objects()) {
-        if (!(*index)->Insert(object).ok()) {
-          failed = true;
-          break;
-        }
-      }
-      if (failed || !(*index)->Flush().ok()) {
-        std::fprintf(stderr, "ingest failed for %s\n", policy.name);
-        continue;
-      }
-      ingest_seconds = Seconds(begin, std::chrono::steady_clock::now());
-    }
-    const uint64_t wal_bytes = WalBytes(dir);
+    // Each ingest trial starts from a fresh directory and leaves the log in
+    // place, so the recovery trial that follows replays the full stream.
+    uint64_t wal_bytes = 0;
+    const bench::TrialStats ingest = bench::MeasureTrials(
+        measure, [&corpus, &dir, &options, &wal_bytes]() {
+          std::filesystem::remove_all(dir);
+          auto index = DurableIndex::Open(dir, options);
+          if (!index.ok()) {
+            std::fprintf(stderr, "open failed: %s\n",
+                         index.status().ToString().c_str());
+            return 0.0;
+          }
+          Timer timer;
+          for (const Object& object : corpus.objects()) {
+            if (!(*index)->Insert(object).ok()) return 0.0;
+          }
+          if (!(*index)->Flush().ok()) return 0.0;
+          const double seconds = timer.Seconds();
+          index->reset();
+          wal_bytes = WalBytes(dir);
+          return seconds > 0.0 ? static_cast<double>(corpus.size()) / seconds
+                               : 0.0;
+        });
 
-    const auto begin = std::chrono::steady_clock::now();
-    auto recovered = DurableIndex::Open(dir, options);
-    if (!recovered.ok()) {
-      std::fprintf(stderr, "recovery failed: %s\n",
-                   recovered.status().ToString().c_str());
-      continue;
-    }
-    const double recovery_seconds =
-        Seconds(begin, std::chrono::steady_clock::now());
-    const uint64_t replayed = (*recovered)->recovery_info().records_replayed;
-    recovered->reset();
+    uint64_t replayed = 0;
+    const bench::TrialStats recovery = bench::MeasureTrials(
+        measure, [&dir, &options, &replayed]() {
+          Timer timer;
+          auto recovered = DurableIndex::Open(dir, options);
+          if (!recovered.ok()) {
+            std::fprintf(stderr, "recovery failed: %s\n",
+                         recovered.status().ToString().c_str());
+            return 0.0;
+          }
+          const double seconds = timer.Seconds();
+          replayed = (*recovered)->recovery_info().records_replayed;
+          return seconds;
+        });
     std::filesystem::remove_all(dir);
 
-    table->AddRow({Fmt(static_cast<uint64_t>(cardinality)), policy.name,
-                   Fmt(ingest_seconds, 3),
-                   Fmt(cardinality / ingest_seconds, 0), FmtMb(wal_bytes),
-                   Fmt(recovery_seconds, 3), Fmt(replayed)});
+    const double ingest_seconds =
+        ingest.p50 > 0.0 ? static_cast<double>(cardinality) / ingest.p50 : 0.0;
+    table->AddRow({Fmt(cardinality), policy.name, Fmt(ingest_seconds, 3),
+                   Fmt(ingest.p50, 0), FmtMb(wal_bytes), Fmt(recovery.p50, 3),
+                   Fmt(replayed)});
+    report->Add("wal_durability",
+                "ingest_objs_per_s/" + size_tag + "/" + policy.name, "obj/s",
+                /*higher_is_better=*/true, ingest);
+    report->Add("wal_durability",
+                "recovery_s/" + size_tag + "/" + policy.name, "s",
+                /*higher_is_better=*/false, recovery);
     std::printf("# %llu objects, policy %s done\n",
                 static_cast<unsigned long long>(cardinality), policy.name);
   }
@@ -122,16 +133,29 @@ void RunSize(uint64_t cardinality, TablePrinter* table) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::vector<uint64_t> bases = {100'000, 1'000'000};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      bases = {5'000};
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  const bench::MeasureOptions measure =
+      bench::MeasureOptionsFromEnv({/*warmup=*/0, /*trials=*/1});
+
   bench::PrintHeader(
       "Ablation E: WAL durability policies — ingest vs recovery");
   TablePrinter table({"objects", "durability", "ingest [s]", "objects/s",
                       "wal [MB]", "recovery [s]", "replayed"});
+  bench::BenchReport report("ablation_wal_durability");
   const double scale = BenchScaleFromEnv();
-  for (const uint64_t base : {uint64_t{100'000}, uint64_t{1'000'000}}) {
-    const uint64_t cardinality =
-        std::max<uint64_t>(1000, static_cast<uint64_t>(base * scale));
-    RunSize(cardinality, &table);
+  for (const uint64_t base : bases) {
+    const uint64_t cardinality = std::max<uint64_t>(
+        1000, static_cast<uint64_t>(static_cast<double>(base) * scale));
+    RunSize(cardinality, measure, &table, &report);
   }
   std::printf("\n");
   const char* csv = GetEnv("IRHINT_CSV");
@@ -139,6 +163,16 @@ int main() {
     table.PrintCsv(std::cout);
   } else {
     table.Print(std::cout);
+  }
+
+  if (const char* json = GetEnv("IRHINT_BENCH_JSON");
+      json != nullptr && json[0] != '\0') {
+    const Status status = report.WriteJsonFile(json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", json);
   }
   return 0;
 }

@@ -1,0 +1,287 @@
+// Canonical performance suite: one binary measuring every metric family the
+// perf-trajectory gate tracks, through the shared harness (warmup + trials +
+// robust stats), emitting the schema-versioned JSON that tools/bench_diff.py
+// compares against the committed baseline BENCH_core.json.
+//
+// Families:
+//   build           — seconds to bulk-build each comparison index kind
+//   query_latency   — per-query microseconds (p50/p99) per kind x workload
+//   query_throughput— queries/second per kind x workload
+//   ingest          — objects/second through DurableIndex per WAL policy
+//   snapshot        — save / buffered-load / mmap-load seconds (irHINT-perf)
+//   footprint       — in-memory and snapshot bytes per object
+//
+// Flags: --smoke shrinks every dimension to CI scale (the gate and the
+// committed baseline both use it); --out PATH writes the JSON report.
+// Knobs: IRHINT_SCALE multiplies the corpus size, IRHINT_BENCH_TRIALS /
+// IRHINT_BENCH_WARMUP override the trial schedule, IRHINT_GIT_SHA overrides
+// the configure-time commit stamp.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/harness.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/durable_index.h"
+#include "core/factory.h"
+#include "data/query_gen.h"
+#include "data/synthetic.h"
+#include "storage/index_io.h"
+
+using namespace irhint;
+
+namespace {
+
+struct SuiteConfig {
+  uint64_t cardinality = 120'000;
+  size_t queries = 2000;
+  uint64_t ingest_objects = 20'000;
+  bench::MeasureOptions measure{/*warmup=*/1, /*trials=*/5};
+  std::string out_path;  // empty = print only
+};
+
+Corpus SuiteCorpus(uint64_t cardinality) {
+  SyntheticParams params;
+  params.cardinality = cardinality;
+  params.domain = 80 * cardinality;
+  params.sigma = 4 * cardinality;
+  params.dictionary_size = std::max<uint64_t>(100, cardinality / 10);
+  params.description_size = 8;
+  params.seed = 31;
+  return GenerateSynthetic(params);
+}
+
+struct NamedWorkload {
+  std::string name;
+  std::vector<Query> queries;
+};
+
+std::vector<NamedWorkload> SuiteWorkloads(const Corpus& corpus,
+                                          size_t queries) {
+  WorkloadGenerator gen(corpus, /*seed=*/97);
+  std::vector<NamedWorkload> workloads;
+  // A narrow multi-element lookup and a wide scan-heavy one: the two ends
+  // of the paper's extent axis that stress different index layers.
+  workloads.push_back({"extent01_k2", gen.ExtentWorkload(0.1, 2, queries)});
+  workloads.push_back({"extent5_k3", gen.ExtentWorkload(5.0, 3, queries)});
+  return workloads;
+}
+
+/// Per-kind: build (timed trials, keeping the last build for the query and
+/// footprint families), then per-workload latency samples and throughput.
+void RunIndexFamilies(const SuiteConfig& config, const Corpus& corpus,
+                      const std::vector<NamedWorkload>& workloads,
+                      bench::BenchReport* report) {
+  for (const IndexKind kind : ComparisonIndexKinds()) {
+    const std::string kind_name(IndexKindName(kind));
+    std::unique_ptr<TemporalIrIndex> index;
+    const bench::TrialStats build = bench::MeasureTrials(
+        config.measure, [&corpus, &index, kind]() {
+          index = CreateIndex(kind);
+          Timer timer;
+          if (!index->Build(corpus).ok()) return 0.0;
+          return timer.Seconds();
+        });
+    report->Add("build", "build_s/" + kind_name, "s",
+                /*higher_is_better=*/false, build);
+    if (index == nullptr) continue;
+
+    report->Add("footprint", "mem_bytes_per_object/" + kind_name, "B",
+                /*higher_is_better=*/false,
+                bench::ComputeTrialStats(
+                    {static_cast<double>(index->MemoryUsageBytes()) /
+                     static_cast<double>(corpus.size())}));
+
+    for (const NamedWorkload& workload : workloads) {
+      std::vector<ObjectId> out;
+      // Latency: one untimed warmup pass, then per-query samples — the
+      // percentiles are over individual queries, not batch repetitions.
+      for (const Query& query : workload.queries) {
+        out.clear();
+        index->Query(query, &out);
+      }
+      std::vector<double> latencies_us;
+      latencies_us.reserve(workload.queries.size());
+      for (const Query& query : workload.queries) {
+        out.clear();
+        Timer timer;
+        index->Query(query, &out);
+        latencies_us.push_back(timer.Seconds() * 1e6);
+      }
+      report->Add("query_latency",
+                  "query_us/" + kind_name + "/" + workload.name, "us",
+                  /*higher_is_better=*/false,
+                  bench::ComputeTrialStats(std::move(latencies_us)));
+
+      const bench::TrialStats throughput = bench::MeasureTrials(
+          config.measure, [&index, &workload, &out]() {
+            Timer timer;
+            for (const Query& query : workload.queries) {
+              out.clear();
+              index->Query(query, &out);
+            }
+            const double seconds = timer.Seconds();
+            return seconds > 0.0
+                       ? static_cast<double>(workload.queries.size()) / seconds
+                       : 0.0;
+          });
+      report->Add("query_throughput",
+                  "qps/" + kind_name + "/" + workload.name, "q/s",
+                  /*higher_is_better=*/true, throughput);
+    }
+    std::printf("# %s done\n", kind_name.c_str());
+  }
+}
+
+void RunIngestFamily(const SuiteConfig& config, const Corpus& corpus,
+                     bench::BenchReport* report) {
+  struct PolicyCase {
+    const char* name;
+    WalDurability durability;
+  };
+  const PolicyCase policies[] = {
+      {"none", WalDurability::kNone},
+      {"batch", WalDurability::kBatch},
+      {"always", WalDurability::kAlways},
+  };
+  const uint64_t count =
+      std::min<uint64_t>(config.ingest_objects, corpus.size());
+  for (const PolicyCase& policy : policies) {
+    const std::string dir =
+        std::string("/tmp/irhint_perf_suite_wal_") + policy.name;
+    const bench::TrialStats stats = bench::MeasureTrials(
+        config.measure, [&corpus, &dir, &policy, count]() {
+          std::filesystem::remove_all(dir);
+          DurableIndexOptions options;
+          options.kind = IndexKind::kIrHintPerf;
+          options.durability = policy.durability;
+          options.checkpoint_bytes = 0;
+          auto index = DurableIndex::Open(dir, options);
+          if (!index.ok()) return 0.0;
+          Timer timer;
+          for (uint64_t id = 0; id < count; ++id) {
+            if (!(*index)->Insert(corpus.object(static_cast<ObjectId>(id)))
+                     .ok()) {
+              return 0.0;
+            }
+          }
+          if (!(*index)->Flush().ok()) return 0.0;
+          const double seconds = timer.Seconds();
+          return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+        });
+    std::filesystem::remove_all(dir);
+    report->Add("ingest", std::string("ingest_objs_per_s/") + policy.name,
+                "obj/s", /*higher_is_better=*/true, stats);
+    std::printf("# ingest %s done\n", policy.name);
+  }
+}
+
+void RunSnapshotFamily(const SuiteConfig& config, const Corpus& corpus,
+                       bench::BenchReport* report) {
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(IndexKind::kIrHintPerf);
+  if (!index->Build(corpus).ok()) return;
+  const std::string path = "/tmp/irhint_perf_suite.irh";
+
+  report->Add("snapshot", "snapshot_save_s", "s", /*higher_is_better=*/false,
+              bench::MeasureTrials(config.measure, [&index, &path]() {
+                Timer timer;
+                if (!SaveIndex(*index, path).ok()) return 0.0;
+                return timer.Seconds();
+              }));
+
+  for (const bool use_mmap : {false, true}) {
+    SnapshotReadOptions options;
+    options.use_mmap = use_mmap;
+    report->Add("snapshot",
+                use_mmap ? "snapshot_load_mmap_s" : "snapshot_load_buffered_s",
+                "s", /*higher_is_better=*/false,
+                bench::MeasureTrials(config.measure, [&path, options]() {
+                  Timer timer;
+                  auto loaded = LoadIndexSnapshot(path, options);
+                  if (!loaded.ok()) return 0.0;
+                  return timer.Seconds();
+                }));
+  }
+
+  auto* env = DefaultWalEnv();
+  if (auto size = env->FileSize(path); size.ok()) {
+    report->Add("footprint", "snapshot_bytes_per_object/irhint_perf", "B",
+                /*higher_is_better=*/false,
+                bench::ComputeTrialStats({static_cast<double>(*size) /
+                                          static_cast<double>(corpus.size())}));
+  }
+  std::remove(path.c_str());
+  std::printf("# snapshot done\n");
+}
+
+void PrintSummary(const bench::BenchReport& report) {
+  TablePrinter table({"family", "metric", "unit", "p50", "p99", "trials"});
+  for (const bench::BenchMetric& m : report.metrics()) {
+    table.AddRow({m.family, m.name, m.unit, Fmt(m.stats.p50, 4),
+                  Fmt(m.stats.p99, 4), Fmt(static_cast<uint64_t>(
+                                              m.stats.trials))});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SuiteConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      // CI scale: every family still runs, small enough for a PR gate.
+      config.cardinality = 10'000;
+      config.queries = 400;
+      config.ingest_objects = 1500;
+      config.measure.trials = 3;
+    } else if (arg == "--out" && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  config.cardinality = std::max<uint64_t>(
+      1000,
+      static_cast<uint64_t>(static_cast<double>(config.cardinality) *
+                            BenchScaleFromEnv()));
+  config.measure = bench::MeasureOptionsFromEnv(config.measure);
+
+  bench::PrintHeader("irHINT canonical perf suite");
+  std::printf("# %llu objects, %zu queries/workload, %zu trials (+%zu warmup)\n",
+              static_cast<unsigned long long>(config.cardinality),
+              config.queries, config.measure.trials, config.measure.warmup);
+  const Corpus corpus = SuiteCorpus(config.cardinality);
+  const std::vector<NamedWorkload> workloads =
+      SuiteWorkloads(corpus, config.queries);
+
+  bench::BenchReport report("core");
+  RunIndexFamilies(config, corpus, workloads, &report);
+  RunIngestFamily(config, corpus, &report);
+  RunSnapshotFamily(config, corpus, &report);
+
+  std::printf("\n");
+  PrintSummary(report);
+
+  if (!config.out_path.empty()) {
+    const Status status = report.WriteJsonFile(config.out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (%zu metrics)\n", config.out_path.c_str(),
+                report.metrics().size());
+  }
+  return 0;
+}

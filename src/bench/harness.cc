@@ -1,0 +1,573 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/env.h"
+
+// Build provenance, stamped by src/CMakeLists.txt onto this one translation
+// unit (so a new commit only recompiles harness.cc, not the library).
+#ifndef IRHINT_GIT_SHA
+#define IRHINT_GIT_SHA "unknown"
+#endif
+#ifndef IRHINT_BUILD_TYPE
+#define IRHINT_BUILD_TYPE "unknown"
+#endif
+#ifndef IRHINT_CXX_FLAGS
+#define IRHINT_CXX_FLAGS ""
+#endif
+
+namespace irhint {
+namespace bench {
+
+double PercentileSorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  // Nearest rank: the smallest sample with at least pct% of the mass at or
+  // below it. rank is 1-based; pct<=0 maps to the minimum.
+  const double raw = std::ceil(pct / 100.0 * static_cast<double>(sorted.size()));
+  const size_t rank = static_cast<size_t>(
+      std::clamp(raw, 1.0, static_cast<double>(sorted.size())));
+  return sorted[rank - 1];
+}
+
+TrialStats ComputeTrialStats(std::vector<double> samples) {
+  TrialStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.trials = samples.size();
+  stats.min = samples.front();
+  stats.max = samples.back();
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  stats.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0.0;
+    for (const double s : samples) sq += (s - stats.mean) * (s - stats.mean);
+    stats.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  }
+  stats.p50 = PercentileSorted(samples, 50.0);
+  stats.p90 = PercentileSorted(samples, 90.0);
+  stats.p99 = PercentileSorted(samples, 99.0);
+  return stats;
+}
+
+MeasureOptions MeasureOptionsFromEnv(MeasureOptions fallback) {
+  if (const char* v = GetEnv("IRHINT_BENCH_WARMUP")) {
+    fallback.warmup = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+  }
+  if (const char* v = GetEnv("IRHINT_BENCH_TRIALS")) {
+    fallback.trials = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+  }
+  fallback.trials = std::max<size_t>(1, fallback.trials);
+  return fallback;
+}
+
+TrialStats MeasureTrials(const MeasureOptions& options,
+                         const std::function<double()>& trial) {
+  for (size_t i = 0; i < options.warmup; ++i) (void)trial();
+  const size_t trials = std::max<size_t>(1, options.trials);
+  std::vector<double> samples;
+  samples.reserve(trials);
+  for (size_t i = 0; i < trials; ++i) samples.push_back(trial());
+  return ComputeTrialStats(std::move(samples));
+}
+
+namespace {
+
+std::string CpuModelName() {
+  // "model name : ..." from /proc/cpuinfo on Linux; "unknown" elsewhere or
+  // when the pseudo-file is absent (containers without procfs).
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::string UtcNowIso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  if (gmtime_r(&now, &tm) == nullptr) return "unknown";
+  char buf[32];
+  if (std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm) == 0) {
+    return "unknown";
+  }
+  return buf;
+}
+
+}  // namespace
+
+BenchEnvironment CaptureBenchEnvironment() {
+  BenchEnvironment env;
+  // CI exports the exact workflow SHA; the configure-time stamp can lag one
+  // commit behind when building a dirty tree.
+  const char* sha = GetEnv("IRHINT_GIT_SHA");
+  env.git_sha = (sha != nullptr && sha[0] != '\0') ? sha : IRHINT_GIT_SHA;
+#if defined(__clang__)
+  env.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+  env.compiler = "gcc " __VERSION__;
+#else
+  env.compiler = "unknown";
+#endif
+  env.build_type = IRHINT_BUILD_TYPE;
+  env.cxx_flags = IRHINT_CXX_FLAGS;
+  env.cpu_model = CpuModelName();
+  env.hardware_threads = std::thread::hardware_concurrency();
+  env.timestamp_utc = UtcNowIso8601();
+  return env;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(double value, std::string* out) {
+  char buf[64];
+  // %.17g round-trips every finite double exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string BenchReport::ToJson() const {
+  std::string out;
+  out += "{\n  \"schema_version\": ";
+  out += std::to_string(kBenchSchemaVersion);
+  out += ",\n  \"suite\": ";
+  AppendJsonString(suite_, &out);
+  out += ",\n  \"environment\": {\n";
+  const auto field = [&out](const char* key, const std::string& value,
+                            bool comma) {
+    out += "    ";
+    AppendJsonString(key, &out);
+    out += ": ";
+    AppendJsonString(value, &out);
+    if (comma) out += ",";
+    out += "\n";
+  };
+  field("git_sha", environment_.git_sha, true);
+  field("compiler", environment_.compiler, true);
+  field("build_type", environment_.build_type, true);
+  field("cxx_flags", environment_.cxx_flags, true);
+  field("cpu_model", environment_.cpu_model, true);
+  out += "    \"hardware_threads\": ";
+  out += std::to_string(environment_.hardware_threads);
+  out += ",\n";
+  field("timestamp_utc", environment_.timestamp_utc, false);
+  out += "  },\n  \"metrics\": [";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    const BenchMetric& m = metrics_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"family\": ";
+    AppendJsonString(m.family, &out);
+    out += ", \"name\": ";
+    AppendJsonString(m.name, &out);
+    out += ", \"unit\": ";
+    AppendJsonString(m.unit, &out);
+    out += ", \"higher_is_better\": ";
+    out += m.higher_is_better ? "true" : "false";
+    out += ",\n     \"trials\": ";
+    out += std::to_string(m.stats.trials);
+    const auto num = [&out](const char* key, double value) {
+      out += ", \"";
+      out += key;
+      out += "\": ";
+      AppendJsonDouble(value, &out);
+    };
+    num("min", m.stats.min);
+    num("max", m.stats.max);
+    num("mean", m.stats.mean);
+    num("stddev", m.stats.stddev);
+    num("p50", m.stats.p50);
+    num("p90", m.stats.p90);
+    num("p99", m.stats.p99);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Status BenchReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamoff>(json.size()));
+  out.flush();
+  if (!out.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the documents ToJson emits (plus free-form
+// whitespace). A decode path: every malformed input must come back as a
+// Status, never a crash.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue value;
+    IRHINT_RETURN_NOT_OK(ParseValue(&value, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  Status Fail(const std::string& what) const {
+    return Status::Corruption("bench json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->type = JsonValue::Type::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      IRHINT_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      IRHINT_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      IRHINT_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // ToJson only emits \u00xx for control bytes; anything wider is
+          // accepted but truncated to one byte, which is fine for a format
+          // we also write.
+          out->push_back(static_cast<char>(code & 0xFF));
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    out->type = JsonValue::Type::kNumber;
+    out->number = value;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<std::string> RequireString(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kString) {
+    return Status::Corruption(std::string("bench json: missing string field ") +
+                              key);
+  }
+  return v->string_value;
+}
+
+StatusOr<double> RequireNumber(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+    return Status::Corruption(std::string("bench json: missing number field ") +
+                              key);
+  }
+  return v->number;
+}
+
+}  // namespace
+
+StatusOr<BenchReport> ParseBenchJson(const std::string& json) {
+  auto root = JsonParser(json).Parse();
+  IRHINT_RETURN_NOT_OK(root.status());
+  if (root->type != JsonValue::Type::kObject) {
+    return Status::Corruption("bench json: document is not an object");
+  }
+  auto version = RequireNumber(*root, "schema_version");
+  IRHINT_RETURN_NOT_OK(version.status());
+  if (*version != kBenchSchemaVersion) {
+    return Status::InvalidArgument(
+        "bench json: schema_version " + std::to_string(*version) +
+        " unsupported (want " + std::to_string(kBenchSchemaVersion) + ")");
+  }
+  auto suite = RequireString(*root, "suite");
+  IRHINT_RETURN_NOT_OK(suite.status());
+  BenchReport report(*suite);
+
+  const JsonValue* env = root->Find("environment");
+  if (env == nullptr || env->type != JsonValue::Type::kObject) {
+    return Status::Corruption("bench json: missing environment object");
+  }
+  BenchEnvironment* e = report.mutable_environment();
+  {
+    auto v = RequireString(*env, "git_sha");
+    IRHINT_RETURN_NOT_OK(v.status());
+    e->git_sha = *v;
+  }
+  {
+    auto v = RequireString(*env, "compiler");
+    IRHINT_RETURN_NOT_OK(v.status());
+    e->compiler = *v;
+  }
+  {
+    auto v = RequireString(*env, "build_type");
+    IRHINT_RETURN_NOT_OK(v.status());
+    e->build_type = *v;
+  }
+  {
+    auto v = RequireString(*env, "cxx_flags");
+    IRHINT_RETURN_NOT_OK(v.status());
+    e->cxx_flags = *v;
+  }
+  {
+    auto v = RequireString(*env, "cpu_model");
+    IRHINT_RETURN_NOT_OK(v.status());
+    e->cpu_model = *v;
+  }
+  {
+    auto v = RequireNumber(*env, "hardware_threads");
+    IRHINT_RETURN_NOT_OK(v.status());
+    e->hardware_threads = static_cast<uint32_t>(*v);
+  }
+  {
+    auto v = RequireString(*env, "timestamp_utc");
+    IRHINT_RETURN_NOT_OK(v.status());
+    e->timestamp_utc = *v;
+  }
+
+  const JsonValue* metrics = root->Find("metrics");
+  if (metrics == nullptr || metrics->type != JsonValue::Type::kArray) {
+    return Status::Corruption("bench json: missing metrics array");
+  }
+  for (const JsonValue& m : metrics->array) {
+    if (m.type != JsonValue::Type::kObject) {
+      return Status::Corruption("bench json: metric is not an object");
+    }
+    BenchMetric metric;
+    {
+      auto v = RequireString(m, "family");
+      IRHINT_RETURN_NOT_OK(v.status());
+      metric.family = *v;
+    }
+    {
+      auto v = RequireString(m, "name");
+      IRHINT_RETURN_NOT_OK(v.status());
+      metric.name = *v;
+    }
+    {
+      auto v = RequireString(m, "unit");
+      IRHINT_RETURN_NOT_OK(v.status());
+      metric.unit = *v;
+    }
+    const JsonValue* hib = m.Find("higher_is_better");
+    if (hib == nullptr || hib->type != JsonValue::Type::kBool) {
+      return Status::Corruption(
+          "bench json: missing bool field higher_is_better");
+    }
+    metric.higher_is_better = hib->bool_value;
+    {
+      auto v = RequireNumber(m, "trials");
+      IRHINT_RETURN_NOT_OK(v.status());
+      metric.stats.trials = static_cast<size_t>(*v);
+    }
+    const auto stat = [&m](const char* key, double* out) -> Status {
+      auto v = RequireNumber(m, key);
+      IRHINT_RETURN_NOT_OK(v.status());
+      *out = *v;
+      return Status::OK();
+    };
+    IRHINT_RETURN_NOT_OK(stat("min", &metric.stats.min));
+    IRHINT_RETURN_NOT_OK(stat("max", &metric.stats.max));
+    IRHINT_RETURN_NOT_OK(stat("mean", &metric.stats.mean));
+    IRHINT_RETURN_NOT_OK(stat("stddev", &metric.stats.stddev));
+    IRHINT_RETURN_NOT_OK(stat("p50", &metric.stats.p50));
+    IRHINT_RETURN_NOT_OK(stat("p90", &metric.stats.p90));
+    IRHINT_RETURN_NOT_OK(stat("p99", &metric.stats.p99));
+    report.Add(std::move(metric));
+  }
+  return report;
+}
+
+}  // namespace bench
+}  // namespace irhint

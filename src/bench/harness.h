@@ -1,0 +1,146 @@
+// Reusable benchmark harness: warmup + repeated trials, robust summary
+// statistics, environment capture, and a schema-versioned JSON report that
+// tools/bench_diff.py consumes to gate performance regressions in CI.
+//
+// The paper-reproduction binaries under bench/ print human tables; this
+// layer adds the machine-readable trajectory on top. A binary runs each
+// measurement through MeasureTrials(), collects BenchMetric rows into a
+// BenchReport, and writes it with WriteJsonFile(). The committed baseline
+// at the repo root (BENCH_core.json) is refreshed through the same path.
+
+#ifndef IRHINT_BENCH_HARNESS_H_
+#define IRHINT_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace irhint {
+namespace bench {
+
+/// JSON schema version emitted by BenchReport::ToJson. Bump when a field
+/// changes meaning; tools/bench_diff.py refuses to compare across versions.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// \brief Robust summary of one metric's trial samples. Percentiles use the
+/// nearest-rank rule on the sorted samples, so every reported value is an
+/// actual observation (no interpolation noise at small trial counts).
+struct TrialStats {
+  size_t trials = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  /// Sample standard deviation (n-1 denominator); 0 for a single trial.
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// \brief Summarize `samples` (order irrelevant; empty input yields the
+/// all-zero TrialStats).
+TrialStats ComputeTrialStats(std::vector<double> samples);
+
+/// \brief Nearest-rank percentile of an ascending-sorted sample vector;
+/// 0.0 for an empty vector. `pct` in [0, 100].
+double PercentileSorted(const std::vector<double>& sorted, double pct);
+
+/// \brief Trial schedule for one measurement.
+struct MeasureOptions {
+  /// Untimed runs discarded before sampling starts (cache/page warmup).
+  size_t warmup = 1;
+  /// Timed runs that become the sample set.
+  size_t trials = 5;
+};
+
+/// \brief Trial schedule from the environment: IRHINT_BENCH_WARMUP and
+/// IRHINT_BENCH_TRIALS override `fallback`'s fields when set (trials is
+/// clamped to >= 1).
+MeasureOptions MeasureOptionsFromEnv(MeasureOptions fallback = {});
+
+/// \brief Run `trial` options.warmup times untimed-and-discarded, then
+/// options.trials times keeping each returned sample (typically seconds, but
+/// any unit works — record it in the BenchMetric). The callable does its own
+/// timing so it can exclude per-trial setup.
+TrialStats MeasureTrials(const MeasureOptions& options,
+                         const std::function<double()>& trial);
+
+/// \brief Where and by whom a report was produced. Captured once per run so
+/// bench_diff can refuse (or just annotate) cross-machine comparisons.
+struct BenchEnvironment {
+  /// Commit the binary was built from: env IRHINT_GIT_SHA when set (CI
+  /// exports the workflow SHA), else the configure-time value, else
+  /// "unknown" (tarball builds).
+  std::string git_sha;
+  std::string compiler;
+  std::string build_type;
+  std::string cxx_flags;
+  std::string cpu_model;
+  uint32_t hardware_threads = 0;
+  /// ISO-8601 UTC, e.g. "2026-02-14T09:30:00Z".
+  std::string timestamp_utc;
+};
+
+BenchEnvironment CaptureBenchEnvironment();
+
+/// \brief One measured quantity. `family` groups related metrics for
+/// reporting and for bench_diff's --families filter; `name` must be unique
+/// within a report.
+struct BenchMetric {
+  std::string family;
+  std::string name;
+  std::string unit;
+  /// Direction of goodness: true for throughputs, false for latencies and
+  /// sizes. bench_diff flips its regression test accordingly.
+  bool higher_is_better = false;
+  TrialStats stats;
+};
+
+/// \brief A full benchmark report: suite name, environment, metric rows.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string suite)
+      : suite_(std::move(suite)), environment_(CaptureBenchEnvironment()) {}
+
+  void Add(BenchMetric metric) { metrics_.push_back(std::move(metric)); }
+
+  /// \brief Convenience: summarize and add in one call.
+  void Add(const std::string& family, const std::string& name,
+           const std::string& unit, bool higher_is_better,
+           const TrialStats& stats) {
+    Add(BenchMetric{family, name, unit, higher_is_better, stats});
+  }
+
+  const std::string& suite() const { return suite_; }
+  const BenchEnvironment& environment() const { return environment_; }
+  BenchEnvironment* mutable_environment() { return &environment_; }
+  const std::vector<BenchMetric>& metrics() const { return metrics_; }
+
+  /// \brief Serialize to the schema-versioned JSON document (see
+  /// EXPERIMENTS.md for the field list). Doubles are printed with %.17g so
+  /// a parse round-trip is bit-exact.
+  std::string ToJson() const;
+
+  /// \brief ToJson() to `path` (atomically enough for a bench artifact:
+  /// plain write, fails with a Status on I/O errors).
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  std::string suite_;
+  BenchEnvironment environment_;
+  std::vector<BenchMetric> metrics_;
+};
+
+/// \brief Parse a document produced by BenchReport::ToJson. Rejects other
+/// schema versions and malformed input with a Status (never crashes) — this
+/// is a decode path; the JSON grammar subset accepted is exactly what
+/// ToJson emits plus arbitrary whitespace.
+StatusOr<BenchReport> ParseBenchJson(const std::string& json);
+
+}  // namespace bench
+}  // namespace irhint
+
+#endif  // IRHINT_BENCH_HARNESS_H_

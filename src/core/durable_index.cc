@@ -32,12 +32,27 @@ StatusOr<std::unique_ptr<DurableIndex>> DurableIndex::Open(
   auto recovered = RecoveryManager(env, wal_dir).Recover(recovery_options);
   IRHINT_RETURN_NOT_OK(recovered.status());
 
+  uint64_t writer_next_lsn = recovered->last_lsn + 1;
+  if (recovered->live_segment_seq != 0 && !recovered->live_segment_sealed) {
+    // The previous process closed (or crashed) without rotating its live
+    // segment. Seal it before the writer creates the next segment — the
+    // rotate chain must be intact by the time the new segment exists, or a
+    // crash in between would leave a rotate-less sealed segment that deep
+    // fsck rightly flags. The rotate record consumes one LSN, keeping the
+    // log dense across the reopen boundary.
+    IRHINT_RETURN_NOT_OK(SealWalSegment(env, wal_dir,
+                                        recovered->live_segment_seq,
+                                        writer_next_lsn,
+                                        recovered->next_segment_seq));
+    ++writer_next_lsn;
+  }
+
   WalWriterOptions writer_options;
   writer_options.durability = options.durability;
   writer_options.batch_bytes = options.batch_bytes;
   writer_options.batch_interval_seconds = options.batch_interval_seconds;
   auto writer = WalWriter::Open(env, wal_dir, recovered->next_segment_seq,
-                                recovered->last_lsn + 1, writer_options);
+                                writer_next_lsn, writer_options);
   IRHINT_RETURN_NOT_OK(writer.status());
 
   std::unique_ptr<DurableIndex> index(new DurableIndex());

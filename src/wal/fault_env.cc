@@ -127,6 +127,21 @@ FaultInjectingWalEnv::NewWritableFile(const std::string& path) {
       new FaultInjectingFile(this, path, std::move(base).value()));
 }
 
+StatusOr<std::unique_ptr<WalWritableFile>>
+FaultInjectingWalEnv::ReopenWritableFile(const std::string& path) {
+  if (CountOp()) return CrashedStatus();
+  auto base = base_->ReopenWritableFile(path);
+  IRHINT_RETURN_NOT_OK(base.status());
+  // Pre-existing bytes are durable by contract: recovery already truncated
+  // any torn tail, and a crash during this incarnation only tears what is
+  // appended through this handle.
+  auto size = base_->FileSize(path);
+  IRHINT_RETURN_NOT_OK(size.status());
+  files_[path] = FileState{/*synced_len=*/*size, /*appended_len=*/*size};
+  return std::unique_ptr<WalWritableFile>(
+      new FaultInjectingFile(this, path, std::move(base).value()));
+}
+
 StatusOr<std::string> FaultInjectingWalEnv::ReadFileToString(
     const std::string& path) {
   if (crashed_) return CrashedStatus();

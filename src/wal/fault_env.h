@@ -48,6 +48,8 @@ class FaultInjectingWalEnv : public WalEnv {
 
   StatusOr<std::unique_ptr<WalWritableFile>> NewWritableFile(
       const std::string& path) override;
+  StatusOr<std::unique_ptr<WalWritableFile>> ReopenWritableFile(
+      const std::string& path) override;
   StatusOr<std::string> ReadFileToString(const std::string& path) override;
   StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
   Status CreateDirIfMissing(const std::string& dir) override;

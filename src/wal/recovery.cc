@@ -141,6 +141,20 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
         }
       }
     }
+    if (is_final && !final_segment_deleted && contents->records.empty() &&
+        options.truncate_torn_tail) {
+      // A record-less live segment (a no-op open/close, or a crash right
+      // after the header was written): there is nothing to seal into the
+      // rotate chain, so delete it and hand its sequence number back to
+      // the writer, exactly like the headerless-torn case above.
+      IRHINT_RETURN_NOT_OK(env_->DeleteFile(path));
+      IRHINT_RETURN_NOT_OK(env_->SyncDir(dir_));
+      final_segment_deleted = true;
+    }
+    if (!is_final || !final_segment_deleted) {
+      result.live_segment_seq = seq;
+      result.live_segment_sealed = contents->ends_with_rotate;
+    }
     for (const WalRecord& record : contents->records) {
       if (record.lsn <= base_lsn) continue;  // covered by the snapshot
       if (record.lsn != expected_lsn) {

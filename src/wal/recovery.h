@@ -50,6 +50,12 @@ struct RecoveryResult {
   uint64_t last_lsn = 0;
   /// Segment sequence number the writer should open next.
   uint64_t next_segment_seq = 1;
+  /// Final segment still on disk after recovery (0 = none), and whether it
+  /// already ends with a rotate handoff. A reopened-but-never-rotated live
+  /// segment is unsealed; DurableIndex::Open seals it (SealWalSegment)
+  /// before the writer opens next_segment_seq, consuming one LSN.
+  uint64_t live_segment_seq = 0;
+  bool live_segment_sealed = false;
   /// Checkpoint snapshot the recovery started from ("" = none, full
   /// replay).
   std::string snapshot_file;

@@ -87,6 +87,14 @@ class PosixWalEnv : public WalEnv {
         std::make_unique<PosixWritableFile>(fd, path));
   }
 
+  StatusOr<std::unique_ptr<WalWritableFile>> ReopenWritableFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<WalWritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
   StatusOr<std::string> ReadFileToString(const std::string& path) override {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) return Errno("open", path);

@@ -43,6 +43,11 @@ class WalEnv {
   virtual StatusOr<std::unique_ptr<WalWritableFile>> NewWritableFile(
       const std::string& path) = 0;
 
+  /// \brief Open an existing `path` for appending, keeping its contents
+  /// (sealing a reopened segment); fails if the file does not exist.
+  virtual StatusOr<std::unique_ptr<WalWritableFile>> ReopenWritableFile(
+      const std::string& path) = 0;
+
   /// \brief Read the whole file into memory (segments are replay-sized).
   virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
 

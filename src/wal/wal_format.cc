@@ -3,6 +3,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "storage/crc32c.h"
 
 namespace irhint {
 
@@ -53,6 +56,24 @@ bool ParseWalSegmentFileName(std::string_view name, uint64_t* seq) {
 
 bool ParseCheckpointFileName(std::string_view name, uint64_t* lsn) {
   return ParseNumberedName(name, "ckpt-", ".snap", lsn);
+}
+
+std::vector<uint8_t> EncodeWalRecord(WalRecordType type, uint64_t lsn,
+                                     const void* payload,
+                                     size_t payload_size) {
+  std::vector<uint8_t> buf(WalRecordBytesOnDisk(payload_size), 0);
+  uint32_t size32 = static_cast<uint32_t>(payload_size);
+  uint32_t type32 = static_cast<uint32_t>(type);
+  std::memcpy(buf.data() + 4, &size32, 4);
+  std::memcpy(buf.data() + 8, &lsn, 8);
+  std::memcpy(buf.data() + 16, &type32, 4);
+  if (payload_size > 0) {
+    std::memcpy(buf.data() + kWalRecordHeaderBytes, payload, payload_size);
+  }
+  const uint32_t crc =
+      Crc32c(buf.data() + 4, kWalRecordHeaderBytes - 4 + payload_size);
+  std::memcpy(buf.data(), &crc, 4);
+  return buf;
 }
 
 }  // namespace irhint

@@ -54,6 +54,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "data/object.h"
 
@@ -111,6 +112,13 @@ inline size_t WalRecordBytesOnDisk(size_t payload_size) {
 inline size_t WalObjectPayloadBytes(const Object& object) {
   return 8 + 16 + object.elements.size() * sizeof(ElementId);
 }
+
+/// \brief Frame one record exactly as it sits on disk: CRC-covered header,
+/// payload, zero padding to the 8-byte boundary. Shared by the writer's
+/// append path and the reopen-seal path in DurableIndex::Open.
+std::vector<uint8_t> EncodeWalRecord(WalRecordType type, uint64_t lsn,
+                                     const void* payload,
+                                     size_t payload_size);
 
 }  // namespace irhint
 

@@ -95,18 +95,10 @@ StatusOr<uint64_t> WalWriter::AppendRecord(WalRecordType type,
                                            const void* payload,
                                            size_t payload_size) {
   IRHINT_RETURN_NOT_OK(status_);
-  const size_t total = WalRecordBytesOnDisk(payload_size);
-  std::vector<uint8_t> buf(total, 0);
   const uint64_t lsn = next_lsn_;
-  PutU32(buf.data() + 4, static_cast<uint32_t>(payload_size));
-  PutU64(buf.data() + 8, lsn);
-  PutU32(buf.data() + 16, static_cast<uint32_t>(type));
-  if (payload_size > 0) {
-    std::memcpy(buf.data() + kWalRecordHeaderBytes, payload, payload_size);
-  }
-  PutU32(buf.data(),
-         Crc32c(buf.data() + 4, kWalRecordHeaderBytes - 4 + payload_size));
-
+  const std::vector<uint8_t> buf =
+      EncodeWalRecord(type, lsn, payload, payload_size);
+  const size_t total = buf.size();
   if (Status st = file_->Append(buf.data(), buf.size()); !st.ok()) {
     status_ = st;
     return status_;
@@ -174,6 +166,22 @@ Status WalWriter::Rotate() {
 }
 
 Status WalWriter::Sync() { return MaybeSync(/*force=*/true); }
+
+Status SealWalSegment(WalEnv* env, const std::string& dir, uint64_t seq,
+                      uint64_t lsn, uint64_t next_seq) {
+  const std::string path = WalPathJoin(dir, WalSegmentFileName(seq));
+  auto file = env->ReopenWritableFile(path);
+  IRHINT_RETURN_NOT_OK(file.status());
+  uint8_t payload[8];
+  PutU64(payload, next_seq);
+  const std::vector<uint8_t> record =
+      EncodeWalRecord(WalRecordType::kRotate, lsn, payload, sizeof(payload));
+  IRHINT_RETURN_NOT_OK((*file)->Append(record.data(), record.size()));
+  // The rotate handoff promises the whole segment durable before the next
+  // segment opens, exactly like WalWriter::Rotate.
+  IRHINT_RETURN_NOT_OK((*file)->Sync());
+  return (*file)->Close();
+}
 
 Status WalWriter::MaybeSync(bool force) {
   IRHINT_RETURN_NOT_OK(status_);

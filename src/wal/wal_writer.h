@@ -119,6 +119,15 @@ class WalWriter {
   Status status_;
 };
 
+/// \brief Seal segment `seq` of `dir` — left rotate-less by a previous
+/// process that closed or crashed mid-life — by appending a rotate record
+/// with LSN `lsn` handing off to `next_seq`, then fsyncing and closing.
+/// Called by DurableIndex::Open before the writer creates `next_seq`, so
+/// the rotate chain every sealed segment must carry stays intact and deep
+/// fsck cannot mistake a reopen boundary for mid-log damage.
+Status SealWalSegment(WalEnv* env, const std::string& dir, uint64_t seq,
+                      uint64_t lsn, uint64_t next_seq);
+
 }  // namespace irhint
 
 #endif  // IRHINT_WAL_WAL_WRITER_H_

@@ -1,0 +1,240 @@
+// Tests for the bench harness (src/bench/harness.h): statistics must be
+// exact on known inputs, the JSON report must round-trip bit-exactly
+// through ParseBenchJson, and malformed documents must come back as a
+// Status (never a crash) — the parser is a decode path.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace irhint {
+namespace bench {
+namespace {
+
+TEST(TrialStatsTest, EmptyInputIsAllZero) {
+  const TrialStats stats = ComputeTrialStats({});
+  EXPECT_EQ(stats.trials, 0u);
+  EXPECT_EQ(stats.min, 0.0);
+  EXPECT_EQ(stats.p99, 0.0);
+}
+
+TEST(TrialStatsTest, SingleSample) {
+  const TrialStats stats = ComputeTrialStats({42.0});
+  EXPECT_EQ(stats.trials, 1u);
+  EXPECT_EQ(stats.min, 42.0);
+  EXPECT_EQ(stats.max, 42.0);
+  EXPECT_EQ(stats.mean, 42.0);
+  EXPECT_EQ(stats.stddev, 0.0);
+  EXPECT_EQ(stats.p50, 42.0);
+  EXPECT_EQ(stats.p99, 42.0);
+}
+
+TEST(TrialStatsTest, KnownSamplesAreExact) {
+  // Order must not matter; values chosen for exact binary arithmetic.
+  const TrialStats stats = ComputeTrialStats({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(stats.trials, 4u);
+  EXPECT_EQ(stats.min, 1.0);
+  EXPECT_EQ(stats.max, 4.0);
+  EXPECT_EQ(stats.mean, 2.5);
+  // Sample stddev of {1,2,3,4}: sqrt(5/3).
+  EXPECT_NEAR(stats.stddev, 1.2909944487358056, 1e-12);
+  // Nearest rank: p50 over 4 samples = 2nd smallest.
+  EXPECT_EQ(stats.p50, 2.0);
+  EXPECT_EQ(stats.p90, 4.0);
+  EXPECT_EQ(stats.p99, 4.0);
+}
+
+TEST(TrialStatsTest, NearestRankPercentiles) {
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) sorted.push_back(static_cast<double>(i));
+  EXPECT_EQ(PercentileSorted(sorted, 0.0), 1.0);
+  EXPECT_EQ(PercentileSorted(sorted, 1.0), 1.0);
+  EXPECT_EQ(PercentileSorted(sorted, 50.0), 50.0);
+  EXPECT_EQ(PercentileSorted(sorted, 99.0), 99.0);
+  EXPECT_EQ(PercentileSorted(sorted, 100.0), 100.0);
+  EXPECT_EQ(PercentileSorted({}, 50.0), 0.0);
+}
+
+TEST(TrialStatsTest, MeasureTrialsRunsWarmupThenTrials) {
+  MeasureOptions options;
+  options.warmup = 2;
+  options.trials = 5;
+  int calls = 0;
+  const TrialStats stats = MeasureTrials(options, [&calls]() {
+    ++calls;
+    return static_cast<double>(calls);
+  });
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(stats.trials, 5u);
+  // Warmup samples (1, 2) are discarded; trials are 3..7.
+  EXPECT_EQ(stats.min, 3.0);
+  EXPECT_EQ(stats.max, 7.0);
+  EXPECT_EQ(stats.p50, 5.0);
+}
+
+TEST(TrialStatsTest, MeasureOptionsReadEnv) {
+  unsetenv("IRHINT_BENCH_WARMUP");
+  unsetenv("IRHINT_BENCH_TRIALS");
+  MeasureOptions fallback;
+  fallback.warmup = 3;
+  fallback.trials = 9;
+  EXPECT_EQ(MeasureOptionsFromEnv(fallback).warmup, 3u);
+  EXPECT_EQ(MeasureOptionsFromEnv(fallback).trials, 9u);
+  setenv("IRHINT_BENCH_WARMUP", "0", 1);
+  setenv("IRHINT_BENCH_TRIALS", "2", 1);
+  EXPECT_EQ(MeasureOptionsFromEnv(fallback).warmup, 0u);
+  EXPECT_EQ(MeasureOptionsFromEnv(fallback).trials, 2u);
+  setenv("IRHINT_BENCH_TRIALS", "0", 1);  // clamped: at least one trial
+  EXPECT_EQ(MeasureOptionsFromEnv(fallback).trials, 1u);
+  unsetenv("IRHINT_BENCH_WARMUP");
+  unsetenv("IRHINT_BENCH_TRIALS");
+}
+
+TEST(BenchEnvironmentTest, CaptureFillsEveryField) {
+  const BenchEnvironment env = CaptureBenchEnvironment();
+  EXPECT_FALSE(env.git_sha.empty());
+  EXPECT_FALSE(env.compiler.empty());
+  EXPECT_FALSE(env.build_type.empty());
+  EXPECT_FALSE(env.cpu_model.empty());
+  EXPECT_GT(env.hardware_threads, 0u);
+  // ISO-8601: "YYYY-MM-DDTHH:MM:SSZ".
+  ASSERT_EQ(env.timestamp_utc.size(), 20u);
+  EXPECT_EQ(env.timestamp_utc[10], 'T');
+  EXPECT_EQ(env.timestamp_utc.back(), 'Z');
+}
+
+TEST(BenchEnvironmentTest, GitShaEnvOverrideWins) {
+  setenv("IRHINT_GIT_SHA", "deadbeef", 1);
+  EXPECT_EQ(CaptureBenchEnvironment().git_sha, "deadbeef");
+  unsetenv("IRHINT_GIT_SHA");
+}
+
+BenchReport MakeReport() {
+  BenchReport report("test_suite");
+  report.Add("build", "build_s/irhint", "s", /*higher_is_better=*/false,
+             ComputeTrialStats({0.25, 0.5, 0.125}));
+  report.Add("query", "qps/irhint/\"quoted\"\nname", "q/s",
+             /*higher_is_better=*/true,
+             ComputeTrialStats({1e9, 3.14159265358979312, 1e-9}));
+  return report;
+}
+
+TEST(BenchJsonTest, RoundTripsExactly) {
+  const BenchReport report = MakeReport();
+  auto parsed = ParseBenchJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->suite(), report.suite());
+  EXPECT_EQ(parsed->environment().git_sha, report.environment().git_sha);
+  EXPECT_EQ(parsed->environment().compiler, report.environment().compiler);
+  EXPECT_EQ(parsed->environment().cpu_model, report.environment().cpu_model);
+  EXPECT_EQ(parsed->environment().hardware_threads,
+            report.environment().hardware_threads);
+  EXPECT_EQ(parsed->environment().timestamp_utc,
+            report.environment().timestamp_utc);
+  ASSERT_EQ(parsed->metrics().size(), report.metrics().size());
+  for (size_t i = 0; i < report.metrics().size(); ++i) {
+    const BenchMetric& a = report.metrics()[i];
+    const BenchMetric& b = parsed->metrics()[i];
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.unit, b.unit);
+    EXPECT_EQ(a.higher_is_better, b.higher_is_better);
+    EXPECT_EQ(a.stats.trials, b.stats.trials);
+    // %.17g round-trips doubles bit-exactly.
+    EXPECT_EQ(a.stats.min, b.stats.min);
+    EXPECT_EQ(a.stats.max, b.stats.max);
+    EXPECT_EQ(a.stats.mean, b.stats.mean);
+    EXPECT_EQ(a.stats.stddev, b.stats.stddev);
+    EXPECT_EQ(a.stats.p50, b.stats.p50);
+    EXPECT_EQ(a.stats.p90, b.stats.p90);
+    EXPECT_EQ(a.stats.p99, b.stats.p99);
+  }
+  // And a second pass through the writer is byte-identical.
+  EXPECT_EQ(parsed->ToJson(), report.ToJson());
+}
+
+TEST(BenchJsonTest, MalformedInputsFailWithStatus) {
+  const std::string good = MakeReport().ToJson();
+  EXPECT_FALSE(ParseBenchJson("").ok());
+  EXPECT_FALSE(ParseBenchJson("not json").ok());
+  EXPECT_FALSE(ParseBenchJson("{}").ok());
+  EXPECT_FALSE(ParseBenchJson("[1, 2, 3]").ok());
+  EXPECT_FALSE(ParseBenchJson(good + "trailing").ok());
+  // Truncation at every prefix length must fail cleanly, never crash.
+  for (size_t cut = 0; cut + 1 < good.size(); cut += 97) {
+    EXPECT_FALSE(ParseBenchJson(good.substr(0, cut)).ok()) << cut;
+  }
+}
+
+TEST(BenchJsonTest, WrongSchemaVersionRejected) {
+  std::string doc = MakeReport().ToJson();
+  const std::string needle = "\"schema_version\": 1";
+  const size_t pos = doc.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, needle.size(), "\"schema_version\": 2");
+  const auto parsed = ParseBenchJson(doc);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+}
+
+TEST(BenchJsonTest, WriteJsonFileRoundTrips) {
+  const BenchReport report = MakeReport();
+  const std::string path =
+      std::string(::testing::TempDir()) + "/bench_harness_report.json";
+  ASSERT_TRUE(report.WriteJsonFile(path).ok());
+  std::string bytes;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n = 0;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    fclose(f);
+  }
+  EXPECT_EQ(bytes, report.ToJson());
+  std::remove(path.c_str());
+}
+
+// The committed baseline at the repo root must stay loadable and keep the
+// metric families the perf gate tracks — a schema drift or a hand-edit
+// that breaks it would otherwise surface only inside the CI gate.
+#ifdef IRHINT_BENCH_BASELINE
+TEST(BenchJsonTest, CommittedBaselineParsesWithExpectedFamilies) {
+  std::string bytes;
+  {
+    FILE* f = fopen(IRHINT_BENCH_BASELINE, "rb");
+    ASSERT_NE(f, nullptr) << "missing " << IRHINT_BENCH_BASELINE;
+    char buf[65536];
+    size_t n = 0;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    fclose(f);
+  }
+  auto parsed = ParseBenchJson(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->suite(), "core");
+  std::vector<std::string> families;
+  for (const BenchMetric& m : parsed->metrics()) {
+    if (std::find(families.begin(), families.end(), m.family) ==
+        families.end()) {
+      families.push_back(m.family);
+    }
+  }
+  for (const char* family : {"build", "query_latency", "query_throughput",
+                             "ingest", "snapshot", "footprint"}) {
+    EXPECT_NE(std::find(families.begin(), families.end(), family),
+              families.end())
+        << "baseline lost family " << family;
+  }
+}
+#endif  // IRHINT_BENCH_BASELINE
+
+}  // namespace
+}  // namespace bench
+}  // namespace irhint

@@ -250,6 +250,76 @@ TEST(FsckWalTest, CheckpointLsnFileNameMismatchDetected) {
   EXPECT_FALSE(status.ok()) << "file-name/LSN disagreement not detected";
 }
 
+TEST(FsckWalTest, ReopenedDirectoryPassesDeepFsck) {
+  // Regression: closing a directory and reopening it used to leave the
+  // previous live segment sealed-by-position (a newer segment exists) but
+  // without its rotate handoff, so deep fsck flagged a healthy directory.
+  // DurableIndex::Open now seals the old segment on reopen.
+  const Corpus corpus = TestCorpus();
+  const std::string dir = FreshDir("fsck_wal_reopen");
+  {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t id = 0; id < 60; ++id) {
+      ASSERT_TRUE(
+          (*index)->Insert(corpus.object(static_cast<ObjectId>(id))).ok());
+    }
+  }
+  {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t id = 60; id < 100; ++id) {
+      ASSERT_TRUE(
+          (*index)->Insert(corpus.object(static_cast<ObjectId>(id))).ok());
+    }
+  }
+  const Status deep = CheckWalDirectory(dir, CheckLevel::kDeep);
+  EXPECT_TRUE(deep.ok()) << deep.ToString();
+}
+
+TEST(FsckWalTest, RepeatedReopensStayFsckCleanAndRecoverEverything) {
+  // Each reopen seals one more segment with a rotate that consumes an LSN;
+  // the chain and the LSN density must both survive arbitrarily many
+  // close/open cycles, and replay must still see every insert.
+  const Corpus corpus = TestCorpus();
+  const std::string dir = FreshDir("fsck_wal_reopen_many");
+  size_t next = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t end = next + 30; next < end; ++next) {
+      ASSERT_TRUE(
+          (*index)->Insert(corpus.object(static_cast<ObjectId>(next))).ok());
+    }
+    const Status deep = CheckWalDirectory(dir, CheckLevel::kDeep);
+    EXPECT_TRUE(deep.ok()) << "cycle " << cycle << ": " << deep.ToString();
+  }
+  auto index = DurableIndex::Open(dir);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ((*index)->recovery_info().records_replayed, next);
+  EXPECT_EQ((*index)->next_object_id(), next);
+}
+
+TEST(FsckWalTest, ReopenWithoutWritesRecyclesTheEmptySegment) {
+  // A no-op open/close leaves a record-less live segment. Recovery deletes
+  // it and reuses its sequence number, so the reopened directory is
+  // indistinguishable from a fresh one: Build() (which requires LSN 1)
+  // still works and fsck stays clean.
+  const Corpus corpus = TestCorpus();
+  const std::string dir = FreshDir("fsck_wal_reopen_empty");
+  {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+  }
+  {
+    auto index = DurableIndex::Open(dir);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    ASSERT_TRUE((*index)->Build(corpus.Prefix(50)).ok());
+  }
+  const Status deep = CheckWalDirectory(dir, CheckLevel::kDeep);
+  EXPECT_TRUE(deep.ok()) << deep.ToString();
+}
+
 TEST(FsckWalTest, EmptyDirectoryPasses) {
   const std::string dir = TempPath("fsck_wal_empty");
   ASSERT_TRUE(DefaultWalEnv()->CreateDirIfMissing(dir).ok());

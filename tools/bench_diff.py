@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Compare two bench-harness JSON reports and fail on perf regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [options]
+
+For every metric present in both reports the p50 and p99 are compared,
+with the direction taken from the metric's higher_is_better flag. The p99
+is only compared when both runs have at least --min-tail-trials samples:
+with a handful of trials the p99 is just the max, and a single scheduler
+or fsync hiccup would flip the gate. A metric regresses when it is worse
+than the baseline by more than the allowance:
+
+    allowance = max(threshold, min(noise_mult * cv, max_allowance))
+
+where cv is the larger coefficient of variation (stddev / mean) of the two
+runs — a metric that is noisy in either run gets a wider band, capped at
+--max-allowance so pure noise can never excuse an arbitrarily large slide.
+I/O-bound families drift far more than compute-bound ones between runs on
+shared machines; --family-threshold FAMILY=X raises the base threshold for
+just that family (e.g. --family-threshold ingest=0.5).
+
+Exit codes: 0 = no regression, 1 = regression found, 2 = usage/input error.
+
+The perf-gate CI job runs this against the committed baseline at the repo
+root (BENCH_core.json); refresh the baseline by re-running the suite with
+the same flags and committing the new file (see README, "Perf trajectory").
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"bench_diff: cannot read {path}: {exc}")
+    version = doc.get("schema_version")
+    if version != 1:
+        raise SystemExit(
+            f"bench_diff: {path}: unsupported schema_version {version!r}"
+        )
+    for key in ("suite", "environment", "metrics"):
+        if key not in doc:
+            raise SystemExit(f"bench_diff: {path}: missing field {key!r}")
+    return doc
+
+
+def metric_key(metric):
+    return metric["name"]
+
+
+def noise_cv(metric):
+    """Estimated run-to-run noise of the gated statistic, as a fraction.
+
+    Few-trial metrics (MeasureTrials): each sample is an independent full
+    run, so the sample cv IS the run-to-run noise. Many-sample metrics
+    (per-query latencies): the samples form one heavy-tailed distribution
+    and the gated statistic is its median, whose sampling error shrinks as
+    stddev/sqrt(n) — using the raw cv there would widen the band to the
+    distribution's dispersion and let real median shifts through.
+    """
+    mean = metric.get("mean", 0.0)
+    trials = metric.get("trials", 0)
+    if not mean or trials < 2:
+        return 0.0
+    cv = abs(metric.get("stddev", 0.0) / mean)
+    if trials >= 30:
+        cv /= trials ** 0.5
+    return cv
+
+
+def compare_metric(base, cur, args, threshold):
+    """Returns a list of (stat, base_value, cur_value, change, allowance)
+    regressions for one metric."""
+    regressions = []
+    higher_is_better = bool(base.get("higher_is_better", False))
+    cv = max(noise_cv(base), noise_cv(cur))
+    allowance = max(threshold,
+                    min(args.noise_mult * cv, args.max_allowance))
+    tail_ok = (base.get("trials", 0) >= args.min_tail_trials
+               and cur.get("trials", 0) >= args.min_tail_trials)
+    for stat in ("p50", "p99"):
+        if stat == "p99" and not tail_ok:
+            continue  # too few samples for the tail to mean anything
+        base_value = base.get(stat)
+        cur_value = cur.get(stat)
+        if base_value is None or cur_value is None:
+            continue
+        if base_value == 0:
+            continue  # nothing meaningful to compare against
+        if higher_is_better:
+            change = (base_value - cur_value) / abs(base_value)
+        else:
+            change = (cur_value - base_value) / abs(base_value)
+        if change > allowance:
+            regressions.append((stat, base_value, cur_value, change,
+                                allowance))
+    return regressions
+
+
+def environments_comparable(base_env, cur_env):
+    """Same machine class: cpu_model and hardware_threads must agree for a
+    latency comparison to mean anything."""
+    mismatches = []
+    for key in ("cpu_model", "hardware_threads"):
+        if base_env.get(key) != cur_env.get(key):
+            mismatches.append(
+                f"{key}: baseline={base_env.get(key)!r} "
+                f"current={cur_env.get(key)!r}"
+            )
+    return mismatches
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("baseline", help="baseline JSON report")
+    parser.add_argument("current", help="current JSON report")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="minimum relative slowdown that counts as a regression "
+             "(default 0.25 = 25%%)")
+    parser.add_argument(
+        "--family-threshold", action="append", default=[],
+        metavar="FAMILY=X",
+        help="override the base threshold for one family (repeatable), "
+             "e.g. --family-threshold ingest=0.5 for I/O-bound families "
+             "that drift more between runs")
+    parser.add_argument(
+        "--min-tail-trials", type=int, default=5,
+        help="compare p99 only when both runs have at least this many "
+             "trials (default 5; below that the p99 is just the max)")
+    parser.add_argument(
+        "--noise-mult", type=float, default=3.0,
+        help="widen the band to this multiple of the runs' coefficient of "
+             "variation (default 3)")
+    parser.add_argument(
+        "--max-allowance", type=float, default=0.60,
+        help="cap on the noise-widened band (default 0.60)")
+    parser.add_argument(
+        "--families", default="",
+        help="comma-separated families to compare (default: all)")
+    parser.add_argument(
+        "--skip-on-env-mismatch", action="store_true",
+        help="exit 0 with a warning when the two reports were produced on "
+             "different machines (cpu_model / hardware_threads differ)")
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="ignore metrics present in only one report (default: baseline "
+             "metrics missing from the current report are an error)")
+    args = parser.parse_args()
+
+    family_thresholds = {}
+    for spec in args.family_threshold:
+        family, sep, value = spec.partition("=")
+        try:
+            if not sep or not family:
+                raise ValueError(spec)
+            family_thresholds[family] = float(value)
+        except ValueError:
+            print(f"bench_diff: bad --family-threshold {spec!r} "
+                  f"(expected FAMILY=FLOAT)", file=sys.stderr)
+            return 2
+
+    base = load_report(args.baseline)
+    cur = load_report(args.current)
+
+    if base["suite"] != cur["suite"]:
+        print(f"bench_diff: suite mismatch: baseline {base['suite']!r} vs "
+              f"current {cur['suite']!r}", file=sys.stderr)
+        return 2
+
+    mismatches = environments_comparable(base["environment"],
+                                         cur["environment"])
+    if mismatches:
+        for m in mismatches:
+            print(f"bench_diff: environment mismatch — {m}", file=sys.stderr)
+        if args.skip_on_env_mismatch:
+            print("bench_diff: --skip-on-env-mismatch set; comparison "
+                  "skipped (not a pass)", file=sys.stderr)
+            return 0
+        print("bench_diff: refusing cross-machine comparison "
+              "(use --skip-on-env-mismatch to tolerate)", file=sys.stderr)
+        return 2
+
+    families = {f for f in args.families.split(",") if f}
+    base_metrics = {metric_key(m): m for m in base["metrics"]
+                    if not families or m.get("family") in families}
+    cur_metrics = {metric_key(m): m for m in cur["metrics"]
+                   if not families or m.get("family") in families}
+
+    missing = sorted(set(base_metrics) - set(cur_metrics))
+    if missing and not args.allow_missing:
+        for name in missing:
+            print(f"bench_diff: metric missing from current report: {name}",
+                  file=sys.stderr)
+        return 2
+
+    regressed = []
+    improved = []
+    compared = 0
+    for name in sorted(set(base_metrics) & set(cur_metrics)):
+        b, c = base_metrics[name], cur_metrics[name]
+        compared += 1
+        threshold = family_thresholds.get(b.get("family"), args.threshold)
+        found = compare_metric(b, c, args, threshold)
+        for stat, bv, cv_, change, allowance in found:
+            regressed.append(
+                f"  {name} [{stat}]: {bv:.6g} -> {cv_:.6g} "
+                f"({change:+.1%}, allowed {allowance:.0%})")
+        if not found and b.get("p50") and c.get("p50"):
+            # Informational: big wins are worth a line in the log.
+            if b["higher_is_better"]:
+                gain = (c["p50"] - b["p50"]) / abs(b["p50"])
+            else:
+                gain = (b["p50"] - c["p50"]) / abs(b["p50"])
+            if gain > threshold:
+                improved.append(f"  {name} [p50]: {gain:+.1%}")
+
+    print(f"bench_diff: compared {compared} metrics "
+          f"({len(regressed)} regression(s), {len(improved)} improvement(s))")
+    if improved:
+        print("improvements:")
+        for line in improved:
+            print(line)
+    if regressed:
+        print("regressions:", file=sys.stderr)
+        for line in regressed:
+            print(line, file=sys.stderr)
+        print(f"\nbench_diff: FAIL — {len(regressed)} metric stat(s) "
+              f"regressed beyond the allowance", file=sys.stderr)
+        return 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
