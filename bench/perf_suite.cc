@@ -7,6 +7,7 @@
 //   build           — seconds to bulk-build each comparison index kind
 //   query_latency   — per-query microseconds (p50/p99) per kind x workload
 //   query_throughput— queries/second per kind x workload
+//   parallel_query_scaling — irHINT-perf queries/second at 1/2/4/8 threads
 //   ingest          — objects/second through DurableIndex per WAL policy
 //   snapshot        — save / buffered-load / mmap-load seconds (irHINT-perf)
 //   footprint       — in-memory and snapshot bytes per object
@@ -140,6 +141,32 @@ void RunIndexFamilies(const SuiteConfig& config, const Corpus& corpus,
   }
 }
 
+/// Thread-scaling of the flagship kind on the narrow workload: the same
+/// batch pushed through ParallelMeasureQueries at 1/2/4/8 pool workers.
+/// On a single-core runner the curve is flat — the family then gates the
+/// parallel path's overhead rather than its speedup.
+void RunParallelScalingFamily(const SuiteConfig& config, const Corpus& corpus,
+                              const std::vector<NamedWorkload>& workloads,
+                              bench::BenchReport* report) {
+  std::unique_ptr<TemporalIrIndex> index = CreateIndex(IndexKind::kIrHintPerf);
+  if (!index->Build(corpus).ok() || workloads.empty()) return;
+  const NamedWorkload& workload = workloads.front();
+  for (const size_t threads : {1, 2, 4, 8}) {
+    const bench::TrialStats stats =
+        bench::MeasureTrials(config.measure, [&index, &workload, threads]() {
+          const QueryStats qs =
+              threads == 1
+                  ? MeasureQueries(*index, workload.queries)
+                  : ParallelMeasureQueries(*index, workload.queries, threads);
+          return qs.queries_per_second;
+        });
+    report->Add("parallel_query_scaling",
+                "pqs_qps/irhint_perf/t" + std::to_string(threads), "q/s",
+                /*higher_is_better=*/true, stats);
+  }
+  std::printf("# parallel_query_scaling done\n");
+}
+
 void RunIngestFamily(const SuiteConfig& config, const Corpus& corpus,
                      bench::BenchReport* report) {
   struct PolicyCase {
@@ -268,6 +295,7 @@ int main(int argc, char** argv) {
 
   bench::BenchReport report("core");
   RunIndexFamilies(config, corpus, workloads, &report);
+  RunParallelScalingFamily(config, corpus, workloads, &report);
   RunIngestFamily(config, corpus, &report);
   RunSnapshotFamily(config, corpus, &report);
 

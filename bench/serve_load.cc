@@ -1,0 +1,330 @@
+// Sustained-load driver for the sharded serving engine (src/serve/):
+// closed-loop client threads replay Zipf-popular narrow queries against a
+// 1-shard and an N-shard engine on the same corpus, measuring saturation
+// throughput and per-request latency (p50/p99/p999); an open-loop burst
+// against a tiny queue exercises admission control (shed rate); and a
+// durable N-shard engine serves the same traffic while a writer thread
+// ingests held-out objects through the per-shard WALs.
+//
+// Emits the schema-v1 JSON of the shared harness (family "serve") via
+// --out PATH; --smoke shrinks every dimension to CI scale. The key
+// derived metric is serve_saturation_speedup: N-shard qps over 1-shard
+// qps — per-shard indexes cover a 1/N time span, so their divisions are
+// N-fold finer and a narrow query scans far fewer irrelevant postings.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/zipf.h"
+#include "data/query_gen.h"
+#include "data/synthetic.h"
+#include "serve/engine.h"
+
+using namespace irhint;
+
+namespace {
+
+struct LoadConfig {
+  uint64_t cardinality = 60'000;
+  size_t distinct_queries = 1500;
+  size_t client_threads = 4;
+  double run_seconds = 1.5;
+  uint32_t time_shards = 6;
+  double zipf_theta = 1.0;
+  bench::MeasureOptions measure{/*warmup=*/1, /*trials=*/3};
+  std::string out_path;
+};
+
+Corpus LoadCorpus(uint64_t cardinality) {
+  SyntheticParams params;
+  params.cardinality = cardinality;
+  params.domain = 80 * cardinality;
+  params.sigma = 4 * cardinality;
+  params.dictionary_size = std::max<uint64_t>(100, cardinality / 10);
+  params.description_size = 8;
+  params.seed = 31;
+  return GenerateSynthetic(params);
+}
+
+struct LoadResult {
+  double qps = 0.0;
+  std::vector<double> latencies_us;
+};
+
+/// Closed-loop run: `threads` clients each keep one request in flight,
+/// drawing queries by Zipf(theta) popularity rank, until the deadline.
+LoadResult RunClosedLoop(serve::ServeEngine* engine,
+                         const std::vector<Query>& queries,
+                         const LoadConfig& config, uint64_t seed) {
+  const ZipfSampler popularity(queries.size(), config.zipf_theta);
+  std::vector<LoadResult> per_client(config.client_threads);
+  ThreadPool pool(config.client_threads);
+  Timer wall;
+  for (size_t c = 0; c < config.client_threads; ++c) {
+    pool.Submit([&, c]() {
+      Rng rng(seed + 1000 * c + 1);
+      LoadResult& mine = per_client[c];
+      Timer deadline;
+      while (deadline.Seconds() < config.run_seconds) {
+        const Query& query =
+            queries[popularity.Sample(rng) - 1];
+        Timer request;
+        const StatusOr<std::vector<ObjectId>> result = engine->Execute(query);
+        if (result.ok()) {
+          mine.latencies_us.push_back(request.Seconds() * 1e6);
+        }
+      }
+    });
+  }
+  pool.Wait();
+  const double seconds = wall.Seconds();
+
+  LoadResult total;
+  for (LoadResult& client : per_client) {
+    total.latencies_us.insert(total.latencies_us.end(),
+                              client.latencies_us.begin(),
+                              client.latencies_us.end());
+  }
+  total.qps = seconds > 0.0
+                  ? static_cast<double>(total.latencies_us.size()) / seconds
+                  : 0.0;
+  return total;
+}
+
+void AddLatencyMetrics(const std::string& label, std::vector<double> samples,
+                       bench::BenchReport* report) {
+  std::sort(samples.begin(), samples.end());
+  const double p999 = bench::PercentileSorted(samples, 99.9);
+  report->Add("serve", "serve_latency_us/" + label, "us",
+              /*higher_is_better=*/false,
+              bench::ComputeTrialStats(std::move(samples)));
+  report->Add("serve", "serve_p999_us/" + label, "us",
+              /*higher_is_better=*/false, bench::ComputeTrialStats({p999}));
+}
+
+/// Saturation throughput of one geometry: MeasureTrials over closed-loop
+/// runs; the last run's latencies feed the latency metrics.
+double MeasureGeometry(const Corpus& corpus, const LoadConfig& config,
+                       uint32_t time_shards,
+                       const std::vector<Query>& queries,
+                       bench::BenchReport* report) {
+  serve::ServeOptions options;
+  options.time_shards = time_shards;
+  StatusOr<std::unique_ptr<serve::ServeEngine>> engine =
+      serve::ServeEngine::Create(corpus, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine start failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 0.0;
+  }
+  const std::string label = "shards" + std::to_string(time_shards);
+  std::vector<double> last_latencies;
+  uint64_t round = 0;
+  const bench::TrialStats qps = bench::MeasureTrials(config.measure, [&]() {
+    LoadResult result =
+        RunClosedLoop(engine->get(), queries, config, /*seed=*/7 + ++round);
+    last_latencies = std::move(result.latencies_us);
+    return result.qps;
+  });
+  report->Add("serve", "serve_qps/" + label, "q/s",
+              /*higher_is_better=*/true, qps);
+  AddLatencyMetrics(label, std::move(last_latencies), report);
+
+  const serve::EngineStats stats = (*engine)->Stats();
+  std::printf("# %s: %.0f q/s saturation, %llu batches, %llu dedup hits\n",
+              label.c_str(), qps.p50,
+              static_cast<unsigned long long>(stats.total_batches),
+              static_cast<unsigned long long>(stats.total_dedup_hits));
+  return qps.p50;
+}
+
+/// Open-loop burst against a tiny queue: admission control must shed
+/// instead of queueing without bound, and every future must still resolve.
+void MeasureShedding(const Corpus& corpus, const std::vector<Query>& queries,
+                     bench::BenchReport* report) {
+  serve::ServeOptions options;
+  options.time_shards = 1;  // a single queue concentrates the burst
+  options.max_queue_depth = 64;
+  StatusOr<std::unique_ptr<serve::ServeEngine>> engine =
+      serve::ServeEngine::Create(corpus, options);
+  if (!engine.ok()) return;
+
+  const size_t burst = std::max<size_t>(2000, 20 * options.max_queue_depth);
+  std::vector<serve::ResultFuture> futures;
+  futures.reserve(burst);
+  for (size_t i = 0; i < burst; ++i) {
+    futures.push_back((*engine)->Submit(queries[i % queries.size()]));
+  }
+  size_t shed = 0;
+  for (serve::ResultFuture& future : futures) {
+    if (!future.Get().ok()) ++shed;
+  }
+  const serve::EngineStats stats = (*engine)->Stats();
+  const double shed_rate =
+      static_cast<double>(shed) / static_cast<double>(burst);
+  report->Add("serve", "serve_shed_rate/burst", "frac",
+              /*higher_is_better=*/false,
+              bench::ComputeTrialStats({shed_rate}));
+  std::printf("# burst: %zu submitted, %zu shed (%.1f%%), peak depth %llu\n",
+              burst, shed, 100.0 * shed_rate,
+              static_cast<unsigned long long>(stats.max_peak_queue_depth));
+}
+
+/// Durable N-shard engine under mixed load: clients query while a writer
+/// ingests the held-out objects through AppendInsert (per-shard WALs).
+void MeasureDurableIngest(const Corpus& corpus, const LoadConfig& config,
+                          const std::vector<Query>& queries,
+                          bench::BenchReport* report) {
+  const size_t offline = corpus.size() * 9 / 10;
+  const Corpus prefix = corpus.Prefix(offline);
+  const std::string dir = "/tmp/irhint_serve_load_wal";
+  std::filesystem::remove_all(dir);
+
+  serve::ServeOptions options;
+  options.time_shards = config.time_shards;
+  options.wal_dir = dir;
+  options.durability = WalDurability::kBatch;
+  StatusOr<std::unique_ptr<serve::ServeEngine>> engine =
+      serve::ServeEngine::Create(prefix, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "durable engine start failed: %s\n",
+                 engine.status().ToString().c_str());
+    return;
+  }
+
+  double ingest_rate = 0.0;
+  ThreadPool writer(1);
+  writer.Submit([&]() {
+    Timer timer;
+    size_t ingested = 0;
+    for (size_t i = offline; i < corpus.size(); ++i) {
+      const Object& object = corpus.object(static_cast<ObjectId>(i));
+      if (!(*engine)
+               ->AppendInsert(object.interval, object.elements)
+               .ok()) {
+        break;
+      }
+      ++ingested;
+    }
+    const double seconds = timer.Seconds();
+    ingest_rate =
+        seconds > 0.0 ? static_cast<double>(ingested) / seconds : 0.0;
+  });
+  const LoadResult load = RunClosedLoop(engine->get(), queries, config,
+                                        /*seed=*/99);
+  writer.Wait();
+  if (!(*engine)->Flush().ok()) {
+    std::fprintf(stderr, "flush failed\n");
+  }
+
+  report->Add("serve", "serve_qps_under_ingest/durable", "q/s",
+              /*higher_is_better=*/true, bench::ComputeTrialStats({load.qps}));
+  report->Add("serve", "serve_ingest_objs_per_s/durable", "obj/s",
+              /*higher_is_better=*/true,
+              bench::ComputeTrialStats({ingest_rate}));
+  std::printf("# durable: %.0f q/s while ingesting %.0f obj/s\n", load.qps,
+              ingest_rate);
+  engine->reset();  // close the WALs before removing the directory
+  std::filesystem::remove_all(dir);
+}
+
+void PrintSummary(const bench::BenchReport& report) {
+  TablePrinter table({"metric", "unit", "p50", "p99", "samples"});
+  for (const bench::BenchMetric& m : report.metrics()) {
+    table.AddRow({m.name, m.unit, Fmt(m.stats.p50, 4), Fmt(m.stats.p99, 4),
+                  Fmt(static_cast<uint64_t>(m.stats.trials))});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      config.cardinality = 8000;
+      config.distinct_queries = 300;
+      config.client_threads = 2;
+      config.run_seconds = 0.3;
+      config.measure.trials = 2;
+      config.measure.warmup = 0;
+    } else if (arg == "--out" && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out_path = arg.substr(6);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.client_threads = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      config.time_shards = static_cast<uint32_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out PATH] [--threads N] "
+                   "[--shards N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  config.cardinality = std::max<uint64_t>(
+      2000, static_cast<uint64_t>(static_cast<double>(config.cardinality) *
+                                  BenchScaleFromEnv()));
+  config.measure = bench::MeasureOptionsFromEnv(config.measure);
+
+  bench::PrintHeader("irHINT serving engine sustained load");
+  std::printf(
+      "# %llu objects, %zu distinct queries (Zipf %.2f), %zu clients, "
+      "%.1fs/run, %zu trials\n",
+      static_cast<unsigned long long>(config.cardinality),
+      config.distinct_queries, config.zipf_theta, config.client_threads,
+      config.run_seconds, config.measure.trials);
+
+  const Corpus corpus = LoadCorpus(config.cardinality);
+  // Narrow multi-element lookups: the serving sweet spot where a shard's
+  // finer divisions pay off (the perf_suite families keep covering the
+  // wide-scan end).
+  WorkloadGenerator generator(corpus, /*seed=*/97);
+  const std::vector<Query> queries =
+      generator.ExtentWorkload(0.1, 2, config.distinct_queries);
+
+  bench::BenchReport report("serve_load");
+  const double qps1 =
+      MeasureGeometry(corpus, config, 1, queries, &report);
+  const double qpsN =
+      MeasureGeometry(corpus, config, config.time_shards, queries, &report);
+  if (qps1 > 0.0) {
+    report.Add("serve", "serve_saturation_speedup", "x",
+               /*higher_is_better=*/true,
+               bench::ComputeTrialStats({qpsN / qps1}));
+    std::printf("# saturation speedup %u shards vs 1: %.2fx\n",
+                config.time_shards, qpsN / qps1);
+  }
+  MeasureShedding(corpus, queries, &report);
+  MeasureDurableIngest(corpus, config, queries, &report);
+
+  std::printf("\n");
+  PrintSummary(report);
+
+  if (!config.out_path.empty()) {
+    const Status status = report.WriteJsonFile(config.out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (%zu metrics)\n", config.out_path.c_str(),
+                report.metrics().size());
+  }
+  return 0;
+}

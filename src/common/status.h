@@ -28,6 +28,7 @@ class Status {
     kNotSupported,
     kIoError,
     kCorruption,
+    kUnavailable,
   };
 
   Status() = default;
@@ -54,6 +55,9 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(Code::kCorruption, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -66,6 +70,7 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsIoError() const { return code_ == Code::kIoError; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// \brief Human-readable rendering, e.g. "InvalidArgument: bad m".
   std::string ToString() const {
@@ -93,6 +98,7 @@ class Status {
       case Code::kNotSupported: return "NotSupported";
       case Code::kIoError: return "IoError";
       case Code::kCorruption: return "Corruption";
+      case Code::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

@@ -1,0 +1,126 @@
+// Completion futures shared between the query router and the shard
+// workers. A routed request owns one ResultState with one "leg" per
+// target shard; legs complete (or fail) in any order on the shard worker
+// threads, and the submitting client blocks in ResultFuture::Get() until
+// every leg has landed. The merge is deterministic: per-leg id vectors
+// are concatenated, sorted and deduplicated, so the final result is
+// byte-identical for any shard count, bucket count, thread count or
+// completion order (the property tests/serve_test.cc locks in).
+//
+// Concurrency (DESIGN.md §11): one leaf Mutex per state object,
+// "serve::ResultState::mu" — it is never held while acquiring another
+// lock (completion copies the payload in, Get() moves it out), so it
+// cannot participate in a cycle.
+
+#ifndef IRHINT_SERVE_RESULT_FUTURE_H_
+#define IRHINT_SERVE_RESULT_FUTURE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "common/thread_annotations.h"
+#include "data/object.h"
+
+namespace irhint {
+namespace serve {
+
+/// \brief Shared completion state of one routed request.
+///
+/// Constructed with the number of legs (target shards); every leg must be
+/// resolved exactly once via CompleteLeg() or FailLeg(). Queries carry id
+/// payloads; updates use empty payloads and only the status matters.
+class ResultState {
+ public:
+  explicit ResultState(uint32_t legs) : pending_(legs) {}
+
+  ResultState(const ResultState&) = delete;
+  ResultState& operator=(const ResultState&) = delete;
+
+  /// \brief Resolve one leg with the ids a shard reported (global ids;
+  /// replicas across shards are deduplicated by the final merge).
+  void CompleteLeg(std::vector<ObjectId> ids) {
+    MutexLock lock(&mu_);
+    legs_.push_back(std::move(ids));
+    FinishLegLocked();
+  }
+
+  /// \brief Resolve one leg as failed (shed under admission control, or an
+  /// update error). The first failure wins; the request still waits for
+  /// the remaining legs so no completion is ever lost.
+  void FailLeg(const Status& status) {
+    MutexLock lock(&mu_);
+    if (error_.ok() && !status.ok()) error_ = status;
+    FinishLegLocked();
+  }
+
+  /// \brief Block until every leg resolved; single consumer. Returns the
+  /// first leg failure, or the merged (sorted, duplicate-free) ids.
+  StatusOr<std::vector<ObjectId>> Wait() {
+    MutexLock lock(&mu_);
+    while (pending_ > 0) cv_.Wait(&mu_);
+    if (!error_.ok()) return error_;
+    size_t total = 0;
+    for (const std::vector<ObjectId>& leg : legs_) total += leg.size();
+    std::vector<ObjectId> merged;
+    merged.reserve(total);
+    for (std::vector<ObjectId>& leg : legs_) {
+      merged.insert(merged.end(), leg.begin(), leg.end());
+    }
+    legs_.clear();
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    return merged;
+  }
+
+  /// \brief True once every leg has resolved (non-blocking probe).
+  bool Ready() const {
+    MutexLock lock(&mu_);
+    return (pending_ == 0);
+  }
+
+ private:
+  void FinishLegLocked() IRHINT_REQUIRES(mu_) {
+    if (pending_ > 0) --pending_;
+    if (pending_ == 0) cv_.NotifyAll();
+  }
+
+  mutable Mutex mu_{"serve::ResultState::mu"};
+  CondVar cv_;
+  uint32_t pending_ IRHINT_GUARDED_BY(mu_) = 0;
+  std::vector<std::vector<ObjectId>> legs_ IRHINT_GUARDED_BY(mu_);
+  Status error_ IRHINT_GUARDED_BY(mu_);
+};
+
+/// \brief Client-side handle on a submitted request. Move-friendly thin
+/// wrapper; Get() blocks until the router's legs are all resolved.
+class ResultFuture {
+ public:
+  ResultFuture() = default;
+  explicit ResultFuture(std::shared_ptr<ResultState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool Ready() const { return state_ != nullptr && state_->Ready(); }
+
+  /// \brief Block for the merged result (see ResultState::Wait).
+  StatusOr<std::vector<ObjectId>> Get() {
+    if (state_ == nullptr) {
+      return Status::InvalidArgument("Get() on an empty ResultFuture");
+    }
+    return state_->Wait();
+  }
+
+ private:
+  // unguarded: owned by the single client thread holding the future
+  std::shared_ptr<ResultState> state_;
+};
+
+}  // namespace serve
+}  // namespace irhint
+
+#endif  // IRHINT_SERVE_RESULT_FUTURE_H_

@@ -226,8 +226,9 @@ TEST(BenchJsonTest, CommittedBaselineParsesWithExpectedFamilies) {
       families.push_back(m.family);
     }
   }
-  for (const char* family : {"build", "query_latency", "query_throughput",
-                             "ingest", "snapshot", "footprint"}) {
+  for (const char* family :
+       {"build", "query_latency", "query_throughput",
+        "parallel_query_scaling", "ingest", "snapshot", "footprint"}) {
     EXPECT_NE(std::find(families.begin(), families.end(), family),
               families.end())
         << "baseline lost family " << family;

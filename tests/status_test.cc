@@ -27,6 +27,12 @@ TEST(StatusTest, AllConstructorsSetMatchingPredicate) {
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::IoError("x").IsIoError());
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, UnavailableRenders) {
+  EXPECT_EQ(Status::Unavailable("queue full").ToString(),
+            "Unavailable: queue full");
 }
 
 TEST(StatusTest, EqualityComparesCodesOnly) {

@@ -29,6 +29,12 @@
 //       [--count N] [--start N] (object range to ingest; default: all)
 //       [--verify 1]  (answer a workload on the ingested index and on a
 //                      NaiveScan over the same objects, compare)
+//   serve      run the sharded serving engine over stdin/stdout (the same
+//              loop as the irhint_server binary; see src/serve/server_loop.h)
+//       --in FILE [--shards N] [--buckets N] [--index NAME]
+//       [--queue-depth N] [--max-batch N]
+//       [--wal-dir DIR] [--durability none|batch|always]
+//       [--checkpoint-bytes N]
 //
 // Index names: tif, slicing, sharding, hint-bs, hint-ms, hybrid,
 // irhint-perf (default), irhint-size.
@@ -37,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +57,7 @@
 #include "data/serialize.h"
 #include "data/synthetic.h"
 #include "eval/runner.h"
+#include "serve/server_loop.h"
 #include "storage/index_io.h"
 
 using namespace irhint;
@@ -91,7 +99,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: irhint_cli <generate|stats|build|bench|query|ingest> "
+               "usage: irhint_cli "
+               "<generate|stats|build|bench|query|ingest|serve> "
                "[--opt value]\n"
                "see the header of tools/irhint_cli.cc for details\n");
   return 2;
@@ -469,6 +478,48 @@ int Ingest(const Args& args) {
   return 0;
 }
 
+int Serve(const Args& args) {
+  StatusOr<Corpus> corpus = LoadFromArgs(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServeOptions options;
+  options.time_shards = static_cast<uint32_t>(args.GetU64("shards", 4));
+  options.term_buckets = static_cast<uint32_t>(args.GetU64("buckets", 1));
+  options.kind = KindFromName(args.Get("index", "irhint-perf"));
+  options.max_queue_depth = args.GetU64("queue-depth", 1024);
+  options.max_batch = args.GetU64("max-batch", 64);
+  options.wal_dir = args.Get("wal-dir", "");
+  options.checkpoint_bytes = args.GetU64("checkpoint-bytes", 0);
+  StatusOr<WalDurability> durability =
+      ParseWalDurability(args.Get("durability", "batch"));
+  if (!durability.ok()) {
+    std::fprintf(stderr, "%s\n", durability.status().ToString().c_str());
+    return 1;
+  }
+  options.durability = durability.value();
+
+  StatusOr<std::unique_ptr<serve::ServeEngine>> engine =
+      serve::ServeEngine::Create(*corpus, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine start failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serving %zu objects across %zu shards (%u time x %u term, "
+               "%s%s); type 'help'\n",
+               corpus->size(), (*engine)->num_shards(),
+               (*engine)->time_shards(), (*engine)->term_buckets(),
+               std::string(IndexKindName(options.kind)).c_str(),
+               options.wal_dir.empty() ? "" : ", durable");
+  serve::RunServerLoop(engine->get(), std::cin, std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -480,5 +531,6 @@ int main(int argc, char** argv) {
   if (args.command == "bench") return Bench(args);
   if (args.command == "query") return RunQuery(args);
   if (args.command == "ingest") return Ingest(args);
+  if (args.command == "serve") return Serve(args);
   return Usage();
 }

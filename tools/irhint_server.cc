@@ -1,0 +1,132 @@
+// irhint_server — the sharded serving engine behind a line-oriented
+// request loop on stdin/stdout (protocol: src/serve/server_loop.h).
+//
+//   irhint_server [--in FILE | --cardinality N [--domain T] [--seed S]]
+//                 [--shards N]           time-range partitions (default 4)
+//                 [--buckets N]          hashed-term sub-partitions (default 1)
+//                 [--index NAME]         per-shard index kind (irhint-perf)
+//                 [--queue-depth N]      admission-control bound (default 1024)
+//                 [--max-batch N]        coalescing cap (default 64)
+//                 [--wal-dir DIR]        durable mode: fresh dir for WALs
+//                 [--durability none|batch|always]   (default batch)
+//                 [--checkpoint-bytes N] (default 0 = never checkpoint)
+//
+// Without --in, a synthetic corpus is generated so the server can be
+// played with immediately:
+//   printf 'query 0 500000 3 17\nstats\nquit\n' | irhint_server
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/flat_hash_map.h"
+#include "core/factory.h"
+#include "data/serialize.h"
+#include "data/synthetic.h"
+#include "serve/server_loop.h"
+
+using namespace irhint;
+
+namespace {
+
+struct Args {
+  FlatHashMap<std::string, std::string> options;
+
+  const char* Get(const std::string& key, const char* fallback) const {
+    const std::string* value = options.find(key);
+    return value != nullptr ? value->c_str() : fallback;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    const std::string* value = options.find(key);
+    return value != nullptr
+               ? static_cast<uint64_t>(std::atoll(value->c_str()))
+               : fallback;
+  }
+  bool Has(const std::string& key) const {
+    return options.find(key) != nullptr;
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: irhint_server [--in FILE | --cardinality N] "
+               "[--shards N] [--buckets N] [--index NAME] [--queue-depth N] "
+               "[--max-batch N] [--wal-dir DIR] "
+               "[--durability none|batch|always] [--checkpoint-bytes N]\n"
+               "see the header of tools/irhint_server.cc for the protocol\n");
+  return 2;
+}
+
+IndexKind KindFromName(const std::string& name) {
+  if (name == "tif") return IndexKind::kTif;
+  if (name == "slicing") return IndexKind::kTifSlicing;
+  if (name == "sharding") return IndexKind::kTifSharding;
+  if (name == "hint-bs") return IndexKind::kTifHintBinarySearch;
+  if (name == "hint-ms") return IndexKind::kTifHintMergeSort;
+  if (name == "hybrid") return IndexKind::kTifHintSlicing;
+  if (name == "irhint-size") return IndexKind::kIrHintSize;
+  return IndexKind::kIrHintPerf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
+    args.options.insert_or_assign(argv[i] + 2, argv[i + 1]);
+  }
+
+  Corpus corpus;
+  if (args.Has("in")) {
+    StatusOr<Corpus> loaded = LoadCorpus(args.Get("in", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(loaded).value();
+  } else {
+    SyntheticParams params;
+    params.cardinality = args.GetU64("cardinality", 20000);
+    params.domain = args.GetU64("domain", 1'000'000);
+    params.seed = args.GetU64("seed", 42);
+    corpus = GenerateSynthetic(params);
+  }
+
+  serve::ServeOptions options;
+  options.time_shards = static_cast<uint32_t>(args.GetU64("shards", 4));
+  options.term_buckets = static_cast<uint32_t>(args.GetU64("buckets", 1));
+  options.kind = KindFromName(args.Get("index", "irhint-perf"));
+  options.max_queue_depth = args.GetU64("queue-depth", 1024);
+  options.max_batch = args.GetU64("max-batch", 64);
+  options.wal_dir = args.Get("wal-dir", "");
+  options.checkpoint_bytes = args.GetU64("checkpoint-bytes", 0);
+  StatusOr<WalDurability> durability =
+      ParseWalDurability(args.Get("durability", "batch"));
+  if (!durability.ok()) {
+    std::fprintf(stderr, "%s\n", durability.status().ToString().c_str());
+    return 1;
+  }
+  options.durability = durability.value();
+
+  StatusOr<std::unique_ptr<serve::ServeEngine>> engine =
+      serve::ServeEngine::Create(corpus, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine start failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serving %zu objects across %zu shards (%u time x %u term, "
+               "%s%s); type 'help'\n",
+               corpus.size(), (*engine)->num_shards(), (*engine)->time_shards(),
+               (*engine)->term_buckets(),
+               std::string(IndexKindName(options.kind)).c_str(),
+               options.wal_dir.empty() ? "" : ", durable");
+
+  serve::RunServerLoop(engine->get(), std::cin, std::cout);
+  return 0;
+}
