@@ -82,6 +82,9 @@ inline void AddCounterRows(const TemporalIrIndex& index, TablePrinter* table) {
       {name, "intersections_performed", Fmt(stats->intersections_performed)});
   table->AddRow(
       {name, "candidates_verified", Fmt(stats->candidates_verified)});
+  table->AddRow({name, "postings_scored", Fmt(stats->postings_scored)});
+  table->AddRow({name, "blocks_skipped", Fmt(stats->blocks_skipped)});
+  table->AddRow({name, "divisions_skipped", Fmt(stats->divisions_skipped)});
 }
 
 }  // namespace bench

@@ -8,6 +8,9 @@
 //   query_latency   — per-query microseconds (p50/p99) per kind x workload
 //   query_throughput— queries/second per kind x workload
 //   parallel_query_scaling — irHINT-perf queries/second at 1/2/4/8 threads
+//   topk_latency    — ranked top-k microseconds (p50/p99) on scored-irHINT
+//                     at k in {1,10,100}, vs the exhaustive oracle, plus
+//                     the postings-scored ratio (traversal / oracle)
 //   ingest          — objects/second through DurableIndex per WAL policy
 //   snapshot        — save / buffered-load / mmap-load seconds (irHINT-perf)
 //   footprint       — in-memory and snapshot bytes per object
@@ -34,6 +37,7 @@
 #include "core/factory.h"
 #include "data/query_gen.h"
 #include "data/synthetic.h"
+#include "rank/scored_index.h"
 #include "storage/index_io.h"
 
 using namespace irhint;
@@ -167,6 +171,75 @@ void RunParallelScalingFamily(const SuiteConfig& config, const Corpus& corpus,
   std::printf("# parallel_query_scaling done\n");
 }
 
+/// Ranked retrieval on the narrow workload: per-query latency of the
+/// MaxScore traversal and of the exhaustive oracle at k in {1,10,100},
+/// plus the traversal/oracle postings-scored ratio — the early-termination
+/// win the gate tracks (1.0 = no pruning; the acceptance bar is <= 0.5 at
+/// k=10). Results are asserted identical while sampling: a divergence
+/// zeroes the family rather than publishing latencies of a wrong answer.
+void RunTopkFamily(const SuiteConfig& config, const Corpus& corpus,
+                   const std::vector<NamedWorkload>& workloads,
+                   bench::BenchReport* report) {
+  (void)config;
+  auto index = std::make_unique<ScoredIndex>(
+      ScoredIndexOptions{IndexKind::kIrHintPerf, /*divisions=*/32},
+      IndexConfig());
+  if (!index->Build(corpus).ok() || workloads.empty()) return;
+  const NamedWorkload& workload = workloads.front();
+  for (const uint32_t k : {1u, 10u, 100u}) {
+    const std::string suffix =
+        "/scored_irhint/" + workload.name + "/k" + std::to_string(k);
+    std::vector<ScoredHit> hits, oracle_hits;
+    // Warmup + correctness pass: every query must answer identically
+    // through the traversal and the oracle before its latency counts.
+    for (const Query& query : workload.queries) {
+      if (!index->TopKQuery(query, k, &hits).ok() ||
+          !index->TopKOracle(query, k, &oracle_hits).ok() ||
+          hits != oracle_hits) {
+        std::fprintf(stderr, "# topk/oracle mismatch at k=%u — skipping\n", k);
+        return;
+      }
+    }
+
+    index->EnableStats(true);
+    index->ResetStats();
+    std::vector<double> topk_us;
+    topk_us.reserve(workload.queries.size());
+    for (const Query& query : workload.queries) {
+      Timer timer;
+      if (!index->TopKQuery(query, k, &hits).ok()) return;
+      topk_us.push_back(timer.Seconds() * 1e6);
+    }
+    const uint64_t traversal_scored = index->Stats()->postings_scored;
+
+    index->ResetStats();
+    std::vector<double> oracle_us;
+    oracle_us.reserve(workload.queries.size());
+    for (const Query& query : workload.queries) {
+      Timer timer;
+      if (!index->TopKOracle(query, k, &hits).ok()) return;
+      oracle_us.push_back(timer.Seconds() * 1e6);
+    }
+    const uint64_t oracle_scored = index->Stats()->postings_scored;
+    index->EnableStats(false);
+
+    report->Add("topk_latency", "topk_us" + suffix, "us",
+                /*higher_is_better=*/false,
+                bench::ComputeTrialStats(std::move(topk_us)));
+    report->Add("topk_latency", "topk_oracle_us" + suffix, "us",
+                /*higher_is_better=*/false,
+                bench::ComputeTrialStats(std::move(oracle_us)));
+    report->Add("topk_latency", "topk_scored_ratio" + suffix, "x",
+                /*higher_is_better=*/false,
+                bench::ComputeTrialStats(
+                    {oracle_scored > 0
+                         ? static_cast<double>(traversal_scored) /
+                               static_cast<double>(oracle_scored)
+                         : 0.0}));
+  }
+  std::printf("# topk_latency done\n");
+}
+
 void RunIngestFamily(const SuiteConfig& config, const Corpus& corpus,
                      bench::BenchReport* report) {
   struct PolicyCase {
@@ -296,6 +369,7 @@ int main(int argc, char** argv) {
   bench::BenchReport report("core");
   RunIndexFamilies(config, corpus, workloads, &report);
   RunParallelScalingFamily(config, corpus, workloads, &report);
+  RunTopkFamily(config, corpus, workloads, &report);
   RunIngestFamily(config, corpus, &report);
   RunSnapshotFamily(config, corpus, &report);
 

@@ -111,6 +111,12 @@ void DurableIndex::Query(const irhint::Query& query,
   inner_->Query(query, out);
 }
 
+Status DurableIndex::TopKQuery(const irhint::Query& query, uint32_t k,
+                               std::vector<ScoredHit>* out) const {
+  ReaderLock lock(&mutex_);
+  return inner_->TopKQuery(query, k, out);
+}
+
 Status DurableIndex::Insert(const Object& object) {
   bool want_checkpoint = false;
   {

@@ -79,6 +79,8 @@ class DurableIndex : public TemporalIrIndex {
 
   void Query(const irhint::Query& query,
              std::vector<ObjectId>* out) const override;
+  Status TopKQuery(const irhint::Query& query, uint32_t k,
+                   std::vector<ScoredHit>* out) const override;
   Status Insert(const Object& object) override;
   Status Erase(const Object& object) override;
   size_t MemoryUsageBytes() const override;

@@ -5,6 +5,7 @@
 #include "core/naive_scan.h"
 #include "ir/tif.h"
 #include "irfirst/tif_hint.h"
+#include "rank/scored_index.h"
 #include "irfirst/tif_hint_slicing.h"
 #include "irfirst/tif_sharding.h"
 #include "irfirst/tif_slicing.h"
@@ -56,6 +57,19 @@ std::unique_ptr<TemporalIrIndex> CreateIndex(IndexKind kind,
       options.num_bits = config.irhint_bits;
       return std::make_unique<IrHintSize>(options);
     }
+    case IndexKind::kScoredTif: {
+      ScoredIndexOptions options;
+      options.base = IndexKind::kTif;
+      // tIF keeps one flat postings store; divisions are a HINT notion.
+      options.divisions = 1;
+      return std::make_unique<ScoredIndex>(options, config);
+    }
+    case IndexKind::kScoredIrHint: {
+      ScoredIndexOptions options;
+      options.base = IndexKind::kIrHintPerf;
+      options.divisions = config.rank_divisions;
+      return std::make_unique<ScoredIndex>(options, config);
+    }
   }
   return nullptr;
 }
@@ -71,6 +85,8 @@ std::string_view IndexKindName(IndexKind kind) {
     case IndexKind::kTifHintSlicing: return "tIF+HINT+Slicing";
     case IndexKind::kIrHintPerf: return "irHINT-perf";
     case IndexKind::kIrHintSize: return "irHINT-size";
+    case IndexKind::kScoredTif: return "scored-tIF";
+    case IndexKind::kScoredIrHint: return "scored-irHINT";
   }
   return "unknown";
 }
@@ -86,6 +102,14 @@ std::vector<IndexKind> AllIndexKinds() {
           IndexKind::kTifHintBinarySearch, IndexKind::kTifHintMergeSort,
           IndexKind::kTifHintSlicing, IndexKind::kIrHintPerf,
           IndexKind::kIrHintSize};
+}
+
+std::vector<IndexKind> ScoredIndexKinds() {
+  return {IndexKind::kScoredTif, IndexKind::kScoredIrHint};
+}
+
+bool KindSupportsTopK(IndexKind kind) {
+  return kind == IndexKind::kScoredTif || kind == IndexKind::kScoredIrHint;
 }
 
 }  // namespace irhint

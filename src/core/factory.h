@@ -25,6 +25,8 @@ struct IndexConfig {
   int irhint_bits = -1;
   /// tIF+Sharding: shard cap per list.
   uint32_t max_shards_per_list = 16;
+  /// Scored kinds (src/rank): pruning divisions per ScoreBlockStore.
+  uint32_t rank_divisions = 32;
 };
 
 /// \brief Instantiate an (unbuilt) index of the given kind.
@@ -39,6 +41,15 @@ std::vector<IndexKind> ComparisonIndexKinds();
 
 /// \brief All seven indexes of Table 5.
 std::vector<IndexKind> AllIndexKinds();
+
+/// \brief The kinds with impact-scored postings (TopKQuery support); kept
+/// out of the two lists above so the Boolean comparison surfaces stay as
+/// the paper defines them.
+std::vector<IndexKind> ScoredIndexKinds();
+
+/// \brief True iff CreateIndex(kind) produces an index whose TopKQuery is
+/// implemented (i.e. a scored kind).
+bool KindSupportsTopK(IndexKind kind);
 
 }  // namespace irhint
 

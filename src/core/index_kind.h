@@ -17,6 +17,8 @@ enum class IndexKind {
   kTifHintSlicing,
   kIrHintPerf,
   kIrHintSize,
+  kScoredTif,
+  kScoredIrHint,
 };
 
 }  // namespace irhint

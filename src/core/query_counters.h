@@ -33,17 +33,29 @@ namespace irhint {
 ///  * intersections_performed: list-intersection passes executed.
 ///  * candidates_verified: candidate objects checked against the temporal
 ///    or containment predicate after the initial filter.
+///
+/// Ranked-retrieval counters (DESIGN.md §12), zero for Boolean queries:
+///  * postings_scored: impact evaluations performed by TopKQuery — the cost
+///    the MaxScore traversal tries to minimise relative to the oracle.
+///  * blocks_skipped: score blocks pruned by time bounds or block max-score.
+///  * divisions_skipped: whole divisions pruned without touching postings.
 struct QueryCounters {
   uint64_t divisions_visited = 0;
   uint64_t postings_scanned = 0;
   uint64_t intersections_performed = 0;
   uint64_t candidates_verified = 0;
+  uint64_t postings_scored = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t divisions_skipped = 0;
 
   QueryCounters& operator+=(const QueryCounters& other) {
     divisions_visited += other.divisions_visited;
     postings_scanned += other.postings_scanned;
     intersections_performed += other.intersections_performed;
     candidates_verified += other.candidates_verified;
+    postings_scored += other.postings_scored;
+    blocks_skipped += other.blocks_skipped;
+    divisions_skipped += other.divisions_skipped;
     return *this;
   }
 };
@@ -73,6 +85,10 @@ class CounterSink {
                                         std::memory_order_relaxed);
     s.candidates_verified.fetch_add(c.candidates_verified,
                                     std::memory_order_relaxed);
+    s.postings_scored.fetch_add(c.postings_scored, std::memory_order_relaxed);
+    s.blocks_skipped.fetch_add(c.blocks_skipped, std::memory_order_relaxed);
+    s.divisions_skipped.fetch_add(c.divisions_skipped,
+                                  std::memory_order_relaxed);
   }
 
   /// \brief Sum of every stripe (i.e. every thread) since the last Reset().
@@ -87,6 +103,11 @@ class CounterSink {
           s.intersections_performed.load(std::memory_order_relaxed);
       total.candidates_verified +=
           s.candidates_verified.load(std::memory_order_relaxed);
+      total.postings_scored +=
+          s.postings_scored.load(std::memory_order_relaxed);
+      total.blocks_skipped += s.blocks_skipped.load(std::memory_order_relaxed);
+      total.divisions_skipped +=
+          s.divisions_skipped.load(std::memory_order_relaxed);
     }
     return total;
   }
@@ -97,6 +118,9 @@ class CounterSink {
       s.postings_scanned.store(0, std::memory_order_relaxed);
       s.intersections_performed.store(0, std::memory_order_relaxed);
       s.candidates_verified.store(0, std::memory_order_relaxed);
+      s.postings_scored.store(0, std::memory_order_relaxed);
+      s.blocks_skipped.store(0, std::memory_order_relaxed);
+      s.divisions_skipped.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -106,6 +130,9 @@ class CounterSink {
     std::atomic<uint64_t> postings_scanned{0};
     std::atomic<uint64_t> intersections_performed{0};
     std::atomic<uint64_t> candidates_verified{0};
+    std::atomic<uint64_t> postings_scored{0};
+    std::atomic<uint64_t> blocks_skipped{0};
+    std::atomic<uint64_t> divisions_skipped{0};
   };
 
   // Threads are assigned stripes round-robin on first use; 16 stripes keep

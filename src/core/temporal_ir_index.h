@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -38,6 +39,22 @@ class TemporalIrIndex {
 
   /// \brief Evaluate a time-travel IR query. `out` is cleared first.
   virtual void Query(const irhint::Query& query, std::vector<ObjectId>* out) const = 0;
+
+  /// \brief Ranked top-k retrieval (DESIGN.md §12): among the live objects
+  /// whose lifespan overlaps query.interval and whose description contains
+  /// at least one query element (disjunctive semantics, unlike the
+  /// conjunctive Boolean Query above), report the k best by accumulated
+  /// impact score, ordered by (score desc, id asc). `out` is cleared first
+  /// and holds at most k hits. Indexes without impact-scored postings
+  /// return NotSupported.
+  virtual Status TopKQuery(const irhint::Query& query, uint32_t k,
+                           std::vector<ScoredHit>* out) const {
+    (void)query;
+    (void)k;
+    out->clear();
+    return Status::NotSupported(std::string(Name()) +
+                                " has no impact-scored postings");
+  }
 
   /// \brief Insert a new object. Preconditions: ids strictly increase
   /// across inserts (the update model of Section 5.5) and `elements` is

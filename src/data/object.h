@@ -75,6 +75,22 @@ struct Object {
   bool ContainsAll(const std::vector<ElementId>& query_elements) const;
 };
 
+/// \brief One ranked-retrieval result: an object id plus its accumulated
+/// impact score. Ranked results are ordered by (score desc, id asc) — the
+/// id tie-break is what makes top-k answers deterministic across index
+/// kinds, shard layouts and traversal orders.
+struct ScoredHit {
+  ObjectId id = 0;
+  uint64_t score = 0;
+
+  bool operator==(const ScoredHit& other) const = default;
+};
+
+/// \brief The ranked total order: higher score first, ties by ascending id.
+inline bool ScoredBetter(const ScoredHit& a, const ScoredHit& b) {
+  return a.score != b.score ? a.score > b.score : a.id < b.id;
+}
+
 /// \brief A time-travel IR query q = <[t_st, t_end], d> (Definition 2.1).
 struct Query {
   Interval interval;

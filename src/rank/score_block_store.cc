@@ -1,0 +1,320 @@
+#include "rank/score_block_store.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+
+namespace irhint {
+
+namespace {
+
+/// \brief Index of the first posting with this id in [begin, begin+n), or
+/// n if absent (ids are sorted and unique per list).
+size_t LowerBoundById(const ScoredPosting* begin, size_t n, ObjectId id) {
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (begin[mid].id < id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t BlockCountFor(size_t list_len) {
+  return (list_len + kScoreBlockSize - 1) / kScoreBlockSize;
+}
+
+}  // namespace
+
+void ScoreBlockStore::Assemble(
+    const std::map<ElementId, std::vector<ScoredPosting>>& lists) {
+  std::vector<ElementId> keys;
+  std::vector<uint64_t> offsets{0};
+  std::vector<ScoredPosting> postings;
+  std::vector<uint64_t> block_offsets{0};
+  std::vector<ScoreBlockMeta> blocks;
+  std::vector<ScoreBlockMeta> list_meta;
+  division_meta_ = ScoreBlockMeta{};
+  delta_.clear();
+
+  size_t total = 0;
+  for (const auto& [term, list] : lists) total += list.size();
+  postings.reserve(total);
+  keys.reserve(lists.size());
+
+  for (const auto& [term, list] : lists) {
+    if (list.empty()) continue;
+    keys.push_back(term);
+    ScoreBlockMeta lmeta;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i % kScoreBlockSize == 0) blocks.emplace_back();
+      const ScoredPosting& p = list[i];
+      blocks.back().Cover(p);
+      lmeta.Cover(p);
+      division_meta_.Cover(p);
+      postings.push_back(p);
+    }
+    list_meta.push_back(lmeta);
+    offsets.push_back(postings.size());
+    block_offsets.push_back(blocks.size());
+  }
+
+  keys_ = std::move(keys);
+  offsets_ = std::move(offsets);
+  postings_ = std::move(postings);
+  block_offsets_ = std::move(block_offsets);
+  blocks_ = std::move(blocks);
+  list_meta_ = std::move(list_meta);
+}
+
+void ScoreBlockStore::Append(ElementId term, const ScoredPosting& posting) {
+  DeltaList& list = delta_[term];
+  list.postings.push_back(posting);
+  list.meta.Cover(posting);
+  division_meta_.Cover(posting);
+}
+
+void ScoreBlockStore::Tombstone(const Object& object) {
+  for (ElementId term : object.elements) {
+    // Core span first (loaded or assembled ids all precede delta ids).
+    size_t lo = 0, hi = keys_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (keys_[mid] < term) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    bool flagged = false;
+    if (lo < keys_.size() && keys_[lo] == term) {
+      const size_t begin = static_cast<size_t>(offsets_[lo]);
+      const size_t len = static_cast<size_t>(offsets_[lo + 1]) - begin;
+      const size_t pos = LowerBoundById(postings_.data() + begin, len,
+                                        object.id);
+      if (pos < len && postings_[begin + pos].id == object.id) {
+        postings_.MutableData()[begin + pos].flags |= kScoredTombstone;
+        flagged = true;
+      }
+    }
+    if (!flagged) {
+      auto it = delta_.find(term);
+      if (it != delta_.end()) {
+        std::vector<ScoredPosting>& dl = it->second.postings;
+        const size_t pos = LowerBoundById(dl.data(), dl.size(), object.id);
+        if (pos < dl.size() && dl[pos].id == object.id) {
+          dl[pos].flags |= kScoredTombstone;
+        }
+      }
+    }
+  }
+}
+
+bool ScoreBlockStore::FindList(ElementId term, ListRef* out) const {
+  *out = ListRef{};
+  size_t lo = 0, hi = keys_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (keys_[mid] < term) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  bool found = false;
+  if (lo < keys_.size() && keys_[lo] == term) {
+    const size_t begin = static_cast<size_t>(offsets_[lo]);
+    out->core = postings_.data() + begin;
+    out->core_len = static_cast<size_t>(offsets_[lo + 1]) - begin;
+    const size_t bbegin = static_cast<size_t>(block_offsets_[lo]);
+    out->blocks = blocks_.data() + bbegin;
+    out->block_count = static_cast<size_t>(block_offsets_[lo + 1]) - bbegin;
+    out->core_meta = list_meta_[lo];
+    found = true;
+  }
+  auto it = delta_.find(term);
+  if (it != delta_.end() && !it->second.postings.empty()) {
+    out->delta = it->second.postings.data();
+    out->delta_len = it->second.postings.size();
+    out->delta_meta = it->second.meta;
+    found = true;
+  }
+  return found;
+}
+
+size_t ScoreBlockStore::posting_count() const {
+  size_t n = postings_.size();
+  for (const auto& [term, list] : delta_) n += list.postings.size();
+  return n;
+}
+
+size_t ScoreBlockStore::MemoryUsageBytes() const {
+  size_t bytes = keys_.MemoryUsageBytes() + offsets_.MemoryUsageBytes() +
+                 postings_.MemoryUsageBytes() +
+                 block_offsets_.MemoryUsageBytes() +
+                 blocks_.MemoryUsageBytes() + list_meta_.MemoryUsageBytes();
+  for (const auto& [term, list] : delta_) {
+    bytes += sizeof(DeltaList) + sizeof(std::pair<ElementId, DeltaList>) +
+             list.postings.capacity() * sizeof(ScoredPosting);
+  }
+  return bytes;
+}
+
+void ScoreBlockStore::SaveTo(SnapshotWriter* writer) const {
+  // Compact on the way out: merge the delta overlay into the core and
+  // drop tombstones, so the loaded store is pure CSR with tight metadata.
+  std::map<ElementId, std::vector<ScoredPosting>> live;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    const size_t begin = static_cast<size_t>(offsets_[i]);
+    const size_t end = static_cast<size_t>(offsets_[i + 1]);
+    for (size_t p = begin; p < end; ++p) {
+      if (!postings_[p].tombstoned()) live[keys_[i]].push_back(postings_[p]);
+    }
+  }
+  for (const auto& [term, list] : delta_) {
+    for (const ScoredPosting& p : list.postings) {
+      if (!p.tombstoned()) live[term].push_back(p);
+    }
+  }
+  for (auto it = live.begin(); it != live.end();) {
+    it = it->second.empty() ? live.erase(it) : std::next(it);
+  }
+
+  ScoreBlockStore compact;
+  compact.Assemble(live);
+  writer->WriteU64(compact.division_meta_.min_st);
+  writer->WriteU64(compact.division_meta_.max_end);
+  writer->WriteU16(compact.division_meta_.max_impact);
+  writer->WriteFlatArray(compact.keys_);
+  writer->WriteFlatArray(compact.offsets_);
+  writer->WriteFlatArray(compact.postings_);
+  writer->WriteFlatArray(compact.block_offsets_);
+  writer->WriteFlatArray(compact.blocks_);
+  writer->WriteFlatArray(compact.list_meta_);
+}
+
+Status ScoreBlockStore::LoadFrom(SectionCursor* cursor) {
+  delta_.clear();
+  division_meta_ = ScoreBlockMeta{};
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&division_meta_.min_st));
+  IRHINT_RETURN_NOT_OK(cursor->ReadU64(&division_meta_.max_end));
+  IRHINT_RETURN_NOT_OK(cursor->ReadU16(&division_meta_.max_impact));
+  IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&keys_));
+  IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&offsets_));
+  IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&postings_));
+  IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&block_offsets_));
+  IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&blocks_));
+  IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&list_meta_));
+  return CheckShapes();
+}
+
+Status ScoreBlockStore::CheckShapes() const {
+  const size_t n = keys_.size();
+  if (n == 0) {
+    if (!postings_.empty() || !blocks_.empty() || !list_meta_.empty() ||
+        offsets_.size() > 1 || block_offsets_.size() > 1) {
+      return Status::Corruption("score store: keyless store has payload");
+    }
+    if (offsets_.size() == 1 && offsets_[0] != 0) {
+      return Status::Corruption("score store: nonzero base offset");
+    }
+    if (block_offsets_.size() == 1 && block_offsets_[0] != 0) {
+      return Status::Corruption("score store: nonzero base block offset");
+    }
+    return Status::OK();
+  }
+  if (offsets_.size() != n + 1 || block_offsets_.size() != n + 1 ||
+      list_meta_.size() != n) {
+    return Status::Corruption("score store: directory sizes disagree");
+  }
+  if (offsets_[0] != 0 || block_offsets_[0] != 0) {
+    return Status::Corruption("score store: nonzero base offset");
+  }
+  if (offsets_[n] != postings_.size() || block_offsets_[n] != blocks_.size()) {
+    return Status::Corruption("score store: offsets do not cover payload");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 1 < n && keys_[i] >= keys_[i + 1]) {
+      return Status::Corruption("score store: keys not strictly sorted");
+    }
+    if (offsets_[i] > offsets_[i + 1] ||
+        block_offsets_[i] > block_offsets_[i + 1]) {
+      return Status::Corruption("score store: offsets not monotone");
+    }
+    const size_t len = static_cast<size_t>(offsets_[i + 1] - offsets_[i]);
+    if (len == 0) {
+      return Status::Corruption("score store: empty list materialized");
+    }
+    const size_t nblocks =
+        static_cast<size_t>(block_offsets_[i + 1] - block_offsets_[i]);
+    if (nblocks != BlockCountFor(len)) {
+      return Status::Corruption("score store: block count mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+Status ScoreBlockStore::Check(CheckLevel level) const {
+  IRHINT_RETURN_NOT_OK(CheckShapes());
+  if (level == CheckLevel::kQuick) return Status::OK();
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    const size_t begin = static_cast<size_t>(offsets_[i]);
+    const size_t len = static_cast<size_t>(offsets_[i + 1]) - begin;
+    const size_t bbegin = static_cast<size_t>(block_offsets_[i]);
+    for (size_t p = 0; p < len; ++p) {
+      const ScoredPosting& post = postings_[begin + p];
+      if (p > 0 && postings_[begin + p - 1].id >= post.id) {
+        return Status::Corruption("score store: list ids not sorted");
+      }
+      if (post.tombstoned()) continue;
+      if (post.st > post.end) {
+        return Status::Corruption("score store: inverted posting interval");
+      }
+      if (post.impact != ImpactScore(keys_[i], post.end)) {
+        return Status::Corruption("score store: impact mismatch");
+      }
+      const ScoreBlockMeta& block = blocks_[bbegin + p / kScoreBlockSize];
+      for (const ScoreBlockMeta* meta :
+           {&block, &list_meta_[i], &division_meta_}) {
+        if (meta->min_st > post.st || meta->max_end < post.end ||
+            meta->max_impact < post.impact) {
+          return Status::Corruption("score store: metadata under-covers");
+        }
+      }
+    }
+  }
+  ObjectId max_core_id = 0;
+  for (size_t p = 0; p < postings_.size(); ++p) {
+    if (postings_[p].id > max_core_id) max_core_id = postings_[p].id;
+  }
+  for (const auto& [term, list] : delta_) {
+    for (size_t p = 0; p < list.postings.size(); ++p) {
+      const ScoredPosting& post = list.postings[p];
+      if (p > 0 && list.postings[p - 1].id >= post.id) {
+        return Status::Corruption("score store: delta ids not sorted");
+      }
+      if (!postings_.empty() && post.id <= max_core_id) {
+        return Status::Corruption("score store: delta id not above core");
+      }
+      if (post.tombstoned()) continue;
+      if (post.impact != ImpactScore(term, post.end)) {
+        return Status::Corruption("score store: delta impact mismatch");
+      }
+      for (const ScoreBlockMeta* meta : {&list.meta, &division_meta_}) {
+        if (meta->min_st > post.st || meta->max_end < post.end ||
+            meta->max_impact < post.impact) {
+          return Status::Corruption("score store: delta metadata under-covers");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace irhint

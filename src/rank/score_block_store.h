@@ -1,0 +1,129 @@
+// The per-division container of impact-scored postings (DESIGN.md §12).
+//
+// Layout: a CSR over the division's terms — sorted keys, offsets, one
+// contiguous FlatArray of id-sorted ScoredPostings — plus three tiers of
+// ScoreBlockMeta (per 64-posting block, per list, per division) that the
+// MaxScore traversal prunes against. Live inserts land in a per-term
+// delta overlay; the strictly-increasing-id contract (Section 5.5) makes
+// core-then-delta one id-sorted sequence. Erases tombstone in place and
+// leave the metadata stale-high (conservative, never incorrect).
+//
+// Concurrency (DESIGN.md §10): none of its own — like every index
+// structure, readers may run concurrently with each other but callers
+// serialize updates against reads (DurableIndex / ServeEngine provide
+// the locking).
+
+#ifndef IRHINT_RANK_SCORE_BLOCK_STORE_H_
+#define IRHINT_RANK_SCORE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/integrity.h"
+#include "data/object.h"
+#include "rank/scored_posting.h"
+#include "storage/flat_array.h"
+
+namespace irhint {
+
+class SnapshotWriter;
+class SectionCursor;
+
+class ScoreBlockStore {
+ public:
+  /// \brief Zero-copy handle to one term's postings: the immutable core
+  /// span with its block metadata, the delta overlay span, and the
+  /// per-span bounds. Valid until the next mutation of the store.
+  struct ListRef {
+    const ScoredPosting* core = nullptr;
+    size_t core_len = 0;
+    const ScoreBlockMeta* blocks = nullptr;
+    size_t block_count = 0;
+    const ScoredPosting* delta = nullptr;
+    size_t delta_len = 0;
+    ScoreBlockMeta core_meta;
+    ScoreBlockMeta delta_meta;
+
+    size_t total_len() const { return core_len + delta_len; }
+    /// \brief Upper bound on any single posting's impact in this list.
+    uint16_t max_impact() const {
+      return core_meta.max_impact > delta_meta.max_impact
+                 ? core_meta.max_impact
+                 : delta_meta.max_impact;
+    }
+    /// \brief True iff no posting of the list can overlap `q`.
+    bool MissesInterval(const Interval& q) const {
+      return core_meta.MissesInterval(q) && delta_meta.MissesInterval(q);
+    }
+  };
+
+  /// \brief Bulk-build the core CSR from per-term id-sorted postings,
+  /// replacing any current contents. Computes all metadata tiers.
+  void Assemble(const std::map<ElementId, std::vector<ScoredPosting>>& lists);
+
+  /// \brief Append one live posting to the term's delta overlay. The
+  /// caller guarantees posting.id exceeds every id already in the list.
+  void Append(ElementId term, const ScoredPosting& posting);
+
+  /// \brief Tombstone the object's posting under each of its elements
+  /// (core postings are flagged in place, materializing a mmap view on
+  /// first use; metadata stays stale-high).
+  void Tombstone(const Object& object);
+
+  /// \brief Locate a term's postings; false if the division has none.
+  bool FindList(ElementId term, ListRef* out) const;
+
+  /// \brief Conservative bounds over every posting in the division.
+  const ScoreBlockMeta& division_meta() const { return division_meta_; }
+
+  /// \brief Core + delta postings, tombstones included.
+  size_t posting_count() const;
+
+  bool empty() const { return posting_count() == 0; }
+
+  size_t MemoryUsageBytes() const;
+
+  /// \brief Append the store's fields to the writer's open section. The
+  /// delta overlay is merged into the core and tombstones are dropped
+  /// (compaction), so a loaded store is always pure CSR.
+  void SaveTo(SnapshotWriter* writer) const;
+
+  /// \brief Decode the fields written by SaveTo. Validates every shape
+  /// invariant the query paths index by before accepting the data; any
+  /// malformed input yields Corruption, never a crash.
+  Status LoadFrom(SectionCursor* cursor);
+
+  /// \brief Structural audit: kQuick re-checks the CSR shapes, kDeep
+  /// additionally verifies per-list id-sortedness, that every metadata
+  /// tier covers its live postings, and that each live posting's impact
+  /// matches the pure impact function.
+  Status Check(CheckLevel level) const;
+
+ private:
+  struct DeltaList {
+    std::vector<ScoredPosting> postings;
+    ScoreBlockMeta meta;
+  };
+
+  Status CheckShapes() const;
+
+  // Core CSR: keys_ sorted; list i occupies postings_[offsets_[i],
+  // offsets_[i+1]) and blocks_[block_offsets_[i], block_offsets_[i+1]).
+  FlatArray<ElementId> keys_;
+  FlatArray<uint64_t> offsets_;
+  FlatArray<ScoredPosting> postings_;
+  FlatArray<uint64_t> block_offsets_;
+  FlatArray<ScoreBlockMeta> blocks_;
+  FlatArray<ScoreBlockMeta> list_meta_;
+
+  // Live-insert overlay, one id-sorted run per term.
+  std::map<ElementId, DeltaList> delta_;
+
+  ScoreBlockMeta division_meta_;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_RANK_SCORE_BLOCK_STORE_H_

@@ -1,0 +1,82 @@
+// ScoredIndex: the ranked-retrieval adapter (DESIGN.md §12). Wraps one of
+// the Boolean index kinds (tIF or irHINT) for Build/Query/Insert/Erase
+// and maintains, alongside it, per-division ScoreBlockStores of
+// impact-scored postings. TopKQuery answers ranked disjunctive queries
+// with a MaxScore document-at-a-time traversal over those stores: a
+// bounded worst-on-top heap supplies the k-th-best threshold, lists whose
+// combined bounds cannot reach it are demoted to probe-only, and whole
+// blocks and divisions are skipped when their metadata proves they cannot
+// produce a winner. TopKOracle is the exhaustive score-everything
+// baseline the tests and the topk_latency bench compare against.
+
+#ifndef IRHINT_RANK_SCORED_INDEX_H_
+#define IRHINT_RANK_SCORED_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/factory.h"
+#include "core/temporal_ir_index.h"
+#include "rank/score_block_store.h"
+
+namespace irhint {
+
+struct ScoredIndexOptions {
+  /// Boolean base kind answering Query(); kTif or kIrHintPerf (anything
+  /// else is normalized to kIrHintPerf).
+  IndexKind base = IndexKind::kIrHintPerf;
+  /// Pruning divisions: Build() slices the corpus into this many
+  /// equal-population start-time divisions (frozen afterwards). Geometry
+  /// affects pruning only, never results; insert-only indexes (the
+  /// DurableIndex replay path) keep a single division.
+  uint32_t divisions = 32;
+};
+
+class ScoredIndex : public CountingTemporalIrIndex {
+ public:
+  ScoredIndex(const ScoredIndexOptions& options, const IndexConfig& config);
+
+  Status Build(const Corpus& corpus) override;
+  void Query(const irhint::Query& query,
+             std::vector<ObjectId>* out) const override;
+  Status TopKQuery(const irhint::Query& query, uint32_t k,
+                   std::vector<ScoredHit>* out) const override;
+  Status Insert(const Object& object) override;
+  Status Erase(const Object& object) override;
+  size_t MemoryUsageBytes() const override;
+  std::optional<QueryCounters> Stats() const override;
+  void ResetStats() override;
+  void EnableStats(bool enabled) override;
+  std::string_view Name() const override { return name_; }
+  IndexKind Kind() const override;
+  Status SaveTo(SnapshotWriter* writer) const override;
+  Status LoadFrom(SnapshotReader* reader) override;
+  Status IntegrityCheck(CheckLevel level) const override;
+
+  /// \brief Exhaustive baseline: score every posting of every query term
+  /// (postings_scored counts them all), then take the k best. Same
+  /// result contract as TopKQuery — the traversal must match it
+  /// byte-for-byte on every input.
+  Status TopKOracle(const irhint::Query& query, uint32_t k,
+                    std::vector<ScoredHit>* out) const;
+
+  size_t division_count() const { return stores_.size(); }
+
+ private:
+  size_t DivisionFor(Time st) const;
+
+  ScoredIndexOptions options_;
+  std::string name_;
+  std::unique_ptr<TemporalIrIndex> inner_;
+  /// stores_[i] holds objects with st in [division_starts_[i],
+  /// division_starts_[i+1]); division_starts_[0] == 0, sizes match.
+  std::vector<ScoreBlockStore> stores_;
+  std::vector<Time> division_starts_;
+  bool built_ = false;
+};
+
+}  // namespace irhint
+
+#endif  // IRHINT_RANK_SCORED_INDEX_H_

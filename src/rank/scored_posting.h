@@ -1,0 +1,101 @@
+// Value types of the ranked-retrieval subsystem (DESIGN.md §12): the
+// impact-scored posting, the shared block/list/division max-score
+// metadata record, and the impact function itself.
+//
+// The impact of a (term, object) pair is a PURE function of the term id
+// and the object's interval end — no collection statistics, no
+// build-frozen state. That is the load-bearing design decision: it makes
+// scores byte-identical across index kinds, across a WAL replay, across
+// serve shards (which each see a subset of the corpus) and across insert
+// orders, which in turn is what lets every top-k surface in the library
+// be tested for exact equality against the exhaustive oracle.
+
+#ifndef IRHINT_RANK_SCORED_POSTING_H_
+#define IRHINT_RANK_SCORED_POSTING_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "data/object.h"
+
+namespace irhint {
+
+/// \brief Postings per score block. Block metadata (below) lets the
+/// MaxScore traversal skip 64 postings per comparison.
+inline constexpr size_t kScoreBlockSize = 64;
+
+/// \brief Tombstone marker in ScoredPosting::flags.
+inline constexpr uint16_t kScoredTombstone = 1u << 0;
+
+/// \brief One impact-scored posting: the object id, its precomputed
+/// quantized impact for the owning term, and the full (global-domain)
+/// lifespan so overlap is checked without consulting the corpus. Lists
+/// store these sorted by id; 24 bytes, no implicit padding (snapshot
+/// arrays require padding-free layouts).
+struct ScoredPosting {
+  ObjectId id = 0;
+  uint16_t impact = 0;
+  uint16_t flags = 0;
+  Time st = 0;
+  Time end = 0;
+
+  bool tombstoned() const { return (flags & kScoredTombstone) != 0; }
+};
+static_assert(sizeof(ScoredPosting) == 24, "ScoredPosting must be packed");
+
+/// \brief Max-score metadata over a run of postings: one per 64-posting
+/// block, one per list, one per division. Bounds are conservative
+/// ("stale-high"): erases tombstone postings without shrinking the
+/// bounds, so a stale record can only make pruning less aggressive,
+/// never incorrect. An empty record (min_st > max_end) fails every
+/// overlap test, so empty runs prune themselves.
+struct ScoreBlockMeta {
+  Time min_st = static_cast<Time>(-1);
+  Time max_end = 0;
+  uint16_t max_impact = 0;
+  uint16_t pad_a = 0;
+  uint32_t pad_b = 0;
+
+  void Cover(const ScoredPosting& p) {
+    if (p.st < min_st) min_st = p.st;
+    if (p.end > max_end) max_end = p.end;
+    if (p.impact > max_impact) max_impact = p.impact;
+  }
+
+  /// \brief True iff no covered posting can overlap `q` (safe to skip
+  /// the whole run regardless of the current top-k threshold).
+  bool MissesInterval(const Interval& q) const {
+    return min_st > q.end || max_end < q.st;
+  }
+};
+static_assert(sizeof(ScoreBlockMeta) == 24, "ScoreBlockMeta must be packed");
+
+/// \brief Log with a 4-bit mantissa: 16 * floor(log2 v) + the next four
+/// bits below the leading one. Monotone in v, collapses the huge raw
+/// ranges (element ids, time points) to a few hundred buckets while
+/// keeping relative order at ~6% resolution. Returns 0 for v == 0.
+inline uint32_t LogQuant16(uint64_t v) {
+  if (v == 0) return 0;
+  const int msb = std::bit_width(v) - 1;
+  const uint32_t mant =
+      msb >= 4 ? static_cast<uint32_t>((v >> (msb - 4)) & 0xF)
+               : static_cast<uint32_t>((v << (4 - msb)) & 0xF);
+  return 16u * static_cast<uint32_t>(msb) + mant;
+}
+
+/// \brief The quantized impact of term `element` in an object whose
+/// lifespan ends at `end`. Rarity proxy: synthetic element ids are
+/// frequency ranks, so a larger id means a rarer term (idf-like).
+/// Recency proxy: a later interval end means a fresher object. Both
+/// factors are log-quantized; the product is scaled into [1, ~2048], so
+/// every live matching posting contributes at least 1.
+inline uint16_t ImpactScore(ElementId element, Time end) {
+  const uint32_t rarity = LogQuant16(static_cast<uint64_t>(element) + 1);
+  const uint32_t recency =
+      LogQuant16(end == static_cast<Time>(-1) ? end : end + 1);
+  return static_cast<uint16_t>(1 + ((rarity * recency) >> 8));
+}
+
+}  // namespace irhint
+
+#endif  // IRHINT_RANK_SCORED_POSTING_H_

@@ -80,7 +80,11 @@ StatusOr<std::unique_ptr<ServeEngine>> ServeEngine::Create(
 
   // Partition: replicate every object into each covering (time, bucket)
   // cell, clamped+rebased to the shard frame and renumbered to dense local
-  // ids with the global id remembered in the shard's id map.
+  // ids with the global id remembered in the shard's id map. Scored kinds
+  // keep GLOBAL coordinates instead: an impact score is a pure function of
+  // the global interval end, so a rebased replica would score differently
+  // than the same object on another shard and break the cross-shard merge.
+  const bool scored = KindSupportsTopK(options.kind);
   const size_t num_shards =
       static_cast<size_t>(time_shards) * options.term_buckets;
   std::vector<Corpus> locals(num_shards);
@@ -88,7 +92,8 @@ StatusOr<std::unique_ptr<ServeEngine>> ServeEngine::Create(
   for (size_t shard = 0; shard < num_shards; ++shard) {
     const Interval& range = ranges[shard / options.term_buckets];
     locals[shard].set_dictionary(corpus.dictionary());
-    locals[shard].DeclareDomain(std::min(domain_end, range.end) - range.st);
+    locals[shard].DeclareDomain(
+        scored ? domain_end : std::min(domain_end, range.end) - range.st);
   }
   std::vector<uint32_t> buckets;
   for (const Object& object : corpus.objects()) {
@@ -96,9 +101,13 @@ StatusOr<std::unique_ptr<ServeEngine>> ServeEngine::Create(
     const uint32_t t1 = engine->TimeShardOf(object.interval.end);
     ObjectBuckets(object, options.term_buckets, &buckets);
     for (uint32_t t = t0; t <= t1; ++t) {
-      const Interval local(
-          std::max(object.interval.st, ranges[t].st) - ranges[t].st,
-          std::min(object.interval.end, ranges[t].end) - ranges[t].st);
+      const Interval local =
+          scored ? object.interval
+                 : Interval(
+                       std::max(object.interval.st, ranges[t].st) -
+                           ranges[t].st,
+                       std::min(object.interval.end, ranges[t].end) -
+                           ranges[t].st);
       for (const uint32_t b : buckets) {
         const size_t shard = engine->ShardAt(t, b);
         locals[shard].Append(local, object.elements);
@@ -120,6 +129,7 @@ StatusOr<std::unique_ptr<ServeEngine>> ServeEngine::Create(
   ShardOptions shard_options;
   shard_options.max_queue_depth = options.max_queue_depth;
   shard_options.max_batch = options.max_batch;
+  shard_options.localize = !scored;
   shard_options.batch_hook = options.batch_hook;
 
   engine->shards_.reserve(num_shards);
@@ -202,6 +212,35 @@ void ServeEngine::RouteQuery(const Query& query,
   }
 }
 
+void ServeEngine::RouteTopK(const Query& query,
+                            std::vector<Shard*>* targets) const {
+  targets->clear();
+  const uint32_t t0 = TimeShardOf(query.interval.st);
+  const uint32_t t1 = TimeShardOf(query.interval.end);
+  std::vector<uint32_t> buckets;
+  if (term_buckets_ == 1 || query.elements.empty()) {
+    // One bucket, or element-less ranked queries (empty top-k either way,
+    // but the legs must still run so NotSupported surfaces): bucket 0 or
+    // all of them.
+    for (uint32_t b = 0; b < term_buckets_; ++b) buckets.push_back(b);
+  } else {
+    // Disjunctive scoring: an object matching ANY query element can rank,
+    // and it is only guaranteed replicated into that element's bucket —
+    // so every element's bucket must be visited (replicas in several
+    // buckets score identically and the merge dedups them).
+    for (const ElementId element : query.elements) {
+      buckets.push_back(TermBucket(element, term_buckets_));
+    }
+    std::sort(buckets.begin(), buckets.end());
+    buckets.erase(std::unique(buckets.begin(), buckets.end()), buckets.end());
+  }
+  for (uint32_t t = t0; t <= t1; ++t) {
+    for (const uint32_t b : buckets) {
+      targets->push_back(shards_[ShardAt(t, b)].get());
+    }
+  }
+}
+
 void ServeEngine::RouteObject(const Object& object,
                               std::vector<Shard*>* targets) const {
   targets->clear();
@@ -233,6 +272,26 @@ ResultFuture ServeEngine::Submit(const Query& query) {
 
 StatusOr<std::vector<ObjectId>> ServeEngine::Execute(const Query& query) {
   return Submit(query).Get();
+}
+
+TopKFuture ServeEngine::SubmitTopK(const Query& query, uint32_t k) {
+  std::vector<Shard*> targets;
+  RouteTopK(query, &targets);
+  auto state = std::make_shared<TopKState>(
+      static_cast<uint32_t>(targets.size()), k);
+  for (Shard* shard : targets) {
+    if (!shard->TrySubmitTopK(query, k, state)) {
+      state->FailLeg(Status::Unavailable(
+          "shard " + std::to_string(shard->shard_index()) +
+          " queue full; query shed"));
+    }
+  }
+  return TopKFuture(std::move(state));
+}
+
+StatusOr<std::vector<ScoredHit>> ServeEngine::ExecuteTopK(const Query& query,
+                                                          uint32_t k) {
+  return SubmitTopK(query, k).Get();
 }
 
 Status ServeEngine::RunUpdate(bool erase, const Object& object) {

@@ -113,6 +113,15 @@ class ServeEngine {
   /// \brief Submit + Get in one call.
   StatusOr<std::vector<ObjectId>> Execute(const Query& query);
 
+  /// \brief Route a ranked top-k query (kind must support TopKQuery, see
+  /// KindSupportsTopK) to the shards overlapping its interval — across
+  /// the buckets of ALL its elements, the query being disjunctive — and
+  /// return a future over the deterministically merged global top-k.
+  TopKFuture SubmitTopK(const Query& query, uint32_t k);
+
+  /// \brief SubmitTopK + Get in one call.
+  StatusOr<std::vector<ScoredHit>> ExecuteTopK(const Query& query, uint32_t k);
+
   // -- Update path (single writer, Section 5.5 model) -----------------------
 
   /// \brief Route an insert to every covering shard and wait for it to
@@ -155,6 +164,9 @@ class ServeEngine {
 
   /// Shards overlapping [query interval] x [bucket of the query terms].
   void RouteQuery(const Query& query, std::vector<Shard*>* targets) const;
+  /// Shards overlapping [query interval] x [buckets of ALL query terms]
+  /// (disjunctive semantics: any one element can rank an object).
+  void RouteTopK(const Query& query, std::vector<Shard*>* targets) const;
   /// Shards that must hold `object` under the placement rule.
   void RouteObject(const Object& object, std::vector<Shard*>* targets) const;
   Status RunUpdate(bool erase, const Object& object);

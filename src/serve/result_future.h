@@ -96,6 +96,79 @@ class ResultState {
   Status error_ IRHINT_GUARDED_BY(mu_);
 };
 
+/// \brief Shared completion state of one routed top-k request
+/// (DESIGN.md §12). Same leg protocol as ResultState, but legs carry
+/// (id, score) hits and the merge keeps the ranked order: replicas of an
+/// object across shards report identical scores (shards hold whole
+/// objects and impacts are a pure function of term and interval), so the
+/// merge dedups by id, re-sorts by the ranked total order (score desc,
+/// id asc) and truncates to k — byte-identical to a 1-shard engine.
+class TopKState {
+ public:
+  TopKState(uint32_t legs, uint32_t k) : pending_(legs), k_(k) {}
+
+  TopKState(const TopKState&) = delete;
+  TopKState& operator=(const TopKState&) = delete;
+
+  /// \brief Resolve one leg with a shard's local top-k (global ids).
+  void CompleteLeg(std::vector<ScoredHit> hits) {
+    MutexLock lock(&mu_);
+    legs_.push_back(std::move(hits));
+    FinishLegLocked();
+  }
+
+  /// \brief Resolve one leg as failed; first failure wins, all legs are
+  /// still awaited.
+  void FailLeg(const Status& status) {
+    MutexLock lock(&mu_);
+    if (error_.ok() && !status.ok()) error_ = status;
+    FinishLegLocked();
+  }
+
+  /// \brief Block until every leg resolved; single consumer. Returns the
+  /// first leg failure, or the merged global top-k.
+  StatusOr<std::vector<ScoredHit>> Wait() {
+    MutexLock lock(&mu_);
+    while (pending_ > 0) cv_.Wait(&mu_);
+    if (!error_.ok()) return error_;
+    std::vector<ScoredHit> merged;
+    for (std::vector<ScoredHit>& leg : legs_) {
+      merged.insert(merged.end(), leg.begin(), leg.end());
+    }
+    legs_.clear();
+    std::sort(merged.begin(), merged.end(),
+              [](const ScoredHit& a, const ScoredHit& b) {
+                return a.id < b.id;
+              });
+    merged.erase(std::unique(merged.begin(), merged.end(),
+                             [](const ScoredHit& a, const ScoredHit& b) {
+                               return a.id == b.id;
+                             }),
+                 merged.end());
+    std::sort(merged.begin(), merged.end(), ScoredBetter);
+    if (merged.size() > static_cast<size_t>(k_)) merged.resize(k_);
+    return merged;
+  }
+
+  bool Ready() const {
+    MutexLock lock(&mu_);
+    return (pending_ == 0);
+  }
+
+ private:
+  void FinishLegLocked() IRHINT_REQUIRES(mu_) {
+    if (pending_ > 0) --pending_;
+    if (pending_ == 0) cv_.NotifyAll();
+  }
+
+  mutable Mutex mu_{"serve::ResultState::mu"};
+  CondVar cv_;
+  uint32_t pending_ IRHINT_GUARDED_BY(mu_) = 0;
+  const uint32_t k_;  // unguarded: immutable after construction
+  std::vector<std::vector<ScoredHit>> legs_ IRHINT_GUARDED_BY(mu_);
+  Status error_ IRHINT_GUARDED_BY(mu_);
+};
+
 /// \brief Client-side handle on a submitted request. Move-friendly thin
 /// wrapper; Get() blocks until the router's legs are all resolved.
 class ResultFuture {
@@ -118,6 +191,29 @@ class ResultFuture {
  private:
   // unguarded: owned by the single client thread holding the future
   std::shared_ptr<ResultState> state_;
+};
+
+/// \brief Client-side handle on a submitted top-k request.
+class TopKFuture {
+ public:
+  TopKFuture() = default;
+  explicit TopKFuture(std::shared_ptr<TopKState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool Ready() const { return state_ != nullptr && state_->Ready(); }
+
+  /// \brief Block for the merged ranked result (see TopKState::Wait).
+  StatusOr<std::vector<ScoredHit>> Get() {
+    if (state_ == nullptr) {
+      return Status::InvalidArgument("Get() on an empty TopKFuture");
+    }
+    return state_->Wait();
+  }
+
+ private:
+  // unguarded: owned by the single client thread holding the future
+  std::shared_ptr<TopKState> state_;
 };
 
 }  // namespace serve

@@ -58,9 +58,9 @@ size_t RunServerLoop(ServeEngine* engine, std::istream& in,
       break;
     }
     if (command == "help") {
-      out << "commands: query <st> <end> [elem ...] | insert <st> <end> "
-             "[elem ...] | erase <id> <st> <end> [elem ...] | stats | "
-             "flush | help | quit\n";
+      out << "commands: query <st> <end> [elem ...] | topk <k> <st> <end> "
+             "[elem ...] | insert <st> <end> [elem ...] | erase <id> <st> "
+             "<end> [elem ...] | stats | flush | help | quit\n";
       continue;
     }
     if (command == "stats") {
@@ -85,6 +85,27 @@ size_t RunServerLoop(ServeEngine* engine, std::istream& in,
       }
       out << "OK " << result->size();
       for (const ObjectId id : *result) out << " " << id;
+      out << "\n";
+      continue;
+    }
+    if (command == "topk") {
+      uint32_t k = 0;
+      Interval interval;
+      if (!(tokens >> k) || !ReadTime(tokens, &interval.st) ||
+          !ReadTime(tokens, &interval.end)) {
+        out << "ERR topk needs <k> <st> <end>\n";
+        continue;
+      }
+      Query query(interval, ReadElements(tokens));
+      StatusOr<std::vector<ScoredHit>> result = engine->ExecuteTopK(query, k);
+      if (!result.ok()) {
+        out << "ERR " << result.status().ToString() << "\n";
+        continue;
+      }
+      out << "OK " << result->size();
+      for (const ScoredHit& hit : *result) {
+        out << " " << hit.id << ":" << hit.score;
+      }
       out << "\n";
       continue;
     }

@@ -5,6 +5,9 @@
 //
 // Protocol (times and element ids are unsigned integers):
 //   query <st> <end> [elem ...]      -> "OK <n> [id ...]" sorted ids
+//   topk <k> <st> <end> [elem ...]   -> "OK <n> [id:score ...]" ranked
+//                                       (score desc, id asc); needs a
+//                                       scored-* engine kind
 //   insert <st> <end> [elem ...]     -> "OK id=<id>"      assigned global id
 //   erase <id> <st> <end> [elem ...] -> "OK"              tombstones the object
 //   stats                            -> multi-line "stat <name> <value>" block

@@ -79,6 +79,30 @@ bool Shard::TrySubmitQuery(const Query& query,
   return false;
 }
 
+bool Shard::TrySubmitTopK(const Query& query, uint32_t k,
+                          std::shared_ptr<TopKState> result) {
+  {
+    MutexLock lock(&mu_);
+    if (!stopping_ && queue_.size() < options_.max_queue_depth) {
+      Request request;
+      request.kind = Request::Kind::kTopK;
+      // Scored engines run with localize=false, so this is the identity;
+      // kept for symmetry with TrySubmitQuery.
+      request.query.interval = Localize(query.interval);
+      request.query.elements = query.elements;
+      request.k = k;
+      request.topk = std::move(result);
+      queue_.push_back(std::move(request));
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      BumpMax(peak_queue_depth_, queue_.size());
+      work_cv_.NotifyOne();
+      return true;
+    }
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
 void Shard::SubmitUpdate(bool erase, Object object,
                          std::shared_ptr<ResultState> result) {
   Request request;
@@ -170,11 +194,14 @@ void Shard::ExecuteBatch(std::vector<Request>* batch) {
   // order matters); queries in the batch then observe every update that
   // was admitted before the batch formed.
   std::vector<size_t> query_indices;
+  std::vector<size_t> topk_indices;
   query_indices.reserve(batch->size());
   for (size_t i = 0; i < batch->size(); ++i) {
     Request& request = (*batch)[i];
     if (request.kind == Request::Kind::kQuery) {
       query_indices.push_back(i);
+    } else if (request.kind == Request::Kind::kTopK) {
+      topk_indices.push_back(i);
     } else {
       ApplyUpdate(&request);
     }
@@ -206,7 +233,28 @@ void Shard::ExecuteBatch(std::vector<Request>* batch) {
     request.result->CompleteLeg(global_ids);
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  // Top-k legs run after the batch's updates for the same visibility
+  // guarantee as Boolean queries. No duplicate grouping: ranked traffic
+  // is rarer and each leg's k can differ.
+  for (const size_t i : topk_indices) ExecuteTopK(&(*batch)[i]);
+
   busy_nanos_.fetch_add(timer.Nanos(), std::memory_order_relaxed);
+}
+
+void Shard::ExecuteTopK(Request* request) {
+  std::vector<ScoredHit> hits;
+  const Status status = index_->TopKQuery(request->query, request->k, &hits);
+  executed_queries_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) {
+    request->topk->FailLeg(status);
+    return;
+  }
+  // Report global ids; scores are already global because scored shards
+  // never rebase intervals (options_.localize == false).
+  for (ScoredHit& hit : hits) hit.id = id_map_[hit.id];
+  request->topk->CompleteLeg(std::move(hits));
 }
 
 void Shard::ApplyUpdate(Request* request) {

@@ -66,6 +66,11 @@ struct ShardStats {
 struct ShardOptions {
   size_t max_queue_depth = 1024;
   size_t max_batch = 64;
+  /// Clamp+rebase intervals into the shard's local frame at enqueue.
+  /// Scored engines disable this: impact scores are a function of the
+  /// GLOBAL interval end, so every shard must keep global coordinates or
+  /// replicas of one object would score differently across shards.
+  bool localize = true;
   /// Test hook: runs on the worker thread before each batch executes (no
   /// lock held). The admission-control tests inject a sleep here to make
   /// a shard slow; never set in production configs.
@@ -103,6 +108,13 @@ class Shard {
   /// leg with kUnavailable.
   bool TrySubmitQuery(const Query& query, std::shared_ptr<ResultState> result);
 
+  /// \brief Enqueue one ranked top-k leg (same admission control as
+  /// TrySubmitQuery). The worker answers it with the shard index's
+  /// TopKQuery and reports global ids; indexes without scored postings
+  /// fail the leg with NotSupported.
+  bool TrySubmitTopK(const Query& query, uint32_t k,
+                     std::shared_ptr<TopKState> result);
+
   /// \brief Enqueue an insert (erase=false) or erase (erase=true) leg.
   /// Blocks while the queue is full — updates are never shed, they see
   /// backpressure instead. `object` carries the global id; the worker
@@ -128,17 +140,20 @@ class Shard {
 
  private:
   struct Request {
-    enum class Kind { kQuery, kInsert, kErase };
+    enum class Kind { kQuery, kInsert, kErase, kTopK };
     Kind kind = Kind::kQuery;
-    Query query;    // kQuery payload
-    Object object;  // update payload (global id)
+    Query query;     // kQuery / kTopK payload
+    uint32_t k = 0;  // kTopK payload
+    Object object;   // update payload (global id)
     std::shared_ptr<ResultState> result;
+    std::shared_ptr<TopKState> topk;  // kTopK completion state
   };
 
   void WorkerLoop();
   /// Runs one popped batch with no shard lock held.
   void ExecuteBatch(std::vector<Request>* batch) IRHINT_EXCLUDES(mu_);
   void ApplyUpdate(Request* request);
+  void ExecuteTopK(Request* request);
 
   /// Clamp to the shard's time range and rebase to its local origin. The
   /// shard index covers only [lo, hi] rebased to 0, so its divisions are
@@ -148,6 +163,7 @@ class Shard {
   /// intersection can fall in. Callers must only pass intervals
   /// overlapping time_range_ (the router guarantees it).
   Interval Localize(const Interval& interval) const {
+    if (!options_.localize) return interval;
     return Interval(std::max(interval.st, time_range_.st) - time_range_.st,
                     std::min(interval.end, time_range_.end) - time_range_.st);
   }

@@ -19,6 +19,8 @@ SnapshotKind SnapshotKindFor(IndexKind kind) {
     case IndexKind::kTifHintSlicing: return SnapshotKind::kTifHintSlicing;
     case IndexKind::kIrHintPerf: return SnapshotKind::kIrHintPerf;
     case IndexKind::kIrHintSize: return SnapshotKind::kIrHintSize;
+    case IndexKind::kScoredTif: return SnapshotKind::kScoredTif;
+    case IndexKind::kScoredIrHint: return SnapshotKind::kScoredIrHint;
   }
   return SnapshotKind::kNaiveScan;  // unreachable
 }
@@ -36,6 +38,8 @@ StatusOr<IndexKind> IndexKindForSnapshot(uint32_t tag) {
     case SnapshotKind::kTifHintSlicing: return IndexKind::kTifHintSlicing;
     case SnapshotKind::kIrHintPerf: return IndexKind::kIrHintPerf;
     case SnapshotKind::kIrHintSize: return IndexKind::kIrHintSize;
+    case SnapshotKind::kScoredTif: return IndexKind::kScoredTif;
+    case SnapshotKind::kScoredIrHint: return IndexKind::kScoredIrHint;
     case SnapshotKind::kCorpus:
       return Status::InvalidArgument("snapshot holds a corpus, not an index");
   }

@@ -14,6 +14,8 @@ std::string_view SnapshotKindName(uint32_t kind) {
     case SnapshotKind::kTifHintSlicing: return "tif_hint_slicing";
     case SnapshotKind::kIrHintPerf: return "irhint_perf";
     case SnapshotKind::kIrHintSize: return "irhint_size";
+    case SnapshotKind::kScoredTif: return "scored_tif";
+    case SnapshotKind::kScoredIrHint: return "scored_irhint";
   }
   return "?";
 }
@@ -27,6 +29,7 @@ std::string_view SnapshotSectionName(uint32_t id) {
     case kSectionDictionary: return "dictionary";
     case kSectionObjects: return "objects";
     case kSectionWalState: return "wal_state";
+    case kSectionRank: return "rank";
   }
   return "?";
 }

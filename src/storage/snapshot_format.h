@@ -66,6 +66,8 @@ enum class SnapshotKind : uint32_t {
   kTifHintSlicing = 16,
   kIrHintPerf = 17,
   kIrHintSize = 18,
+  kScoredTif = 19,
+  kScoredIrHint = 20,
 };
 
 /// \brief Section ids. Stable on-disk tags; never renumber.
@@ -87,6 +89,9 @@ enum SnapshotSection : uint32_t {
   /// Added after format v1 shipped — readers ignore unknown sections, so
   /// no version bump (see the version policy above).
   kSectionWalState = 7,
+  /// Ranked retrieval (src/rank): per-division impact-scored posting
+  /// blocks of a ScoredIndex. Also post-v1; same no-bump rationale.
+  kSectionRank = 8,
 };
 
 /// \brief Human-readable name of a snapshot kind tag ("?" if unknown).

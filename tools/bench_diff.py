@@ -202,6 +202,17 @@ def main():
                   file=sys.stderr)
         return 2
 
+    # Candidate-only metrics are a newly landed family, not a regression:
+    # the committed baseline simply predates them. Report them so the log
+    # shows they were seen, but never gate on them — the next baseline
+    # refresh starts tracking them.
+    additions = sorted(set(cur_metrics) - set(base_metrics))
+    if additions:
+        print(f"bench_diff: {len(additions)} metric(s) only in current "
+              f"report — additions (not gated):")
+        for name in additions:
+            print(f"  {name}")
+
     regressed = []
     improved = []
     compared = 0

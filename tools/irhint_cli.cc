@@ -19,6 +19,10 @@
 //                      that both indexes answer the workload identically)
 //   query      evaluate one time-travel IR query
 //       --in FILE --st T --end T --elements e1,e2,... [--index NAME]
+//   topk       evaluate one ranked top-k query (disjunctive, impact-scored;
+//              needs a scored-* index, default scored-irhint)
+//       --in FILE --st T --end T --elements e1,e2,... [--k K] [--index NAME]
+//       [--oracle 1] (also run the exhaustive scorer and cross-check)
 //   ingest     durably ingest a corpus into a WAL-backed live index; the
 //              directory is recovered first, so re-running after a crash
 //              (or on a half-ingested directory) resumes where it stopped
@@ -37,7 +41,7 @@
 //       [--checkpoint-bytes N]
 //
 // Index names: tif, slicing, sharding, hint-bs, hint-ms, hybrid,
-// irhint-perf (default), irhint-size.
+// irhint-perf (default), irhint-size, scored-tif, scored-irhint.
 
 #include <algorithm>
 #include <cstdio>
@@ -57,6 +61,7 @@
 #include "data/serialize.h"
 #include "data/synthetic.h"
 #include "eval/runner.h"
+#include "rank/scored_index.h"
 #include "serve/server_loop.h"
 #include "storage/index_io.h"
 
@@ -100,7 +105,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 int Usage() {
   std::fprintf(stderr,
                "usage: irhint_cli "
-               "<generate|stats|build|bench|query|ingest|serve> "
+               "<generate|stats|build|bench|query|topk|ingest|serve> "
                "[--opt value]\n"
                "see the header of tools/irhint_cli.cc for details\n");
   return 2;
@@ -114,6 +119,8 @@ IndexKind KindFromName(const std::string& name) {
   if (name == "hint-ms") return IndexKind::kTifHintMergeSort;
   if (name == "hybrid") return IndexKind::kTifHintSlicing;
   if (name == "irhint-size") return IndexKind::kIrHintSize;
+  if (name == "scored-tif") return IndexKind::kScoredTif;
+  if (name == "scored-irhint") return IndexKind::kScoredIrHint;
   return IndexKind::kIrHintPerf;
 }
 
@@ -304,6 +311,13 @@ int Bench(const Args& args) {
       std::printf(
           "  candidates_verified      %llu\n",
           static_cast<unsigned long long>(counters->candidates_verified));
+      std::printf("  postings_scored          %llu\n",
+                  static_cast<unsigned long long>(counters->postings_scored));
+      std::printf("  blocks_skipped           %llu\n",
+                  static_cast<unsigned long long>(counters->blocks_skipped));
+      std::printf(
+          "  divisions_skipped        %llu\n",
+          static_cast<unsigned long long>(counters->divisions_skipped));
     } else {
       std::printf("work counters: not supported by %s\n",
                   std::string(index->Name()).c_str());
@@ -347,6 +361,65 @@ int RunQuery(const Args& args) {
   for (size_t i = 0; i < shown; ++i) std::printf(" %u", results[i]);
   if (results.size() > shown) std::printf(" ...");
   std::printf("\n");
+  return 0;
+}
+
+int TopK(const Args& args) {
+  StatusOr<Corpus> corpus = LoadFromArgs(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  if (!args.Has("st") || !args.Has("end") || !args.Has("elements")) {
+    return Usage();
+  }
+  std::vector<ElementId> elements;
+  const char* spec = args.Get("elements", "");
+  while (*spec != '\0') {
+    char* next = nullptr;
+    elements.push_back(
+        static_cast<ElementId>(std::strtoull(spec, &next, 10)));
+    spec = (*next == ',') ? next + 1 : next;
+  }
+  std::unique_ptr<TemporalIrIndex> index =
+      CreateIndex(KindFromName(args.Get("index", "scored-irhint")));
+  if (Status st = index->Build(*corpus); !st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Query query(Interval(args.GetU64("st", 0), args.GetU64("end", 0)),
+              std::move(elements));
+  const uint32_t k = static_cast<uint32_t>(args.GetU64("k", 10));
+  std::vector<ScoredHit> hits;
+  Timer timer;
+  if (Status st = index->TopKQuery(query, k, &hits); !st.ok()) {
+    std::fprintf(stderr, "topk failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double micros = timer.Seconds() * 1e6;
+  std::printf("top-%u (%zu hits) in %.1f us:", k, hits.size(), micros);
+  for (const ScoredHit& hit : hits) {
+    std::printf(" %u:%llu", hit.id, static_cast<unsigned long long>(hit.score));
+  }
+  std::printf("\n");
+  if (args.GetU64("oracle", 0) != 0) {
+    auto* scored = dynamic_cast<ScoredIndex*>(index.get());
+    if (scored == nullptr) {
+      std::fprintf(stderr, "--oracle needs a scored-* index\n");
+      return 1;
+    }
+    std::vector<ScoredHit> oracle;
+    if (Status st = scored->TopKOracle(query, k, &oracle); !st.ok()) {
+      std::fprintf(stderr, "oracle failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (oracle != hits) {
+      std::fprintf(stderr, "MISMATCH: traversal and oracle disagree\n");
+      return 1;
+    }
+    std::printf("oracle: identical (%zu hits)\n", oracle.size());
+  }
   return 0;
 }
 
@@ -530,6 +603,7 @@ int main(int argc, char** argv) {
   if (args.command == "build") return Build(args);
   if (args.command == "bench") return Bench(args);
   if (args.command == "query") return RunQuery(args);
+  if (args.command == "topk") return TopK(args);
   if (args.command == "ingest") return Ingest(args);
   if (args.command == "serve") return Serve(args);
   return Usage();

@@ -49,7 +49,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)
 # Contract 1+2 scope: decode-surface files under src/.
 DECODE_FILE_RE = re.compile(
     r"(snapshot_reader|wal_reader|recovery|fsck|serialize|mapped_file|"
-    r"snapshot_format|wal_format|crc32c)\.(cc|h)$")
+    r"snapshot_format|wal_format|crc32c|score_block_store)\.(cc|h)$")
 
 BANNED_CALL_RE = re.compile(r"(?<![\w.])(assert|abort|exit|_Exit)\s*\(")
 DECODE_FN_RE = re.compile(
