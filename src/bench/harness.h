@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/status.h"
 
 namespace irhint {
@@ -138,7 +139,7 @@ class BenchReport {
 /// schema versions and malformed input with a Status (never crashes) — this
 /// is a decode path; the JSON grammar subset accepted is exactly what
 /// ToJson emits plus arbitrary whitespace.
-StatusOr<BenchReport> ParseBenchJson(const std::string& json);
+IRHINT_UNTRUSTED StatusOr<BenchReport> ParseBenchJson(const std::string& json);
 
 }  // namespace bench
 }  // namespace irhint

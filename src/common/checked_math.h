@@ -1,0 +1,124 @@
+// Overflow-detecting and saturating integer arithmetic for decode paths.
+//
+// Every size or index computed from untrusted bytes (snapshot sections,
+// WAL frames, score blocks — anything behind an IRHINT_UNTRUSTED reader)
+// must go through these helpers before it reaches an allocation, a
+// resize, an index expression, or pointer arithmetic. The fuzzer-found
+// decoder bugs (PR 4) were all of this shape: an unchecked `e + 1` that
+// wrapped in ElementId width, and byte counts multiplied past SIZE_MAX.
+// The helpers make the overflow check the *only* way to spell the
+// arithmetic, and the irhint-untrusted-decode clang-tidy check
+// (tools/irhint-checks/) treats them as taint sanitizers: a tainted
+// value that flows through CheckedAdd/CheckedMul/CheckedCast/GrowToFit
+// is blessed, one that reaches a sink directly is a build error.
+//
+// All helpers are constexpr, branch-cheap (single compiler intrinsic on
+// gcc and clang), and never trap: failure is a `false` return (Checked*)
+// or a clamped value (Saturating*), so decode code can surface a clean
+// Status::Corruption instead of UB.
+
+#ifndef IRHINT_COMMON_CHECKED_MATH_H_
+#define IRHINT_COMMON_CHECKED_MATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/contracts.h"
+
+namespace irhint {
+
+/// \brief out = a + b; false (out untouched) on overflow.
+template <typename T>
+IRHINT_SANITIZER constexpr bool CheckedAdd(T a, T b, T* out) {
+  static_assert(std::is_integral_v<T>);
+  T tmp{};
+  if (__builtin_add_overflow(a, b, &tmp)) return false;
+  *out = tmp;
+  return true;
+}
+
+/// \brief out = a - b; false (out untouched) on overflow/underflow.
+template <typename T>
+IRHINT_SANITIZER constexpr bool CheckedSub(T a, T b, T* out) {
+  static_assert(std::is_integral_v<T>);
+  T tmp{};
+  if (__builtin_sub_overflow(a, b, &tmp)) return false;
+  *out = tmp;
+  return true;
+}
+
+/// \brief out = a * b; false (out untouched) on overflow.
+template <typename T>
+IRHINT_SANITIZER constexpr bool CheckedMul(T a, T b, T* out) {
+  static_assert(std::is_integral_v<T>);
+  T tmp{};
+  if (__builtin_mul_overflow(a, b, &tmp)) return false;
+  *out = tmp;
+  return true;
+}
+
+/// \brief Narrow (or widen) `v` to To; false if the value does not fit.
+template <typename To, typename From>
+IRHINT_SANITIZER constexpr bool CheckedCast(From v, To* out) {
+  static_assert(std::is_integral_v<From> && std::is_integral_v<To>);
+  To tmp{};
+  // add_overflow with a zero addend is the canonical "does it fit"
+  // intrinsic; it handles every signedness combination correctly.
+  if (__builtin_add_overflow(v, From{0}, &tmp)) return false;
+  if (static_cast<From>(tmp) != v ||
+      (v < From{0}) != (tmp < To{0})) {
+    return false;
+  }
+  *out = tmp;
+  return true;
+}
+
+/// \brief a + b clamped to the representable range instead of wrapping.
+template <typename T>
+IRHINT_SANITIZER constexpr T SaturatingAdd(T a, T b) {
+  static_assert(std::is_unsigned_v<T>,
+                "saturation direction is only unambiguous unsigned");
+  T tmp{};
+  if (__builtin_add_overflow(a, b, &tmp)) {
+    return std::numeric_limits<T>::max();
+  }
+  return tmp;
+}
+
+/// \brief a * b clamped to the representable range instead of wrapping.
+template <typename T>
+IRHINT_SANITIZER constexpr T SaturatingMul(T a, T b) {
+  static_assert(std::is_unsigned_v<T>,
+                "saturation direction is only unambiguous unsigned");
+  T tmp{};
+  if (__builtin_mul_overflow(a, b, &tmp)) {
+    return std::numeric_limits<T>::max();
+  }
+  return tmp;
+}
+
+/// \brief Table length needed so index `id` is addressable: id + 1 in
+/// size_t width. The unchecked spelling `resize(e + 1)` wraps to zero at
+/// the max ElementId (the PR 4 corpus/dictionary OOB-write bug); here the
+/// widening happens before the increment and cannot wrap for any 32-bit
+/// id. Pair with a kElementIdLimit-style cap so a hostile id cannot ask
+/// for a multi-gigabyte table either.
+IRHINT_SANITIZER constexpr size_t GrowToFit(uint32_t id) {
+  return static_cast<size_t>(id) + 1;
+}
+
+/// \brief True iff `count` elements of `elem_size` bytes fit inside
+/// `available` bytes — the standard guard before trusting an on-disk
+/// element count. Overflow-safe for every operand combination (the
+/// division form cannot wrap, unlike `count * elem_size <= available`).
+IRHINT_SANITIZER constexpr bool FitsInBytes(uint64_t count,
+                                            size_t elem_size,
+                                            size_t available) {
+  return elem_size == 0 || count <= available / elem_size;
+}
+
+}  // namespace irhint
+
+#endif  // IRHINT_COMMON_CHECKED_MATH_H_

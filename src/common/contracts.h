@@ -1,0 +1,47 @@
+// Source-level contract annotations consumed by the irhint-checks
+// clang-tidy plugin (tools/irhint-checks/, DESIGN.md §13). On Clang the
+// macros expand to [[clang::annotate]] attributes the AST checks key on;
+// on gcc (and any compiler without the attribute) they compile away, so
+// annotating a declaration never changes codegen or ABI.
+//
+//   IRHINT_UNTRUSTED           marks a function whose outputs (return
+//                              value and out-parameters) are decoded from
+//                              bytes an attacker may control: snapshot
+//                              sections, WAL frames, score blocks, bench
+//                              JSON. Values flowing out of such a function
+//                              are tainted until they pass through a
+//                              sanitizer (below) or an explicit bound
+//                              check; irhint-untrusted-decode flags any
+//                              tainted value reaching resize/reserve/
+//                              indexing/pointer arithmetic unchecked.
+//
+//   IRHINT_SANITIZER           marks a blessed validation helper (the
+//                              checked_math.h family, CheckedCast-style
+//                              range guards). Passing a tainted value
+//                              through one of these launders the taint.
+//
+//   IRHINT_KEEPALIVE_EXTERNAL  marks a class whose FlatArray/span members
+//                              may view a mapping it does not itself keep
+//                              alive, because a documented owner one level
+//                              up holds the keepalive (e.g. the index's
+//                              storage_keepalive_ covers ScoreBlockStore).
+//                              irhint-view-lifetime skips such classes
+//                              instead of demanding a MappedFile member.
+
+#ifndef IRHINT_COMMON_CONTRACTS_H_
+#define IRHINT_COMMON_CONTRACTS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(annotate)
+#define IRHINT_ANNOTATE(tag) [[clang::annotate(tag)]]
+#endif
+#endif
+#ifndef IRHINT_ANNOTATE
+#define IRHINT_ANNOTATE(tag)
+#endif
+
+#define IRHINT_UNTRUSTED IRHINT_ANNOTATE("irhint::untrusted")
+#define IRHINT_SANITIZER IRHINT_ANNOTATE("irhint::sanitizer")
+#define IRHINT_KEEPALIVE_EXTERNAL IRHINT_ANNOTATE("irhint::keepalive-external")
+
+#endif  // IRHINT_COMMON_CONTRACTS_H_

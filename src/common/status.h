@@ -17,7 +17,14 @@ namespace irhint {
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy (the
 /// message is empty in the OK case, which is the common path).
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call returning a Status by
+/// value that drops the result is a compiler warning on gcc and clang,
+/// and an error under the irhint-status-discipline clang-tidy check
+/// (tools/irhint-checks/). Ignoring a Status is how decode failures and
+/// I/O errors silently become corruption; a caller that genuinely cannot
+/// act on one must still inspect it and say why.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -111,8 +118,10 @@ class Status {
 ///
 /// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an
 /// erroneous StatusOr is a programming error (asserts in debug builds).
+/// [[nodiscard]] for the same reason as Status: a dropped StatusOr is a
+/// dropped error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
     assert(!std::get<Status>(repr_).ok());

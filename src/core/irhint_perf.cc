@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/checked_math.h"
 #include "hint/cost_model.h"
 
 namespace irhint {
@@ -91,11 +92,11 @@ Status IrHintPerf::Insert(const Object& object) {
                    });
   }
   for (ElementId e : object.elements) {
-    // size_t arithmetic: e + 1 in ElementId width wraps to 0 at the max
-    // id, making the resize a no-op and the increment an out-of-bounds
-    // write.
+    // GrowToFit widens before the increment; the unchecked `e + 1` wraps
+    // to 0 at the max ElementId, making the resize a no-op and the
+    // increment an out-of-bounds write (the PR 4 bug class).
     if (e >= frequencies_.size()) {
-      frequencies_.resize(static_cast<size_t>(e) + 1, 0);
+      frequencies_.resize(GrowToFit(e), 0);
     }
     ++frequencies_[e];
   }

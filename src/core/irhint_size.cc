@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/checked_math.h"
 #include "hint/cost_model.h"
 
 namespace irhint {
@@ -191,10 +192,10 @@ Status IrHintSize::Insert(const Object& object) {
     std::sort(overflow_.back().elements.begin(),
               overflow_.back().elements.end());
     for (ElementId e : object.elements) {
-      // size_t arithmetic: e + 1 in ElementId width wraps to 0 at the
-      // max id.
+      // GrowToFit widens before the increment; the unchecked `e + 1`
+      // wraps to 0 at the max ElementId (the PR 4 bug class).
       if (e >= frequencies_.size()) {
-        frequencies_.resize(static_cast<size_t>(e) + 1, 0);
+        frequencies_.resize(GrowToFit(e), 0);
       }
       ++frequencies_[e];
     }
@@ -216,7 +217,7 @@ Status IrHintSize::Insert(const Object& object) {
                  });
   for (ElementId e : object.elements) {
     if (e >= frequencies_.size()) {
-      frequencies_.resize(static_cast<size_t>(e) + 1, 0);
+      frequencies_.resize(GrowToFit(e), 0);
     }
     ++frequencies_[e];
   }

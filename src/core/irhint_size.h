@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/contracts.h"
 #include "core/temporal_ir_index.h"
 #include "hint/domain.h"
 #include "hint/sparse_levels.h"
@@ -61,7 +62,8 @@ class IrHintSize : public CountingTemporalIrIndex {
 
   enum SubdivRole { kOin = 0, kOaft = 1, kRin = 2, kRaft = 3 };
 
-  struct Partition {
+  // Keepalive: the owning index's storage_keepalive_, one level up.
+  struct IRHINT_KEEPALIVE_EXTERNAL Partition {
     // Interval store: one beneficial-sorted entry array per subdivision
     // (O_in/O_aft by ascending start, R_in by descending end). FlatArray so
     // a snapshot load can alias the mapped file without copying.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/checked_math.h"
+
 namespace irhint {
 
 std::string CorpusStats::ToString() const {
@@ -47,11 +49,11 @@ Status Corpus::Finalize() {
     o.elements.erase(std::unique(o.elements.begin(), o.elements.end()),
                      o.elements.end());
     for (ElementId e : o.elements) {
-      // size_t arithmetic: e + 1 in ElementId width wraps to 0 at the max
-      // id, turning the resize into a no-op and the increment into an
-      // out-of-bounds write.
+      // GrowToFit widens before the increment: e + 1 in ElementId width
+      // wraps to 0 at the max id, turning the resize into a no-op and the
+      // increment into an out-of-bounds write (the PR 4 bug class).
       if (e >= frequencies.size()) {
-        frequencies.resize(static_cast<size_t>(e) + 1, 0);
+        frequencies.resize(GrowToFit(e), 0);
       }
       ++frequencies[e];
     }
@@ -124,7 +126,7 @@ Corpus Corpus::Prefix(size_t count) const {
   for (const Object& o : out.objects_) {
     for (ElementId e : o.elements) {
       if (e >= frequencies.size()) {
-        frequencies.resize(static_cast<size_t>(e) + 1, 0);
+        frequencies.resize(GrowToFit(e), 0);
       }
       ++frequencies[e];
     }

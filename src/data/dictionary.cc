@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/checked_math.h"
+
 namespace irhint {
 
 Dictionary Dictionary::MakeAnonymous(size_t size) {
@@ -37,9 +39,10 @@ void Dictionary::SetFrequencies(std::vector<uint64_t> frequencies) {
 }
 
 void Dictionary::BumpFrequency(ElementId e, uint64_t delta) {
-  // size_t arithmetic: e + 1 in ElementId width wraps to 0 at the max id.
+  // GrowToFit widens before the increment: e + 1 in ElementId width
+  // wraps to 0 at the max id (the PR 4 OOB-write bug class).
   if (e >= frequencies_.size()) {
-    frequencies_.resize(static_cast<size_t>(e) + 1, 0);
+    frequencies_.resize(GrowToFit(e), 0);
   }
   frequencies_[e] += delta;
 }

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/checked_math.h"
 #include "storage/snapshot_format.h"
 #include "storage/snapshot_reader.h"
 #include "storage/snapshot_writer.h"
@@ -92,8 +93,9 @@ StatusOr<Corpus> LoadCorpus(const std::string& path) {
 
   auto objects = reader.OpenSection(kSectionObjects);
   IRHINT_RETURN_NOT_OK(objects.status());
-  if (count > objects->remaining() / 24) {
-    // 24 = minimum bytes per object record (st + end + element count).
+  // 24 = minimum bytes per object record (st + end + element count); an
+  // on-disk count that could not fit in the section is an allocation bomb.
+  if (!FitsInBytes(count, 24, objects->remaining())) {
     return Status::Corruption("object count out of bounds in " + path);
   }
   for (uint64_t i = 0; i < count; ++i) {

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "common/contracts.h"
 #include "common/status.h"
 #include "data/corpus.h"
 
@@ -17,7 +18,7 @@ Status SaveCorpus(const Corpus& corpus, const std::string& path);
 
 /// \brief Load a corpus written by SaveCorpus. The dictionary is anonymous
 /// (term strings are not persisted); frequencies are recomputed.
-StatusOr<Corpus> LoadCorpus(const std::string& path);
+IRHINT_UNTRUSTED StatusOr<Corpus> LoadCorpus(const std::string& path);
 
 }  // namespace irhint
 

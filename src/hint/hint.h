@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/status.h"
 #include "core/integrity.h"
 #include "hint/allen.h"
@@ -179,8 +180,10 @@ class HintIndex {
 
   // One subdivision: parallel arrays (SoA). Which endpoint arrays are
   // populated depends on the subdivision role and the storage optimization.
-  // FlatArrays so snapshot loads can alias the mapping zero-copy.
-  struct Subdiv {
+  // FlatArrays so snapshot loads can alias the mapping zero-copy; the
+  // mapping itself is kept alive by the owning index's
+  // storage_keepalive_, one level up (irhint-view-lifetime contract).
+  struct IRHINT_KEEPALIVE_EXTERNAL Subdiv {
     FlatArray<ObjectId> ids;
     FlatArray<StoredTime> sts;
     FlatArray<StoredTime> ends;

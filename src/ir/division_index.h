@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/flat_hash_map.h"
 #include "common/status.h"
 #include "core/integrity.h"
@@ -38,8 +39,10 @@ namespace irhint {
 
 /// \brief CSR + delta postings storage, generic over the entry payload.
 /// Entry must expose an ObjectId `id` field (Posting or IdEntry below).
+/// Keepalive for mmap-backed FlatArrays: the owning index's
+/// storage_keepalive_, one level up (irhint-view-lifetime contract).
 template <typename Entry>
-class DivisionPostings {
+class IRHINT_KEEPALIVE_EXTERNAL DivisionPostings {
  public:
   /// \brief Append one entry per element (into the delta). Object ids must
   /// arrive in increasing order.

@@ -17,15 +17,21 @@ HintOptions TifHint::HintOptionsFor() const {
   return options;
 }
 
-uint32_t TifHint::SlotFor(ElementId e) {
-  if (const uint32_t* slot = element_slot_.find(e)) return *slot;
+Status TifHint::SlotFor(ElementId e, uint32_t* out) {
+  if (const uint32_t* slot = element_slot_.find(e)) {
+    *out = *slot;
+    return Status::OK();
+  }
+  // An empty build establishes the domain mapper and options. Build into
+  // a local first: if it fails, no half-created slot is left behind.
+  HintIndex fresh;
+  IRHINT_RETURN_NOT_OK(fresh.Build({}, domain_end_, HintOptionsFor()));
   const uint32_t slot = static_cast<uint32_t>(hints_.size());
   element_slot_.insert_or_assign(e, slot);
-  hints_.emplace_back();
-  // An empty build establishes the domain mapper and options.
-  hints_.back().Build({}, domain_end_, HintOptionsFor());
+  hints_.push_back(std::move(fresh));
   live_counts_.push_back(0);
-  return slot;
+  *out = slot;
+  return Status::OK();
 }
 
 Status TifHint::Build(const Corpus& corpus) {
@@ -69,7 +75,8 @@ Status TifHint::Insert(const Object& object) {
   // Intervals past the declared domain are accepted: each postings HINT
   // keeps them in its overflow store (time-expanding extension).
   for (ElementId e : object.elements) {
-    const uint32_t slot = SlotFor(e);
+    uint32_t slot = 0;
+    IRHINT_RETURN_NOT_OK(SlotFor(e, &slot));
     IRHINT_RETURN_NOT_OK(hints_[slot].Insert(object.id, object.interval));
     ++live_counts_[slot];
   }

@@ -68,7 +68,8 @@ class TifHint : public CountingTemporalIrIndex {
  private:
   friend struct IntegrityTestPeer;
 
-  uint32_t SlotFor(ElementId e);  // creates an empty postings HINT if absent
+  // Creates an empty postings HINT if absent; fails without side effects.
+  Status SlotFor(ElementId e, uint32_t* out);
   HintOptions HintOptionsFor() const;
 
   TifHintOptions options_;

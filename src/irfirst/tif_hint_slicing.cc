@@ -16,15 +16,23 @@ HintOptions MakeHintOptions(int num_bits) {
 
 }  // namespace
 
-uint32_t TifHintSlicing::SlotFor(ElementId e) {
-  if (const uint32_t* slot = element_slot_.find(e)) return *slot;
+Status TifHintSlicing::SlotFor(ElementId e, uint32_t* out) {
+  if (const uint32_t* slot = element_slot_.find(e)) {
+    *out = *slot;
+    return Status::OK();
+  }
+  // Build into a local first: a failed empty build (an invariant breach,
+  // but one the caller must see) leaves no half-created slot behind.
+  HintIndex fresh;
+  IRHINT_RETURN_NOT_OK(
+      fresh.Build({}, domain_end_, MakeHintOptions(options_.num_bits)));
   const uint32_t slot = static_cast<uint32_t>(hints_.size());
   element_slot_.insert_or_assign(e, slot);
-  hints_.emplace_back();
-  hints_.back().Build({}, domain_end_, MakeHintOptions(options_.num_bits));
+  hints_.push_back(std::move(fresh));
   slices_.emplace_back();
   live_counts_.push_back(0);
-  return slot;
+  *out = slot;
+  return Status::OK();
 }
 
 Status TifHintSlicing::Build(const Corpus& corpus) {
@@ -73,7 +81,8 @@ Status TifHintSlicing::Insert(const Object& object) {
   // Beyond-domain intervals go to the HINT copies' overflow stores; the
   // sliced copy clamps them into its last slice (both remain exact).
   for (ElementId e : object.elements) {
-    const uint32_t slot = SlotFor(e);
+    uint32_t slot = 0;
+    IRHINT_RETURN_NOT_OK(SlotFor(e, &slot));
     IRHINT_RETURN_NOT_OK(hints_[slot].Insert(object.id, object.interval));
     slices_[slot].Add(grid_, object.id, object.interval);
     ++live_counts_[slot];

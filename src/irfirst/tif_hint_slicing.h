@@ -53,7 +53,8 @@ class TifHintSlicing : public TemporalIrIndex {
  private:
   friend struct IntegrityTestPeer;
 
-  uint32_t SlotFor(ElementId e);
+  // Creates an empty postings HINT if absent; fails without side effects.
+  Status SlotFor(ElementId e, uint32_t* out);
 
   TifHintSlicingOptions options_;
   Time domain_end_ = 0;

@@ -20,6 +20,7 @@
 #include <map>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/status.h"
 #include "core/integrity.h"
 #include "data/object.h"
@@ -31,7 +32,9 @@ namespace irhint {
 class SnapshotWriter;
 class SectionCursor;
 
-class ScoreBlockStore {
+// Keepalive for mmap-backed FlatArrays: the owning ScoredIndex's
+// storage_keepalive_, one level up (irhint-view-lifetime contract).
+class IRHINT_KEEPALIVE_EXTERNAL ScoreBlockStore {
  public:
   /// \brief Zero-copy handle to one term's postings: the immutable core
   /// span with its block metadata, the delta overlay span, and the
@@ -93,7 +96,7 @@ class ScoreBlockStore {
   /// \brief Decode the fields written by SaveTo. Validates every shape
   /// invariant the query paths index by before accepting the data; any
   /// malformed input yields Corruption, never a crash.
-  Status LoadFrom(SectionCursor* cursor);
+  IRHINT_UNTRUSTED Status LoadFrom(SectionCursor* cursor);
 
   /// \brief Structural audit: kQuick re-checks the CSR shapes, kDeep
   /// additionally verifies per-list id-sortedness, that every metadata

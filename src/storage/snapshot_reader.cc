@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checked_math.h"
 #include "storage/crc32c.h"
 
 namespace irhint {
@@ -91,8 +92,15 @@ Status SnapshotReader::ParseHeaderAndTable() {
   const uint64_t table_offset = GetU64(header + 16);
   const uint32_t section_count = GetU32(header + 24);
 
-  const uint64_t table_bytes =
-      uint64_t{section_count} * kSectionEntryBytes + 4;
+  // Both values come from the (CRC-valid but possibly hostile) header;
+  // the table size computation must not wrap before the bounds check.
+  uint64_t table_bytes = 0;
+  if (!CheckedMul(uint64_t{section_count}, uint64_t{kSectionEntryBytes},
+                  &table_bytes) ||
+      !CheckedAdd(table_bytes, uint64_t{4}, &table_bytes)) {
+    return Status::Corruption("snapshot section table out of bounds: " +
+                              path_);
+  }
   if (table_offset < kSnapshotHeaderBytes || table_offset > file_size_ ||
       table_bytes > file_size_ - table_offset) {
     return Status::Corruption("snapshot section table out of bounds: " +

@@ -24,6 +24,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/checked_math.h"
+#include "common/contracts.h"
 #include "common/status.h"
 #include "storage/flat_array.h"
 #include "storage/mapped_file.h"
@@ -48,6 +50,12 @@ struct SectionInfo {
 
 /// \brief Bounds-checked decoder over one section payload. Obtained from
 /// SnapshotReader::OpenSection; movable, not copyable.
+///
+/// Every Read* method is IRHINT_UNTRUSTED: the values it produces come
+/// straight from snapshot bytes an attacker may control. Sizes, counts
+/// and ids read here must pass through checked_math.h helpers or an
+/// explicit bound check before they reach a resize, an allocation or an
+/// index expression (enforced by irhint-untrusted-decode).
 class SectionCursor {
  public:
   SectionCursor() = default;
@@ -56,25 +64,25 @@ class SectionCursor {
   SectionCursor(const SectionCursor&) = delete;
   SectionCursor& operator=(const SectionCursor&) = delete;
 
-  Status ReadU8(uint8_t* out) { return ReadScalar(out); }
-  Status ReadU16(uint16_t* out) { return ReadScalar(out); }
-  Status ReadU32(uint32_t* out) { return ReadScalar(out); }
-  Status ReadU64(uint64_t* out) { return ReadScalar(out); }
-  Status ReadI32(int32_t* out) {
+  IRHINT_UNTRUSTED Status ReadU8(uint8_t* out) { return ReadScalar(out); }
+  IRHINT_UNTRUSTED Status ReadU16(uint16_t* out) { return ReadScalar(out); }
+  IRHINT_UNTRUSTED Status ReadU32(uint32_t* out) { return ReadScalar(out); }
+  IRHINT_UNTRUSTED Status ReadU64(uint64_t* out) { return ReadScalar(out); }
+  IRHINT_UNTRUSTED Status ReadI32(int32_t* out) {
     uint32_t v = 0;
     IRHINT_RETURN_NOT_OK(ReadScalar(&v));
     *out = static_cast<int32_t>(v);
     return Status::OK();
   }
 
-  Status ReadBytes(void* out, size_t n) {
+  IRHINT_UNTRUSTED Status ReadBytes(void* out, size_t n) {
     if (n > remaining()) return Truncated();
     std::memcpy(out, base_ + pos_, n);
     pos_ += n;
     return Status::OK();
   }
 
-  Status ReadString(std::string* out) {
+  IRHINT_UNTRUSTED Status ReadString(std::string* out) {
     uint64_t len = 0;
     IRHINT_RETURN_NOT_OK(ReadU64(&len));
     if (len > remaining()) return Truncated();
@@ -87,7 +95,7 @@ class SectionCursor {
   /// \brief Decode the array protocol (u64 count, pad to 8, raw bytes) into
   /// an owned vector.
   template <typename T>
-  Status ReadVector(std::vector<T>* out) {
+  IRHINT_UNTRUSTED Status ReadVector(std::vector<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
     const T* data = nullptr;
     size_t count = 0;
@@ -99,7 +107,7 @@ class SectionCursor {
   /// \brief Decode the array protocol into a FlatArray: a zero-copy view of
   /// the mapping when this cursor is mmap-backed, an owned copy otherwise.
   template <typename T>
-  Status ReadFlatArray(FlatArray<T>* out) {
+  IRHINT_UNTRUSTED Status ReadFlatArray(FlatArray<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
     const T* data = nullptr;
     size_t count = 0;
@@ -134,12 +142,21 @@ class SectionCursor {
   Status ReadArrayRaw(const T** data, size_t* count) {
     uint64_t n = 0;
     IRHINT_RETURN_NOT_OK(ReadU64(&n));
-    pos_ = (pos_ + 7) & ~size_t{7};
-    if (pos_ > size_) return Truncated();
-    if (n > remaining() / sizeof(T)) return Truncated();
+    size_t aligned = 0;
+    if (!CheckedAdd(pos_, size_t{7}, &aligned)) return Truncated();
+    aligned &= ~size_t{7};
+    if (aligned > size_) return Truncated();
+    pos_ = aligned;
+    // n is attacker-controlled: the multiply must not wrap before the
+    // bound check, or a huge count would alias a small byte span.
+    size_t bytes = 0;
+    if (!CheckedMul(static_cast<size_t>(n), sizeof(T), &bytes) ||
+        static_cast<size_t>(n) != n || bytes > remaining()) {
+      return Truncated();
+    }
     *data = reinterpret_cast<const T*>(base_ + pos_);
     *count = static_cast<size_t>(n);
-    pos_ += static_cast<size_t>(n) * sizeof(T);
+    pos_ += bytes;
     return Status::OK();
   }
 

@@ -97,10 +97,12 @@ std::string WalSegmentFileName(uint64_t seq);
 std::string CheckpointFileName(uint64_t lsn);
 
 /// \brief Parse a segment file name; returns false if `name` is not one.
-bool ParseWalSegmentFileName(std::string_view name, uint64_t* seq);
+[[nodiscard]] bool ParseWalSegmentFileName(std::string_view name,
+                                           uint64_t* seq);
 
 /// \brief Parse a checkpoint snapshot file name.
-bool ParseCheckpointFileName(std::string_view name, uint64_t* lsn);
+[[nodiscard]] bool ParseCheckpointFileName(std::string_view name,
+                                           uint64_t* lsn);
 
 /// \brief Bytes a record with `payload_size` payload occupies on disk
 /// (header + payload + padding to 8).

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/checked_math.h"
 #include "storage/crc32c.h"
 
 namespace irhint {
@@ -20,8 +21,8 @@ uint64_t GetU64(const uint8_t* p) {
   return v;
 }
 
-Status DecodeObjectPayload(const uint8_t* payload, size_t size,
-                           Object* out) {
+IRHINT_UNTRUSTED Status DecodeObjectPayload(const uint8_t* payload,
+                                            size_t size, Object* out) {
   if (size < 24) return Status::Corruption("wal object payload truncated");
   out->id = GetU32(payload + 0);
   const uint32_t count = GetU32(payload + 4);
@@ -30,13 +31,17 @@ Status DecodeObjectPayload(const uint8_t* payload, size_t size,
   if (out->interval.st > out->interval.end) {
     return Status::Corruption("wal object interval inverted");
   }
-  if (static_cast<size_t>(count) * sizeof(ElementId) != size - 24) {
+  // count is attacker-controlled; the byte-count multiply must not wrap
+  // before it is compared against the record's actual payload span.
+  size_t elem_bytes = 0;
+  if (!CheckedMul(static_cast<size_t>(count), sizeof(ElementId),
+                  &elem_bytes) ||
+      elem_bytes != size - 24) {
     return Status::Corruption("wal object element count mismatch");
   }
   out->elements.resize(count);
   if (count > 0) {
-    std::memcpy(out->elements.data(), payload + 24,
-                static_cast<size_t>(count) * sizeof(ElementId));
+    std::memcpy(out->elements.data(), payload + 24, elem_bytes);
   }
   for (ElementId e : out->elements) {
     // Replay grows dense per-element tables out to the largest id, so an
@@ -60,9 +65,12 @@ Status DecodeWalRecord(const uint8_t* data, size_t size, size_t offset,
   const uint32_t payload_size = GetU32(h + 4);
   const uint64_t lsn = GetU64(h + 8);
   const uint32_t type = GetU32(h + 16);
+  // payload_size is attacker-controlled: the on-disk footprint and its
+  // end offset must be computed overflow-checked before trusting either.
   const size_t total = WalRecordBytesOnDisk(payload_size);
-  if (offset + total > size ||
-      offset + kWalRecordHeaderBytes + payload_size > size) {
+  size_t record_end = 0;
+  if (total < payload_size ||
+      !CheckedAdd(offset, total, &record_end) || record_end > size) {
     return Status::Corruption("wal record payload truncated");
   }
   if (Crc32c(h + 4, kWalRecordHeaderBytes - 4 + payload_size) != stored_crc) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/status.h"
 #include "wal/wal_env.h"
 #include "wal/wal_format.h"
@@ -45,13 +46,14 @@ struct WalSegmentContents {
 /// file name (misplaced file); header corruption is reported through the
 /// tail fields like any other undecodable byte range, so the caller can
 /// apply the torn-tail policy uniformly.
-StatusOr<WalSegmentContents> ReadWalSegment(WalEnv* env,
-                                            const std::string& path);
+IRHINT_UNTRUSTED StatusOr<WalSegmentContents> ReadWalSegment(
+    WalEnv* env, const std::string& path);
 
 /// \brief Decode one record at `data + offset` (bounds-checked against
 /// `size`). Used by ReadWalSegment and the mid-log corruption probe.
-Status DecodeWalRecord(const uint8_t* data, size_t size, size_t offset,
-                       WalRecord* out, size_t* bytes_consumed);
+IRHINT_UNTRUSTED Status DecodeWalRecord(const uint8_t* data, size_t size,
+                                        size_t offset, WalRecord* out,
+                                        size_t* bytes_consumed);
 
 }  // namespace irhint
 

@@ -1,0 +1,126 @@
+// Unit tests for the overflow-detecting arithmetic in checked_math.h —
+// the sanitizer layer the irhint-untrusted-decode static check relies on.
+// Each helper is exercised at the exact boundary where the unchecked
+// spelling would wrap, because those boundaries are what the decode paths
+// feed it (on-disk counts, ElementIds at the representable maximum).
+
+#include "common/checked_math.h"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace irhint {
+namespace {
+
+constexpr uint64_t kU64Max = std::numeric_limits<uint64_t>::max();
+constexpr uint32_t kU32Max = std::numeric_limits<uint32_t>::max();
+
+TEST(CheckedAddTest, InRange) {
+  uint64_t out = 0;
+  EXPECT_TRUE(CheckedAdd(uint64_t{2}, uint64_t{3}, &out));
+  EXPECT_EQ(out, 5u);
+  EXPECT_TRUE(CheckedAdd(kU64Max - 1, uint64_t{1}, &out));
+  EXPECT_EQ(out, kU64Max);
+}
+
+TEST(CheckedAddTest, OverflowLeavesOutUntouched) {
+  uint64_t out = 42;
+  EXPECT_FALSE(CheckedAdd(kU64Max, uint64_t{1}, &out));
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(CheckedAddTest, SignedOverflowBothDirections) {
+  int32_t out = 0;
+  EXPECT_FALSE(CheckedAdd(std::numeric_limits<int32_t>::max(), 1, &out));
+  EXPECT_FALSE(CheckedAdd(std::numeric_limits<int32_t>::min(), -1, &out));
+  EXPECT_TRUE(CheckedAdd(-2, 1, &out));
+  EXPECT_EQ(out, -1);
+}
+
+TEST(CheckedSubTest, UnsignedUnderflow) {
+  uint32_t out = 7;
+  EXPECT_FALSE(CheckedSub(uint32_t{0}, uint32_t{1}, &out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_TRUE(CheckedSub(uint32_t{5}, uint32_t{5}, &out));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(CheckedMulTest, InRangeAndOverflow) {
+  uint64_t out = 0;
+  EXPECT_TRUE(CheckedMul(uint64_t{1} << 31, uint64_t{2}, &out));
+  EXPECT_EQ(out, uint64_t{1} << 32);
+  out = 9;
+  EXPECT_FALSE(CheckedMul(uint64_t{1} << 32, uint64_t{1} << 32, &out));
+  EXPECT_EQ(out, 9u);
+  // The wal_reader shape: count * sizeof(ElementId) with a hostile count.
+  size_t bytes = 0;
+  EXPECT_FALSE(CheckedMul(static_cast<size_t>(kU64Max), sizeof(uint32_t),
+                          &bytes));
+}
+
+TEST(CheckedMulTest, ZeroNeverOverflows) {
+  uint64_t out = 1;
+  EXPECT_TRUE(CheckedMul(kU64Max, uint64_t{0}, &out));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(CheckedCastTest, NarrowingFits) {
+  uint32_t out = 0;
+  EXPECT_TRUE(CheckedCast(uint64_t{kU32Max}, &out));
+  EXPECT_EQ(out, kU32Max);
+}
+
+TEST(CheckedCastTest, NarrowingRejectsTooLarge) {
+  uint32_t out = 5;
+  EXPECT_FALSE(CheckedCast(uint64_t{kU32Max} + 1, &out));
+  EXPECT_EQ(out, 5u);
+}
+
+TEST(CheckedCastTest, SignednessCrossings) {
+  uint32_t u = 1;
+  EXPECT_FALSE(CheckedCast(int32_t{-1}, &u));
+  int32_t s = 0;
+  EXPECT_FALSE(CheckedCast(uint32_t{0x80000000u}, &s));
+  EXPECT_TRUE(CheckedCast(uint32_t{0x7fffffffu}, &s));
+  EXPECT_EQ(s, std::numeric_limits<int32_t>::max());
+  int64_t wide = 0;
+  EXPECT_TRUE(CheckedCast(int32_t{-7}, &wide));
+  EXPECT_EQ(wide, -7);
+}
+
+TEST(SaturatingTest, ClampsAtMax) {
+  EXPECT_EQ(SaturatingAdd(kU64Max, uint64_t{1}), kU64Max);
+  EXPECT_EQ(SaturatingAdd(uint64_t{2}, uint64_t{3}), 5u);
+  EXPECT_EQ(SaturatingMul(kU64Max, uint64_t{2}), kU64Max);
+  EXPECT_EQ(SaturatingMul(uint64_t{6}, uint64_t{7}), 42u);
+}
+
+TEST(GrowToFitTest, MaxIdDoesNotWrap) {
+  // resize(e + 1) in ElementId width wraps to 0 at the max id — the PR 4
+  // dictionary/corpus bug. GrowToFit widens first.
+  EXPECT_EQ(GrowToFit(kU32Max), static_cast<size_t>(kU32Max) + 1);
+  EXPECT_EQ(GrowToFit(0), 1u);
+}
+
+TEST(FitsInBytesTest, GuardsAllocationBombs) {
+  EXPECT_TRUE(FitsInBytes(10, 24, 240));
+  EXPECT_FALSE(FitsInBytes(11, 24, 240));
+  // A count whose byte size wraps SIZE_MAX must still be rejected.
+  EXPECT_FALSE(FitsInBytes(kU64Max, 24, 240));
+  // Zero element size cannot overcommit regardless of count.
+  EXPECT_TRUE(FitsInBytes(kU64Max, 0, 0));
+}
+
+TEST(CheckedMathTest, UsableInConstantExpressions) {
+  constexpr size_t kLen = GrowToFit(100);
+  static_assert(kLen == 101);
+  static_assert(FitsInBytes(4, 8, 32));
+  static_assert(!FitsInBytes(5, 8, 32));
+  static_assert(SaturatingAdd(uint32_t{0xffffffffu}, uint32_t{5}) ==
+                0xffffffffu);
+}
+
+}  // namespace
+}  // namespace irhint

@@ -28,6 +28,7 @@ the same flags and committing the new file (see README, "Perf trajectory").
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -147,6 +148,13 @@ def main():
         "--families", default="",
         help="comma-separated families to compare (default: all)")
     parser.add_argument(
+        "--exclude", action="append", default=[], metavar="GLOB",
+        help="skip metrics whose name matches this glob (repeatable); for "
+             "tail metrics recorded as single-trial values (trials=1, so "
+             "the noise-widened band cannot apply) whose measured "
+             "run-to-run spread exceeds any sane threshold, e.g. "
+             "--exclude 'serve_p999_us/*'")
+    parser.add_argument(
         "--skip-on-env-mismatch", action="store_true",
         help="exit 0 with a warning when the two reports were produced on "
              "different machines (cpu_model / hardware_threads differ)")
@@ -216,7 +224,17 @@ def main():
     regressed = []
     improved = []
     compared = 0
+    excluded = sorted(
+        name for name in set(base_metrics) & set(cur_metrics)
+        if any(fnmatch.fnmatch(name, g) for g in args.exclude))
+    if excluded:
+        print(f"bench_diff: {len(excluded)} metric(s) excluded by "
+              f"--exclude (not gated):")
+        for name in excluded:
+            print(f"  {name}")
     for name in sorted(set(base_metrics) & set(cur_metrics)):
+        if name in excluded:
+            continue
         b, c = base_metrics[name], cur_metrics[name]
         compared += 1
         threshold = family_thresholds.get(b.get("family"), args.threshold)

@@ -1,0 +1,59 @@
+// Small shared helpers for the irhint-* checks: attribute-annotation
+// lookup and raw source-line inspection (for comment-based waivers).
+
+#ifndef IRHINT_TOOLS_IRHINT_CHECKS_CHECKUTILS_H_
+#define IRHINT_TOOLS_IRHINT_CHECKS_CHECKUTILS_H_
+
+#include <string>
+
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/Basic/SourceManager.h"
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+// True when `D` carries [[clang::annotate(Tag)]] (the IRHINT_ANNOTATE
+// macros in src/common/contracts.h expand to exactly this).
+inline bool HasAnnotation(const Decl* D, StringRef Tag) {
+  if (D == nullptr) return false;
+  for (const auto* A : D->specific_attrs<AnnotateAttr>()) {
+    if (A->getAnnotation() == Tag) return true;
+  }
+  return false;
+}
+
+// Raw text of the line containing `Loc` (spelling location).
+inline StringRef SourceLineOf(const SourceManager& SM, SourceLocation Loc) {
+  Loc = SM.getSpellingLoc(Loc);
+  if (Loc.isInvalid()) return StringRef();
+  bool Invalid = false;
+  StringRef Buf = SM.getBufferData(SM.getFileID(Loc), &Invalid);
+  if (Invalid) return StringRef();
+  size_t Offset = SM.getFileOffset(Loc);
+  if (Offset > Buf.size()) return StringRef();
+  size_t Begin = Offset;
+  while (Begin > 0 && Buf[Begin - 1] != '\n') --Begin;
+  size_t End = Offset;
+  while (End < Buf.size() && Buf[End] != '\n') ++End;
+  return Buf.slice(Begin, End);
+}
+
+inline bool LineContains(const SourceManager& SM, SourceLocation Loc,
+                         StringRef Needle) {
+  return SourceLineOf(SM, Loc).contains(Needle);
+}
+
+// True when `Loc` is inside a file whose path contains `PathFragment`.
+inline bool InExemptSyncFile(const SourceManager& SM, SourceLocation Loc,
+                             StringRef PathFragment) {
+  const std::string File = SM.getFilename(SM.getSpellingLoc(Loc)).str();
+  return StringRef(File).contains(PathFragment);
+}
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // IRHINT_TOOLS_IRHINT_CHECKS_CHECKUTILS_H_

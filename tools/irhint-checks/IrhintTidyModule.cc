@@ -1,0 +1,43 @@
+// clang-tidy plugin module registering the irhint-* project checks.
+//
+// Built as an out-of-tree MODULE library (see CMakeLists.txt in this
+// directory) and loaded with `clang-tidy -load libirhint_checks.so
+// -checks=irhint-*`. The module links against no clang libraries: every
+// clang/LLVM symbol stays undefined in the .so and resolves from the
+// host clang-tidy binary at load time, which is the supported plugin
+// mechanism (the binary exports its symbols for exactly this purpose).
+
+#include "RawSyncCheck.h"
+#include "StatusDisciplineCheck.h"
+#include "UntrustedDecodeCheck.h"
+#include "ViewLifetimeCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+class IrhintModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& CheckFactories) override {
+    CheckFactories.registerCheck<UntrustedDecodeCheck>(
+        "irhint-untrusted-decode");
+    CheckFactories.registerCheck<StatusDisciplineCheck>(
+        "irhint-status-discipline");
+    CheckFactories.registerCheck<ViewLifetimeCheck>("irhint-view-lifetime");
+    CheckFactories.registerCheck<RawSyncCheck>("irhint-raw-sync");
+  }
+};
+
+}  // namespace irhint_checks
+
+// Register the module with the host clang-tidy's global registry.
+static ClangTidyModuleRegistry::Add<irhint_checks::IrhintModule> X(
+    "irhint-module", "Adds the irhint project-specific checks.");
+
+}  // namespace tidy
+}  // namespace clang
+
+// Anchor so the linker never discards the registration object.
+volatile int IrhintModuleAnchorSource = 0;

@@ -1,0 +1,79 @@
+#include "RawSyncCheck.h"
+
+#include "CheckUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+namespace {
+
+// Canonical-type spellings of the banned std primitives. Matching on
+// the *canonical* type string defeats typedefs and alias templates.
+const char* const kBannedTypes[] = {
+    "std::mutex",          "std::timed_mutex",
+    "std::recursive_mutex", "std::recursive_timed_mutex",
+    "std::shared_mutex",   "std::shared_timed_mutex",
+    "std::condition_variable", "std::condition_variable_any",
+    "std::lock_guard<",    "std::unique_lock<",
+    "std::scoped_lock<",   "std::shared_lock<",
+};
+
+const char* BannedTypeIn(const std::string& Canonical) {
+  for (const char* Banned : kBannedTypes) {
+    if (Canonical.find(Banned) != std::string::npos) return Banned;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void RawSyncCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      valueDecl(anyOf(varDecl(), fieldDecl()),
+                unless(isExpansionInSystemHeader()))
+          .bind("decl"),
+      this);
+  Finder->addMatcher(
+      typedefNameDecl(unless(isExpansionInSystemHeader())).bind("alias"),
+      this);
+}
+
+void RawSyncCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& SM = *Result.SourceManager;
+  QualType Type;
+  SourceLocation Loc;
+  if (const auto* D = Result.Nodes.getNodeAs<ValueDecl>("decl")) {
+    Type = D->getType();
+    Loc = D->getLocation();
+  } else if (const auto* A =
+                 Result.Nodes.getNodeAs<TypedefNameDecl>("alias")) {
+    Type = A->getUnderlyingType();
+    Loc = A->getLocation();
+  } else {
+    return;
+  }
+  if (Loc.isInvalid() || Type.isNull()) return;
+  const std::string Canonical =
+      Type.getCanonicalType().getAsString(Result.Context->getPrintingPolicy());
+  const char* Banned = BannedTypeIn(Canonical);
+  if (Banned == nullptr) return;
+  // The wrapper implementation itself is the one legitimate user; a
+  // trailing `// SYNC_EXEMPT` comment grants a reviewed local waiver,
+  // mirroring the regex contract in tools/lint/check_contracts.py.
+  if (InExemptSyncFile(SM, Loc, "common/synchronization")) return;
+  if (LineContains(SM, Loc, "SYNC_EXEMPT")) return;
+  diag(Loc,
+       "raw '%0' is banned outside common/synchronization.h; use the "
+       "repo Mutex/CondVar/lock wrappers (or annotate the line with "
+       "SYNC_EXEMPT and justify it)")
+      << StringRef(Banned).rtrim('<');
+}
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,31 @@
+// AST port of the raw-synchronization ban (repo contract 5): outside
+// common/synchronization.{h,cc}, code must use the repo's Mutex /
+// CondVar / lock wrappers, never std primitives directly. The AST
+// version matches canonical types, so `using M = std::mutex; M m;`
+// is caught where the line-regex contract is blind.
+
+#ifndef IRHINT_TOOLS_IRHINT_CHECKS_RAWSYNCCHECK_H_
+#define IRHINT_TOOLS_IRHINT_CHECKS_RAWSYNCCHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+class RawSyncCheck : public ClangTidyCheck {
+ public:
+  RawSyncCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // IRHINT_TOOLS_IRHINT_CHECKS_RAWSYNCCHECK_H_

@@ -1,0 +1,111 @@
+#include "StatusDisciplineCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+namespace {
+
+// True when `QT` is (canonically) irhint::Status or a specialization of
+// irhint::StatusOr.
+bool IsStatusType(QualType QT) {
+  if (QT.isNull()) return false;
+  const auto* RT = QT.getCanonicalType()->getAs<RecordType>();
+  if (RT == nullptr) return false;
+  const std::string Name = RT->getDecl()->getQualifiedNameAsString();
+  return Name == "irhint::Status" || Name == "irhint::StatusOr";
+}
+
+// Peels the implicit wrappers the AST inserts around a discarded
+// prvalue (cleanups, temporary binding, implicit casts) without peeling
+// explicit casts — `(void)DropIt()` stays visible as a CStyleCastExpr
+// and counts as a deliberate discard.
+const Expr* IgnoreImplicitDiscardWrappers(const Expr* E) {
+  while (true) {
+    E = E->IgnoreParens();
+    if (const auto* EWC = dyn_cast<ExprWithCleanups>(E)) {
+      E = EWC->getSubExpr();
+      continue;
+    }
+    if (const auto* BTE = dyn_cast<CXXBindTemporaryExpr>(E)) {
+      E = BTE->getSubExpr();
+      continue;
+    }
+    if (const auto* ICE = dyn_cast<ImplicitCastExpr>(E)) {
+      E = ICE->getSubExpr();
+      continue;
+    }
+    return E;
+  }
+}
+
+}  // namespace
+
+void StatusDisciplineCheck::registerMatchers(MatchFinder* Finder) {
+  // An expression appearing directly as a statement is a discarded
+  // value; cover compound bodies plus the unbraced single-statement
+  // positions.
+  auto Discarded = expr(unless(isExpansionInSystemHeader())).bind("top");
+  Finder->addMatcher(compoundStmt(forEach(Discarded)), this);
+  Finder->addMatcher(ifStmt(hasThen(Discarded)), this);
+  Finder->addMatcher(ifStmt(hasElse(Discarded)), this);
+  Finder->addMatcher(whileStmt(hasBody(Discarded)), this);
+  Finder->addMatcher(forStmt(hasBody(Discarded)), this);
+  Finder->addMatcher(doStmt(hasBody(Discarded)), this);
+  Finder->addMatcher(cxxForRangeStmt(hasBody(Discarded)), this);
+
+  // The classes themselves must keep [[nodiscard]]; removing it would
+  // silently disarm the compiler-side warning repo-wide.
+  Finder->addMatcher(
+      cxxRecordDecl(hasAnyName("::irhint::Status", "::irhint::StatusOr"),
+                    isDefinition())
+          .bind("status-record"),
+      this);
+}
+
+void StatusDisciplineCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* Record =
+          Result.Nodes.getNodeAs<CXXRecordDecl>("status-record")) {
+    if (!Record->hasAttr<WarnUnusedResultAttr>()) {
+      diag(Record->getLocation(),
+           "%0 must be declared [[nodiscard]]; dropping it disables the "
+           "compiler's discarded-Status warnings everywhere")
+          << Record;
+    }
+    return;
+  }
+
+  const auto* Top = Result.Nodes.getNodeAs<Expr>("top");
+  if (Top == nullptr) return;
+  const Expr* E = IgnoreImplicitDiscardWrappers(Top);
+  if (isa<ExplicitCastExpr>(E)) {
+    // An explicit cast at statement level — `(void)Call()` — is a
+    // deliberate, reviewable discard.
+    return;
+  }
+
+  if (const auto* Call = dyn_cast<CallExpr>(E)) {
+    if (!IsStatusType(Call->getType())) return;
+    diag(Call->getExprLoc(),
+         "result of this call is an irhint Status and is silently "
+         "discarded; wrap it in IRHINT_RETURN_NOT_OK, test .ok(), or "
+         "cast to void with a justification");
+    return;
+  }
+  if (const auto* Construct = dyn_cast<CXXConstructExpr>(E)) {
+    if (!IsStatusType(Construct->getType())) return;
+    diag(Construct->getExprLoc(),
+         "irhint::Status constructed and immediately discarded; this is "
+         "usually a missing 'return'");
+  }
+}
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,35 @@
+// Enforces the repo's Status discipline:
+//   * a call returning irhint::Status / irhint::StatusOr<T> used as a
+//     bare expression statement is a dropped error (wrap the call in
+//     IRHINT_RETURN_NOT_OK, check .ok(), or cast to void with a
+//     comment);
+//   * a Status constructed as a discarded temporary is almost always a
+//     forgotten `return`;
+//   * the Status / StatusOr class definitions themselves must stay
+//     [[nodiscard]] so plain compiles keep the first line of defence.
+
+#ifndef IRHINT_TOOLS_IRHINT_CHECKS_STATUSDISCIPLINECHECK_H_
+#define IRHINT_TOOLS_IRHINT_CHECKS_STATUSDISCIPLINECHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+class StatusDisciplineCheck : public ClangTidyCheck {
+ public:
+  StatusDisciplineCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // IRHINT_TOOLS_IRHINT_CHECKS_STATUSDISCIPLINECHECK_H_

@@ -1,0 +1,326 @@
+#include "UntrustedDecodeCheck.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "CheckUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/Lexer.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+namespace {
+
+std::set<std::string> SplitNames(StringRef List) {
+  std::set<std::string> Names;
+  while (!List.empty()) {
+    std::pair<StringRef, StringRef> Parts = List.split(';');
+    StringRef Name = Parts.first.trim();
+    if (!Name.empty()) Names.insert(Name.str());
+    List = Parts.second;
+  }
+  return Names;
+}
+
+// Walks every statement in `Root` (inclusive), pre-order.
+template <typename Fn>
+void ForEachStmt(const Stmt* Root, Fn&& Visit) {
+  if (Root == nullptr) return;
+  Visit(Root);
+  for (const Stmt* Child : Root->children()) ForEachStmt(Child, Visit);
+}
+
+// Calls `Visit` for every DeclRefExpr under `Root` that names a VarDecl.
+template <typename Fn>
+void ForEachVarRef(const Stmt* Root, Fn&& Visit) {
+  ForEachStmt(Root, [&](const Stmt* S) {
+    if (const auto* Ref = dyn_cast<DeclRefExpr>(S)) {
+      if (const auto* Var = dyn_cast<VarDecl>(Ref->getDecl())) {
+        Visit(Ref, Var);
+      }
+    }
+  });
+}
+
+bool MentionsAnyOf(const Stmt* Root, const std::set<const VarDecl*>& Vars) {
+  bool Found = false;
+  ForEachVarRef(Root, [&](const DeclRefExpr*, const VarDecl* Var) {
+    if (Vars.count(Var) != 0) Found = true;
+  });
+  return Found;
+}
+
+// The variable a unary & argument takes the address of, if any:
+// matches the `reader.ReadU64(&count)` out-parameter idiom.
+const VarDecl* AddressOfVar(const Expr* Arg) {
+  if (Arg == nullptr) return nullptr;
+  const auto* Unary = dyn_cast<UnaryOperator>(Arg->IgnoreParenImpCasts());
+  if (Unary == nullptr || Unary->getOpcode() != UO_AddrOf) return nullptr;
+  const auto* Ref =
+      dyn_cast<DeclRefExpr>(Unary->getSubExpr()->IgnoreParenImpCasts());
+  if (Ref == nullptr) return nullptr;
+  return dyn_cast<VarDecl>(Ref->getDecl());
+}
+
+StringRef CalleeName(const CallExpr* Call) {
+  const auto* Callee =
+      dyn_cast_or_null<NamedDecl>(Call->getCalleeDecl());
+  if (Callee == nullptr) return StringRef();
+  const IdentifierInfo* Ident = Callee->getIdentifier();
+  return Ident == nullptr ? StringRef() : Ident->getName();
+}
+
+}  // namespace
+
+UntrustedDecodeCheck::UntrustedDecodeCheck(StringRef Name,
+                                           ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      SourceFunctions(Options.get("SourceFunctions", "")),
+      SanitizerFunctions(Options.get(
+          "SanitizerFunctions",
+          "CheckedAdd;CheckedSub;CheckedMul;CheckedCast;SaturatingAdd;"
+          "SaturatingMul;GrowToFit;FitsInBytes")) {}
+
+void UntrustedDecodeCheck::storeOptions(ClangTidyOptions::OptionMap& Opts) {
+  Options.store(Opts, "SourceFunctions", SourceFunctions);
+  Options.store(Opts, "SanitizerFunctions", SanitizerFunctions);
+}
+
+void UntrustedDecodeCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(functionDecl(isDefinition(), hasBody(stmt()),
+                                  unless(isExpansionInSystemHeader()))
+                         .bind("func"),
+      this);
+}
+
+void UntrustedDecodeCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (Func == nullptr || !Func->doesThisDeclarationHaveABody()) return;
+  const Stmt* Body = Func->getBody();
+  const SourceManager& SM = *Result.SourceManager;
+  const LangOptions& LangOpts = Result.Context->getLangOpts();
+
+  const std::set<std::string> Sources = SplitNames(SourceFunctions);
+  const std::set<std::string> Sanitizers = SplitNames(SanitizerFunctions);
+
+  auto IsSourceCall = [&](const CallExpr* Call) {
+    if (HasAnnotation(Call->getCalleeDecl(), "irhint::untrusted")) {
+      return true;
+    }
+    const StringRef Name = CalleeName(Call);
+    return !Name.empty() && Sources.count(Name.str()) != 0;
+  };
+  auto IsSanitizerCall = [&](const CallExpr* Call) {
+    if (HasAnnotation(Call->getCalleeDecl(), "irhint::sanitizer")) {
+      return true;
+    }
+    const StringRef Name = CalleeName(Call);
+    return !Name.empty() && Sanitizers.count(Name.str()) != 0;
+  };
+
+  // --- Seed taint. -------------------------------------------------
+  std::set<const VarDecl*> Tainted;
+  if (HasAnnotation(Func, "irhint::untrusted")) {
+    for (const ParmVarDecl* Param : Func->parameters()) {
+      if (Param->getType()->isPointerType()) Tainted.insert(Param);
+    }
+  }
+  ForEachStmt(Body, [&](const Stmt* S) {
+    const auto* Call = dyn_cast<CallExpr>(S);
+    if (Call == nullptr || !IsSourceCall(Call)) return;
+    for (const Expr* Arg : Call->arguments()) {
+      if (const VarDecl* Out = AddressOfVar(Arg)) Tainted.insert(Out);
+    }
+  });
+
+  // --- Propagate through initializations and assignments. ----------
+  auto ExprIsTainted = [&](const Expr* E) {
+    if (E == nullptr) return false;
+    bool Found = MentionsAnyOf(E, Tainted);
+    if (!Found) {
+      ForEachStmt(E, [&](const Stmt* S) {
+        if (const auto* Call = dyn_cast<CallExpr>(S)) {
+          if (IsSourceCall(Call)) Found = true;
+        }
+      });
+    }
+    return Found;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ForEachStmt(Body, [&](const Stmt* S) {
+      if (const auto* DS = dyn_cast<DeclStmt>(S)) {
+        for (const Decl* D : DS->decls()) {
+          const auto* Var = dyn_cast<VarDecl>(D);
+          if (Var == nullptr || Tainted.count(Var) != 0) continue;
+          if (ExprIsTainted(Var->getInit())) {
+            Tainted.insert(Var);
+            Changed = true;
+          }
+        }
+        return;
+      }
+      const auto* Bin = dyn_cast<BinaryOperator>(S);
+      if (Bin == nullptr || !Bin->isAssignmentOp()) return;
+      const auto* Ref =
+          dyn_cast<DeclRefExpr>(Bin->getLHS()->IgnoreParenImpCasts());
+      if (Ref == nullptr) return;
+      const auto* Var = dyn_cast<VarDecl>(Ref->getDecl());
+      if (Var == nullptr || Tainted.count(Var) != 0) return;
+      if (ExprIsTainted(Bin->getRHS())) {
+        Tainted.insert(Var);
+        Changed = true;
+      }
+    });
+  }
+  if (Tainted.empty()) return;
+
+  // --- Blessing: any validation evidence anywhere in the function. --
+  // A reference under unary & is an out-parameter slot being written
+  // (`Read(&e)`), not a value inspection — it must never count as
+  // validation, even inside an if condition or an IRHINT_* macro.
+  std::set<const DeclRefExpr*> AddrOfRefs;
+  ForEachStmt(Body, [&](const Stmt* S) {
+    const auto* Unary = dyn_cast<UnaryOperator>(S);
+    if (Unary == nullptr || Unary->getOpcode() != UO_AddrOf) return;
+    if (const auto* Ref = dyn_cast<DeclRefExpr>(
+            Unary->getSubExpr()->IgnoreParenImpCasts())) {
+      AddrOfRefs.insert(Ref);
+    }
+  });
+  std::set<const VarDecl*> Blessed;
+  auto BlessAllIn = [&](const Stmt* Root) {
+    ForEachVarRef(Root, [&](const DeclRefExpr* Ref, const VarDecl* Var) {
+      if (Tainted.count(Var) != 0 && AddrOfRefs.count(Ref) == 0) {
+        Blessed.insert(Var);
+      }
+    });
+  };
+  ForEachStmt(Body, [&](const Stmt* S) {
+    if (const auto* Bin = dyn_cast<BinaryOperator>(S)) {
+      if (Bin->isComparisonOp()) BlessAllIn(Bin);
+      return;
+    }
+    if (const auto* If = dyn_cast<IfStmt>(S)) {
+      BlessAllIn(If->getCond());
+      return;
+    }
+    if (const auto* While = dyn_cast<WhileStmt>(S)) {
+      BlessAllIn(While->getCond());
+      return;
+    }
+    if (const auto* Do = dyn_cast<DoStmt>(S)) {
+      BlessAllIn(Do->getCond());
+      return;
+    }
+    if (const auto* For = dyn_cast<ForStmt>(S)) {
+      BlessAllIn(For->getCond());
+      return;
+    }
+    if (const auto* Switch = dyn_cast<SwitchStmt>(S)) {
+      BlessAllIn(Switch->getCond());
+      return;
+    }
+    if (const auto* Cond = dyn_cast<ConditionalOperator>(S)) {
+      BlessAllIn(Cond->getCond());
+      return;
+    }
+    if (const auto* Op = dyn_cast<CXXOperatorCallExpr>(S)) {
+      // Overloaded comparisons (e.g. on strong typedefs) bless too.
+      const OverloadedOperatorKind Kind = Op->getOperator();
+      if (Kind == OO_Less || Kind == OO_Greater || Kind == OO_LessEqual ||
+          Kind == OO_GreaterEqual || Kind == OO_EqualEqual ||
+          Kind == OO_ExclaimEqual || Kind == OO_Spaceship) {
+        BlessAllIn(Op);
+      }
+      return;
+    }
+    if (const auto* Call = dyn_cast<CallExpr>(S)) {
+      if (IsSanitizerCall(Call)) BlessAllIn(Call);
+      return;
+    }
+  });
+  // A mention inside an IRHINT_* macro (IRHINT_RETURN_NOT_OK and
+  // friends) means the macro's expansion already branches on it.
+  ForEachVarRef(Body, [&](const DeclRefExpr* Ref, const VarDecl* Var) {
+    if (Tainted.count(Var) == 0 || Blessed.count(Var) != 0) return;
+    if (AddrOfRefs.count(Ref) != 0) return;
+    SourceLocation Loc = Ref->getBeginLoc();
+    if (!Loc.isMacroID()) return;
+    const StringRef Macro = Lexer::getImmediateMacroName(Loc, SM, LangOpts);
+    if (Macro.starts_with("IRHINT_")) Blessed.insert(Var);
+  });
+
+  std::set<const VarDecl*> Hot;
+  for (const VarDecl* Var : Tainted) {
+    if (Blessed.count(Var) == 0) Hot.insert(Var);
+  }
+  if (Hot.empty()) return;
+
+  // --- Sinks. -------------------------------------------------------
+  auto Report = [&](const Stmt* ArgTree, StringRef SinkKind) {
+    ForEachVarRef(ArgTree, [&](const DeclRefExpr* Ref, const VarDecl* Var) {
+      if (Hot.count(Var) == 0) return;
+      diag(Ref->getExprLoc(),
+           "'%0' comes from an IRHINT_UNTRUSTED decode source and "
+           "reaches %1 without any bounds check; validate it or route "
+           "it through common/checked_math.h first")
+          << Var->getName() << SinkKind;
+      // One diagnostic per variable keeps the output readable.
+      Hot.erase(Var);
+    });
+  };
+  ForEachStmt(Body, [&](const Stmt* S) {
+    if (const auto* Member = dyn_cast<CXXMemberCallExpr>(S)) {
+      const StringRef Method = CalleeName(Member);
+      if (Method == "resize" || Method == "reserve" || Method == "SetView") {
+        for (const Expr* Arg : Member->arguments()) {
+          Report(Arg, "a container size/view argument");
+        }
+      }
+      return;
+    }
+    if (const auto* Sub = dyn_cast<ArraySubscriptExpr>(S)) {
+      Report(Sub->getIdx(), "an array index");
+      return;
+    }
+    if (const auto* Op = dyn_cast<CXXOperatorCallExpr>(S)) {
+      if (Op->getOperator() == OO_Subscript && Op->getNumArgs() >= 2) {
+        Report(Op->getArg(1), "an operator[] index");
+      }
+      return;
+    }
+    if (const auto* Call = dyn_cast<CallExpr>(S)) {
+      const StringRef Name = CalleeName(Call);
+      if ((Name == "memcpy" || Name == "memmove" || Name == "memset") &&
+          Call->getNumArgs() >= 3) {
+        Report(Call->getArg(2), "a memory-operation length");
+      }
+      return;
+    }
+    if (const auto* Bin = dyn_cast<BinaryOperator>(S)) {
+      const BinaryOperatorKind Opc = Bin->getOpcode();
+      if (Opc != BO_Add && Opc != BO_Sub && Opc != BO_AddAssign &&
+          Opc != BO_SubAssign) {
+        return;
+      }
+      const bool LHSPtr = Bin->getLHS()->getType()->isPointerType();
+      const bool RHSPtr = Bin->getRHS()->getType()->isPointerType();
+      if (LHSPtr && !RHSPtr) Report(Bin->getRHS(), "a pointer offset");
+      if (RHSPtr && !LHSPtr) Report(Bin->getLHS(), "a pointer offset");
+      return;
+    }
+  });
+}
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang

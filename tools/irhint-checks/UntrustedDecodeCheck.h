@@ -1,0 +1,62 @@
+// Taint-style check for decode boundaries: a value produced by an
+// IRHINT_UNTRUSTED byte reader (snapshot SectionCursor, WAL record
+// decoder, score-block loader — or any function named in the
+// SourceFunctions option) must not reach an allocation size, a
+// container index, pointer-offset arithmetic, or FlatArray::SetView
+// until it has been validated.
+//
+// The analysis is intra-procedural and flow-insensitive, tuned to make
+// the repo's idioms pass without annotations at the use sites:
+//
+//   taint seeds   `reader.ReadU64(&x)` out-params and results of calls
+//                 to IRHINT_UNTRUSTED functions; pointer parameters of
+//                 a function that is itself IRHINT_UNTRUSTED.
+//   propagation   assignments / initializations whose right-hand side
+//                 mentions a tainted variable, iterated to fixpoint.
+//   blessing      the variable is mentioned in any comparison or
+//                 branch condition (a bounds check), passed to an
+//                 IRHINT_SANITIZER helper (common/checked_math.h), or
+//                 mentioned inside an IRHINT_* macro expansion
+//                 (IRHINT_RETURN_NOT_OK's internal check).
+//   sinks         arguments of resize/reserve/SetView member calls,
+//                 memcpy/memmove/memset length operands, subscript
+//                 indices, and the integer operand of pointer + / -.
+//
+// Flow-insensitivity trades soundness for a near-zero false-positive
+// rate: a check *anywhere* in the function blesses the value. That is
+// exactly the contract the repo wants enforced — "no decode value may
+// reach a sink in a function that never validates it" — and it is what
+// makes deleting a PR 4-era guard light this check up again (see the
+// bug_*.cc fixtures under test/).
+
+#ifndef IRHINT_TOOLS_IRHINT_CHECKS_UNTRUSTEDDECODECHECK_H_
+#define IRHINT_TOOLS_IRHINT_CHECKS_UNTRUSTEDDECODECHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+class UntrustedDecodeCheck : public ClangTidyCheck {
+ public:
+  UntrustedDecodeCheck(StringRef Name, ClangTidyContext* Context);
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& Opts) override;
+
+ private:
+  // Semicolon-separated unqualified names treated like annotated
+  // sources / sanitizers in addition to the attribute-marked ones.
+  const std::string SourceFunctions;
+  const std::string SanitizerFunctions;
+};
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // IRHINT_TOOLS_IRHINT_CHECKS_UNTRUSTEDDECODECHECK_H_

@@ -1,0 +1,86 @@
+#include "ViewLifetimeCheck.h"
+
+#include "CheckUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+namespace {
+
+bool TypeMentions(QualType QT, StringRef Needle,
+                  const PrintingPolicy& Policy) {
+  if (QT.isNull()) return false;
+  return StringRef(QT.getCanonicalType().getAsString(Policy))
+      .contains(Needle);
+}
+
+// True when the record itself — or any (transitive) base with a visible
+// definition — declares a shared_ptr member. That member is the
+// keepalive slot; holding it alive is what makes FlatArray views safe.
+bool HasKeepaliveField(const CXXRecordDecl* Record,
+                       const PrintingPolicy& Policy) {
+  if (Record == nullptr) return false;
+  for (const FieldDecl* Field : Record->fields()) {
+    if (TypeMentions(Field->getType(), "shared_ptr", Policy)) return true;
+  }
+  if (!Record->hasDefinition()) return false;
+  for (const CXXBaseSpecifier& Base : Record->bases()) {
+    const auto* BaseRT = Base.getType().getCanonicalType()->getAs<RecordType>();
+    if (BaseRT == nullptr) continue;
+    const auto* BaseDecl = dyn_cast<CXXRecordDecl>(BaseRT->getDecl());
+    if (BaseDecl == nullptr) continue;
+    if (HasKeepaliveField(BaseDecl->getDefinition(), Policy)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ViewLifetimeCheck::registerMatchers(MatchFinder* Finder) {
+  // Match definitions once: template *patterns* rather than every
+  // instantiation, so DivisionPostings<Entry> diagnoses at one site.
+  Finder->addMatcher(cxxRecordDecl(isDefinition(),
+                                   unless(isExpansionInSystemHeader()),
+                                   unless(isImplicit()),
+                                   unless(isTemplateInstantiation()))
+                         .bind("record"),
+      this);
+}
+
+void ViewLifetimeCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* Record = Result.Nodes.getNodeAs<CXXRecordDecl>("record");
+  if (Record == nullptr || Record->isUnion()) return;
+  const PrintingPolicy& Policy = Result.Context->getPrintingPolicy();
+
+  const FieldDecl* ViewField = nullptr;
+  for (const FieldDecl* Field : Record->fields()) {
+    if (TypeMentions(Field->getType(), "FlatArray<", Policy)) {
+      ViewField = Field;
+      break;
+    }
+  }
+  if (ViewField == nullptr) return;
+  // FlatArray itself manages its owned/view duality; don't flag it.
+  if (Record->getQualifiedNameAsString() == "irhint::FlatArray") return;
+  if (HasAnnotation(Record, "irhint::keepalive-external")) return;
+  if (HasKeepaliveField(Record, Policy)) return;
+
+  diag(Record->getLocation(),
+       "%0 stores FlatArray members that may be zero-copy views into a "
+       "snapshot mapping, but holds no shared_ptr keepalive and is not "
+       "annotated IRHINT_KEEPALIVE_EXTERNAL; views could outlive their "
+       "MappedFile")
+      << Record;
+  diag(ViewField->getLocation(), "first FlatArray member is here",
+       DiagnosticIDs::Note);
+}
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang

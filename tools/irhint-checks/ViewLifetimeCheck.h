@@ -1,0 +1,34 @@
+// Guards the FlatArray zero-copy contract: a record that stores
+// FlatArray members may be holding *views* into an mmapped snapshot
+// (SectionCursor::ReadFlatArray sets views in zero-copy mode), so the
+// record must either hold a shared_ptr keepalive itself (directly or in
+// a base, like TemporalIrIndex::storage_keepalive_) or be annotated
+// IRHINT_KEEPALIVE_EXTERNAL to document that a named owner outlives it.
+// A record with neither can outlive its MappedFile and read unmapped
+// memory.
+
+#ifndef IRHINT_TOOLS_IRHINT_CHECKS_VIEWLIFETIMECHECK_H_
+#define IRHINT_TOOLS_IRHINT_CHECKS_VIEWLIFETIMECHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+class ViewLifetimeCheck : public ClangTidyCheck {
+ public:
+  ViewLifetimeCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // IRHINT_TOOLS_IRHINT_CHECKS_VIEWLIFETIMECHECK_H_

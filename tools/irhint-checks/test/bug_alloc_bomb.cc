@@ -1,0 +1,50 @@
+// Regression fixture for PR 4 bug class 2: an on-disk object count
+// trusted straight into reserve() is an allocation bomb — a 16-byte
+// file can demand gigabytes. The shipped guard proves the count fits
+// in the remaining payload bytes (FitsInBytes, the overflow-safe
+// division form) before allocating; -DIRHINT_DELETE_GUARD removes it
+// and irhint-untrusted-decode must flag the tainted count at the
+// reserve() sink.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/checked_math.h"
+#include "common/contracts.h"
+
+namespace irhint {
+
+struct ObjectRec {
+  uint64_t st = 0;
+  uint64_t end = 0;
+  uint64_t elements = 0;
+};
+
+IRHINT_UNTRUSTED bool ReadU64(const uint8_t** cursor, uint64_t* out);
+
+// The per-record decode loop (which would re-validate count implicitly
+// by running out of bytes) lives elsewhere: the bomb is the up-front
+// reserve(), which allocates before any record is read.
+bool ReadRecords(const uint8_t** cursor, uint64_t count,
+                 std::vector<ObjectRec>* out);
+
+bool LoadObjects(const uint8_t** cursor, size_t remaining,
+                 std::vector<ObjectRec>* out) {
+  uint64_t count = 0;
+  if (!ReadU64(cursor, &count)) return false;
+#ifndef IRHINT_DELETE_GUARD
+  // 24 = minimum bytes per object record.
+  if (!FitsInBytes(count, 24, remaining)) return false;
+#endif
+  out->reserve(count);
+  return ReadRecords(cursor, count, out);
+}
+
+}  // namespace irhint
+
+// clang-format off
+// CLEAN-NOT: [irhint-
+// DIRTY: warning: 'count' comes from an IRHINT_UNTRUSTED decode source and reaches a container size/view argument{{.*}}[irhint-untrusted-decode]
+// DIRTY-NOT: [irhint-
+// clang-format on

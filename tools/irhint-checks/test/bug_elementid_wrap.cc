@@ -1,0 +1,39 @@
+// Regression fixture for PR 4 bug class 1: the ElementId frequency-
+// table resize spelled `resize(e + 1)` wraps to zero at the maximum
+// 32-bit id, turning the following increment into an out-of-bounds
+// write. The shipped guard caps the id against kElementIdLimit and
+// widens through GrowToFit; compiling with -DIRHINT_DELETE_GUARD
+// deletes both, and irhint-untrusted-decode must re-detect the bug
+// class (tainted `e` reaching resize with no validation in sight).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/checked_math.h"
+#include "common/contracts.h"
+#include "data/object.h"
+
+namespace irhint {
+
+IRHINT_UNTRUSTED bool ReadElementId(const uint8_t** cursor, ElementId* out);
+
+bool BumpFrequency(const uint8_t** cursor, std::vector<uint64_t>* freq) {
+  ElementId e = 0;
+  if (!ReadElementId(cursor, &e)) return false;
+#ifndef IRHINT_DELETE_GUARD
+  if (e >= kElementIdLimit) return false;
+  freq->resize(GrowToFit(e), 0);
+#else
+  freq->resize(e + 1, 0);
+#endif
+  ++(*freq)[e];
+  return true;
+}
+
+}  // namespace irhint
+
+// clang-format off
+// CLEAN-NOT: [irhint-
+// DIRTY: warning: 'e' comes from an IRHINT_UNTRUSTED decode source and reaches a container size/view argument{{.*}}[irhint-untrusted-decode]
+// DIRTY-NOT: [irhint-
+// clang-format on

@@ -1,0 +1,43 @@
+// Regression fixture for PR 4 bug class 3: WAL replay grows dense
+// per-element tables out to the largest element id seen in a record, so
+// a CRC-valid record carrying an absurd id is an allocation bomb that
+// survives checksum verification. The shipped guard rejects ids past
+// kElementIdLimit at the decode boundary; -DIRHINT_DELETE_GUARD
+// removes it and irhint-untrusted-decode must flag the tainted record
+// reaching the table resize.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+#include "data/object.h"
+
+namespace irhint {
+
+struct WalObjectRec {
+  uint32_t id = 0;
+  ElementId max_element = 0;
+};
+
+IRHINT_UNTRUSTED bool DecodeRecord(const uint8_t* data, size_t size,
+                                   WalObjectRec* out);
+
+bool Replay(const uint8_t* data, size_t size,
+            std::vector<uint64_t>* tables) {
+  WalObjectRec rec;
+  if (!DecodeRecord(data, size, &rec)) return false;
+#ifndef IRHINT_DELETE_GUARD
+  if (rec.max_element >= kElementIdLimit) return false;
+#endif
+  tables->resize(static_cast<size_t>(rec.max_element) + 1, 0);
+  return true;
+}
+
+}  // namespace irhint
+
+// clang-format off
+// CLEAN-NOT: [irhint-
+// DIRTY: warning: 'rec' comes from an IRHINT_UNTRUSTED decode source and reaches a container size/view argument{{.*}}[irhint-untrusted-decode]
+// DIRTY-NOT: [irhint-
+// clang-format on

@@ -1,0 +1,90 @@
+// Clean fixture TU: compiles against the real repo headers and uses
+// every idiom the irhint-* checks are meant to accept — checked_math
+// sanitizers, comparison bounds checks, IRHINT_RETURN_NOT_OK, a
+// shared_ptr keepalive, an IRHINT_KEEPALIVE_EXTERNAL annotation, and
+// the synchronization wrappers. No check may fire.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/checked_math.h"
+#include "common/contracts.h"
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "storage/flat_array.h"
+
+namespace irhint {
+
+IRHINT_UNTRUSTED bool ReadU64(const uint8_t** cursor, uint64_t* out);
+
+// Untrusted count blessed through a checked_math sanitizer before it
+// sizes an allocation.
+Status LoadTable(const uint8_t** cursor, size_t remaining,
+                 std::vector<uint64_t>* table) {
+  uint64_t count = 0;
+  if (!ReadU64(cursor, &count)) return Status::Corruption("truncated");
+  if (!FitsInBytes(count, 8, remaining)) {
+    return Status::Corruption("count out of bounds");
+  }
+  table->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t value = 0;
+    IRHINT_RETURN_NOT_OK(
+        ReadU64(cursor, &value) ? Status::OK()
+                                : Status::Corruption("truncated"));
+    table->push_back(value);
+  }
+  return Status::OK();
+}
+
+// Untrusted id blessed by an explicit limit comparison, then widened
+// through GrowToFit.
+Status GrowFrequencies(const uint8_t** cursor,
+                       std::vector<uint64_t>* frequencies) {
+  uint64_t id = 0;
+  if (!ReadU64(cursor, &id)) return Status::Corruption("truncated");
+  if (id >= (uint64_t{1} << 28)) {
+    return Status::Corruption("id out of range");
+  }
+  frequencies->resize(GrowToFit(static_cast<uint32_t>(id)), 0);
+  return Status::OK();
+}
+
+// Status results are consumed, never dropped.
+Status UseStatuses(const uint8_t** cursor, size_t remaining) {
+  std::vector<uint64_t> table;
+  IRHINT_RETURN_NOT_OK(LoadTable(cursor, remaining, &table));
+  const Status st = GrowFrequencies(cursor, &table);
+  if (!st.ok()) return st;
+  return Status::OK();
+}
+
+// FlatArray views guarded by an in-record shared_ptr keepalive.
+struct KeepaliveView {
+  FlatArray<uint64_t> values;
+  std::shared_ptr<void> storage_keepalive;
+};
+
+// ... or by a documented external owner.
+struct IRHINT_KEEPALIVE_EXTERNAL ExternallyOwnedView {
+  FlatArray<uint64_t> values;
+};
+
+// Synchronization goes through the repo wrappers.
+class Counter {
+ public:
+  void Bump() {
+    MutexLock lock(&mu_);
+    ++value_;
+  }
+
+ private:
+  Mutex mu_;
+  uint64_t value_ IRHINT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace irhint
+
+// CLEAN-NOT: [irhint-

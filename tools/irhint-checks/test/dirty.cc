@@ -1,0 +1,89 @@
+// Known-dirty fixture TU: every irhint-* check must fire here, and the
+// FileCheck DIRTY block at the bottom asserts the exact diagnostic
+// sequence (source order; DIRTY-NOT lines forbid extras in between).
+// The CMake test irhint_checks_dirty_fails_gate additionally runs this
+// file under -warnings-as-errors=irhint-* with WILL_FAIL, proving the
+// CI gate can actually go red.
+//
+// Status and FlatArray are local mocks: the mock Status deliberately
+// lacks [[nodiscard]] to exercise the class-attribute diagnostic, which
+// the real (compliant) common/status.h could not trigger.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace irhint {
+
+class Status {
+ public:
+  static Status Corruption() { return Status(); }
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class FlatArray {
+ public:
+  void SetView(const T* data, size_t n) {
+    data_ = data;
+    size_ = n;
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+// --- irhint-untrusted-decode ------------------------------------------
+IRHINT_UNTRUSTED bool ReadU32(const uint8_t** cursor, uint32_t* out);
+
+void GrowTable(const uint8_t** cursor, std::vector<uint32_t>* table) {
+  uint32_t count = 0;
+  ReadU32(cursor, &count);
+  table->resize(count);
+}
+
+// --- irhint-status-discipline -----------------------------------------
+Status LoadThing();
+
+void DropStatuses() {
+  LoadThing();
+  Status::Corruption();
+  (void)LoadThing();  // explicit discard: no diagnostic
+}
+
+// --- irhint-view-lifetime ---------------------------------------------
+struct LeakyView {
+  FlatArray<uint32_t> ids;
+};
+
+// --- irhint-raw-sync --------------------------------------------------
+std::mutex raw_mu;
+std::mutex waived_mu;  // SYNC_EXEMPT: fixture-local waiver, no warning
+using HiddenMutex = std::mutex;
+HiddenMutex aliased_mu;
+
+}  // namespace irhint
+
+// clang-format off
+// DIRTY-NOT: [irhint-
+// DIRTY: warning: 'Status' must be declared {{\[\[}}nodiscard{{\]\]}}{{.*}}[irhint-status-discipline]
+// DIRTY-NOT: [irhint-
+// DIRTY: warning: 'count' comes from an IRHINT_UNTRUSTED decode source and reaches a container size/view argument{{.*}}[irhint-untrusted-decode]
+// DIRTY-NOT: [irhint-
+// DIRTY: warning: result of this call is an irhint Status and is silently discarded{{.*}}[irhint-status-discipline]
+// DIRTY-NOT: [irhint-
+// DIRTY: warning: result of this call is an irhint Status and is silently discarded{{.*}}[irhint-status-discipline]
+// DIRTY-NOT: [irhint-
+// DIRTY: warning: 'LeakyView' stores FlatArray members{{.*}}[irhint-view-lifetime]
+// DIRTY-NOT: [irhint-
+// DIRTY: warning: raw 'std::mutex' is banned outside common/synchronization.h{{.*}}[irhint-raw-sync]
+// DIRTY-NOT: [irhint-
+// DIRTY: warning: raw 'std::mutex' is banned outside common/synchronization.h{{.*}}[irhint-raw-sync]
+// DIRTY-NOT: [irhint-
+// clang-format on
+// DIRTY: warning: raw 'std::mutex' is banned outside common/synchronization.h{{.*}}[irhint-raw-sync]
+// DIRTY-NOT: [irhint-

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs one irhint-checks fixture TU through `clang-tidy -load` and
+# FileChecks the diagnostics against the fixture's own CHECK lines.
+#
+#   run_fixture.sh CLANG_TIDY PLUGIN FIXTURE FILECHECK PREFIX SRC_DIR \
+#                  [extra compiler args...]
+#
+# PREFIX selects the FileCheck directive family inside the fixture:
+# DIRTY fixtures assert the exact expected diagnostics, CLEAN fixtures
+# assert (via PREFIX-NOT and --allow-empty) that no irhint-* check
+# fires. Extra args (e.g. -DIRHINT_DELETE_GUARD) go to the compile line
+# so one fixture can encode both its guarded and guard-deleted shape.
+set -u
+
+CLANG_TIDY=$1
+PLUGIN=$2
+FIXTURE=$3
+FILECHECK=$4
+PREFIX=$5
+SRC_DIR=$6
+shift 6
+
+OUT=$("$CLANG_TIDY" \
+        --load="$PLUGIN" \
+        --checks='-*,irhint-*' \
+        "$FIXTURE" \
+        -- -std=c++20 "-I$SRC_DIR" -Wno-everything "$@" 2>&1)
+STATUS=$?
+# clang-tidy exits non-zero on compile *errors* (diagnosed warnings
+# still exit 0 without -warnings-as-errors); a broken fixture should
+# fail loudly rather than vacuously FileCheck-pass.
+if [ $STATUS -ne 0 ]; then
+  echo "clang-tidy failed (exit $STATUS) on $FIXTURE:" >&2
+  echo "$OUT" >&2
+  exit 1
+fi
+echo "$OUT" | "$FILECHECK" --check-prefix="$PREFIX" --allow-empty "$FIXTURE"

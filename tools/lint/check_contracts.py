@@ -26,6 +26,19 @@ Machine-checkable contracts that clang-tidy cannot express:
      else uses the annotated, named, lock-order-checked wrappers — a raw
      mutex is invisible to both -Wthread-safety and the order registry.
 
+     This contract has an AST-accurate twin, irhint-raw-sync, in the
+     clang-tidy plugin under tools/irhint-checks/ (it matches canonical
+     types, so `using M = std::mutex;` cannot hide). Division of labor:
+     the regex here is the cheap gcc-only prefilter that runs in every
+     ctest invocation; when a built plugin and a clang-tidy binary are
+     both discoverable, regex hits are *re-validated* through the plugin
+     before being reported, which removes string/identifier false
+     positives. The full-strength AST run over the whole compilation
+     database happens in the static-analysis CI job
+     (tools/lint/run_clang_tidy.sh --with-plugin). The plugin's own
+     sources and fixtures under tools/irhint-checks/ name the banned
+     primitives on purpose and are exempt.
+
   6. In headers whose classes own a Mutex/SharedMutex, every data member
      is either annotated IRHINT_GUARDED_BY/IRHINT_PT_GUARDED_BY or
      carries an explicit `// unguarded:` justification. Unannotated
@@ -40,8 +53,11 @@ Machine-checkable contracts that clang-tidy cannot express:
 Exit status: 0 clean, 1 any contract violated. Run from anywhere.
 """
 
+import glob
 import os
 import re
+import shutil
+import subprocess
 import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
@@ -139,6 +155,9 @@ SYNC_EXEMPT = {
     os.path.join("src", "common", "synchronization.h"),
     os.path.join("src", "common", "synchronization.cc"),
 }
+# The AST checker and its fixtures name the banned primitives on
+# purpose (in matcher tables and known-dirty test TUs).
+SYNC_EXEMPT_DIR = os.path.join("tools", "irhint-checks")
 
 
 def cxx_files(*dirs):
@@ -149,21 +168,57 @@ def cxx_files(*dirs):
                     yield os.path.join(root, name)
 
 
+def find_raw_sync_plugin():
+    """A built irhint_checks plugin plus a clang-tidy to load it, if any."""
+    tidy = shutil.which("clang-tidy")
+    if not tidy:
+        return None
+    candidates = glob.glob(
+        os.path.join(REPO, "build*", "tools", "irhint-checks",
+                     "libirhint_checks.*"))
+    return (tidy, candidates[0]) if candidates else None
+
+
 def check_no_raw_sync(errors):
+    hits = []
     for path in cxx_files(*SYNC_DIRS):
         rel = os.path.relpath(path, REPO)
-        if rel in SYNC_EXEMPT:
+        if rel in SYNC_EXEMPT or rel.startswith(SYNC_EXEMPT_DIR):
             continue
         with open(path) as f:
             clean = strip_comments(f.read())
         for lineno, line in enumerate(clean.splitlines(), 1):
+            if "SYNC_EXEMPT" in line:
+                continue
             m = RAW_SYNC_RE.search(line)
             if m:
-                errors.append(
-                    f"{rel}:{lineno}: raw std::{m.group(1)} — use the "
-                    f"named, annotated wrappers from "
-                    f"common/synchronization.h (the only place raw "
-                    f"primitives are allowed)")
+                hits.append((rel, lineno, m.group(1), path))
+    if not hits:
+        return
+    # Delegate to the AST-accurate plugin check when one is available:
+    # it sees through strings and comments the regex cannot, so its
+    # verdict on the regex candidates wins. With no plugin built (the
+    # normal gcc-only local setup) the regex hits stand on their own.
+    plugin = find_raw_sync_plugin()
+    if plugin is not None:
+        tidy, so = plugin
+        files = sorted({p for (_, _, _, p) in hits})
+        proc = subprocess.run(
+            [tidy, f"--load={so}", "--checks=-*,irhint-raw-sync", *files,
+             "--", "-std=c++20", "-I" + os.path.join(REPO, "src")],
+            capture_output=True, text=True)
+        if proc.returncode == 0:
+            for line in proc.stdout.splitlines():
+                if "[irhint-raw-sync]" in line:
+                    errors.append(line.strip() + " (via irhint-raw-sync)")
+            return
+        # Plugin run itself failed: fall through to the regex verdict.
+    for rel, lineno, name, _ in hits:
+        errors.append(
+            f"{rel}:{lineno}: raw std::{name} — use the "
+            f"named, annotated wrappers from "
+            f"common/synchronization.h (the only place raw "
+            f"primitives are allowed)")
 
 
 # Contract 6 scope: a member declaration line `Type name_ ...` inside a

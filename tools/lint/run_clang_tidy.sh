@@ -1,13 +1,31 @@
 #!/usr/bin/env bash
 # Run the project clang-tidy gate locally, the same way CI does.
 #
-#   tools/lint/run_clang_tidy.sh [BUILD_DIR]
+#   tools/lint/run_clang_tidy.sh [--with-plugin [PLUGIN.so]] [BUILD_DIR]
 #
 # Needs a configured build directory (default: build) — the top-level
 # CMakeLists.txt exports compile_commands.json unconditionally. Checks and
 # warning policy come from .clang-tidy at the repo root; any warning fails
 # (WarningsAsErrors: '*').
+#
+# --with-plugin additionally loads the irhint-* checks plugin (built via
+# -DIRHINT_CHECKS=ON, see tools/irhint-checks/) and appends
+# -checks=irhint-* so the project checks run on top of the stock set.
+# The plugin path defaults to the first libirhint_checks.* under any
+# build*/tools/irhint-checks/. Extra diagnostics can be exported for CI
+# artifacts with EXPORT_FIXES=<file.yaml>.
 set -euo pipefail
+
+WITH_PLUGIN=0
+PLUGIN=""
+if [[ "${1:-}" == "--with-plugin" ]]; then
+  WITH_PLUGIN=1
+  shift
+  if [[ $# -gt 0 && "${1}" == *libirhint_checks* ]]; then
+    PLUGIN="$1"
+    shift
+  fi
+fi
 
 BUILD_DIR="${1:-build}"
 REPO="$(cd "$(dirname "$0")/../.." && pwd)"
@@ -25,9 +43,28 @@ if ! command -v "$TIDY" >/dev/null; then
   exit 2
 fi
 
+EXTRA_ARGS=()
+if [[ $WITH_PLUGIN -eq 1 ]]; then
+  if [[ -z "$PLUGIN" ]]; then
+    PLUGIN="$(ls build*/tools/irhint-checks/libirhint_checks.* 2>/dev/null |
+              head -n1 || true)"
+  fi
+  if [[ -z "$PLUGIN" || ! -f "$PLUGIN" ]]; then
+    echo "error: --with-plugin but no libirhint_checks.* found; build with" >&2
+    echo "  cmake -B build-checks -S . -DIRHINT_CHECKS=ON ... && \\" >&2
+    echo "  cmake --build build-checks --target irhint_checks" >&2
+    exit 2
+  fi
+  EXTRA_ARGS+=("--load=$PLUGIN" "--checks=irhint-*")
+fi
+if [[ -n "${EXPORT_FIXES:-}" ]]; then
+  EXTRA_ARGS+=("--export-fixes=$EXPORT_FIXES")
+fi
+
 # Library + tools + fuzz sources; tests are gtest-macro-heavy and stay out
 # of the gate.
 mapfile -t FILES < <(git ls-files 'src/**/*.cc' 'tools/*.cc' 'fuzz/*.cc')
 
-"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
+"$TIDY" -p "$BUILD_DIR" --quiet ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"} \
+  "${FILES[@]}"
 echo "clang-tidy: ${#FILES[@]} files clean"
