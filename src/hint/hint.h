@@ -173,7 +173,7 @@ class HintIndex {
 
   /// \brief Restore from a section cursor, replacing current contents.
   /// Subdivision arrays become zero-copy views on the mmap path.
-  Status LoadFrom(SectionCursor* cursor);
+  IRHINT_UNTRUSTED Status LoadFrom(SectionCursor* cursor);
 
  private:
   friend struct IntegrityTestPeer;

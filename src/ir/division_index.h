@@ -401,7 +401,7 @@ class IRHINT_KEEPALIVE_EXTERNAL DivisionPostings {
     writer->WriteU64(num_list_tombstones_);
   }
 
-  Status LoadFrom(SectionCursor* cursor) {
+  IRHINT_UNTRUSTED Status LoadFrom(SectionCursor* cursor) {
     IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&keys_));
     IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&offsets_));
     IRHINT_RETURN_NOT_OK(cursor->ReadFlatArray(&postings_));
@@ -498,7 +498,7 @@ class DivisionTif {
   size_t MemoryUsageBytes() const { return postings_.MemoryUsageBytes(); }
 
   void SaveTo(SnapshotWriter* writer) const { postings_.SaveTo(writer); }
-  Status LoadFrom(SectionCursor* cursor) {
+  IRHINT_UNTRUSTED Status LoadFrom(SectionCursor* cursor) {
     return postings_.LoadFrom(cursor);
   }
 
@@ -558,7 +558,7 @@ class DivisionIdIndex {
   size_t MemoryUsageBytes() const { return postings_.MemoryUsageBytes(); }
 
   void SaveTo(SnapshotWriter* writer) const { postings_.SaveTo(writer); }
-  Status LoadFrom(SectionCursor* cursor) {
+  IRHINT_UNTRUSTED Status LoadFrom(SectionCursor* cursor) {
     return postings_.LoadFrom(cursor);
   }
 

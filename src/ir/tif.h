@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/flat_hash_map.h"
 #include "core/temporal_ir_index.h"
 #include "ir/postings.h"
@@ -58,7 +59,7 @@ class TemporalInvertedFile : public CountingTemporalIrIndex {
   void SaveState(SnapshotWriter* writer) const;
 
   /// \brief Restore from a section cursor, replacing current contents.
-  Status LoadState(SectionCursor* cursor);
+  IRHINT_UNTRUSTED Status LoadState(SectionCursor* cursor);
 
  private:
   friend struct IntegrityTestPeer;

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/status.h"
 #include "core/integrity.h"
 #include "data/object.h"
@@ -306,7 +307,7 @@ class SlicedPostingsT {
 
   /// \brief Restore from a section cursor, replacing current contents.
   /// Sub-lists are small per slice; they stay owned vectors.
-  Status LoadFrom(SectionCursor* cursor) {
+  IRHINT_UNTRUSTED Status LoadFrom(SectionCursor* cursor) {
     IRHINT_RETURN_NOT_OK(cursor->ReadVector(&slice_ids_));
     sublists_.assign(slice_ids_.size(), {});
     for (auto& sublist : sublists_) {

@@ -9,6 +9,7 @@
 
 #include "RawSyncCheck.h"
 #include "StatusDisciplineCheck.h"
+#include "TaintSummaryCheck.h"
 #include "UntrustedDecodeCheck.h"
 #include "ViewLifetimeCheck.h"
 #include "clang-tidy/ClangTidyModule.h"
@@ -27,6 +28,7 @@ class IrhintModule : public ClangTidyModule {
         "irhint-status-discipline");
     CheckFactories.registerCheck<ViewLifetimeCheck>("irhint-view-lifetime");
     CheckFactories.registerCheck<RawSyncCheck>("irhint-raw-sync");
+    CheckFactories.registerCheck<TaintSummaryCheck>("irhint-taint-summary");
   }
 };
 

@@ -1,0 +1,722 @@
+#include "TaintSummaryCheck.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "CheckUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/Lexer.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+namespace {
+
+std::set<std::string> SplitNames(StringRef List) {
+  std::set<std::string> Names;
+  while (!List.empty()) {
+    std::pair<StringRef, StringRef> Parts = List.split(';');
+    StringRef Name = Parts.first.trim();
+    if (!Name.empty()) Names.insert(Name.str());
+    List = Parts.second;
+  }
+  return Names;
+}
+
+// Walks every statement in `Root` (inclusive), pre-order.
+template <typename Fn>
+void ForEachStmt(const Stmt* Root, Fn&& Visit) {
+  if (Root == nullptr) return;
+  Visit(Root);
+  for (const Stmt* Child : Root->children()) ForEachStmt(Child, Visit);
+}
+
+// Calls `Visit` for every DeclRefExpr under `Root` that names a VarDecl.
+template <typename Fn>
+void ForEachVarRef(const Stmt* Root, Fn&& Visit) {
+  ForEachStmt(Root, [&](const Stmt* S) {
+    if (const auto* Ref = dyn_cast<DeclRefExpr>(S)) {
+      if (const auto* Var = dyn_cast<VarDecl>(Ref->getDecl())) {
+        Visit(Ref, Var);
+      }
+    }
+  });
+}
+
+// The variable a unary & argument takes the address of, if any:
+// matches the `reader.ReadU64(&count)` out-parameter idiom.
+const VarDecl* AddressOfVar(const Expr* Arg) {
+  if (Arg == nullptr) return nullptr;
+  const auto* Unary = dyn_cast<UnaryOperator>(Arg->IgnoreParenImpCasts());
+  if (Unary == nullptr || Unary->getOpcode() != UO_AddrOf) return nullptr;
+  const auto* Ref =
+      dyn_cast<DeclRefExpr>(Unary->getSubExpr()->IgnoreParenImpCasts());
+  if (Ref == nullptr) return nullptr;
+  return dyn_cast<VarDecl>(Ref->getDecl());
+}
+
+StringRef MethodName(const CallExpr* Call) {
+  const auto* Callee = dyn_cast_or_null<NamedDecl>(Call->getCalleeDecl());
+  if (Callee == nullptr) return StringRef();
+  const IdentifierInfo* Ident = Callee->getIdentifier();
+  return Ident == nullptr ? StringRef() : Ident->getName();
+}
+
+// Repo-relative spelling of an absolute path: everything from the last
+// top-level repo directory marker on. Keeps summary keys, baselines,
+// and sidecars byte-identical across checkouts and machines.
+std::string RepoRelative(StringRef Path) {
+  static const StringRef Markers[] = {"/src/",   "/tools/", "/fuzz/",
+                                      "/bench/", "/tests/", "/examples/"};
+  // Pick the *earliest* marker so nested matches ("tools/.../test/")
+  // keep the full repo-relative prefix.
+  size_t Best = StringRef::npos;
+  for (StringRef Marker : Markers) {
+    const size_t Pos = Path.find(Marker);
+    if (Pos != StringRef::npos && (Best == StringRef::npos || Pos < Best)) {
+      Best = Pos;
+    }
+  }
+  if (Best == StringRef::npos) return Path.str();
+  return Path.substr(Best + 1).str();
+}
+
+// FNV-1a, for stable sidecar filenames.
+uint64_t Fnv1a(StringRef S) {
+  uint64_t H = 1469598103934665603ull;
+  for (const char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+// Matches python's json.dumps escaping for the ASCII strings we emit.
+std::string JsonEscape(StringRef S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (const char C : S) {
+    switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\r':
+        Out += "\\r";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+    }
+  }
+  return Out;
+}
+
+std::string AnnotationOf(const FunctionDecl* Func) {
+  for (const FunctionDecl* R : Func->redecls()) {
+    if (HasAnnotation(R, "irhint::untrusted")) return "untrusted";
+    if (HasAnnotation(R, "irhint::sanitizer")) return "sanitizer";
+  }
+  return "";
+}
+
+// Stable cross-TU identity: qualified name + arity; internal-linkage
+// functions additionally carry their file so same-named static helpers
+// in different TUs never merge.
+std::string FunctionKey(const FunctionDecl* Func, const SourceManager& SM) {
+  std::string Key;
+  if (!Func->isExternallyVisible()) {
+    const PresumedLoc Loc = SM.getPresumedLoc(
+        SM.getExpansionLoc(Func->getFirstDecl()->getLocation()));
+    if (Loc.isValid()) {
+      Key += RepoRelative(Loc.getFilename());
+      Key += "!";
+    }
+  }
+  Key += Func->getQualifiedNameAsString();
+  Key += "/";
+  Key += std::to_string(Func->getNumParams());
+  return Key;
+}
+
+using OriginSet = std::set<std::string>;
+
+std::string JoinOrigins(const OriginSet& From) {
+  std::string Out = "[";
+  bool First = true;
+  for (const std::string& O : From) {
+    if (!First) Out += ",";
+    First = false;
+    Out += "\"" + JsonEscape(O) + "\"";
+  }
+  Out += "]";
+  return Out;
+}
+
+}  // namespace
+
+TaintSummaryCheck::TaintSummaryCheck(StringRef Name, ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      SummaryDir(Options.get("SummaryDir", "")),
+      SourceFunctions(Options.get("SourceFunctions", "")),
+      SanitizerFunctions(Options.get(
+          "SanitizerFunctions",
+          "CheckedAdd;CheckedSub;CheckedMul;CheckedCast;SaturatingAdd;"
+          "SaturatingMul;GrowToFit;FitsInBytes")) {}
+
+void TaintSummaryCheck::storeOptions(ClangTidyOptions::OptionMap& Opts) {
+  Options.store(Opts, "SummaryDir", SummaryDir);
+  Options.store(Opts, "SourceFunctions", SourceFunctions);
+  Options.store(Opts, "SanitizerFunctions", SanitizerFunctions);
+}
+
+void TaintSummaryCheck::registerMatchers(MatchFinder* Finder) {
+  if (SummaryDir.empty()) return;
+  // The TU matcher fires even for function-free TUs, so every TU in the
+  // compile database produces a sidecar and the driver can verify none
+  // silently vanished.
+  Finder->addMatcher(translationUnitDecl().bind("tu"), this);
+  Finder->addMatcher(functionDecl(isDefinition(), hasBody(stmt()),
+                                  unless(isExpansionInSystemHeader()))
+                         .bind("func"),
+                     this);
+}
+
+void TaintSummaryCheck::check(const MatchFinder::MatchResult& Result) {
+  if (SummaryDir.empty()) return;
+  if (Result.Nodes.getNodeAs<TranslationUnitDecl>("tu") != nullptr) {
+    const SourceManager& SM = *Result.SourceManager;
+    MainFile =
+        SM.getFilename(SM.getLocForStartOfFile(SM.getMainFileID())).str();
+    return;
+  }
+  const auto* Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (Func == nullptr || !Func->doesThisDeclarationHaveABody()) return;
+  if (Func->isImplicit()) return;
+  AnalyzeFunction(Func, Result);
+}
+
+void TaintSummaryCheck::AnalyzeFunction(
+    const FunctionDecl* Func, const MatchFinder::MatchResult& Result) {
+  const Stmt* Body = Func->getBody();
+  const SourceManager& SM = *Result.SourceManager;
+  const LangOptions& LangOpts = Result.Context->getLangOpts();
+
+  const PresumedLoc DeclLoc =
+      SM.getPresumedLoc(SM.getExpansionLoc(Func->getLocation()));
+  if (DeclLoc.isInvalid()) return;
+  const PresumedLoc EndLoc =
+      SM.getPresumedLoc(SM.getExpansionLoc(Func->getEndLoc()));
+
+  FunctionSummary Summary;
+  Summary.Key = FunctionKey(Func, SM);
+  Summary.Display = Func->getQualifiedNameAsString();
+  Summary.File = RepoRelative(DeclLoc.getFilename());
+  Summary.Line = DeclLoc.getLine();
+  Summary.EndLine = EndLoc.isValid() ? EndLoc.getLine() : Summary.Line;
+  Summary.Params = static_cast<int>(Func->getNumParams());
+  Summary.Annotated = AnnotationOf(Func);
+
+  const std::set<std::string> Sources = SplitNames(SourceFunctions);
+  const std::set<std::string> Sanitizers = SplitNames(SanitizerFunctions);
+
+  auto NameOf = [](const FunctionDecl* D) -> std::string {
+    const IdentifierInfo* Ident = D->getIdentifier();
+    return Ident == nullptr ? std::string() : Ident->getName().str();
+  };
+  auto IsSanitizerCallee = [&](const FunctionDecl* D) {
+    if (!AnnotationOf(D).empty() && AnnotationOf(D) == "sanitizer") {
+      return true;
+    }
+    const std::string Name = NameOf(D);
+    return !Name.empty() && Sanitizers.count(Name) != 0;
+  };
+  auto IsSourceCallee = [&](const FunctionDecl* D) {
+    if (AnnotationOf(D) == "untrusted") return true;
+    const std::string Name = NameOf(D);
+    return !Name.empty() && Sources.count(Name) != 0;
+  };
+  auto CalleeKey = [&](const FunctionDecl* D) { return FunctionKey(D, SM); };
+  auto LineOf = [&](SourceLocation Loc) -> unsigned {
+    const PresumedLoc P = SM.getPresumedLoc(SM.getExpansionLoc(Loc));
+    return P.isValid() ? P.getLine() : 0;
+  };
+
+  // A call is an opaque summary boundary when its callee resolves to a
+  // plain (non-operator) function; operator calls keep mention
+  // semantics so `v[i]` and overloaded arithmetic stay transparent.
+  auto BoundaryCallee = [&](const Stmt* S) -> const FunctionDecl* {
+    const auto* Call = dyn_cast<CallExpr>(S);
+    if (Call == nullptr || isa<CXXOperatorCallExpr>(Call)) return nullptr;
+    return Call->getDirectCallee();
+  };
+
+  // --- Record callee annotations visible from this TU. ---------------
+  ForEachStmt(Body, [&](const Stmt* S) {
+    const auto* Call = dyn_cast<CallExpr>(S);
+    if (Call == nullptr) return;
+    const FunctionDecl* D = Call->getDirectCallee();
+    if (D == nullptr) return;
+    if (IsSourceCallee(D)) {
+      KnownAnnotated[CalleeKey(D)] = "untrusted";
+    } else if (IsSanitizerCallee(D)) {
+      KnownAnnotated[CalleeKey(D)] = "sanitizer";
+    }
+  });
+
+  // --- Param indexing and origin seeds. ------------------------------
+  std::map<const VarDecl*, OriginSet> Origins;
+  std::map<const ParmVarDecl*, int> ParamIndex;
+  for (unsigned I = 0; I < Func->getNumParams(); ++I) {
+    const ParmVarDecl* Param = Func->getParamDecl(I);
+    ParamIndex[Param] = static_cast<int>(I);
+    Origins[Param].insert("param:" + std::to_string(I));
+  }
+  // `Read(&x)` out-parameter idiom and non-const reference arguments:
+  // the callee may write into the variable, so it picks up a
+  // call_out origin whose hotness the linker decides.
+  ForEachStmt(Body, [&](const Stmt* S) {
+    const FunctionDecl* D = BoundaryCallee(S);
+    if (D == nullptr || IsSanitizerCallee(D)) return;
+    const auto* Call = cast<CallExpr>(S);
+    const std::string Key = CalleeKey(D);
+    unsigned J = 0;
+    for (const Expr* Arg : Call->arguments()) {
+      const VarDecl* Written = AddressOfVar(Arg);
+      if (Written == nullptr && J < D->getNumParams()) {
+        const QualType ParamType = D->getParamDecl(J)->getType();
+        if (ParamType->isLValueReferenceType() &&
+            !ParamType.getNonReferenceType().isConstQualified()) {
+          if (const auto* Ref =
+                  dyn_cast<DeclRefExpr>(Arg->IgnoreParenImpCasts())) {
+            Written = dyn_cast<VarDecl>(Ref->getDecl());
+          }
+        }
+      }
+      if (Written != nullptr) {
+        Origins[Written].insert("call_out:" + Key + ":" + std::to_string(J));
+      }
+      ++J;
+    }
+  });
+
+  // --- Blessing (identical rules to irhint-untrusted-decode). --------
+  std::set<const DeclRefExpr*> AddrOfRefs;
+  ForEachStmt(Body, [&](const Stmt* S) {
+    const auto* Unary = dyn_cast<UnaryOperator>(S);
+    if (Unary == nullptr || Unary->getOpcode() != UO_AddrOf) return;
+    if (const auto* Ref = dyn_cast<DeclRefExpr>(
+            Unary->getSubExpr()->IgnoreParenImpCasts())) {
+      AddrOfRefs.insert(Ref);
+    }
+  });
+  std::set<const VarDecl*> Blessed;
+  auto BlessAllIn = [&](const Stmt* Root) {
+    ForEachVarRef(Root, [&](const DeclRefExpr* Ref, const VarDecl* Var) {
+      if (AddrOfRefs.count(Ref) == 0) Blessed.insert(Var);
+    });
+  };
+  ForEachStmt(Body, [&](const Stmt* S) {
+    if (const auto* Bin = dyn_cast<BinaryOperator>(S)) {
+      if (Bin->isComparisonOp()) BlessAllIn(Bin);
+      return;
+    }
+    if (const auto* If = dyn_cast<IfStmt>(S)) {
+      BlessAllIn(If->getCond());
+      return;
+    }
+    if (const auto* While = dyn_cast<WhileStmt>(S)) {
+      BlessAllIn(While->getCond());
+      return;
+    }
+    if (const auto* Do = dyn_cast<DoStmt>(S)) {
+      BlessAllIn(Do->getCond());
+      return;
+    }
+    if (const auto* For = dyn_cast<ForStmt>(S)) {
+      BlessAllIn(For->getCond());
+      return;
+    }
+    if (const auto* Switch = dyn_cast<SwitchStmt>(S)) {
+      BlessAllIn(Switch->getCond());
+      return;
+    }
+    if (const auto* Cond = dyn_cast<ConditionalOperator>(S)) {
+      BlessAllIn(Cond->getCond());
+      return;
+    }
+    if (const auto* Op = dyn_cast<CXXOperatorCallExpr>(S)) {
+      const OverloadedOperatorKind Kind = Op->getOperator();
+      if (Kind == OO_Less || Kind == OO_Greater || Kind == OO_LessEqual ||
+          Kind == OO_GreaterEqual || Kind == OO_EqualEqual ||
+          Kind == OO_ExclaimEqual || Kind == OO_Spaceship) {
+        BlessAllIn(Op);
+      }
+      return;
+    }
+    if (const auto* Call = dyn_cast<CallExpr>(S)) {
+      const FunctionDecl* D = Call->getDirectCallee();
+      if (D != nullptr && IsSanitizerCallee(D)) BlessAllIn(Call);
+      return;
+    }
+  });
+  ForEachVarRef(Body, [&](const DeclRefExpr* Ref, const VarDecl* Var) {
+    if (Blessed.count(Var) != 0 || AddrOfRefs.count(Ref) != 0) return;
+    const SourceLocation Loc = Ref->getBeginLoc();
+    if (!Loc.isMacroID()) return;
+    const StringRef Macro = Lexer::getImmediateMacroName(Loc, SM, LangOpts);
+    if (Macro.starts_with("IRHINT_")) Blessed.insert(Var);
+  });
+  for (const auto& Entry : ParamIndex) {
+    if (Blessed.count(Entry.first) != 0) {
+      Summary.Sanitizes.push_back(Entry.second);
+    }
+  }
+  std::sort(Summary.Sanitizes.begin(), Summary.Sanitizes.end());
+
+  // --- Origin collection over expressions. ---------------------------
+  // SkipBlessed=false during propagation (matching the intra check,
+  // where blessing hides a variable but not values copied out of it),
+  // true at fact emission.
+  std::function<void(const Stmt*, bool, OriginSet&)> Collect =
+      [&](const Stmt* S, bool SkipBlessed, OriginSet& Out) {
+        if (S == nullptr) return;
+        if (const FunctionDecl* D = BoundaryCallee(S)) {
+          if (!IsSanitizerCallee(D)) {
+            Out.insert("call_ret:" + CalleeKey(D));
+          }
+          return;  // opaque: argument flows are emitted as arg facts
+        }
+        if (const auto* Ref = dyn_cast<DeclRefExpr>(S)) {
+          if (const auto* Var = dyn_cast<VarDecl>(Ref->getDecl())) {
+            if (!SkipBlessed || Blessed.count(Var) == 0) {
+              const auto It = Origins.find(Var);
+              if (It != Origins.end()) {
+                Out.insert(It->second.begin(), It->second.end());
+              }
+            }
+          }
+        }
+        for (const Stmt* Child : S->children()) {
+          Collect(Child, SkipBlessed, Out);
+        }
+      };
+  auto OriginsOf = [&](const Expr* E) {
+    OriginSet Out;
+    Collect(E, /*SkipBlessed=*/false, Out);
+    return Out;
+  };
+  auto FromOf = [&](const Expr* E) {
+    OriginSet Out;
+    Collect(E, /*SkipBlessed=*/true, Out);
+    return Out;
+  };
+  auto MergeInto = [](const OriginSet& Src, OriginSet* Dst) {
+    bool Grew = false;
+    for (const std::string& O : Src) Grew |= Dst->insert(O).second;
+    return Grew;
+  };
+
+  // --- Propagation through initializations and assignments. ----------
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ForEachStmt(Body, [&](const Stmt* S) {
+      if (const auto* DS = dyn_cast<DeclStmt>(S)) {
+        for (const Decl* D : DS->decls()) {
+          const auto* Var = dyn_cast<VarDecl>(D);
+          if (Var == nullptr || !Var->hasInit()) continue;
+          Changed |= MergeInto(OriginsOf(Var->getInit()), &Origins[Var]);
+        }
+        return;
+      }
+      const auto* Bin = dyn_cast<BinaryOperator>(S);
+      if (Bin == nullptr || !Bin->isAssignmentOp()) return;
+      const auto* Ref =
+          dyn_cast<DeclRefExpr>(Bin->getLHS()->IgnoreParenImpCasts());
+      if (Ref == nullptr) return;
+      const auto* Var = dyn_cast<VarDecl>(Ref->getDecl());
+      if (Var == nullptr) return;
+      Changed |= MergeInto(OriginsOf(Bin->getRHS()), &Origins[Var]);
+    });
+  }
+
+  // --- Fact emission. ------------------------------------------------
+  auto AddFact = [&](const std::string& Json) {
+    Summary.FactJson.push_back(Json);
+  };
+  auto RetFact = [&](const OriginSet& From, unsigned Line) {
+    AddFact("{\"from\":" + JoinOrigins(From) + ",\"kind\":\"ret\",\"line\":" +
+            std::to_string(Line) + "}");
+  };
+  auto OutFact = [&](const OriginSet& From, unsigned Line, int Param) {
+    AddFact("{\"from\":" + JoinOrigins(From) + ",\"kind\":\"out\",\"line\":" +
+            std::to_string(Line) + ",\"param\":" + std::to_string(Param) +
+            "}");
+  };
+  auto ArgFact = [&](const std::string& Callee, const OriginSet& From,
+                     unsigned Index, unsigned Line) {
+    AddFact("{\"callee\":\"" + JsonEscape(Callee) +
+            "\",\"from\":" + JoinOrigins(From) +
+            ",\"index\":" + std::to_string(Index) +
+            ",\"kind\":\"arg\",\"line\":" + std::to_string(Line) + "}");
+  };
+  auto SinkFact = [&](const OriginSet& From, unsigned Line,
+                      const std::string& Sink) {
+    AddFact("{\"from\":" + JoinOrigins(From) + ",\"kind\":\"sink\",\"line\":" +
+            std::to_string(Line) + ",\"sink\":\"" + JsonEscape(Sink) + "\"}");
+  };
+
+  // The parameter written through an lvalue rooted in a pointer or
+  // reference parameter (`*out = v`, `out->field = v`, `out[i] = v`,
+  // `ref = v`), i.e. a value escaping to the caller.
+  auto WrittenParam = [&](const Expr* LHS) -> const ParmVarDecl* {
+    const Expr* E = LHS->IgnoreParenImpCasts();
+    bool Indirect = false;
+    while (true) {
+      if (const auto* Member = dyn_cast<MemberExpr>(E)) {
+        Indirect |= Member->isArrow();
+        E = Member->getBase()->IgnoreParenImpCasts();
+        continue;
+      }
+      if (const auto* Unary = dyn_cast<UnaryOperator>(E)) {
+        if (Unary->getOpcode() == UO_Deref) {
+          Indirect = true;
+          E = Unary->getSubExpr()->IgnoreParenImpCasts();
+          continue;
+        }
+        break;
+      }
+      if (const auto* Sub = dyn_cast<ArraySubscriptExpr>(E)) {
+        Indirect = true;
+        E = Sub->getBase()->IgnoreParenImpCasts();
+        continue;
+      }
+      break;
+    }
+    const auto* Ref = dyn_cast<DeclRefExpr>(E);
+    if (Ref == nullptr) return nullptr;
+    const auto* Param = dyn_cast<ParmVarDecl>(Ref->getDecl());
+    if (Param == nullptr) return nullptr;
+    if (Param->getType()->isReferenceType()) return Param;
+    return Indirect ? Param : nullptr;
+  };
+
+  ForEachStmt(Body, [&](const Stmt* S) {
+    // Returns.
+    if (const auto* Ret = dyn_cast<ReturnStmt>(S)) {
+      const OriginSet From = FromOf(Ret->getRetValue());
+      if (!From.empty()) RetFact(From, LineOf(Ret->getBeginLoc()));
+      return;
+    }
+    // Escapes through pointer/reference parameters.
+    if (const auto* Bin = dyn_cast<BinaryOperator>(S)) {
+      if (Bin->isAssignmentOp()) {
+        if (const ParmVarDecl* Param = WrittenParam(Bin->getLHS())) {
+          const OriginSet From = FromOf(Bin->getRHS());
+          if (!From.empty()) {
+            OutFact(From, LineOf(Bin->getOperatorLoc()), ParamIndex[Param]);
+          }
+        }
+      }
+      // Pointer arithmetic sinks (may coexist with the assignment case
+      // via += on pointers, so fall through on purpose).
+      const BinaryOperatorKind Opc = Bin->getOpcode();
+      if (Opc == BO_Add || Opc == BO_Sub || Opc == BO_AddAssign ||
+          Opc == BO_SubAssign) {
+        const bool LHSPtr = Bin->getLHS()->getType()->isPointerType();
+        const bool RHSPtr = Bin->getRHS()->getType()->isPointerType();
+        const Expr* Offset = nullptr;
+        if (LHSPtr && !RHSPtr) Offset = Bin->getRHS();
+        if (RHSPtr && !LHSPtr) Offset = Bin->getLHS();
+        if (Offset != nullptr) {
+          const OriginSet From = FromOf(Offset);
+          if (!From.empty()) {
+            SinkFact(From, LineOf(Bin->getOperatorLoc()), "ptr-arith");
+          }
+        }
+      }
+      return;
+    }
+    // Container size/view sinks.
+    if (const auto* Member = dyn_cast<CXXMemberCallExpr>(S)) {
+      const StringRef Method = MethodName(Member);
+      if (Method == "resize" || Method == "reserve" || Method == "SetView") {
+        for (const Expr* Arg : Member->arguments()) {
+          const OriginSet From = FromOf(Arg);
+          if (!From.empty()) {
+            SinkFact(From, LineOf(Member->getBeginLoc()), Method.str());
+          }
+        }
+      }
+      // Member calls also emit arg facts below via the generic case.
+    }
+    // Subscript sinks.
+    if (const auto* Sub = dyn_cast<ArraySubscriptExpr>(S)) {
+      const OriginSet From = FromOf(Sub->getIdx());
+      if (!From.empty()) {
+        SinkFact(From, LineOf(Sub->getBeginLoc()), "subscript");
+      }
+      return;
+    }
+    if (const auto* Op = dyn_cast<CXXOperatorCallExpr>(S)) {
+      if (Op->getOperator() == OO_Subscript && Op->getNumArgs() >= 2) {
+        const OriginSet From = FromOf(Op->getArg(1));
+        if (!From.empty()) {
+          SinkFact(From, LineOf(Op->getBeginLoc()), "subscript");
+        }
+      }
+      return;
+    }
+    // memcpy-family length sinks and argument flows into callees.
+    if (const auto* Call = dyn_cast<CallExpr>(S)) {
+      const StringRef Name = MethodName(Call);
+      if ((Name == "memcpy" || Name == "memmove" || Name == "memset") &&
+          Call->getNumArgs() >= 3) {
+        const OriginSet From = FromOf(Call->getArg(2));
+        if (!From.empty()) {
+          SinkFact(From, LineOf(Call->getBeginLoc()), "memcpy-length");
+        }
+      }
+      const FunctionDecl* D = BoundaryCallee(S);
+      if (D == nullptr || IsSanitizerCallee(D)) return;
+      if (D->getLocation().isValid() &&
+          SM.isInSystemHeader(D->getLocation())) {
+        return;  // no summaries exist for the standard library
+      }
+      const std::string Key = CalleeKey(D);
+      const unsigned Line = LineOf(Call->getBeginLoc());
+      unsigned J = 0;
+      for (const Expr* Arg : Call->arguments()) {
+        const OriginSet From = FromOf(Arg);
+        if (!From.empty()) ArgFact(Key, From, J, Line);
+        ++J;
+      }
+      return;
+    }
+  });
+
+  Summaries.push_back(std::move(Summary));
+}
+
+void TaintSummaryCheck::onEndOfTranslationUnit() {
+  if (SummaryDir.empty() || MainFile.empty()) return;
+
+  // Merge duplicate keys (template instantiations, redefinitions seen
+  // through multiple inclusion) by unioning facts, then order
+  // everything deterministically so the sidecar is byte-stable.
+  std::map<std::string, FunctionSummary> ByKey;
+  for (FunctionSummary& S : Summaries) {
+    auto It = ByKey.find(S.Key);
+    if (It == ByKey.end()) {
+      ByKey.emplace(S.Key, std::move(S));
+      continue;
+    }
+    FunctionSummary& Merged = It->second;
+    Merged.FactJson.insert(Merged.FactJson.end(), S.FactJson.begin(),
+                           S.FactJson.end());
+    for (const int P : S.Sanitizes) {
+      if (std::find(Merged.Sanitizes.begin(), Merged.Sanitizes.end(), P) ==
+          Merged.Sanitizes.end()) {
+        Merged.Sanitizes.push_back(P);
+      }
+    }
+    std::sort(Merged.Sanitizes.begin(), Merged.Sanitizes.end());
+    if (Merged.Annotated.empty()) Merged.Annotated = S.Annotated;
+  }
+  std::vector<const FunctionSummary*> Ordered;
+  Ordered.reserve(ByKey.size());
+  for (const auto& Entry : ByKey) Ordered.push_back(&Entry.second);
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const FunctionSummary* A, const FunctionSummary* B) {
+              if (A->File != B->File) return A->File < B->File;
+              if (A->Line != B->Line) return A->Line < B->Line;
+              return A->Key < B->Key;
+            });
+
+  const std::string Rel = RepoRelative(MainFile);
+  std::string Base = Rel;
+  const size_t Slash = Base.rfind('/');
+  if (Slash != std::string::npos) Base = Base.substr(Slash + 1);
+  char Hash[32];
+  std::snprintf(Hash, sizeof(Hash), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(Rel)));
+  const std::string Path = SummaryDir + "/" + Base + "-" + Hash + ".json";
+
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    std::fprintf(stderr,
+                 "irhint-taint-summary: cannot write sidecar %s "
+                 "(does SummaryDir exist?)\n",
+                 Path.c_str());
+    return;
+  }
+
+  Out << "{\"functions\":[";
+  bool FirstFunc = true;
+  for (const FunctionSummary* S : Ordered) {
+    if (!FirstFunc) Out << ",";
+    FirstFunc = false;
+    std::set<std::string> Facts(S->FactJson.begin(), S->FactJson.end());
+    Out << "{\"annotated\":\"" << JsonEscape(S->Annotated) << "\""
+        << ",\"display\":\"" << JsonEscape(S->Display) << "\""
+        << ",\"end_line\":" << S->EndLine << ",\"facts\":[";
+    bool FirstFact = true;
+    for (const std::string& F : Facts) {
+      if (!FirstFact) Out << ",";
+      FirstFact = false;
+      Out << F;
+    }
+    Out << "],\"file\":\"" << JsonEscape(S->File) << "\""
+        << ",\"key\":\"" << JsonEscape(S->Key) << "\""
+        << ",\"line\":" << S->Line << ",\"params\":" << S->Params
+        << ",\"sanitizes\":[";
+    bool FirstSan = true;
+    for (const int P : S->Sanitizes) {
+      if (!FirstSan) Out << ",";
+      FirstSan = false;
+      Out << P;
+    }
+    Out << "]}";
+  }
+  Out << "],\"known_annotated\":{";
+  bool FirstKnown = true;
+  for (const auto& Entry : KnownAnnotated) {
+    if (!FirstKnown) Out << ",";
+    FirstKnown = false;
+    Out << "\"" << JsonEscape(Entry.first) << "\":\""
+        << JsonEscape(Entry.second) << "\"";
+  }
+  Out << "},\"schema\":1,\"tu\":\"" << JsonEscape(Rel) << "\"}";
+
+  Summaries.clear();
+  KnownAnnotated.clear();
+  MainFile.clear();
+}
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang

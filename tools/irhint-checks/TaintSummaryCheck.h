@@ -1,0 +1,96 @@
+// Phase 1 of the whole-program decode-taint analysis (DESIGN.md §13):
+// a summary-emission "check" that never diagnoses anything. For every
+// function definition in the TU it computes a signature-level taint
+// summary — which outputs carry decode-derived bytes, how parameters
+// flow to outputs and into callee arguments, which parameters reach a
+// resize/subscript/memcpy/pointer-arithmetic sink unvalidated — and
+// writes one canonical JSON sidecar per TU into SummaryDir. Phase 2
+// (tools/irhint-checks/taint_link.py) merges the sidecars, builds the
+// call graph, and runs a worklist fixpoint that reports cross-TU
+// source→sink paths the intra-procedural irhint-untrusted-decode check
+// cannot see.
+//
+// The intra-procedural machinery mirrors UntrustedDecodeCheck (same
+// seeds, same mention-based propagation, same blessing rules), with two
+// deliberate differences:
+//
+//   origins   instead of a boolean "tainted" bit, every variable carries
+//             a set of origins — param:<i>, call_ret:<callee>,
+//             call_out:<callee>:<arg> — so the linker can re-root each
+//             local flow in whichever caller/callee context makes it hot.
+//   calls     a call with a resolvable callee is an opaque boundary:
+//             mentioning `n` inside `Widen(n)` does NOT taint the
+//             enclosing expression with n's origins. The argument flow
+//             is emitted as an `arg` fact instead, and the call result
+//             only becomes hot at link time if the callee's summary says
+//             taint enters it or escapes through its return. This is
+//             what lets a bound-checking helper in another TU make a
+//             flow go quiet (its summary propagates nothing).
+//
+// With the SummaryDir option unset (the default, e.g. when the check is
+// swept up by `--checks=irhint-*`) the check is a complete no-op.
+//
+// Sidecar schema and canonical serialization rules (alphabetical keys,
+// compact separators, sorted dedup'd facts — byte-identical to python's
+// json.dumps(obj, sort_keys=True, separators=(",", ":"))) are
+// documented in taint_link.py, which owns the schema version.
+
+#ifndef IRHINT_TOOLS_IRHINT_CHECKS_TAINTSUMMARYCHECK_H_
+#define IRHINT_TOOLS_IRHINT_CHECKS_TAINTSUMMARYCHECK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace irhint_checks {
+
+class TaintSummaryCheck : public ClangTidyCheck {
+ public:
+  TaintSummaryCheck(StringRef Name, ClangTidyContext* Context);
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+  void onEndOfTranslationUnit() override;
+  void storeOptions(ClangTidyOptions::OptionMap& Opts) override;
+
+ private:
+  struct FunctionSummary {
+    std::string Key;
+    std::string Display;
+    std::string File;
+    unsigned Line = 0;
+    unsigned EndLine = 0;
+    int Params = 0;
+    std::string Annotated;  // "untrusted", "sanitizer", or ""
+    std::vector<int> Sanitizes;
+    // Facts pre-serialized in canonical JSON (sorted + dedup'd at emit).
+    std::vector<std::string> FactJson;
+  };
+
+  void AnalyzeFunction(const FunctionDecl* Func,
+                       const ast_matchers::MatchFinder::MatchResult& Result);
+
+  // Directory to write sidecars into; empty disables the check entirely.
+  const std::string SummaryDir;
+  // Same option semantics as irhint-untrusted-decode.
+  const std::string SourceFunctions;
+  const std::string SanitizerFunctions;
+
+  std::string MainFile;
+  std::vector<FunctionSummary> Summaries;
+  // Annotations observed on callee *declarations* (the definition may
+  // live outside the compile database); merged by the linker.
+  std::map<std::string, std::string> KnownAnnotated;
+};
+
+}  // namespace irhint_checks
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // IRHINT_TOOLS_IRHINT_CHECKS_TAINTSUMMARYCHECK_H_

@@ -1,0 +1,704 @@
+#!/usr/bin/env python3
+"""Phase 2 of the whole-program decode-taint analysis (DESIGN.md §13).
+
+Phase 1 (the `irhint-taint-summary` clang-tidy check) runs over the full
+compile database and writes one JSON sidecar per translation unit into a
+summary directory. This driver merges the sidecars, builds the call
+graph from the per-function facts, runs a worklist fixpoint over
+function summaries, and reports every unsanitized source->sink path
+with its full call chain, diffed against a committed findings baseline
+so that *new* cross-TU flows fail CI while residual baselined ones are
+tracked.
+
+Sidecar schema (schema version 1) — this file owns the schema; the C++
+emitter in TaintSummaryCheck.cc mirrors it byte-for-byte:
+
+    {
+      "functions": [
+        {
+          "annotated": "untrusted" | "sanitizer" | "",
+          "display":   "ns::Class::Fn",
+          "end_line":  123,
+          "facts":     [fact...],        # sorted, dedup'd
+          "file":      "src/foo/bar.cc", # repo-relative
+          "key":       "ns::Class::Fn/2",
+          "line":      100,
+          "params":    2,
+          "sanitizes": [0]               # params blessed in the body
+        }
+      ],
+      "known_annotated": {"key": "untrusted" | "sanitizer"},
+      "schema": 1,
+      "tu": "src/foo/bar.cc"
+    }
+
+Facts (keys alphabetical, values canonical):
+
+    {"from": [origin...], "kind": "ret",  "line": N}
+    {"from": [origin...], "kind": "out",  "line": N, "param": J}
+    {"callee": KEY, "from": [origin...], "index": J,
+     "kind": "arg", "line": N}
+    {"from": [origin...], "kind": "sink", "line": N, "sink": NAME}
+
+Origins name where a value may have come from *locally*:
+
+    param:I          the function's I-th parameter
+    call_ret:KEY     the return value of a call to KEY
+    call_out:KEY:J   a variable passed by address/reference as the J-th
+                     argument of a call to KEY
+
+Serialization is canonical: every sidecar is byte-identical to
+`json.dumps(obj, sort_keys=True, separators=(",", ":"))` of its parsed
+content (checked by --verify-canonical), so content-hash caching and
+round-trip tests are exact.
+
+Fixpoint relations (all monotone, so cycles/recursion converge):
+
+    Emits(F, ret)       F's return carries source-derived taint even
+                        when F is called with clean arguments.
+    Emits(F, out:J)     F writes such taint through its J-th parameter.
+    Prop(F, I, ret)     if F's I-th argument is tainted, so is F's
+                        return value.
+    Prop(F, I, out:J)   ... so is what F writes through parameter J.
+    SinkReach(F, I)     if F's I-th argument is tainted it reaches a
+                        resize/subscript/memcpy-length/pointer-arith
+                        sink (directly or transitively) unvalidated.
+
+Hotness of an origin in a context (a set of tainted parameters):
+param:I is hot iff I is in the context; call_ret:KEY is hot iff KEY is
+annotated untrusted or Emits(KEY, ret); call_out:KEY:J likewise via
+Emits(KEY, out:J). Within one function, hot arguments flowing into a
+callee whose Prop relation fires make the corresponding call_ret /
+call_out origins hot too (conflated per callee key — conservative when
+the same callee is invoked with both hot and cold arguments). Origins
+that reference an annotated sanitizer are never hot, which is what
+makes a bound-checking helper in another TU silence a flow.
+
+Findings are root-context flows: a hot sink fact, or a hot arg fact
+into a callee whose SinkReach fires. Finding ids are built from
+function keys only (no line numbers), so routine edits don't churn the
+baseline:  root-key|origin|sink-function-key|sink-name.
+
+Exit codes: 0 clean (or all findings baselined), 1 new findings or
+canonical-form violation, 2 usage / IO / schema errors.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = 1
+
+UNTRUSTED = "untrusted"
+SANITIZER = "sanitizer"
+
+
+def canonical(obj):
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def fail(msg):
+    print("taint_link: error: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+# --------------------------------------------------------------------------
+# Loading and merging
+# --------------------------------------------------------------------------
+
+
+def load_sidecars(summary_dir):
+    """Returns a list of (path, parsed) for every .json sidecar."""
+    if not os.path.isdir(summary_dir):
+        fail("summary directory %s does not exist" % summary_dir)
+    sidecars = []
+    for name in sorted(os.listdir(summary_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(summary_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            fail("cannot parse sidecar %s: %s" % (path, exc))
+        if data.get("schema") != SCHEMA:
+            fail(
+                "sidecar %s has schema %r, this driver speaks %d"
+                % (path, data.get("schema"), SCHEMA)
+            )
+        sidecars.append((path, data))
+    if not sidecars:
+        fail("no .json sidecars found in %s" % summary_dir)
+    return sidecars
+
+
+def verify_canonical(sidecars):
+    """Checks every sidecar file is in canonical serialized form."""
+    bad = []
+    for path, data in sidecars:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        if raw.decode("utf-8") != canonical(data):
+            bad.append(path)
+    return bad
+
+
+def merge_sidecars(sidecars):
+    """Unions sidecars into (functions, annotated, tus, warnings).
+
+    functions: key -> merged function record (facts dedup'd + sorted).
+    annotated: key -> "untrusted"/"sanitizer" from definitions and from
+    declaration-side annotations observed in any TU.
+    """
+    functions = {}
+    annotated = {}
+    warnings = []
+    tus = []
+
+    def note_annotation(key, kind, where):
+        prev = annotated.get(key)
+        if prev is not None and prev != kind:
+            # An untrusted/sanitizer conflict is a contract bug; err on
+            # the side that keeps taint flowing.
+            warnings.append(
+                "conflicting annotations for %s (%s vs %s, seen in %s); "
+                "treating as untrusted" % (key, prev, kind, where)
+            )
+            annotated[key] = UNTRUSTED
+            return
+        annotated[key] = kind
+
+    for path, data in sidecars:
+        tus.append(data.get("tu", path))
+        for kind_key, kind in data.get("known_annotated", {}).items():
+            note_annotation(kind_key, kind, data.get("tu", path))
+        for func in data.get("functions", []):
+            key = func["key"]
+            if func.get("annotated"):
+                note_annotation(key, func["annotated"], func["file"])
+            have = functions.get(key)
+            if have is None:
+                merged = dict(func)
+                merged["facts"] = list(func["facts"])
+                merged["sanitizes"] = sorted(set(func["sanitizes"]))
+                functions[key] = merged
+                continue
+            # Same function seen from several TUs (header-inline,
+            # templates): union the facts, keep the first location.
+            seen = {canonical(f) for f in have["facts"]}
+            for fact in func["facts"]:
+                if canonical(fact) not in seen:
+                    seen.add(canonical(fact))
+                    have["facts"].append(fact)
+            have["sanitizes"] = sorted(
+                set(have["sanitizes"]) | set(func["sanitizes"])
+            )
+            if not have.get("annotated") and func.get("annotated"):
+                have["annotated"] = func["annotated"]
+    for func in functions.values():
+        func["facts"].sort(key=canonical)
+    return functions, annotated, sorted(set(tus)), warnings
+
+
+# --------------------------------------------------------------------------
+# Fixpoint
+# --------------------------------------------------------------------------
+
+
+def _origin_parts(origin):
+    """Splits an origin into (kind, callee-key-or-None, index-or-None)."""
+    if origin.startswith("param:"):
+        return "param", None, int(origin.split(":", 1)[1])
+    if origin.startswith("call_ret:"):
+        return "call_ret", origin[len("call_ret:") :], None
+    if origin.startswith("call_out:"):
+        rest = origin[len("call_out:") :]
+        key, _, idx = rest.rpartition(":")
+        return "call_out", key, int(idx)
+    return "unknown", None, None
+
+
+class Linker:
+    """Worklist fixpoint over merged function summaries."""
+
+    def __init__(self, functions, annotated):
+        self.functions = functions
+        self.annotated = annotated
+        self.emits = {}  # (key, slot) -> witness chain (list of steps)
+        self.prop = {}  # (key, param) -> set of slots
+        self.sink_reach = {}  # (key, param) -> (chain, sink_key, sink_name)
+
+    # -- presentation helpers ---------------------------------------------
+
+    def _display(self, key):
+        func = self.functions.get(key)
+        return func["display"] if func else key
+
+    def _step(self, key, line, note):
+        func = self.functions.get(key)
+        return {
+            "file": func["file"] if func else "?",
+            "function": self._display(key),
+            "key": key,
+            "line": line if line else (func["line"] if func else 0),
+            "note": note,
+        }
+
+    # -- hotness ----------------------------------------------------------
+
+    def _base_hot(self, origin, ctx_params):
+        kind, callee, idx = _origin_parts(origin)
+        if kind == "param":
+            return idx in ctx_params
+        if kind == "call_ret":
+            if self.annotated.get(callee) == SANITIZER:
+                return False
+            return (
+                self.annotated.get(callee) == UNTRUSTED
+                or (callee, "ret") in self.emits
+            )
+        if kind == "call_out":
+            if self.annotated.get(callee) == SANITIZER:
+                return False
+            return (
+                self.annotated.get(callee) == UNTRUSTED
+                or (callee, "out:%d" % idx) in self.emits
+            )
+        return False
+
+    def _close(self, func, ctx_params):
+        """Closes hotness over Prop within one function body.
+
+        Returns (hot_of, prov): hot_of(from_list) gives a hot origin
+        from the list or None; prov maps Prop-derived hot origins to
+        (via_origin, line, callee_key, arg_index, slot) provenance.
+        """
+        extra = set()
+        prov = {}
+
+        def is_hot(origin):
+            return origin in extra or self._base_hot(origin, ctx_params)
+
+        def hot_of(from_list):
+            for origin in from_list:
+                if is_hot(origin):
+                    return origin
+            return None
+
+        changed = True
+        while changed:
+            changed = False
+            for fact in func["facts"]:
+                if fact["kind"] != "arg":
+                    continue
+                callee = fact["callee"]
+                if self.annotated.get(callee) == SANITIZER:
+                    continue
+                via = hot_of(fact["from"])
+                if via is None:
+                    continue
+                for slot in self.prop.get((callee, fact["index"]), ()):
+                    if slot == "ret":
+                        origin = "call_ret:%s" % callee
+                    else:
+                        origin = "call_out:%s:%s" % (
+                            callee,
+                            slot.split(":", 1)[1],
+                        )
+                    if not is_hot(origin):
+                        extra.add(origin)
+                        prov[origin] = (
+                            via,
+                            fact["line"],
+                            callee,
+                            fact["index"],
+                            slot,
+                        )
+                        changed = True
+        return hot_of, prov
+
+    # -- witness chains ---------------------------------------------------
+
+    def _trace(self, func, origin, prov):
+        """Source-side witness chain for a hot origin (root context)."""
+        if origin in prov:
+            via, line, callee, idx, slot = prov[origin]
+            chain = self._trace(func, via, prov)
+            chain.append(
+                self._step(
+                    func["key"],
+                    line,
+                    "passes tainted value into %s (arg %d)"
+                    % (self._display(callee), idx),
+                )
+            )
+            chain.append(
+                self._step(
+                    callee, 0, "propagates arg %d to %s" % (idx, slot)
+                )
+            )
+            return chain
+        kind, callee, idx = _origin_parts(origin)
+        if kind == "param":
+            return [
+                self._step(func["key"], 0, "parameter %d tainted" % idx)
+            ]
+        what = "return value" if kind == "call_ret" else "out-param %d" % idx
+        if self.annotated.get(callee) == UNTRUSTED:
+            return [
+                self._step(
+                    callee,
+                    0,
+                    "untrusted source (%s carries raw decoded bytes)" % what,
+                )
+            ]
+        slot = "ret" if kind == "call_ret" else "out:%d" % idx
+        chain = list(self.emits.get((callee, slot), ()))
+        if not chain:  # defensive: hot implies one of the cases above
+            chain = [self._step(callee, 0, "emits tainted %s" % what)]
+        return chain
+
+    # -- relation derivation ----------------------------------------------
+
+    def solve(self):
+        changed = True
+        while changed:
+            changed = False
+            for key, func in self.functions.items():
+                if self.annotated.get(key) == SANITIZER:
+                    continue
+                changed |= self._derive_param_contexts(key, func)
+                changed |= self._derive_root_context(key, func)
+
+    def _derive_param_contexts(self, key, func):
+        changed = False
+        for i in range(func["params"]):
+            hot_of, _ = self._close(func, {i})
+            for fact in func["facts"]:
+                if hot_of(fact["from"]) is None:
+                    continue
+                kind = fact["kind"]
+                if kind == "ret":
+                    slots = self.prop.setdefault((key, i), set())
+                    if "ret" not in slots:
+                        slots.add("ret")
+                        changed = True
+                elif kind == "out":
+                    slots = self.prop.setdefault((key, i), set())
+                    slot = "out:%d" % fact["param"]
+                    if slot not in slots:
+                        slots.add(slot)
+                        changed = True
+                elif kind == "sink":
+                    if (key, i) not in self.sink_reach:
+                        chain = [
+                            self._step(
+                                key,
+                                fact["line"],
+                                "sink %s" % fact["sink"],
+                            )
+                        ]
+                        self.sink_reach[(key, i)] = (
+                            chain,
+                            key,
+                            fact["sink"],
+                        )
+                        changed = True
+                elif kind == "arg":
+                    callee = fact["callee"]
+                    sub = self.sink_reach.get((callee, fact["index"]))
+                    if sub is not None and (key, i) not in self.sink_reach:
+                        chain = [
+                            self._step(
+                                key,
+                                fact["line"],
+                                "passes tainted value into %s (arg %d)"
+                                % (self._display(callee), fact["index"]),
+                            )
+                        ] + list(sub[0])
+                        self.sink_reach[(key, i)] = (chain, sub[1], sub[2])
+                        changed = True
+        return changed
+
+    def _derive_root_context(self, key, func):
+        changed = False
+        hot_of, prov = self._close(func, set())
+        for fact in func["facts"]:
+            if fact["kind"] not in ("ret", "out"):
+                continue
+            via = hot_of(fact["from"])
+            if via is None:
+                continue
+            slot = (
+                "ret" if fact["kind"] == "ret" else "out:%d" % fact["param"]
+            )
+            if (key, slot) not in self.emits:
+                chain = self._trace(func, via, prov)
+                what = (
+                    "returns tainted value"
+                    if slot == "ret"
+                    else "writes tainted value through parameter %d"
+                    % fact["param"]
+                )
+                chain = chain + [self._step(key, fact["line"], what)]
+                self.emits[(key, slot)] = chain
+                changed = True
+        return changed
+
+    # -- findings ---------------------------------------------------------
+
+    @staticmethod
+    def _root_origin(origin, prov):
+        """Follows Prop-closure provenance back to the base hot origin,
+        so finding ids name the ultimate source, not the last hop."""
+        seen = set()
+        while origin in prov and origin not in seen:
+            seen.add(origin)
+            origin = prov[origin][0]
+        return origin
+
+    def findings(self):
+        found = {}
+
+        def add(root_key, origin, sink_key, sink_name, chain):
+            fid = "|".join((root_key, origin, sink_key, sink_name))
+            if fid not in found:
+                found[fid] = {
+                    "chain": chain,
+                    "id": fid,
+                    "root": root_key,
+                    "sink": sink_name,
+                    "sink_function": self._display(sink_key),
+                    "source": origin,
+                }
+
+        for key, func in self.functions.items():
+            if self.annotated.get(key) == SANITIZER:
+                continue
+            hot_of, prov = self._close(func, set())
+            for fact in func["facts"]:
+                via = hot_of(fact["from"])
+                if via is None:
+                    continue
+                if fact["kind"] == "sink":
+                    chain = self._trace(func, via, prov) + [
+                        self._step(
+                            key, fact["line"], "sink %s" % fact["sink"]
+                        )
+                    ]
+                    add(
+                        key,
+                        self._root_origin(via, prov),
+                        key,
+                        fact["sink"],
+                        chain,
+                    )
+                elif fact["kind"] == "arg":
+                    sub = self.sink_reach.get(
+                        (fact["callee"], fact["index"])
+                    )
+                    if sub is None:
+                        continue
+                    chain = (
+                        self._trace(func, via, prov)
+                        + [
+                            self._step(
+                                key,
+                                fact["line"],
+                                "passes tainted value into %s (arg %d)"
+                                % (
+                                    self._display(fact["callee"]),
+                                    fact["index"],
+                                ),
+                            )
+                        ]
+                        + list(sub[0])
+                    )
+                    add(
+                        key,
+                        self._root_origin(via, prov),
+                        sub[1],
+                        sub[2],
+                        chain,
+                    )
+        return [found[fid] for fid in sorted(found)]
+
+
+# --------------------------------------------------------------------------
+# Baseline and reporting
+# --------------------------------------------------------------------------
+
+
+def load_baseline(path):
+    if not path or not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        fail("cannot parse baseline %s: %s" % (path, exc))
+    if data.get("schema") != SCHEMA:
+        fail("baseline %s has schema %r" % (path, data.get("schema")))
+    entries = {}
+    for entry in data.get("findings", []):
+        entries[entry["id"]] = entry.get("justification", "")
+    return entries
+
+
+def print_finding(finding, tag):
+    print(
+        "%s %s: decode-tainted value reaches sink `%s` in %s"
+        % (tag, finding["root"], finding["sink"], finding["sink_function"])
+    )
+    for step in finding["chain"]:
+        print(
+            "    %s:%d: %s  [%s]"
+            % (step["file"], step["line"], step["function"], step["note"])
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Merge irhint-taint-summary sidecars, run the "
+        "whole-program fixpoint, gate findings against a baseline."
+    )
+    parser.add_argument(
+        "--summaries",
+        required=True,
+        help="directory of per-TU summary sidecars (phase 1 output)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "taint_baseline.json"
+        ),
+        help="findings baseline (default: taint_baseline.json next to "
+        "this script); a missing file is an empty baseline",
+    )
+    parser.add_argument(
+        "--merged-out",
+        default="",
+        help="write the merged summary DB (canonical JSON) here; "
+        "check_contracts.py contract 8 reads it",
+    )
+    parser.add_argument(
+        "--report-out",
+        default="",
+        help="write the full findings report (canonical JSON) here",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--verify-canonical",
+        action="store_true",
+        help="additionally fail unless every sidecar is byte-identical "
+        "to its canonical re-serialization",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    sidecars = load_sidecars(args.summaries)
+    if args.verify_canonical:
+        bad = verify_canonical(sidecars)
+        if bad:
+            for path in bad:
+                print(
+                    "taint_link: non-canonical sidecar: %s" % path,
+                    file=sys.stderr,
+                )
+            return 1
+
+    functions, annotated, tus, warnings = merge_sidecars(sidecars)
+    for warning in warnings:
+        print("taint_link: warning: %s" % warning, file=sys.stderr)
+
+    linker = Linker(functions, annotated)
+    linker.solve()
+    findings = linker.findings()
+
+    if args.merged_out:
+        merged = {
+            "annotated": annotated,
+            "functions": functions,
+            "schema": SCHEMA,
+            "tus": tus,
+        }
+        with open(args.merged_out, "w", encoding="utf-8") as fh:
+            fh.write(canonical(merged))
+
+    baseline = load_baseline(args.baseline)
+    new = [f for f in findings if f["id"] not in baseline]
+    baselined = [f for f in findings if f["id"] in baseline]
+    stale = sorted(set(baseline) - {f["id"] for f in findings})
+
+    if args.report_out:
+        report = {
+            "baseline_stale": stale,
+            "findings": findings,
+            "functions": len(functions),
+            "new": [f["id"] for f in new],
+            "schema": SCHEMA,
+            "tus": tus,
+        }
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(canonical(report))
+
+    if args.update_baseline:
+        payload = {
+            "findings": [
+                {
+                    "id": f["id"],
+                    "justification": baseline.get(
+                        f["id"], "TODO: justify or fix"
+                    ),
+                }
+                for f in findings
+            ],
+            "schema": SCHEMA,
+        }
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            fh.write(canonical(payload) + "\n")
+        print(
+            "taint_link: baseline updated with %d finding(s)" % len(findings)
+        )
+        return 0
+
+    if not args.quiet:
+        print(
+            "taint_link: %d TU(s), %d function summaries, %d finding(s) "
+            "(%d new, %d baselined)"
+            % (len(tus), len(functions), len(findings), len(new), len(baselined))
+        )
+        for finding in baselined:
+            print_finding(finding, "BASELINED")
+            print(
+                "    justification: %s"
+                % (baseline[finding["id"]] or "(none given)")
+            )
+        for finding in new:
+            print_finding(finding, "NEW")
+    for fid in stale:
+        print(
+            "taint_link: warning: stale baseline entry (no longer found): %s"
+            % fid,
+            file=sys.stderr,
+        )
+
+    if new:
+        print(
+            "taint_link: FAIL: %d new unsanitized source->sink flow(s); "
+            "fix the flow, add an IRHINT_SANITIZER bound-check, or (last "
+            "resort) baseline it with --update-baseline and a justification."
+            % len(new),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

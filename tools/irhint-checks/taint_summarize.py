@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""Phase 1 driver: run `irhint-taint-summary` over the compile database.
+
+Wraps clang-tidy so that CI and the one-command local workflow
+(`tools/lint/run_clang_tidy.sh --taint`) get:
+
+  * a loud plugin probe — the run aborts unless `--load` actually
+    registers `irhint-taint-summary` (a missing or ABI-mismatched .so
+    must never degrade to a silent no-op);
+  * content-hash caching — each TU's sidecar is keyed by
+    sha256(TU bytes || headers digest || plugin digest), so incremental
+    runs only re-summarize changed TUs (the headers digest is the hash
+    of every tracked header, coarse but sound: any header edit
+    invalidates everything);
+  * verification that every selected TU produced its sidecar — a TU
+    whose sidecar silently vanished fails the run.
+
+The sidecar naming scheme (`<basename>-<fnv1a64 of the repo-relative
+TU path>.json`) and the repo-relative path normalization mirror
+TaintSummaryCheck.cc exactly; both must stay in sync.
+
+Exit codes: 0 all sidecars present, 1 summarization failed or sidecars
+missing, 2 usage / probe / IO errors.
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# Keep in sync with RepoRelative() in TaintSummaryCheck.cc.
+_MARKERS = ("/src/", "/tools/", "/fuzz/", "/bench/", "/tests/", "/examples/")
+
+
+def repo_relative(path):
+    best = None
+    for marker in _MARKERS:
+        pos = path.find(marker)
+        if pos != -1 and (best is None or pos < best):
+            best = pos
+    if best is None:
+        return path
+    return path[best + 1 :]
+
+
+def fnv1a(data):
+    h = 0xCBF29CE484222325
+    for byte in data.encode("utf-8"):
+        h = ((h ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def sidecar_name(tu_path):
+    rel = repo_relative(tu_path)
+    base = rel.rsplit("/", 1)[-1]
+    return "%s-%016x.json" % (base, fnv1a(rel))
+
+
+def fail(msg):
+    print("taint_summarize: error: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def sha256_file(path):
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def headers_digest(repo):
+    """One digest over every tracked header: coarse cache invalidation."""
+    proc = subprocess.run(
+        ["git", "-C", repo, "ls-files", "*.h"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        return "no-git"
+    digest = hashlib.sha256()
+    for rel in sorted(proc.stdout.split()):
+        path = os.path.join(repo, rel)
+        if not os.path.isfile(path):
+            continue
+        digest.update(rel.encode("utf-8"))
+        digest.update(sha256_file(path).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def probe_plugin(clang_tidy, plugin):
+    """Aborts unless the plugin loads and registers the summary check."""
+    if not os.path.isfile(plugin):
+        fail("plugin %s does not exist" % plugin)
+    proc = subprocess.run(
+        [
+            clang_tidy,
+            "--load=%s" % plugin,
+            "--checks=-*,irhint-*",
+            "--list-checks",
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        fail(
+            "clang-tidy failed to load plugin %s:\n%s"
+            % (plugin, proc.stderr.strip())
+        )
+    if "irhint-taint-summary" not in proc.stdout:
+        fail(
+            "plugin %s loaded but does not register irhint-taint-summary "
+            "(--list-checks output:\n%s)" % (plugin, proc.stdout.strip())
+        )
+
+
+def select_tus(build_dir, filter_re):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        fail("no compile_commands.json in %s" % build_dir)
+    with open(db_path, "r", encoding="utf-8") as fh:
+        entries = json.load(fh)
+    pattern = re.compile(filter_re)
+    tus = {}
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry["file"])
+        )
+        rel = repo_relative(path)
+        if pattern.search(rel):
+            tus[path] = rel
+    return sorted(tus.items())
+
+
+def summarize_one(clang_tidy, plugin, build_dir, out_dir, tu):
+    config = json.dumps(
+        {
+            "Checks": "-*,irhint-taint-summary",
+            "CheckOptions": {
+                "irhint-taint-summary.SummaryDir": os.path.abspath(out_dir)
+            },
+        }
+    )
+    proc = subprocess.run(
+        [
+            clang_tidy,
+            "--load=%s" % plugin,
+            "--config=%s" % config,
+            "-p",
+            build_dir,
+            tu,
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Emit per-TU taint summary sidecars with caching."
+    )
+    parser.add_argument(
+        "--build-dir",
+        required=True,
+        help="build tree containing compile_commands.json",
+    )
+    parser.add_argument(
+        "--plugin", required=True, help="path to libirhint_checks.so"
+    )
+    parser.add_argument(
+        "--out", required=True, help="directory to write sidecars into"
+    )
+    parser.add_argument(
+        "--cache",
+        default="",
+        help="sidecar cache directory (content-hash keyed); empty disables",
+    )
+    parser.add_argument(
+        "--filter",
+        default=r"^(src|fuzz)/",
+        help="regex over repo-relative TU paths (default: ^(src|fuzz)/)",
+    )
+    parser.add_argument(
+        "--clang-tidy",
+        default=os.environ.get("CLANG_TIDY", "clang-tidy"),
+        help="clang-tidy binary (default: $CLANG_TIDY or clang-tidy)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 2
+    )
+    args = parser.parse_args(argv)
+
+    clang_tidy = shutil.which(args.clang_tidy)
+    if clang_tidy is None:
+        fail("clang-tidy binary %r not found" % args.clang_tidy)
+    probe_plugin(clang_tidy, args.plugin)
+
+    repo = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    tus = select_tus(args.build_dir, args.filter)
+    if not tus:
+        fail("no TUs match filter %r in the compile database" % args.filter)
+
+    os.makedirs(args.out, exist_ok=True)
+    if args.cache:
+        os.makedirs(args.cache, exist_ok=True)
+
+    hdr_digest = headers_digest(repo)
+    plugin_digest = sha256_file(args.plugin)
+
+    def cache_key(tu_path):
+        digest = hashlib.sha256()
+        digest.update(sha256_file(tu_path).encode("utf-8"))
+        digest.update(hdr_digest.encode("utf-8"))
+        digest.update(plugin_digest.encode("utf-8"))
+        return digest.hexdigest()
+
+    todo = []
+    hits = 0
+    for path, rel in tus:
+        out_sidecar = os.path.join(args.out, sidecar_name(path))
+        if args.cache:
+            cached = os.path.join(
+                args.cache, "%s-%s" % (cache_key(path), sidecar_name(path))
+            )
+            if os.path.isfile(cached):
+                shutil.copyfile(cached, out_sidecar)
+                hits += 1
+                continue
+        todo.append((path, rel))
+
+    print(
+        "taint_summarize: %d TU(s): %d cached, %d to summarize"
+        % (len(tus), hits, len(todo))
+    )
+
+    failed = []
+    if todo:
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, args.jobs)
+        ) as pool:
+            futures = {
+                pool.submit(
+                    summarize_one,
+                    clang_tidy,
+                    args.plugin,
+                    args.build_dir,
+                    args.out,
+                    path,
+                ): (path, rel)
+                for path, rel in todo
+            }
+            for future in concurrent.futures.as_completed(futures):
+                path, rel = futures[future]
+                proc = future.result()
+                sidecar = os.path.join(args.out, sidecar_name(path))
+                if proc.returncode != 0 or not os.path.isfile(sidecar):
+                    failed.append(path)
+                    print(
+                        "taint_summarize: FAILED %s (exit %d)\n%s"
+                        % (rel, proc.returncode, proc.stderr.strip()),
+                        file=sys.stderr,
+                    )
+                elif args.cache:
+                    shutil.copyfile(
+                        sidecar,
+                        os.path.join(
+                            args.cache,
+                            "%s-%s" % (cache_key(path), sidecar_name(path)),
+                        ),
+                    )
+
+    # Every selected TU must have produced a sidecar: a TU silently
+    # dropping out of the analysis is itself a finding.
+    missing = [
+        rel
+        for path, rel in tus
+        if not os.path.isfile(os.path.join(args.out, sidecar_name(path)))
+    ]
+    for rel in missing:
+        print("taint_summarize: missing sidecar for %s" % rel, file=sys.stderr)
+    if failed or missing:
+        return 1
+    print("taint_summarize: %d sidecar(s) in %s" % (len(tus), args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+// PR 4 bug class 2 (allocation bomb via an on-disk count) behind one
+// helper of indirection: the driver decodes the count, ReserveRecords
+// owns both the FitsInBytes guard and the reserve() sink. The
+// intra-procedural check misses both halves (WILL_FAIL companion);
+// the linker re-detects the flow when -DIRHINT_DELETE_GUARD removes
+// the guard, and the sanitizer-blessing inside the helper keeps the
+// guarded shape quiet.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/checked_math.h"
+#include "common/contracts.h"
+
+namespace irhint {
+
+struct ObjectRec {
+  uint64_t st = 0;
+  uint64_t end = 0;
+  uint64_t elements = 0;
+};
+
+IRHINT_UNTRUSTED bool ReadU64(const uint8_t** cursor, uint64_t* out);
+
+bool ReadRecords(const uint8_t** cursor, uint64_t count,
+                 std::vector<ObjectRec>* out);
+
+bool ReserveRecords(std::vector<ObjectRec>* out, uint64_t count,
+                    size_t remaining) {
+#ifndef IRHINT_DELETE_GUARD
+  // 24 = minimum bytes per object record.
+  if (!FitsInBytes(count, 24, remaining)) {
+    return false;
+  }
+#endif
+  out->reserve(count);
+  return true;
+}
+
+bool LoadObjectsIndirect(const uint8_t** cursor, size_t remaining,
+                         std::vector<ObjectRec>* out) {
+  uint64_t count = 0;
+  if (!ReadU64(cursor, &count)) {
+    return false;
+  }
+  const bool ok = ReserveRecords(out, count, remaining);
+  if (!ok) {
+    return false;
+  }
+  return ReadRecords(cursor, count, out);
+}
+
+}  // namespace irhint
+
+// clang-format off
+// CHECK-BOMB: 1 finding(s) (1 new, 0 baselined)
+// CHECK-BOMB: NEW irhint::LoadObjectsIndirect/3: decode-tainted value reaches sink `reserve` in irhint::ReserveRecords
+// CHECK-BOMB: irhint::ReadU64  [untrusted source (out-param 1 carries raw decoded bytes)]
+// CHECK-BOMB: irhint::LoadObjectsIndirect  [passes tainted value into irhint::ReserveRecords (arg 1)]
+// CHECK-BOMB: irhint::ReserveRecords  [sink reserve]
+// clang-format on

@@ -1,0 +1,51 @@
+// PR 4 bug class 1 (ElementId resize wrap) behind one helper of
+// indirection: the decode happens in the driver, the guard and the
+// resize sink live inside BumpSlot. irhint-untrusted-decode is
+// intra-procedural — in the driver the call is not a sink, and in the
+// helper `e` is just an unannotated parameter — so it provably misses
+// both shapes (WILL_FAIL companion). The two-phase linker derives
+// SinkReach(BumpSlot, 1) and reports the chain; with the shipped guard
+// the comparison blesses `e` and the flow must go quiet, and
+// -DIRHINT_DELETE_GUARD must flip the gate back to failing.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/checked_math.h"
+#include "common/contracts.h"
+#include "data/object.h"
+
+namespace irhint {
+
+IRHINT_UNTRUSTED bool ReadElementId(const uint8_t** cursor, ElementId* out);
+
+bool BumpSlot(std::vector<uint64_t>* freq, ElementId e) {
+#ifndef IRHINT_DELETE_GUARD
+  if (e >= kElementIdLimit) {
+    return false;
+  }
+  freq->resize(GrowToFit(e), 0);
+#else
+  freq->resize(e + 1, 0);
+#endif
+  return true;
+}
+
+bool BumpFrequencyIndirect(const uint8_t** cursor,
+                           std::vector<uint64_t>* freq) {
+  ElementId e = 0;
+  if (!ReadElementId(cursor, &e)) {
+    return false;
+  }
+  return BumpSlot(freq, e);
+}
+
+}  // namespace irhint
+
+// clang-format off
+// CHECK-WRAP: 1 finding(s) (1 new, 0 baselined)
+// CHECK-WRAP: NEW irhint::BumpFrequencyIndirect/2: decode-tainted value reaches sink `resize` in irhint::BumpSlot
+// CHECK-WRAP: irhint::ReadElementId  [untrusted source (out-param 1 carries raw decoded bytes)]
+// CHECK-WRAP: irhint::BumpFrequencyIndirect  [passes tainted value into irhint::BumpSlot (arg 1)]
+// CHECK-WRAP: irhint::BumpSlot  [sink resize]
+// clang-format on

@@ -1,0 +1,53 @@
+// PR 4 bug class 3 (WAL replay table bomb) behind one helper of
+// indirection: the driver decodes the record, GrowTables owns the
+// kElementIdLimit guard and the resize sink. The decoded record
+// travels as a const reference — the linker must treat the whole
+// record as hot via the out-param origin of DecodeRecord. The
+// intra-procedural check misses it (WILL_FAIL companion);
+// -DIRHINT_DELETE_GUARD must flip the linked gate to failing.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+#include "data/object.h"
+
+namespace irhint {
+
+struct WalObjectRec {
+  uint32_t id = 0;
+  ElementId max_element = 0;
+};
+
+IRHINT_UNTRUSTED bool DecodeRecord(const uint8_t* data, size_t size,
+                                   WalObjectRec* out);
+
+bool GrowTables(std::vector<uint64_t>* tables, const WalObjectRec& rec) {
+#ifndef IRHINT_DELETE_GUARD
+  if (rec.max_element >= kElementIdLimit) {
+    return false;
+  }
+#endif
+  tables->resize(static_cast<size_t>(rec.max_element) + 1, 0);
+  return true;
+}
+
+bool ReplayIndirect(const uint8_t* data, size_t size,
+                    std::vector<uint64_t>* tables) {
+  WalObjectRec rec;
+  if (!DecodeRecord(data, size, &rec)) {
+    return false;
+  }
+  return GrowTables(tables, rec);
+}
+
+}  // namespace irhint
+
+// clang-format off
+// CHECK-WAL: 1 finding(s) (1 new, 0 baselined)
+// CHECK-WAL: NEW irhint::ReplayIndirect/3: decode-tainted value reaches sink `resize` in irhint::GrowTables
+// CHECK-WAL: irhint::DecodeRecord  [untrusted source (out-param 2 carries raw decoded bytes)]
+// CHECK-WAL: irhint::ReplayIndirect  [passes tainted value into irhint::GrowTables (arg 1)]
+// CHECK-WAL: irhint::GrowTables  [sink resize]
+// clang-format on

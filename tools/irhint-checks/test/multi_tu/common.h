@@ -1,0 +1,36 @@
+// Shared declarations for the cross-TU taint fixtures. The three TUs
+// (taint_a.cc: source + driver, taint_b.cc: propagator, taint_c.cc:
+// sink) each see only these signatures — nothing here reveals that
+// ReadLen's out-param reaches FillBuffer's resize across TU
+// boundaries, which is exactly what the two-phase analysis has to
+// reconstruct from the per-TU summaries (DESIGN.md §13).
+
+#ifndef IRHINT_TOOLS_IRHINT_CHECKS_TEST_MULTI_TU_COMMON_H_
+#define IRHINT_TOOLS_IRHINT_CHECKS_TEST_MULTI_TU_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace irhint {
+
+struct Buf {
+  std::vector<uint8_t> bytes;
+};
+
+// Source: the out-param carries a length straight off the wire.
+// Defined in taint_a.cc.
+IRHINT_UNTRUSTED bool ReadLen(const uint8_t* p, uint64_t* out);
+
+// Propagator: returns its argument widened. With -DTAINT_SANITIZED the
+// definition in taint_b.cc clamps the value against a bound instead,
+// and every flow through it must go quiet. Defined in taint_b.cc.
+uint64_t Widen(uint64_t n);
+
+// Sink holder: resizes b->bytes to n. Defined in taint_c.cc.
+void FillBuffer(Buf* b, uint64_t n);
+
+}  // namespace irhint
+
+#endif  // IRHINT_TOOLS_IRHINT_CHECKS_TEST_MULTI_TU_COMMON_H_

@@ -1,0 +1,39 @@
+// Cross-TU taint fixture, TU 1 of 3: the untrusted source and the
+// driver that wires source -> propagator -> sink without ever
+// containing a sink itself. The intra-procedural check finds nothing
+// in any of the three TUs (asserted by the *_intra_misses WILL_FAIL
+// companion); taint_link.py over the merged summaries must report the
+// full ReadLen -> LoadAndUse -> Widen -> FillBuffer chain.
+
+#include "common.h"
+
+namespace irhint {
+
+bool ReadLen(const uint8_t* p, uint64_t* out) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | p[i];
+  }
+  *out = v;
+  return true;
+}
+
+void LoadAndUse(const uint8_t* p, Buf* b) {
+  uint64_t n = 0;
+  if (!ReadLen(p, &n)) {
+    return;
+  }
+  FillBuffer(b, Widen(n));
+}
+
+}  // namespace irhint
+
+// clang-format off
+// CHECK-TAINT: 1 finding(s) (1 new, 0 baselined)
+// CHECK-TAINT: NEW irhint::LoadAndUse/2: decode-tainted value reaches sink `resize` in irhint::FillBuffer
+// CHECK-TAINT: taint_a.cc:{{[0-9]+}}: irhint::ReadLen  [untrusted source (out-param 1 carries raw decoded bytes)]
+// CHECK-TAINT: taint_a.cc:{{[0-9]+}}: irhint::LoadAndUse  [passes tainted value into irhint::Widen (arg 0)]
+// CHECK-TAINT: taint_b.cc:{{[0-9]+}}: irhint::Widen  [propagates arg 0 to ret]
+// CHECK-TAINT: taint_a.cc:{{[0-9]+}}: irhint::LoadAndUse  [passes tainted value into irhint::FillBuffer (arg 1)]
+// CHECK-TAINT: taint_c.cc:{{[0-9]+}}: irhint::FillBuffer  [sink resize]
+// clang-format on

@@ -1,0 +1,26 @@
+// Cross-TU taint fixture, TU 2 of 3: the propagator. The default shape
+// forwards its argument (param 0 flows to the return value, so the
+// linker derives Prop(Widen, 0, ret)); with -DTAINT_SANITIZED it
+// bounds-checks first, the mention in the comparison blesses `n`, no
+// ret fact survives, and the whole cross-TU flow must go quiet.
+
+#include "common.h"
+
+namespace irhint {
+
+#ifndef TAINT_SANITIZED
+
+uint64_t Widen(uint64_t n) { return n * 2; }
+
+#else
+
+uint64_t Widen(uint64_t n) {
+  if (n > 1024) {
+    return 1024;
+  }
+  return n * 2;
+}
+
+#endif
+
+}  // namespace irhint

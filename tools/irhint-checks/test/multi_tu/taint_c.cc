@@ -1,0 +1,15 @@
+// Cross-TU taint fixture, TU 3 of 3: the sink holder. Nothing in this
+// TU is tainted on its own — `n` is just a parameter of an unannotated
+// function, so the intra-procedural check stays quiet. The summary
+// records SinkReach(FillBuffer, 1): if argument 1 is hot in some
+// caller, it reaches resize() unvalidated.
+
+#include "common.h"
+
+namespace irhint {
+
+void FillBuffer(Buf* b, uint64_t n) {
+  b->bytes.resize(n);
+}
+
+}  // namespace irhint

@@ -1,0 +1,34 @@
+// Recursion fixture, TU 1 of 2 (+ the taint_c.cc sink TU): Ping and
+// Pong are mutually recursive across TU boundaries, so the call graph
+// has a cycle and the linker's fixpoint must converge instead of
+// spinning: Prop(Pong, 0, ret) is direct (the d <= 0 base case), and
+// Prop(Ping, 0, ret) only becomes derivable on the next worklist
+// round, through the cycle.
+
+#include "common.h"
+
+namespace irhint {
+
+uint64_t Pong(uint64_t n, int d);
+
+uint64_t Ping(uint64_t n, int d) { return Pong(n, d - 1); }
+
+void Drive(const uint8_t* p, Buf* b) {
+  uint64_t n = 0;
+  if (!ReadLen(p, &n)) {
+    return;
+  }
+  FillBuffer(b, Ping(n, 3));
+}
+
+}  // namespace irhint
+
+// clang-format off
+// CHECK-REC: 1 finding(s) (1 new, 0 baselined)
+// CHECK-REC: NEW irhint::Drive/2: decode-tainted value reaches sink `resize` in irhint::FillBuffer
+// CHECK-REC: irhint::ReadLen  [untrusted source (out-param 1 carries raw decoded bytes)]
+// CHECK-REC: irhint::Drive  [passes tainted value into irhint::Ping (arg 0)]
+// CHECK-REC: irhint::Ping  [propagates arg 0 to ret]
+// CHECK-REC: irhint::Drive  [passes tainted value into irhint::FillBuffer (arg 1)]
+// CHECK-REC: irhint::FillBuffer  [sink resize]
+// clang-format on

@@ -1,0 +1,18 @@
+// Recursion fixture, TU 2 of 2: the other half of the Ping/Pong cycle.
+// The base case returns the parameter unchecked, which is what makes
+// the pair a propagator; the d <= 0 comparison blesses only d.
+
+#include "common.h"
+
+namespace irhint {
+
+uint64_t Ping(uint64_t n, int d);
+
+uint64_t Pong(uint64_t n, int d) {
+  if (d <= 0) {
+    return n;
+  }
+  return Ping(n, d - 1);
+}
+
+}  // namespace irhint

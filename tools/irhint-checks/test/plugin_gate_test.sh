@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Asserts run_clang_tidy.sh fails LOUDLY — non-zero with a clear
+# message — whenever --with-plugin cannot actually deliver the irhint-*
+# checks, instead of degrading to a silent no-op gate. Runs without a
+# real clang-tidy: stub binaries (selected via the CLANG_TIDY env hook
+# the script already honors) simulate each failure mode, so this is a
+# plain-gcc-environment ctest.
+#
+#   plugin_gate_test.sh REPO_DIR
+#
+# Covered failure modes:
+#   1. plugin .so path does not exist            -> exit 2
+#   2. clang-tidy errors out on --load           -> exit 2
+#   3. plugin loads but registers no irhint-*    -> exit 2
+#   4. healthy plugin + healthy clang-tidy       -> exit 0
+#   5. --taint with a clang-tidy that silently drops sidecars -> exit 1
+set -u
+
+REPO=${1:?usage: plugin_gate_test.sh REPO_DIR}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+SCRIPT=$REPO/tools/lint/run_clang_tidy.sh
+BUILD=$WORK/build
+mkdir -p "$BUILD"
+cat >"$BUILD/compile_commands.json" <<EOF
+[{"directory": "$REPO", "file": "src/data/serialize.cc",
+  "command": "c++ -std=c++20 -c src/data/serialize.cc"}]
+EOF
+
+PLUGIN=$WORK/libirhint_checks.so
+echo "not a real shared object" >"$PLUGIN"
+
+make_stub() {
+  local path=$1 mode=$2
+  cat >"$path" <<EOF
+#!/usr/bin/env bash
+case " \$* " in
+  *" --list-checks "*)
+    case "$mode" in
+      loadfail)
+        echo "Error: unable to load plugin: invalid ELF header" >&2
+        exit 1
+        ;;
+      noreg)
+        echo "Enabled checks:"
+        exit 0
+        ;;
+      ok)
+        echo "Enabled checks:"
+        for c in irhint-raw-sync irhint-status-discipline \\
+                 irhint-taint-summary irhint-untrusted-decode \\
+                 irhint-view-lifetime; do
+          echo "    \$c"
+        done
+        exit 0
+        ;;
+    esac
+    ;;
+esac
+# Any non-probe invocation (the real lint / summarize run): succeed
+# without doing anything, like a check that silently never fires.
+exit 0
+EOF
+  chmod +x "$path"
+}
+
+make_stub "$WORK/tidy_ok" ok
+make_stub "$WORK/tidy_noreg" noreg
+make_stub "$WORK/tidy_loadfail" loadfail
+
+fails=0
+expect() {
+  local name=$1 want=$2 got=$3 out=$4
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $name: expected exit $want, got $got" >&2
+    echo "$out" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $name (exit $got)"
+  fi
+}
+
+cd "$REPO"
+
+# 1. Missing plugin file must exit 2 with build instructions.
+OUT=$(CLANG_TIDY=$WORK/tidy_ok "$SCRIPT" \
+        --with-plugin "$WORK/no_such_libirhint_checks.so" "$BUILD" 2>&1)
+expect "missing plugin .so" 2 $? "$OUT"
+grep -q "no libirhint_checks" <<<"$OUT" || {
+  echo "FAIL: missing-plugin message unclear: $OUT" >&2
+  fails=$((fails + 1))
+}
+
+# 2. clang-tidy rejecting -load must exit 2 and show the loader error.
+OUT=$(CLANG_TIDY=$WORK/tidy_loadfail "$SCRIPT" \
+        --with-plugin "$PLUGIN" "$BUILD" 2>&1)
+expect "plugin fails to -load" 2 $? "$OUT"
+grep -q "failed to load plugin" <<<"$OUT" || {
+  echo "FAIL: load-failure message unclear: $OUT" >&2
+  fails=$((fails + 1))
+}
+
+# 3. Plugin loading as a no-op (no irhint-* registered) must exit 2 —
+# this is the silent-degradation case the probe exists for.
+OUT=$(CLANG_TIDY=$WORK/tidy_noreg "$SCRIPT" \
+        --with-plugin "$PLUGIN" "$BUILD" 2>&1)
+expect "plugin registers nothing" 2 $? "$OUT"
+grep -q "not" <<<"$OUT" && grep -q "registered" <<<"$OUT" || {
+  echo "FAIL: no-registration message unclear: $OUT" >&2
+  fails=$((fails + 1))
+}
+
+# 4. Healthy probe: the gate proceeds and (with the inert stub) passes.
+OUT=$(CLANG_TIDY=$WORK/tidy_ok "$SCRIPT" \
+        --with-plugin "$PLUGIN" "$BUILD" 2>&1)
+expect "healthy plugin passes probe" 0 $? "$OUT"
+
+# 5. --taint with a clang-tidy that produces no sidecars: the summarize
+# driver must notice the missing sidecar and fail, not link nothing.
+OUT=$(CLANG_TIDY=$WORK/tidy_ok "$SCRIPT" \
+        --with-plugin "$PLUGIN" --taint "$BUILD" 2>&1)
+RC=$?
+expect "--taint detects vanished sidecars" 1 $RC "$OUT"
+grep -q "missing sidecar" <<<"$OUT" || {
+  echo "FAIL: vanished-sidecar message unclear: $OUT" >&2
+  fails=$((fails + 1))
+}
+
+if [ $fails -ne 0 ]; then
+  echo "plugin_gate_test: $fails failure(s)" >&2
+  exit 1
+fi
+echo "plugin_gate_test: all plugin failure modes fail loudly"

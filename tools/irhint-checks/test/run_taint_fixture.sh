@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Drives the two-phase whole-program taint analysis over a (possibly
+# multi-TU) fixture and checks the linker verdict.
+#
+#   run_taint_fixture.sh CLANG_TIDY PLUGIN FILECHECK SRC_DIR TEST_DIR \
+#                        WORK_DIR MODE PREFIX CHECKFILE TU... [-D...]
+#
+# TU and CHECKFILE paths are relative to TEST_DIR; -D* arguments go to
+# the compile line of every TU. MODE is one of:
+#
+#   link-dirty  summarize every TU with irhint-taint-summary, link the
+#               sidecars against an empty baseline, expect exit 1 (new
+#               findings) and FileCheck the linker output against
+#               CHECKFILE's PREFIX directives.
+#   link-clean  same pipeline, expect exit 0 (no findings). PREFIX is
+#               ignored (pass NONE).
+#   intra       run the intra-procedural irhint-untrusted-decode check
+#               over all TUs at once and succeed only if it fires; the
+#               WILL_FAIL companions use this to prove a cross-function
+#               flow is invisible to the per-function check.
+#
+# Every link run passes --verify-canonical, so each fixture doubles as
+# a bit-exact round-trip test of the C++ sidecar serializer against
+# python's canonical json.dumps form.
+set -u
+
+CLANG_TIDY=$1
+PLUGIN=$2
+FILECHECK=$3
+SRC_DIR=$4
+TEST_DIR=$5
+WORK_DIR=$6
+MODE=$7
+PREFIX=$8
+CHECKFILE=$TEST_DIR/$9
+shift 9
+
+TUS=()
+DEFS=()
+for arg in "$@"; do
+  case "$arg" in
+    -D*) DEFS+=("$arg") ;;
+    *) TUS+=("$TEST_DIR/$arg") ;;
+  esac
+done
+
+rm -rf "$WORK_DIR"
+mkdir -p "$WORK_DIR/summaries"
+
+COMPILE_ARGS=(-std=c++20 "-I$SRC_DIR" "-I$TEST_DIR/multi_tu" -Wno-everything)
+
+if [ "$MODE" = intra ]; then
+  OUT=$("$CLANG_TIDY" --load="$PLUGIN" --checks='-*,irhint-untrusted-decode' \
+          "${TUS[@]}" -- "${COMPILE_ARGS[@]}" ${DEFS[@]+"${DEFS[@]}"} 2>&1)
+  STATUS=$?
+  echo "$OUT"
+  if [ $STATUS -ne 0 ]; then
+    echo "clang-tidy failed (exit $STATUS)" >&2
+    exit 2
+  fi
+  # Succeed only if the intra-procedural check found something.
+  grep -q '\[irhint-untrusted-decode\]' <<<"$OUT"
+  exit $?
+fi
+
+CONFIG="{Checks: '-*,irhint-taint-summary', CheckOptions: \
+{irhint-taint-summary.SummaryDir: '$WORK_DIR/summaries'}}"
+for tu in "${TUS[@]}"; do
+  if ! OUT=$("$CLANG_TIDY" --load="$PLUGIN" --config="$CONFIG" "$tu" \
+               -- "${COMPILE_ARGS[@]}" ${DEFS[@]+"${DEFS[@]}"} 2>&1); then
+    echo "clang-tidy summarization failed on $tu:" >&2
+    echo "$OUT" >&2
+    exit 2
+  fi
+done
+
+LINK_OUT=$(python3 "$TEST_DIR/../taint_link.py" \
+             --summaries "$WORK_DIR/summaries" \
+             --baseline "$WORK_DIR/no_such_baseline.json" \
+             --report-out "$WORK_DIR/report.json" \
+             --verify-canonical 2>&1)
+RC=$?
+echo "$LINK_OUT"
+
+case "$MODE" in
+  link-dirty)
+    if [ $RC -ne 1 ]; then
+      echo "expected taint_link exit 1 (new findings), got $RC" >&2
+      exit 1
+    fi
+    "$FILECHECK" --check-prefix="$PREFIX" "$CHECKFILE" <<<"$LINK_OUT"
+    ;;
+  link-clean)
+    if [ $RC -ne 0 ]; then
+      echo "expected taint_link exit 0 (clean), got $RC" >&2
+      exit 1
+    fi
+    ;;
+  *)
+    echo "unknown mode $MODE" >&2
+    exit 2
+    ;;
+esac

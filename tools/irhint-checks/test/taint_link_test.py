@@ -1,0 +1,392 @@
+#!/usr/bin/env python3
+"""Unit tests for the taint linker (taint_link.py, DESIGN.md §13).
+
+These run without clang: sidecars are generated in-process, in the
+exact canonical form the C++ emitter produces, so the fixpoint,
+baseline-gating, and round-trip semantics are testable in the plain
+gcc-only environment. The clang-driven end of the pipe (the
+irhint-taint-summary check itself) is covered by the FileCheck
+fixtures registered from tools/irhint-checks/CMakeLists.txt.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "taint_link", os.path.join(_HERE, "..", "taint_link.py")
+)
+taint_link = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(taint_link)
+
+
+def canon(obj):
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def func(key, facts, annotated="", params=2, file="src/x.cc", line=10,
+         sanitizes=None):
+    return {
+        "annotated": annotated,
+        "display": key.rsplit("/", 1)[0],
+        "end_line": line + 20,
+        "facts": facts,
+        "file": file,
+        "key": key,
+        "line": line,
+        "params": params,
+        "sanitizes": sanitizes or [],
+    }
+
+
+def sidecar(tu, functions, known=None):
+    return {
+        "functions": functions,
+        "known_annotated": known or {},
+        "schema": 1,
+        "tu": tu,
+    }
+
+
+class LinkerTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.n = 0
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, data):
+        self.n += 1
+        path = os.path.join(self.dir.name, "s%d.json" % self.n)
+        with open(path, "w") as fh:
+            fh.write(canon(data))
+        return path
+
+    def run_link(self, extra=None):
+        argv = [
+            "--summaries",
+            self.dir.name,
+            "--baseline",
+            os.path.join(self.dir.name, "baseline.json"),
+            "--quiet",
+        ] + (extra or [])
+        return taint_link.main(argv)
+
+    def link_findings(self):
+        sidecars = taint_link.load_sidecars(self.dir.name)
+        functions, annotated, _, _ = taint_link.merge_sidecars(sidecars)
+        linker = taint_link.Linker(functions, annotated)
+        linker.solve()
+        return linker.findings()
+
+    # --- the canonical 3-TU flow -----------------------------------------
+
+    def write_flow(self, widen_annotated="", widen_propagates=True):
+        self.write(sidecar("src/a.cc", [
+            func("ReadLen/2", [], annotated="untrusted", file="src/a.cc"),
+            func("LoadAndUse/2", [
+                {"callee": "Widen/1", "from": ["call_out:ReadLen/2:1"],
+                 "index": 0, "kind": "arg", "line": 12},
+                {"callee": "FillBuffer/2", "from": ["call_ret:Widen/1"],
+                 "index": 1, "kind": "arg", "line": 13},
+            ], file="src/a.cc"),
+        ]))
+        widen_facts = []
+        if widen_propagates:
+            widen_facts = [{"from": ["param:0"], "kind": "ret", "line": 5}]
+        self.write(sidecar("src/b.cc", [
+            func("Widen/1", widen_facts, annotated=widen_annotated,
+                 params=1, file="src/b.cc"),
+        ]))
+        self.write(sidecar("src/c.cc", [
+            func("FillBuffer/2", [
+                {"from": ["param:1"], "kind": "sink", "line": 8,
+                 "sink": "resize"},
+            ], file="src/c.cc"),
+        ]))
+
+    def test_cross_tu_flow_found_with_chain(self):
+        self.write_flow()
+        findings = self.link_findings()
+        self.assertEqual(len(findings), 1)
+        f = findings[0]
+        self.assertEqual(f["root"], "LoadAndUse/2")
+        self.assertEqual(f["sink"], "resize")
+        self.assertEqual(f["source"], "call_out:ReadLen/2:1")
+        chain_fns = [step["function"] for step in f["chain"]]
+        # >= 2 distinct functions in the chain, in flow order.
+        self.assertIn("ReadLen", chain_fns[0])
+        self.assertIn("FillBuffer", chain_fns[-1])
+        self.assertGreaterEqual(len(set(chain_fns)), 3)
+        # Stable id built from keys, not lines.
+        self.assertEqual(
+            f["id"],
+            "LoadAndUse/2|call_out:ReadLen/2:1|FillBuffer/2|resize",
+        )
+
+    def test_sanitizer_annotation_in_middle_goes_quiet(self):
+        self.write_flow(widen_annotated="sanitizer")
+        self.assertEqual(self.link_findings(), [])
+
+    def test_non_propagating_middle_goes_quiet(self):
+        # Widen bounds-checks internally: blessing removed its ret fact.
+        self.write_flow(widen_propagates=False)
+        self.assertEqual(self.link_findings(), [])
+
+    def test_declaration_side_annotation_counts(self):
+        # ReadLen's definition is outside the compile DB; only a caller
+        # TU saw the annotated declaration (known_annotated).
+        self.write(sidecar("src/a.cc", [
+            func("LoadAndUse/2", [
+                {"callee": "FillBuffer/2",
+                 "from": ["call_out:ReadLen/2:1"],
+                 "index": 1, "kind": "arg", "line": 13},
+            ], file="src/a.cc"),
+        ], known={"ReadLen/2": "untrusted"}))
+        self.write(sidecar("src/c.cc", [
+            func("FillBuffer/2", [
+                {"from": ["param:1"], "kind": "sink", "line": 8,
+                 "sink": "resize"},
+            ], file="src/c.cc"),
+        ]))
+        findings = self.link_findings()
+        self.assertEqual(len(findings), 1)
+
+    # --- cycles ----------------------------------------------------------
+
+    def test_recursive_cycle_converges(self):
+        self.write(sidecar("src/r.cc", [
+            func("Src/1", [], annotated="untrusted", params=1),
+            func("Ping/2", [
+                {"callee": "Pong/2", "from": ["param:0"], "index": 0,
+                 "kind": "arg", "line": 4},
+                {"from": ["call_ret:Pong/2"], "kind": "ret", "line": 4},
+            ]),
+            func("Pong/2", [
+                {"from": ["param:0"], "kind": "ret", "line": 8},
+                {"callee": "Ping/2", "from": ["param:0"], "index": 0,
+                 "kind": "arg", "line": 9},
+                {"from": ["call_ret:Ping/2"], "kind": "ret", "line": 9},
+            ]),
+            func("Drive/1", [
+                {"callee": "Ping/2", "from": ["call_ret:Src/1"],
+                 "index": 0, "kind": "arg", "line": 20},
+                {"from": ["call_ret:Ping/2"], "kind": "sink", "line": 21,
+                 "sink": "resize"},
+            ], params=1),
+        ]))
+        findings = self.link_findings()
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0]["root"], "Drive/1")
+        # Prop(Ping, 0, ret) is only derivable through the cycle.
+
+    def test_self_recursion_terminates(self):
+        self.write(sidecar("src/s.cc", [
+            func("Rec/1", [
+                {"callee": "Rec/1", "from": ["param:0"], "index": 0,
+                 "kind": "arg", "line": 3},
+                {"from": ["call_ret:Rec/1", "param:0"], "kind": "ret",
+                 "line": 4},
+            ], params=1),
+        ]))
+        self.assertEqual(self.link_findings(), [])
+
+    # --- conflation is conservative --------------------------------------
+
+    def test_callee_conflation_errs_hot(self):
+        # One call to Widen with a hot arg, one with a cold arg: the
+        # cold call's result is (conservatively) hot too.
+        self.write(sidecar("src/a.cc", [
+            func("Src/1", [], annotated="untrusted", params=1),
+            func("Widen/1", [
+                {"from": ["param:0"], "kind": "ret", "line": 5},
+            ], params=1),
+            func("Use/1", [
+                {"callee": "Widen/1", "from": ["call_ret:Src/1"],
+                 "index": 0, "kind": "arg", "line": 11},
+                {"callee": "Widen/1", "from": ["param:0"], "index": 0,
+                 "kind": "arg", "line": 12},
+                {"from": ["call_ret:Widen/1"], "kind": "sink", "line": 13,
+                 "sink": "reserve"},
+            ], params=1),
+        ]))
+        findings = self.link_findings()
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0]["sink"], "reserve")
+
+    # --- baseline gating -------------------------------------------------
+
+    def test_new_finding_fails_and_baselined_passes(self):
+        self.write_flow()
+        self.assertEqual(self.run_link(), 1)
+        baseline = {
+            "findings": [{
+                "id": "LoadAndUse/2|call_out:ReadLen/2:1|"
+                      "FillBuffer/2|resize",
+                "justification": "tracked: widening audit pending",
+            }],
+            "schema": 1,
+        }
+        with open(os.path.join(self.dir.name, "baseline.json"), "w") as fh:
+            fh.write(canon(baseline))
+        self.assertEqual(self.run_link(), 0)
+
+    def test_stale_baseline_entry_warns_but_passes(self):
+        self.write_flow(widen_annotated="sanitizer")
+        baseline = {
+            "findings": [{"id": "gone|origin|sink|resize",
+                          "justification": "obsolete"}],
+            "schema": 1,
+        }
+        with open(os.path.join(self.dir.name, "baseline.json"), "w") as fh:
+            fh.write(canon(baseline))
+        self.assertEqual(self.run_link(), 0)
+
+    def test_update_baseline_round_trips(self):
+        self.write_flow()
+        self.assertEqual(self.run_link(["--update-baseline"]), 0)
+        self.assertEqual(self.run_link(), 0)  # now baselined
+
+    # --- canonical round-trip --------------------------------------------
+
+    def test_verify_canonical_accepts_canonical(self):
+        self.write_flow()
+        self.assertEqual(self.run_link(["--verify-canonical"]), 1)
+        # exit 1 is from the (unbaselined) finding, not canonicality;
+        # prove it by checking the sanitized flow passes.
+
+    def test_verify_canonical_rejects_pretty_printed(self):
+        self.write_flow(widen_annotated="sanitizer")
+        self.assertEqual(self.run_link(["--verify-canonical"]), 0)
+        path = os.path.join(self.dir.name, "s1.json")
+        with open(path) as fh:
+            data = json.load(fh)
+        with open(path, "w") as fh:
+            json.dump(data, fh, sort_keys=True, indent=2)
+        self.assertEqual(self.run_link(["--verify-canonical"]), 1)
+
+    # --- merged DB -------------------------------------------------------
+
+    def test_merged_out_contains_annotations(self):
+        self.write_flow()
+        out = os.path.join(self.dir.name, "..", "merged.json")
+        self.assertEqual(self.run_link(["--merged-out", out]), 1)
+        with open(out) as fh:
+            raw = fh.read()
+        merged = json.loads(raw)
+        self.assertEqual(raw, canon(merged))  # canonical on disk
+        self.assertEqual(
+            merged["functions"]["ReadLen/2"]["annotated"], "untrusted"
+        )
+        self.assertIn("LoadAndUse/2", merged["functions"])
+        os.unlink(out)
+
+    def test_duplicate_function_merge_unions_facts(self):
+        fact_a = {"from": ["param:0"], "kind": "ret", "line": 5}
+        fact_b = {"from": ["param:1"], "kind": "ret", "line": 6}
+        self.write(sidecar("src/a.cc", [func("Inline/2", [fact_a])]))
+        self.write(sidecar("src/b.cc", [func("Inline/2", [fact_a, fact_b])]))
+        sidecars = taint_link.load_sidecars(self.dir.name)
+        functions, _, _, _ = taint_link.merge_sidecars(sidecars)
+        self.assertEqual(len(functions["Inline/2"]["facts"]), 2)
+
+
+class ContractEightTest(unittest.TestCase):
+    """check_contracts.py contract 8 against a merged DB fixture."""
+
+    def setUp(self):
+        spec = importlib.util.spec_from_file_location(
+            "check_contracts",
+            os.path.join(_HERE, "..", "..", "lint", "check_contracts.py"),
+        )
+        self.cc = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(self.cc)
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+        os.environ.pop("IRHINT_TAINT_DB", None)
+
+    def write_db(self, names):
+        db = {
+            "annotated": {},
+            "functions": {
+                "irhint::%s/2" % name: {
+                    "annotated": kind,
+                    "display": "irhint::%s" % name,
+                    "file": "src/x.h",
+                    "line": 1,
+                }
+                for name, kind in names.items()
+            },
+            "schema": 1,
+            "tus": [],
+        }
+        path = os.path.join(self.tmp.name, "merged_summary.json")
+        with open(path, "w") as fh:
+            fh.write(canon(db))
+        os.environ["IRHINT_TAINT_DB"] = path
+
+    def repo_annotation_names(self):
+        """Every annotated function name in src/, via the checker's own
+        scanner, to build a fully-covering DB."""
+        names = {}
+        for path in self.cc.cxx_files("src"):
+            rel = os.path.relpath(path, self.cc.REPO)
+            if rel == os.path.join("src", "common", "contracts.h"):
+                continue
+            with open(path) as fh:
+                lines = self.cc.strip_comments(fh.read()).splitlines()
+            for lineno, line in enumerate(lines, 1):
+                m = self.cc.TAINT_ANNOT_RE.search(line)
+                if not m or "#define" in line:
+                    continue
+                tail = line[m.end():] + " " + " ".join(
+                    lines[lineno:lineno + 2])
+                name_m = self.cc.FN_NAME_RE.search(tail)
+                if name_m:
+                    names[name_m.group(1)] = (
+                        "untrusted" if m.group(1) == "UNTRUSTED"
+                        else "sanitizer"
+                    )
+        return names
+
+    def test_full_db_passes(self):
+        self.write_db(self.repo_annotation_names())
+        errors = []
+        self.cc.check_annotations_reach_taint_db(errors)
+        self.assertEqual(errors, [])
+
+    def test_missing_annotation_is_flagged(self):
+        names = self.repo_annotation_names()
+        self.assertIn("LoadCorpus", names)  # src/data/serialize.h
+        del names["LoadCorpus"]
+        self.write_db(names)
+        errors = []
+        self.cc.check_annotations_reach_taint_db(errors)
+        self.assertTrue(any("LoadCorpus" in e for e in errors), errors)
+
+    def test_wrong_kind_is_flagged(self):
+        names = self.repo_annotation_names()
+        names["LoadCorpus"] = "sanitizer"  # annotation says untrusted
+        self.write_db(names)
+        errors = []
+        self.cc.check_annotations_reach_taint_db(errors)
+        self.assertTrue(any("LoadCorpus" in e for e in errors), errors)
+
+    def test_no_db_skips(self):
+        os.environ["IRHINT_TAINT_DB"] = os.path.join(
+            self.tmp.name, "nope.json"
+        )
+        errors = []
+        self.cc.check_annotations_reach_taint_db(errors)
+        self.assertEqual(errors, [])
+
+
+if __name__ == "__main__":
+    unittest.main()

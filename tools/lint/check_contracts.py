@@ -50,10 +50,21 @@ Machine-checkable contracts that clang-tidy cannot express:
      environment through common/env.h GetEnv() (the one audited
      concurrency-mt-unsafe suppression), never raw getenv().
 
+  8. Every IRHINT_UNTRUSTED / IRHINT_SANITIZER annotation in src/ is
+     visible to the whole-program taint analysis: the annotated
+     function must appear, with the matching annotation kind, in the
+     merged summary DB produced by the two-phase pipeline (DESIGN.md
+     §13). A misspelled or dead annotation parses fine and silently
+     weakens the analysis — this catches it. Checked only when a
+     merged DB exists ($IRHINT_TAINT_DB or build*/taint/
+     merged_summary.json, written by run_clang_tidy.sh --taint); the
+     plugin-less gcc-only setup skips it.
+
 Exit status: 0 clean, 1 any contract violated. Run from anywhere.
 """
 
 import glob
+import json
 import os
 import re
 import shutil
@@ -303,6 +314,78 @@ def check_getenv_centralized(errors):
                     f"concurrency-mt-unsafe suppression")
 
 
+# Contract 8: taint annotations must surface in the merged summary DB.
+TAINT_ANNOT_RE = re.compile(r"\bIRHINT_(UNTRUSTED|SANITIZER)\b")
+FN_NAME_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def find_taint_db():
+    env = os.environ.get("IRHINT_TAINT_DB")
+    if env:
+        return env if os.path.isfile(env) else None
+    candidates = sorted(glob.glob(
+        os.path.join(REPO, "build*", "taint", "merged_summary.json")))
+    return candidates[0] if candidates else None
+
+
+def summary_db_names(db):
+    """Unqualified function name -> set of annotation kinds in the DB."""
+    names = {}
+
+    def note(key, kind):
+        # Keys look like "ns::Class::Fn/2", internal-linkage ones
+        # "src/foo.cc!Fn/2"; reduce to the unqualified name.
+        base = key.rsplit("/", 1)[0].split("!")[-1]
+        names.setdefault(base.split("::")[-1], set()).add(kind)
+
+    for key, fn in db.get("functions", {}).items():
+        if fn.get("annotated"):
+            note(key, fn["annotated"])
+    for key, kind in db.get("annotated", {}).items():
+        note(key, kind)
+    return names
+
+
+def check_annotations_reach_taint_db(errors):
+    db_path = find_taint_db()
+    if db_path is None:
+        return  # no merged DB: the taint pipeline has not run
+    with open(db_path) as f:
+        db = json.load(f)
+    names = summary_db_names(db)
+    want = {"UNTRUSTED": "untrusted", "SANITIZER": "sanitizer"}
+    contracts_header = os.path.join("src", "common", "contracts.h")
+    for path in cxx_files("src"):
+        rel = os.path.relpath(path, REPO)
+        if rel == contracts_header:
+            continue
+        with open(path) as f:
+            lines = strip_comments(f.read()).splitlines()
+        for lineno, line in enumerate(lines, 1):
+            m = TAINT_ANNOT_RE.search(line)
+            if not m or "#define" in line:
+                continue
+            # The annotated function's name is the first call-ish
+            # identifier after the annotation (same line or the next
+            # couple of continuation lines).
+            tail = line[m.end():] + " " + " ".join(
+                lines[lineno:lineno + 2])
+            name_m = FN_NAME_RE.search(tail)
+            if not name_m:
+                errors.append(
+                    f"{rel}:{lineno}: IRHINT_{m.group(1)} with no "
+                    f"function declarator in reach — annotation is dead")
+                continue
+            name = name_m.group(1)
+            if want[m.group(1)] not in names.get(name, set()):
+                errors.append(
+                    f"{rel}:{lineno}: IRHINT_{m.group(1)} on {name}() "
+                    f"does not appear in the merged taint summary DB "
+                    f"({os.path.relpath(db_path, REPO)}) — dead or "
+                    f"misspelled annotation silently weakens the "
+                    f"whole-program analysis")
+
+
 def main():
     errors = []
     check_no_asserts(errors)
@@ -313,6 +396,7 @@ def main():
     check_guarded_by_coverage(errors)
     check_escape_hatches_justified(errors)
     check_getenv_centralized(errors)
+    check_annotations_reach_taint_db(errors)
     if errors:
         print("contract violations:", file=sys.stderr)
         for e in errors:

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Run the project clang-tidy gate locally, the same way CI does.
 #
-#   tools/lint/run_clang_tidy.sh [--with-plugin [PLUGIN.so]] [BUILD_DIR]
+#   tools/lint/run_clang_tidy.sh [--with-plugin [PLUGIN.so]] [--taint] \
+#                                [BUILD_DIR]
 #
 # Needs a configured build directory (default: build) — the top-level
 # CMakeLists.txt exports compile_commands.json unconditionally. Checks and
@@ -12,20 +13,44 @@
 # -DIRHINT_CHECKS=ON, see tools/irhint-checks/) and appends
 # -checks=irhint-* so the project checks run on top of the stock set.
 # The plugin path defaults to the first libirhint_checks.* under any
-# build*/tools/irhint-checks/. Extra diagnostics can be exported for CI
-# artifacts with EXPORT_FIXES=<file.yaml>.
+# build*/tools/irhint-checks/. Before anything runs, the plugin is
+# probed with --list-checks: a .so that is missing, fails to -load, or
+# loads without registering the irhint-* checks aborts the gate with
+# exit 2 — a broken plugin must never degrade to a silent no-op.
+#
+# --taint (implies --with-plugin) runs the whole-program decode-taint
+# analysis instead of the per-file gate: phase 1 summarizes every
+# src/fuzz TU into $BUILD_DIR/taint/summaries (content-hash cached in
+# $BUILD_DIR/taint/cache), phase 2 links them and diffs the findings
+# against tools/irhint-checks/taint_baseline.json. See DESIGN.md §13.
+#
+# Extra diagnostics can be exported for CI artifacts with
+# EXPORT_FIXES=<file.yaml>.
 set -euo pipefail
 
 WITH_PLUGIN=0
+TAINT=0
 PLUGIN=""
-if [[ "${1:-}" == "--with-plugin" ]]; then
-  WITH_PLUGIN=1
-  shift
-  if [[ $# -gt 0 && "${1}" == *libirhint_checks* ]]; then
-    PLUGIN="$1"
-    shift
-  fi
-fi
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --with-plugin)
+      WITH_PLUGIN=1
+      shift
+      if [[ $# -gt 0 && "${1}" == *libirhint_checks* ]]; then
+        PLUGIN="$1"
+        shift
+      fi
+      ;;
+    --taint)
+      TAINT=1
+      WITH_PLUGIN=1
+      shift
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 
 BUILD_DIR="${1:-build}"
 REPO="$(cd "$(dirname "$0")/../.." && pwd)"
@@ -55,10 +80,44 @@ if [[ $WITH_PLUGIN -eq 1 ]]; then
     echo "  cmake --build build-checks --target irhint_checks" >&2
     exit 2
   fi
+  # Probe: -load must succeed AND register the project checks. clang-tidy
+  # happily exits 0 when a plugin fails to add any check (or when -load
+  # dlopen fails only at matcher time on some platforms), which would
+  # turn the whole gate into a silent no-op.
+  if ! PROBE="$("$TIDY" "--load=$PLUGIN" --checks='-*,irhint-*' \
+                --list-checks 2>&1)"; then
+    echo "error: clang-tidy failed to load plugin $PLUGIN:" >&2
+    echo "$PROBE" >&2
+    exit 2
+  fi
+  if ! grep -q 'irhint-untrusted-decode' <<<"$PROBE" ||
+     ! grep -q 'irhint-taint-summary' <<<"$PROBE"; then
+    echo "error: plugin $PLUGIN loaded but the irhint-* checks are not" >&2
+    echo "registered (ABI mismatch with $TIDY?). --list-checks said:" >&2
+    echo "$PROBE" >&2
+    exit 2
+  fi
   EXTRA_ARGS+=("--load=$PLUGIN" "--checks=irhint-*")
 fi
 if [[ -n "${EXPORT_FIXES:-}" ]]; then
   EXTRA_ARGS+=("--export-fixes=$EXPORT_FIXES")
+fi
+
+if [[ $TAINT -eq 1 ]]; then
+  SUMDIR="$BUILD_DIR/taint/summaries"
+  rm -rf "$SUMDIR"
+  mkdir -p "$SUMDIR"
+  CLANG_TIDY="$TIDY" python3 tools/irhint-checks/taint_summarize.py \
+    --build-dir "$BUILD_DIR" \
+    --plugin "$PLUGIN" \
+    --out "$SUMDIR" \
+    --cache "$BUILD_DIR/taint/cache"
+  python3 tools/irhint-checks/taint_link.py \
+    --summaries "$SUMDIR" \
+    --merged-out "$BUILD_DIR/taint/merged_summary.json" \
+    --report-out "$BUILD_DIR/taint/report.json"
+  echo "taint: clean against tools/irhint-checks/taint_baseline.json"
+  exit 0
 fi
 
 # Library + tools + fuzz sources; tests are gtest-macro-heavy and stay out
